@@ -1,0 +1,35 @@
+//! Bench for experiment F1: field-selection cost as k varies (saliency
+//! scoring dominates; ranking is cheap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p4guard_bench::{standard_split, trained_guard};
+use p4guard_features::extract::ByteDataset;
+use p4guard_features::select::{select_fields, SelectionStrategy};
+
+fn f1_k_sweep(c: &mut Criterion) {
+    let (guard, _) = trained_guard();
+    let (train, _) = standard_split();
+    let bytes = ByteDataset::from_trace(&train, 64);
+    let view = bytes.to_nn_dataset();
+    let mut group = c.benchmark_group("f1_k_sweep");
+    group.sample_size(10);
+    for k in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("saliency_select", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut model = guard.stage1.clone();
+                std::hint::black_box(select_fields(
+                    SelectionStrategy::Saliency,
+                    &bytes,
+                    Some(&view),
+                    Some(&mut model),
+                    k,
+                    0,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, f1_k_sweep);
+criterion_main!(benches);

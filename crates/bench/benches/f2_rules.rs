@@ -1,0 +1,42 @@
+//! Bench for experiment F2: compilation cost as the tree depth (and so the
+//! rule count) grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p4guard_bench::{standard_split, trained_guard};
+use p4guard_features::extract::ByteDataset;
+use p4guard_rules::compile::{compile_tree, CompileConfig};
+use p4guard_rules::tree::{DecisionTree, TreeConfig};
+
+fn f2_rules(c: &mut Criterion) {
+    let (guard, _) = trained_guard();
+    let (train, _) = standard_split();
+    let bytes = ByteDataset::from_trace(&train, 64).project(&guard.selection.offsets);
+    let flat: Vec<u8> = (0..bytes.len()).flat_map(|i| bytes.sample(i).to_vec()).collect();
+    let labels = bytes.labels().to_vec();
+    let k = guard.selection.k();
+
+    let mut group = c.benchmark_group("f2_rules");
+    group.sample_size(20);
+    for depth in [4usize, 8, 12] {
+        let tree = DecisionTree::fit(
+            k,
+            &flat,
+            &labels,
+            TreeConfig {
+                max_depth: depth,
+                ..TreeConfig::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("compile_at_depth", depth), &tree, |b, tree| {
+            b.iter(|| {
+                std::hint::black_box(
+                    compile_tree(tree, &CompileConfig::default()).expect("compiles"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, f2_rules);
+criterion_main!(benches);

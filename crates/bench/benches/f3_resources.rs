@@ -1,0 +1,22 @@
+//! Bench for experiment F3: deployment cost — installing the compiled rule
+//! set into a switch and computing the resource report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p4guard_bench::trained_guard;
+
+fn f3_resources(c: &mut Criterion) {
+    let (guard, _) = trained_guard();
+    let mut group = c.benchmark_group("f3_resources");
+    group.sample_size(20);
+    group.bench_function("deploy_ruleset", |b| {
+        b.iter(|| std::hint::black_box(guard.deploy(200_000).expect("fits")))
+    });
+    let control = guard.deploy(200_000).expect("fits");
+    group.bench_function("resource_accounting", |b| {
+        b.iter(|| control.with_switch(|sw| std::hint::black_box(sw.resources().tcam_bits)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, f3_resources);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Bench for experiment F4: per-packet processing cost of the deployed
+//! data plane as the match-key width and table size vary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use p4guard_bench::{standard_split, trained_guard};
+use p4guard_dataplane::action::Action;
+use p4guard_dataplane::key::KeyLayout;
+use p4guard_dataplane::parser::ParserSpec;
+use p4guard_dataplane::switch::Switch;
+use p4guard_dataplane::table::{MatchKind, MatchSpec, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn synthetic_switch(key_width: usize, entries: usize) -> Switch {
+    let mut rng = StdRng::seed_from_u64(p4guard_bench::BENCH_SEED);
+    let mut sw = Switch::new("bench", ParserSpec::raw_window(64, 14), 1);
+    let mut acl = Table::new(
+        "acl",
+        MatchKind::Ternary,
+        KeyLayout::window(key_width),
+        entries.max(1),
+        Action::NoOp,
+    );
+    for _ in 0..entries {
+        let value: Vec<u8> = (0..key_width).map(|_| rng.gen()).collect();
+        let mask: Vec<u8> = (0..key_width)
+            .map(|_| if rng.gen::<bool>() { 0xff } else { 0x00 })
+            .collect();
+        acl.insert(MatchSpec::Ternary { value, mask }, Action::Drop, 1)
+            .expect("capacity");
+    }
+    sw.add_stage(acl);
+    sw
+}
+
+fn f4_throughput(c: &mut Criterion) {
+    let (_, test) = standard_split();
+    let frames: Vec<&[u8]> = test.iter().map(|r| r.frame.as_ref()).collect();
+
+    let mut group = c.benchmark_group("f4_throughput");
+    group.throughput(Throughput::Elements(frames.len() as u64));
+    group.sample_size(10);
+    for key_width in [4usize, 16, 64] {
+        let mut sw = synthetic_switch(key_width, 64);
+        group.bench_with_input(
+            BenchmarkId::new("key_width", key_width),
+            &key_width,
+            |b, _| {
+                b.iter(|| {
+                    for frame in &frames {
+                        std::hint::black_box(sw.process(frame));
+                    }
+                })
+            },
+        );
+    }
+    for entries in [16usize, 256, 2048] {
+        let mut sw = synthetic_switch(8, entries);
+        group.bench_with_input(BenchmarkId::new("table_size", entries), &entries, |b, _| {
+            b.iter(|| {
+                for frame in &frames {
+                    std::hint::black_box(sw.process(frame));
+                }
+            })
+        });
+    }
+    // The actually-deployed guard.
+    let (guard, test2) = trained_guard();
+    let control = guard.deploy(200_000).expect("fits");
+    group.bench_function("deployed_guard", |b| {
+        control.with_switch_mut(|sw| {
+            b.iter(|| {
+                for r in test2.iter() {
+                    std::hint::black_box(sw.process(&r.frame));
+                }
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, f4_throughput);
+criterion_main!(benches);

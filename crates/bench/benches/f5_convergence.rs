@@ -1,0 +1,44 @@
+//! Bench for experiment F5: cost of one training epoch for the stage-1 and
+//! stage-2 networks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p4guard_bench::{standard_split, trained_guard};
+use p4guard_features::extract::ByteDataset;
+use p4guard_nn::network::{Mlp, MlpConfig};
+use p4guard_nn::optim::Adam;
+use p4guard_nn::train::{train, TrainConfig};
+
+fn f5_convergence(c: &mut Criterion) {
+    let (train_trace, _) = standard_split();
+    let bytes = ByteDataset::from_trace(&train_trace, 64);
+    let full_view = bytes.to_nn_dataset();
+    let (guard, _) = trained_guard();
+    let selected_view = bytes.project(&guard.selection.offsets).to_nn_dataset();
+
+    let one_epoch = TrainConfig {
+        epochs: 1,
+        batch_size: 64,
+        seed: 1,
+        early_stop_loss: None,
+    };
+    let mut group = c.benchmark_group("f5_convergence");
+    group.sample_size(10);
+    group.bench_function("stage1_epoch", |b| {
+        b.iter(|| {
+            let mut model = Mlp::new(MlpConfig::classifier(64, 2));
+            let mut opt = Adam::new(0.005);
+            std::hint::black_box(train(&mut model, &full_view, &mut opt, &one_epoch))
+        })
+    });
+    group.bench_function("stage2_epoch", |b| {
+        b.iter(|| {
+            let mut model = Mlp::new(MlpConfig::classifier(guard.selection.k(), 2));
+            let mut opt = Adam::new(0.005);
+            std::hint::black_box(train(&mut model, &selected_view, &mut opt, &one_epoch))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, f5_convergence);
+criterion_main!(benches);

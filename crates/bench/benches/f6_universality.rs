@@ -1,0 +1,30 @@
+//! Bench for experiment F6: retargeting the pipeline at a non-IP protocol
+//! (ZWire) — generation plus training cost for one protocol context.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p4guard::pipeline::TwoStagePipeline;
+use p4guard_bench::bench_config;
+use p4guard_packet::trace::AttackFamily;
+use p4guard_traffic::scenario::Scenario;
+use p4guard_traffic::split_temporal;
+
+fn f6_universality(c: &mut Criterion) {
+    let trace = Scenario::single_attack(AttackFamily::ZWireHijack, p4guard_bench::BENCH_SEED)
+        .generate()
+        .expect("generates");
+    let (train, _) = split_temporal(&trace, 0.6);
+    let mut group = c.benchmark_group("f6_universality");
+    group.sample_size(10);
+    group.bench_function("retarget_to_zwire", |b| {
+        b.iter(|| {
+            let guard = TwoStagePipeline::new(bench_config())
+                .train(&train)
+                .expect("trains");
+            std::hint::black_box(guard.compiled.stats.entries)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, f6_universality);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench for experiment F7: ROC-curve construction and scoring cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p4guard_bench::trained_guard;
+use p4guard_nn::metrics::{auc, roc_curve};
+
+fn f7_roc(c: &mut Criterion) {
+    let (guard, test) = trained_guard();
+    let actual: Vec<usize> = test.iter().map(|r| r.label.class()).collect();
+    let mut group = c.benchmark_group("f7_roc");
+    group.sample_size(10);
+    group.bench_function("stage2_scoring", |b| {
+        b.iter(|| std::hint::black_box(guard.scores(&test)))
+    });
+    let scores = guard.scores(&test);
+    group.bench_function("roc_curve_and_auc", |b| {
+        b.iter(|| {
+            let curve = roc_curve(&scores, &actual);
+            std::hint::black_box(auc(&curve))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, f7_roc);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench for experiment F8: cost of each data-driven selection strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p4guard_bench::standard_split;
+use p4guard_features::extract::ByteDataset;
+use p4guard_features::select::{chi_squared_scores, mutual_information_scores};
+
+fn f8_ablation(c: &mut Criterion) {
+    let (train, _) = standard_split();
+    let bytes = ByteDataset::from_trace(&train, 64);
+    let mut group = c.benchmark_group("f8_ablation");
+    group.sample_size(10);
+    group.bench_function("mutual_information", |b| {
+        b.iter(|| std::hint::black_box(mutual_information_scores(&bytes)))
+    });
+    group.bench_function("chi_squared", |b| {
+        b.iter(|| std::hint::black_box(chi_squared_scores(&bytes)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, f8_ablation);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench for experiment F9: per-frame rule classification (the hot path of
+//! the per-attack recall table).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use p4guard_bench::trained_guard;
+
+fn f9_per_attack(c: &mut Criterion) {
+    let (guard, test) = trained_guard();
+    let mut group = c.benchmark_group("f9_per_attack");
+    group.throughput(Throughput::Elements(test.len() as u64));
+    group.sample_size(20);
+    group.bench_function("classify_frames", |b| {
+        b.iter(|| {
+            let mut drops = 0usize;
+            for r in test.iter() {
+                drops += guard.classify_frame(&r.frame);
+            }
+            std::hint::black_box(drops)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, f9_per_attack);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench for experiment T1: dataset generation cost (the substrate behind
+//! every table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p4guard_traffic::scenario::Scenario;
+
+fn t1_dataset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_dataset");
+    group.sample_size(10);
+    group.bench_function("generate_mixed_scenario", |b| {
+        b.iter(|| {
+            let trace = Scenario::mixed_default(p4guard_bench::BENCH_SEED)
+                .generate()
+                .expect("generates");
+            std::hint::black_box(trace.len())
+        })
+    });
+    group.bench_function("generate_smart_home_scenario", |b| {
+        b.iter(|| {
+            let trace = Scenario::smart_home_default(p4guard_bench::BENCH_SEED)
+                .generate()
+                .expect("generates");
+            std::hint::black_box(trace.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, t1_dataset);
+criterion_main!(benches);

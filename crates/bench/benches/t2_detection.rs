@@ -1,0 +1,24 @@
+//! Bench for experiment T2: the full two-stage training pipeline (the
+//! kernel behind the detection-comparison table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p4guard::pipeline::TwoStagePipeline;
+use p4guard_bench::{bench_config, small_train_trace};
+
+fn t2_detection(c: &mut Criterion) {
+    let train = small_train_trace();
+    let mut group = c.benchmark_group("t2_detection");
+    group.sample_size(10);
+    group.bench_function("two_stage_train", |b| {
+        b.iter(|| {
+            let guard = TwoStagePipeline::new(bench_config())
+                .train(&train)
+                .expect("trains");
+            std::hint::black_box(guard.compiled.stats.entries)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, t2_detection);
+criterion_main!(benches);

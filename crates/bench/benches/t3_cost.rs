@@ -1,0 +1,35 @@
+//! Bench for experiment T3: rule-generation cost in isolation (tree fit +
+//! ternary compilation on already-selected bytes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p4guard_bench::{standard_split, trained_guard};
+use p4guard_features::extract::ByteDataset;
+use p4guard_rules::compile::{compile_tree, CompileConfig};
+use p4guard_rules::tree::{DecisionTree, TreeConfig};
+
+fn t3_cost(c: &mut Criterion) {
+    let (guard, _) = trained_guard();
+    let (train, _) = standard_split();
+    let bytes = ByteDataset::from_trace(&train, 64).project(&guard.selection.offsets);
+    let flat: Vec<u8> = (0..bytes.len()).flat_map(|i| bytes.sample(i).to_vec()).collect();
+    let labels = bytes.labels().to_vec();
+    let k = guard.selection.k();
+
+    let mut group = c.benchmark_group("t3_cost");
+    group.sample_size(20);
+    group.bench_function("tree_fit", |b| {
+        b.iter(|| {
+            std::hint::black_box(DecisionTree::fit(k, &flat, &labels, TreeConfig::default()))
+        })
+    });
+    let tree = DecisionTree::fit(k, &flat, &labels, TreeConfig::default());
+    group.bench_function("rule_compile", |b| {
+        b.iter(|| {
+            std::hint::black_box(compile_tree(&tree, &CompileConfig::default()).expect("compiles"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, t3_cost);
+criterion_main!(benches);

@@ -1,0 +1,227 @@
+//! Regenerates every table and figure of the evaluation and prints them,
+//! optionally saving JSON artifacts.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [EXPERIMENT ...] [--seed N] [--full] [--out DIR]
+//!
+//! EXPERIMENT ∈ { t1 t2 t3 f1 .. f14 all }  (default: all)
+//! --seed N   scenario seed (default 2020, the publication year)
+//! --full     use the full (paper-scale) pipeline config instead of the
+//!            fast profile
+//! --out DIR  also write one JSON file per experiment into DIR
+//! ```
+
+use p4guard::config::GuardConfig;
+use p4guard::experiments::{
+    convergence, dataplane_exp, dataset, detection, efficiency, extensions, universality,
+    ExperimentContext,
+};
+use p4guard_packet::trace::AttackFamily;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    experiments: Vec<String>,
+    seed: u64,
+    full: bool,
+    out: Option<PathBuf>,
+}
+
+const ALL: [&str; 17] = [
+    "t1", "t2", "t3", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12",
+    "f13", "f14",
+];
+
+fn parse_args() -> Result<Options, String> {
+    let mut experiments = Vec::new();
+    let mut seed = 2020u64;
+    let mut full = false;
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--full" => full = true,
+            "--out" => {
+                let v = args.next().ok_or("--out needs a directory")?;
+                out = Some(PathBuf::from(v));
+            }
+            "all" => experiments.extend(ALL.iter().map(|s| (*s).to_owned())),
+            id if ALL.contains(&id) => experiments.push(id.to_owned()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.extend(ALL.iter().map(|s| (*s).to_owned()));
+    }
+    experiments.dedup();
+    Ok(Options {
+        experiments,
+        seed,
+        full,
+        out,
+    })
+}
+
+fn save_json<T: Serialize>(out: &Option<PathBuf>, id: &str, value: &T) {
+    if let Some(dir) = out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{id}.json"));
+        match serde_json::to_string_pretty(value) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("warning: cannot write {}: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: cannot serialize {id}: {e}"),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: reproduce [t1 t2 t3 f1..f14 | all] [--seed N] [--full] [--out DIR]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = if options.full {
+        GuardConfig::default()
+    } else {
+        GuardConfig::fast()
+    };
+    println!(
+        "p4guard reproduce — seed {}, {} profile\n",
+        options.seed,
+        if options.full { "full" } else { "fast" }
+    );
+    // The standard context is shared by most experiments; build lazily.
+    let mut ctx: Option<ExperimentContext> = None;
+    let mut context = |seed: u64| -> ExperimentContext {
+        if ctx.is_none() {
+            ctx = Some(ExperimentContext::standard(seed));
+        }
+        ctx.clone().expect("context built")
+    };
+    for id in &options.experiments {
+        let started = std::time::Instant::now();
+        match id.as_str() {
+            "t1" => {
+                let r = dataset::run(options.seed);
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "t2" => {
+                let r = detection::run_t2(&context(options.seed), &config);
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "t3" => {
+                let r = detection::run_t3(&context(options.seed), &config);
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "f1" => {
+                let r = efficiency::run_f1(
+                    &context(options.seed),
+                    &config,
+                    &[1, 2, 4, 6, 8, 12, 16, 24, 32],
+                );
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "f2" => {
+                let r =
+                    efficiency::run_f2(&context(options.seed), &config, &[1, 2, 3, 4, 6, 8, 10, 12]);
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "f3" => {
+                let r = efficiency::run_f3(&context(options.seed), &config);
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "f4" => {
+                let r = dataplane_exp::run_f4(&context(options.seed), &config);
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "f5" => {
+                let r = convergence::run_f5(&context(options.seed), &config);
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "f6" => {
+                let r = universality::run_f6(options.seed, &config, &AttackFamily::ALL);
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "f7" => {
+                let r = detection::run_f7(&context(options.seed), &config);
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "f8" => {
+                let r = efficiency::run_f8(&context(options.seed), &config);
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "f9" => {
+                let r = detection::run_f9(&context(options.seed), &config);
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "f10" => {
+                let r = dataplane_exp::run_f10(options.seed, &[0, 64, 256, 1024, 4096]);
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "f11" => {
+                let r = extensions::run_f11(&context(options.seed), &config);
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "f12" => {
+                let r = extensions::run_f12(
+                    &context(options.seed),
+                    &config,
+                    &[0.0, 0.05, 0.1, 0.2, 0.35, 0.5],
+                );
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "f14" => {
+                let r = extensions::run_f14(
+                    options.seed,
+                    &config,
+                    &[None, Some(60.0), Some(30.0)],
+                );
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "f13" => {
+                let ctx = context(options.seed);
+                let guard = p4guard::multiclass::FamilyGuard::train(config.clone(), &ctx.train)
+                    .expect("family guard trains");
+                let r = guard.evaluate(&ctx.test);
+                println!("{r}");
+                println!("total rules across family tables: {}", guard.total_rules());
+                save_json(&options.out, id, &r);
+            }
+            _ => unreachable!("validated above"),
+        }
+        println!("[{id} took {:?}]\n", started.elapsed());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,45 @@
+//! Shared fixtures for the p4guard benchmark harness.
+//!
+//! Every bench target regenerates one table or figure of the evaluation
+//! (see DESIGN.md's experiment index); the `reproduce` binary prints the
+//! full set of tables.
+
+use p4guard::config::GuardConfig;
+use p4guard::pipeline::{TrainedGuard, TwoStagePipeline};
+use p4guard_packet::trace::Trace;
+use p4guard_traffic::scenario::Scenario;
+use p4guard_traffic::split_temporal;
+
+/// Seed every benchmark fixture derives from.
+pub const BENCH_SEED: u64 = 0xbe9c;
+
+/// The standard (train, test) fixture: the mixed scenario split 60/40.
+pub fn standard_split() -> (Trace, Trace) {
+    let trace = Scenario::mixed_default(BENCH_SEED)
+        .generate()
+        .expect("mixed scenario generates");
+    split_temporal(&trace, 0.6)
+}
+
+/// A small training trace for pipeline-cost benches.
+pub fn small_train_trace() -> Trace {
+    let trace = Scenario::smart_home_default(BENCH_SEED)
+        .generate()
+        .expect("smart-home scenario generates");
+    split_temporal(&trace, 0.6).0
+}
+
+/// The benchmark pipeline configuration (the fast profile, so bench
+/// iterations stay tractable).
+pub fn bench_config() -> GuardConfig {
+    GuardConfig::fast()
+}
+
+/// A guard trained on the standard split's training half.
+pub fn trained_guard() -> (TrainedGuard, Trace) {
+    let (train, test) = standard_split();
+    let guard = TwoStagePipeline::new(bench_config())
+        .train(&train)
+        .expect("pipeline trains");
+    (guard, test)
+}

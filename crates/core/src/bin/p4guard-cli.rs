@@ -1,0 +1,164 @@
+//! The `p4guard` command-line tool: generate datasets, train guards,
+//! evaluate them, and export deployable P4 artifacts — the workflow a
+//! gateway operator would actually run.
+//!
+//! ```text
+//! p4guard-cli generate --scenario mixed --seed 7 --out trace.p4gt [--pcap trace.pcap]
+//! p4guard-cli train    --trace trace.p4gt --out guard.json [--k 8] [--window 64] [--fast]
+//! p4guard-cli evaluate --model guard.json --trace test.p4gt
+//! p4guard-cli export   --model guard.json --trace trace.p4gt --out-dir p4/
+//! p4guard-cli stats    --trace trace.p4gt
+//! ```
+
+use p4guard::config::GuardConfig;
+use p4guard::pipeline::{TrainedGuard, TwoStagePipeline};
+use p4guard::{p4gen, report};
+use p4guard_packet::trace::Trace;
+use p4guard_packet::pcap;
+use p4guard_traffic::scenario::Scenario;
+use p4guard_traffic::stats::TraceStats;
+use std::collections::HashMap;
+use std::error::Error;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  p4guard-cli generate --scenario <mixed|smart-home|industrial> [--seed N] --out FILE [--pcap FILE]
+  p4guard-cli train    --trace FILE --out FILE [--k N] [--window N] [--fast]
+  p4guard-cli evaluate --model FILE --trace FILE
+  p4guard-cli export   --model FILE --trace FILE --out-dir DIR
+  p4guard-cli stats    --trace FILE";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, found {:?}", args[i]))?;
+        if key == "fast" {
+            flags.insert(key.to_owned(), "true".to_owned());
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_owned(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{key}"))
+}
+
+fn run() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        return Err(USAGE.into());
+    };
+    let flags = parse_flags(rest).map_err(|e| format!("{e}\n{USAGE}"))?;
+    match command.as_str() {
+        "generate" => {
+            let seed: u64 = flags.get("seed").map_or(Ok(1), |v| v.parse())?;
+            let scenario = match required(&flags, "scenario")? {
+                "mixed" => Scenario::mixed_default(seed),
+                "smart-home" => Scenario::smart_home_default(seed),
+                "industrial" => Scenario::industrial_default(seed),
+                other => return Err(format!("unknown scenario {other:?}").into()),
+            };
+            let out = required(&flags, "out")?;
+            let trace = scenario.generate()?;
+            trace.save(out)?;
+            println!("wrote {} packets to {out}", trace.len());
+            if let Some(pcap_path) = flags.get("pcap") {
+                pcap::save_pcap(&trace, pcap_path)?;
+                println!("wrote pcap mirror to {pcap_path}");
+            }
+            Ok(())
+        }
+        "train" => {
+            let trace = Trace::load(required(&flags, "trace")?)?;
+            let mut config = if flags.contains_key("fast") {
+                GuardConfig::fast()
+            } else {
+                GuardConfig::default()
+            };
+            if let Some(k) = flags.get("k") {
+                config.k = k.parse()?;
+            }
+            if let Some(w) = flags.get("window") {
+                config.window = w.parse()?;
+            }
+            let guard = TwoStagePipeline::new(config).train(&trace)?;
+            let out = required(&flags, "out")?;
+            std::fs::write(out, guard.to_json())?;
+            println!(
+                "trained on {} packets: {} fields, {} rules, {:?} total",
+                trace.len(),
+                guard.selection.k(),
+                guard.compiled.stats.entries,
+                guard.timings.total()
+            );
+            for name in guard.describe_fields(&trace) {
+                println!("  field: {name}");
+            }
+            println!("model saved to {out}");
+            Ok(())
+        }
+        "evaluate" => {
+            let guard = TrainedGuard::from_json(&std::fs::read_to_string(required(
+                &flags, "model",
+            )?)?)?;
+            let trace = Trace::load(required(&flags, "trace")?)?;
+            let m = guard.evaluate_rules(&trace);
+            let mut table = report::TextTable::new(["metric", "value"]);
+            table.row(["packets", &trace.len().to_string()]);
+            table.row(["accuracy", &report::num3(m.accuracy)]);
+            table.row(["precision", &report::num3(m.precision)]);
+            table.row(["recall", &report::num3(m.recall)]);
+            table.row(["F1", &report::num3(m.f1)]);
+            table.row(["FPR", &report::num3(m.false_positive_rate)]);
+            println!("{table}");
+            Ok(())
+        }
+        "export" => {
+            let guard = TrainedGuard::from_json(&std::fs::read_to_string(required(
+                &flags, "model",
+            )?)?)?;
+            let trace = Trace::load(required(&flags, "trace")?)?;
+            let out_dir = PathBuf::from(required(&flags, "out-dir")?);
+            std::fs::create_dir_all(&out_dir)?;
+            let names = guard.describe_fields(&trace);
+            std::fs::write(out_dir.join("guard.p4"), p4gen::emit_program(&guard, &names))?;
+            std::fs::write(out_dir.join("entries.txt"), p4gen::emit_entries(&guard))?;
+            println!(
+                "exported guard.p4 and entries.txt ({} entries) to {}",
+                guard.compiled.stats.entries,
+                out_dir.display()
+            );
+            Ok(())
+        }
+        "stats" => {
+            let trace = Trace::load(required(&flags, "trace")?)?;
+            println!("{}", TraceStats::compute(&trace));
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}").into()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Pipeline configuration.
+
+use p4guard_features::select::SelectionStrategy;
+use p4guard_nn::activation::Activation;
+use p4guard_rules::compile::CompileConfig;
+use p4guard_rules::tree::TreeConfig;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters of one network training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Hidden layer sizes.
+    pub hidden: Vec<usize>,
+    /// Hidden activation.
+    pub activation: Activation,
+    /// Dropout probability.
+    pub dropout: f32,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+}
+
+impl NetConfig {
+    fn stage1_default() -> Self {
+        NetConfig {
+            hidden: vec![64, 32],
+            activation: Activation::Relu,
+            dropout: 0.1,
+            learning_rate: 0.005,
+            epochs: 15,
+            batch_size: 64,
+        }
+    }
+
+    fn stage2_default() -> Self {
+        NetConfig {
+            hidden: vec![32, 16],
+            activation: Activation::Relu,
+            dropout: 0.0,
+            learning_rate: 0.005,
+            epochs: 25,
+            batch_size: 64,
+        }
+    }
+}
+
+/// Full configuration of the two-stage pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuardConfig {
+    /// Byte window extracted from every frame.
+    pub window: usize,
+    /// Number of header bytes to select (the paper's "small number of
+    /// header fields").
+    pub k: usize,
+    /// Stage-1 field-selection strategy.
+    pub strategy: SelectionStrategy,
+    /// Stage-1 network (trained on the full window).
+    pub stage1: NetConfig,
+    /// Stage-2 network (trained on the selected bytes).
+    pub stage2: NetConfig,
+    /// Distill the rules from the stage-2 network's predictions (the
+    /// paper's NN→rules step); `false` fits the tree on ground truth
+    /// directly.
+    pub distill: bool,
+    /// Tree-induction parameters for rule generation.
+    pub tree: TreeConfig,
+    /// Rule-compilation parameters.
+    pub compile: CompileConfig,
+    /// Balance classes before training.
+    pub balance: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            window: 64,
+            k: 8,
+            strategy: SelectionStrategy::Saliency,
+            stage1: NetConfig::stage1_default(),
+            stage2: NetConfig::stage2_default(),
+            distill: true,
+            tree: TreeConfig::default(),
+            compile: CompileConfig::default(),
+            balance: true,
+            seed: 0x1337,
+        }
+    }
+}
+
+impl GuardConfig {
+    /// A configuration with `k` selected fields, defaults elsewhere.
+    pub fn with_k(k: usize) -> Self {
+        GuardConfig {
+            k,
+            ..GuardConfig::default()
+        }
+    }
+
+    /// A fast configuration for tests: fewer epochs, smaller nets.
+    pub fn fast() -> Self {
+        GuardConfig {
+            stage1: NetConfig {
+                hidden: vec![32],
+                epochs: 8,
+                ..NetConfig::stage1_default()
+            },
+            stage2: NetConfig {
+                hidden: vec![16],
+                epochs: 10,
+                ..NetConfig::stage2_default()
+            },
+            ..GuardConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = GuardConfig::default();
+        assert_eq!(c.window, 64);
+        assert!(c.k <= c.window);
+        assert!(c.distill);
+        assert_eq!(c.strategy, SelectionStrategy::Saliency);
+    }
+
+    #[test]
+    fn with_k_overrides_k_only() {
+        let c = GuardConfig::with_k(4);
+        assert_eq!(c.k, 4);
+        assert_eq!(c.window, GuardConfig::default().window);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = GuardConfig::fast();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: GuardConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,80 @@
+//! Experiment F5 — training convergence of the stage-1 and stage-2
+//! networks.
+
+use crate::config::GuardConfig;
+use crate::experiments::ExperimentContext;
+use crate::pipeline::TwoStagePipeline;
+use crate::report::{num3, TextTable};
+use p4guard_nn::train::History;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result of F5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceReport {
+    /// Stage-1 (full window) per-epoch history.
+    pub stage1: History,
+    /// Stage-2 (selected fields) per-epoch history.
+    pub stage2: History,
+}
+
+/// Runs F5 on the context.
+///
+/// # Panics
+///
+/// Panics if the pipeline fails on the standard scenario.
+pub fn run_f5(ctx: &ExperimentContext, config: &GuardConfig) -> ConvergenceReport {
+    let guard = TwoStagePipeline::new(config.clone())
+        .train(&ctx.train)
+        .expect("pipeline trains");
+    ConvergenceReport {
+        stage1: guard.stage1_history,
+        stage2: guard.stage2_history,
+    }
+}
+
+impl fmt::Display for ConvergenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "F5 — training convergence (loss & accuracy per epoch)")?;
+        let mut table = TextTable::new([
+            "epoch",
+            "stage-1 loss",
+            "stage-1 acc",
+            "stage-2 loss",
+            "stage-2 acc",
+        ]);
+        let rows = self.stage1.epochs.len().max(self.stage2.epochs.len());
+        for i in 0..rows {
+            let s1 = self.stage1.epochs.get(i);
+            let s2 = self.stage2.epochs.get(i);
+            table.row([
+                i.to_string(),
+                s1.map_or(String::new(), |e| num3(f64::from(e.loss))),
+                s1.map_or(String::new(), |e| num3(f64::from(e.train_accuracy))),
+                s2.map_or(String::new(), |e| num3(f64::from(e.loss))),
+                s2.map_or(String::new(), |e| num3(f64::from(e.train_accuracy))),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f5_losses_decrease() {
+        let ctx = ExperimentContext::standard(74);
+        let report = run_f5(&ctx, &GuardConfig::fast());
+        let s1 = &report.stage1.epochs;
+        assert!(s1.len() >= 2);
+        assert!(
+            s1.last().unwrap().loss < s1.first().unwrap().loss,
+            "stage-1 loss did not decrease"
+        );
+        assert!(report.stage1.final_accuracy().unwrap() > 0.85);
+        assert!(report.stage2.final_accuracy().unwrap() > 0.85);
+        assert!(report.to_string().contains("epoch"));
+    }
+}

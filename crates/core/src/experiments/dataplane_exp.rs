@@ -1,0 +1,263 @@
+//! Experiments F4 (data-plane throughput) and F10 (rule-update latency).
+
+use crate::config::GuardConfig;
+use crate::experiments::ExperimentContext;
+use crate::pipeline::TwoStagePipeline;
+use crate::report::{dur, TextTable};
+use p4guard_dataplane::action::Action;
+use p4guard_dataplane::control::ControlPlane;
+use p4guard_dataplane::key::KeyLayout;
+use p4guard_dataplane::parser::ParserSpec;
+use p4guard_dataplane::switch::Switch;
+use p4guard_dataplane::table::{MatchKind, MatchSpec, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// One throughput measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputPoint {
+    /// Match-key width in bytes.
+    pub key_width: usize,
+    /// Installed entries.
+    pub entries: usize,
+    /// Measured packets per second (relative simulator throughput).
+    pub pps: f64,
+    /// Fraction of the replayed trace dropped.
+    pub drop_fraction: f64,
+}
+
+/// Result of F4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Guard deployment measured on the test trace.
+    pub guard_point: ThroughputPoint,
+    /// Synthetic sweep over key widths (fixed 64 entries).
+    pub key_width_sweep: Vec<ThroughputPoint>,
+    /// Synthetic sweep over table sizes (fixed 8-byte key).
+    pub table_size_sweep: Vec<ThroughputPoint>,
+}
+
+fn synthetic_switch(key_width: usize, entries: usize, seed: u64) -> Switch {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sw = Switch::new("bench", ParserSpec::raw_window(64, 14), 1);
+    let mut acl = Table::new(
+        "acl",
+        MatchKind::Ternary,
+        KeyLayout::window(key_width),
+        entries.max(1),
+        Action::NoOp,
+    );
+    for _ in 0..entries {
+        let value: Vec<u8> = (0..key_width).map(|_| rng.gen()).collect();
+        // Half-wildcard masks so some traffic matches.
+        let mask: Vec<u8> = (0..key_width)
+            .map(|_| if rng.gen::<bool>() { 0xff } else { 0x00 })
+            .collect();
+        acl.insert(MatchSpec::Ternary { value, mask }, Action::Drop, 1)
+            .expect("within capacity");
+    }
+    sw.add_stage(acl);
+    sw
+}
+
+/// Runs F4 on the context.
+///
+/// # Panics
+///
+/// Panics if the pipeline fails on the standard scenario.
+pub fn run_f4(ctx: &ExperimentContext, config: &GuardConfig) -> ThroughputReport {
+    // Deployed-guard throughput on the real test trace.
+    let guard = TwoStagePipeline::new(config.clone())
+        .train(&ctx.train)
+        .expect("pipeline trains");
+    let control = guard.deploy(200_000).expect("rules fit");
+    let guard_stats = control.with_switch_mut(|sw| sw.run_trace(&ctx.test));
+    let guard_point = ThroughputPoint {
+        key_width: config.k,
+        entries: guard.compiled.stats.entries,
+        pps: guard_stats.pps,
+        drop_fraction: guard_stats.dropped as f64 / guard_stats.packets.max(1) as f64,
+    };
+
+    let measure = |key_width: usize, entries: usize| {
+        let mut sw = synthetic_switch(key_width, entries, ctx.seed);
+        let stats = sw.run_trace(&ctx.test);
+        ThroughputPoint {
+            key_width,
+            entries,
+            pps: stats.pps,
+            drop_fraction: stats.dropped as f64 / stats.packets.max(1) as f64,
+        }
+    };
+    let key_width_sweep = [2usize, 4, 8, 16, 32, 64]
+        .iter()
+        .map(|&w| measure(w, 64))
+        .collect();
+    let table_size_sweep = [8usize, 32, 128, 512, 2048]
+        .iter()
+        .map(|&n| measure(8, n))
+        .collect();
+    ThroughputReport {
+        guard_point,
+        key_width_sweep,
+        table_size_sweep,
+    }
+}
+
+impl fmt::Display for ThroughputReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "F4 — data-plane throughput (relative simulator pps)")?;
+        writeln!(
+            f,
+            "deployed guard: key {} B, {} entries, {:.0} pps, {:.1}% dropped",
+            self.guard_point.key_width,
+            self.guard_point.entries,
+            self.guard_point.pps,
+            self.guard_point.drop_fraction * 100.0
+        )?;
+        let mut table = TextTable::new(["sweep", "key bytes", "entries", "pps"]);
+        for p in &self.key_width_sweep {
+            table.row([
+                "key-width".to_owned(),
+                p.key_width.to_string(),
+                p.entries.to_string(),
+                format!("{:.0}", p.pps),
+            ]);
+        }
+        for p in &self.table_size_sweep {
+            table.row([
+                "table-size".to_owned(),
+                p.key_width.to_string(),
+                p.entries.to_string(),
+                format!("{:.0}", p.pps),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+/// One occupancy point of F10.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UpdatePoint {
+    /// Entries already installed when the operations were measured.
+    pub occupancy: usize,
+    /// Mean insert latency.
+    pub insert: Duration,
+    /// Mean remove latency.
+    pub remove: Duration,
+}
+
+/// Result of F10.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UpdateLatencyReport {
+    /// Points in increasing occupancy.
+    pub points: Vec<UpdatePoint>,
+}
+
+/// Runs F10: insert/remove latency as a function of table occupancy.
+pub fn run_f10(seed: u64, occupancies: &[usize]) -> UpdateLatencyReport {
+    const PROBE: usize = 64;
+    let mut points = Vec::with_capacity(occupancies.len());
+    for &occupancy in occupancies {
+        // A table pre-filled to `occupancy` with headroom for the probe.
+        let mut sw = Switch::new("bench", ParserSpec::raw_window(64, 14), 1);
+        let mut acl = Table::new(
+            "acl",
+            MatchKind::Ternary,
+            KeyLayout::window(8),
+            occupancy + PROBE,
+            Action::NoOp,
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..occupancy {
+            let value: Vec<u8> = (0..8).map(|_| rng.gen()).collect();
+            acl.insert(
+                MatchSpec::Ternary {
+                    value,
+                    mask: vec![0xff; 8],
+                },
+                Action::Drop,
+                1,
+            )
+            .expect("capacity has headroom");
+        }
+        sw.add_stage(acl);
+        let control = ControlPlane::new(sw);
+        // Measure a probe batch of inserts, then remove them.
+        let mut probe = p4guard_rules::ruleset::RuleSet::new(8, 0);
+        let mut probe_rng = StdRng::seed_from_u64(seed ^ 0xf10);
+        for _ in 0..PROBE {
+            let value: Vec<u8> = (0..8).map(|_| probe_rng.gen()).collect();
+            probe.push(p4guard_rules::ternary::TernaryEntry::new(
+                value,
+                vec![0xff; 8],
+                1,
+                1,
+            ));
+        }
+        let report = control
+            .install_ruleset(0, &probe, Action::Drop)
+            .expect("probe fits within headroom");
+        let removes = control
+            .remove_entries(0, &report.handles)
+            .expect("handles valid");
+        points.push(UpdatePoint {
+            occupancy,
+            insert: report.mean_latency(),
+            remove: mean(&removes),
+        });
+    }
+    UpdateLatencyReport { points }
+}
+
+fn mean(ds: &[Duration]) -> Duration {
+    if ds.is_empty() {
+        Duration::ZERO
+    } else {
+        ds.iter().sum::<Duration>() / ds.len() as u32
+    }
+}
+
+impl fmt::Display for UpdateLatencyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "F10 — rule-update latency vs table occupancy")?;
+        let mut table = TextTable::new(["occupancy", "insert (mean)", "remove (mean)"]);
+        for p in &self.points {
+            table.row([p.occupancy.to_string(), dur(p.insert), dur(p.remove)]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f4_reports_positive_throughput() {
+        let ctx = ExperimentContext::standard(73);
+        let report = run_f4(&ctx, &GuardConfig::fast());
+        assert!(report.guard_point.pps > 1000.0);
+        assert!(report.guard_point.drop_fraction > 0.05);
+        assert_eq!(report.key_width_sweep.len(), 6);
+        assert_eq!(report.table_size_sweep.len(), 5);
+        // Bigger tables are slower (linear scan TCAM model).
+        let small = report.table_size_sweep.first().unwrap().pps;
+        let large = report.table_size_sweep.last().unwrap().pps;
+        assert!(small > large, "small {small} vs large {large}");
+        assert!(report.to_string().contains("F4"));
+    }
+
+    #[test]
+    fn f10_measures_latencies() {
+        let report = run_f10(5, &[0, 256]);
+        assert_eq!(report.points.len(), 2);
+        for p in &report.points {
+            assert!(p.insert > Duration::ZERO);
+        }
+        assert!(report.to_string().contains("F10"));
+    }
+}

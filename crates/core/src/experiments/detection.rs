@@ -1,0 +1,370 @@
+//! Experiments T2 (detection quality vs baselines), T3 (training and
+//! rule-generation cost), F7 (ROC curves) and F9 (per-attack recall).
+
+use crate::baselines::{
+    AllBytesTree, AutoencoderBaseline, DataPlaneCost, Detector, FiveTupleFirewall, FullDnn,
+    GuardDetector, LogisticBaseline,
+};
+use crate::config::GuardConfig;
+use crate::experiments::ExperimentContext;
+use crate::report::{dur, num3, TextTable};
+use p4guard_nn::metrics::{auc, roc_curve, BinaryMetrics, RocPoint};
+use p4guard_packet::trace::AttackFamily;
+use p4guard_rules::tree::TreeConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// One method's row in T2/F3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodReport {
+    /// Method name.
+    pub name: String,
+    /// Detection quality on the test split.
+    pub metrics: BinaryMetrics,
+    /// Data-plane cost.
+    pub cost: DataPlaneCost,
+    /// Training wall-clock time.
+    pub train_time: Duration,
+}
+
+/// Result of T2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionComparison {
+    /// One row per method.
+    pub rows: Vec<MethodReport>,
+}
+
+impl DetectionComparison {
+    /// The row for the two-stage method.
+    pub fn two_stage(&self) -> &MethodReport {
+        self.rows
+            .iter()
+            .find(|r| r.name.starts_with("two-stage"))
+            .expect("two-stage row present")
+    }
+
+    /// The row for a named method.
+    pub fn method(&self, prefix: &str) -> Option<&MethodReport> {
+        self.rows.iter().find(|r| r.name.starts_with(prefix))
+    }
+}
+
+/// Runs T2: trains every method on the context's training split and
+/// evaluates on the test split.
+///
+/// # Panics
+///
+/// Panics if the two-stage pipeline fails on the standard scenario.
+pub fn run_t2(ctx: &ExperimentContext, config: &GuardConfig) -> DetectionComparison {
+    let mut rows = Vec::new();
+    let mut push = |d: &dyn Detector| {
+        rows.push(MethodReport {
+            name: d.name().to_owned(),
+            metrics: d.evaluate(&ctx.test),
+            cost: d.data_plane_cost(),
+            train_time: d.train_time(),
+        });
+    };
+    let guard = GuardDetector::train(config.clone(), &ctx.train).expect("pipeline trains");
+    push(&guard);
+    push(&FullDnn::train(&ctx.train, config.window, config.stage1.epochs, ctx.seed));
+    push(&AllBytesTree::train(&ctx.train, config.window, TreeConfig::default()));
+    push(&LogisticBaseline::train(&ctx.train, config.window, config.stage1.epochs, ctx.seed));
+    push(&FiveTupleFirewall::train(&ctx.train));
+    push(&AutoencoderBaseline::train(
+        &ctx.train,
+        config.window,
+        config.stage1.epochs.min(8),
+        0.98,
+        ctx.seed,
+    ));
+    DetectionComparison { rows }
+}
+
+impl fmt::Display for DetectionComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "T2 — detection quality vs baselines (test split)")?;
+        let mut table = TextTable::new([
+            "method",
+            "accuracy",
+            "precision",
+            "recall",
+            "F1",
+            "FPR",
+            "deployable",
+            "entries",
+            "key bits",
+        ]);
+        for r in &self.rows {
+            table.row([
+                r.name.clone(),
+                num3(r.metrics.accuracy),
+                num3(r.metrics.precision),
+                num3(r.metrics.recall),
+                num3(r.metrics.f1),
+                num3(r.metrics.false_positive_rate),
+                if r.cost.deployable { "yes" } else { "no" }.to_owned(),
+                r.cost.entries.to_string(),
+                r.cost.key_bits.to_string(),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+/// Result of T3: per-phase pipeline cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// `(phase, duration)` rows.
+    pub phases: Vec<(String, Duration)>,
+    /// Compiled rule entries.
+    pub entries: usize,
+    /// Rules generated per second of total pipeline time.
+    pub rules_per_sec: f64,
+}
+
+/// Runs T3 on the context.
+///
+/// # Panics
+///
+/// Panics if the pipeline fails on the standard scenario.
+pub fn run_t3(ctx: &ExperimentContext, config: &GuardConfig) -> CostReport {
+    let guard = crate::pipeline::TwoStagePipeline::new(config.clone())
+        .train(&ctx.train)
+        .expect("pipeline trains");
+    let t = &guard.timings;
+    let total = t.total().as_secs_f64().max(1e-12);
+    CostReport {
+        phases: vec![
+            ("stage-1 training".into(), t.stage1_train),
+            ("field selection".into(), t.selection),
+            ("stage-2 training".into(), t.stage2_train),
+            ("tree distillation".into(), t.tree_fit),
+            ("rule compilation".into(), t.compile),
+            ("total".into(), t.total()),
+        ],
+        entries: guard.compiled.stats.entries,
+        rules_per_sec: guard.compiled.stats.entries as f64 / total,
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "T3 — training & rule-generation cost")?;
+        let mut table = TextTable::new(["phase", "time"]);
+        for (phase, d) in &self.phases {
+            table.row([phase.clone(), dur(*d)]);
+        }
+        write!(f, "{table}")?;
+        writeln!(
+            f,
+            "{} rules generated ({:.0} rules/s end-to-end)",
+            self.entries, self.rules_per_sec
+        )
+    }
+}
+
+/// One ROC curve in F7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocReport {
+    /// Method name.
+    pub name: String,
+    /// Curve points.
+    pub curve: Vec<RocPoint>,
+    /// Area under the curve.
+    pub auc: f64,
+}
+
+/// Result of F7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RocComparison {
+    /// One curve per scored method.
+    pub curves: Vec<RocReport>,
+}
+
+/// Runs F7: ROC of the stage-2 network vs full DNN vs logistic regression.
+///
+/// # Panics
+///
+/// Panics if the pipeline fails on the standard scenario.
+pub fn run_f7(ctx: &ExperimentContext, config: &GuardConfig) -> RocComparison {
+    let actual: Vec<usize> = ctx.test.iter().map(|r| r.label.class()).collect();
+    let mut curves = Vec::new();
+    let mut push = |name: &str, scores: Vec<f32>| {
+        let curve = roc_curve(&scores, &actual);
+        curves.push(RocReport {
+            name: name.to_owned(),
+            auc: auc(&curve),
+            curve,
+        });
+    };
+    let guard = crate::pipeline::TwoStagePipeline::new(config.clone())
+        .train(&ctx.train)
+        .expect("pipeline trains");
+    push("two-stage (stage-2 NN)", guard.scores(&ctx.test));
+    let dnn = FullDnn::train(&ctx.train, config.window, config.stage1.epochs, ctx.seed);
+    push("full DNN", dnn.scores(&ctx.test));
+    let lr = LogisticBaseline::train(&ctx.train, config.window, config.stage1.epochs, ctx.seed);
+    push("logistic regression", lr.scores(&ctx.test));
+    let ae = AutoencoderBaseline::train(
+        &ctx.train,
+        config.window,
+        config.stage1.epochs.min(8),
+        0.98,
+        ctx.seed,
+    );
+    push("autoencoder (unsupervised)", ae.scores(&ctx.test));
+    RocComparison { curves }
+}
+
+impl fmt::Display for RocComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "F7 — ROC (threshold sweep), test split")?;
+        let mut table = TextTable::new(["method", "AUC", "TPR@FPR=1%", "TPR@FPR=5%"]);
+        for c in &self.curves {
+            let tpr_at = |fpr_cap: f64| {
+                c.curve
+                    .iter()
+                    .filter(|p| p.fpr <= fpr_cap)
+                    .map(|p| p.tpr)
+                    .fold(0.0f64, f64::max)
+            };
+            table.row([
+                c.name.clone(),
+                num3(c.auc),
+                num3(tpr_at(0.01)),
+                num3(tpr_at(0.05)),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+/// Result of F9: per-attack-family recall of the deployed rules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerAttackReport {
+    /// `(family, test packets, recall)` rows.
+    pub rows: Vec<(String, usize, f64)>,
+    /// False-positive rate on benign test traffic.
+    pub benign_fpr: f64,
+}
+
+/// Runs F9 on the context.
+///
+/// # Panics
+///
+/// Panics if the pipeline fails on the standard scenario.
+pub fn run_f9(ctx: &ExperimentContext, config: &GuardConfig) -> PerAttackReport {
+    let guard = crate::pipeline::TwoStagePipeline::new(config.clone())
+        .train(&ctx.train)
+        .expect("pipeline trains");
+    let mut per_family: Vec<(String, usize, usize)> = AttackFamily::ALL
+        .iter()
+        .map(|f| (f.to_string(), 0usize, 0usize))
+        .collect();
+    let mut benign_total = 0usize;
+    let mut benign_flagged = 0usize;
+    for record in ctx.test.iter() {
+        let predicted = guard.classify_frame(&record.frame);
+        match record.label.family() {
+            Some(fam) => {
+                let row = per_family
+                    .iter_mut()
+                    .find(|(name, _, _)| *name == fam.to_string())
+                    .expect("family row exists");
+                row.1 += 1;
+                row.2 += predicted;
+            }
+            None => {
+                benign_total += 1;
+                benign_flagged += predicted;
+            }
+        }
+    }
+    PerAttackReport {
+        rows: per_family
+            .into_iter()
+            .filter(|(_, total, _)| *total > 0)
+            .map(|(name, total, hit)| (name, total, hit as f64 / total as f64))
+            .collect(),
+        benign_fpr: if benign_total == 0 {
+            0.0
+        } else {
+            benign_flagged as f64 / benign_total as f64
+        },
+    }
+}
+
+impl fmt::Display for PerAttackReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "F9 — per-attack-family recall (compiled rules, test split)")?;
+        let mut table = TextTable::new(["attack family", "test packets", "recall"]);
+        for (name, total, recall) in &self.rows {
+            table.row([name.clone(), total.to_string(), num3(*recall)]);
+        }
+        write!(f, "{table}")?;
+        writeln!(f, "benign FPR: {}", num3(self.benign_fpr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ExperimentContext {
+        ExperimentContext::standard(71)
+    }
+
+    #[test]
+    fn t2_shape_holds() {
+        let ctx = ctx();
+        let cmp = run_t2(&ctx, &GuardConfig::fast());
+        assert_eq!(cmp.rows.len(), 6);
+        let two_stage = cmp.two_stage();
+        let five_tuple = cmp.method("5-tuple").unwrap();
+        let dnn = cmp.method("full DNN").unwrap();
+        // The paper's headline: two-stage ≈ full DNN ≫ fixed-field firewall.
+        assert!(two_stage.metrics.f1 > 0.8, "{:?}", two_stage.metrics);
+        assert!(
+            two_stage.metrics.f1 > five_tuple.metrics.f1 + 0.15,
+            "two-stage {:?} vs 5-tuple {:?}",
+            two_stage.metrics,
+            five_tuple.metrics
+        );
+        assert!(dnn.metrics.f1 > 0.85);
+        assert!(two_stage.cost.deployable);
+        assert!(!dnn.cost.deployable);
+        assert!(cmp.to_string().contains("T2"));
+    }
+
+    #[test]
+    fn t3_reports_phases() {
+        let ctx = ctx();
+        let cost = run_t3(&ctx, &GuardConfig::fast());
+        assert_eq!(cost.phases.len(), 6);
+        assert!(cost.rules_per_sec > 0.0);
+        assert!(cost.to_string().contains("stage-1 training"));
+    }
+
+    #[test]
+    fn f7_aucs_are_high_for_learned_methods() {
+        let ctx = ctx();
+        let roc = run_f7(&ctx, &GuardConfig::fast());
+        assert_eq!(roc.curves.len(), 4);
+        let two_stage = &roc.curves[0];
+        assert!(two_stage.auc > 0.9, "auc = {}", two_stage.auc);
+        assert!(roc.to_string().contains("AUC"));
+    }
+
+    #[test]
+    fn f9_covers_all_injected_families() {
+        let ctx = ctx();
+        let report = run_f9(&ctx, &GuardConfig::fast());
+        assert!(!report.rows.is_empty());
+        assert!(report.benign_fpr < 0.2, "fpr = {}", report.benign_fpr);
+        let mean_recall: f64 =
+            report.rows.iter().map(|(_, _, r)| r).sum::<f64>() / report.rows.len() as f64;
+        assert!(mean_recall > 0.6, "mean recall {mean_recall}");
+    }
+}

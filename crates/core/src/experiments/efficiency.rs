@@ -1,0 +1,390 @@
+//! Experiments F1 (accuracy vs k), F2 (rule count vs accuracy), F3
+//! (data-plane resource usage) and F8 (selection-strategy ablation).
+
+use crate::baselines::{AllBytesTree, Detector, FiveTupleFirewall, GuardDetector};
+use crate::config::GuardConfig;
+use crate::experiments::ExperimentContext;
+use crate::pipeline::TwoStagePipeline;
+use crate::report::{num3, TextTable};
+use p4guard_features::select::SelectionStrategy;
+use p4guard_rules::tree::TreeConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One point of the F1 k-sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KPoint {
+    /// Number of selected fields.
+    pub k: usize,
+    /// F1 with learned (saliency) selection.
+    pub f1_learned: f64,
+    /// Accuracy with learned selection.
+    pub accuracy_learned: f64,
+    /// F1 with random selection (same k).
+    pub f1_random: f64,
+    /// Compiled entries with learned selection.
+    pub entries_learned: usize,
+}
+
+/// Result of F1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KSweep {
+    /// Sweep points in increasing k.
+    pub points: Vec<KPoint>,
+}
+
+/// Runs F1 over `ks`. Points are computed in parallel (one thread per k);
+/// results are deterministic regardless of scheduling.
+///
+/// # Panics
+///
+/// Panics if the pipeline fails on the standard scenario.
+pub fn run_f1(ctx: &ExperimentContext, base: &GuardConfig, ks: &[usize]) -> KSweep {
+    let points = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = ks
+            .iter()
+            .map(|&k| {
+                scope.spawn(move |_| {
+                    let learned_cfg = GuardConfig {
+                        k,
+                        strategy: SelectionStrategy::Saliency,
+                        ..base.clone()
+                    };
+                    let learned = TwoStagePipeline::new(learned_cfg)
+                        .train(&ctx.train)
+                        .expect("learned pipeline trains");
+                    let lm = learned.evaluate_rules(&ctx.test);
+                    let random_cfg = GuardConfig {
+                        k,
+                        strategy: SelectionStrategy::Random,
+                        ..base.clone()
+                    };
+                    let random = TwoStagePipeline::new(random_cfg)
+                        .train(&ctx.train)
+                        .expect("random pipeline trains");
+                    let rm = random.evaluate_rules(&ctx.test);
+                    KPoint {
+                        k,
+                        f1_learned: lm.f1,
+                        accuracy_learned: lm.accuracy,
+                        f1_random: rm.f1,
+                        entries_learned: learned.compiled.stats.entries,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep thread completes"))
+            .collect()
+    })
+    .expect("sweep scope completes");
+    KSweep { points }
+}
+
+impl fmt::Display for KSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "F1 — accuracy vs number of selected fields k")?;
+        let mut table =
+            TextTable::new(["k", "F1 (learned)", "acc (learned)", "F1 (random)", "entries"]);
+        for p in &self.points {
+            table.row([
+                p.k.to_string(),
+                num3(p.f1_learned),
+                num3(p.accuracy_learned),
+                num3(p.f1_random),
+                p.entries_learned.to_string(),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+/// One point of the F2 depth sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DepthPoint {
+    /// Tree depth limit.
+    pub max_depth: usize,
+    /// Compiled ternary entries.
+    pub entries: usize,
+    /// Tree leaves.
+    pub leaves: usize,
+    /// Rule-set F1 on the test split.
+    pub f1: f64,
+}
+
+/// Result of F2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RulesTradeoff {
+    /// Sweep points in increasing depth.
+    pub points: Vec<DepthPoint>,
+}
+
+/// Runs F2 over `depths`.
+///
+/// # Panics
+///
+/// Panics if the pipeline fails on the standard scenario.
+pub fn run_f2(ctx: &ExperimentContext, base: &GuardConfig, depths: &[usize]) -> RulesTradeoff {
+    let mut points = Vec::with_capacity(depths.len());
+    for &max_depth in depths {
+        let cfg = GuardConfig {
+            tree: TreeConfig {
+                max_depth,
+                ..base.tree
+            },
+            ..base.clone()
+        };
+        let guard = TwoStagePipeline::new(cfg)
+            .train(&ctx.train)
+            .expect("pipeline trains");
+        let m = guard.evaluate_rules(&ctx.test);
+        points.push(DepthPoint {
+            max_depth,
+            entries: guard.compiled.stats.entries,
+            leaves: guard.tree.leaf_count(),
+            f1: m.f1,
+        });
+    }
+    RulesTradeoff { points }
+}
+
+impl fmt::Display for RulesTradeoff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "F2 — rule count vs accuracy trade-off (tree depth sweep)")?;
+        let mut table = TextTable::new(["max depth", "leaves", "entries", "F1"]);
+        for p in &self.points {
+            table.row([
+                p.max_depth.to_string(),
+                p.leaves.to_string(),
+                p.entries.to_string(),
+                num3(p.f1),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+/// One method's resource row in F3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceRow {
+    /// Method name.
+    pub name: String,
+    /// Deployable in the data plane.
+    pub deployable: bool,
+    /// Table entries.
+    pub entries: usize,
+    /// Match-key bits.
+    pub key_bits: usize,
+    /// Memory bits.
+    pub memory_bits: usize,
+    /// Test-split F1 (context for the cost).
+    pub f1: f64,
+}
+
+/// Result of F3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceComparison {
+    /// One row per method.
+    pub rows: Vec<ResourceRow>,
+}
+
+/// Runs F3: resource usage of each deployable method.
+///
+/// # Panics
+///
+/// Panics if the pipeline fails on the standard scenario.
+pub fn run_f3(ctx: &ExperimentContext, config: &GuardConfig) -> ResourceComparison {
+    fn row_of(d: &dyn Detector, test: &p4guard_packet::trace::Trace) -> ResourceRow {
+        let cost = d.data_plane_cost();
+        ResourceRow {
+            name: d.name().to_owned(),
+            deployable: cost.deployable,
+            entries: cost.entries,
+            key_bits: cost.key_bits,
+            memory_bits: cost.memory_bits,
+            f1: d.evaluate(test).f1,
+        }
+    }
+    let guard = GuardDetector::train(config.clone(), &ctx.train).expect("pipeline trains");
+    let mut rows = vec![row_of(&guard, &ctx.test)];
+    // The same guard deployed on a range-capable table: one entry per
+    // attack tree path instead of a prefix expansion.
+    let inner = guard.guard();
+    rows.push(ResourceRow {
+        name: "two-stage (range table)".into(),
+        deployable: true,
+        entries: inner.compiled.range_paths.len(),
+        key_bits: inner.compiled.stats.key_width * 8,
+        // Range entries store low and high bounds: 2 × key bits each.
+        memory_bits: inner.compiled.range_paths.len() * inner.compiled.stats.key_width * 8 * 2,
+        f1: rows[0].f1,
+    });
+    rows.push(row_of(
+        &AllBytesTree::train(&ctx.train, config.window, config.tree),
+        &ctx.test,
+    ));
+    rows.push(row_of(&FiveTupleFirewall::train(&ctx.train), &ctx.test));
+    ResourceComparison { rows }
+}
+
+impl fmt::Display for ResourceComparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "F3 — data-plane resource usage")?;
+        let mut table = TextTable::new([
+            "method",
+            "deployable",
+            "entries",
+            "key bits",
+            "memory bits",
+            "F1",
+        ]);
+        for r in &self.rows {
+            table.row([
+                r.name.clone(),
+                if r.deployable { "yes" } else { "no" }.to_owned(),
+                r.entries.to_string(),
+                r.key_bits.to_string(),
+                r.memory_bits.to_string(),
+                num3(r.f1),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+/// One strategy's row in F8.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Strategy name.
+    pub strategy: String,
+    /// Rule-set F1.
+    pub f1: f64,
+    /// Rule-set accuracy.
+    pub accuracy: f64,
+    /// Compiled entries.
+    pub entries: usize,
+}
+
+/// Result of F8.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectionAblation {
+    /// Fixed k the ablation ran at.
+    pub k: usize,
+    /// One row per strategy.
+    pub rows: Vec<AblationRow>,
+}
+
+/// Runs F8: every selection strategy at fixed `k`.
+///
+/// # Panics
+///
+/// Panics if the pipeline fails on the standard scenario.
+pub fn run_f8(ctx: &ExperimentContext, base: &GuardConfig) -> SelectionAblation {
+    let rows = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = SelectionStrategy::ALL
+            .into_iter()
+            .map(|strategy| {
+                scope.spawn(move |_| {
+                    let cfg = GuardConfig {
+                        strategy,
+                        ..base.clone()
+                    };
+                    let guard = TwoStagePipeline::new(cfg)
+                        .train(&ctx.train)
+                        .expect("pipeline trains");
+                    let m = guard.evaluate_rules(&ctx.test);
+                    AblationRow {
+                        strategy: strategy.to_string(),
+                        f1: m.f1,
+                        accuracy: m.accuracy,
+                        entries: guard.compiled.stats.entries,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ablation thread completes"))
+            .collect()
+    })
+    .expect("ablation scope completes");
+    SelectionAblation { k: base.k, rows }
+}
+
+impl fmt::Display for SelectionAblation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "F8 — selection-strategy ablation at k = {}", self.k)?;
+        let mut table = TextTable::new(["strategy", "F1", "accuracy", "entries"]);
+        for r in &self.rows {
+            table.row([
+                r.strategy.clone(),
+                num3(r.f1),
+                num3(r.accuracy),
+                r.entries.to_string(),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ExperimentContext {
+        ExperimentContext::standard(72)
+    }
+
+    #[test]
+    fn f1_learned_beats_random_at_small_k() {
+        let ctx = ctx();
+        let sweep = run_f1(&ctx, &GuardConfig::fast(), &[2, 8]);
+        assert_eq!(sweep.points.len(), 2);
+        let small_k = &sweep.points[0];
+        assert!(
+            small_k.f1_learned > small_k.f1_random,
+            "learned {} vs random {} at k=2",
+            small_k.f1_learned,
+            small_k.f1_random
+        );
+        // Accuracy saturates: k=8 learned should be strong.
+        assert!(sweep.points[1].f1_learned > 0.8);
+        assert!(sweep.to_string().contains("F1 —"));
+    }
+
+    #[test]
+    fn f2_entries_grow_with_depth() {
+        let ctx = ctx();
+        let sweep = run_f2(&ctx, &GuardConfig::fast(), &[1, 6]);
+        assert!(sweep.points[1].leaves >= sweep.points[0].leaves);
+        assert!(sweep.points[1].f1 >= sweep.points[0].f1 - 0.05);
+    }
+
+    #[test]
+    fn f3_two_stage_uses_fewest_key_bits() {
+        let ctx = ctx();
+        let cmp = run_f3(&ctx, &GuardConfig::fast());
+        let two_stage = &cmp.rows[0];
+        let range = &cmp.rows[1];
+        assert!(range.entries <= two_stage.entries);
+        let all_bytes = &cmp.rows[2];
+        assert!(two_stage.key_bits < all_bytes.key_bits / 4);
+        assert!(two_stage.memory_bits < all_bytes.memory_bits);
+        assert!(cmp.to_string().contains("memory bits"));
+    }
+
+    #[test]
+    fn f8_covers_all_strategies() {
+        let ctx = ctx();
+        let ablation = run_f8(&ctx, &GuardConfig::fast());
+        assert_eq!(ablation.rows.len(), SelectionStrategy::ALL.len());
+        let saliency = &ablation.rows[0];
+        let random = ablation
+            .rows
+            .iter()
+            .find(|r| r.strategy == "random")
+            .unwrap();
+        assert!(saliency.f1 >= random.f1 - 0.02, "saliency {} random {}", saliency.f1, random.f1);
+    }
+}

@@ -1,0 +1,365 @@
+//! Extension experiments beyond the paper's core evaluation:
+//! F11 — pipeline-design ablation (distillation and class balancing),
+//! F12 — robustness to frame corruption (channel noise / capture loss), and
+//! F14 — online adaptation under attack drift (periodic retraining).
+
+use crate::config::GuardConfig;
+use crate::experiments::ExperimentContext;
+use crate::pipeline::TwoStagePipeline;
+use crate::report::{num3, TextTable};
+use p4guard_traffic::corruption::Corruption;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One configuration's row in F11.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignRow {
+    /// Whether rules were distilled from the stage-2 network (vs fit on
+    /// ground truth).
+    pub distill: bool,
+    /// Whether training classes were balanced.
+    pub balance: bool,
+    /// Rule-set F1 on the test split.
+    pub f1: f64,
+    /// Rule-set FPR on the test split.
+    pub fpr: f64,
+    /// Compiled entries.
+    pub entries: usize,
+}
+
+/// Result of F11.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignAblation {
+    /// The four (distill × balance) rows.
+    pub rows: Vec<DesignRow>,
+}
+
+/// Runs F11: the 2×2 ablation over distillation and balancing.
+///
+/// # Panics
+///
+/// Panics if the pipeline fails on the standard scenario.
+pub fn run_f11(ctx: &ExperimentContext, base: &GuardConfig) -> DesignAblation {
+    let rows = crossbeam::thread::scope(|scope| {
+        let combos = [(true, true), (true, false), (false, true), (false, false)];
+        let handles: Vec<_> = combos
+            .into_iter()
+            .map(|(distill, balance)| {
+                scope.spawn(move |_| {
+                    let cfg = GuardConfig {
+                        distill,
+                        balance,
+                        ..base.clone()
+                    };
+                    let guard = TwoStagePipeline::new(cfg)
+                        .train(&ctx.train)
+                        .expect("pipeline trains");
+                    let m = guard.evaluate_rules(&ctx.test);
+                    DesignRow {
+                        distill,
+                        balance,
+                        f1: m.f1,
+                        fpr: m.false_positive_rate,
+                        entries: guard.compiled.stats.entries,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ablation thread completes"))
+            .collect()
+    })
+    .expect("ablation scope completes");
+    DesignAblation { rows }
+}
+
+impl fmt::Display for DesignAblation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "F11 — pipeline-design ablation (distillation × balancing)")?;
+        let mut table = TextTable::new(["distill", "balance", "F1", "FPR", "entries"]);
+        for r in &self.rows {
+            table.row([
+                if r.distill { "yes" } else { "no" }.to_owned(),
+                if r.balance { "yes" } else { "no" }.to_owned(),
+                num3(r.f1),
+                num3(r.fpr),
+                r.entries.to_string(),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+/// One corruption level's row in F12.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessPoint {
+    /// Fraction of test frames corrupted.
+    pub corrupt_fraction: f64,
+    /// Rule-set F1 on the corrupted test split.
+    pub f1: f64,
+    /// Rule-set recall.
+    pub recall: f64,
+    /// Rule-set FPR.
+    pub fpr: f64,
+}
+
+/// Result of F12.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessReport {
+    /// Points in increasing corruption.
+    pub points: Vec<RobustnessPoint>,
+}
+
+/// Runs F12: the guard is trained on clean traffic and evaluated on test
+/// splits with increasing corruption.
+///
+/// # Panics
+///
+/// Panics if the pipeline fails on the standard scenario.
+pub fn run_f12(ctx: &ExperimentContext, config: &GuardConfig, fractions: &[f64]) -> RobustnessReport {
+    let guard = TwoStagePipeline::new(config.clone())
+        .train(&ctx.train)
+        .expect("pipeline trains");
+    let points = fractions
+        .iter()
+        .map(|&fraction| {
+            let corrupted = Corruption {
+                fraction,
+                bit_flips: 4,
+                truncate_prob: 0.1,
+            }
+            .apply(&ctx.test, ctx.seed ^ 0xf12);
+            let m = guard.evaluate_rules(&corrupted);
+            RobustnessPoint {
+                corrupt_fraction: fraction,
+                f1: m.f1,
+                recall: m.recall,
+                fpr: m.false_positive_rate,
+            }
+        })
+        .collect();
+    RobustnessReport { points }
+}
+
+impl fmt::Display for RobustnessReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "F12 — robustness to frame corruption (trained clean)")?;
+        let mut table = TextTable::new(["corrupt fraction", "F1", "recall", "FPR"]);
+        for p in &self.points {
+            table.row([
+                format!("{:.0}%", p.corrupt_fraction * 100.0),
+                num3(p.f1),
+                num3(p.recall),
+                num3(p.fpr),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f11_all_variants_work() {
+        let ctx = ExperimentContext::standard(76);
+        let ablation = run_f11(&ctx, &GuardConfig::fast());
+        assert_eq!(ablation.rows.len(), 4);
+        for r in &ablation.rows {
+            assert!(r.f1 > 0.6, "distill={} balance={}: F1 {}", r.distill, r.balance, r.f1);
+        }
+        assert!(ablation.to_string().contains("F11"));
+    }
+
+    #[test]
+    fn f12_degrades_gracefully() {
+        let ctx = ExperimentContext::standard(77);
+        let report = run_f12(&ctx, &GuardConfig::fast(), &[0.0, 0.5]);
+        assert_eq!(report.points.len(), 2);
+        let clean = report.points[0];
+        let noisy = report.points[1];
+        assert!(clean.f1 > 0.75, "clean F1 {}", clean.f1);
+        // Half the frames corrupted must not collapse detection: the rules
+        // match only k bytes, so most flips land on unmatched positions.
+        assert!(noisy.f1 > clean.f1 - 0.25, "noisy {} vs clean {}", noisy.f1, clean.f1);
+        assert!(report.to_string().contains("F12"));
+    }
+}
+
+/// One strategy's row in F14.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineRow {
+    /// Strategy label.
+    pub strategy: String,
+    /// Retrains performed during the stream.
+    pub retrains: usize,
+    /// Recall on the *novel* attack family (appears mid-stream).
+    pub recall_novel: f64,
+    /// Recall on the attack family known from the start.
+    pub recall_known: f64,
+    /// False-positive rate over the whole stream.
+    pub fpr: f64,
+}
+
+/// Result of F14.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineReport {
+    /// One row per update strategy.
+    pub rows: Vec<OnlineRow>,
+}
+
+/// Runs F14 — online adaptation under attack drift: a SYN flood is present
+/// from the start, a DNS tunnel first appears at t = 120 s. A *static*
+/// guard trains once on the first 60 s; *adaptive* guards retrain on all
+/// past data every `interval` seconds, exercising the control-plane update
+/// path the paper's reconfigurability claim is about.
+///
+/// # Panics
+///
+/// Panics if the drift scenario fails to generate or train.
+pub fn run_f14(seed: u64, config: &GuardConfig, intervals_s: &[Option<f64>]) -> OnlineReport {
+    use p4guard_packet::trace::AttackFamily;
+    use p4guard_traffic::scenario::{AttackEvent, Scenario};
+
+    let mut scenario = Scenario::benign_only(p4guard_traffic::Fleet::mixed(), 240.0, seed);
+    scenario.benign_intensity = 1.5;
+    scenario.attacks = vec![
+        AttackEvent {
+            family: AttackFamily::SynFlood,
+            start_s: 15.0,
+            end_s: 230.0,
+            intensity: 0.08,
+        },
+        AttackEvent {
+            family: AttackFamily::DnsTunnel,
+            start_s: 120.0,
+            end_s: 230.0,
+            intensity: 0.4,
+        },
+    ];
+    let trace = scenario.generate().expect("drift scenario generates");
+    let warmup_us = 60_000_000u64;
+
+    let rows = intervals_s
+        .iter()
+        .map(|&interval| {
+            let mut guard: Option<crate::pipeline::TrainedGuard> = None;
+            let mut retrains = 0usize;
+            let mut next_retrain_us = warmup_us;
+            let mut novel = (0usize, 0usize); // (caught, total)
+            let mut known = (0usize, 0usize);
+            let mut benign = (0usize, 0usize); // (flagged, total)
+            for (i, record) in trace.iter().enumerate() {
+                if record.timestamp_us >= next_retrain_us
+                    && (guard.is_none() || interval.is_some())
+                {
+                    // Retrain on everything seen so far.
+                    let past: p4guard_packet::trace::Trace =
+                        trace.records()[..i].iter().cloned().collect();
+                    if past.attack_count() > 0 && past.attack_count() < past.len() {
+                        guard = Some(
+                            TwoStagePipeline::new(config.clone())
+                                .train(&past)
+                                .expect("online retrain"),
+                        );
+                        retrains += 1;
+                    }
+                    next_retrain_us = match interval {
+                        Some(s) => record.timestamp_us + (s * 1e6) as u64,
+                        None => u64::MAX,
+                    };
+                }
+                let predicted = guard
+                    .as_ref()
+                    .map_or(0, |g| g.classify_frame(&record.frame));
+                // Only score the stream after the warm-up window.
+                if record.timestamp_us < warmup_us {
+                    continue;
+                }
+                match record.label.family() {
+                    Some(p4guard_packet::trace::AttackFamily::DnsTunnel) => {
+                        novel.1 += 1;
+                        novel.0 += predicted;
+                    }
+                    Some(_) => {
+                        known.1 += 1;
+                        known.0 += predicted;
+                    }
+                    None => {
+                        benign.1 += 1;
+                        benign.0 += predicted;
+                    }
+                }
+            }
+            let ratio = |n: (usize, usize)| {
+                if n.1 == 0 {
+                    0.0
+                } else {
+                    n.0 as f64 / n.1 as f64
+                }
+            };
+            OnlineRow {
+                strategy: match interval {
+                    None => "static (train once)".to_owned(),
+                    Some(s) => format!("retrain every {s:.0} s"),
+                },
+                retrains,
+                recall_novel: ratio(novel),
+                recall_known: ratio(known),
+                fpr: ratio(benign),
+            }
+        })
+        .collect();
+    OnlineReport { rows }
+}
+
+impl fmt::Display for OnlineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "F14 — online adaptation under drift (DNS tunnel first appears at t = 120 s)"
+        )?;
+        let mut table = TextTable::new([
+            "strategy",
+            "retrains",
+            "recall (novel attack)",
+            "recall (known attack)",
+            "FPR",
+        ]);
+        for r in &self.rows {
+            table.row([
+                r.strategy.clone(),
+                r.retrains.to_string(),
+                num3(r.recall_novel),
+                num3(r.recall_known),
+                num3(r.fpr),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+#[cfg(test)]
+mod online_tests {
+    use super::*;
+
+    #[test]
+    fn f14_adaptive_catches_the_novel_attack() {
+        let report = run_f14(78, &GuardConfig::fast(), &[None, Some(30.0)]);
+        assert_eq!(report.rows.len(), 2);
+        let static_row = &report.rows[0];
+        let adaptive = &report.rows[1];
+        assert!(adaptive.retrains > static_row.retrains);
+        assert!(
+            adaptive.recall_novel > static_row.recall_novel + 0.3,
+            "adaptive {} vs static {} on the novel attack",
+            adaptive.recall_novel,
+            static_row.recall_novel
+        );
+        assert!(adaptive.recall_known > 0.8, "known {}", adaptive.recall_known);
+        assert!(adaptive.fpr < 0.2, "fpr {}", adaptive.fpr);
+        assert!(report.to_string().contains("F14"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Experiment drivers: one function per table/figure of the reconstructed
+//! evaluation (see DESIGN.md's experiment index). Each returns a
+//! serializable result struct whose `Display` prints the table/series the
+//! paper reports.
+
+pub mod convergence;
+pub mod dataplane_exp;
+pub mod dataset;
+pub mod detection;
+pub mod efficiency;
+pub mod extensions;
+pub mod universality;
+
+use p4guard_packet::trace::Trace;
+use p4guard_traffic::scenario::Scenario;
+use p4guard_traffic::split_temporal;
+
+/// The shared setup most experiments start from: the mixed-protocol
+/// scenario split temporally 60/40.
+#[derive(Debug, Clone)]
+pub struct ExperimentContext {
+    /// Scenario seed.
+    pub seed: u64,
+    /// Training trace (the temporal prefix).
+    pub train: Trace,
+    /// Test trace (the temporal suffix).
+    pub test: Trace,
+}
+
+impl ExperimentContext {
+    /// Builds the standard context for `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the built-in scenario fails to generate (cannot happen for
+    /// the shipped fleets).
+    pub fn standard(seed: u64) -> Self {
+        let trace = Scenario::mixed_default(seed)
+            .generate()
+            .expect("mixed scenario generates");
+        let (train, test) = split_temporal(&trace, 0.6);
+        ExperimentContext { seed, train, test }
+    }
+}

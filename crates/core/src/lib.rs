@@ -1,0 +1,63 @@
+//! # p4guard
+//!
+//! A full reproduction of *"A Learning Approach with Programmable Data
+//! Plane towards IoT Security"* (Qin, Poularakis, Tassiulas — ICDCS 2020):
+//! a **two-stage deep-learning pipeline** that detects IoT attacks and
+//! compiles the detector into **P4-style match-action rules** over a small
+//! number of learned header bytes.
+//!
+//! * **Stage 1** trains a neural network on the raw first `W` bytes of
+//!   every frame (no protocol knowledge) and ranks byte positions by
+//!   saliency, selecting the top `k`.
+//! * **Stage 2** trains a compact network on those `k` bytes, distills it
+//!   into a decision tree, and compiles the attack-class paths into
+//!   ternary (TCAM) entries deployable on a programmable switch.
+//!
+//! The workspace crates provide every substrate: packet codecs and
+//! labelled traces (`p4guard-packet`), a deterministic IoT traffic
+//! simulator (`p4guard-traffic`), a from-scratch NN library
+//! (`p4guard-nn`), feature extraction/selection (`p4guard-features`),
+//! tree induction and rule compilation (`p4guard-rules`), and a P4-style
+//! behavioural switch model (`p4guard-dataplane`).
+//!
+//! # Examples
+//!
+//! Train, deploy and evaluate the guard on a simulated smart home:
+//!
+//! ```no_run
+//! use p4guard::config::GuardConfig;
+//! use p4guard::pipeline::TwoStagePipeline;
+//! use p4guard_traffic::scenario::Scenario;
+//! use p4guard_traffic::split_temporal;
+//!
+//! let trace = Scenario::smart_home_default(42).generate()?;
+//! let (train, test) = split_temporal(&trace, 0.6);
+//!
+//! let guard = TwoStagePipeline::new(GuardConfig::default()).train(&train)?;
+//! println!("selected fields: {:?}", guard.describe_fields(&train));
+//! println!("rules: {}", guard.compiled.stats.entries);
+//! println!("test metrics: {:?}", guard.evaluate_rules(&test));
+//!
+//! // Deploy to a behavioural-model switch and filter live traffic.
+//! let control = guard.deploy(10_000)?;
+//! control.with_switch_mut(|sw| {
+//!     for record in test.iter() {
+//!         let _ = sw.process(&record.frame);
+//!     }
+//! });
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baselines;
+pub mod config;
+pub mod experiments;
+pub mod multiclass;
+pub mod p4gen;
+pub mod pipeline;
+pub mod report;
+
+pub use config::GuardConfig;
+pub use pipeline::{PipelineError, Timings, TrainedGuard, TwoStagePipeline};

@@ -1,0 +1,434 @@
+//! The two-stage pipeline: train on a labelled trace, select header bytes,
+//! synthesize match-action rules, deploy to a switch.
+
+use crate::config::GuardConfig;
+use p4guard_dataplane::action::Action;
+use p4guard_dataplane::control::ControlPlane;
+use p4guard_dataplane::key::KeyLayout;
+use p4guard_dataplane::parser::ParserSpec;
+use p4guard_dataplane::switch::Switch;
+use p4guard_dataplane::table::{MatchKind, Table, TableError};
+use p4guard_features::extract::ByteDataset;
+use p4guard_features::naming;
+use p4guard_features::select::{select_fields, FieldSelection};
+use p4guard_nn::activation::softmax_rows;
+use p4guard_nn::network::{Mlp, MlpConfig};
+use p4guard_nn::optim::Adam;
+use p4guard_nn::train::{train, History, TrainConfig};
+use p4guard_nn::data::Standardizer;
+use p4guard_nn::{binary_metrics, BinaryMetrics};
+use p4guard_packet::trace::Trace;
+use p4guard_rules::compile::{compile_tree, CompiledRules, TooManyEntries};
+use p4guard_rules::tree::DecisionTree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Errors produced by [`TwoStagePipeline::train`].
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The training trace holds no records.
+    EmptyTrace,
+    /// The training trace holds only one class, so no detector can be
+    /// learned.
+    SingleClass,
+    /// Rule expansion exceeded the configured entry budget.
+    Compile(TooManyEntries),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::EmptyTrace => write!(f, "training trace is empty"),
+            PipelineError::SingleClass => {
+                write!(f, "training trace holds a single class; need benign and attack")
+            }
+            PipelineError::Compile(e) => write!(f, "rule compilation failed: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Compile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TooManyEntries> for PipelineError {
+    fn from(e: TooManyEntries) -> Self {
+        PipelineError::Compile(e)
+    }
+}
+
+/// Wall-clock cost of each pipeline phase (experiment T3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timings {
+    /// Stage-1 network training.
+    pub stage1_train: Duration,
+    /// Field-selection (saliency + ranking).
+    pub selection: Duration,
+    /// Stage-2 network training.
+    pub stage2_train: Duration,
+    /// Decision-tree fitting (distillation).
+    pub tree_fit: Duration,
+    /// Rule compilation (range expansion + optimization).
+    pub compile: Duration,
+}
+
+impl Timings {
+    /// Total pipeline time.
+    pub fn total(&self) -> Duration {
+        self.stage1_train + self.selection + self.stage2_train + self.tree_fit + self.compile
+    }
+}
+
+/// The two-stage training procedure.
+#[derive(Debug, Clone, Default)]
+pub struct TwoStagePipeline {
+    /// Pipeline configuration.
+    pub config: GuardConfig,
+}
+
+impl TwoStagePipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: GuardConfig) -> Self {
+        TwoStagePipeline { config }
+    }
+
+    /// Trains on a labelled trace, producing a deployable guard.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty or single-class traces, or when rule
+    /// expansion exceeds the entry budget.
+    pub fn train(&self, trace: &Trace) -> Result<TrainedGuard, PipelineError> {
+        let cfg = &self.config;
+        if trace.is_empty() {
+            return Err(PipelineError::EmptyTrace);
+        }
+        let attacks = trace.attack_count();
+        if attacks == 0 || attacks == trace.len() {
+            return Err(PipelineError::SingleClass);
+        }
+        let bytes = ByteDataset::from_trace(trace, cfg.window);
+        let raw_view = bytes.to_nn_dataset();
+        // Standardize per byte position so saliency ranks features by
+        // information, not raw amplitude.
+        let standardizer1 = Standardizer::fit(raw_view.features());
+        let full_view = standardizer1.transform_dataset(&raw_view);
+        let mut nn_view = full_view.clone();
+        if cfg.balance {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xba1a);
+            nn_view = nn_view.balance_binary(&mut rng);
+        }
+
+        // Stage 1: train the full-window network.
+        let t0 = Instant::now();
+        let mut stage1 = Mlp::new(MlpConfig {
+            input_dim: cfg.window,
+            hidden: cfg.stage1.hidden.clone(),
+            num_classes: 2,
+            activation: cfg.stage1.activation,
+            dropout: cfg.stage1.dropout,
+            seed: cfg.seed,
+        });
+        let mut opt1 = Adam::new(cfg.stage1.learning_rate);
+        let stage1_history = train(
+            &mut stage1,
+            &nn_view,
+            &mut opt1,
+            &TrainConfig {
+                epochs: cfg.stage1.epochs,
+                batch_size: cfg.stage1.batch_size,
+                seed: cfg.seed ^ 1,
+                early_stop_loss: None,
+            },
+        );
+        let stage1_train = t0.elapsed();
+
+        // Stage 1b: rank byte positions and select the top k.
+        let t0 = Instant::now();
+        let selection = select_fields(
+            cfg.strategy,
+            &bytes,
+            Some(&full_view),
+            Some(&mut stage1),
+            cfg.k,
+            cfg.seed ^ 2,
+        );
+        let selection_time = t0.elapsed();
+
+        // Stage 2: train the compact network on the selected bytes.
+        let t0 = Instant::now();
+        let selected_bytes = bytes.project(&selection.offsets);
+        let selected_raw = selected_bytes.to_nn_dataset();
+        let standardizer2 = Standardizer::fit(selected_raw.features());
+        let mut selected_view = standardizer2.transform_dataset(&selected_raw);
+        if cfg.balance {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xba1b);
+            selected_view = selected_view.balance_binary(&mut rng);
+        }
+        let mut stage2 = Mlp::new(MlpConfig {
+            input_dim: cfg.k,
+            hidden: cfg.stage2.hidden.clone(),
+            num_classes: 2,
+            activation: cfg.stage2.activation,
+            dropout: cfg.stage2.dropout,
+            seed: cfg.seed ^ 3,
+        });
+        let mut opt2 = Adam::new(cfg.stage2.learning_rate);
+        let stage2_history = train(
+            &mut stage2,
+            &selected_view,
+            &mut opt2,
+            &TrainConfig {
+                epochs: cfg.stage2.epochs,
+                batch_size: cfg.stage2.batch_size,
+                seed: cfg.seed ^ 4,
+                early_stop_loss: None,
+            },
+        );
+        let stage2_train = t0.elapsed();
+
+        // Distill into a decision tree over the selected byte values.
+        let t0 = Instant::now();
+        let tree_labels: Vec<usize> = if cfg.distill {
+            let view = standardizer2.transform_dataset(&selected_raw);
+            stage2.predict(view.features())
+        } else {
+            selected_bytes.labels().to_vec()
+        };
+        let flat: Vec<u8> = (0..selected_bytes.len())
+            .flat_map(|i| selected_bytes.sample(i).to_vec())
+            .collect();
+        let tree = DecisionTree::fit(cfg.k, &flat, &tree_labels, cfg.tree);
+        let tree_fit = t0.elapsed();
+
+        // Compile to ternary rules.
+        let t0 = Instant::now();
+        let compiled = compile_tree(&tree, &cfg.compile)?;
+        let compile = t0.elapsed();
+
+        Ok(TrainedGuard {
+            config: cfg.clone(),
+            selection,
+            stage1,
+            stage2,
+            standardizer1,
+            standardizer2,
+            stage1_history,
+            stage2_history,
+            tree,
+            compiled,
+            timings: Timings {
+                stage1_train,
+                selection: selection_time,
+                stage2_train,
+                tree_fit,
+                compile,
+            },
+        })
+    }
+}
+
+/// A trained, deployable guard: models, selection, tree and compiled rules.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainedGuard {
+    /// The configuration it was trained with.
+    pub config: GuardConfig,
+    /// The selected byte positions.
+    pub selection: FieldSelection,
+    /// Stage-1 network (full window).
+    pub stage1: Mlp,
+    /// Stage-2 network (selected bytes).
+    pub stage2: Mlp,
+    /// Per-byte standardization fitted on the full training window
+    /// (stage-1 input space).
+    pub standardizer1: Standardizer,
+    /// Per-byte standardization fitted on the selected training bytes
+    /// (stage-2 input space).
+    pub standardizer2: Standardizer,
+    /// Stage-1 training history.
+    pub stage1_history: History,
+    /// Stage-2 training history.
+    pub stage2_history: History,
+    /// The distilled decision tree.
+    pub tree: DecisionTree,
+    /// The compiled rule set.
+    pub compiled: CompiledRules,
+    /// Per-phase training cost.
+    pub timings: Timings,
+}
+
+impl TrainedGuard {
+    /// Classifies one frame with the compiled rules (1 = attack/drop).
+    pub fn classify_frame(&self, frame: &[u8]) -> usize {
+        let key: Vec<u8> = self
+            .selection
+            .offsets
+            .iter()
+            .map(|&o| frame.get(o).copied().unwrap_or(0))
+            .collect();
+        self.compiled.ternary.classify(&key)
+    }
+
+    /// Evaluates the compiled rules against a labelled trace — the number
+    /// the data plane actually achieves.
+    pub fn evaluate_rules(&self, trace: &Trace) -> BinaryMetrics {
+        let predicted: Vec<usize> = trace
+            .iter()
+            .map(|r| self.classify_frame(&r.frame))
+            .collect();
+        let actual: Vec<usize> = trace.iter().map(|r| r.label.class()).collect();
+        binary_metrics(&predicted, &actual)
+    }
+
+    /// Evaluates the stage-2 network (pre-distillation accuracy).
+    pub fn evaluate_stage2(&self, trace: &Trace) -> BinaryMetrics {
+        let bytes = ByteDataset::from_trace(trace, self.config.window);
+        let selected = bytes.project(&self.selection.offsets);
+        let view = self.standardizer2.transform_dataset(&selected.to_nn_dataset());
+        let predicted = self.stage2.predict(view.features());
+        binary_metrics(&predicted, view.labels())
+    }
+
+    /// Attack-probability scores from the stage-2 network (for ROC).
+    pub fn scores(&self, trace: &Trace) -> Vec<f32> {
+        let bytes = ByteDataset::from_trace(trace, self.config.window);
+        let selected = bytes.project(&self.selection.offsets);
+        let view = self.standardizer2.transform_dataset(&selected.to_nn_dataset());
+        let probs = softmax_rows(&self.stage2.logits(view.features()));
+        (0..probs.rows()).map(|r| probs.get(r, 1)).collect()
+    }
+
+    /// Human names of the selected fields, inferred over `trace`.
+    pub fn describe_fields(&self, trace: &Trace) -> Vec<String> {
+        naming::describe_selection(&self.selection, trace, 2000)
+    }
+
+    /// Serializes the guard (models, selection, rules) to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("guard serializes")
+    }
+
+    /// Restores a guard from [`TrainedGuard::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the JSON does not describe a guard.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Builds a gateway switch with the guard's rules installed in a
+    /// ternary ACL stage, returning the control plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns a table error when `capacity` cannot hold the rule set.
+    pub fn deploy(&self, capacity: usize) -> Result<ControlPlane, TableError> {
+        let parser = ParserSpec::raw_window(self.config.window, 14);
+        let mut switch = Switch::new("p4guard-gateway", parser, 1);
+        let acl = Table::new(
+            "guard_acl",
+            MatchKind::Ternary,
+            KeyLayout::new(self.selection.offsets.clone()),
+            capacity,
+            Action::NoOp,
+        );
+        let stage = switch.add_stage(acl);
+        let control = ControlPlane::new(switch);
+        control.install_ruleset(stage, &self.compiled.ternary, Action::Drop)?;
+        Ok(control)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4guard_traffic::scenario::Scenario;
+    use p4guard_traffic::split_temporal;
+
+    fn trained() -> (TrainedGuard, Trace, Trace) {
+        let trace = Scenario::smart_home_default(21).generate().unwrap();
+        let (train_trace, test_trace) = split_temporal(&trace, 0.6);
+        let guard = TwoStagePipeline::new(GuardConfig::fast())
+            .train(&train_trace)
+            .unwrap();
+        (guard, train_trace, test_trace)
+    }
+
+    #[test]
+    fn end_to_end_detection_beats_chance_by_far() {
+        let (guard, _, test) = trained();
+        let m = guard.evaluate_rules(&test);
+        assert!(m.f1 > 0.8, "rule F1 = {:?}", m);
+        assert!(m.accuracy > 0.75, "rule accuracy = {:?}", m);
+        let nn = guard.evaluate_stage2(&test);
+        assert!(nn.f1 > 0.8, "stage-2 F1 = {:?}", nn);
+    }
+
+    #[test]
+    fn selection_has_k_fields_and_timings_are_populated() {
+        let (guard, train, _) = trained();
+        assert_eq!(guard.selection.k(), guard.config.k);
+        assert!(guard.timings.stage1_train > Duration::ZERO);
+        assert!(guard.timings.total() >= guard.timings.compile);
+        let names = guard.describe_fields(&train);
+        assert_eq!(names.len(), guard.config.k);
+    }
+
+    #[test]
+    fn deployed_switch_enforces_the_rules() {
+        let (guard, _, test) = trained();
+        let control = guard.deploy(100_000).unwrap();
+        let mut agree = 0usize;
+        let total = test.len();
+        control.with_switch_mut(|sw| {
+            for r in test.iter() {
+                let verdict_drop = sw.process(&r.frame).is_drop();
+                let rule_drop = guard.classify_frame(&r.frame) == 1;
+                if verdict_drop == rule_drop {
+                    agree += 1;
+                }
+            }
+        });
+        assert_eq!(agree, total, "switch and ruleset must agree exactly");
+    }
+
+    #[test]
+    fn errors_on_degenerate_traces() {
+        let p = TwoStagePipeline::new(GuardConfig::fast());
+        assert!(matches!(
+            p.train(&Trace::new()),
+            Err(PipelineError::EmptyTrace)
+        ));
+        let benign = Scenario::benign_only(p4guard_traffic::Fleet::smart_home(), 20.0, 1)
+            .generate()
+            .unwrap();
+        assert!(matches!(
+            p.train(&benign),
+            Err(PipelineError::SingleClass)
+        ));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let trace = Scenario::smart_home_default(5).generate().unwrap();
+        let (train_trace, _) = split_temporal(&trace, 0.6);
+        let a = TwoStagePipeline::new(GuardConfig::fast())
+            .train(&train_trace)
+            .unwrap();
+        let b = TwoStagePipeline::new(GuardConfig::fast())
+            .train(&train_trace)
+            .unwrap();
+        assert_eq!(a.selection.offsets, b.selection.offsets);
+        assert_eq!(a.compiled.ternary, b.compiled.ternary);
+    }
+}

@@ -1,0 +1,78 @@
+//! Match-action actions and per-packet verdicts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The action bound to a table entry (or a table's default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// Send the packet out of `port`.
+    Forward(u16),
+    /// Drop the packet.
+    Drop,
+    /// Copy the packet to `port` (e.g. a monitoring tap) and continue.
+    Mirror(u16),
+    /// Bump `counter` and continue.
+    Count(u32),
+    /// Do nothing; continue through the pipeline.
+    NoOp,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Forward(p) => write!(f, "forward({p})"),
+            Action::Drop => write!(f, "drop"),
+            Action::Mirror(p) => write!(f, "mirror({p})"),
+            Action::Count(c) => write!(f, "count({c})"),
+            Action::NoOp => write!(f, "no-op"),
+        }
+    }
+}
+
+/// The final fate of a processed packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Forwarded out of the given port.
+    Forward(u16),
+    /// Dropped by the pipeline.
+    Drop,
+    /// Rejected by the parser (malformed for the installed program).
+    ParserReject,
+}
+
+impl Verdict {
+    /// Returns `true` for dropped or parser-rejected packets.
+    pub fn is_drop(&self) -> bool {
+        !matches!(self, Verdict::Forward(_))
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Forward(p) => write!(f, "forward({p})"),
+            Verdict::Drop => write!(f, "drop"),
+            Verdict::ParserReject => write!(f, "parser-reject"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Action::Forward(3).to_string(), "forward(3)");
+        assert_eq!(Action::Drop.to_string(), "drop");
+        assert_eq!(Verdict::ParserReject.to_string(), "parser-reject");
+    }
+
+    #[test]
+    fn verdict_is_drop() {
+        assert!(Verdict::Drop.is_drop());
+        assert!(Verdict::ParserReject.is_drop());
+        assert!(!Verdict::Forward(1).is_drop());
+    }
+}

@@ -1,0 +1,277 @@
+//! The control plane: installs compiled rule sets into switch tables,
+//! supports incremental updates, and measures per-operation latency
+//! (experiment F10 — the "dynamically reconfigurable" claim).
+
+use crate::action::Action;
+use crate::switch::Switch;
+use crate::table::{EntryHandle, MatchSpec, TableError};
+use parking_lot::RwLock;
+use p4guard_rules::ruleset::RuleSet;
+use p4guard_rules::tree::TreePath;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Outcome of a batch install.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstallReport {
+    /// Entries installed.
+    pub installed: usize,
+    /// Total wall-clock time of the batch.
+    pub elapsed: Duration,
+    /// Per-entry install latencies.
+    pub per_entry: Vec<Duration>,
+    /// Handles of the installed entries, in order.
+    pub handles: Vec<EntryHandle>,
+}
+
+impl InstallReport {
+    /// Mean per-entry latency.
+    pub fn mean_latency(&self) -> Duration {
+        if self.per_entry.is_empty() {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.per_entry.len() as u32
+        }
+    }
+}
+
+/// A control plane bound to one switch. Clones share the switch.
+#[derive(Debug, Clone)]
+pub struct ControlPlane {
+    switch: Arc<RwLock<Switch>>,
+}
+
+impl ControlPlane {
+    /// Wraps a switch for control-plane management.
+    pub fn new(switch: Switch) -> Self {
+        ControlPlane {
+            switch: Arc::new(RwLock::new(switch)),
+        }
+    }
+
+    /// Runs `f` with shared access to the switch.
+    pub fn with_switch<R>(&self, f: impl FnOnce(&Switch) -> R) -> R {
+        f(&self.switch.read())
+    }
+
+    /// Runs `f` with exclusive access to the switch (e.g. to process
+    /// traffic).
+    pub fn with_switch_mut<R>(&self, f: impl FnOnce(&mut Switch) -> R) -> R {
+        f(&mut self.switch.write())
+    }
+
+    /// Installs every entry of a compiled ternary [`RuleSet`] into stage
+    /// `stage`, mapping the rule-set's compile class to `on_match`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first table error (capacity, width, kind); entries
+    /// installed before the failure remain installed.
+    pub fn install_ruleset(
+        &self,
+        stage: usize,
+        ruleset: &RuleSet,
+        on_match: Action,
+    ) -> Result<InstallReport, TableError> {
+        let mut sw = self.switch.write();
+        let table = sw.stage_mut(stage);
+        let start = Instant::now();
+        let mut per_entry = Vec::with_capacity(ruleset.len());
+        let mut handles = Vec::with_capacity(ruleset.len());
+        for entry in ruleset.entries() {
+            let t0 = Instant::now();
+            let handle = table.insert(
+                MatchSpec::Ternary {
+                    value: entry.value.clone(),
+                    mask: entry.mask.clone(),
+                },
+                on_match,
+                entry.priority,
+            )?;
+            per_entry.push(t0.elapsed());
+            handles.push(handle);
+        }
+        Ok(InstallReport {
+            installed: handles.len(),
+            elapsed: start.elapsed(),
+            per_entry,
+            handles,
+        })
+    }
+
+    /// Installs tree paths as native range entries into stage `stage`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first table error encountered.
+    pub fn install_ranges(
+        &self,
+        stage: usize,
+        paths: &[TreePath],
+        on_match: Action,
+    ) -> Result<InstallReport, TableError> {
+        let mut sw = self.switch.write();
+        let table = sw.stage_mut(stage);
+        let start = Instant::now();
+        let mut per_entry = Vec::with_capacity(paths.len());
+        let mut handles = Vec::with_capacity(paths.len());
+        for path in paths {
+            let t0 = Instant::now();
+            let (lo, hi): (Vec<u8>, Vec<u8>) = path.ranges.iter().copied().unzip();
+            let handle = table.insert(MatchSpec::Range { lo, hi }, on_match, 1)?;
+            per_entry.push(t0.elapsed());
+            handles.push(handle);
+        }
+        Ok(InstallReport {
+            installed: handles.len(),
+            elapsed: start.elapsed(),
+            per_entry,
+            handles,
+        })
+    }
+
+    /// Removes entries by handle, returning per-op latencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unknown-handle error.
+    pub fn remove_entries(
+        &self,
+        stage: usize,
+        handles: &[EntryHandle],
+    ) -> Result<Vec<Duration>, TableError> {
+        let mut sw = self.switch.write();
+        let table = sw.stage_mut(stage);
+        let mut latencies = Vec::with_capacity(handles.len());
+        for &h in handles {
+            let t0 = Instant::now();
+            table.remove(h)?;
+            latencies.push(t0.elapsed());
+        }
+        Ok(latencies)
+    }
+
+    /// Rebinds the action of entries (e.g. drop → mirror for staged
+    /// rollout).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unknown-handle error.
+    pub fn modify_entries(
+        &self,
+        stage: usize,
+        handles: &[EntryHandle],
+        action: Action,
+    ) -> Result<(), TableError> {
+        let mut sw = self.switch.write();
+        let table = sw.stage_mut(stage);
+        for &h in handles {
+            table.modify(h, action)?;
+        }
+        Ok(())
+    }
+
+    /// Clears a stage.
+    pub fn clear_stage(&self, stage: usize) {
+        self.switch.write().stage_mut(stage).clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyLayout;
+    use crate::parser::ParserSpec;
+    use crate::table::{MatchKind, Table};
+    use p4guard_rules::ternary::TernaryEntry;
+
+    fn control_with_table(kind: MatchKind, width: usize, capacity: usize) -> ControlPlane {
+        let mut sw = Switch::new("gw", ParserSpec::raw_window(width, 1), 0);
+        sw.add_stage(Table::new(
+            "acl",
+            kind,
+            KeyLayout::window(width),
+            capacity,
+            Action::NoOp,
+        ));
+        ControlPlane::new(sw)
+    }
+
+    fn ruleset() -> RuleSet {
+        let mut rs = RuleSet::new(2, 0);
+        rs.push(TernaryEntry::new(vec![0x17, 0x00], vec![0xff, 0x00], 1, 1));
+        rs.push(TernaryEntry::new(vec![0x00, 0x50], vec![0x00, 0xff], 1, 1));
+        rs
+    }
+
+    #[test]
+    fn install_and_enforce() {
+        let cp = control_with_table(MatchKind::Ternary, 2, 16);
+        let report = cp.install_ruleset(0, &ruleset(), Action::Drop).unwrap();
+        assert_eq!(report.installed, 2);
+        assert_eq!(report.per_entry.len(), 2);
+        assert!(report.mean_latency() <= report.elapsed);
+        cp.with_switch_mut(|sw| {
+            assert!(sw.process(&[0x17, 0x99]).is_drop());
+            assert!(sw.process(&[0x99, 0x50]).is_drop());
+            assert!(!sw.process(&[0x99, 0x99]).is_drop());
+        });
+    }
+
+    #[test]
+    fn install_ranges_works() {
+        let cp = control_with_table(MatchKind::Range, 2, 16);
+        let paths = vec![TreePath {
+            ranges: vec![(10, 20), (0, 255)],
+            class: 1,
+            samples: 5,
+        }];
+        let report = cp.install_ranges(0, &paths, Action::Drop).unwrap();
+        assert_eq!(report.installed, 1);
+        cp.with_switch_mut(|sw| {
+            assert!(sw.process(&[15, 3]).is_drop());
+            assert!(!sw.process(&[25, 3]).is_drop());
+        });
+    }
+
+    #[test]
+    fn remove_and_modify() {
+        let cp = control_with_table(MatchKind::Ternary, 2, 16);
+        let report = cp.install_ruleset(0, &ruleset(), Action::Drop).unwrap();
+        cp.modify_entries(0, &report.handles[..1], Action::Mirror(9))
+            .unwrap();
+        cp.with_switch_mut(|sw| {
+            assert!(!sw.process(&[0x17, 0x99]).is_drop()); // now mirrored
+            assert_eq!(sw.counters().mirrored, 1);
+        });
+        let latencies = cp.remove_entries(0, &report.handles).unwrap();
+        assert_eq!(latencies.len(), 2);
+        cp.with_switch(|sw| assert!(sw.stage(0).is_empty()));
+    }
+
+    #[test]
+    fn capacity_error_propagates() {
+        let cp = control_with_table(MatchKind::Ternary, 2, 1);
+        let err = cp.install_ruleset(0, &ruleset(), Action::Drop).unwrap_err();
+        assert!(matches!(err, TableError::Full { capacity: 1 }));
+        // The first entry made it in before the failure.
+        cp.with_switch(|sw| assert_eq!(sw.stage(0).len(), 1));
+    }
+
+    #[test]
+    fn clear_stage_empties_table() {
+        let cp = control_with_table(MatchKind::Ternary, 2, 16);
+        cp.install_ruleset(0, &ruleset(), Action::Drop).unwrap();
+        cp.clear_stage(0);
+        cp.with_switch(|sw| assert!(sw.stage(0).is_empty()));
+    }
+
+    #[test]
+    fn control_plane_clones_share_the_switch() {
+        let cp = control_with_table(MatchKind::Ternary, 2, 16);
+        let cp2 = cp.clone();
+        cp.install_ruleset(0, &ruleset(), Action::Drop).unwrap();
+        cp2.with_switch(|sw| assert_eq!(sw.stage(0).len(), 2));
+    }
+}

@@ -1,0 +1,58 @@
+//! # p4guard-dataplane
+//!
+//! A P4-style behavioural model standing in for the paper's programmable
+//! switch: a programmable [`parser::ParserSpec`] (parse-graph VM),
+//! match-action [`table::Table`]s with exact/ternary/LPM/range kinds and
+//! capacity limits, a TCAM/SRAM [`resources`] cost model, a software
+//! [`switch::Switch`] with counters and a throughput harness, and a
+//! [`control::ControlPlane`] that installs compiled rule sets and measures
+//! update latency.
+//!
+//! The claims the model preserves from real hardware are the ones the
+//! paper's evaluation rests on: *expressiveness* (match keys are arbitrary
+//! frame bytes, so non-IP protocols are first-class) and *resource cost*
+//! (entries × key bits, doubled for ternary memories). Absolute Tbps
+//! numbers are CPU-bound here and reported as relative throughput.
+//!
+//! # Examples
+//!
+//! A one-table firewall that drops frames whose first byte is `0xBB`:
+//!
+//! ```
+//! use p4guard_dataplane::action::{Action, Verdict};
+//! use p4guard_dataplane::key::KeyLayout;
+//! use p4guard_dataplane::parser::ParserSpec;
+//! use p4guard_dataplane::switch::Switch;
+//! use p4guard_dataplane::table::{MatchKind, MatchSpec, Table};
+//!
+//! let mut sw = Switch::new("gw", ParserSpec::raw_window(8, 1), 1);
+//! let mut acl = Table::new("acl", MatchKind::Ternary, KeyLayout::window(1), 16, Action::NoOp);
+//! acl.insert(
+//!     MatchSpec::Ternary { value: vec![0xbb], mask: vec![0xff] },
+//!     Action::Drop,
+//!     1,
+//! )?;
+//! sw.add_stage(acl);
+//! assert_eq!(sw.process(&[0xbb, 0x01]), Verdict::Drop);
+//! assert_eq!(sw.process(&[0x01, 0x01]), Verdict::Forward(1));
+//! # Ok::<(), p4guard_dataplane::table::TableError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod action;
+pub mod control;
+pub mod key;
+pub mod parser;
+pub mod resources;
+pub mod switch;
+pub mod table;
+
+pub use action::{Action, Verdict};
+pub use control::{ControlPlane, InstallReport};
+pub use key::KeyLayout;
+pub use parser::ParserSpec;
+pub use resources::{SwitchResources, TableUsage};
+pub use switch::{RunStats, Switch, SwitchCounters};
+pub use table::{EntryHandle, MatchKind, MatchSpec, Table, TableError};

@@ -1,0 +1,331 @@
+//! The software switch: parser + match-action pipeline + counters, with a
+//! throughput harness (experiment F4).
+
+use crate::action::{Action, Verdict};
+use crate::parser::ParserSpec;
+use crate::resources::SwitchResources;
+use crate::table::Table;
+use p4guard_packet::trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-switch packet counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchCounters {
+    /// Frames handed to the switch.
+    pub received: u64,
+    /// Frames forwarded.
+    pub forwarded: u64,
+    /// Frames dropped by table action.
+    pub dropped: u64,
+    /// Frames rejected by the parser.
+    pub parser_rejected: u64,
+    /// Frames mirrored.
+    pub mirrored: u64,
+    /// User counters (indexed by `Action::Count` ids).
+    pub user: Vec<u64>,
+}
+
+/// Result of replaying a batch of frames through the switch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Frames processed.
+    pub packets: usize,
+    /// Frames dropped (including parser rejects).
+    pub dropped: usize,
+    /// Wall-clock processing time.
+    pub elapsed: Duration,
+    /// Throughput in packets per second.
+    pub pps: f64,
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} packets in {:?} ({:.0} pps), {} dropped",
+            self.packets, self.elapsed, self.pps, self.dropped
+        )
+    }
+}
+
+/// A behavioural-model switch: one parser, a pipeline of match-action
+/// stages, and a default egress port.
+#[derive(Debug, Clone)]
+pub struct Switch {
+    name: String,
+    parser: ParserSpec,
+    stages: Vec<Table>,
+    default_port: u16,
+    counters: SwitchCounters,
+    key_buffers: Vec<Vec<u8>>,
+}
+
+impl Switch {
+    /// Creates a switch with no stages.
+    pub fn new(name: impl Into<String>, parser: ParserSpec, default_port: u16) -> Self {
+        Switch {
+            name: name.into(),
+            parser,
+            stages: Vec::new(),
+            default_port,
+            counters: SwitchCounters::default(),
+            key_buffers: Vec::new(),
+        }
+    }
+
+    /// Switch name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a pipeline stage, returning its index.
+    pub fn add_stage(&mut self, table: Table) -> usize {
+        self.key_buffers.push(vec![0u8; table.key().width()]);
+        self.stages.push(table);
+        self.stages.len() - 1
+    }
+
+    /// Number of stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Borrows a stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn stage(&self, idx: usize) -> &Table {
+        &self.stages[idx]
+    }
+
+    /// Mutably borrows a stage (the control-plane entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn stage_mut(&mut self, idx: usize) -> &mut Table {
+        &mut self.stages[idx]
+    }
+
+    /// Borrows the counters.
+    pub fn counters(&self) -> &SwitchCounters {
+        &self.counters
+    }
+
+    /// Resets all counters.
+    pub fn reset_counters(&mut self) {
+        self.counters = SwitchCounters::default();
+    }
+
+    /// Resource usage of the pipeline.
+    pub fn resources(&self) -> SwitchResources {
+        SwitchResources::of(&self.stages)
+    }
+
+    /// Processes one frame to a verdict, updating counters.
+    pub fn process(&mut self, frame: &[u8]) -> Verdict {
+        self.counters.received += 1;
+        let outcome = self.parser.parse(frame);
+        if !outcome.accepted {
+            self.counters.parser_rejected += 1;
+            return Verdict::ParserReject;
+        }
+        let mut out_port = self.default_port;
+        for (table, buf) in self.stages.iter_mut().zip(&mut self.key_buffers) {
+            table.key().build_key_into(frame, buf);
+            match table.lookup(buf) {
+                Action::Drop => {
+                    self.counters.dropped += 1;
+                    return Verdict::Drop;
+                }
+                Action::Forward(p) => out_port = p,
+                Action::Mirror(_) => self.counters.mirrored += 1,
+                Action::Count(c) => {
+                    let idx = c as usize;
+                    if self.counters.user.len() <= idx {
+                        self.counters.user.resize(idx + 1, 0);
+                    }
+                    self.counters.user[idx] += 1;
+                }
+                Action::NoOp => {}
+            }
+        }
+        self.counters.forwarded += 1;
+        Verdict::Forward(out_port)
+    }
+
+    /// Replays every frame of `trace`, returning throughput stats.
+    pub fn run_trace(&mut self, trace: &Trace) -> RunStats {
+        let start = Instant::now();
+        let mut dropped = 0usize;
+        for record in trace.iter() {
+            if self.process(&record.frame).is_drop() {
+                dropped += 1;
+            }
+        }
+        let elapsed = start.elapsed();
+        let packets = trace.len();
+        RunStats {
+            packets,
+            dropped,
+            elapsed,
+            pps: packets as f64 / elapsed.as_secs_f64().max(1e-12),
+        }
+    }
+
+    /// Replays raw frames (no labels), returning throughput stats.
+    pub fn run_frames<'a>(&mut self, frames: impl IntoIterator<Item = &'a [u8]>) -> RunStats {
+        let start = Instant::now();
+        let mut packets = 0usize;
+        let mut dropped = 0usize;
+        for frame in frames {
+            packets += 1;
+            if self.process(frame).is_drop() {
+                dropped += 1;
+            }
+        }
+        let elapsed = start.elapsed();
+        RunStats {
+            packets,
+            dropped,
+            elapsed,
+            pps: packets as f64 / elapsed.as_secs_f64().max(1e-12),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyLayout;
+    use crate::table::{MatchKind, MatchSpec};
+
+    fn firewall_switch() -> Switch {
+        let mut sw = Switch::new("gw", ParserSpec::raw_window(8, 1), 1);
+        let mut acl = Table::new(
+            "acl",
+            MatchKind::Ternary,
+            KeyLayout::window(2),
+            64,
+            Action::NoOp,
+        );
+        acl.insert(
+            MatchSpec::Ternary {
+                value: vec![0xbb, 0x00],
+                mask: vec![0xff, 0x00],
+            },
+            Action::Drop,
+            1,
+        )
+        .unwrap();
+        sw.add_stage(acl);
+        sw
+    }
+
+    #[test]
+    fn pipeline_drops_and_forwards() {
+        let mut sw = firewall_switch();
+        assert_eq!(sw.process(&[0xbb, 1, 2, 3]), Verdict::Drop);
+        assert_eq!(sw.process(&[0xaa, 1, 2, 3]), Verdict::Forward(1));
+        let c = sw.counters();
+        assert_eq!(c.received, 2);
+        assert_eq!(c.dropped, 1);
+        assert_eq!(c.forwarded, 1);
+    }
+
+    #[test]
+    fn parser_rejects_short_frames() {
+        let mut sw = Switch::new("s", ParserSpec::raw_window(8, 4), 0);
+        assert_eq!(sw.process(&[1, 2]), Verdict::ParserReject);
+        assert_eq!(sw.counters().parser_rejected, 1);
+    }
+
+    #[test]
+    fn forward_action_overrides_port() {
+        let mut sw = Switch::new("s", ParserSpec::raw_window(4, 1), 9);
+        let mut t = Table::new(
+            "route",
+            MatchKind::Exact,
+            KeyLayout::window(1),
+            8,
+            Action::NoOp,
+        );
+        t.insert(MatchSpec::Exact(vec![5]), Action::Forward(2), 0)
+            .unwrap();
+        sw.add_stage(t);
+        assert_eq!(sw.process(&[5, 0, 0, 0]), Verdict::Forward(2));
+        assert_eq!(sw.process(&[6, 0, 0, 0]), Verdict::Forward(9));
+    }
+
+    #[test]
+    fn count_and_mirror_actions() {
+        let mut sw = Switch::new("s", ParserSpec::raw_window(4, 1), 0);
+        let mut t = Table::new(
+            "mon",
+            MatchKind::Exact,
+            KeyLayout::window(1),
+            8,
+            Action::NoOp,
+        );
+        t.insert(MatchSpec::Exact(vec![1]), Action::Count(3), 0).unwrap();
+        t.insert(MatchSpec::Exact(vec![2]), Action::Mirror(7), 0).unwrap();
+        sw.add_stage(t);
+        sw.process(&[1]);
+        sw.process(&[1]);
+        sw.process(&[2]);
+        assert_eq!(sw.counters().user[3], 2);
+        assert_eq!(sw.counters().mirrored, 1);
+        assert_eq!(sw.counters().forwarded, 3);
+    }
+
+    #[test]
+    fn multi_stage_pipeline_runs_in_order() {
+        let mut sw = Switch::new("s", ParserSpec::raw_window(4, 1), 0);
+        let mut allow = Table::new(
+            "allow",
+            MatchKind::Exact,
+            KeyLayout::window(1),
+            8,
+            Action::NoOp,
+        );
+        allow
+            .insert(MatchSpec::Exact(vec![9]), Action::Forward(5), 0)
+            .unwrap();
+        let mut deny = Table::new(
+            "deny",
+            MatchKind::Exact,
+            KeyLayout::window(1),
+            8,
+            Action::NoOp,
+        );
+        deny.insert(MatchSpec::Exact(vec![9]), Action::Drop, 0).unwrap();
+        sw.add_stage(allow);
+        sw.add_stage(deny);
+        // The deny stage runs after allow and wins with Drop.
+        assert_eq!(sw.process(&[9]), Verdict::Drop);
+    }
+
+    #[test]
+    fn run_frames_reports_stats() {
+        let mut sw = firewall_switch();
+        let frames: Vec<Vec<u8>> = (0..100u8)
+            .map(|i| vec![if i % 4 == 0 { 0xbb } else { 0x11 }, i, 0, 0])
+            .collect();
+        let stats = sw.run_frames(frames.iter().map(|f| f.as_slice()));
+        assert_eq!(stats.packets, 100);
+        assert_eq!(stats.dropped, 25);
+        assert!(stats.pps > 0.0);
+        assert!(stats.to_string().contains("100 packets"));
+    }
+
+    #[test]
+    fn reset_counters() {
+        let mut sw = firewall_switch();
+        sw.process(&[0xbb, 0, 0, 0]);
+        sw.reset_counters();
+        assert_eq!(sw.counters(), &SwitchCounters::default());
+    }
+}

@@ -1,0 +1,590 @@
+//! Match-action tables: exact, ternary, LPM and range match kinds, entry
+//! lifecycle with handles, capacity enforcement, and hit counters.
+
+use crate::action::Action;
+use crate::key::KeyLayout;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Match kinds supported by a table, mirroring P4 `match_kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MatchKind {
+    /// Exact value match.
+    Exact,
+    /// Value/mask match (TCAM).
+    Ternary,
+    /// Longest-prefix match over the whole key.
+    Lpm,
+    /// Per-byte inclusive range match.
+    Range,
+}
+
+impl fmt::Display for MatchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MatchKind::Exact => "exact",
+            MatchKind::Ternary => "ternary",
+            MatchKind::Lpm => "lpm",
+            MatchKind::Range => "range",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The match portion of one table entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchSpec {
+    /// Exact bytes.
+    Exact(Vec<u8>),
+    /// Ternary value/mask.
+    Ternary {
+        /// Match value.
+        value: Vec<u8>,
+        /// Match mask (`1` bits compared).
+        mask: Vec<u8>,
+    },
+    /// Prefix of `prefix_len` bits over the concatenated key.
+    Lpm {
+        /// Prefix value.
+        value: Vec<u8>,
+        /// Prefix length in bits.
+        prefix_len: usize,
+    },
+    /// Per-byte inclusive `[lo, hi]` ranges.
+    Range {
+        /// Lower bounds.
+        lo: Vec<u8>,
+        /// Upper bounds.
+        hi: Vec<u8>,
+    },
+}
+
+impl MatchSpec {
+    /// The match kind this spec belongs in.
+    pub fn kind(&self) -> MatchKind {
+        match self {
+            MatchSpec::Exact(_) => MatchKind::Exact,
+            MatchSpec::Ternary { .. } => MatchKind::Ternary,
+            MatchSpec::Lpm { .. } => MatchKind::Lpm,
+            MatchSpec::Range { .. } => MatchKind::Range,
+        }
+    }
+
+    /// Key width in bytes.
+    pub fn width(&self) -> usize {
+        match self {
+            MatchSpec::Exact(v) => v.len(),
+            MatchSpec::Ternary { value, .. } => value.len(),
+            MatchSpec::Lpm { value, .. } => value.len(),
+            MatchSpec::Range { lo, .. } => lo.len(),
+        }
+    }
+
+    /// Returns `true` if `key` satisfies the spec.
+    pub fn matches(&self, key: &[u8]) -> bool {
+        match self {
+            MatchSpec::Exact(v) => key == v.as_slice(),
+            MatchSpec::Ternary { value, mask } => key
+                .iter()
+                .zip(value)
+                .zip(mask)
+                .all(|((&k, &v), &m)| k & m == v & m),
+            MatchSpec::Lpm { value, prefix_len } => {
+                let full = prefix_len / 8;
+                if key[..full] != value[..full] {
+                    return false;
+                }
+                let rem = prefix_len % 8;
+                if rem == 0 {
+                    return true;
+                }
+                let m = 0xffu8 << (8 - rem);
+                key[full] & m == value[full] & m
+            }
+            MatchSpec::Range { lo, hi } => key
+                .iter()
+                .zip(lo)
+                .zip(hi)
+                .all(|((&k, &l), &h)| k >= l && k <= h),
+        }
+    }
+
+    /// Effective match priority for LPM (prefix length); `None` otherwise.
+    fn lpm_priority(&self) -> Option<i32> {
+        match self {
+            MatchSpec::Lpm { prefix_len, .. } => Some(*prefix_len as i32),
+            _ => None,
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        match self {
+            MatchSpec::Exact(_) => Ok(()),
+            MatchSpec::Ternary { value, mask } => {
+                if value.len() != mask.len() {
+                    Err("ternary value/mask width mismatch".into())
+                } else {
+                    Ok(())
+                }
+            }
+            MatchSpec::Lpm { value, prefix_len } => {
+                if *prefix_len > value.len() * 8 {
+                    Err(format!(
+                        "lpm prefix {} exceeds key bits {}",
+                        prefix_len,
+                        value.len() * 8
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            MatchSpec::Range { lo, hi } => {
+                if lo.len() != hi.len() {
+                    return Err("range lo/hi width mismatch".into());
+                }
+                if lo.iter().zip(hi).any(|(&l, &h)| l > h) {
+                    return Err("range with lo > hi".into());
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Stable handle to an installed entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EntryHandle(pub u64);
+
+/// One installed entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableEntry {
+    /// Handle assigned at insertion.
+    pub handle: EntryHandle,
+    /// The match spec.
+    pub spec: MatchSpec,
+    /// Action on hit.
+    pub action: Action,
+    /// Priority; higher wins (for LPM the prefix length is used instead).
+    pub priority: i32,
+    /// Hit counter.
+    pub hits: u64,
+}
+
+/// Errors returned by table operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// The table is at capacity.
+    Full {
+        /// Configured capacity.
+        capacity: usize,
+    },
+    /// The entry's match kind differs from the table's.
+    KindMismatch {
+        /// Table kind.
+        table: MatchKind,
+        /// Entry kind.
+        entry: MatchKind,
+    },
+    /// The entry key width differs from the table's.
+    WidthMismatch {
+        /// Table width in bytes.
+        table: usize,
+        /// Entry width in bytes.
+        entry: usize,
+    },
+    /// The spec is internally inconsistent.
+    InvalidSpec(String),
+    /// No entry with the given handle.
+    NoSuchEntry(EntryHandle),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::Full { capacity } => write!(f, "table full at {capacity} entries"),
+            TableError::KindMismatch { table, entry } => {
+                write!(f, "match-kind mismatch: table is {table}, entry is {entry}")
+            }
+            TableError::WidthMismatch { table, entry } => {
+                write!(f, "key-width mismatch: table is {table} bytes, entry is {entry}")
+            }
+            TableError::InvalidSpec(m) => write!(f, "invalid match spec: {m}"),
+            TableError::NoSuchEntry(h) => write!(f, "no entry with handle {}", h.0),
+        }
+    }
+}
+
+impl Error for TableError {}
+
+/// A match-action table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    name: String,
+    kind: MatchKind,
+    key: KeyLayout,
+    capacity: usize,
+    default_action: Action,
+    entries: Vec<TableEntry>,
+    next_handle: u64,
+    misses: u64,
+}
+
+impl Table {
+    /// Creates a table.
+    pub fn new(
+        name: impl Into<String>,
+        kind: MatchKind,
+        key: KeyLayout,
+        capacity: usize,
+        default_action: Action,
+    ) -> Self {
+        Table {
+            name: name.into(),
+            kind,
+            key,
+            capacity,
+            default_action,
+            entries: Vec::new(),
+            next_handle: 1,
+            misses: 0,
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table's match kind.
+    pub fn kind(&self) -> MatchKind {
+        self.kind
+    }
+
+    /// The key layout.
+    pub fn key(&self) -> &KeyLayout {
+        &self.key
+    }
+
+    /// Maximum entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Installed entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Borrows the entries, match order first.
+    pub fn entries(&self) -> &[TableEntry] {
+        &self.entries
+    }
+
+    /// The default action.
+    pub fn default_action(&self) -> Action {
+        self.default_action
+    }
+
+    /// Replaces the default action.
+    pub fn set_default_action(&mut self, action: Action) {
+        self.default_action = action;
+    }
+
+    /// Miss-counter value.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Installs an entry, returning its handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the table is full or the spec is incompatible.
+    pub fn insert(
+        &mut self,
+        spec: MatchSpec,
+        action: Action,
+        priority: i32,
+    ) -> Result<EntryHandle, TableError> {
+        if self.entries.len() >= self.capacity {
+            return Err(TableError::Full {
+                capacity: self.capacity,
+            });
+        }
+        if spec.kind() != self.kind {
+            return Err(TableError::KindMismatch {
+                table: self.kind,
+                entry: spec.kind(),
+            });
+        }
+        if spec.width() != self.key.width() {
+            return Err(TableError::WidthMismatch {
+                table: self.key.width(),
+                entry: spec.width(),
+            });
+        }
+        spec.validate().map_err(TableError::InvalidSpec)?;
+        let effective_priority = spec.lpm_priority().unwrap_or(priority);
+        let handle = EntryHandle(self.next_handle);
+        self.next_handle += 1;
+        let entry = TableEntry {
+            handle,
+            spec,
+            action,
+            priority: effective_priority,
+            hits: 0,
+        };
+        let at = self
+            .entries
+            .partition_point(|e| e.priority >= effective_priority);
+        self.entries.insert(at, entry);
+        Ok(handle)
+    }
+
+    /// Removes an entry by handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::NoSuchEntry`] for unknown handles.
+    pub fn remove(&mut self, handle: EntryHandle) -> Result<TableEntry, TableError> {
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.handle == handle)
+            .ok_or(TableError::NoSuchEntry(handle))?;
+        Ok(self.entries.remove(idx))
+    }
+
+    /// Replaces the action of an existing entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::NoSuchEntry`] for unknown handles.
+    pub fn modify(&mut self, handle: EntryHandle, action: Action) -> Result<(), TableError> {
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|e| e.handle == handle)
+            .ok_or(TableError::NoSuchEntry(handle))?;
+        entry.action = action;
+        Ok(())
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Looks up `key`, bumping hit/miss counters, and returns the selected
+    /// action (the default on miss).
+    pub fn lookup(&mut self, key: &[u8]) -> Action {
+        match self.entries.iter_mut().find(|e| e.spec.matches(key)) {
+            Some(entry) => {
+                entry.hits += 1;
+                entry.action
+            }
+            None => {
+                self.misses += 1;
+                self.default_action
+            }
+        }
+    }
+
+    /// Lookup without counter side effects (read-only path).
+    pub fn peek(&self, key: &[u8]) -> Action {
+        self.entries
+            .iter()
+            .find(|e| e.spec.matches(key))
+            .map_or(self.default_action, |e| e.action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(kind: MatchKind, width: usize) -> Table {
+        Table::new("t", kind, KeyLayout::window(width), 16, Action::NoOp)
+    }
+
+    #[test]
+    fn exact_match_and_counters() {
+        let mut t = table(MatchKind::Exact, 2);
+        let h = t
+            .insert(MatchSpec::Exact(vec![1, 2]), Action::Drop, 0)
+            .unwrap();
+        assert_eq!(t.lookup(&[1, 2]), Action::Drop);
+        assert_eq!(t.lookup(&[1, 3]), Action::NoOp);
+        assert_eq!(t.entries()[0].hits, 1);
+        assert_eq!(t.misses(), 1);
+        t.remove(h).unwrap();
+        assert_eq!(t.lookup(&[1, 2]), Action::NoOp);
+    }
+
+    #[test]
+    fn ternary_priority_order() {
+        let mut t = table(MatchKind::Ternary, 1);
+        t.insert(
+            MatchSpec::Ternary {
+                value: vec![0x10],
+                mask: vec![0xf0],
+            },
+            Action::Forward(1),
+            1,
+        )
+        .unwrap();
+        t.insert(
+            MatchSpec::Ternary {
+                value: vec![0x17],
+                mask: vec![0xff],
+            },
+            Action::Drop,
+            9,
+        )
+        .unwrap();
+        assert_eq!(t.lookup(&[0x17]), Action::Drop);
+        assert_eq!(t.lookup(&[0x11]), Action::Forward(1));
+    }
+
+    #[test]
+    fn lpm_longest_prefix_wins() {
+        let mut t = table(MatchKind::Lpm, 2);
+        t.insert(
+            MatchSpec::Lpm {
+                value: vec![0xc0, 0x00],
+                prefix_len: 8,
+            },
+            Action::Forward(1),
+            0,
+        )
+        .unwrap();
+        t.insert(
+            MatchSpec::Lpm {
+                value: vec![0xc0, 0xa8],
+                prefix_len: 16,
+            },
+            Action::Forward(2),
+            0,
+        )
+        .unwrap();
+        assert_eq!(t.lookup(&[0xc0, 0xa8]), Action::Forward(2));
+        assert_eq!(t.lookup(&[0xc0, 0x01]), Action::Forward(1));
+        assert_eq!(t.lookup(&[0xd0, 0x01]), Action::NoOp);
+    }
+
+    #[test]
+    fn lpm_partial_byte_prefix() {
+        let mut t = table(MatchKind::Lpm, 1);
+        t.insert(
+            MatchSpec::Lpm {
+                value: vec![0b1010_0000],
+                prefix_len: 3,
+            },
+            Action::Drop,
+            0,
+        )
+        .unwrap();
+        assert_eq!(t.lookup(&[0b1011_1111]), Action::Drop);
+        assert_eq!(t.lookup(&[0b1000_0000]), Action::NoOp);
+    }
+
+    #[test]
+    fn range_match() {
+        let mut t = table(MatchKind::Range, 2);
+        t.insert(
+            MatchSpec::Range {
+                lo: vec![10, 0],
+                hi: vec![20, 255],
+            },
+            Action::Drop,
+            0,
+        )
+        .unwrap();
+        assert_eq!(t.lookup(&[15, 100]), Action::Drop);
+        assert_eq!(t.lookup(&[21, 100]), Action::NoOp);
+        assert_eq!(t.lookup(&[9, 0]), Action::NoOp);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut t = Table::new("s", MatchKind::Exact, KeyLayout::window(1), 2, Action::NoOp);
+        t.insert(MatchSpec::Exact(vec![1]), Action::Drop, 0).unwrap();
+        t.insert(MatchSpec::Exact(vec![2]), Action::Drop, 0).unwrap();
+        let err = t.insert(MatchSpec::Exact(vec![3]), Action::Drop, 0).unwrap_err();
+        assert_eq!(err, TableError::Full { capacity: 2 });
+    }
+
+    #[test]
+    fn kind_and_width_mismatches_are_rejected() {
+        let mut t = table(MatchKind::Exact, 2);
+        assert!(matches!(
+            t.insert(
+                MatchSpec::Ternary {
+                    value: vec![0, 0],
+                    mask: vec![0, 0]
+                },
+                Action::Drop,
+                0
+            ),
+            Err(TableError::KindMismatch { .. })
+        ));
+        assert!(matches!(
+            t.insert(MatchSpec::Exact(vec![0]), Action::Drop, 0),
+            Err(TableError::WidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        let mut t = table(MatchKind::Range, 1);
+        assert!(matches!(
+            t.insert(
+                MatchSpec::Range {
+                    lo: vec![10],
+                    hi: vec![5]
+                },
+                Action::Drop,
+                0
+            ),
+            Err(TableError::InvalidSpec(_))
+        ));
+        let mut t = table(MatchKind::Lpm, 1);
+        assert!(t
+            .insert(
+                MatchSpec::Lpm {
+                    value: vec![0],
+                    prefix_len: 9
+                },
+                Action::Drop,
+                0
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn modify_and_clear() {
+        let mut t = table(MatchKind::Exact, 1);
+        let h = t.insert(MatchSpec::Exact(vec![7]), Action::Drop, 0).unwrap();
+        t.modify(h, Action::Forward(4)).unwrap();
+        assert_eq!(t.lookup(&[7]), Action::Forward(4));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.modify(h, Action::Drop), Err(TableError::NoSuchEntry(h)));
+    }
+
+    #[test]
+    fn peek_has_no_side_effects() {
+        let mut t = table(MatchKind::Exact, 1);
+        t.insert(MatchSpec::Exact(vec![7]), Action::Drop, 0).unwrap();
+        assert_eq!(t.peek(&[7]), Action::Drop);
+        assert_eq!(t.peek(&[8]), Action::NoOp);
+        assert_eq!(t.entries()[0].hits, 0);
+        assert_eq!(t.misses(), 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # p4guard-features
+//!
+//! Stage 1 of the `p4guard` pipeline: protocol-agnostic feature extraction
+//! (the first `W` bytes of every frame, [`extract::ByteDataset`]) and
+//! header-field selection ([`select::select_fields`]) — the learned
+//! saliency ranking the paper proposes plus the mutual-information,
+//! chi-squared, weight-magnitude, random and first-k ablation baselines.
+//!
+//! [`naming`] maps selected byte offsets back to header-field names so
+//! operators can audit what the data plane will match on.
+//!
+//! # Examples
+//!
+//! ```
+//! use p4guard_features::extract::ByteDataset;
+//! use p4guard_features::select::{select_fields, SelectionStrategy};
+//! use p4guard_traffic::scenario::Scenario;
+//!
+//! let trace = Scenario::smart_home_default(1).generate()?;
+//! let bytes = ByteDataset::from_trace(&trace, 64);
+//! let selection = select_fields(
+//!     SelectionStrategy::MutualInformation,
+//!     &bytes,
+//!     None,
+//!     None,
+//!     8,
+//!     0,
+//! );
+//! assert_eq!(selection.k(), 8);
+//! # Ok::<(), p4guard_traffic::scenario::ScenarioError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod extract;
+pub mod naming;
+pub mod select;
+
+pub use extract::{ByteDataset, DEFAULT_WINDOW};
+pub use select::{select_fields, FieldSelection, SelectionStrategy};

@@ -1,0 +1,81 @@
+//! Human naming of selected byte positions.
+//!
+//! Because frames of different protocols put different fields at the same
+//! offset, a selected position is described by the *distribution* of field
+//! names it lands on across sample frames — e.g. `"tcp.dst_port[1] (62%),
+//! udp.length[0] (21%)"`.
+
+use crate::select::FieldSelection;
+use p4guard_packet::fields::describe_offset;
+use p4guard_packet::packet::parse;
+use p4guard_packet::trace::Trace;
+use std::collections::HashMap;
+
+/// Describes one byte offset over up to `samples` frames of `trace`,
+/// returning the dominant field names with their frequency.
+pub fn describe_offset_over_trace(trace: &Trace, offset: usize, samples: usize) -> String {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut total = 0usize;
+    for record in trace.iter().take(samples) {
+        if let Ok(p) = parse(&record.frame) {
+            *counts.entry(describe_offset(&p, offset)).or_insert(0) += 1;
+            total += 1;
+        }
+    }
+    if total == 0 {
+        return format!("offset {offset}");
+    }
+    let mut entries: Vec<(String, usize)> = counts.into_iter().collect();
+    entries.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    entries
+        .iter()
+        .take(2)
+        .map(|(name, count)| format!("{name} ({:.0}%)", 100.0 * *count as f64 / total as f64))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Describes every offset of a selection. Returns one string per offset, in
+/// selection order.
+pub fn describe_selection(selection: &FieldSelection, trace: &Trace, samples: usize) -> Vec<String> {
+    selection
+        .offsets
+        .iter()
+        .map(|&o| describe_offset_over_trace(trace, o, samples))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::SelectionStrategy;
+    use p4guard_traffic::scenario::Scenario;
+
+    #[test]
+    fn tcp_port_offset_is_named() {
+        let trace = Scenario::smart_home_default(1).generate().unwrap();
+        // Offset 36/37 is tcp.dst_port on untagged IPv4 TCP frames.
+        let name = describe_offset_over_trace(&trace, 37, 400);
+        assert!(name.contains('%'), "got {name}");
+    }
+
+    #[test]
+    fn selection_description_has_one_entry_per_offset() {
+        let trace = Scenario::smart_home_default(1).generate().unwrap();
+        let sel = FieldSelection {
+            offsets: vec![23, 37, 47],
+            scores: None,
+            strategy: SelectionStrategy::FirstK,
+        };
+        let names = describe_selection(&sel, &trace, 200);
+        assert_eq!(names.len(), 3);
+        // ipv4.protocol sits at 23 for every untagged IPv4 frame.
+        assert!(names[0].contains("ipv4.protocol") || names[0].contains('%'), "{names:?}");
+    }
+
+    #[test]
+    fn empty_trace_falls_back_to_offset() {
+        let trace = Trace::new();
+        assert_eq!(describe_offset_over_trace(&trace, 5, 10), "offset 5");
+    }
+}

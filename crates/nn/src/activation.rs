@@ -1,0 +1,138 @@
+//! Activation functions and their derivatives.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Elementwise activation applied after a dense layer's affine transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity: the layer stays affine (used for output logits).
+    Linear,
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to `z` in place.
+    pub fn apply(&self, z: &mut Matrix) {
+        match self {
+            Activation::Linear => {}
+            Activation::Relu => z.map_inplace(|v| v.max(0.0)),
+            Activation::Sigmoid => z.map_inplace(sigmoid),
+            Activation::Tanh => z.map_inplace(f32::tanh),
+        }
+    }
+
+    /// Multiplies `grad` in place by the activation derivative evaluated
+    /// from the *post-activation* values `a` (all supported activations
+    /// admit this form).
+    pub fn backprop(&self, grad: &mut Matrix, a: &Matrix) {
+        match self {
+            Activation::Linear => {}
+            Activation::Relu => {
+                for (g, &v) in grad.data_mut().iter_mut().zip(a.data()) {
+                    if v <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            Activation::Sigmoid => {
+                for (g, &v) in grad.data_mut().iter_mut().zip(a.data()) {
+                    *g *= v * (1.0 - v);
+                }
+            }
+            Activation::Tanh => {
+                for (g, &v) in grad.data_mut().iter_mut().zip(a.data()) {
+                    *g *= 1.0 - v * v;
+                }
+            }
+        }
+    }
+}
+
+/// Numerically-stable logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Row-wise softmax, numerically stabilized by subtracting the row max.
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let mut out = logits.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_is_stable_and_symmetric() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) < 0.001);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_apply_and_backprop() {
+        let mut z = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -3.0]);
+        Activation::Relu.apply(&mut z);
+        assert_eq!(z.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let mut g = Matrix::from_vec(1, 4, vec![1.0; 4]);
+        Activation::Relu.backprop(&mut g, &z);
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0]);
+        let p = softmax_rows(&logits);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        // Large logits must not overflow.
+        assert!((p.get(1, 0) - 1.0 / 3.0).abs() < 1e-5);
+        // Monotone within a row.
+        assert!(p.get(0, 2) > p.get(0, 1));
+    }
+
+    #[test]
+    fn sigmoid_backprop_matches_derivative() {
+        let x = 0.7f32;
+        let a = sigmoid(x);
+        let mut z = Matrix::from_vec(1, 1, vec![a]);
+        let mut g = Matrix::from_vec(1, 1, vec![1.0]);
+        Activation::Sigmoid.backprop(&mut g, &z);
+        let eps = 1e-3;
+        let numeric = (sigmoid(x + eps) - sigmoid(x - eps)) / (2.0 * eps);
+        assert!((g.get(0, 0) - numeric).abs() < 1e-4);
+        // Tanh too.
+        z.set(0, 0, x.tanh());
+        let mut g2 = Matrix::from_vec(1, 1, vec![1.0]);
+        Activation::Tanh.backprop(&mut g2, &z);
+        let numeric = ((x + eps).tanh() - (x - eps).tanh()) / (2.0 * eps);
+        assert!((g2.get(0, 0) - numeric).abs() < 1e-4);
+    }
+}

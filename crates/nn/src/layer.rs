@@ -1,0 +1,342 @@
+//! Fully-connected layer with activation, optional dropout, and backprop.
+
+use crate::activation::Activation;
+use crate::matrix::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense (fully-connected) layer: `a = act(x·W + b)`.
+///
+/// Weights are `input_dim × output_dim`; inputs are row vectors stacked into
+/// a batch matrix. The layer caches what backprop needs during
+/// [`Dense::forward_train`]; inference via [`Dense::forward`] caches
+/// nothing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    weights: Matrix,
+    bias: Vec<f32>,
+    activation: Activation,
+    /// Dropout probability applied to the layer output during training;
+    /// zero disables dropout.
+    dropout: f32,
+    #[serde(skip)]
+    cache: Option<Cache>,
+    #[serde(skip)]
+    grads: Option<Grads>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    input: Matrix,
+    output: Matrix,
+    dropout_mask: Option<Matrix>,
+}
+
+#[derive(Debug, Clone)]
+struct Grads {
+    weights: Matrix,
+    bias: Vec<f32>,
+}
+
+impl Dense {
+    /// Creates a layer with He-style initialization scaled for the fan-in.
+    pub fn new(
+        input_dim: usize,
+        output_dim: usize,
+        activation: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let scale = (2.0 / input_dim as f32).sqrt();
+        let weights = Matrix::from_fn(input_dim, output_dim, |_, _| {
+            (rng.gen::<f32>() * 2.0 - 1.0) * scale
+        });
+        Dense {
+            weights,
+            bias: vec![0.0; output_dim],
+            activation,
+            dropout: 0.0,
+            cache: None,
+            grads: None,
+        }
+    }
+
+    /// Sets the training-time dropout probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn set_dropout(&mut self, p: f32) {
+        assert!((0.0..1.0).contains(&p), "dropout must be in [0, 1)");
+        self.dropout = p;
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Borrows the weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// The layer's activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.len()
+    }
+
+    fn affine(&self, x: &Matrix) -> Matrix {
+        let mut z = x.matmul(&self.weights);
+        z.add_row_broadcast(&self.bias);
+        self.activation.apply(&mut z);
+        z
+    }
+
+    /// Inference forward pass (no caching, no dropout).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        self.affine(x)
+    }
+
+    /// Training forward pass: caches activations and applies inverted
+    /// dropout when enabled.
+    pub fn forward_train(&mut self, x: &Matrix, rng: &mut impl Rng) -> Matrix {
+        let mut a = self.affine(x);
+        let dropout_mask = if self.dropout > 0.0 {
+            let keep = 1.0 - self.dropout;
+            let mask = Matrix::from_fn(a.rows(), a.cols(), |_, _| {
+                if rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            });
+            a.hadamard_inplace(&mask);
+            Some(mask)
+        } else {
+            None
+        };
+        self.cache = Some(Cache {
+            input: x.clone(),
+            output: a.clone(),
+            dropout_mask,
+        });
+        a
+    }
+
+    /// Backward pass: consumes the gradient w.r.t. this layer's output and
+    /// returns the gradient w.r.t. its input, accumulating parameter
+    /// gradients internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a preceding [`Dense::forward_train`].
+    pub fn backward(&mut self, mut grad_output: Matrix) -> Matrix {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("backward requires a prior forward_train");
+        if let Some(mask) = &cache.dropout_mask {
+            grad_output.hadamard_inplace(mask);
+            // Undo the mask on the cached output before the activation
+            // derivative: the derivative must see pre-dropout activations.
+        }
+        // The cached output includes dropout scaling; for the activation
+        // derivative we need pre-dropout activations. Since the mask is
+        // either 0 (gradient already zeroed) or 1/keep (sign-preserving and,
+        // for ReLU, zero-preserving), using the cached output is safe for
+        // ReLU/Linear; for Sigmoid/Tanh dropout layers we recompute.
+        let act_ref = match (&cache.dropout_mask, self.activation) {
+            (Some(_), Activation::Sigmoid | Activation::Tanh) => {
+                let mut undone = cache.output.clone();
+                let mask = cache.dropout_mask.as_ref().expect("mask present");
+                for (v, &m) in undone.data_mut().iter_mut().zip(mask.data()) {
+                    if m > 0.0 {
+                        *v /= m;
+                    }
+                }
+                undone
+            }
+            _ => cache.output.clone(),
+        };
+        self.activation.backprop(&mut grad_output, &act_ref);
+        let grad_weights = cache.input.matmul_at_b(&grad_output);
+        let grad_bias = grad_output.column_sums();
+        let grad_input = grad_output.matmul_a_bt(&self.weights);
+        match &mut self.grads {
+            Some(g) => {
+                for (a, b) in g.weights.data_mut().iter_mut().zip(grad_weights.data()) {
+                    *a += b;
+                }
+                for (a, b) in g.bias.iter_mut().zip(&grad_bias) {
+                    *a += b;
+                }
+            }
+            None => {
+                self.grads = Some(Grads {
+                    weights: grad_weights,
+                    bias: grad_bias,
+                });
+            }
+        }
+        grad_input
+    }
+
+    /// Applies accumulated gradients via `step` (called once per parameter
+    /// tensor with a stable slot id derived from `base_slot`), then clears
+    /// them.
+    pub fn apply_grads(
+        &mut self,
+        base_slot: usize,
+        mut step: impl FnMut(usize, &mut [f32], &[f32]),
+    ) {
+        if let Some(grads) = self.grads.take() {
+            step(base_slot, self.weights.data_mut(), grads.weights.data());
+            step(base_slot + 1, &mut self.bias, &grads.bias);
+        }
+    }
+
+    /// Discards cached activations and gradients.
+    pub fn clear_state(&mut self) {
+        self.cache = None;
+        self.grads = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut r = rng();
+        let layer = Dense::new(4, 3, Activation::Relu, &mut r);
+        let x = Matrix::zeros(5, 4);
+        let y = layer.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (5, 3));
+        assert_eq!(layer.parameter_count(), 4 * 3 + 3);
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        // Finite-difference check of dL/dW for L = sum(output).
+        let mut r = rng();
+        let mut layer = Dense::new(3, 2, Activation::Tanh, &mut r);
+        let x = Matrix::from_vec(2, 3, vec![0.1, -0.2, 0.3, 0.5, 0.0, -0.4]);
+        let out = layer.forward_train(&x, &mut r);
+        let ones = Matrix::from_vec(out.rows(), out.cols(), vec![1.0; out.rows() * out.cols()]);
+        layer.backward(ones);
+        let mut analytic = None;
+        layer.apply_grads(0, |slot, _param, grad| {
+            if slot == 0 {
+                analytic = Some(grad.to_vec());
+            }
+        });
+        let analytic = analytic.expect("weights gradient produced");
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let orig = layer.weights.data()[idx];
+            layer.weights.data_mut()[idx] = orig + eps;
+            let lp: f32 = layer.forward(&x).data().iter().sum();
+            layer.weights.data_mut()[idx] = orig - eps;
+            let lm: f32 = layer.forward(&x).data().iter().sum();
+            layer.weights.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[idx]).abs() < 1e-2,
+                "weight {idx}: numeric {numeric} vs analytic {}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_check_input() {
+        let mut r = rng();
+        let mut layer = Dense::new(3, 2, Activation::Sigmoid, &mut r);
+        let x = Matrix::from_vec(1, 3, vec![0.3, -0.1, 0.7]);
+        let out = layer.forward_train(&x, &mut r);
+        let ones = Matrix::from_vec(out.rows(), out.cols(), vec![1.0; 2]);
+        let grad_input = layer.backward(ones);
+        let eps = 1e-3f32;
+        for idx in 0..3 {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp: f32 = layer.forward(&xp).data().iter().sum();
+            let lm: f32 = layer.forward(&xm).data().iter().sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad_input.data()[idx]).abs() < 1e-2,
+                "input {idx}: numeric {numeric} vs analytic {}",
+                grad_input.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn dropout_zeroes_and_scales() {
+        let mut r = rng();
+        let mut layer = Dense::new(1, 1000, Activation::Linear, &mut r);
+        layer.set_dropout(0.5);
+        // Force deterministic weights: all ones, zero bias.
+        layer.weights = Matrix::from_vec(1, 1000, vec![1.0; 1000]);
+        let x = Matrix::from_vec(1, 1, vec![1.0]);
+        let out = layer.forward_train(&x, &mut r);
+        let zeros = out.data().iter().filter(|v| **v == 0.0).count();
+        let nonzero: Vec<f32> = out.data().iter().copied().filter(|v| *v != 0.0).collect();
+        // Roughly half dropped.
+        assert!((300..700).contains(&zeros), "zeros = {zeros}");
+        // Survivors are scaled by 1/keep = 2.
+        for v in nonzero {
+            assert!((v - 2.0).abs() < 1e-6);
+        }
+        // Inference applies no dropout.
+        let out = layer.forward(&x);
+        assert!(out.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "forward_train")]
+    fn backward_without_forward_panics() {
+        let mut r = rng();
+        let mut layer = Dense::new(2, 2, Activation::Relu, &mut r);
+        let _ = layer.backward(Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn grads_accumulate_across_backward_calls() {
+        let mut r = rng();
+        let mut layer = Dense::new(2, 1, Activation::Linear, &mut r);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        for _ in 0..2 {
+            let out = layer.forward_train(&x, &mut r);
+            let g = Matrix::from_vec(out.rows(), out.cols(), vec![1.0]);
+            layer.backward(g);
+        }
+        let mut seen = Vec::new();
+        layer.apply_grads(0, |slot, _p, g| {
+            if slot == 0 {
+                seen = g.to_vec();
+            }
+        });
+        // Two identical backward passes double the gradient: dW = 2·x.
+        assert_eq!(seen, vec![2.0, 4.0]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Loss functions. The networks in this workspace are classifiers, so the
+//! primary loss is softmax cross-entropy with the combined, numerically
+//! stable gradient `p - onehot`.
+
+use crate::activation::softmax_rows;
+use crate::matrix::Matrix;
+
+/// Computes mean softmax cross-entropy loss over a batch of `logits`
+/// (`batch × classes`) against integer `labels`, returning `(loss,
+/// grad_logits)` where the gradient is already divided by the batch size.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or any label is out of range.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(labels.len(), logits.rows(), "label count mismatch");
+    let probs = softmax_rows(logits);
+    let n = logits.rows() as f32;
+    let mut loss = 0.0;
+    let mut grad = probs.clone();
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < logits.cols(), "label {label} out of range");
+        let p = probs.get(r, label).max(1e-12);
+        loss -= p.ln();
+        grad.set(r, label, grad.get(r, label) - 1.0);
+    }
+    grad.scale_inplace(1.0 / n);
+    (loss / n, grad)
+}
+
+/// Mean squared error over a batch, returning `(loss, grad_pred)`.
+///
+/// # Panics
+///
+/// Panics on a shape mismatch.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(
+        (pred.rows(), pred.cols()),
+        (target.rows(), target.cols()),
+        "shape mismatch"
+    );
+    let n = (pred.rows() * pred.cols()) as f32;
+    let mut grad = pred.clone();
+    let mut loss = 0.0;
+    for (g, &t) in grad.data_mut().iter_mut().zip(target.data()) {
+        let d = *g - t;
+        loss += d * d;
+        *g = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Matrix::from_vec(2, 2, vec![20.0, -20.0, -20.0, 20.0]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-6);
+        assert!(grad.norm() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_is_ln_classes() {
+        let logits = Matrix::zeros(1, 4);
+        let (loss, _) = softmax_cross_entropy(&logits, &[2]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let mut logits = Matrix::from_vec(1, 3, vec![0.5, -0.2, 0.1]);
+        let labels = [1usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let orig = logits.data()[i];
+            logits.data_mut()[i] = orig + eps;
+            let (lp, _) = softmax_cross_entropy(&logits, &labels);
+            logits.data_mut()[i] = orig - eps;
+            let (lm, _) = softmax_cross_entropy(&logits, &labels);
+            logits.data_mut()[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad.data()[i]).abs() < 1e-3,
+                "logit {i}: numeric {numeric} vs analytic {}",
+                grad.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn mse_basic() {
+        let pred = Matrix::from_vec(1, 2, vec![1.0, 3.0]);
+        let target = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 2.5).abs() < 1e-6); // (1 + 4) / 2
+        assert_eq!(grad.data(), &[1.0, 2.0]); // 2d/n
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn label_count_mismatch_panics() {
+        let _ = softmax_cross_entropy(&Matrix::zeros(2, 2), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_out_of_range_panics() {
+        let _ = softmax_cross_entropy(&Matrix::zeros(1, 2), &[5]);
+    }
+}

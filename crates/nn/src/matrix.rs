@@ -1,0 +1,396 @@
+//! A minimal dense row-major `f32` matrix, sized for the small MLPs this
+//! workspace trains (tens of inputs, hundreds of hidden units).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrows the row-major backing slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the row-major backing slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Returns the element at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at (`r`, `c`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Builds a new matrix from the rows of `self` selected by `indices`
+    /// (repeats allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &idx) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(idx));
+        }
+        out
+    }
+
+    /// Builds a new matrix from the columns of `self` selected by `indices`
+    /// (repeats allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_cols(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, indices.len());
+        for r in 0..self.rows {
+            let src = self.row(r);
+            let dst = out.row_mut(r);
+            for (j, &idx) in indices.iter().enumerate() {
+                assert!(idx < self.cols, "column {idx} out of bounds");
+                dst[j] = src[idx];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `selfᵀ · other` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch.
+    pub fn matmul_at_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_at_b dimension mismatch: ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · otherᵀ` without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch.
+    pub fn matmul_a_bt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_a_bt dimension mismatch: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self.get(c, r))
+    }
+
+    /// Adds `row` to every row of `self` in place (bias broadcast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != self.cols()`.
+    pub fn add_row_broadcast(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols, "broadcast row length mismatch");
+        for r in 0..self.rows {
+            for (v, &b) in self.row_mut(r).iter_mut().zip(row) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Sums each column into a vector of length `cols`.
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (s, &v) in sums.iter_mut().zip(self.row(r)) {
+                *s += v;
+            }
+        }
+        sums
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns a new matrix with `f` applied to every element.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let mut out = self.clone();
+        out.map_inplace(f);
+        out
+    }
+
+    /// Elementwise product in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch.
+    pub fn hadamard_inplace(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+    }
+
+    /// Scales every element in place.
+    pub fn scale_inplace(&mut self, k: f32) {
+        for v in &mut self.data {
+            *v *= k;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(12) {
+                write!(f, "{:>9.4}", self.get(r, c))?;
+            }
+            if self.cols > 12 {
+                write!(f, " …")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> Matrix {
+        Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    fn b() -> Matrix {
+        Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0])
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let c = a().matmul(&b());
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_at_b_equals_explicit_transpose() {
+        let x = a();
+        let y = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(x.matmul_at_b(&y), x.transpose().matmul(&y));
+    }
+
+    #[test]
+    fn matmul_a_bt_equals_explicit_transpose() {
+        let x = a();
+        let y = Matrix::from_vec(4, 3, (0..12).map(|v| v as f32).collect());
+        assert_eq!(x.matmul_a_bt(&y), x.matmul(&y.transpose()));
+    }
+
+    #[test]
+    fn broadcast_and_column_sums() {
+        let mut m = a();
+        m.add_row_broadcast(&[10.0, 20.0, 30.0]);
+        assert_eq!(m.data(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        assert_eq!(m.column_sums(), vec![25.0, 47.0, 69.0]);
+    }
+
+    #[test]
+    fn select_rows_and_cols() {
+        let m = a();
+        let r = m.select_rows(&[1, 1, 0]);
+        assert_eq!(r.rows(), 3);
+        assert_eq!(r.row(0), &[4.0, 5.0, 6.0]);
+        assert_eq!(r.row(2), &[1.0, 2.0, 3.0]);
+        let c = m.select_cols(&[2, 0]);
+        assert_eq!(c.data(), &[3.0, 1.0, 6.0, 4.0]);
+    }
+
+    #[test]
+    fn map_hadamard_scale_norm() {
+        let mut m = Matrix::from_vec(1, 3, vec![3.0, 0.0, 4.0]);
+        assert_eq!(m.norm(), 5.0);
+        let doubled = m.map(|v| v * 2.0);
+        assert_eq!(doubled.data(), &[6.0, 0.0, 8.0]);
+        m.hadamard_inplace(&doubled);
+        assert_eq!(m.data(), &[18.0, 0.0, 32.0]);
+        m.scale_inplace(0.5);
+        assert_eq!(m.data(), &[9.0, 0.0, 16.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let _ = a().matmul(&a());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(format!("{}", a()).contains("Matrix 2x3"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Classification metrics: confusion counts, precision/recall/F1, and ROC
+//! curves (experiments T2 and F7).
+
+use serde::{Deserialize, Serialize};
+
+/// Binary confusion counts with the attack class (`1`) as positive.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Attack predicted attack.
+    pub true_positives: usize,
+    /// Benign predicted attack.
+    pub false_positives: usize,
+    /// Benign predicted benign.
+    pub true_negatives: usize,
+    /// Attack predicted benign.
+    pub false_negatives: usize,
+}
+
+impl Confusion {
+    /// Tallies predictions against ground truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn from_predictions(predicted: &[usize], actual: &[usize]) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "length mismatch");
+        let mut c = Confusion::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            match (p != 0, a != 0) {
+                (true, true) => c.true_positives += 1,
+                (true, false) => c.false_positives += 1,
+                (false, false) => c.true_negatives += 1,
+                (false, true) => c.false_negatives += 1,
+            }
+        }
+        c
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// Fraction classified correctly.
+    pub fn accuracy(&self) -> f64 {
+        ratio(
+            self.true_positives + self.true_negatives,
+            self.total(),
+        )
+    }
+
+    /// Of predicted attacks, the fraction that are attacks.
+    pub fn precision(&self) -> f64 {
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_positives,
+        )
+    }
+
+    /// Of actual attacks, the fraction detected.
+    pub fn recall(&self) -> f64 {
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_negatives,
+        )
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Of actual benign traffic, the fraction wrongly flagged.
+    pub fn false_positive_rate(&self) -> f64 {
+        ratio(
+            self.false_positives,
+            self.false_positives + self.true_negatives,
+        )
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The headline metric bundle reported by every detection experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinaryMetrics {
+    /// Accuracy.
+    pub accuracy: f64,
+    /// Precision.
+    pub precision: f64,
+    /// Recall (detection rate).
+    pub recall: f64,
+    /// F1 score.
+    pub f1: f64,
+    /// False-positive rate.
+    pub false_positive_rate: f64,
+}
+
+impl From<Confusion> for BinaryMetrics {
+    fn from(c: Confusion) -> Self {
+        BinaryMetrics {
+            accuracy: c.accuracy(),
+            precision: c.precision(),
+            recall: c.recall(),
+            f1: c.f1(),
+            false_positive_rate: c.false_positive_rate(),
+        }
+    }
+}
+
+/// Computes the headline metrics for binary predictions.
+pub fn binary_metrics(predicted: &[usize], actual: &[usize]) -> BinaryMetrics {
+    Confusion::from_predictions(predicted, actual).into()
+}
+
+/// One operating point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Decision threshold producing this point.
+    pub threshold: f32,
+    /// False-positive rate.
+    pub fpr: f64,
+    /// True-positive rate.
+    pub tpr: f64,
+}
+
+/// Computes the ROC curve from attack-class scores, sorted from the
+/// strictest threshold (FPR 0) to the loosest (FPR 1).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn roc_curve(scores: &[f32], actual: &[usize]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), actual.len(), "length mismatch");
+    let positives = actual.iter().filter(|&&a| a != 0).count();
+    let negatives = actual.len() - positives;
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    let mut points = vec![RocPoint {
+        threshold: f32::INFINITY,
+        fpr: 0.0,
+        tpr: 0.0,
+    }];
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        // Consume every sample tied at this threshold before emitting.
+        while i < order.len() && scores[order[i]] == threshold {
+            if actual[order[i]] != 0 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(RocPoint {
+            threshold,
+            fpr: ratio(fp, negatives),
+            tpr: ratio(tp, positives),
+        });
+    }
+    points
+}
+
+/// Area under a ROC curve by trapezoidal integration.
+pub fn auc(curve: &[RocPoint]) -> f64 {
+    curve
+        .windows(2)
+        .map(|w| (w[1].fpr - w[0].fpr) * (w[0].tpr + w[1].tpr) / 2.0)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let predicted = [1, 1, 0, 0, 1, 0];
+        let actual = [1, 0, 0, 1, 1, 0];
+        let c = Confusion::from_predictions(&predicted, &actual);
+        assert_eq!(c.true_positives, 2);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.true_negatives, 2);
+        assert_eq!(c.false_negatives, 1);
+        assert_eq!(c.total(), 6);
+        assert!((c.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.false_positive_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_do_not_divide_by_zero() {
+        let c = Confusion::from_predictions(&[0, 0], &[0, 0]);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.accuracy(), 1.0);
+        let empty = Confusion::default();
+        assert_eq!(empty.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn perfect_classifier_has_unit_auc() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let actual = [1, 1, 0, 0];
+        let curve = roc_curve(&scores, &actual);
+        assert!((auc(&curve) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_classifier_has_half_auc() {
+        // Scores identical for all samples: single jump to (1, 1), AUC 0.5.
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let actual = [1, 0, 1, 0];
+        let curve = roc_curve(&scores, &actual);
+        assert!((auc(&curve) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_classifier_has_zero_auc() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let actual = [1, 1, 0, 0];
+        let curve = roc_curve(&scores, &actual);
+        assert!(auc(&curve) < 1e-12);
+    }
+
+    #[test]
+    fn roc_is_monotone() {
+        let scores = [0.9, 0.7, 0.7, 0.4, 0.3, 0.2];
+        let actual = [1, 0, 1, 1, 0, 0];
+        let curve = roc_curve(&scores, &actual);
+        for w in curve.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+        let last = curve.last().unwrap();
+        assert_eq!(last.fpr, 1.0);
+        assert_eq!(last.tpr, 1.0);
+    }
+
+    #[test]
+    fn binary_metrics_bundle() {
+        let m = binary_metrics(&[1, 0, 1], &[1, 0, 0]);
+        assert!((m.accuracy - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,436 @@
+//! Multi-layer perceptron classifier.
+
+use crate::activation::{softmax_rows, Activation};
+use crate::layer::Dense;
+use crate::loss::softmax_cross_entropy;
+use crate::matrix::Matrix;
+use crate::optim::Optimizer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Architecture description for an [`Mlp`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlpConfig {
+    /// Number of input features.
+    pub input_dim: usize,
+    /// Sizes of hidden layers, in order.
+    pub hidden: Vec<usize>,
+    /// Number of output classes (softmax logits).
+    pub num_classes: usize,
+    /// Hidden-layer activation.
+    pub activation: Activation,
+    /// Dropout probability applied after each hidden layer (0 disables).
+    pub dropout: f32,
+    /// RNG seed for weight initialization and dropout masks.
+    pub seed: u64,
+}
+
+impl MlpConfig {
+    /// A two-hidden-layer ReLU classifier, the default architecture of the
+    /// paper's detection networks.
+    pub fn classifier(input_dim: usize, num_classes: usize) -> Self {
+        MlpConfig {
+            input_dim,
+            hidden: vec![64, 32],
+            num_classes,
+            activation: Activation::Relu,
+            dropout: 0.0,
+            seed: 0x9e3779b9,
+        }
+    }
+}
+
+/// A feed-forward softmax classifier trained with backprop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    config: MlpConfig,
+    #[serde(skip, default = "default_rng")]
+    rng: StdRng,
+}
+
+fn default_rng() -> StdRng {
+    StdRng::seed_from_u64(0)
+}
+
+impl Mlp {
+    /// Builds a network from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dim` or `num_classes` is zero.
+    pub fn new(config: MlpConfig) -> Self {
+        assert!(config.input_dim > 0, "input_dim must be positive");
+        assert!(config.num_classes > 0, "num_classes must be positive");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut layers = Vec::with_capacity(config.hidden.len() + 1);
+        let mut prev = config.input_dim;
+        for &h in &config.hidden {
+            let mut layer = Dense::new(prev, h, config.activation, &mut rng);
+            if config.dropout > 0.0 {
+                layer.set_dropout(config.dropout);
+            }
+            layers.push(layer);
+            prev = h;
+        }
+        layers.push(Dense::new(prev, config.num_classes, Activation::Linear, &mut rng));
+        Mlp {
+            layers,
+            config,
+            rng,
+        }
+    }
+
+    /// The network's configuration.
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// Borrows the layers (first-layer weights feed the weight-magnitude
+    /// field-selection baseline).
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Total number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(Dense::parameter_count).sum()
+    }
+
+    /// Inference forward pass producing raw logits.
+    pub fn logits(&self, x: &Matrix) -> Matrix {
+        let mut a = self.layers[0].forward(x);
+        for layer in &self.layers[1..] {
+            a = layer.forward(&a);
+        }
+        a
+    }
+
+    /// Class probabilities (`batch × classes`).
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        softmax_rows(&self.logits(x))
+    }
+
+    /// Hard class predictions.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let p = self.logits(x);
+        (0..p.rows())
+            .map(|r| {
+                p.row(r)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Runs one training step on a minibatch, returning the batch loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes or labels are inconsistent with the configuration.
+    pub fn train_batch(
+        &mut self,
+        x: &Matrix,
+        labels: &[usize],
+        optimizer: &mut dyn Optimizer,
+    ) -> f32 {
+        let logits = self.forward_train(x);
+        let (loss, grad) = softmax_cross_entropy(&logits, labels);
+        self.backward(grad);
+        self.apply_grads(optimizer);
+        loss
+    }
+
+    /// Runs one *autoencoder* training step: the network reconstructs its
+    /// input under mean-squared error (`num_classes` acts as the output
+    /// width and must equal `input_dim`). Returns the batch loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output width differs from the input width.
+    pub fn train_batch_reconstruct(&mut self, x: &Matrix, optimizer: &mut dyn Optimizer) -> f32 {
+        assert_eq!(
+            self.config.num_classes, self.config.input_dim,
+            "autoencoder output width must equal input width"
+        );
+        let output = self.forward_train(x);
+        let (loss, grad) = crate::loss::mse(&output, x);
+        self.backward(grad);
+        self.apply_grads(optimizer);
+        loss
+    }
+
+    /// Per-sample reconstruction error (mean squared error per feature),
+    /// the anomaly score of an autoencoder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output width differs from the input width.
+    pub fn reconstruction_errors(&self, x: &Matrix) -> Vec<f32> {
+        assert_eq!(
+            self.config.num_classes, self.config.input_dim,
+            "autoencoder output width must equal input width"
+        );
+        let output = self.logits(x);
+        (0..x.rows())
+            .map(|r| {
+                let xi = x.row(r);
+                let oi = output.row(r);
+                xi.iter()
+                    .zip(oi)
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum::<f32>()
+                    / xi.len() as f32
+            })
+            .collect()
+    }
+
+    fn forward_train(&mut self, x: &Matrix) -> Matrix {
+        let mut a = x.clone();
+        for layer in &mut self.layers {
+            a = layer.forward_train(&a, &mut self.rng);
+        }
+        a
+    }
+
+    fn backward(&mut self, grad_logits: Matrix) -> Matrix {
+        let mut grad = grad_logits;
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(grad);
+        }
+        grad
+    }
+
+    fn apply_grads(&mut self, optimizer: &mut dyn Optimizer) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            layer.apply_grads(i * 2, |slot, param, grad| optimizer.step(slot, param, grad));
+        }
+        optimizer.next_step();
+    }
+
+    /// Gradient of the summed logit of `class` with respect to the inputs,
+    /// per sample (`batch × input_dim`). Weights are untouched. This is the
+    /// saliency signal stage 1 ranks byte positions with.
+    pub fn input_gradient(&mut self, x: &Matrix, class: usize) -> Matrix {
+        assert!(class < self.config.num_classes, "class out of range");
+        // Dropout must not distort attribution, and the pass must leave the
+        // model untouched: run a cache-building forward with dropout forced
+        // off, backprop a one-hot seed, then restore the saved layers.
+        let saved: Vec<Dense> = self.layers.clone();
+        for layer in &mut self.layers {
+            layer.set_dropout(0.0);
+        }
+        let logits = self.forward_train(x);
+        let mut seed = Matrix::zeros(logits.rows(), logits.cols());
+        for r in 0..seed.rows() {
+            seed.set(r, class, 1.0);
+        }
+        let grad_input = self.backward(seed);
+        // Restore weights untouched but discard accumulated grads/caches and
+        // restore dropout configuration.
+        self.layers = saved;
+        for layer in &mut self.layers {
+            layer.clear_state();
+        }
+        grad_input
+    }
+
+    /// Serializes the model to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("model serializes")
+    }
+
+    /// Restores a model from [`Mlp::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the JSON does not describe a model.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Convenience: a logistic-regression classifier is an [`Mlp`] with no
+/// hidden layers.
+pub fn logistic_regression(input_dim: usize, num_classes: usize, seed: u64) -> Mlp {
+    Mlp::new(MlpConfig {
+        input_dim,
+        hidden: vec![],
+        num_classes,
+        activation: Activation::Linear,
+        dropout: 0.0,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+    use rand::Rng;
+
+    /// A linearly-separable toy problem: class = (x0 > x1).
+    fn toy_data(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Matrix::from_fn(n, 2, |_, _| rng.gen::<f32>());
+        let labels = (0..n)
+            .map(|r| usize::from(x.get(r, 0) > x.get(r, 1)))
+            .collect();
+        (x, labels)
+    }
+
+    #[test]
+    fn learns_linearly_separable_problem() {
+        let (x, y) = toy_data(256, 1);
+        let mut mlp = Mlp::new(MlpConfig {
+            input_dim: 2,
+            hidden: vec![8],
+            num_classes: 2,
+            activation: Activation::Relu,
+            dropout: 0.0,
+            seed: 42,
+        });
+        let mut opt = Adam::new(0.01);
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..200 {
+            last_loss = mlp.train_batch(&x, &y, &mut opt);
+        }
+        assert!(last_loss < 0.1, "loss = {last_loss}");
+        let preds = mlp.predict(&x);
+        let correct = preds.iter().zip(&y).filter(|(a, b)| a == b).count();
+        assert!(correct as f32 / y.len() as f32 > 0.95);
+    }
+
+    #[test]
+    fn predict_proba_rows_sum_to_one() {
+        let mlp = Mlp::new(MlpConfig::classifier(4, 3));
+        let x = Matrix::from_fn(5, 4, |r, c| (r + c) as f32 * 0.1);
+        let p = mlp.predict_proba(&x);
+        for r in 0..5 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_predictions() {
+        let a = Mlp::new(MlpConfig::classifier(4, 2));
+        let b = Mlp::new(MlpConfig::classifier(4, 2));
+        let x = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 * 0.05);
+        assert_eq!(a.logits(&x).data(), b.logits(&x).data());
+    }
+
+    #[test]
+    fn input_gradient_finds_the_informative_feature() {
+        // Class depends only on feature 0; the saliency of feature 0 must
+        // dominate features 1..4 after training.
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 256;
+        let x = Matrix::from_fn(n, 4, |_, _| rng.gen::<f32>());
+        let y: Vec<usize> = (0..n).map(|r| usize::from(x.get(r, 0) > 0.5)).collect();
+        let mut mlp = Mlp::new(MlpConfig {
+            input_dim: 4,
+            hidden: vec![16],
+            num_classes: 2,
+            activation: Activation::Tanh,
+            dropout: 0.0,
+            seed: 3,
+        });
+        let mut opt = Adam::new(0.02);
+        for _ in 0..300 {
+            mlp.train_batch(&x, &y, &mut opt);
+        }
+        let grad = mlp.input_gradient(&x, 1);
+        let mut importance = [0.0f32; 4];
+        for r in 0..n {
+            for (c, imp) in importance.iter_mut().enumerate() {
+                *imp += grad.get(r, c).abs();
+            }
+        }
+        assert!(
+            importance[0] > 3.0 * importance[1]
+                && importance[0] > 3.0 * importance[2]
+                && importance[0] > 3.0 * importance[3],
+            "importance = {importance:?}"
+        );
+    }
+
+    #[test]
+    fn input_gradient_does_not_change_weights() {
+        let mut mlp = Mlp::new(MlpConfig::classifier(3, 2));
+        let x = Matrix::from_fn(2, 3, |r, c| (r + c) as f32 * 0.1);
+        let before = mlp.logits(&x);
+        let _ = mlp.input_gradient(&x, 1);
+        let after = mlp.logits(&x);
+        assert_eq!(before.data(), after.data());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_predictions() {
+        let mlp = Mlp::new(MlpConfig::classifier(4, 2));
+        let x = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 * 0.1);
+        let json = mlp.to_json();
+        let restored = Mlp::from_json(&json).unwrap();
+        assert_eq!(mlp.logits(&x).data(), restored.logits(&x).data());
+    }
+
+    #[test]
+    fn logistic_regression_has_single_layer() {
+        let lr = logistic_regression(5, 2, 1);
+        assert_eq!(lr.layers().len(), 1);
+        assert_eq!(lr.parameter_count(), 5 * 2 + 2);
+    }
+
+    #[test]
+    fn autoencoder_learns_identity_on_low_rank_data() {
+        // Data living on a 1-D manifold inside 4-D space: x = t·[1, 2, 3, 4].
+        let n = 128;
+        let x = Matrix::from_fn(n, 4, |r, c| (r as f32 / n as f32) * (c + 1) as f32 * 0.2);
+        let mut ae = Mlp::new(MlpConfig {
+            input_dim: 4,
+            hidden: vec![2],
+            num_classes: 4,
+            activation: Activation::Tanh,
+            dropout: 0.0,
+            seed: 8,
+        });
+        let mut opt = Adam::new(0.01);
+        let mut last = f32::INFINITY;
+        for _ in 0..400 {
+            last = ae.train_batch_reconstruct(&x, &mut opt);
+        }
+        assert!(last < 0.003, "reconstruction loss {last}");
+        // In-manifold points reconstruct well; off-manifold points do not.
+        let errors = ae.reconstruction_errors(&x);
+        let mean_in: f32 = errors.iter().sum::<f32>() / errors.len() as f32;
+        let outlier = Matrix::from_vec(1, 4, vec![0.9, -0.9, 0.9, -0.9]);
+        let e_out = ae.reconstruction_errors(&outlier)[0];
+        assert!(e_out > 10.0 * mean_in, "in {mean_in} vs out {e_out}");
+    }
+
+    #[test]
+    #[should_panic(expected = "output width")]
+    fn reconstruct_requires_square_config() {
+        let mut m = Mlp::new(MlpConfig::classifier(4, 2));
+        let x = Matrix::zeros(1, 4);
+        let mut opt = Adam::new(0.01);
+        let _ = m.train_batch_reconstruct(&x, &mut opt);
+    }
+
+    #[test]
+    #[should_panic(expected = "input_dim")]
+    fn zero_input_dim_panics() {
+        let _ = Mlp::new(MlpConfig {
+            input_dim: 0,
+            hidden: vec![],
+            num_classes: 2,
+            activation: Activation::Relu,
+            dropout: 0.0,
+            seed: 0,
+        });
+    }
+}

@@ -1,0 +1,125 @@
+//! Link-layer addressing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address, used as a placeholder.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Creates an address from its six octets.
+    pub const fn new(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+
+    /// Returns the six octets of the address.
+    pub const fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+
+    /// Returns `true` if this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// Returns `true` if the group (multicast) bit is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Derives a deterministic, locally-administered unicast address from an
+    /// integer id. Useful for simulated devices.
+    pub fn from_id(id: u64) -> Self {
+        let b = id.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, b[3], b[4], b[5], b[6], b[7]])
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+}
+
+/// Error returned by [`MacAddr::from_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMacError;
+
+impl fmt::Display for ParseMacError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address syntax")
+    }
+}
+
+impl std::error::Error for ParseMacError {}
+
+impl FromStr for MacAddr {
+    type Err = ParseMacError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 6];
+        let mut parts = s.split(':');
+        for octet in octets.iter_mut() {
+            let part = parts.next().ok_or(ParseMacError)?;
+            *octet = u8::from_str_radix(part, 16).map_err(|_| ParseMacError)?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseMacError);
+        }
+        Ok(MacAddr(octets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trip() {
+        let m = MacAddr::new([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+        assert_eq!(m.to_string(), "de:ad:be:ef:00:01");
+        assert_eq!("de:ad:be:ef:00:01".parse::<MacAddr>().unwrap(), m);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("not-a-mac".parse::<MacAddr>().is_err());
+        assert!("00:11:22:33:44".parse::<MacAddr>().is_err());
+        assert!("00:11:22:33:44:55:66".parse::<MacAddr>().is_err());
+        assert!("00:11:22:33:44:zz".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn from_id_is_unicast_and_distinct() {
+        let a = MacAddr::from_id(1);
+        let b = MacAddr::from_id(2);
+        assert_ne!(a, b);
+        assert!(!a.is_multicast());
+        assert!(!a.is_broadcast());
+    }
+
+    #[test]
+    fn broadcast_flags() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+    }
+}

@@ -1,0 +1,155 @@
+//! ARP codec (RFC 826), Ethernet/IPv4 form only.
+
+use crate::addr::MacAddr;
+use crate::error::ParseError;
+use crate::wire;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Length of an Ethernet/IPv4 ARP message.
+pub const HEADER_LEN: usize = 28;
+
+/// ARP operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArpOperation {
+    /// Request, opcode 1.
+    Request,
+    /// Reply, opcode 2.
+    Reply,
+    /// Any other opcode.
+    Unknown(u16),
+}
+
+impl ArpOperation {
+    /// Decodes from the on-wire opcode.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => ArpOperation::Request,
+            2 => ArpOperation::Reply,
+            other => ArpOperation::Unknown(other),
+        }
+    }
+
+    /// Encodes to the on-wire opcode.
+    pub fn as_u16(&self) -> u16 {
+        match self {
+            ArpOperation::Request => 1,
+            ArpOperation::Reply => 2,
+            ArpOperation::Unknown(v) => *v,
+        }
+    }
+}
+
+/// A decoded Ethernet/IPv4 ARP message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArpHeader {
+    /// Request or reply.
+    pub operation: ArpOperation,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address.
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpHeader {
+    /// Creates a who-has request for `target_ip`.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Self {
+        ArpHeader {
+            operation: ArpOperation::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }
+    }
+
+    /// Decodes a message from the start of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation or non-Ethernet/IPv4 hardware/protocol
+    /// types.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), ParseError> {
+        wire::require(buf, HEADER_LEN, "arp message")?;
+        let htype = wire::get_u16(buf, 0, "arp htype")?;
+        let ptype = wire::get_u16(buf, 2, "arp ptype")?;
+        if htype != 1 || ptype != 0x0800 || buf[4] != 6 || buf[5] != 4 {
+            return Err(ParseError::invalid(
+                "arp message",
+                "only ethernet/ipv4 arp is supported",
+            ));
+        }
+        Ok((
+            ArpHeader {
+                operation: ArpOperation::from_u16(wire::get_u16(buf, 6, "arp oper")?),
+                sender_mac: MacAddr(wire::get_array(buf, 8, "arp sha")?),
+                sender_ip: Ipv4Addr::from(wire::get_array::<4>(buf, 14, "arp spa")?),
+                target_mac: MacAddr(wire::get_array(buf, 18, "arp tha")?),
+                target_ip: Ipv4Addr::from(wire::get_array::<4>(buf, 24, "arp tpa")?),
+            },
+            HEADER_LEN,
+        ))
+    }
+
+    /// Appends the encoded message to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        wire::put_u16(out, 1); // ethernet
+        wire::put_u16(out, 0x0800); // ipv4
+        out.push(6);
+        out.push(4);
+        wire::put_u16(out, self.operation.as_u16());
+        out.extend_from_slice(&self.sender_mac.octets());
+        out.extend_from_slice(&self.sender_ip.octets());
+        out.extend_from_slice(&self.target_mac.octets());
+        out.extend_from_slice(&self.target_ip.octets());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_request() {
+        let hdr = ArpHeader::request(
+            MacAddr::from_id(9),
+            Ipv4Addr::new(192, 168, 1, 9),
+            Ipv4Addr::new(192, 168, 1, 1),
+        );
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        let (decoded, used) = ArpHeader::decode(&buf).unwrap();
+        assert_eq!(used, HEADER_LEN);
+        assert_eq!(decoded, hdr);
+    }
+
+    #[test]
+    fn rejects_non_ethernet() {
+        let hdr = ArpHeader::request(
+            MacAddr::from_id(9),
+            Ipv4Addr::new(192, 168, 1, 9),
+            Ipv4Addr::new(192, 168, 1, 1),
+        );
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        buf[0] = 0;
+        buf[1] = 6; // ieee 802
+        assert!(ArpHeader::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn operation_codes_round_trip() {
+        for op in [
+            ArpOperation::Request,
+            ArpOperation::Reply,
+            ArpOperation::Unknown(9),
+        ] {
+            assert_eq!(ArpOperation::from_u16(op.as_u16()), op);
+        }
+    }
+}

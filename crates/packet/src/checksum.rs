@@ -1,0 +1,121 @@
+//! Internet (RFC 1071) checksum helpers used by the IPv4, TCP, UDP and ICMP
+//! codecs.
+
+use std::net::Ipv4Addr;
+
+/// Computes the one's-complement internet checksum of `data`.
+///
+/// The returned value is the final checksum field value (already
+/// complemented). A buffer whose checksum field is filled with the returned
+/// value verifies as zero.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    !fold(sum_bytes(0, data))
+}
+
+/// Computes the TCP/UDP checksum including the IPv4 pseudo-header.
+///
+/// `protocol` is the IP protocol number (6 for TCP, 17 for UDP) and
+/// `segment` is the full transport header plus payload with the checksum
+/// field zeroed.
+pub fn transport_checksum(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, segment: &[u8]) -> u16 {
+    let mut acc: u32 = 0;
+    acc = sum_bytes(acc, &src.octets());
+    acc = sum_bytes(acc, &dst.octets());
+    acc += u32::from(protocol);
+    acc += segment.len() as u32;
+    acc = sum_bytes(acc, segment);
+    !fold(acc)
+}
+
+/// Computes the TCP/UDP checksum including the IPv6 pseudo-header
+/// (RFC 8200 §8.1).
+pub fn transport_checksum_v6(
+    src: std::net::Ipv6Addr,
+    dst: std::net::Ipv6Addr,
+    protocol: u8,
+    segment: &[u8],
+) -> u16 {
+    let mut acc: u32 = 0;
+    acc = sum_bytes(acc, &src.octets());
+    acc = sum_bytes(acc, &dst.octets());
+    acc += segment.len() as u32;
+    acc += u32::from(protocol);
+    acc = sum_bytes(acc, segment);
+    !fold(acc)
+}
+
+/// Verifies a buffer that contains its own checksum field; returns `true`
+/// when the checksum over the whole buffer folds to zero.
+pub fn verify(data: &[u8]) -> bool {
+    fold(sum_bytes(0, data)) == 0xffff
+}
+
+fn sum_bytes(mut acc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+fn fold(mut acc: u32) -> u16 {
+    while acc > 0xffff {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    acc as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Example from RFC 1071 section 3: {00 01, f2 03, f4 f5, f6 f7}.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // Sum is 0x2ddf0 -> folded 0xddf2, checksum = !0xddf2 = 0x220d.
+        assert_eq!(internet_checksum(&data), 0x220d);
+    }
+
+    #[test]
+    fn checksum_of_zeroes_is_all_ones() {
+        assert_eq!(internet_checksum(&[0u8; 8]), 0xffff);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(internet_checksum(&[0xab]), internet_checksum(&[0xab, 0x00]));
+    }
+
+    #[test]
+    fn verify_accepts_self_checksummed_buffer() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0];
+        let ck = internet_checksum(&data);
+        data[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 0x01;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn transport_checksum_detects_corruption() {
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(10, 0, 0, 2);
+        let mut seg = vec![0u8; 16];
+        seg[0] = 0x13;
+        seg[1] = 0x88; // src port 5000
+        let ck = transport_checksum(src, dst, 17, &seg);
+        // Place checksum at UDP offset 6..8 and re-verify via pseudo-header sum.
+        seg[6..8].copy_from_slice(&ck.to_be_bytes());
+        let again = transport_checksum(src, dst, 17, &{
+            let mut z = seg.clone();
+            z[6] = 0;
+            z[7] = 0;
+            z
+        });
+        assert_eq!(again, ck);
+    }
+}

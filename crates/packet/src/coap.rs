@@ -1,0 +1,354 @@
+//! CoAP message codec (RFC 7252).
+//!
+//! Supports the fixed header, tokens, Uri-Path options (other options are
+//! skipped structurally on decode) and payloads.
+
+use crate::error::ParseError;
+use crate::wire;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Default CoAP UDP port.
+pub const PORT: u16 = 5683;
+
+/// CoAP message types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoapType {
+    /// Confirmable (requires an ACK).
+    Confirmable,
+    /// Non-confirmable.
+    NonConfirmable,
+    /// Acknowledgment.
+    Acknowledgement,
+    /// Reset.
+    Reset,
+}
+
+impl CoapType {
+    fn from_bits(v: u8) -> Self {
+        match v & 0x03 {
+            0 => CoapType::Confirmable,
+            1 => CoapType::NonConfirmable,
+            2 => CoapType::Acknowledgement,
+            _ => CoapType::Reset,
+        }
+    }
+
+    fn as_bits(&self) -> u8 {
+        match self {
+            CoapType::Confirmable => 0,
+            CoapType::NonConfirmable => 1,
+            CoapType::Acknowledgement => 2,
+            CoapType::Reset => 3,
+        }
+    }
+}
+
+/// A CoAP code in `class.detail` notation (e.g. `0.01` = GET).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoapCode(pub u8);
+
+impl CoapCode {
+    /// `0.00` — empty message.
+    pub const EMPTY: CoapCode = CoapCode(0x00);
+    /// `0.01` — GET.
+    pub const GET: CoapCode = CoapCode(0x01);
+    /// `0.02` — POST.
+    pub const POST: CoapCode = CoapCode(0x02);
+    /// `0.03` — PUT.
+    pub const PUT: CoapCode = CoapCode(0x03);
+    /// `2.05` — Content.
+    pub const CONTENT: CoapCode = CoapCode(0x45);
+    /// `4.04` — Not Found.
+    pub const NOT_FOUND: CoapCode = CoapCode(0x84);
+
+    /// The 3-bit class part of the code.
+    pub fn class(&self) -> u8 {
+        self.0 >> 5
+    }
+
+    /// The 5-bit detail part of the code.
+    pub fn detail(&self) -> u8 {
+        self.0 & 0x1f
+    }
+
+    /// Returns `true` for request codes (class 0, nonzero detail).
+    pub fn is_request(&self) -> bool {
+        self.class() == 0 && self.detail() != 0
+    }
+}
+
+impl fmt::Display for CoapCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:02}", self.class(), self.detail())
+    }
+}
+
+/// Uri-Path option number.
+const OPTION_URI_PATH: u16 = 11;
+/// Payload marker byte.
+const PAYLOAD_MARKER: u8 = 0xff;
+
+/// A decoded CoAP message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoapMessage {
+    /// Message type.
+    pub msg_type: CoapType,
+    /// Request/response code.
+    pub code: CoapCode,
+    /// Message id used for deduplication and ACK matching.
+    pub message_id: u16,
+    /// Token (0..=8 bytes).
+    pub token: Vec<u8>,
+    /// Uri-Path segments (only Uri-Path options are retained on decode).
+    pub uri_path: Vec<String>,
+    /// Payload after the `0xFF` marker.
+    pub payload: Vec<u8>,
+}
+
+impl CoapMessage {
+    /// Creates a confirmable GET request for the given path segments.
+    pub fn get(message_id: u16, token: Vec<u8>, path: &[&str]) -> Self {
+        CoapMessage {
+            msg_type: CoapType::Confirmable,
+            code: CoapCode::GET,
+            message_id,
+            token,
+            uri_path: path.iter().map(|s| (*s).to_owned()).collect(),
+            payload: Vec::new(),
+        }
+    }
+
+    /// Creates an ACK carrying a `2.05 Content` response payload.
+    pub fn content_response(message_id: u16, token: Vec<u8>, payload: Vec<u8>) -> Self {
+        CoapMessage {
+            msg_type: CoapType::Acknowledgement,
+            code: CoapCode::CONTENT,
+            message_id,
+            token,
+            uri_path: Vec::new(),
+            payload,
+        }
+    }
+
+    /// Encodes the message into a standalone byte vector (a UDP payload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token is longer than 8 bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        assert!(self.token.len() <= 8, "coap token exceeds 8 bytes");
+        let mut out = Vec::new();
+        out.push((1 << 6) | (self.msg_type.as_bits() << 4) | self.token.len() as u8);
+        out.push(self.code.0);
+        wire::put_u16(&mut out, self.message_id);
+        out.extend_from_slice(&self.token);
+        let mut prev_option = 0u16;
+        for seg in &self.uri_path {
+            encode_option(&mut out, &mut prev_option, OPTION_URI_PATH, seg.as_bytes());
+        }
+        if !self.payload.is_empty() {
+            out.push(PAYLOAD_MARKER);
+            out.extend_from_slice(&self.payload);
+        }
+        out
+    }
+
+    /// Decodes a message from the start of `buf`, returning the message and
+    /// the number of bytes consumed (always `buf.len()`, since CoAP fills
+    /// the datagram).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation, a wrong version, a token length above
+    /// 8, or a malformed option encoding.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), ParseError> {
+        wire::require(buf, 4, "coap header")?;
+        let first = buf[0];
+        if first >> 6 != 1 {
+            return Err(ParseError::invalid(
+                "coap header",
+                format!("version is {}", first >> 6),
+            ));
+        }
+        let tkl = usize::from(first & 0x0f);
+        if tkl > 8 {
+            return Err(ParseError::invalid(
+                "coap header",
+                format!("token length {tkl} exceeds 8"),
+            ));
+        }
+        let code = CoapCode(buf[1]);
+        let message_id = wire::get_u16(buf, 2, "coap message id")?;
+        wire::require(buf, 4 + tkl, "coap token")?;
+        let token = buf[4..4 + tkl].to_vec();
+        let mut at = 4 + tkl;
+        let mut option_number = 0u16;
+        let mut uri_path = Vec::new();
+        let mut payload = Vec::new();
+        while at < buf.len() {
+            if buf[at] == PAYLOAD_MARKER {
+                at += 1;
+                if at >= buf.len() {
+                    return Err(ParseError::invalid(
+                        "coap payload",
+                        "payload marker with empty payload",
+                    ));
+                }
+                payload = buf[at..].to_vec();
+                at = buf.len();
+                break;
+            }
+            let (delta, len, used) = decode_option_header(&buf[at..])?;
+            at += used;
+            option_number = option_number
+                .checked_add(delta)
+                .ok_or_else(|| ParseError::invalid("coap option", "option number overflow"))?;
+            let end = at + len;
+            let value = buf
+                .get(at..end)
+                .ok_or_else(|| ParseError::truncated("coap option value", end, buf.len()))?;
+            if option_number == OPTION_URI_PATH {
+                let seg = std::str::from_utf8(value)
+                    .map_err(|_| ParseError::invalid("coap uri-path", "segment is not utf-8"))?;
+                uri_path.push(seg.to_owned());
+            }
+            at = end;
+        }
+        Ok((
+            CoapMessage {
+                msg_type: CoapType::from_bits(first >> 4),
+                code,
+                message_id,
+                token,
+                uri_path,
+                payload,
+            },
+            at,
+        ))
+    }
+}
+
+fn encode_option(out: &mut Vec<u8>, prev: &mut u16, number: u16, value: &[u8]) {
+    let delta = number - *prev;
+    *prev = number;
+    let (delta_nibble, delta_ext) = nibble_parts(u32::from(delta));
+    let (len_nibble, len_ext) = nibble_parts(value.len() as u32);
+    out.push((delta_nibble << 4) | len_nibble);
+    out.extend_from_slice(&delta_ext);
+    out.extend_from_slice(&len_ext);
+    out.extend_from_slice(value);
+}
+
+/// Splits a value into the 4-bit nibble and extension bytes per RFC 7252 §3.1.
+fn nibble_parts(v: u32) -> (u8, Vec<u8>) {
+    if v < 13 {
+        (v as u8, Vec::new())
+    } else if v < 269 {
+        (13, vec![(v - 13) as u8])
+    } else {
+        (14, ((v - 269) as u16).to_be_bytes().to_vec())
+    }
+}
+
+/// Decodes one option header, returning (delta, length, bytes consumed).
+fn decode_option_header(buf: &[u8]) -> Result<(u16, usize, usize), ParseError> {
+    let first = wire::get_u8(buf, 0, "coap option header")?;
+    let mut at = 1usize;
+    let mut read_part = |nibble: u8| -> Result<u16, ParseError> {
+        match nibble {
+            0..=12 => Ok(u16::from(nibble)),
+            13 => {
+                let v = wire::get_u8(buf, at, "coap option ext8")?;
+                at += 1;
+                Ok(u16::from(v) + 13)
+            }
+            14 => {
+                let v = wire::get_u16(buf, at, "coap option ext16")?;
+                at += 2;
+                Ok(v.saturating_add(269))
+            }
+            _ => Err(ParseError::invalid(
+                "coap option",
+                "nibble 15 is reserved for the payload marker",
+            )),
+        }
+    };
+    let delta = read_part(first >> 4)?;
+    let len = read_part(first & 0x0f)?;
+    Ok((delta, usize::from(len), at))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(m: CoapMessage) {
+        let bytes = m.encode();
+        let (decoded, used) = CoapMessage::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn round_trip_get() {
+        round_trip(CoapMessage::get(0x1234, vec![0xde, 0xad], &["sensors", "temp"]));
+    }
+
+    #[test]
+    fn round_trip_response_with_payload() {
+        round_trip(CoapMessage::content_response(7, vec![1], b"22.4C".to_vec()));
+    }
+
+    #[test]
+    fn round_trip_long_path_segment() {
+        // A segment longer than 12 bytes exercises the 13-extension form,
+        // and one longer than 268 exercises the 14-extension form.
+        round_trip(CoapMessage::get(1, vec![], &[&"a".repeat(20)]));
+        round_trip(CoapMessage::get(2, vec![], &[&"b".repeat(300)]));
+    }
+
+    #[test]
+    fn code_display() {
+        assert_eq!(CoapCode::GET.to_string(), "0.01");
+        assert_eq!(CoapCode::CONTENT.to_string(), "2.05");
+        assert_eq!(CoapCode::NOT_FOUND.to_string(), "4.04");
+        assert!(CoapCode::GET.is_request());
+        assert!(!CoapCode::CONTENT.is_request());
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = CoapMessage::get(1, vec![], &["x"]).encode();
+        bytes[0] = (bytes[0] & 0x3f) | (2 << 6);
+        assert!(CoapMessage::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_long_token() {
+        let mut bytes = CoapMessage::get(1, vec![0; 8], &[]).encode();
+        bytes[0] = (bytes[0] & 0xf0) | 9;
+        assert!(CoapMessage::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_marker_without_payload() {
+        let mut bytes = CoapMessage::get(1, vec![], &[]).encode();
+        bytes.push(PAYLOAD_MARKER);
+        assert!(CoapMessage::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn skips_unknown_options() {
+        // Insert an unknown option (number 12, Content-Format) before payload.
+        let mut bytes = vec![
+            0x40, 0x01, 0x00, 0x01, // header, GET, id 1
+            0xc0, // option delta 12, length 0 (content-format)
+        ];
+        bytes.push(PAYLOAD_MARKER);
+        bytes.extend_from_slice(b"hi");
+        let (m, _) = CoapMessage::decode(&bytes).unwrap();
+        assert!(m.uri_path.is_empty());
+        assert_eq!(m.payload, b"hi");
+    }
+}

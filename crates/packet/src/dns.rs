@@ -1,0 +1,203 @@
+//! DNS message codec (RFC 1035), single-question form.
+//!
+//! The simulator only ever emits queries and minimal responses with one
+//! question section entry, which is also all the detection pipeline needs:
+//! the distinguishing signal for DNS tunnelling lives in the header flags,
+//! counts and the query name itself.
+
+use crate::error::ParseError;
+use crate::wire;
+use serde::{Deserialize, Serialize};
+
+/// Default DNS UDP port.
+pub const PORT: u16 = 53;
+
+/// Query type A (host address).
+pub const QTYPE_A: u16 = 1;
+/// Query type TXT.
+pub const QTYPE_TXT: u16 = 16;
+/// Query type AAAA.
+pub const QTYPE_AAAA: u16 = 28;
+/// Query class IN.
+pub const QCLASS_IN: u16 = 1;
+
+/// A decoded single-question DNS message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsMessage {
+    /// Transaction id.
+    pub id: u16,
+    /// Raw flags word (QR, opcode, AA, TC, RD, RA, rcode).
+    pub flags: u16,
+    /// The question name, dot-separated (e.g. `"sensor.example.com"`).
+    pub qname: String,
+    /// Question type.
+    pub qtype: u16,
+    /// Question class.
+    pub qclass: u16,
+    /// Answer count advertised in the header (answer records themselves are
+    /// carried opaquely in `answer_bytes`).
+    pub ancount: u16,
+    /// Raw bytes of everything after the question section.
+    pub answer_bytes: Vec<u8>,
+}
+
+impl DnsMessage {
+    /// Flags word of a standard recursive query.
+    pub const FLAGS_QUERY: u16 = 0x0100;
+    /// Flags word of a standard authoritative response.
+    pub const FLAGS_RESPONSE: u16 = 0x8180;
+
+    /// Creates a standard A-record query.
+    pub fn query(id: u16, qname: &str) -> Self {
+        DnsMessage {
+            id,
+            flags: Self::FLAGS_QUERY,
+            qname: qname.to_owned(),
+            qtype: QTYPE_A,
+            qclass: QCLASS_IN,
+            ancount: 0,
+            answer_bytes: Vec::new(),
+        }
+    }
+
+    /// Returns `true` if the QR bit marks this as a response.
+    pub fn is_response(&self) -> bool {
+        self.flags & 0x8000 != 0
+    }
+
+    /// Encodes the message into a standalone byte vector (a UDP payload).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qname label exceeds 63 bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        wire::put_u16(&mut out, self.id);
+        wire::put_u16(&mut out, self.flags);
+        wire::put_u16(&mut out, 1); // qdcount
+        wire::put_u16(&mut out, self.ancount);
+        wire::put_u16(&mut out, 0); // nscount
+        wire::put_u16(&mut out, 0); // arcount
+        for label in self.qname.split('.').filter(|l| !l.is_empty()) {
+            assert!(label.len() <= 63, "dns label exceeds 63 bytes");
+            out.push(label.len() as u8);
+            out.extend_from_slice(label.as_bytes());
+        }
+        out.push(0); // root
+        wire::put_u16(&mut out, self.qtype);
+        wire::put_u16(&mut out, self.qclass);
+        out.extend_from_slice(&self.answer_bytes);
+        out
+    }
+
+    /// Decodes a message from the start of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation, a question count other than one, or a
+    /// malformed name encoding.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), ParseError> {
+        wire::require(buf, 12, "dns header")?;
+        let id = wire::get_u16(buf, 0, "dns id")?;
+        let flags = wire::get_u16(buf, 2, "dns flags")?;
+        let qdcount = wire::get_u16(buf, 4, "dns qdcount")?;
+        if qdcount != 1 {
+            return Err(ParseError::invalid(
+                "dns message",
+                format!("expected exactly 1 question, found {qdcount}"),
+            ));
+        }
+        let ancount = wire::get_u16(buf, 6, "dns ancount")?;
+        let (qname, mut at) = decode_name(buf, 12)?;
+        let qtype = wire::get_u16(buf, at, "dns qtype")?;
+        let qclass = wire::get_u16(buf, at + 2, "dns qclass")?;
+        at += 4;
+        Ok((
+            DnsMessage {
+                id,
+                flags,
+                qname,
+                qtype,
+                qclass,
+                ancount,
+                answer_bytes: buf[at..].to_vec(),
+            },
+            buf.len(),
+        ))
+    }
+}
+
+/// Decodes an uncompressed DNS name starting at `start`, returning the
+/// dot-separated name and the offset just past the terminating root label.
+fn decode_name(buf: &[u8], start: usize) -> Result<(String, usize), ParseError> {
+    let mut labels: Vec<String> = Vec::new();
+    let mut at = start;
+    loop {
+        let len = usize::from(wire::get_u8(buf, at, "dns label length")?);
+        at += 1;
+        if len == 0 {
+            break;
+        }
+        if len > 63 {
+            return Err(ParseError::invalid(
+                "dns name",
+                "label length above 63 (compression is not supported)",
+            ));
+        }
+        let end = at + len;
+        let bytes = buf
+            .get(at..end)
+            .ok_or_else(|| ParseError::truncated("dns label", end, buf.len()))?;
+        let label = std::str::from_utf8(bytes)
+            .map_err(|_| ParseError::invalid("dns label", "label is not utf-8"))?;
+        labels.push(label.to_owned());
+        at = end;
+    }
+    Ok((labels.join("."), at))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_query() {
+        let q = DnsMessage::query(0xbeef, "camera.vendor.example.com");
+        let bytes = q.encode();
+        let (decoded, used) = DnsMessage::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, q);
+        assert!(!decoded.is_response());
+    }
+
+    #[test]
+    fn round_trip_response_with_opaque_answers() {
+        let mut m = DnsMessage::query(1, "example.com");
+        m.flags = DnsMessage::FLAGS_RESPONSE;
+        m.ancount = 1;
+        m.answer_bytes = vec![0xc0, 0x0c, 0, 1, 0, 1, 0, 0, 0, 60, 0, 4, 10, 0, 0, 5];
+        let bytes = m.encode();
+        let (decoded, _) = DnsMessage::decode(&bytes).unwrap();
+        assert_eq!(decoded, m);
+        assert!(decoded.is_response());
+    }
+
+    #[test]
+    fn rejects_multi_question() {
+        let mut bytes = DnsMessage::query(1, "a.b").encode();
+        bytes[5] = 2;
+        assert!(DnsMessage::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_name() {
+        let bytes = DnsMessage::query(1, "abcdef.example").encode();
+        assert!(DnsMessage::decode(&bytes[..14]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "63 bytes")]
+    fn encode_panics_on_long_label() {
+        let _ = DnsMessage::query(1, &"x".repeat(64)).encode();
+    }
+}

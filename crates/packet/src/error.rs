@@ -1,0 +1,122 @@
+//! Error types for packet parsing and trace (de)serialization.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when decoding a header or frame from raw bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input ended before the header was complete.
+    Truncated {
+        /// What was being decoded (e.g. `"ipv4 header"`).
+        what: &'static str,
+        /// Bytes required to finish decoding.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The bytes were long enough but structurally invalid.
+    Invalid {
+        /// What was being decoded.
+        what: &'static str,
+        /// Human-readable reason for the failure.
+        reason: String,
+    },
+}
+
+impl ParseError {
+    /// Convenience constructor for [`ParseError::Invalid`].
+    pub fn invalid(what: &'static str, reason: impl Into<String>) -> Self {
+        ParseError::Invalid {
+            what,
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`ParseError::Truncated`].
+    pub fn truncated(what: &'static str, needed: usize, available: usize) -> Self {
+        ParseError::Truncated {
+            what,
+            needed,
+            available,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated {
+                what,
+                needed,
+                available,
+            } => write!(
+                f,
+                "truncated {what}: needed {needed} bytes, only {available} available"
+            ),
+            ParseError::Invalid { what, reason } => write!(f, "invalid {what}: {reason}"),
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+/// Error produced when reading or writing a [`Trace`](crate::trace::Trace) file.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// The underlying I/O operation failed.
+    Io(std::io::Error),
+    /// The file did not carry the expected magic or version.
+    Format(String),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceIoError::Format(m) => write!(f, "trace format error: {m}"),
+        }
+    }
+}
+
+impl Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Format(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_truncated() {
+        let e = ParseError::truncated("tcp header", 20, 7);
+        assert_eq!(
+            e.to_string(),
+            "truncated tcp header: needed 20 bytes, only 7 available"
+        );
+    }
+
+    #[test]
+    fn display_invalid() {
+        let e = ParseError::invalid("ipv4 header", "version is 7");
+        assert_eq!(e.to_string(), "invalid ipv4 header: version is 7");
+    }
+
+    #[test]
+    fn trace_io_error_from_io() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e = TraceIoError::from(io);
+        assert!(e.to_string().contains("boom"));
+    }
+}

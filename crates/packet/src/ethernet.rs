@@ -1,0 +1,249 @@
+//! Ethernet II framing with optional 802.1Q VLAN tag.
+
+use crate::addr::MacAddr;
+use crate::error::ParseError;
+use crate::wire;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Length of an untagged Ethernet II header.
+pub const HEADER_LEN: usize = 14;
+/// Length of an 802.1Q tag.
+pub const VLAN_TAG_LEN: usize = 4;
+
+/// Values of the Ethernet `ethertype` field understood by this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EtherType {
+    /// IPv4, `0x0800`.
+    Ipv4,
+    /// ARP, `0x0806`.
+    Arp,
+    /// IPv6, `0x86DD`.
+    Ipv6,
+    /// 802.1Q VLAN tag, `0x8100`.
+    Vlan,
+    /// The ZWire experimental IoT protocol, `0x88B5` (IEEE local experimental).
+    ZWire,
+    /// Any other value.
+    Unknown(u16),
+}
+
+impl EtherType {
+    /// Decodes from the on-wire 16-bit value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x86dd => EtherType::Ipv6,
+            0x8100 => EtherType::Vlan,
+            0x88b5 => EtherType::ZWire,
+            other => EtherType::Unknown(other),
+        }
+    }
+
+    /// Encodes to the on-wire 16-bit value.
+    pub fn as_u16(&self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Ipv6 => 0x86dd,
+            EtherType::Vlan => 0x8100,
+            EtherType::ZWire => 0x88b5,
+            EtherType::Unknown(v) => *v,
+        }
+    }
+}
+
+impl fmt::Display for EtherType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtherType::Ipv4 => write!(f, "ipv4"),
+            EtherType::Arp => write!(f, "arp"),
+            EtherType::Ipv6 => write!(f, "ipv6"),
+            EtherType::Vlan => write!(f, "vlan"),
+            EtherType::ZWire => write!(f, "zwire"),
+            EtherType::Unknown(v) => write!(f, "ethertype(0x{v:04x})"),
+        }
+    }
+}
+
+/// An 802.1Q VLAN tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VlanTag {
+    /// Priority code point (3 bits).
+    pub pcp: u8,
+    /// Drop eligible indicator.
+    pub dei: bool,
+    /// VLAN identifier (12 bits).
+    pub vid: u16,
+}
+
+impl VlanTag {
+    /// Creates a tag with the given VLAN id and zero priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vid` does not fit in 12 bits.
+    pub fn new(vid: u16) -> Self {
+        assert!(vid < 4096, "VLAN id must fit in 12 bits");
+        VlanTag {
+            pcp: 0,
+            dei: false,
+            vid,
+        }
+    }
+
+    fn tci(&self) -> u16 {
+        (u16::from(self.pcp) << 13) | (u16::from(self.dei) << 12) | (self.vid & 0x0fff)
+    }
+
+    fn from_tci(tci: u16) -> Self {
+        VlanTag {
+            pcp: (tci >> 13) as u8,
+            dei: tci & 0x1000 != 0,
+            vid: tci & 0x0fff,
+        }
+    }
+}
+
+/// A decoded Ethernet II header, including an optional VLAN tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EthernetHeader {
+    /// Destination MAC address.
+    pub dst: MacAddr,
+    /// Source MAC address.
+    pub src: MacAddr,
+    /// Optional 802.1Q tag.
+    pub vlan: Option<VlanTag>,
+    /// The ethertype of the encapsulated payload (after any VLAN tag).
+    pub ethertype: EtherType,
+}
+
+impl EthernetHeader {
+    /// Creates an untagged header.
+    pub fn new(dst: MacAddr, src: MacAddr, ethertype: EtherType) -> Self {
+        EthernetHeader {
+            dst,
+            src,
+            vlan: None,
+            ethertype,
+        }
+    }
+
+    /// Number of bytes this header occupies on the wire.
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + if self.vlan.is_some() { VLAN_TAG_LEN } else { 0 }
+    }
+
+    /// Decodes a header from the start of `buf`, returning the header and the
+    /// number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError::Truncated`] if `buf` is too short.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), ParseError> {
+        wire::require(buf, HEADER_LEN, "ethernet header")?;
+        let dst = MacAddr(wire::get_array(buf, 0, "ethernet dst")?);
+        let src = MacAddr(wire::get_array(buf, 6, "ethernet src")?);
+        let first_type = wire::get_u16(buf, 12, "ethertype")?;
+        if EtherType::from_u16(first_type) == EtherType::Vlan {
+            let tci = wire::get_u16(buf, 14, "vlan tci")?;
+            let inner = wire::get_u16(buf, 16, "vlan ethertype")?;
+            Ok((
+                EthernetHeader {
+                    dst,
+                    src,
+                    vlan: Some(VlanTag::from_tci(tci)),
+                    ethertype: EtherType::from_u16(inner),
+                },
+                HEADER_LEN + VLAN_TAG_LEN,
+            ))
+        } else {
+            Ok((
+                EthernetHeader {
+                    dst,
+                    src,
+                    vlan: None,
+                    ethertype: EtherType::from_u16(first_type),
+                },
+                HEADER_LEN,
+            ))
+        }
+    }
+
+    /// Appends the encoded header to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.dst.octets());
+        out.extend_from_slice(&self.src.octets());
+        if let Some(tag) = self.vlan {
+            wire::put_u16(out, EtherType::Vlan.as_u16());
+            wire::put_u16(out, tag.tci());
+        }
+        wire::put_u16(out, self.ethertype.as_u16());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EthernetHeader {
+        EthernetHeader::new(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            EtherType::Ipv4,
+        )
+    }
+
+    #[test]
+    fn round_trip_untagged() {
+        let hdr = sample();
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        let (decoded, used) = EthernetHeader::decode(&buf).unwrap();
+        assert_eq!(decoded, hdr);
+        assert_eq!(used, HEADER_LEN);
+    }
+
+    #[test]
+    fn round_trip_vlan_tagged() {
+        let mut hdr = sample();
+        hdr.vlan = Some(VlanTag {
+            pcp: 5,
+            dei: true,
+            vid: 100,
+        });
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        assert_eq!(buf.len(), HEADER_LEN + VLAN_TAG_LEN);
+        let (decoded, used) = EthernetHeader::decode(&buf).unwrap();
+        assert_eq!(decoded, hdr);
+        assert_eq!(used, HEADER_LEN + VLAN_TAG_LEN);
+    }
+
+    #[test]
+    fn truncated_header_is_rejected() {
+        assert!(EthernetHeader::decode(&[0u8; 13]).is_err());
+    }
+
+    #[test]
+    fn ethertype_codes() {
+        for et in [
+            EtherType::Ipv4,
+            EtherType::Arp,
+            EtherType::Ipv6,
+            EtherType::Vlan,
+            EtherType::ZWire,
+            EtherType::Unknown(0x1234),
+        ] {
+            assert_eq!(EtherType::from_u16(et.as_u16()), et);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "12 bits")]
+    fn vlan_id_overflow_panics() {
+        let _ = VlanTag::new(4096);
+    }
+}

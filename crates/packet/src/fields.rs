@@ -1,0 +1,255 @@
+//! Byte-offset ↔ header-field mapping.
+//!
+//! Stage 1 of the pipeline selects *byte positions* in the raw frame with no
+//! protocol knowledge. This module recovers the human interpretation of a
+//! selected position — `"tcp.dst_port[1]"`, `"zwire.msg_type"` — which is
+//! what the paper reports when arguing the learned selection is meaningful,
+//! and what lets operators audit generated rules.
+
+use crate::ethernet::EtherType;
+use crate::ipv4::IpProtocol;
+use crate::packet::ParsedPacket;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// A named span of bytes within a specific frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldSpan {
+    /// Byte range within the frame.
+    pub range: Range<usize>,
+    /// Dotted field name, e.g. `"ipv4.ttl"`.
+    pub name: &'static str,
+}
+
+impl FieldSpan {
+    fn new(start: usize, len: usize, name: &'static str) -> Self {
+        FieldSpan {
+            range: start..start + len,
+            name,
+        }
+    }
+}
+
+/// Computes the field map of a parsed frame: every known header byte span
+/// with its name, in frame order. Application payloads beyond the modelled
+/// headers are not named.
+pub fn field_map(packet: &ParsedPacket) -> Vec<FieldSpan> {
+    let mut spans = Vec::with_capacity(24);
+    spans.push(FieldSpan::new(0, 6, "eth.dst"));
+    spans.push(FieldSpan::new(6, 6, "eth.src"));
+    let mut at = 12;
+    if packet.ethernet.vlan.is_some() {
+        spans.push(FieldSpan::new(at, 2, "eth.tpid"));
+        spans.push(FieldSpan::new(at + 2, 2, "eth.vlan_tci"));
+        at += 4;
+    }
+    spans.push(FieldSpan::new(at, 2, "eth.ethertype"));
+    at += 2;
+
+    match packet.ethernet.ethertype {
+        EtherType::Arp if packet.arp.is_some() => {
+            for (off, len, name) in [
+                (0, 2, "arp.htype"),
+                (2, 2, "arp.ptype"),
+                (4, 1, "arp.hlen"),
+                (5, 1, "arp.plen"),
+                (6, 2, "arp.oper"),
+                (8, 6, "arp.sha"),
+                (14, 4, "arp.spa"),
+                (18, 6, "arp.tha"),
+                (24, 4, "arp.tpa"),
+            ] {
+                spans.push(FieldSpan::new(at + off, len, name));
+            }
+        }
+        EtherType::ZWire if packet.zwire.is_some() => {
+            for (off, len, name) in [
+                (0, 1, "zwire.magic"),
+                (1, 1, "zwire.version"),
+                (2, 1, "zwire.msg_type"),
+                (3, 4, "zwire.home_id"),
+                (7, 1, "zwire.src_node"),
+                (8, 1, "zwire.dst_node"),
+                (9, 1, "zwire.seq"),
+                (10, 1, "zwire.len"),
+            ] {
+                spans.push(FieldSpan::new(at + off, len, name));
+            }
+        }
+        EtherType::Ipv4 => {
+            if let Some(ip) = &packet.ipv4 {
+                for (off, len, name) in [
+                    (0, 1, "ipv4.ver_ihl"),
+                    (1, 1, "ipv4.dscp_ecn"),
+                    (2, 2, "ipv4.total_len"),
+                    (4, 2, "ipv4.identification"),
+                    (6, 2, "ipv4.flags_frag"),
+                    (8, 1, "ipv4.ttl"),
+                    (9, 1, "ipv4.protocol"),
+                    (10, 2, "ipv4.checksum"),
+                    (12, 4, "ipv4.src"),
+                    (16, 4, "ipv4.dst"),
+                ] {
+                    spans.push(FieldSpan::new(at + off, len, name));
+                }
+                let l4 = at + usize::from(ip.header_len);
+                match ip.protocol {
+                    IpProtocol::Tcp => {
+                        for (off, len, name) in [
+                            (0, 2, "tcp.src_port"),
+                            (2, 2, "tcp.dst_port"),
+                            (4, 4, "tcp.seq"),
+                            (8, 4, "tcp.ack"),
+                            (12, 1, "tcp.data_offset"),
+                            (13, 1, "tcp.flags"),
+                            (14, 2, "tcp.window"),
+                            (16, 2, "tcp.checksum"),
+                            (18, 2, "tcp.urgent"),
+                        ] {
+                            spans.push(FieldSpan::new(l4 + off, len, name));
+                        }
+                        push_app_spans(&mut spans, packet, l4 + 20);
+                    }
+                    IpProtocol::Udp => {
+                        for (off, len, name) in [
+                            (0, 2, "udp.src_port"),
+                            (2, 2, "udp.dst_port"),
+                            (4, 2, "udp.length"),
+                            (6, 2, "udp.checksum"),
+                        ] {
+                            spans.push(FieldSpan::new(l4 + off, len, name));
+                        }
+                        push_app_spans(&mut spans, packet, l4 + 8);
+                    }
+                    IpProtocol::Icmp => {
+                        for (off, len, name) in [
+                            (0, 1, "icmp.type"),
+                            (1, 1, "icmp.code"),
+                            (2, 2, "icmp.checksum"),
+                            (4, 4, "icmp.rest"),
+                        ] {
+                            spans.push(FieldSpan::new(l4 + off, len, name));
+                        }
+                    }
+                    IpProtocol::Unknown(_) => {}
+                }
+            }
+        }
+        _ => {}
+    }
+    spans
+}
+
+fn push_app_spans(spans: &mut Vec<FieldSpan>, packet: &ParsedPacket, app_at: usize) {
+    use crate::packet::Application;
+    match &packet.app {
+        Some(Application::Mqtt(_)) => {
+            spans.push(FieldSpan::new(app_at, 1, "mqtt.type_flags"));
+            spans.push(FieldSpan::new(app_at + 1, 1, "mqtt.remaining_len"));
+        }
+        Some(Application::Coap(_)) => {
+            spans.push(FieldSpan::new(app_at, 1, "coap.ver_type_tkl"));
+            spans.push(FieldSpan::new(app_at + 1, 1, "coap.code"));
+            spans.push(FieldSpan::new(app_at + 2, 2, "coap.message_id"));
+        }
+        Some(Application::Dns(_)) => {
+            spans.push(FieldSpan::new(app_at, 2, "dns.id"));
+            spans.push(FieldSpan::new(app_at + 2, 2, "dns.flags"));
+            spans.push(FieldSpan::new(app_at + 4, 2, "dns.qdcount"));
+            spans.push(FieldSpan::new(app_at + 6, 2, "dns.ancount"));
+            spans.push(FieldSpan::new(app_at + 12, 1, "dns.qname_first_label_len"));
+        }
+        Some(Application::Modbus(_)) => {
+            spans.push(FieldSpan::new(app_at, 2, "modbus.transaction_id"));
+            spans.push(FieldSpan::new(app_at + 2, 2, "modbus.protocol_id"));
+            spans.push(FieldSpan::new(app_at + 4, 2, "modbus.length"));
+            spans.push(FieldSpan::new(app_at + 6, 1, "modbus.unit_id"));
+            spans.push(FieldSpan::new(app_at + 7, 1, "modbus.function"));
+        }
+        None => {}
+    }
+}
+
+/// Describes a single byte offset of a parsed frame, e.g. `"tcp.dst_port[1]"`
+/// for the low byte of the destination port, or `"payload+3"` /
+/// `"offset 61"` for unnamed positions.
+pub fn describe_offset(packet: &ParsedPacket, offset: usize) -> String {
+    for span in field_map(packet) {
+        if span.range.contains(&offset) {
+            return if span.range.len() == 1 {
+                span.name.to_owned()
+            } else {
+                format!("{}[{}]", span.name, offset - span.range.start)
+            };
+        }
+    }
+    if offset >= packet.payload_offset {
+        format!("payload+{}", offset - packet.payload_offset)
+    } else {
+        format!("offset {offset}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::MacAddr;
+    use crate::packet::{parse, PacketBuilder};
+    use crate::tcp::{TcpFlags, TcpHeader};
+    use std::net::Ipv4Addr;
+
+    fn tcp_packet() -> ParsedPacket {
+        let b = PacketBuilder::new(MacAddr::from_id(1), MacAddr::from_id(2));
+        let frame = b.tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            TcpHeader::new(40000, 1883, 0, 0, TcpFlags::SYN),
+            b"",
+        );
+        parse(&frame).unwrap()
+    }
+
+    #[test]
+    fn tcp_offsets_are_named() {
+        let p = tcp_packet();
+        assert_eq!(describe_offset(&p, 12), "eth.ethertype[0]");
+        assert_eq!(describe_offset(&p, 22), "ipv4.ttl");
+        assert_eq!(describe_offset(&p, 23), "ipv4.protocol");
+        assert_eq!(describe_offset(&p, 36), "tcp.dst_port[0]");
+        assert_eq!(describe_offset(&p, 37), "tcp.dst_port[1]");
+        assert_eq!(describe_offset(&p, 47), "tcp.flags");
+    }
+
+    #[test]
+    fn spans_are_ordered_and_non_overlapping() {
+        let p = tcp_packet();
+        let spans = field_map(&p);
+        for pair in spans.windows(2) {
+            assert!(pair[0].range.end <= pair[1].range.start);
+        }
+    }
+
+    #[test]
+    fn zwire_offsets_are_named() {
+        let b = PacketBuilder::new(MacAddr::from_id(1), MacAddr::from_id(2));
+        let frame = b.zwire(&crate::zwire::ZWireFrame::new(
+            crate::zwire::ZWireType::Command,
+            7,
+            1,
+            2,
+            0,
+            vec![9],
+        ));
+        let p = parse(&frame).unwrap();
+        assert_eq!(describe_offset(&p, 16), "zwire.msg_type");
+        assert_eq!(describe_offset(&p, 21), "zwire.src_node");
+    }
+
+    #[test]
+    fn unnamed_offsets_fall_back() {
+        let p = tcp_packet();
+        // Offset far past the frame's named spans.
+        let s = describe_offset(&p, 54);
+        assert!(s.starts_with("payload+"), "got {s}");
+    }
+}

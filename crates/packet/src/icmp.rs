@@ -1,0 +1,89 @@
+//! ICMP header codec (RFC 792).
+
+use crate::checksum;
+use crate::error::ParseError;
+use crate::wire;
+use serde::{Deserialize, Serialize};
+
+/// Length of the fixed ICMP header.
+pub const HEADER_LEN: usize = 8;
+
+/// ICMP message type for echo request.
+pub const TYPE_ECHO_REQUEST: u8 = 8;
+/// ICMP message type for echo reply.
+pub const TYPE_ECHO_REPLY: u8 = 0;
+/// ICMP message type for destination unreachable.
+pub const TYPE_DEST_UNREACHABLE: u8 = 3;
+
+/// A decoded ICMP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IcmpHeader {
+    /// Message type.
+    pub icmp_type: u8,
+    /// Message code.
+    pub code: u8,
+    /// The "rest of header" word (identifier/sequence for echo).
+    pub rest: u32,
+}
+
+impl IcmpHeader {
+    /// Creates an echo-request header with the given identifier and sequence.
+    pub fn echo_request(identifier: u16, sequence: u16) -> Self {
+        IcmpHeader {
+            icmp_type: TYPE_ECHO_REQUEST,
+            code: 0,
+            rest: (u32::from(identifier) << 16) | u32::from(sequence),
+        }
+    }
+
+    /// Decodes a header from the start of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), ParseError> {
+        wire::require(buf, HEADER_LEN, "icmp header")?;
+        Ok((
+            IcmpHeader {
+                icmp_type: buf[0],
+                code: buf[1],
+                rest: wire::get_u32(buf, 4, "icmp rest")?,
+            },
+            HEADER_LEN,
+        ))
+    }
+
+    /// Appends the encoded header and `payload` to `out` with a correct
+    /// checksum over the whole message.
+    pub fn encode_with_payload(&self, payload: &[u8], out: &mut Vec<u8>) {
+        let start = out.len();
+        out.push(self.icmp_type);
+        out.push(self.code);
+        wire::put_u16(out, 0); // checksum placeholder
+        wire::put_u32(out, self.rest);
+        out.extend_from_slice(payload);
+        let ck = checksum::internet_checksum(&out[start..]);
+        out[start + 2..start + 4].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_echo() {
+        let hdr = IcmpHeader::echo_request(0x1234, 7);
+        let mut buf = Vec::new();
+        hdr.encode_with_payload(b"ping", &mut buf);
+        let (decoded, used) = IcmpHeader::decode(&buf).unwrap();
+        assert_eq!(used, HEADER_LEN);
+        assert_eq!(decoded, hdr);
+        assert!(checksum::verify(&buf));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        assert!(IcmpHeader::decode(&[8, 0, 0]).is_err());
+    }
+}

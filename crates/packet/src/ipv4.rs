@@ -1,0 +1,267 @@
+//! IPv4 header codec (RFC 791), options-free form as emitted by the traffic
+//! simulator; headers with options are accepted on decode.
+
+use crate::checksum;
+use crate::error::ParseError;
+use crate::wire;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Length of an options-free IPv4 header.
+pub const HEADER_LEN: usize = 20;
+
+/// IP protocol numbers understood by this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IpProtocol {
+    /// ICMP, protocol 1.
+    Icmp,
+    /// TCP, protocol 6.
+    Tcp,
+    /// UDP, protocol 17.
+    Udp,
+    /// Any other protocol number.
+    Unknown(u8),
+}
+
+impl IpProtocol {
+    /// Decodes from the on-wire protocol number.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            1 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Unknown(other),
+        }
+    }
+
+    /// Encodes to the on-wire protocol number.
+    pub fn as_u8(&self) -> u8 {
+        match self {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Unknown(v) => *v,
+        }
+    }
+}
+
+impl fmt::Display for IpProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpProtocol::Icmp => write!(f, "icmp"),
+            IpProtocol::Tcp => write!(f, "tcp"),
+            IpProtocol::Udp => write!(f, "udp"),
+            IpProtocol::Unknown(v) => write!(f, "ipproto({v})"),
+        }
+    }
+}
+
+/// A decoded IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ipv4Header {
+    /// Differentiated services + ECN byte.
+    pub dscp_ecn: u8,
+    /// Total length of the datagram (header + payload) in bytes.
+    pub total_len: u16,
+    /// Identification field.
+    pub identification: u16,
+    /// Don't-fragment flag.
+    pub dont_fragment: bool,
+    /// More-fragments flag.
+    pub more_fragments: bool,
+    /// Fragment offset in 8-byte units (13 bits).
+    pub fragment_offset: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Encapsulated protocol.
+    pub protocol: IpProtocol,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Header length in bytes (IHL × 4); always [`HEADER_LEN`] for encoded
+    /// headers, but preserved from the wire on decode.
+    pub header_len: u8,
+}
+
+impl Ipv4Header {
+    /// Creates an options-free header with sensible defaults
+    /// (`ttl = 64`, no fragmentation, zero DSCP).
+    ///
+    /// `payload_len` is the length of everything after the IPv4 header.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: IpProtocol, payload_len: usize) -> Self {
+        Ipv4Header {
+            dscp_ecn: 0,
+            total_len: (HEADER_LEN + payload_len) as u16,
+            identification: 0,
+            dont_fragment: true,
+            more_fragments: false,
+            fragment_offset: 0,
+            ttl: 64,
+            protocol,
+            src,
+            dst,
+            header_len: HEADER_LEN as u8,
+        }
+    }
+
+    /// Decodes a header from the start of `buf`, returning the header and the
+    /// number of bytes consumed (the IHL-derived header length).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the buffer is truncated, the version is not 4, or
+    /// the IHL field is below the minimum of 5 words.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), ParseError> {
+        wire::require(buf, HEADER_LEN, "ipv4 header")?;
+        let ver_ihl = buf[0];
+        let version = ver_ihl >> 4;
+        if version != 4 {
+            return Err(ParseError::invalid(
+                "ipv4 header",
+                format!("version is {version}"),
+            ));
+        }
+        let ihl = ver_ihl & 0x0f;
+        if ihl < 5 {
+            return Err(ParseError::invalid(
+                "ipv4 header",
+                format!("ihl {ihl} below minimum of 5"),
+            ));
+        }
+        let header_len = usize::from(ihl) * 4;
+        wire::require(buf, header_len, "ipv4 header with options")?;
+        let flags_frag = wire::get_u16(buf, 6, "ipv4 flags")?;
+        Ok((
+            Ipv4Header {
+                dscp_ecn: buf[1],
+                total_len: wire::get_u16(buf, 2, "ipv4 total length")?,
+                identification: wire::get_u16(buf, 4, "ipv4 identification")?,
+                dont_fragment: flags_frag & 0x4000 != 0,
+                more_fragments: flags_frag & 0x2000 != 0,
+                fragment_offset: flags_frag & 0x1fff,
+                ttl: buf[8],
+                protocol: IpProtocol::from_u8(buf[9]),
+                src: Ipv4Addr::from(wire::get_array::<4>(buf, 12, "ipv4 src")?),
+                dst: Ipv4Addr::from(wire::get_array::<4>(buf, 16, "ipv4 dst")?),
+                header_len: header_len as u8,
+            },
+            header_len,
+        ))
+    }
+
+    /// Appends the encoded header (with a correct checksum) to `out`.
+    ///
+    /// Always emits the 20-byte options-free form.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        out.push(0x45); // version 4, IHL 5
+        out.push(self.dscp_ecn);
+        wire::put_u16(out, self.total_len);
+        wire::put_u16(out, self.identification);
+        let mut flags_frag = self.fragment_offset & 0x1fff;
+        if self.dont_fragment {
+            flags_frag |= 0x4000;
+        }
+        if self.more_fragments {
+            flags_frag |= 0x2000;
+        }
+        wire::put_u16(out, flags_frag);
+        out.push(self.ttl);
+        out.push(self.protocol.as_u8());
+        wire::put_u16(out, 0); // checksum placeholder
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.dst.octets());
+        let ck = checksum::internet_checksum(&out[start..start + HEADER_LEN]);
+        out[start + 10..start + 12].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Header {
+        Ipv4Header::new(
+            Ipv4Addr::new(192, 168, 1, 10),
+            Ipv4Addr::new(10, 0, 0, 1),
+            IpProtocol::Tcp,
+            40,
+        )
+    }
+
+    #[test]
+    fn round_trip() {
+        let hdr = sample();
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        let (decoded, used) = Ipv4Header::decode(&buf).unwrap();
+        assert_eq!(used, HEADER_LEN);
+        assert_eq!(decoded, hdr);
+    }
+
+    #[test]
+    fn encoded_checksum_verifies() {
+        let mut buf = Vec::new();
+        sample().encode(&mut buf);
+        assert!(crate::checksum::verify(&buf));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        sample().encode(&mut buf);
+        buf[0] = 0x65; // version 6
+        assert!(matches!(
+            Ipv4Header::decode(&buf),
+            Err(ParseError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_ihl() {
+        let mut buf = Vec::new();
+        sample().encode(&mut buf);
+        buf[0] = 0x44; // ihl 4
+        assert!(Ipv4Header::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn accepts_options_when_present() {
+        let mut buf = Vec::new();
+        sample().encode(&mut buf);
+        // Rewrite to IHL 6 and append 4 option bytes.
+        buf[0] = 0x46;
+        buf.extend_from_slice(&[1, 1, 1, 1]);
+        let (_, used) = Ipv4Header::decode(&buf).unwrap();
+        assert_eq!(used, 24);
+    }
+
+    #[test]
+    fn protocol_codes_round_trip() {
+        for p in [
+            IpProtocol::Icmp,
+            IpProtocol::Tcp,
+            IpProtocol::Udp,
+            IpProtocol::Unknown(42),
+        ] {
+            assert_eq!(IpProtocol::from_u8(p.as_u8()), p);
+        }
+    }
+
+    #[test]
+    fn fragment_flags_round_trip() {
+        let mut hdr = sample();
+        hdr.dont_fragment = false;
+        hdr.more_fragments = true;
+        hdr.fragment_offset = 185;
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        let (decoded, _) = Ipv4Header::decode(&buf).unwrap();
+        assert!(!decoded.dont_fragment);
+        assert!(decoded.more_fragments);
+        assert_eq!(decoded.fragment_offset, 185);
+    }
+}

@@ -1,0 +1,139 @@
+//! IPv6 fixed-header codec (RFC 8200). Extension headers are not modelled;
+//! the next-header field is exposed verbatim.
+
+use crate::error::ParseError;
+use crate::ipv4::IpProtocol;
+use crate::wire;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv6Addr;
+
+/// Length of the fixed IPv6 header.
+pub const HEADER_LEN: usize = 40;
+
+/// A decoded IPv6 fixed header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ipv6Header {
+    /// Traffic class.
+    pub traffic_class: u8,
+    /// Flow label (20 bits).
+    pub flow_label: u32,
+    /// Payload length (everything after the fixed header).
+    pub payload_len: u16,
+    /// Next-header protocol number (same numbering space as IPv4).
+    pub next_header: IpProtocol,
+    /// Hop limit.
+    pub hop_limit: u8,
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+}
+
+impl Ipv6Header {
+    /// Creates a header with defaults (`hop_limit = 64`, zero traffic
+    /// class and flow label).
+    pub fn new(src: Ipv6Addr, dst: Ipv6Addr, next_header: IpProtocol, payload_len: usize) -> Self {
+        Ipv6Header {
+            traffic_class: 0,
+            flow_label: 0,
+            payload_len: payload_len as u16,
+            next_header,
+            hop_limit: 64,
+            src,
+            dst,
+        }
+    }
+
+    /// Decodes a header from the start of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation or a version other than 6.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), ParseError> {
+        wire::require(buf, HEADER_LEN, "ipv6 header")?;
+        let first = wire::get_u32(buf, 0, "ipv6 version/class/flow")?;
+        let version = (first >> 28) as u8;
+        if version != 6 {
+            return Err(ParseError::invalid(
+                "ipv6 header",
+                format!("version is {version}"),
+            ));
+        }
+        Ok((
+            Ipv6Header {
+                traffic_class: ((first >> 20) & 0xff) as u8,
+                flow_label: first & 0x000f_ffff,
+                payload_len: wire::get_u16(buf, 4, "ipv6 payload length")?,
+                next_header: IpProtocol::from_u8(buf[6]),
+                hop_limit: buf[7],
+                src: Ipv6Addr::from(wire::get_array::<16>(buf, 8, "ipv6 src")?),
+                dst: Ipv6Addr::from(wire::get_array::<16>(buf, 24, "ipv6 dst")?),
+            },
+            HEADER_LEN,
+        ))
+    }
+
+    /// Appends the encoded header to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let first = (6u32 << 28)
+            | (u32::from(self.traffic_class) << 20)
+            | (self.flow_label & 0x000f_ffff);
+        wire::put_u32(out, first);
+        wire::put_u16(out, self.payload_len);
+        out.push(self.next_header.as_u8());
+        out.push(self.hop_limit);
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.dst.octets());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv6Header {
+        let mut h = Ipv6Header::new(
+            "fd00::10".parse().unwrap(),
+            "fd00::1".parse().unwrap(),
+            IpProtocol::Udp,
+            24,
+        );
+        h.traffic_class = 0x2e;
+        h.flow_label = 0xabcde;
+        h
+    }
+
+    #[test]
+    fn round_trip() {
+        let hdr = sample();
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        let (decoded, used) = Ipv6Header::decode(&buf).unwrap();
+        assert_eq!(used, HEADER_LEN);
+        assert_eq!(decoded, hdr);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        sample().encode(&mut buf);
+        buf[0] = 0x45;
+        assert!(Ipv6Header::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        assert!(Ipv6Header::decode(&[0u8; 39]).is_err());
+    }
+
+    #[test]
+    fn flow_label_is_masked_to_20_bits() {
+        let mut h = sample();
+        h.flow_label = 0xfff_ffff; // over-wide
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        let (decoded, _) = Ipv6Header::decode(&buf).unwrap();
+        assert_eq!(decoded.flow_label, 0xf_ffff);
+    }
+}

@@ -1,0 +1,240 @@
+//! Modbus/TCP codec (MBAP header + PDU), the industrial-IoT protocol in the
+//! evaluation mix.
+
+use crate::error::ParseError;
+use crate::wire;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Default Modbus/TCP port.
+pub const PORT: u16 = 502;
+
+/// Length of the MBAP header.
+pub const MBAP_LEN: usize = 7;
+
+/// Modbus function codes understood by this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModbusFunction {
+    /// `0x01` Read Coils.
+    ReadCoils,
+    /// `0x03` Read Holding Registers.
+    ReadHoldingRegisters,
+    /// `0x05` Write Single Coil.
+    WriteSingleCoil,
+    /// `0x06` Write Single Register.
+    WriteSingleRegister,
+    /// `0x10` Write Multiple Registers.
+    WriteMultipleRegisters,
+    /// `0x2B` Encapsulated Interface Transport (device identification).
+    DeviceIdentification,
+    /// Any other function code (including exception responses with the high
+    /// bit set).
+    Other(u8),
+}
+
+impl ModbusFunction {
+    /// Decodes from the on-wire function code.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            0x01 => ModbusFunction::ReadCoils,
+            0x03 => ModbusFunction::ReadHoldingRegisters,
+            0x05 => ModbusFunction::WriteSingleCoil,
+            0x06 => ModbusFunction::WriteSingleRegister,
+            0x10 => ModbusFunction::WriteMultipleRegisters,
+            0x2b => ModbusFunction::DeviceIdentification,
+            other => ModbusFunction::Other(other),
+        }
+    }
+
+    /// Encodes to the on-wire function code.
+    pub fn as_u8(&self) -> u8 {
+        match self {
+            ModbusFunction::ReadCoils => 0x01,
+            ModbusFunction::ReadHoldingRegisters => 0x03,
+            ModbusFunction::WriteSingleCoil => 0x05,
+            ModbusFunction::WriteSingleRegister => 0x06,
+            ModbusFunction::WriteMultipleRegisters => 0x10,
+            ModbusFunction::DeviceIdentification => 0x2b,
+            ModbusFunction::Other(v) => *v,
+        }
+    }
+
+    /// Returns `true` for function codes that mutate device state.
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            ModbusFunction::WriteSingleCoil
+                | ModbusFunction::WriteSingleRegister
+                | ModbusFunction::WriteMultipleRegisters
+        )
+    }
+}
+
+impl fmt::Display for ModbusFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModbusFunction::ReadCoils => write!(f, "read-coils"),
+            ModbusFunction::ReadHoldingRegisters => write!(f, "read-holding-registers"),
+            ModbusFunction::WriteSingleCoil => write!(f, "write-single-coil"),
+            ModbusFunction::WriteSingleRegister => write!(f, "write-single-register"),
+            ModbusFunction::WriteMultipleRegisters => write!(f, "write-multiple-registers"),
+            ModbusFunction::DeviceIdentification => write!(f, "device-identification"),
+            ModbusFunction::Other(v) => write!(f, "function(0x{v:02x})"),
+        }
+    }
+}
+
+/// A decoded Modbus/TCP application data unit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModbusAdu {
+    /// MBAP transaction identifier.
+    pub transaction_id: u16,
+    /// MBAP unit identifier (slave address).
+    pub unit_id: u8,
+    /// PDU function code.
+    pub function: ModbusFunction,
+    /// PDU data following the function code.
+    pub data: Vec<u8>,
+}
+
+impl ModbusAdu {
+    /// Creates a Read Holding Registers request for `count` registers
+    /// starting at `address`.
+    pub fn read_holding_registers(
+        transaction_id: u16,
+        unit_id: u8,
+        address: u16,
+        count: u16,
+    ) -> Self {
+        let mut data = Vec::with_capacity(4);
+        wire::put_u16(&mut data, address);
+        wire::put_u16(&mut data, count);
+        ModbusAdu {
+            transaction_id,
+            unit_id,
+            function: ModbusFunction::ReadHoldingRegisters,
+            data,
+        }
+    }
+
+    /// Creates a Write Single Coil request.
+    pub fn write_single_coil(transaction_id: u16, unit_id: u8, address: u16, on: bool) -> Self {
+        let mut data = Vec::with_capacity(4);
+        wire::put_u16(&mut data, address);
+        wire::put_u16(&mut data, if on { 0xff00 } else { 0x0000 });
+        ModbusAdu {
+            transaction_id,
+            unit_id,
+            function: ModbusFunction::WriteSingleCoil,
+            data,
+        }
+    }
+
+    /// Encodes the ADU into a standalone byte vector (a TCP payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(MBAP_LEN + 1 + self.data.len());
+        wire::put_u16(&mut out, self.transaction_id);
+        wire::put_u16(&mut out, 0); // protocol id
+        wire::put_u16(&mut out, (2 + self.data.len()) as u16); // unit + fc + data
+        out.push(self.unit_id);
+        out.push(self.function.as_u8());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Decodes an ADU from the start of `buf`, returning the ADU and the
+    /// number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation, a nonzero protocol id, or a length
+    /// field that does not cover the unit id and function code.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), ParseError> {
+        wire::require(buf, MBAP_LEN + 1, "modbus adu")?;
+        let transaction_id = wire::get_u16(buf, 0, "modbus transaction id")?;
+        let protocol_id = wire::get_u16(buf, 2, "modbus protocol id")?;
+        if protocol_id != 0 {
+            return Err(ParseError::invalid(
+                "modbus adu",
+                format!("protocol id is {protocol_id}, expected 0"),
+            ));
+        }
+        let length = usize::from(wire::get_u16(buf, 4, "modbus length")?);
+        if length < 2 {
+            return Err(ParseError::invalid(
+                "modbus adu",
+                format!("length field {length} below minimum of 2"),
+            ));
+        }
+        let total = 6 + length;
+        wire::require(buf, total, "modbus pdu")?;
+        Ok((
+            ModbusAdu {
+                transaction_id,
+                unit_id: buf[6],
+                function: ModbusFunction::from_u8(buf[7]),
+                data: buf[8..total].to_vec(),
+            },
+            total,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_read_request() {
+        let adu = ModbusAdu::read_holding_registers(42, 1, 0x0010, 4);
+        let bytes = adu.encode();
+        let (decoded, used) = ModbusAdu::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, adu);
+    }
+
+    #[test]
+    fn round_trip_write_coil() {
+        let adu = ModbusAdu::write_single_coil(7, 3, 0x0002, true);
+        let bytes = adu.encode();
+        let (decoded, _) = ModbusAdu::decode(&bytes).unwrap();
+        assert_eq!(decoded, adu);
+        assert!(decoded.function.is_write());
+        assert_eq!(decoded.data[2..4], [0xff, 0x00]);
+    }
+
+    #[test]
+    fn rejects_nonzero_protocol_id() {
+        let mut bytes = ModbusAdu::read_holding_registers(1, 1, 0, 1).encode();
+        bytes[3] = 1;
+        assert!(ModbusAdu::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_short_length_field() {
+        let mut bytes = ModbusAdu::read_holding_registers(1, 1, 0, 1).encode();
+        bytes[5] = 1;
+        assert!(ModbusAdu::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn function_codes_round_trip() {
+        for fc in [
+            ModbusFunction::ReadCoils,
+            ModbusFunction::ReadHoldingRegisters,
+            ModbusFunction::WriteSingleCoil,
+            ModbusFunction::WriteSingleRegister,
+            ModbusFunction::WriteMultipleRegisters,
+            ModbusFunction::DeviceIdentification,
+            ModbusFunction::Other(0x83),
+        ] {
+            assert_eq!(ModbusFunction::from_u8(fc.as_u8()), fc);
+        }
+    }
+
+    #[test]
+    fn reads_are_not_writes() {
+        assert!(!ModbusFunction::ReadCoils.is_write());
+        assert!(ModbusFunction::WriteMultipleRegisters.is_write());
+    }
+}

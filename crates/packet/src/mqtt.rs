@@ -1,0 +1,475 @@
+//! MQTT 3.1.1 control-packet codec (subset used by IoT telemetry devices).
+//!
+//! The codec is wire-accurate for the packet types it supports: CONNECT,
+//! CONNACK, PUBLISH, PUBACK, SUBSCRIBE, SUBACK, PINGREQ, PINGRESP and
+//! DISCONNECT. Unsupported types decode into [`MqttPacket::Other`] so the
+//! parser never fails on benign-but-unmodelled traffic.
+
+use crate::error::ParseError;
+use crate::wire;
+use serde::{Deserialize, Serialize};
+
+/// Default MQTT broker TCP port.
+pub const PORT: u16 = 1883;
+
+/// MQTT control packet type numbers.
+pub mod packet_type {
+    /// CONNECT.
+    pub const CONNECT: u8 = 1;
+    /// CONNACK.
+    pub const CONNACK: u8 = 2;
+    /// PUBLISH.
+    pub const PUBLISH: u8 = 3;
+    /// PUBACK.
+    pub const PUBACK: u8 = 4;
+    /// SUBSCRIBE.
+    pub const SUBSCRIBE: u8 = 8;
+    /// SUBACK.
+    pub const SUBACK: u8 = 9;
+    /// PINGREQ.
+    pub const PINGREQ: u8 = 12;
+    /// PINGRESP.
+    pub const PINGRESP: u8 = 13;
+    /// DISCONNECT.
+    pub const DISCONNECT: u8 = 14;
+}
+
+/// A decoded MQTT control packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MqttPacket {
+    /// Client connection request.
+    Connect {
+        /// Keep-alive interval in seconds.
+        keep_alive: u16,
+        /// Client identifier.
+        client_id: String,
+        /// Connect flags byte (clean session, will, auth bits).
+        connect_flags: u8,
+    },
+    /// Broker connection acknowledgment.
+    ConnAck {
+        /// Whether a previous session is resumed.
+        session_present: bool,
+        /// Return code; 0 means accepted.
+        return_code: u8,
+    },
+    /// Application message publication.
+    Publish {
+        /// Topic name.
+        topic: String,
+        /// Packet identifier, present when QoS > 0.
+        packet_id: Option<u16>,
+        /// QoS level (0..=2).
+        qos: u8,
+        /// Retain flag.
+        retain: bool,
+        /// Application payload.
+        payload: Vec<u8>,
+    },
+    /// QoS 1 publish acknowledgment.
+    PubAck {
+        /// Packet identifier being acknowledged.
+        packet_id: u16,
+    },
+    /// Subscription request with a single topic filter.
+    Subscribe {
+        /// Packet identifier.
+        packet_id: u16,
+        /// Topic filter.
+        topic: String,
+        /// Requested QoS.
+        qos: u8,
+    },
+    /// Subscription acknowledgment.
+    SubAck {
+        /// Packet identifier being acknowledged.
+        packet_id: u16,
+        /// Granted QoS or failure code.
+        return_code: u8,
+    },
+    /// Keep-alive probe.
+    PingReq,
+    /// Keep-alive response.
+    PingResp,
+    /// Clean disconnect notification.
+    Disconnect,
+    /// Any other packet type; the body is kept verbatim.
+    Other {
+        /// The 4-bit packet type.
+        packet_type: u8,
+        /// The 4-bit flags nibble.
+        flags: u8,
+        /// Remaining-length body bytes.
+        body: Vec<u8>,
+    },
+}
+
+impl MqttPacket {
+    /// Returns the 4-bit control packet type number.
+    pub fn packet_type(&self) -> u8 {
+        match self {
+            MqttPacket::Connect { .. } => packet_type::CONNECT,
+            MqttPacket::ConnAck { .. } => packet_type::CONNACK,
+            MqttPacket::Publish { .. } => packet_type::PUBLISH,
+            MqttPacket::PubAck { .. } => packet_type::PUBACK,
+            MqttPacket::Subscribe { .. } => packet_type::SUBSCRIBE,
+            MqttPacket::SubAck { .. } => packet_type::SUBACK,
+            MqttPacket::PingReq => packet_type::PINGREQ,
+            MqttPacket::PingResp => packet_type::PINGRESP,
+            MqttPacket::Disconnect => packet_type::DISCONNECT,
+            MqttPacket::Other { packet_type, .. } => *packet_type,
+        }
+    }
+
+    /// Encodes the packet into a standalone byte vector (a TCP payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let (flags, body) = match self {
+            MqttPacket::Connect {
+                keep_alive,
+                client_id,
+                connect_flags,
+            } => {
+                let mut body = Vec::new();
+                put_string(&mut body, "MQTT");
+                body.push(4); // protocol level 3.1.1
+                body.push(*connect_flags);
+                wire::put_u16(&mut body, *keep_alive);
+                put_string(&mut body, client_id);
+                (0, body)
+            }
+            MqttPacket::ConnAck {
+                session_present,
+                return_code,
+            } => (0, vec![u8::from(*session_present), *return_code]),
+            MqttPacket::Publish {
+                topic,
+                packet_id,
+                qos,
+                retain,
+                payload,
+            } => {
+                let mut body = Vec::new();
+                put_string(&mut body, topic);
+                if let Some(id) = packet_id {
+                    wire::put_u16(&mut body, *id);
+                }
+                body.extend_from_slice(payload);
+                let flags = (qos << 1) | u8::from(*retain);
+                (flags, body)
+            }
+            MqttPacket::PubAck { packet_id } => (0, packet_id.to_be_bytes().to_vec()),
+            MqttPacket::Subscribe {
+                packet_id,
+                topic,
+                qos,
+            } => {
+                let mut body = Vec::new();
+                wire::put_u16(&mut body, *packet_id);
+                put_string(&mut body, topic);
+                body.push(*qos);
+                (0b0010, body)
+            }
+            MqttPacket::SubAck {
+                packet_id,
+                return_code,
+            } => {
+                let mut body = packet_id.to_be_bytes().to_vec();
+                body.push(*return_code);
+                (0, body)
+            }
+            MqttPacket::PingReq | MqttPacket::PingResp | MqttPacket::Disconnect => (0, Vec::new()),
+            MqttPacket::Other { flags, body, .. } => (*flags, body.clone()),
+        };
+        let mut out = Vec::with_capacity(body.len() + 5);
+        out.push((self.packet_type() << 4) | (flags & 0x0f));
+        encode_remaining_length(&mut out, body.len());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decodes a packet from the start of `buf`, returning the packet and
+    /// the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation, a malformed remaining-length varint,
+    /// or a structurally invalid body for a supported type.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), ParseError> {
+        let first = wire::get_u8(buf, 0, "mqtt fixed header")?;
+        let ptype = first >> 4;
+        let flags = first & 0x0f;
+        let (remaining, len_bytes) = decode_remaining_length(&buf[1..])?;
+        let body_start = 1 + len_bytes;
+        let total = body_start + remaining;
+        wire::require(buf, total, "mqtt body")?;
+        let body = &buf[body_start..total];
+        let packet = match ptype {
+            packet_type::CONNECT => decode_connect(body)?,
+            packet_type::CONNACK => {
+                wire::require(body, 2, "mqtt connack")?;
+                MqttPacket::ConnAck {
+                    session_present: body[0] & 1 != 0,
+                    return_code: body[1],
+                }
+            }
+            packet_type::PUBLISH => decode_publish(flags, body)?,
+            packet_type::PUBACK => MqttPacket::PubAck {
+                packet_id: wire::get_u16(body, 0, "mqtt puback id")?,
+            },
+            packet_type::SUBSCRIBE => {
+                let packet_id = wire::get_u16(body, 0, "mqtt subscribe id")?;
+                let (topic, used) = get_string(&body[2..], "mqtt subscribe topic")?;
+                let qos = wire::get_u8(body, 2 + used, "mqtt subscribe qos")?;
+                MqttPacket::Subscribe {
+                    packet_id,
+                    topic,
+                    qos,
+                }
+            }
+            packet_type::SUBACK => MqttPacket::SubAck {
+                packet_id: wire::get_u16(body, 0, "mqtt suback id")?,
+                return_code: wire::get_u8(body, 2, "mqtt suback code")?,
+            },
+            packet_type::PINGREQ => MqttPacket::PingReq,
+            packet_type::PINGRESP => MqttPacket::PingResp,
+            packet_type::DISCONNECT => MqttPacket::Disconnect,
+            other => MqttPacket::Other {
+                packet_type: other,
+                flags,
+                body: body.to_vec(),
+            },
+        };
+        Ok((packet, total))
+    }
+}
+
+fn decode_connect(body: &[u8]) -> Result<MqttPacket, ParseError> {
+    let (proto, mut at) = get_string(body, "mqtt protocol name")?;
+    if proto != "MQTT" && proto != "MQIsdp" {
+        return Err(ParseError::invalid(
+            "mqtt connect",
+            format!("unexpected protocol name {proto:?}"),
+        ));
+    }
+    at += 1; // protocol level
+    let connect_flags = wire::get_u8(body, at, "mqtt connect flags")?;
+    let keep_alive = wire::get_u16(body, at + 1, "mqtt keep alive")?;
+    let (client_id, _) = get_string(&body[at + 3..], "mqtt client id")?;
+    Ok(MqttPacket::Connect {
+        keep_alive,
+        client_id,
+        connect_flags,
+    })
+}
+
+fn decode_publish(flags: u8, body: &[u8]) -> Result<MqttPacket, ParseError> {
+    let qos = (flags >> 1) & 0x03;
+    if qos == 3 {
+        return Err(ParseError::invalid("mqtt publish", "qos 3 is reserved"));
+    }
+    let retain = flags & 0x01 != 0;
+    let (topic, mut at) = get_string(body, "mqtt topic")?;
+    let packet_id = if qos > 0 {
+        let id = wire::get_u16(body, at, "mqtt publish id")?;
+        at += 2;
+        Some(id)
+    } else {
+        None
+    };
+    Ok(MqttPacket::Publish {
+        topic,
+        packet_id,
+        qos,
+        retain,
+        payload: body[at..].to_vec(),
+    })
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    wire::put_u16(out, s.len() as u16);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_string(buf: &[u8], what: &'static str) -> Result<(String, usize), ParseError> {
+    let len = usize::from(wire::get_u16(buf, 0, what)?);
+    let end = 2 + len;
+    let bytes = buf
+        .get(2..end)
+        .ok_or_else(|| ParseError::truncated(what, end, buf.len()))?;
+    let s = std::str::from_utf8(bytes)
+        .map_err(|_| ParseError::invalid(what, "string is not utf-8"))?;
+    Ok((s.to_owned(), end))
+}
+
+/// Encodes the MQTT remaining-length varint.
+fn encode_remaining_length(out: &mut Vec<u8>, mut len: usize) {
+    loop {
+        let mut byte = (len % 128) as u8;
+        len /= 128;
+        if len > 0 {
+            byte |= 0x80;
+        }
+        out.push(byte);
+        if len == 0 {
+            break;
+        }
+    }
+}
+
+/// Decodes the MQTT remaining-length varint, returning (value, bytes used).
+fn decode_remaining_length(buf: &[u8]) -> Result<(usize, usize), ParseError> {
+    let mut value = 0usize;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().take(4).enumerate() {
+        value |= usize::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    if buf.len() < 4 {
+        Err(ParseError::truncated(
+            "mqtt remaining length",
+            buf.len() + 1,
+            buf.len(),
+        ))
+    } else {
+        Err(ParseError::invalid(
+            "mqtt remaining length",
+            "varint longer than 4 bytes",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(p: MqttPacket) {
+        let bytes = p.encode();
+        let (decoded, used) = MqttPacket::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn round_trip_connect() {
+        round_trip(MqttPacket::Connect {
+            keep_alive: 60,
+            client_id: "sensor-12".into(),
+            connect_flags: 0x02,
+        });
+    }
+
+    #[test]
+    fn round_trip_publish_qos0() {
+        round_trip(MqttPacket::Publish {
+            topic: "home/temp".into(),
+            packet_id: None,
+            qos: 0,
+            retain: false,
+            payload: b"21.5".to_vec(),
+        });
+    }
+
+    #[test]
+    fn round_trip_publish_qos1_retained() {
+        round_trip(MqttPacket::Publish {
+            topic: "home/door".into(),
+            packet_id: Some(77),
+            qos: 1,
+            retain: true,
+            payload: b"open".to_vec(),
+        });
+    }
+
+    #[test]
+    fn round_trip_control_packets() {
+        round_trip(MqttPacket::ConnAck {
+            session_present: true,
+            return_code: 0,
+        });
+        round_trip(MqttPacket::PubAck { packet_id: 3 });
+        round_trip(MqttPacket::Subscribe {
+            packet_id: 9,
+            topic: "home/#".into(),
+            qos: 1,
+        });
+        round_trip(MqttPacket::SubAck {
+            packet_id: 9,
+            return_code: 1,
+        });
+        round_trip(MqttPacket::PingReq);
+        round_trip(MqttPacket::PingResp);
+        round_trip(MqttPacket::Disconnect);
+    }
+
+    #[test]
+    fn remaining_length_multi_byte() {
+        let p = MqttPacket::Publish {
+            topic: "t".into(),
+            packet_id: None,
+            qos: 0,
+            retain: false,
+            payload: vec![0xaa; 300],
+        };
+        let bytes = p.encode();
+        // 300 + 3 (topic) > 127, so the varint must be 2 bytes.
+        assert!(bytes[1] & 0x80 != 0);
+        round_trip(p);
+    }
+
+    #[test]
+    fn rejects_qos3() {
+        let mut bytes = MqttPacket::Publish {
+            topic: "t".into(),
+            packet_id: Some(1),
+            qos: 1,
+            retain: false,
+            payload: vec![],
+        }
+        .encode();
+        bytes[0] |= 0b0110; // set both QoS bits
+        assert!(MqttPacket::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_protocol_name() {
+        let mut bytes = MqttPacket::Connect {
+            keep_alive: 10,
+            client_id: "x".into(),
+            connect_flags: 0,
+        }
+        .encode();
+        // Corrupt the protocol name.
+        bytes[4] = b'X';
+        assert!(MqttPacket::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_type_is_preserved() {
+        let p = MqttPacket::Other {
+            packet_type: 15,
+            flags: 0x0a,
+            body: vec![1, 2, 3],
+        };
+        round_trip(p);
+    }
+
+    #[test]
+    fn truncated_body_is_rejected() {
+        let bytes = MqttPacket::PingReq.encode();
+        // The 1-byte slice is missing the remaining-length byte.
+        assert!(MqttPacket::decode(&bytes[..1]).is_err());
+        assert!(MqttPacket::decode(&bytes).is_ok());
+        let publish = MqttPacket::Publish {
+            topic: "abc".into(),
+            packet_id: None,
+            qos: 0,
+            retain: false,
+            payload: b"xyz".to_vec(),
+        }
+        .encode();
+        assert!(MqttPacket::decode(&publish[..4]).is_err());
+    }
+}

@@ -1,0 +1,663 @@
+//! Whole-frame parsing and construction.
+//!
+//! [`ParsedPacket`] is the layered view of a raw Ethernet frame;
+//! [`PacketBuilder`] assembles wire-correct frames (lengths and checksums
+//! filled in) for the traffic simulator.
+
+use crate::addr::MacAddr;
+use crate::arp::ArpHeader;
+use crate::coap::CoapMessage;
+use crate::dns::DnsMessage;
+use crate::error::ParseError;
+use crate::ethernet::{EtherType, EthernetHeader, VlanTag};
+use crate::icmp::IcmpHeader;
+use crate::ipv4::{IpProtocol, Ipv4Header};
+use crate::ipv6::Ipv6Header;
+use crate::modbus::ModbusAdu;
+use crate::mqtt::MqttPacket;
+use crate::tcp::TcpHeader;
+use crate::udp::UdpHeader;
+use crate::zwire::ZWireFrame;
+use crate::{coap, dns, modbus, mqtt};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The transport-layer header of a parsed packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Transport {
+    /// TCP segment.
+    Tcp(TcpHeader),
+    /// UDP datagram.
+    Udp(UdpHeader),
+    /// ICMP message.
+    Icmp(IcmpHeader),
+}
+
+/// The application-layer message of a parsed packet, recognized by
+/// well-known port.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Application {
+    /// MQTT over TCP port 1883.
+    Mqtt(MqttPacket),
+    /// CoAP over UDP port 5683.
+    Coap(CoapMessage),
+    /// DNS over UDP port 53.
+    Dns(DnsMessage),
+    /// Modbus over TCP port 502.
+    Modbus(ModbusAdu),
+}
+
+/// Coarse protocol classification of a frame, used for dataset statistics
+/// and the universality experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ProtocolTag {
+    /// ARP.
+    Arp,
+    /// ICMP over IPv4.
+    Icmp,
+    /// TCP with no recognized application layer.
+    Tcp,
+    /// UDP with no recognized application layer.
+    Udp,
+    /// MQTT.
+    Mqtt,
+    /// CoAP.
+    Coap,
+    /// DNS.
+    Dns,
+    /// Modbus/TCP.
+    Modbus,
+    /// ZWire (non-IP).
+    ZWire,
+    /// IPv4 with an unrecognized transport.
+    OtherIp,
+    /// Anything else.
+    Other,
+}
+
+impl ProtocolTag {
+    /// All tags, in display order.
+    pub const ALL: [ProtocolTag; 11] = [
+        ProtocolTag::Arp,
+        ProtocolTag::Icmp,
+        ProtocolTag::Tcp,
+        ProtocolTag::Udp,
+        ProtocolTag::Mqtt,
+        ProtocolTag::Coap,
+        ProtocolTag::Dns,
+        ProtocolTag::Modbus,
+        ProtocolTag::ZWire,
+        ProtocolTag::OtherIp,
+        ProtocolTag::Other,
+    ];
+}
+
+impl fmt::Display for ProtocolTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProtocolTag::Arp => "arp",
+            ProtocolTag::Icmp => "icmp",
+            ProtocolTag::Tcp => "tcp",
+            ProtocolTag::Udp => "udp",
+            ProtocolTag::Mqtt => "mqtt",
+            ProtocolTag::Coap => "coap",
+            ProtocolTag::Dns => "dns",
+            ProtocolTag::Modbus => "modbus",
+            ProtocolTag::ZWire => "zwire",
+            ProtocolTag::OtherIp => "other-ip",
+            ProtocolTag::Other => "other",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A layered view of a raw frame produced by [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParsedPacket {
+    /// Ethernet header (always present).
+    pub ethernet: EthernetHeader,
+    /// ARP message, when ethertype is ARP.
+    pub arp: Option<ArpHeader>,
+    /// IPv4 header, when ethertype is IPv4.
+    pub ipv4: Option<Ipv4Header>,
+    /// IPv6 header, when ethertype is IPv6.
+    pub ipv6: Option<Ipv6Header>,
+    /// Transport header, when IPv4 carries a recognized protocol.
+    pub transport: Option<Transport>,
+    /// Application message, when a well-known port matched and the payload
+    /// decoded cleanly. A payload on a well-known port that fails to decode
+    /// leaves this `None` rather than failing the whole parse.
+    pub app: Option<Application>,
+    /// ZWire frame, when ethertype is ZWire.
+    pub zwire: Option<ZWireFrame>,
+    /// Offset of the transport payload (after TCP/UDP headers) in the frame.
+    pub payload_offset: usize,
+    /// Length of the transport payload in bytes.
+    pub payload_len: usize,
+}
+
+impl ParsedPacket {
+    /// Returns the coarse protocol classification of this packet.
+    pub fn protocol(&self) -> ProtocolTag {
+        if self.zwire.is_some() {
+            return ProtocolTag::ZWire;
+        }
+        if self.arp.is_some() {
+            return ProtocolTag::Arp;
+        }
+        match (&self.transport, &self.app) {
+            (_, Some(Application::Mqtt(_))) => ProtocolTag::Mqtt,
+            (_, Some(Application::Coap(_))) => ProtocolTag::Coap,
+            (_, Some(Application::Dns(_))) => ProtocolTag::Dns,
+            (_, Some(Application::Modbus(_))) => ProtocolTag::Modbus,
+            (Some(Transport::Tcp(_)), None) => ProtocolTag::Tcp,
+            (Some(Transport::Udp(_)), None) => ProtocolTag::Udp,
+            (Some(Transport::Icmp(_)), None) => ProtocolTag::Icmp,
+            (None, _) if self.ipv4.is_some() || self.ipv6.is_some() => ProtocolTag::OtherIp,
+            _ => ProtocolTag::Other,
+        }
+    }
+
+    /// Returns the TCP header, if any.
+    pub fn tcp(&self) -> Option<&TcpHeader> {
+        match &self.transport {
+            Some(Transport::Tcp(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Returns the UDP header, if any.
+    pub fn udp(&self) -> Option<&UdpHeader> {
+        match &self.transport {
+            Some(Transport::Udp(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Returns `(src_port, dst_port)` for TCP or UDP packets.
+    pub fn ports(&self) -> Option<(u16, u16)> {
+        match &self.transport {
+            Some(Transport::Tcp(h)) => Some((h.src_port, h.dst_port)),
+            Some(Transport::Udp(h)) => Some((h.src_port, h.dst_port)),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a raw Ethernet frame into its layered view.
+///
+/// Parsing is strict for the link, network and transport layers, and lenient
+/// for the application layer (an undecodable application payload is left
+/// opaque).
+///
+/// # Errors
+///
+/// Returns an error when the frame is truncated or structurally invalid at
+/// or below the transport layer.
+pub fn parse(buf: &[u8]) -> Result<ParsedPacket, ParseError> {
+    let (ethernet, mut at) = EthernetHeader::decode(buf)?;
+    let mut packet = ParsedPacket {
+        ethernet,
+        arp: None,
+        ipv4: None,
+        ipv6: None,
+        transport: None,
+        app: None,
+        zwire: None,
+        payload_offset: at,
+        payload_len: 0,
+    };
+    match ethernet.ethertype {
+        EtherType::Arp => {
+            let (arp, _) = ArpHeader::decode(&buf[at..])?;
+            packet.arp = Some(arp);
+        }
+        EtherType::ZWire => {
+            let (frame, _) = ZWireFrame::decode(&buf[at..])?;
+            packet.zwire = Some(frame);
+        }
+        EtherType::Ipv4 => {
+            let (ip, ip_len) = Ipv4Header::decode(&buf[at..])?;
+            if usize::from(ip.total_len) < ip_len {
+                return Err(ParseError::invalid(
+                    "ipv4 header",
+                    format!(
+                        "total length {} below header length {ip_len}",
+                        ip.total_len
+                    ),
+                ));
+            }
+            at += ip_len;
+            // Respect the IP total length when the frame carries padding.
+            let ip_end = (packet.payload_offset + usize::from(ip.total_len)).min(buf.len());
+            packet.ipv4 = Some(ip);
+            match ip.protocol {
+                IpProtocol::Tcp => {
+                    let (tcp, tcp_len) = TcpHeader::decode(&buf[at..ip_end])?;
+                    at += tcp_len;
+                    packet.transport = Some(Transport::Tcp(tcp));
+                    packet.app = parse_app_tcp(tcp.src_port, tcp.dst_port, &buf[at..ip_end]);
+                }
+                IpProtocol::Udp => {
+                    let (udp, udp_len) = UdpHeader::decode(&buf[at..ip_end])?;
+                    at += udp_len;
+                    packet.transport = Some(Transport::Udp(udp));
+                    packet.app = parse_app_udp(udp.src_port, udp.dst_port, &buf[at..ip_end]);
+                }
+                IpProtocol::Icmp => {
+                    let (icmp, icmp_len) = IcmpHeader::decode(&buf[at..ip_end])?;
+                    at += icmp_len;
+                    packet.transport = Some(Transport::Icmp(icmp));
+                }
+                IpProtocol::Unknown(_) => {}
+            }
+            packet.payload_offset = at;
+            packet.payload_len = ip_end.saturating_sub(at);
+            return Ok(packet);
+        }
+        EtherType::Ipv6 => {
+            let (ip6, ip6_len) = Ipv6Header::decode(&buf[at..])?;
+            at += ip6_len;
+            let end = (at + usize::from(ip6.payload_len)).min(buf.len());
+            packet.ipv6 = Some(ip6);
+            match ip6.next_header {
+                IpProtocol::Tcp => {
+                    let (tcp, tcp_len) = TcpHeader::decode(&buf[at..end])?;
+                    at += tcp_len;
+                    packet.transport = Some(Transport::Tcp(tcp));
+                }
+                IpProtocol::Udp => {
+                    let (udp, udp_len) = UdpHeader::decode(&buf[at..end])?;
+                    at += udp_len;
+                    packet.transport = Some(Transport::Udp(udp));
+                }
+                _ => {}
+            }
+            packet.payload_offset = at;
+            packet.payload_len = end.saturating_sub(at);
+            return Ok(packet);
+        }
+        _ => {}
+    }
+    packet.payload_offset = at;
+    packet.payload_len = buf.len().saturating_sub(at);
+    Ok(packet)
+}
+
+fn parse_app_tcp(src_port: u16, dst_port: u16, payload: &[u8]) -> Option<Application> {
+    if payload.is_empty() {
+        return None;
+    }
+    if src_port == mqtt::PORT || dst_port == mqtt::PORT {
+        if let Ok((m, _)) = MqttPacket::decode(payload) {
+            return Some(Application::Mqtt(m));
+        }
+    }
+    if src_port == modbus::PORT || dst_port == modbus::PORT {
+        if let Ok((m, _)) = ModbusAdu::decode(payload) {
+            return Some(Application::Modbus(m));
+        }
+    }
+    None
+}
+
+fn parse_app_udp(src_port: u16, dst_port: u16, payload: &[u8]) -> Option<Application> {
+    if payload.is_empty() {
+        return None;
+    }
+    if src_port == coap::PORT || dst_port == coap::PORT {
+        if let Ok((m, _)) = CoapMessage::decode(payload) {
+            return Some(Application::Coap(m));
+        }
+    }
+    if src_port == dns::PORT || dst_port == dns::PORT {
+        if let Ok((m, _)) = DnsMessage::decode(payload) {
+            return Some(Application::Dns(m));
+        }
+    }
+    None
+}
+
+/// Assembles wire-correct Ethernet frames: lengths, checksums and
+/// encapsulation are handled so generators only supply semantic fields.
+///
+/// The builder is non-consuming; configure once per (src, dst) pair and
+/// reuse for every frame between them.
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    vlan: Option<VlanTag>,
+    ttl: u8,
+    dscp_ecn: u8,
+    ip_id: u16,
+}
+
+impl PacketBuilder {
+    /// Creates a builder for frames from `src_mac` to `dst_mac`.
+    pub fn new(src_mac: MacAddr, dst_mac: MacAddr) -> Self {
+        PacketBuilder {
+            src_mac,
+            dst_mac,
+            vlan: None,
+            ttl: 64,
+            dscp_ecn: 0,
+            ip_id: 0,
+        }
+    }
+
+    /// Tags subsequent frames with an 802.1Q VLAN id.
+    pub fn vlan(&mut self, tag: VlanTag) -> &mut Self {
+        self.vlan = Some(tag);
+        self
+    }
+
+    /// Overrides the IPv4 TTL (default 64).
+    pub fn ttl(&mut self, ttl: u8) -> &mut Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Overrides the IPv4 DSCP/ECN byte (default 0).
+    pub fn dscp_ecn(&mut self, v: u8) -> &mut Self {
+        self.dscp_ecn = v;
+        self
+    }
+
+    /// Sets the IPv4 identification field for the next frame.
+    pub fn ip_id(&mut self, id: u16) -> &mut Self {
+        self.ip_id = id;
+        self
+    }
+
+    fn ethernet(&self, ethertype: EtherType) -> EthernetHeader {
+        EthernetHeader {
+            dst: self.dst_mac,
+            src: self.src_mac,
+            vlan: self.vlan,
+            ethertype,
+        }
+    }
+
+    fn ipv4_header(
+        &self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        protocol: IpProtocol,
+        payload_len: usize,
+    ) -> Ipv4Header {
+        let mut ip = Ipv4Header::new(src, dst, protocol, payload_len);
+        ip.ttl = self.ttl;
+        ip.dscp_ecn = self.dscp_ecn;
+        ip.identification = self.ip_id;
+        ip
+    }
+
+    /// Builds a TCP segment inside IPv4 inside Ethernet.
+    pub fn tcp(
+        &self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        tcp: TcpHeader,
+        payload: &[u8],
+    ) -> Bytes {
+        let mut seg = Vec::with_capacity(crate::tcp::HEADER_LEN + payload.len());
+        tcp.encode_with_payload(src, dst, payload, &mut seg);
+        self.ip_frame(src, dst, IpProtocol::Tcp, &seg)
+    }
+
+    /// Builds a UDP datagram inside IPv4 inside Ethernet.
+    pub fn udp(
+        &self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload: &[u8],
+    ) -> Bytes {
+        let udp = UdpHeader::new(src_port, dst_port, payload.len());
+        let mut seg = Vec::with_capacity(crate::udp::HEADER_LEN + payload.len());
+        udp.encode_with_payload(src, dst, payload, &mut seg);
+        self.ip_frame(src, dst, IpProtocol::Udp, &seg)
+    }
+
+    /// Builds a UDP datagram inside IPv6 inside Ethernet.
+    pub fn udp6(
+        &self,
+        src: std::net::Ipv6Addr,
+        dst: std::net::Ipv6Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload: &[u8],
+    ) -> Bytes {
+        let udp = UdpHeader::new(src_port, dst_port, payload.len());
+        // Encode with a zero checksum, then fix it up with the v6
+        // pseudo-header sum.
+        let mut seg = Vec::with_capacity(crate::udp::HEADER_LEN + payload.len());
+        crate::wire::put_u16(&mut seg, udp.src_port);
+        crate::wire::put_u16(&mut seg, udp.dst_port);
+        crate::wire::put_u16(&mut seg, udp.length);
+        crate::wire::put_u16(&mut seg, 0);
+        seg.extend_from_slice(payload);
+        let ck = crate::checksum::transport_checksum_v6(src, dst, IpProtocol::Udp.as_u8(), &seg);
+        let ck = if ck == 0 { 0xffff } else { ck };
+        seg[6..8].copy_from_slice(&ck.to_be_bytes());
+        let eth = self.ethernet(EtherType::Ipv6);
+        let ip6 = Ipv6Header::new(src, dst, IpProtocol::Udp, seg.len());
+        let mut out = Vec::with_capacity(eth.wire_len() + crate::ipv6::HEADER_LEN + seg.len());
+        eth.encode(&mut out);
+        ip6.encode(&mut out);
+        out.extend_from_slice(&seg);
+        Bytes::from(out)
+    }
+
+    /// Builds an ICMP message inside IPv4 inside Ethernet.
+    pub fn icmp(&self, src: Ipv4Addr, dst: Ipv4Addr, icmp: IcmpHeader, payload: &[u8]) -> Bytes {
+        let mut seg = Vec::with_capacity(crate::icmp::HEADER_LEN + payload.len());
+        icmp.encode_with_payload(payload, &mut seg);
+        self.ip_frame(src, dst, IpProtocol::Icmp, &seg)
+    }
+
+    /// Builds an ARP message inside Ethernet.
+    pub fn arp(&self, arp: &ArpHeader) -> Bytes {
+        let eth = self.ethernet(EtherType::Arp);
+        let mut out = Vec::with_capacity(eth.wire_len() + crate::arp::HEADER_LEN);
+        eth.encode(&mut out);
+        arp.encode(&mut out);
+        Bytes::from(out)
+    }
+
+    /// Builds a ZWire frame inside Ethernet.
+    pub fn zwire(&self, frame: &ZWireFrame) -> Bytes {
+        let eth = self.ethernet(EtherType::ZWire);
+        let body = frame.encode();
+        let mut out = Vec::with_capacity(eth.wire_len() + body.len());
+        eth.encode(&mut out);
+        out.extend_from_slice(&body);
+        Bytes::from(out)
+    }
+
+    fn ip_frame(&self, src: Ipv4Addr, dst: Ipv4Addr, protocol: IpProtocol, seg: &[u8]) -> Bytes {
+        let eth = self.ethernet(EtherType::Ipv4);
+        let ip = self.ipv4_header(src, dst, protocol, seg.len());
+        let mut out = Vec::with_capacity(eth.wire_len() + crate::ipv4::HEADER_LEN + seg.len());
+        eth.encode(&mut out);
+        ip.encode(&mut out);
+        out.extend_from_slice(seg);
+        Bytes::from(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::TcpFlags;
+
+    fn builder() -> PacketBuilder {
+        PacketBuilder::new(MacAddr::from_id(1), MacAddr::from_id(2))
+    }
+
+    fn ips() -> (Ipv4Addr, Ipv4Addr) {
+        (Ipv4Addr::new(192, 168, 1, 5), Ipv4Addr::new(192, 168, 1, 1))
+    }
+
+    #[test]
+    fn tcp_frame_parses_back() {
+        let (src, dst) = ips();
+        let hdr = TcpHeader::new(40000, 80, 1, 0, TcpFlags::SYN);
+        let frame = builder().tcp(src, dst, hdr, b"");
+        let p = parse(&frame).unwrap();
+        assert_eq!(p.protocol(), ProtocolTag::Tcp);
+        assert_eq!(p.ports(), Some((40000, 80)));
+        assert_eq!(p.ipv4.unwrap().src, src);
+        assert_eq!(p.payload_len, 0);
+    }
+
+    #[test]
+    fn mqtt_frame_is_recognized() {
+        let (src, dst) = ips();
+        let publish = MqttPacket::Publish {
+            topic: "home/temp".into(),
+            packet_id: None,
+            qos: 0,
+            retain: false,
+            payload: b"20.1".to_vec(),
+        };
+        let hdr = TcpHeader::new(50000, mqtt::PORT, 100, 5, TcpFlags::PSH | TcpFlags::ACK);
+        let frame = builder().tcp(src, dst, hdr, &publish.encode());
+        let p = parse(&frame).unwrap();
+        assert_eq!(p.protocol(), ProtocolTag::Mqtt);
+        assert!(matches!(p.app, Some(Application::Mqtt(MqttPacket::Publish { .. }))));
+    }
+
+    #[test]
+    fn coap_frame_is_recognized() {
+        let (src, dst) = ips();
+        let msg = CoapMessage::get(9, vec![1, 2], &["sensors", "temp"]);
+        let frame = builder().udp(src, dst, 40001, coap::PORT, &msg.encode());
+        let p = parse(&frame).unwrap();
+        assert_eq!(p.protocol(), ProtocolTag::Coap);
+    }
+
+    #[test]
+    fn dns_frame_is_recognized() {
+        let (src, dst) = ips();
+        let q = DnsMessage::query(7, "iot.example.com");
+        let frame = builder().udp(src, dst, 53124, dns::PORT, &q.encode());
+        let p = parse(&frame).unwrap();
+        assert_eq!(p.protocol(), ProtocolTag::Dns);
+    }
+
+    #[test]
+    fn modbus_frame_is_recognized() {
+        let (src, dst) = ips();
+        let adu = ModbusAdu::read_holding_registers(1, 1, 0, 2);
+        let hdr = TcpHeader::new(50002, modbus::PORT, 1, 1, TcpFlags::PSH | TcpFlags::ACK);
+        let frame = builder().tcp(src, dst, hdr, &adu.encode());
+        let p = parse(&frame).unwrap();
+        assert_eq!(p.protocol(), ProtocolTag::Modbus);
+    }
+
+    #[test]
+    fn zwire_frame_is_recognized() {
+        let frame = builder().zwire(&ZWireFrame::new(
+            crate::zwire::ZWireType::Data,
+            0xabcd,
+            1,
+            2,
+            0,
+            vec![1, 2, 3],
+        ));
+        let p = parse(&frame).unwrap();
+        assert_eq!(p.protocol(), ProtocolTag::ZWire);
+        assert!(p.zwire.is_some());
+    }
+
+    #[test]
+    fn arp_frame_is_recognized() {
+        let (src, dst) = ips();
+        let frame = builder().arp(&ArpHeader::request(MacAddr::from_id(1), src, dst));
+        let p = parse(&frame).unwrap();
+        assert_eq!(p.protocol(), ProtocolTag::Arp);
+    }
+
+    #[test]
+    fn garbage_on_known_port_stays_opaque() {
+        let (src, dst) = ips();
+        let hdr = TcpHeader::new(50000, mqtt::PORT, 0, 0, TcpFlags::PSH | TcpFlags::ACK);
+        let frame = builder().tcp(src, dst, hdr, &[0xf0, 0x80, 0x80, 0x80, 0x80]);
+        let p = parse(&frame).unwrap();
+        assert_eq!(p.protocol(), ProtocolTag::Tcp);
+        assert!(p.app.is_none());
+        assert_eq!(p.payload_len, 5);
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let (src, dst) = ips();
+        let mut b = builder();
+        b.ttl(3).ip_id(777).dscp_ecn(0x10);
+        let frame = b.udp(src, dst, 1, 2, b"x");
+        let p = parse(&frame).unwrap();
+        let ip = p.ipv4.unwrap();
+        assert_eq!(ip.ttl, 3);
+        assert_eq!(ip.identification, 777);
+        assert_eq!(ip.dscp_ecn, 0x10);
+    }
+
+    #[test]
+    fn icmp_frame_round_trip() {
+        let (src, dst) = ips();
+        let frame = builder().icmp(src, dst, IcmpHeader::echo_request(1, 1), b"abcd");
+        let p = parse(&frame).unwrap();
+        assert_eq!(p.protocol(), ProtocolTag::Icmp);
+        assert_eq!(p.payload_len, 4);
+    }
+
+    #[test]
+    fn vlan_tagged_ip_frame_parses() {
+        let (src, dst) = ips();
+        let mut b = builder();
+        b.vlan(VlanTag::new(42));
+        let frame = b.udp(src, dst, 1000, 2000, b"hi");
+        let p = parse(&frame).unwrap();
+        assert_eq!(p.ethernet.vlan.unwrap().vid, 42);
+        assert_eq!(p.protocol(), ProtocolTag::Udp);
+    }
+
+    #[test]
+    fn ipv6_udp_frame_parses() {
+        let b = builder();
+        let src: std::net::Ipv6Addr = "fd00::10".parse().unwrap();
+        let dst: std::net::Ipv6Addr = "fd00::1".parse().unwrap();
+        let frame = b.udp6(src, dst, 40000, 5683, b"coap-over-v6");
+        let p = parse(&frame).unwrap();
+        let ip6 = p.ipv6.expect("ipv6 header parsed");
+        assert_eq!(ip6.src, src);
+        assert_eq!(ip6.next_header, IpProtocol::Udp);
+        assert_eq!(p.ports(), Some((40000, 5683)));
+        assert_eq!(p.payload_len, 12);
+        assert_eq!(p.protocol(), ProtocolTag::Udp);
+    }
+
+    #[test]
+    fn corrupted_total_len_is_rejected_not_panicking() {
+        let (src, dst) = ips();
+        let frame = builder().udp(src, dst, 1, 2, b"payload");
+        let mut bad = frame.to_vec();
+        // Corrupt ipv4.total_len (offset 16..18) to a value below the
+        // header length.
+        bad[16] = 0;
+        bad[17] = 4;
+        assert!(parse(&bad).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_errors() {
+        let (src, dst) = ips();
+        let frame = builder().udp(src, dst, 1, 2, b"payload");
+        assert!(parse(&frame[..20]).is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! TCP header codec (RFC 793), options-free form on encode.
+
+use crate::checksum;
+use crate::error::ParseError;
+use crate::ipv4::IpProtocol;
+use crate::wire;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Length of an options-free TCP header.
+pub const HEADER_LEN: usize = 20;
+
+/// TCP control flags as a typed bit set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// FIN flag.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN flag.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST flag.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH flag.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK flag.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// URG flag.
+    pub const URG: TcpFlags = TcpFlags(0x20);
+
+    /// Returns `true` if every flag in `other` is set in `self`.
+    pub fn contains(&self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns `true` if no flags are set.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | rhs.0)
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = [
+            (TcpFlags::SYN, "SYN"),
+            (TcpFlags::ACK, "ACK"),
+            (TcpFlags::FIN, "FIN"),
+            (TcpFlags::RST, "RST"),
+            (TcpFlags::PSH, "PSH"),
+            (TcpFlags::URG, "URG"),
+        ];
+        let mut first = true;
+        for (flag, name) in names {
+            if self.contains(flag) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "-")?;
+        }
+        Ok(())
+    }
+}
+
+/// A decoded TCP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Control flags.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+    /// Urgent pointer.
+    pub urgent: u16,
+    /// Header length in bytes (data offset × 4); preserved from the wire on
+    /// decode, always [`HEADER_LEN`] on encode.
+    pub header_len: u8,
+}
+
+impl TcpHeader {
+    /// Creates an options-free header with a default window.
+    pub fn new(src_port: u16, dst_port: u16, seq: u32, ack: u32, flags: TcpFlags) -> Self {
+        TcpHeader {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window: 0xffff,
+            urgent: 0,
+            header_len: HEADER_LEN as u8,
+        }
+    }
+
+    /// Decodes a header from the start of `buf`, returning the header and the
+    /// number of bytes consumed (the data-offset-derived header length).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation or a data offset below 5 words.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), ParseError> {
+        wire::require(buf, HEADER_LEN, "tcp header")?;
+        let data_offset = buf[12] >> 4;
+        if data_offset < 5 {
+            return Err(ParseError::invalid(
+                "tcp header",
+                format!("data offset {data_offset} below minimum of 5"),
+            ));
+        }
+        let header_len = usize::from(data_offset) * 4;
+        wire::require(buf, header_len, "tcp header with options")?;
+        Ok((
+            TcpHeader {
+                src_port: wire::get_u16(buf, 0, "tcp src port")?,
+                dst_port: wire::get_u16(buf, 2, "tcp dst port")?,
+                seq: wire::get_u32(buf, 4, "tcp seq")?,
+                ack: wire::get_u32(buf, 8, "tcp ack")?,
+                flags: TcpFlags(buf[13] & 0x3f),
+                window: wire::get_u16(buf, 14, "tcp window")?,
+                urgent: wire::get_u16(buf, 18, "tcp urgent")?,
+                header_len: header_len as u8,
+            },
+            header_len,
+        ))
+    }
+
+    /// Appends the encoded header and `payload` to `out`, computing the
+    /// checksum against the given IPv4 pseudo-header.
+    pub fn encode_with_payload(
+        &self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) {
+        let start = out.len();
+        wire::put_u16(out, self.src_port);
+        wire::put_u16(out, self.dst_port);
+        wire::put_u32(out, self.seq);
+        wire::put_u32(out, self.ack);
+        out.push(0x50); // data offset 5, reserved 0
+        out.push(self.flags.0);
+        wire::put_u16(out, self.window);
+        wire::put_u16(out, 0); // checksum placeholder
+        wire::put_u16(out, self.urgent);
+        out.extend_from_slice(payload);
+        let ck = checksum::transport_checksum(src, dst, IpProtocol::Tcp.as_u8(), &out[start..]);
+        out[start + 16..start + 18].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs() -> (Ipv4Addr, Ipv4Addr) {
+        (Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+    }
+
+    #[test]
+    fn round_trip_with_payload() {
+        let (src, dst) = addrs();
+        let hdr = TcpHeader::new(49152, 1883, 7, 11, TcpFlags::SYN | TcpFlags::ACK);
+        let mut buf = Vec::new();
+        hdr.encode_with_payload(src, dst, b"hello", &mut buf);
+        assert_eq!(buf.len(), HEADER_LEN + 5);
+        let (decoded, used) = TcpHeader::decode(&buf).unwrap();
+        assert_eq!(used, HEADER_LEN);
+        assert_eq!(decoded, hdr);
+        assert_eq!(&buf[used..], b"hello");
+    }
+
+    #[test]
+    fn checksum_covers_payload() {
+        let (src, dst) = addrs();
+        let hdr = TcpHeader::new(1, 2, 0, 0, TcpFlags::ACK);
+        let mut buf = Vec::new();
+        hdr.encode_with_payload(src, dst, b"data", &mut buf);
+        let ck = checksum::transport_checksum(src, dst, 6, &{
+            let mut z = buf.clone();
+            z[16] = 0;
+            z[17] = 0;
+            z
+        });
+        assert_eq!(&buf[16..18], &ck.to_be_bytes());
+    }
+
+    #[test]
+    fn flags_display_and_ops() {
+        let f = TcpFlags::SYN | TcpFlags::ACK;
+        assert!(f.contains(TcpFlags::SYN));
+        assert!(!f.contains(TcpFlags::FIN));
+        assert_eq!(f.to_string(), "SYN|ACK");
+        assert_eq!(TcpFlags::default().to_string(), "-");
+        assert!(TcpFlags::default().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_data_offset() {
+        let (src, dst) = addrs();
+        let hdr = TcpHeader::new(1, 2, 0, 0, TcpFlags::SYN);
+        let mut buf = Vec::new();
+        hdr.encode_with_payload(src, dst, &[], &mut buf);
+        buf[12] = 0x40;
+        assert!(TcpHeader::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        assert!(matches!(
+            TcpHeader::decode(&[0u8; 10]),
+            Err(ParseError::Truncated { .. })
+        ));
+    }
+}

@@ -1,0 +1,436 @@
+//! Labelled packet traces: the dataset format consumed by the learning
+//! pipeline and produced by the traffic simulator.
+//!
+//! A trace is a time-ordered sequence of raw frames, each carrying a ground-
+//! truth label. Traces serialize to a compact binary file format (magic
+//! `P4GT`) so generated datasets can be saved and reloaded deterministically.
+
+use crate::error::TraceIoError;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// The attack families the dataset format can label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AttackFamily {
+    /// Mirai-style telnet scanning of the address space.
+    MiraiScan,
+    /// Credential brute forcing against device services.
+    BruteForce,
+    /// TCP SYN flood.
+    SynFlood,
+    /// UDP flood.
+    UdpFlood,
+    /// MQTT CONNECT flood against the broker.
+    MqttFlood,
+    /// CoAP amplification with spoofed sources.
+    CoapAmplification,
+    /// DNS tunnelling exfiltration.
+    DnsTunnel,
+    /// Malicious Modbus writes to industrial endpoints.
+    ModbusAbuse,
+    /// Bulk data exfiltration over ZWire.
+    ZWireHijack,
+}
+
+impl AttackFamily {
+    /// All families, in display order.
+    pub const ALL: [AttackFamily; 9] = [
+        AttackFamily::MiraiScan,
+        AttackFamily::BruteForce,
+        AttackFamily::SynFlood,
+        AttackFamily::UdpFlood,
+        AttackFamily::MqttFlood,
+        AttackFamily::CoapAmplification,
+        AttackFamily::DnsTunnel,
+        AttackFamily::ModbusAbuse,
+        AttackFamily::ZWireHijack,
+    ];
+
+    /// A stable one-byte code used by the trace file format.
+    pub fn code(&self) -> u8 {
+        match self {
+            AttackFamily::MiraiScan => 1,
+            AttackFamily::BruteForce => 2,
+            AttackFamily::SynFlood => 3,
+            AttackFamily::UdpFlood => 4,
+            AttackFamily::MqttFlood => 5,
+            AttackFamily::CoapAmplification => 6,
+            AttackFamily::DnsTunnel => 7,
+            AttackFamily::ModbusAbuse => 8,
+            AttackFamily::ZWireHijack => 9,
+        }
+    }
+
+    /// Inverse of [`AttackFamily::code`].
+    pub fn from_code(code: u8) -> Option<AttackFamily> {
+        Self::ALL.iter().copied().find(|f| f.code() == code)
+    }
+}
+
+impl fmt::Display for AttackFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttackFamily::MiraiScan => "mirai-scan",
+            AttackFamily::BruteForce => "brute-force",
+            AttackFamily::SynFlood => "syn-flood",
+            AttackFamily::UdpFlood => "udp-flood",
+            AttackFamily::MqttFlood => "mqtt-flood",
+            AttackFamily::CoapAmplification => "coap-amplification",
+            AttackFamily::DnsTunnel => "dns-tunnel",
+            AttackFamily::ModbusAbuse => "modbus-abuse",
+            AttackFamily::ZWireHijack => "zwire-hijack",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Ground-truth label of a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// Normal device traffic.
+    Benign,
+    /// Attack traffic of the given family.
+    Attack(AttackFamily),
+}
+
+impl Label {
+    /// Returns `true` for attack records.
+    pub fn is_attack(&self) -> bool {
+        matches!(self, Label::Attack(_))
+    }
+
+    /// Returns the attack family, if any.
+    pub fn family(&self) -> Option<AttackFamily> {
+        match self {
+            Label::Benign => None,
+            Label::Attack(f) => Some(*f),
+        }
+    }
+
+    /// The binary class used by classifiers: 0 = benign, 1 = attack.
+    pub fn class(&self) -> usize {
+        usize::from(self.is_attack())
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Benign => write!(f, "benign"),
+            Label::Attack(a) => write!(f, "attack({a})"),
+        }
+    }
+}
+
+/// One labelled frame in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Capture timestamp in microseconds from the start of the scenario.
+    pub timestamp_us: u64,
+    /// Raw Ethernet frame.
+    pub frame: Bytes,
+    /// Ground-truth label.
+    pub label: Label,
+    /// Opaque flow identifier assigned by the generator; records of the
+    /// same logical flow share it.
+    pub flow_id: u64,
+}
+
+/// A time-ordered sequence of labelled frames.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    records: Vec<Record>,
+}
+
+const MAGIC: &[u8; 4] = b"P4GT";
+const FORMAT_VERSION: u8 = 1;
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a record. Records may be pushed out of order; call
+    /// [`Trace::sort_by_time`] before handing the trace to consumers that
+    /// assume arrival order.
+    pub fn push(&mut self, record: Record) {
+        self.records.push(record);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over records in storage order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Record> {
+        self.records.iter()
+    }
+
+    /// Borrows the records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Stably sorts records by timestamp.
+    pub fn sort_by_time(&mut self) {
+        self.records.sort_by_key(|r| r.timestamp_us);
+    }
+
+    /// Number of attack-labelled records.
+    pub fn attack_count(&self) -> usize {
+        self.records.iter().filter(|r| r.label.is_attack()).count()
+    }
+
+    /// Splits into (first, second) with `fraction` of records in the first
+    /// part, preserving order. `fraction` is clamped to `[0, 1]`.
+    pub fn split_at_fraction(&self, fraction: f64) -> (Trace, Trace) {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let cut = (self.records.len() as f64 * fraction).round() as usize;
+        let cut = cut.min(self.records.len());
+        (
+            Trace {
+                records: self.records[..cut].to_vec(),
+            },
+            Trace {
+                records: self.records[cut..].to_vec(),
+            },
+        )
+    }
+
+    /// Writes the trace to `writer` in the `P4GT` binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the underlying writer fails.
+    pub fn write_to<W: Write>(&self, mut writer: W) -> Result<(), TraceIoError> {
+        writer.write_all(MAGIC)?;
+        writer.write_all(&[FORMAT_VERSION])?;
+        writer.write_all(&(self.records.len() as u64).to_le_bytes())?;
+        for r in &self.records {
+            writer.write_all(&r.timestamp_us.to_le_bytes())?;
+            writer.write_all(&r.flow_id.to_le_bytes())?;
+            let label_code = match r.label {
+                Label::Benign => 0u8,
+                Label::Attack(f) => f.code(),
+            };
+            writer.write_all(&[label_code])?;
+            writer.write_all(&(r.frame.len() as u32).to_le_bytes())?;
+            writer.write_all(&r.frame)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a trace from `reader`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure or a malformed file.
+    pub fn read_from<R: Read>(mut reader: R) -> Result<Self, TraceIoError> {
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(TraceIoError::Format("bad magic".into()));
+        }
+        let mut version = [0u8; 1];
+        reader.read_exact(&mut version)?;
+        if version[0] != FORMAT_VERSION {
+            return Err(TraceIoError::Format(format!(
+                "unsupported format version {}",
+                version[0]
+            )));
+        }
+        let mut count_bytes = [0u8; 8];
+        reader.read_exact(&mut count_bytes)?;
+        let count = u64::from_le_bytes(count_bytes) as usize;
+        let mut records = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let mut ts = [0u8; 8];
+            reader.read_exact(&mut ts)?;
+            let mut flow = [0u8; 8];
+            reader.read_exact(&mut flow)?;
+            let mut label_code = [0u8; 1];
+            reader.read_exact(&mut label_code)?;
+            let label = if label_code[0] == 0 {
+                Label::Benign
+            } else {
+                Label::Attack(AttackFamily::from_code(label_code[0]).ok_or_else(|| {
+                    TraceIoError::Format(format!("unknown attack code {}", label_code[0]))
+                })?)
+            };
+            let mut len = [0u8; 4];
+            reader.read_exact(&mut len)?;
+            let mut frame = vec![0u8; u32::from_le_bytes(len) as usize];
+            reader.read_exact(&mut frame)?;
+            records.push(Record {
+                timestamp_us: u64::from_le_bytes(ts),
+                flow_id: u64::from_le_bytes(flow),
+                label,
+                frame: Bytes::from(frame),
+            });
+        }
+        Ok(Trace { records })
+    }
+
+    /// Saves the trace to a file. See [`Trace::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the file cannot be created or written.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceIoError> {
+        let file = std::fs::File::create(path)?;
+        self.write_to(std::io::BufWriter::new(file))
+    }
+
+    /// Loads a trace from a file. See [`Trace::read_from`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the file cannot be read or is malformed.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceIoError> {
+        let file = std::fs::File::open(path)?;
+        Self::read_from(std::io::BufReader::new(file))
+    }
+}
+
+impl FromIterator<Record> for Trace {
+    fn from_iter<I: IntoIterator<Item = Record>>(iter: I) -> Self {
+        Trace {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Record> for Trace {
+    fn extend<I: IntoIterator<Item = Record>>(&mut self, iter: I) {
+        self.records.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Record;
+    type IntoIter = std::slice::Iter<'a, Record>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = Record;
+    type IntoIter = std::vec::IntoIter<Record>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(ts: u64, label: Label) -> Record {
+        Record {
+            timestamp_us: ts,
+            frame: Bytes::from_static(&[1, 2, 3, 4]),
+            label,
+            flow_id: ts / 10,
+        }
+    }
+
+    #[test]
+    fn push_sort_and_count() {
+        let mut t = Trace::new();
+        t.push(record(30, Label::Attack(AttackFamily::SynFlood)));
+        t.push(record(10, Label::Benign));
+        t.push(record(20, Label::Benign));
+        t.sort_by_time();
+        let times: Vec<u64> = t.iter().map(|r| r.timestamp_us).collect();
+        assert_eq!(times, [10, 20, 30]);
+        assert_eq!(t.attack_count(), 1);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut t = Trace::new();
+        for i in 0..50 {
+            let label = if i % 5 == 0 {
+                Label::Attack(AttackFamily::DnsTunnel)
+            } else {
+                Label::Benign
+            };
+            t.push(record(i, label));
+        }
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let loaded = Trace::read_from(buf.as_slice()).unwrap();
+        assert_eq!(loaded, t);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = Trace::read_from(b"NOPE\x01".as_slice()).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        Trace::new().write_to(&mut buf).unwrap();
+        buf[4] = 99;
+        assert!(Trace::read_from(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_attack_code() {
+        let mut t = Trace::new();
+        t.push(record(1, Label::Attack(AttackFamily::MiraiScan)));
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        // Label byte sits after magic(4)+ver(1)+count(8)+ts(8)+flow(8).
+        buf[29] = 200;
+        assert!(Trace::read_from(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn split_at_fraction_preserves_order() {
+        let t: Trace = (0..10).map(|i| record(i, Label::Benign)).collect();
+        let (a, b) = t.split_at_fraction(0.6);
+        assert_eq!(a.len(), 6);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.records()[0].timestamp_us, 6);
+        let (all, none) = t.split_at_fraction(2.0);
+        assert_eq!(all.len(), 10);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn label_helpers() {
+        assert!(!Label::Benign.is_attack());
+        assert_eq!(Label::Benign.class(), 0);
+        let l = Label::Attack(AttackFamily::MqttFlood);
+        assert_eq!(l.class(), 1);
+        assert_eq!(l.family(), Some(AttackFamily::MqttFlood));
+        assert_eq!(l.to_string(), "attack(mqtt-flood)");
+    }
+
+    #[test]
+    fn family_codes_round_trip() {
+        for f in AttackFamily::ALL {
+            assert_eq!(AttackFamily::from_code(f.code()), Some(f));
+        }
+        assert_eq!(AttackFamily::from_code(0), None);
+        assert_eq!(AttackFamily::from_code(77), None);
+    }
+}

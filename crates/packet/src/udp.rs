@@ -1,0 +1,112 @@
+//! UDP header codec (RFC 768).
+
+use crate::checksum;
+use crate::error::ParseError;
+use crate::ipv4::IpProtocol;
+use crate::wire;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Length of a UDP header.
+pub const HEADER_LEN: usize = 8;
+
+/// A decoded UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header plus payload in bytes.
+    pub length: u16,
+}
+
+impl UdpHeader {
+    /// Creates a header for a datagram carrying `payload_len` bytes.
+    pub fn new(src_port: u16, dst_port: u16, payload_len: usize) -> Self {
+        UdpHeader {
+            src_port,
+            dst_port,
+            length: (HEADER_LEN + payload_len) as u16,
+        }
+    }
+
+    /// Decodes a header from the start of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation or a length field below 8.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), ParseError> {
+        wire::require(buf, HEADER_LEN, "udp header")?;
+        let length = wire::get_u16(buf, 4, "udp length")?;
+        if usize::from(length) < HEADER_LEN {
+            return Err(ParseError::invalid(
+                "udp header",
+                format!("length field {length} below minimum of 8"),
+            ));
+        }
+        Ok((
+            UdpHeader {
+                src_port: wire::get_u16(buf, 0, "udp src port")?,
+                dst_port: wire::get_u16(buf, 2, "udp dst port")?,
+                length,
+            },
+            HEADER_LEN,
+        ))
+    }
+
+    /// Appends the encoded header and `payload` to `out`, computing the
+    /// checksum against the given IPv4 pseudo-header.
+    pub fn encode_with_payload(
+        &self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) {
+        let start = out.len();
+        wire::put_u16(out, self.src_port);
+        wire::put_u16(out, self.dst_port);
+        wire::put_u16(out, self.length);
+        wire::put_u16(out, 0); // checksum placeholder
+        out.extend_from_slice(payload);
+        let ck = checksum::transport_checksum(src, dst, IpProtocol::Udp.as_u8(), &out[start..]);
+        // Per RFC 768 a computed checksum of zero is transmitted as 0xffff.
+        let ck = if ck == 0 { 0xffff } else { ck };
+        out[start + 6..start + 8].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let hdr = UdpHeader::new(5683, 5683, 4);
+        let mut buf = Vec::new();
+        hdr.encode_with_payload(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            b"coap",
+            &mut buf,
+        );
+        assert_eq!(buf.len(), HEADER_LEN + 4);
+        let (decoded, used) = UdpHeader::decode(&buf).unwrap();
+        assert_eq!(used, HEADER_LEN);
+        assert_eq!(decoded, hdr);
+        assert_eq!(decoded.length, 12);
+    }
+
+    #[test]
+    fn rejects_short_length_field() {
+        let mut buf = vec![0u8; 8];
+        buf[5] = 7;
+        assert!(UdpHeader::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        assert!(UdpHeader::decode(&[0u8; 7]).is_err());
+    }
+}

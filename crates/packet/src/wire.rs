@@ -1,0 +1,109 @@
+//! Bounds-checked big-endian byte accessors shared by all header codecs.
+
+use crate::error::ParseError;
+
+/// Reads a `u8` at `offset`, reporting `what` on truncation.
+pub fn get_u8(buf: &[u8], offset: usize, what: &'static str) -> Result<u8, ParseError> {
+    buf.get(offset)
+        .copied()
+        .ok_or_else(|| ParseError::truncated(what, offset + 1, buf.len()))
+}
+
+/// Reads a big-endian `u16` at `offset`.
+pub fn get_u16(buf: &[u8], offset: usize, what: &'static str) -> Result<u16, ParseError> {
+    let end = offset + 2;
+    let bytes = buf
+        .get(offset..end)
+        .ok_or_else(|| ParseError::truncated(what, end, buf.len()))?;
+    Ok(u16::from_be_bytes([bytes[0], bytes[1]]))
+}
+
+/// Reads a big-endian `u32` at `offset`.
+pub fn get_u32(buf: &[u8], offset: usize, what: &'static str) -> Result<u32, ParseError> {
+    let end = offset + 4;
+    let bytes = buf
+        .get(offset..end)
+        .ok_or_else(|| ParseError::truncated(what, end, buf.len()))?;
+    Ok(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+}
+
+/// Reads exactly `N` bytes starting at `offset`.
+pub fn get_array<const N: usize>(
+    buf: &[u8],
+    offset: usize,
+    what: &'static str,
+) -> Result<[u8; N], ParseError> {
+    let end = offset + N;
+    let bytes = buf
+        .get(offset..end)
+        .ok_or_else(|| ParseError::truncated(what, end, buf.len()))?;
+    let mut out = [0u8; N];
+    out.copy_from_slice(bytes);
+    Ok(out)
+}
+
+/// Ensures `buf` holds at least `needed` bytes.
+pub fn require(buf: &[u8], needed: usize, what: &'static str) -> Result<(), ParseError> {
+    if buf.len() < needed {
+        Err(ParseError::truncated(what, needed, buf.len()))
+    } else {
+        Ok(())
+    }
+}
+
+/// Appends a big-endian `u16` to `out`.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Appends a big-endian `u32` to `out`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_u16_reads_big_endian() {
+        let buf = [0x12, 0x34, 0x56];
+        assert_eq!(get_u16(&buf, 0, "x").unwrap(), 0x1234);
+        assert_eq!(get_u16(&buf, 1, "x").unwrap(), 0x3456);
+    }
+
+    #[test]
+    fn get_u16_reports_truncation() {
+        let buf = [0x12];
+        let err = get_u16(&buf, 0, "field").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::Truncated {
+                what: "field",
+                needed: 2,
+                available: 1
+            }
+        );
+    }
+
+    #[test]
+    fn get_u32_round_trip() {
+        let mut out = Vec::new();
+        put_u32(&mut out, 0xdead_beef);
+        assert_eq!(get_u32(&out, 0, "x").unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn get_array_reads_exact() {
+        let buf = [1, 2, 3, 4, 5];
+        let a: [u8; 3] = get_array(&buf, 1, "x").unwrap();
+        assert_eq!(a, [2, 3, 4]);
+        assert!(get_array::<4>(&buf, 3, "x").is_err());
+    }
+
+    #[test]
+    fn require_checks_length() {
+        assert!(require(&[0u8; 4], 4, "x").is_ok());
+        assert!(require(&[0u8; 3], 4, "x").is_err());
+    }
+}

@@ -1,0 +1,310 @@
+//! Prioritized ternary rule sets with optimization passes.
+
+use crate::ternary::TernaryEntry;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A prioritized list of ternary entries over a fixed-width key, with a
+/// default class for keys no entry matches.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleSet {
+    key_width: usize,
+    entries: Vec<TernaryEntry>,
+    default_class: usize,
+}
+
+impl RuleSet {
+    /// Creates an empty rule set.
+    pub fn new(key_width: usize, default_class: usize) -> Self {
+        RuleSet {
+            key_width,
+            entries: Vec::new(),
+            default_class,
+        }
+    }
+
+    /// Key width in bytes.
+    pub fn key_width(&self) -> usize {
+        self.key_width
+    }
+
+    /// The class returned when nothing matches.
+    pub fn default_class(&self) -> usize {
+        self.default_class
+    }
+
+    /// Borrows the entries, highest priority first.
+    pub fn entries(&self) -> &[TernaryEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the rule set has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds an entry, keeping entries sorted by descending priority
+    /// (stable for equal priorities).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry width differs from the rule-set key width.
+    pub fn push(&mut self, entry: TernaryEntry) {
+        assert_eq!(entry.width(), self.key_width, "entry width mismatch");
+        let at = self
+            .entries
+            .partition_point(|e| e.priority >= entry.priority);
+        self.entries.insert(at, entry);
+    }
+
+    /// Classifies a key: the highest-priority matching entry's class, or
+    /// the default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len()` differs from the key width.
+    pub fn classify(&self, key: &[u8]) -> usize {
+        self.entries
+            .iter()
+            .find(|e| e.matches(key))
+            .map_or(self.default_class, |e| e.class)
+    }
+
+    /// Total TCAM bits consumed: each entry stores value and mask, so
+    /// `entries × key_bits × 2`.
+    pub fn tcam_bits(&self) -> usize {
+        self.entries.len() * self.key_width * 8 * 2
+    }
+
+    /// Removes entries fully covered by an earlier (higher-priority or
+    /// equal-priority-earlier) entry — they can never fire. Returns the
+    /// number removed.
+    pub fn remove_shadowed(&mut self) -> usize {
+        let mut keep: Vec<TernaryEntry> = Vec::with_capacity(self.entries.len());
+        let mut removed = 0usize;
+        for entry in self.entries.drain(..) {
+            if keep.iter().any(|earlier| earlier.covers(&entry)) {
+                removed += 1;
+            } else {
+                keep.push(entry);
+            }
+        }
+        self.entries = keep;
+        removed
+    }
+
+    /// Merges sibling entries — same mask, same class, same priority,
+    /// values differing in exactly one cared bit — into one entry with that
+    /// bit wildcarded. Runs to fixpoint. Returns the number of merges.
+    ///
+    /// Sibling merging is semantics-preserving for rule sets whose
+    /// same-priority entries are disjoint per class, which is what tree
+    /// compilation produces. The pass is the classic Quine–McCluskey-style
+    /// bit pairing over deterministic (`BTree`) orderings, so results are
+    /// reproducible and the pass is `O(rounds · n · key_bits · log n)`.
+    pub fn merge_siblings(&mut self) -> usize {
+        use std::collections::{BTreeMap, BTreeSet};
+        let mut merges = 0usize;
+        loop {
+            // Group entry indices by (mask, class, priority).
+            let mut groups: BTreeMap<(Vec<u8>, usize, i32), BTreeSet<Vec<u8>>> = BTreeMap::new();
+            for e in &self.entries {
+                let masked: Vec<u8> = e.value.iter().zip(&e.mask).map(|(v, m)| v & m).collect();
+                groups
+                    .entry((e.mask.clone(), e.class, e.priority))
+                    .or_default()
+                    .insert(masked);
+            }
+            let mut next_entries: Vec<TernaryEntry> = Vec::with_capacity(self.entries.len());
+            let mut merged_this_round = 0usize;
+            for ((mask, class, priority), values) in groups {
+                let mut consumed: BTreeSet<Vec<u8>> = BTreeSet::new();
+                for value in &values {
+                    if consumed.contains(value) {
+                        continue;
+                    }
+                    let mut merged = false;
+                    'bits: for (byte_idx, &m) in mask.iter().enumerate() {
+                        for bit in (0..8).rev() {
+                            let b = 1u8 << bit;
+                            if m & b == 0 {
+                                continue;
+                            }
+                            let mut partner = value.clone();
+                            partner[byte_idx] ^= b;
+                            // Pair each sibling set once: the lower value
+                            // owns the merge.
+                            if partner > *value
+                                && values.contains(&partner)
+                                && !consumed.contains(&partner)
+                            {
+                                let mut new_mask = mask.clone();
+                                new_mask[byte_idx] &= !b;
+                                let mut new_value = value.clone();
+                                new_value[byte_idx] &= new_mask[byte_idx];
+                                next_entries.push(TernaryEntry::new(
+                                    new_value, new_mask, class, priority,
+                                ));
+                                consumed.insert(value.clone());
+                                consumed.insert(partner);
+                                merged = true;
+                                merged_this_round += 1;
+                                break 'bits;
+                            }
+                        }
+                    }
+                    if !merged {
+                        next_entries.push(TernaryEntry::new(
+                            value.clone(),
+                            mask.clone(),
+                            class,
+                            priority,
+                        ));
+                    }
+                }
+            }
+            if merged_this_round == 0 {
+                return merges;
+            }
+            merges += merged_this_round;
+            // Restore priority ordering (stable across equal priorities by
+            // the deterministic group iteration).
+            next_entries.sort_by(|a, b| b.priority.cmp(&a.priority));
+            self.entries = next_entries;
+        }
+    }
+
+    /// Runs all optimization passes; returns (merged, shadowed-removed).
+    pub fn optimize(&mut self) -> (usize, usize) {
+        let merged = self.merge_siblings();
+        let shadowed = self.remove_shadowed();
+        (merged, shadowed)
+    }
+}
+
+impl fmt::Display for RuleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ruleset: {} entries over {}-byte key, default class {}",
+            self.entries.len(),
+            self.key_width,
+            self.default_class
+        )?;
+        for e in &self.entries {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(value: u8, mask: u8, class: usize, priority: i32) -> TernaryEntry {
+        TernaryEntry::new(vec![value], vec![mask], class, priority)
+    }
+
+    #[test]
+    fn classify_respects_priority() {
+        let mut rs = RuleSet::new(1, 0);
+        rs.push(entry(0x10, 0xf0, 1, 5)); // 0x10..=0x1f -> 1
+        rs.push(entry(0x17, 0xff, 2, 10)); // 0x17 -> 2 (higher priority)
+        assert_eq!(rs.classify(&[0x17]), 2);
+        assert_eq!(rs.classify(&[0x12]), 1);
+        assert_eq!(rs.classify(&[0x99]), 0);
+        // Entries are stored in priority order.
+        assert_eq!(rs.entries()[0].priority, 10);
+    }
+
+    #[test]
+    fn push_is_stable_for_equal_priorities() {
+        let mut rs = RuleSet::new(1, 0);
+        rs.push(entry(0x01, 0xff, 1, 5));
+        rs.push(entry(0x02, 0xff, 2, 5));
+        assert_eq!(rs.entries()[0].class, 1);
+        assert_eq!(rs.entries()[1].class, 2);
+    }
+
+    #[test]
+    fn remove_shadowed_drops_dead_entries() {
+        let mut rs = RuleSet::new(1, 0);
+        rs.push(entry(0x00, 0x00, 1, 10)); // wildcard, covers everything
+        rs.push(entry(0x42, 0xff, 2, 5)); // can never fire
+        let removed = rs.remove_shadowed();
+        assert_eq!(removed, 1);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.classify(&[0x42]), 1);
+    }
+
+    #[test]
+    fn merge_siblings_collapses_adjacent_prefixes() {
+        let mut rs = RuleSet::new(1, 0);
+        // 0b0000_000x pair → one entry 0b0000_000*.
+        rs.push(entry(0b0000_0000, 0xff, 1, 5));
+        rs.push(entry(0b0000_0001, 0xff, 1, 5));
+        let merges = rs.merge_siblings();
+        assert_eq!(merges, 1);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.entries()[0].mask[0], 0xfe);
+        assert_eq!(rs.classify(&[0]), 1);
+        assert_eq!(rs.classify(&[1]), 1);
+        assert_eq!(rs.classify(&[2]), 0);
+    }
+
+    #[test]
+    fn merge_cascades_to_fixpoint() {
+        let mut rs = RuleSet::new(1, 0);
+        // Four exact entries 4..=7 collapse to one /6-style entry.
+        for v in 4..=7u8 {
+            rs.push(entry(v, 0xff, 1, 5));
+        }
+        let merges = rs.merge_siblings();
+        assert_eq!(merges, 3);
+        assert_eq!(rs.len(), 1);
+        for v in 0..=255u8 {
+            assert_eq!(rs.classify(&[v]), usize::from((4..=7).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn merge_does_not_mix_classes_or_priorities() {
+        let mut rs = RuleSet::new(1, 0);
+        rs.push(entry(0x00, 0xff, 1, 5));
+        rs.push(entry(0x01, 0xff, 2, 5)); // different class
+        rs.push(entry(0x02, 0xff, 1, 6)); // different priority
+        assert_eq!(rs.merge_siblings(), 0);
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn tcam_bits_accounting() {
+        let mut rs = RuleSet::new(4, 0);
+        assert_eq!(rs.tcam_bits(), 0);
+        rs.push(TernaryEntry::new(vec![0; 4], vec![0xff; 4], 1, 0));
+        rs.push(TernaryEntry::new(vec![1; 4], vec![0xff; 4], 1, 0));
+        assert_eq!(rs.tcam_bits(), 2 * 4 * 8 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_entry_panics() {
+        let mut rs = RuleSet::new(2, 0);
+        rs.push(entry(0x00, 0xff, 1, 0));
+    }
+
+    #[test]
+    fn display_lists_entries() {
+        let mut rs = RuleSet::new(1, 0);
+        rs.push(entry(0xff, 0xff, 1, 1));
+        let s = rs.to_string();
+        assert!(s.contains("1 entries"));
+        assert!(s.contains("11111111"));
+    }
+}

@@ -1,0 +1,573 @@
+//! CART decision-tree induction over byte-valued features.
+//!
+//! The tree is stage 2's intermediate form: the compact classifier is
+//! distilled into a tree whose root→leaf paths become match-action rules.
+//! Features are `u8` byte values (exactly what the data plane extracts), so
+//! split thresholds are integers and every path is a conjunction of
+//! byte-range constraints.
+
+use serde::{Deserialize, Serialize};
+
+/// Impurity criterion for split search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitCriterion {
+    /// Gini impurity.
+    Gini,
+    /// Shannon entropy.
+    Entropy,
+}
+
+impl SplitCriterion {
+    fn impurity(&self, counts: &[usize; 2]) -> f64 {
+        let total = (counts[0] + counts[1]) as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let p = counts[1] as f64 / total;
+        match self {
+            SplitCriterion::Gini => 2.0 * p * (1.0 - p),
+            SplitCriterion::Entropy => {
+                let mut h = 0.0;
+                for q in [p, 1.0 - p] {
+                    if q > 0.0 {
+                        h -= q * q.log2();
+                    }
+                }
+                h
+            }
+        }
+    }
+}
+
+/// Tree-induction hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples a node needs to be split.
+    pub min_samples_split: usize,
+    /// Minimum samples each child must receive.
+    pub min_samples_leaf: usize,
+    /// Impurity criterion.
+    pub criterion: SplitCriterion,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 6,
+            min_samples_split: 16,
+            min_samples_leaf: 4,
+            criterion: SplitCriterion::Gini,
+        }
+    }
+}
+
+/// A tree node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// A leaf predicting `class`.
+    Leaf {
+        /// Predicted class (majority at the leaf).
+        class: usize,
+        /// Training samples that reached the leaf.
+        samples: usize,
+        /// Fraction of leaf samples in the majority class.
+        purity: f64,
+    },
+    /// An internal split: `value[feature] <= threshold` goes left.
+    Split {
+        /// Feature (byte-position) index.
+        feature: usize,
+        /// Inclusive upper bound of the left branch.
+        threshold: u8,
+        /// Left child (`<= threshold`).
+        left: Box<Node>,
+        /// Right child (`> threshold`).
+        right: Box<Node>,
+    },
+}
+
+/// One root→leaf path expressed as per-feature inclusive byte ranges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreePath {
+    /// For each feature, the inclusive `[lo, hi]` range this path admits
+    /// (unconstrained features span `[0, 255]`).
+    pub ranges: Vec<(u8, u8)>,
+    /// The class the leaf predicts.
+    pub class: usize,
+    /// Training samples at the leaf.
+    pub samples: usize,
+}
+
+impl TreePath {
+    /// Returns `true` if `key` satisfies every range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key.len() != ranges.len()`.
+    pub fn matches(&self, key: &[u8]) -> bool {
+        assert_eq!(key.len(), self.ranges.len(), "key width mismatch");
+        key.iter()
+            .zip(&self.ranges)
+            .all(|(&v, &(lo, hi))| v >= lo && v <= hi)
+    }
+
+    /// Number of features actually constrained (range narrower than the
+    /// full byte).
+    pub fn constrained_fields(&self) -> usize {
+        self.ranges.iter().filter(|&&(lo, hi)| lo > 0 || hi < 255).count()
+    }
+}
+
+/// A fitted binary decision tree over byte features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    num_features: usize,
+    config: TreeConfig,
+}
+
+impl DecisionTree {
+    /// Fits a tree on row-major byte `data` (`labels.len()` rows of
+    /// `num_features` bytes) with binary labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data length is inconsistent, the dataset is empty, or
+    /// a label is not 0/1.
+    pub fn fit(num_features: usize, data: &[u8], labels: &[usize], config: TreeConfig) -> Self {
+        assert!(num_features > 0, "num_features must be positive");
+        assert!(!labels.is_empty(), "cannot fit on an empty dataset");
+        assert_eq!(
+            data.len(),
+            labels.len() * num_features,
+            "data length does not match labels × num_features"
+        );
+        assert!(labels.iter().all(|&l| l < 2), "labels must be binary");
+        let indices: Vec<u32> = (0..labels.len() as u32).collect();
+        let root = build_node(num_features, data, labels, indices, 0, &config);
+        DecisionTree {
+            root,
+            num_features,
+            config,
+        }
+    }
+
+    /// The induction configuration.
+    pub fn config(&self) -> &TreeConfig {
+        &self.config
+    }
+
+    /// Number of features the tree was fitted on.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Borrows the root node.
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Predicts the class of one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != num_features`.
+    pub fn predict(&self, row: &[u8]) -> usize {
+        assert_eq!(row.len(), self.num_features, "row width mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { class, .. } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Predicts a batch of row-major samples.
+    pub fn predict_batch(&self, data: &[u8]) -> Vec<usize> {
+        data.chunks_exact(self.num_features)
+            .map(|row| self.predict(row))
+            .collect()
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        count_nodes(&self.root)
+    }
+
+    /// Leaf count.
+    pub fn leaf_count(&self) -> usize {
+        count_leaves(&self.root)
+    }
+
+    /// Maximum depth (root = 0).
+    pub fn depth(&self) -> usize {
+        node_depth(&self.root)
+    }
+
+    /// Enumerates every root→leaf path as per-feature ranges.
+    pub fn paths(&self) -> Vec<TreePath> {
+        let mut out = Vec::new();
+        let mut ranges = vec![(0u8, 255u8); self.num_features];
+        collect_paths(&self.root, &mut ranges, &mut out);
+        out
+    }
+}
+
+fn count_nodes(node: &Node) -> usize {
+    match node {
+        Node::Leaf { .. } => 1,
+        Node::Split { left, right, .. } => 1 + count_nodes(left) + count_nodes(right),
+    }
+}
+
+fn count_leaves(node: &Node) -> usize {
+    match node {
+        Node::Leaf { .. } => 1,
+        Node::Split { left, right, .. } => count_leaves(left) + count_leaves(right),
+    }
+}
+
+fn node_depth(node: &Node) -> usize {
+    match node {
+        Node::Leaf { .. } => 0,
+        Node::Split { left, right, .. } => 1 + node_depth(left).max(node_depth(right)),
+    }
+}
+
+fn collect_paths(node: &Node, ranges: &mut Vec<(u8, u8)>, out: &mut Vec<TreePath>) {
+    match node {
+        Node::Leaf { class, samples, .. } => out.push(TreePath {
+            ranges: ranges.clone(),
+            class: *class,
+            samples: *samples,
+        }),
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            let saved = ranges[*feature];
+            // Left: value <= threshold.
+            ranges[*feature] = (saved.0, saved.1.min(*threshold));
+            collect_paths(left, ranges, out);
+            // Right: value > threshold.
+            ranges[*feature] = (saved.0.max(threshold.saturating_add(1)), saved.1);
+            collect_paths(right, ranges, out);
+            ranges[*feature] = saved;
+        }
+    }
+}
+
+fn leaf_from(labels: &[usize], indices: &[u32]) -> Node {
+    let positives = indices.iter().filter(|&&i| labels[i as usize] == 1).count();
+    let samples = indices.len();
+    let class = usize::from(positives * 2 >= samples && positives > 0);
+    let majority = if class == 1 {
+        positives
+    } else {
+        samples - positives
+    };
+    Node::Leaf {
+        class,
+        samples,
+        purity: if samples == 0 {
+            1.0
+        } else {
+            majority as f64 / samples as f64
+        },
+    }
+}
+
+fn build_node(
+    num_features: usize,
+    data: &[u8],
+    labels: &[usize],
+    indices: Vec<u32>,
+    depth: usize,
+    config: &TreeConfig,
+) -> Node {
+    let positives = indices.iter().filter(|&&i| labels[i as usize] == 1).count();
+    let pure = positives == 0 || positives == indices.len();
+    if pure || depth >= config.max_depth || indices.len() < config.min_samples_split {
+        return leaf_from(labels, &indices);
+    }
+    let Some((feature, threshold)) = best_split(num_features, data, labels, &indices, config)
+    else {
+        return leaf_from(labels, &indices);
+    };
+    let (left_idx, right_idx): (Vec<u32>, Vec<u32>) = indices
+        .iter()
+        .partition(|&&i| data[i as usize * num_features + feature] <= threshold);
+    if left_idx.len() < config.min_samples_leaf || right_idx.len() < config.min_samples_leaf {
+        return leaf_from(labels, &indices);
+    }
+    let left = build_node(num_features, data, labels, left_idx, depth + 1, config);
+    let right = build_node(num_features, data, labels, right_idx, depth + 1, config);
+    // Collapse splits whose children agree — they add rules without
+    // changing decisions.
+    if let (
+        Node::Leaf {
+            class: lc,
+            samples: ls,
+            ..
+        },
+        Node::Leaf {
+            class: rc,
+            samples: rs,
+            ..
+        },
+    ) = (&left, &right)
+    {
+        if lc == rc {
+            let samples = ls + rs;
+            return Node::Leaf {
+                class: *lc,
+                samples,
+                purity: leaf_purity(labels, &indices, *lc),
+            };
+        }
+    }
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(left),
+        right: Box::new(right),
+    }
+}
+
+fn leaf_purity(labels: &[usize], indices: &[u32], class: usize) -> f64 {
+    if indices.is_empty() {
+        return 1.0;
+    }
+    let majority = indices
+        .iter()
+        .filter(|&&i| labels[i as usize] == class)
+        .count();
+    majority as f64 / indices.len() as f64
+}
+
+/// Exhaustive best-split search: for every feature, build a 256-bin
+/// class histogram, then scan thresholds with running counts.
+fn best_split(
+    num_features: usize,
+    data: &[u8],
+    labels: &[usize],
+    indices: &[u32],
+    config: &TreeConfig,
+) -> Option<(usize, u8)> {
+    let total = indices.len();
+    let total_pos = indices.iter().filter(|&&i| labels[i as usize] == 1).count();
+    let parent_counts = [total - total_pos, total_pos];
+    let parent_impurity = config.criterion.impurity(&parent_counts);
+    let mut best: Option<(usize, u8, f64)> = None;
+    let mut histogram = vec![[0usize; 2]; 256];
+    for feature in 0..num_features {
+        for bin in histogram.iter_mut() {
+            *bin = [0, 0];
+        }
+        for &i in indices {
+            let v = data[i as usize * num_features + feature] as usize;
+            histogram[v][labels[i as usize]] += 1;
+        }
+        let mut left = [0usize; 2];
+        for threshold in 0..255usize {
+            left[0] += histogram[threshold][0];
+            left[1] += histogram[threshold][1];
+            let left_n = left[0] + left[1];
+            if left_n == 0 {
+                continue;
+            }
+            if left_n == total {
+                break;
+            }
+            let right = [parent_counts[0] - left[0], parent_counts[1] - left[1]];
+            let right_n = right[0] + right[1];
+            let gain = parent_impurity
+                - (left_n as f64 / total as f64) * config.criterion.impurity(&left)
+                - (right_n as f64 / total as f64) * config.criterion.impurity(&right);
+            if gain > 1e-9 && best.map_or(true, |(_, _, g)| gain > g) {
+                best = Some((feature, threshold as u8, gain));
+            }
+        }
+    }
+    // Place the threshold at the midpoint of the empty value gap, as CART
+    // does, so near-boundary unseen values generalize symmetrically.
+    best.map(|(f, t, _)| {
+        let next_observed = indices
+            .iter()
+            .map(|&i| data[i as usize * num_features + f])
+            .filter(|&v| v > t)
+            .min()
+            .unwrap_or(255);
+        let mid = ((u16::from(t) + u16::from(next_observed)) / 2) as u8;
+        (f, mid)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1-feature data: attack iff byte >= 100.
+    fn threshold_data() -> (Vec<u8>, Vec<usize>) {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for v in (0..=250u16).step_by(5) {
+            data.push(v as u8);
+            labels.push(usize::from(v >= 100));
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn learns_a_threshold() {
+        let (data, labels) = threshold_data();
+        let tree = DecisionTree::fit(1, &data, &labels, TreeConfig::default());
+        assert_eq!(tree.predict(&[0]), 0);
+        assert_eq!(tree.predict(&[95]), 0);
+        assert_eq!(tree.predict(&[100]), 1);
+        assert_eq!(tree.predict(&[255]), 1);
+        assert_eq!(tree.leaf_count(), 2);
+        assert_eq!(tree.depth(), 1);
+    }
+
+    #[test]
+    fn learns_a_two_feature_conjunction() {
+        // Attack iff f0 > 127 && f1 <= 50.
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for a in (0..=255u16).step_by(17) {
+            for b in (0..=255u16).step_by(17) {
+                data.push(a as u8);
+                data.push(b as u8);
+                labels.push(usize::from(a > 127 && b <= 50));
+            }
+        }
+        let tree = DecisionTree::fit(2, &data, &labels, TreeConfig::default());
+        let preds = tree.predict_batch(&data);
+        assert_eq!(preds, labels);
+        assert!(tree.depth() <= 3);
+    }
+
+    #[test]
+    fn paths_partition_the_space() {
+        let (data, labels) = threshold_data();
+        let tree = DecisionTree::fit(1, &data, &labels, TreeConfig::default());
+        let paths = tree.paths();
+        assert_eq!(paths.len(), tree.leaf_count());
+        // Every possible byte must match exactly one path, and the path's
+        // class must equal the tree's prediction.
+        for v in 0..=255u8 {
+            let matching: Vec<&TreePath> = paths.iter().filter(|p| p.matches(&[v])).collect();
+            assert_eq!(matching.len(), 1, "byte {v}");
+            assert_eq!(matching[0].class, tree.predict(&[v]));
+        }
+    }
+
+    #[test]
+    fn max_depth_is_respected() {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        // A noisy problem that wants depth.
+        for i in 0..512usize {
+            data.push((i % 256) as u8);
+            data.push(((i * 7) % 256) as u8);
+            labels.push(usize::from((i % 16) < 4));
+        }
+        for depth in [1, 2, 3, 4] {
+            let tree = DecisionTree::fit(
+                2,
+                &data,
+                &labels,
+                TreeConfig {
+                    max_depth: depth,
+                    ..TreeConfig::default()
+                },
+            );
+            assert!(tree.depth() <= depth);
+        }
+    }
+
+    #[test]
+    fn pure_dataset_yields_single_leaf() {
+        let data = vec![1, 2, 3, 4];
+        let labels = vec![0, 0, 0, 0];
+        let tree = DecisionTree::fit(1, &data, &labels, TreeConfig::default());
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[200]), 0);
+        match tree.root() {
+            Node::Leaf { purity, .. } => assert_eq!(*purity, 1.0),
+            _ => panic!("expected a leaf"),
+        }
+    }
+
+    #[test]
+    fn entropy_criterion_also_learns() {
+        let (data, labels) = threshold_data();
+        let tree = DecisionTree::fit(
+            1,
+            &data,
+            &labels,
+            TreeConfig {
+                criterion: SplitCriterion::Entropy,
+                ..TreeConfig::default()
+            },
+        );
+        assert_eq!(tree.predict(&[95]), 0);
+        assert_eq!(tree.predict(&[100]), 1);
+    }
+
+    #[test]
+    fn constrained_fields_counts_narrow_ranges() {
+        let p = TreePath {
+            ranges: vec![(0, 255), (10, 20), (0, 100)],
+            class: 1,
+            samples: 5,
+        };
+        assert_eq!(p.constrained_fields(), 2);
+        assert!(p.matches(&[7, 15, 50]));
+        assert!(!p.matches(&[7, 25, 50]));
+    }
+
+    #[test]
+    fn min_samples_leaf_prevents_tiny_children() {
+        let (data, labels) = threshold_data();
+        let tree = DecisionTree::fit(
+            1,
+            &data,
+            &labels,
+            TreeConfig {
+                min_samples_leaf: 1000,
+                ..TreeConfig::default()
+            },
+        );
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_fit_panics() {
+        let _ = DecisionTree::fit(1, &[], &[], TreeConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn non_binary_labels_panic() {
+        let _ = DecisionTree::fit(1, &[1, 2], &[0, 2], TreeConfig::default());
+    }
+}

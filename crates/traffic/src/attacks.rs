@@ -1,0 +1,818 @@
+//! Attack traffic generators, one per [`AttackFamily`].
+//!
+//! Each generator reproduces the byte-level signature structure of its
+//! real-world counterpart (the properties public IoT attack traces expose),
+//! so the learning pipeline faces the same separation problem the paper's
+//! datasets pose: a handful of header bytes carry the signal, and the
+//! informative bytes differ per family and protocol.
+
+use crate::benign::{push, TcpSession};
+use crate::device::Device;
+use crate::util::{ephemeral_port, flow_id, hex_string, jittered, zwire_flow_id};
+use p4guard_packet::coap::{CoapCode, CoapMessage, CoapType};
+use p4guard_packet::dns::{DnsMessage, QTYPE_TXT};
+use p4guard_packet::modbus::{ModbusAdu, ModbusFunction};
+use p4guard_packet::mqtt::MqttPacket;
+use p4guard_packet::tcp::{TcpFlags, TcpHeader};
+use p4guard_packet::trace::{AttackFamily, Label, Trace};
+use p4guard_packet::zwire::{ZWireFrame, ZWireType};
+use p4guard_packet::{coap, dns, modbus, mqtt, MacAddr, PacketBuilder};
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+fn random_public_ip(rng: &mut impl Rng) -> Ipv4Addr {
+    // Avoid the simulated LAN (192.168.1.0/24) and multicast/reserved tops.
+    loop {
+        let ip = Ipv4Addr::new(
+            rng.gen_range(11..=203),
+            rng.gen(),
+            rng.gen(),
+            rng.gen_range(1..=254),
+        );
+        if !(ip.octets()[0] == 192 && ip.octets()[1] == 168) {
+            return ip;
+        }
+    }
+}
+
+/// Mirai-style scanning: the infected device SYN-probes telnet across the
+/// address space. Reproduces the canonical Mirai fingerprint: destination
+/// port 23 (with some 2323), and the TCP sequence number set to the
+/// destination address.
+#[derive(Debug, Clone, Copy)]
+pub struct MiraiScan {
+    /// Probe rate, packets per second.
+    pub rate_pps: f64,
+}
+
+impl Default for MiraiScan {
+    fn default() -> Self {
+        MiraiScan { rate_pps: 40.0 }
+    }
+}
+
+impl MiraiScan {
+    /// Emits the scan from `infected` over the window.
+    pub fn emit(
+        &self,
+        trace: &mut Trace,
+        infected: &Device,
+        start_s: f64,
+        end_s: f64,
+        rng: &mut impl Rng,
+    ) {
+        let label = Label::Attack(AttackFamily::MiraiScan);
+        let mut builder = PacketBuilder::new(infected.mac, MacAddr::BROADCAST);
+        let mut t = start_s;
+        while t < end_s {
+            let target = random_public_ip(rng);
+            let dst_port = if rng.gen::<f64>() < 0.9 { 23 } else { 2323 };
+            let sport = ephemeral_port(rng);
+            let mut hdr = TcpHeader::new(
+                sport,
+                dst_port,
+                u32::from(target), // the Mirai signature
+                0,
+                TcpFlags::SYN,
+            );
+            hdr.window = 0x0010;
+            builder.ttl(rng.gen_range(32..=64)).ip_id(rng.gen());
+            push(
+                trace,
+                t,
+                builder.tcp(infected.ip, target, hdr, &[]),
+                label,
+                flow_id(infected.ip, target, 6, sport, dst_port),
+            );
+            t += jittered(1.0 / self.rate_pps, 0.3, rng);
+        }
+    }
+}
+
+/// Telnet credential brute forcing against one victim.
+#[derive(Debug, Clone, Copy)]
+pub struct BruteForce {
+    /// Connection attempts per second.
+    pub attempts_per_s: f64,
+}
+
+impl Default for BruteForce {
+    fn default() -> Self {
+        BruteForce { attempts_per_s: 4.0 }
+    }
+}
+
+impl BruteForce {
+    /// Emits attempts from `attacker` against `victim` port 23.
+    pub fn emit(
+        &self,
+        trace: &mut Trace,
+        attacker: &Device,
+        victim: &Device,
+        start_s: f64,
+        end_s: f64,
+        rng: &mut impl Rng,
+    ) {
+        const CREDENTIALS: &[&str] = &[
+            "root:xc3511", "root:vizxv", "admin:admin", "root:888888", "support:support",
+            "root:default", "admin:password", "user:user",
+        ];
+        let label = Label::Attack(AttackFamily::BruteForce);
+        let mut t = start_s;
+        while t < end_s {
+            let mut session = TcpSession::new(attacker, victim, 23, rng);
+            let ct = session.handshake(trace, t, label);
+            let cred = CREDENTIALS[rng.gen_range(0..CREDENTIALS.len())];
+            session.client_send(trace, ct, cred.as_bytes(), label);
+            // Victim rejects and resets.
+            let rst = TcpHeader::new(
+                23,
+                session.client_port,
+                session.server_seq,
+                session.client_seq,
+                TcpFlags::RST | TcpFlags::ACK,
+            );
+            let v2a = PacketBuilder::new(victim.mac, attacker.mac);
+            push(
+                trace,
+                ct + 0.004,
+                v2a.tcp(victim.ip, attacker.ip, rst, &[]),
+                label,
+                session.flow_s2c,
+            );
+            t += jittered(1.0 / self.attempts_per_s, 0.3, rng);
+        }
+    }
+}
+
+/// TCP SYN flood with spoofed sources against one victim service.
+#[derive(Debug, Clone, Copy)]
+pub struct SynFlood {
+    /// Flood rate, packets per second.
+    pub rate_pps: f64,
+    /// Victim service port.
+    pub dst_port: u16,
+}
+
+impl Default for SynFlood {
+    fn default() -> Self {
+        SynFlood {
+            rate_pps: 120.0,
+            dst_port: 1883,
+        }
+    }
+}
+
+impl SynFlood {
+    /// Emits the flood through `attacker`'s NIC toward `victim`.
+    pub fn emit(
+        &self,
+        trace: &mut Trace,
+        attacker: &Device,
+        victim: &Device,
+        start_s: f64,
+        end_s: f64,
+        rng: &mut impl Rng,
+    ) {
+        let label = Label::Attack(AttackFamily::SynFlood);
+        let mut builder = PacketBuilder::new(attacker.mac, victim.mac);
+        let mut t = start_s;
+        while t < end_s {
+            let spoofed = random_public_ip(rng);
+            let sport = rng.gen_range(1024..=65535);
+            let mut hdr = TcpHeader::new(sport, self.dst_port, rng.gen(), 0, TcpFlags::SYN);
+            hdr.window = 512;
+            builder.ttl(rng.gen_range(40..=255)).ip_id(rng.gen());
+            push(
+                trace,
+                t,
+                builder.tcp(spoofed, victim.ip, hdr, &[]),
+                label,
+                flow_id(spoofed, victim.ip, 6, sport, self.dst_port),
+            );
+            t += jittered(1.0 / self.rate_pps, 0.5, rng);
+        }
+    }
+}
+
+/// UDP flood with spoofed sources and constant filler payloads.
+#[derive(Debug, Clone, Copy)]
+pub struct UdpFlood {
+    /// Flood rate, packets per second.
+    pub rate_pps: f64,
+    /// Payload bytes per packet.
+    pub payload_len: usize,
+}
+
+impl Default for UdpFlood {
+    fn default() -> Self {
+        UdpFlood {
+            rate_pps: 120.0,
+            payload_len: 512,
+        }
+    }
+}
+
+impl UdpFlood {
+    /// Emits the flood through `attacker`'s NIC toward `victim`.
+    pub fn emit(
+        &self,
+        trace: &mut Trace,
+        attacker: &Device,
+        victim: &Device,
+        start_s: f64,
+        end_s: f64,
+        rng: &mut impl Rng,
+    ) {
+        let label = Label::Attack(AttackFamily::UdpFlood);
+        let mut builder = PacketBuilder::new(attacker.mac, victim.mac);
+        let payload = vec![0xaa; self.payload_len];
+        let mut t = start_s;
+        while t < end_s {
+            let spoofed = random_public_ip(rng);
+            let sport = rng.gen_range(1024..=65535);
+            let dport = rng.gen_range(1024..=65535);
+            builder.ttl(rng.gen_range(40..=255)).ip_id(rng.gen());
+            push(
+                trace,
+                t,
+                builder.udp(spoofed, victim.ip, sport, dport, &payload),
+                label,
+                flow_id(spoofed, victim.ip, 17, sport, dport),
+            );
+            t += jittered(1.0 / self.rate_pps, 0.5, rng);
+        }
+    }
+}
+
+/// MQTT CONNECT flood: rapid broker connections with random client ids and
+/// zero keep-alive, exhausting broker session state.
+#[derive(Debug, Clone, Copy)]
+pub struct MqttFlood {
+    /// Connections per second.
+    pub rate_cps: f64,
+}
+
+impl Default for MqttFlood {
+    fn default() -> Self {
+        MqttFlood { rate_cps: 30.0 }
+    }
+}
+
+impl MqttFlood {
+    /// Emits the flood from `attacker` against the broker.
+    pub fn emit(
+        &self,
+        trace: &mut Trace,
+        attacker: &Device,
+        broker: &Device,
+        start_s: f64,
+        end_s: f64,
+        rng: &mut impl Rng,
+    ) {
+        let label = Label::Attack(AttackFamily::MqttFlood);
+        let builder = PacketBuilder::new(attacker.mac, broker.mac);
+        let mut t = start_s;
+        while t < end_s {
+            let sport = ephemeral_port(rng);
+            let syn = TcpHeader::new(sport, mqtt::PORT, rng.gen(), 0, TcpFlags::SYN);
+            let flow = flow_id(attacker.ip, broker.ip, 6, sport, mqtt::PORT);
+            push(
+                trace,
+                t,
+                builder.tcp(attacker.ip, broker.ip, syn, &[]),
+                label,
+                flow,
+            );
+            let connect = MqttPacket::Connect {
+                keep_alive: 0,
+                client_id: hex_string(16, rng),
+                connect_flags: 0x00,
+            };
+            let data = TcpHeader::new(
+                sport,
+                mqtt::PORT,
+                syn.seq.wrapping_add(1),
+                1,
+                TcpFlags::PSH | TcpFlags::ACK,
+            );
+            push(
+                trace,
+                t + 0.0005,
+                builder.tcp(attacker.ip, broker.ip, data, &connect.encode()),
+                label,
+                flow,
+            );
+            t += jittered(1.0 / self.rate_cps, 0.3, rng);
+        }
+    }
+}
+
+/// CoAP amplification: tiny requests with the source spoofed to the victim,
+/// answered by large discovery responses aimed at the victim.
+#[derive(Debug, Clone, Copy)]
+pub struct CoapAmplification {
+    /// Request rate, packets per second.
+    pub rate_pps: f64,
+    /// Bytes of the amplified response payload.
+    pub response_len: usize,
+}
+
+impl Default for CoapAmplification {
+    fn default() -> Self {
+        CoapAmplification {
+            rate_pps: 25.0,
+            response_len: 400,
+        }
+    }
+}
+
+impl CoapAmplification {
+    /// Emits request/response pairs: `attacker` spoofs `victim` toward
+    /// `reflector` (a CoAP sensor).
+    pub fn emit(
+        &self,
+        trace: &mut Trace,
+        attacker: &Device,
+        reflector: &Device,
+        victim: &Device,
+        start_s: f64,
+        end_s: f64,
+        rng: &mut impl Rng,
+    ) {
+        let label = Label::Attack(AttackFamily::CoapAmplification);
+        let a2r = PacketBuilder::new(attacker.mac, reflector.mac);
+        let r2v = PacketBuilder::new(reflector.mac, victim.mac);
+        let mut t = start_s;
+        let mut message_id: u16 = rng.gen();
+        while t < end_s {
+            let req = CoapMessage {
+                msg_type: CoapType::NonConfirmable,
+                code: CoapCode::GET,
+                message_id,
+                token: vec![rng.gen()],
+                uri_path: vec![".well-known".into(), "core".into()],
+                payload: vec![],
+            };
+            push(
+                trace,
+                t,
+                a2r.udp(victim.ip, reflector.ip, coap::PORT, coap::PORT, &req.encode()),
+                label,
+                flow_id(victim.ip, reflector.ip, 17, coap::PORT, coap::PORT),
+            );
+            let mut body = Vec::with_capacity(self.response_len);
+            while body.len() < self.response_len {
+                body.extend_from_slice(b"</sensors/reading>;rt=\"obs\";ct=0,");
+            }
+            body.truncate(self.response_len);
+            let resp = CoapMessage {
+                msg_type: CoapType::NonConfirmable,
+                code: CoapCode::CONTENT,
+                message_id,
+                token: req.token.clone(),
+                uri_path: vec![],
+                payload: body,
+            };
+            push(
+                trace,
+                t + 0.002,
+                r2v.udp(reflector.ip, victim.ip, coap::PORT, coap::PORT, &resp.encode()),
+                label,
+                flow_id(reflector.ip, victim.ip, 17, coap::PORT, coap::PORT),
+            );
+            message_id = message_id.wrapping_add(1);
+            t += jittered(1.0 / self.rate_pps, 0.3, rng);
+        }
+    }
+}
+
+/// DNS tunnelling: exfiltration encoded into long random TXT query labels
+/// under an attacker-controlled domain.
+#[derive(Debug, Clone, Copy)]
+pub struct DnsTunnel {
+    /// Query rate, packets per second.
+    pub rate_pps: f64,
+    /// Length of the random data label.
+    pub label_len: usize,
+}
+
+impl Default for DnsTunnel {
+    fn default() -> Self {
+        DnsTunnel {
+            rate_pps: 10.0,
+            label_len: 44,
+        }
+    }
+}
+
+impl DnsTunnel {
+    /// Emits tunnel queries from `infected` through the resolver.
+    pub fn emit(
+        &self,
+        trace: &mut Trace,
+        infected: &Device,
+        resolver: &Device,
+        start_s: f64,
+        end_s: f64,
+        rng: &mut impl Rng,
+    ) {
+        let label = Label::Attack(AttackFamily::DnsTunnel);
+        let d2s = PacketBuilder::new(infected.mac, resolver.mac);
+        let s2d = PacketBuilder::new(resolver.mac, infected.mac);
+        let mut t = start_s;
+        while t < end_s {
+            let sport = ephemeral_port(rng);
+            let id: u16 = rng.gen();
+            let name = format!("{}.t.evil-example.com", hex_string(self.label_len, rng));
+            let mut query = DnsMessage::query(id, &name);
+            query.qtype = QTYPE_TXT;
+            push(
+                trace,
+                t,
+                d2s.udp(infected.ip, resolver.ip, sport, dns::PORT, &query.encode()),
+                label,
+                flow_id(infected.ip, resolver.ip, 17, sport, dns::PORT),
+            );
+            // Command-and-control response: TXT bytes.
+            let mut resp = query.clone();
+            resp.flags = DnsMessage::FLAGS_RESPONSE;
+            resp.ancount = 1;
+            let mut answer = vec![0xc0, 0x0c, 0x00, 0x10, 0x00, 0x01, 0x00, 0x00, 0x00, 0x05];
+            let txt = hex_string(24, rng);
+            answer.extend_from_slice(&((txt.len() + 1) as u16).to_be_bytes());
+            answer.push(txt.len() as u8);
+            answer.extend_from_slice(txt.as_bytes());
+            resp.answer_bytes = answer;
+            push(
+                trace,
+                t + 0.008,
+                s2d.udp(resolver.ip, infected.ip, dns::PORT, sport, &resp.encode()),
+                label,
+                flow_id(resolver.ip, infected.ip, 17, dns::PORT, sport),
+            );
+            t += jittered(1.0 / self.rate_pps, 0.4, rng);
+        }
+    }
+}
+
+/// Malicious Modbus writes: a compromised host sprays state-changing
+/// function codes across unit ids.
+#[derive(Debug, Clone, Copy)]
+pub struct ModbusAbuse {
+    /// Write operations per second.
+    pub rate_pps: f64,
+}
+
+impl Default for ModbusAbuse {
+    fn default() -> Self {
+        ModbusAbuse { rate_pps: 8.0 }
+    }
+}
+
+impl ModbusAbuse {
+    /// Emits abusive writes from `attacker` to `plc`. The attack tool
+    /// reconnects for every unit-id scan pass, as real Modbus abuse
+    /// utilities do, so each burst spans several short TCP sessions.
+    pub fn emit(
+        &self,
+        trace: &mut Trace,
+        attacker: &Device,
+        plc: &Device,
+        start_s: f64,
+        end_s: f64,
+        rng: &mut impl Rng,
+    ) {
+        let label = Label::Attack(AttackFamily::ModbusAbuse);
+        let mut session = TcpSession::new(attacker, plc, modbus::PORT, rng);
+        let mut t = session.handshake(trace, start_s, label);
+        let mut transaction: u16 = rng.gen();
+        let mut writes_this_session = 0usize;
+        let mut session_budget = rng.gen_range(20..=40);
+        while t < end_s {
+            if writes_this_session >= session_budget {
+                session.close(trace, t, label);
+                session = TcpSession::new(attacker, plc, modbus::PORT, rng);
+                t = session.handshake(trace, t + 0.05, label);
+                writes_this_session = 0;
+                session_budget = rng.gen_range(20..=40);
+            }
+            let unit_id = rng.gen_range(1..=32);
+            let adu = match rng.gen_range(0..3) {
+                0 => ModbusAdu::write_single_coil(transaction, unit_id, rng.gen(), rng.gen()),
+                1 => ModbusAdu {
+                    transaction_id: transaction,
+                    unit_id,
+                    function: ModbusFunction::WriteSingleRegister,
+                    data: vec![rng.gen(), rng.gen(), rng.gen(), rng.gen()],
+                },
+                _ => {
+                    // Write Multiple Registers with a burst of values.
+                    let count = rng.gen_range(4..=16u16);
+                    let mut data = Vec::new();
+                    data.extend_from_slice(&rng.gen::<u16>().to_be_bytes());
+                    data.extend_from_slice(&count.to_be_bytes());
+                    data.push((count * 2) as u8);
+                    for _ in 0..count * 2 {
+                        data.push(rng.gen());
+                    }
+                    ModbusAdu {
+                        transaction_id: transaction,
+                        unit_id,
+                        function: ModbusFunction::WriteMultipleRegisters,
+                        data,
+                    }
+                }
+            };
+            session.client_send(trace, t, &adu.encode(), label);
+            writes_this_session += 1;
+            transaction = transaction.wrapping_add(1);
+            t += jittered(1.0 / self.rate_pps, 0.3, rng);
+        }
+        session.close(trace, end_s, label);
+    }
+}
+
+/// ZWire hijack: an unpaired rogue node injects actuator commands and bulk
+/// exfiltration frames with a foreign home id.
+#[derive(Debug, Clone, Copy)]
+pub struct ZWireHijack {
+    /// Injection rate, frames per second.
+    pub rate_pps: f64,
+    /// Rogue node id stamped on injected frames.
+    pub rogue_node: u8,
+}
+
+impl Default for ZWireHijack {
+    fn default() -> Self {
+        ZWireHijack {
+            rate_pps: 12.0,
+            rogue_node: 0xee,
+        }
+    }
+}
+
+impl ZWireHijack {
+    /// Emits injected frames from `rogue` (any LAN NIC) into the mesh whose
+    /// legitimate home id is `home_id`; targets `target` devices.
+    pub fn emit(
+        &self,
+        trace: &mut Trace,
+        rogue: &Device,
+        target: &Device,
+        home_id: u32,
+        start_s: f64,
+        end_s: f64,
+        rng: &mut impl Rng,
+    ) {
+        let label = Label::Attack(AttackFamily::ZWireHijack);
+        let rogue_home = home_id ^ 0xdead_0000;
+        let r2t = PacketBuilder::new(rogue.mac, target.mac);
+        let target_node = target.zwire_node.unwrap_or(ZWireFrame::BROADCAST_NODE);
+        let mut seq = 0u8;
+        let mut t = start_s;
+        while t < end_s {
+            let frame = if rng.gen::<f64>() < 0.6 {
+                // Actuator command injection.
+                ZWireFrame::new(
+                    ZWireType::Command,
+                    rogue_home,
+                    self.rogue_node,
+                    target_node,
+                    seq,
+                    vec![0x20, 0xff, rng.gen()],
+                )
+            } else {
+                // Bulk exfiltration disguised as data reports.
+                let mut payload = vec![0u8; 180];
+                rng.fill(payload.as_mut_slice());
+                ZWireFrame::new(
+                    ZWireType::Data,
+                    rogue_home,
+                    self.rogue_node,
+                    ZWireFrame::BROADCAST_NODE,
+                    seq,
+                    payload,
+                )
+            };
+            push(
+                trace,
+                t,
+                r2t.zwire(&frame),
+                label,
+                zwire_flow_id(rogue_home, self.rogue_node, target_node),
+            );
+            seq = seq.wrapping_add(1);
+            t += jittered(1.0 / self.rate_pps, 0.3, rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceKind, Fleet};
+    use p4guard_packet::packet::{parse, Application, ProtocolTag};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fleet() -> Fleet {
+        Fleet::mixed()
+    }
+
+    #[test]
+    fn mirai_scan_has_the_signature() {
+        let f = fleet();
+        let infected = f.of_kind(DeviceKind::Camera)[0];
+        let mut trace = Trace::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        MiraiScan::default().emit(&mut trace, infected, 0.0, 2.0, &mut rng);
+        assert!(trace.len() > 40);
+        for r in trace.iter() {
+            assert_eq!(r.label, Label::Attack(AttackFamily::MiraiScan));
+            let p = parse(&r.frame).unwrap();
+            let tcp = p.tcp().unwrap();
+            assert!(tcp.dst_port == 23 || tcp.dst_port == 2323);
+            assert!(tcp.flags.contains(TcpFlags::SYN));
+            assert_eq!(tcp.seq, u32::from(p.ipv4.unwrap().dst));
+        }
+    }
+
+    #[test]
+    fn syn_flood_spoofs_sources() {
+        let f = fleet();
+        let attacker = f.of_kind(DeviceKind::SmartPlug)[0];
+        let mut trace = Trace::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        SynFlood::default().emit(&mut trace, attacker, f.broker(), 0.0, 1.0, &mut rng);
+        let mut sources = std::collections::HashSet::new();
+        for r in trace.iter() {
+            let p = parse(&r.frame).unwrap();
+            let ip = p.ipv4.unwrap();
+            assert_ne!(ip.src.octets()[..2], [192, 168]);
+            assert_eq!(ip.dst, f.broker().ip);
+            sources.insert(ip.src);
+        }
+        assert!(sources.len() > 50);
+    }
+
+    #[test]
+    fn udp_flood_has_filler_payload() {
+        let f = fleet();
+        let attacker = f.of_kind(DeviceKind::SmartPlug)[0];
+        let mut trace = Trace::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        UdpFlood::default().emit(&mut trace, attacker, f.broker(), 0.0, 0.5, &mut rng);
+        for r in trace.iter() {
+            let p = parse(&r.frame).unwrap();
+            assert_eq!(p.protocol(), ProtocolTag::Udp);
+            assert_eq!(p.payload_len, 512);
+        }
+    }
+
+    #[test]
+    fn mqtt_flood_connects_with_zero_keepalive() {
+        let f = fleet();
+        let attacker = f.of_kind(DeviceKind::Thermostat)[0];
+        let mut trace = Trace::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        MqttFlood::default().emit(&mut trace, attacker, f.broker(), 0.0, 1.0, &mut rng);
+        let mut connects = 0;
+        for r in trace.iter() {
+            let p = parse(&r.frame).unwrap();
+            if let Some(Application::Mqtt(MqttPacket::Connect { keep_alive, client_id, .. })) =
+                &p.app
+            {
+                assert_eq!(*keep_alive, 0);
+                assert_eq!(client_id.len(), 16);
+                connects += 1;
+            }
+        }
+        assert!(connects > 10);
+    }
+
+    #[test]
+    fn coap_amplification_amplifies() {
+        let f = fleet();
+        let attacker = f.of_kind(DeviceKind::SmartPlug)[0];
+        let reflector = f.of_kind(DeviceKind::CoapSensor)[0];
+        let victim = f.of_kind(DeviceKind::Camera)[0];
+        let mut trace = Trace::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        CoapAmplification::default().emit(
+            &mut trace, attacker, reflector, victim, 0.0, 1.0, &mut rng,
+        );
+        let mut req_len = 0usize;
+        let mut resp_len = 0usize;
+        for r in trace.iter() {
+            let p = parse(&r.frame).unwrap();
+            let ip = p.ipv4.unwrap();
+            if ip.dst == victim.ip {
+                resp_len += r.frame.len();
+                // Reflected traffic goes to the victim.
+                assert_eq!(ip.src, reflector.ip);
+            } else {
+                req_len += r.frame.len();
+                // Requests carry the spoofed victim source.
+                assert_eq!(ip.src, victim.ip);
+            }
+        }
+        assert!(resp_len > 5 * req_len, "amplification {resp_len}/{req_len}");
+    }
+
+    #[test]
+    fn dns_tunnel_uses_long_txt_labels() {
+        let f = fleet();
+        let infected = f.of_kind(DeviceKind::Camera)[0];
+        let mut trace = Trace::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        DnsTunnel::default().emit(&mut trace, infected, f.dns_server(), 0.0, 2.0, &mut rng);
+        let mut queries = 0;
+        for r in trace.iter() {
+            let p = parse(&r.frame).unwrap();
+            if let Some(Application::Dns(m)) = &p.app {
+                if !m.is_response() {
+                    assert_eq!(m.qtype, QTYPE_TXT);
+                    let first = m.qname.split('.').next().unwrap();
+                    assert_eq!(first.len(), 44);
+                    queries += 1;
+                }
+            }
+        }
+        assert!(queries > 10);
+    }
+
+    #[test]
+    fn modbus_abuse_only_writes() {
+        let f = fleet();
+        let attacker = f.of_kind(DeviceKind::Camera)[0];
+        let plc = f.of_kind(DeviceKind::ModbusPlc)[0];
+        let mut trace = Trace::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        ModbusAbuse::default().emit(&mut trace, attacker, plc, 0.0, 3.0, &mut rng);
+        let mut writes = 0;
+        for r in trace.iter() {
+            let p = parse(&r.frame).unwrap();
+            if let Some(Application::Modbus(adu)) = &p.app {
+                assert!(adu.function.is_write(), "function {}", adu.function);
+                writes += 1;
+            }
+        }
+        assert!(writes > 10);
+    }
+
+    #[test]
+    fn zwire_hijack_uses_foreign_home_id() {
+        let f = fleet();
+        let rogue = f.of_kind(DeviceKind::Camera)[0];
+        let target = f.of_kind(DeviceKind::ZWireSensor)[0];
+        let mut trace = Trace::new();
+        let mut rng = StdRng::seed_from_u64(8);
+        ZWireHijack::default().emit(
+            &mut trace,
+            rogue,
+            target,
+            f.zwire_home_id,
+            0.0,
+            2.0,
+            &mut rng,
+        );
+        for r in trace.iter() {
+            let p = parse(&r.frame).unwrap();
+            let z = p.zwire.as_ref().unwrap();
+            assert_ne!(z.home_id, f.zwire_home_id);
+            assert_eq!(z.src_node, 0xee);
+        }
+        assert!(trace.len() > 15);
+    }
+
+    #[test]
+    fn brute_force_carries_credentials() {
+        let f = fleet();
+        let attacker = f.of_kind(DeviceKind::SmartPlug)[0];
+        let victim = f.of_kind(DeviceKind::Camera)[0];
+        let mut trace = Trace::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        BruteForce::default().emit(&mut trace, attacker, victim, 0.0, 3.0, &mut rng);
+        let mut cred_packets = 0;
+        for r in trace.iter() {
+            let p = parse(&r.frame).unwrap();
+            if p.payload_len > 0 {
+                assert_eq!(p.tcp().unwrap().dst_port, 23);
+                cred_packets += 1;
+            }
+        }
+        assert!(cred_packets >= 10);
+    }
+
+    #[test]
+    fn attack_generation_is_deterministic() {
+        let f = fleet();
+        let attacker = f.of_kind(DeviceKind::SmartPlug)[0];
+        let mut a = Trace::new();
+        let mut b = Trace::new();
+        SynFlood::default().emit(&mut a, attacker, f.broker(), 0.0, 1.0, &mut StdRng::seed_from_u64(11));
+        SynFlood::default().emit(&mut b, attacker, f.broker(), 0.0, 1.0, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,933 @@
+//! Benign traffic generators: the normal behaviour of each device kind.
+//!
+//! Every generator emits wire-correct frames (built with
+//! [`PacketBuilder`]) labelled [`Label::Benign`] into a [`Trace`], covering
+//! the full protocol mix: MQTT telemetry sessions, CoAP polling, DNS
+//! lookups, NTP, bulk TCP uploads, Modbus polling, ZWire mesh chatter, ARP
+//! and ICMP.
+
+use crate::device::Device;
+use crate::util::{ephemeral_port, flow_id, jittered, secs, zwire_flow_id};
+use p4guard_packet::arp::ArpHeader;
+use p4guard_packet::coap::CoapMessage;
+use p4guard_packet::dns::DnsMessage;
+use p4guard_packet::icmp::IcmpHeader;
+use p4guard_packet::modbus::ModbusAdu;
+use p4guard_packet::mqtt::MqttPacket;
+use p4guard_packet::tcp::{TcpFlags, TcpHeader};
+use p4guard_packet::trace::{Label, Record, Trace};
+use p4guard_packet::zwire::{ZWireFrame, ZWireType};
+use p4guard_packet::{mqtt, PacketBuilder};
+use bytes::Bytes;
+use rand::Rng;
+
+/// Pushes one benign record.
+pub(crate) fn push(trace: &mut Trace, t: f64, frame: Bytes, label: Label, flow: u64) {
+    trace.push(Record {
+        timestamp_us: secs(t),
+        frame,
+        label,
+        flow_id: flow,
+    });
+}
+
+fn builder(src: &Device, dst: &Device) -> PacketBuilder {
+    PacketBuilder::new(src.mac, dst.mac)
+}
+
+/// Sequence-number bookkeeping for one simulated TCP session.
+pub(crate) struct TcpSession<'a> {
+    pub client: &'a Device,
+    pub server: &'a Device,
+    pub client_port: u16,
+    pub server_port: u16,
+    pub client_seq: u32,
+    pub server_seq: u32,
+    pub flow_c2s: u64,
+    pub flow_s2c: u64,
+    c2s: PacketBuilder,
+    s2c: PacketBuilder,
+}
+
+impl<'a> TcpSession<'a> {
+    /// Opens bookkeeping for a client→server session on `server_port`.
+    pub fn new(
+        client: &'a Device,
+        server: &'a Device,
+        server_port: u16,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let client_port = ephemeral_port(rng);
+        TcpSession {
+            client,
+            server,
+            client_port,
+            server_port,
+            client_seq: rng.gen(),
+            server_seq: rng.gen(),
+            flow_c2s: flow_id(client.ip, server.ip, 6, client_port, server_port),
+            flow_s2c: flow_id(server.ip, client.ip, 6, server_port, client_port),
+            c2s: builder(client, server),
+            s2c: builder(server, client),
+        }
+    }
+
+    /// Emits the three-way handshake, returning the time after it.
+    pub fn handshake(&mut self, trace: &mut Trace, t: f64, label: Label) -> f64 {
+        let syn = TcpHeader::new(
+            self.client_port,
+            self.server_port,
+            self.client_seq,
+            0,
+            TcpFlags::SYN,
+        );
+        push(
+            trace,
+            t,
+            self.c2s.tcp(self.client.ip, self.server.ip, syn, &[]),
+            label,
+            self.flow_c2s,
+        );
+        self.client_seq = self.client_seq.wrapping_add(1);
+        let synack = TcpHeader::new(
+            self.server_port,
+            self.client_port,
+            self.server_seq,
+            self.client_seq,
+            TcpFlags::SYN | TcpFlags::ACK,
+        );
+        push(
+            trace,
+            t + 0.0004,
+            self.s2c.tcp(self.server.ip, self.client.ip, synack, &[]),
+            label,
+            self.flow_s2c,
+        );
+        self.server_seq = self.server_seq.wrapping_add(1);
+        let ack = TcpHeader::new(
+            self.client_port,
+            self.server_port,
+            self.client_seq,
+            self.server_seq,
+            TcpFlags::ACK,
+        );
+        push(
+            trace,
+            t + 0.0008,
+            self.c2s.tcp(self.client.ip, self.server.ip, ack, &[]),
+            label,
+            self.flow_c2s,
+        );
+        t + 0.001
+    }
+
+    /// Emits a client→server data segment (PSH|ACK).
+    pub fn client_send(&mut self, trace: &mut Trace, t: f64, payload: &[u8], label: Label) {
+        let hdr = TcpHeader::new(
+            self.client_port,
+            self.server_port,
+            self.client_seq,
+            self.server_seq,
+            TcpFlags::PSH | TcpFlags::ACK,
+        );
+        push(
+            trace,
+            t,
+            self.c2s.tcp(self.client.ip, self.server.ip, hdr, payload),
+            label,
+            self.flow_c2s,
+        );
+        self.client_seq = self.client_seq.wrapping_add(payload.len() as u32);
+    }
+
+    /// Emits a server→client data segment (PSH|ACK).
+    pub fn server_send(&mut self, trace: &mut Trace, t: f64, payload: &[u8], label: Label) {
+        let hdr = TcpHeader::new(
+            self.server_port,
+            self.client_port,
+            self.server_seq,
+            self.client_seq,
+            TcpFlags::PSH | TcpFlags::ACK,
+        );
+        push(
+            trace,
+            t,
+            self.s2c.tcp(self.server.ip, self.client.ip, hdr, payload),
+            label,
+            self.flow_s2c,
+        );
+        self.server_seq = self.server_seq.wrapping_add(payload.len() as u32);
+    }
+
+    /// Emits the FIN/ACK teardown.
+    pub fn close(&mut self, trace: &mut Trace, t: f64, label: Label) {
+        let fin = TcpHeader::new(
+            self.client_port,
+            self.server_port,
+            self.client_seq,
+            self.server_seq,
+            TcpFlags::FIN | TcpFlags::ACK,
+        );
+        push(
+            trace,
+            t,
+            self.c2s.tcp(self.client.ip, self.server.ip, fin, &[]),
+            label,
+            self.flow_c2s,
+        );
+        let finack = TcpHeader::new(
+            self.server_port,
+            self.client_port,
+            self.server_seq,
+            self.client_seq.wrapping_add(1),
+            TcpFlags::FIN | TcpFlags::ACK,
+        );
+        push(
+            trace,
+            t + 0.0004,
+            self.s2c.tcp(self.server.ip, self.client.ip, finack, &[]),
+            label,
+            self.flow_s2c,
+        );
+    }
+}
+
+/// Parameters of an MQTT telemetry session.
+#[derive(Debug, Clone, Copy)]
+pub struct MqttTelemetry {
+    /// Seconds between PUBLISH messages.
+    pub publish_interval_s: f64,
+    /// MQTT keep-alive (PINGREQ cadence), seconds.
+    pub keep_alive_s: f64,
+    /// Fraction of publishes at QoS 1 (acknowledged).
+    pub qos1_fraction: f64,
+}
+
+impl Default for MqttTelemetry {
+    fn default() -> Self {
+        MqttTelemetry {
+            publish_interval_s: 5.0,
+            keep_alive_s: 60.0,
+            qos1_fraction: 0.25,
+        }
+    }
+}
+
+impl MqttTelemetry {
+    /// Emits one device's telemetry session against the broker over
+    /// `[start_s, end_s)`.
+    pub fn emit(
+        &self,
+        trace: &mut Trace,
+        device: &Device,
+        broker: &Device,
+        start_s: f64,
+        end_s: f64,
+        rng: &mut impl Rng,
+    ) {
+        let label = Label::Benign;
+        let mut session = TcpSession::new(device, broker, mqtt::PORT, rng);
+        let mut t = session.handshake(trace, start_s, label);
+        let connect = MqttPacket::Connect {
+            keep_alive: self.keep_alive_s as u16,
+            client_id: format!("sensor-{:04}", device.id),
+            connect_flags: 0x02, // clean session
+        };
+        session.client_send(trace, t, &connect.encode(), label);
+        let connack = MqttPacket::ConnAck {
+            session_present: false,
+            return_code: 0,
+        };
+        session.server_send(trace, t + 0.002, &connack.encode(), label);
+        t += 0.01;
+        let mut next_ping = t + self.keep_alive_s;
+        let mut packet_id = 1u16;
+        let topic = format!("home/{}/{}", device.kind, device.id);
+        while t < end_s {
+            let qos = u8::from(rng.gen::<f64>() < self.qos1_fraction);
+            let reading = format!("{{\"v\":{:.2}}}", rng.gen::<f64>() * 40.0);
+            let publish = MqttPacket::Publish {
+                topic: topic.clone(),
+                packet_id: (qos > 0).then_some(packet_id),
+                qos,
+                retain: false,
+                payload: reading.into_bytes(),
+            };
+            session.client_send(trace, t, &publish.encode(), label);
+            if qos > 0 {
+                let puback = MqttPacket::PubAck { packet_id };
+                session.server_send(trace, t + 0.003, &puback.encode(), label);
+                packet_id = packet_id.wrapping_add(1).max(1);
+            }
+            if t >= next_ping {
+                session.client_send(trace, t + 0.05, &MqttPacket::PingReq.encode(), label);
+                session.server_send(trace, t + 0.053, &MqttPacket::PingResp.encode(), label);
+                next_ping = t + self.keep_alive_s;
+            }
+            t += jittered(self.publish_interval_s, 0.2, rng);
+        }
+        session.client_send(trace, end_s, &MqttPacket::Disconnect.encode(), label);
+        session.close(trace, end_s + 0.001, label);
+    }
+}
+
+/// Parameters of gateway→sensor CoAP polling.
+#[derive(Debug, Clone, Copy)]
+pub struct CoapPolling {
+    /// Seconds between polls.
+    pub poll_interval_s: f64,
+}
+
+impl Default for CoapPolling {
+    fn default() -> Self {
+        CoapPolling {
+            poll_interval_s: 10.0,
+        }
+    }
+}
+
+impl CoapPolling {
+    /// Emits gateway→sensor polls (GET + 2.05 response) over the window.
+    pub fn emit(
+        &self,
+        trace: &mut Trace,
+        gateway: &Device,
+        sensor: &Device,
+        start_s: f64,
+        end_s: f64,
+        rng: &mut impl Rng,
+    ) {
+        let label = Label::Benign;
+        let client_port = ephemeral_port(rng);
+        let g2s = builder(gateway, sensor);
+        let s2g = builder(sensor, gateway);
+        let flow_req = flow_id(gateway.ip, sensor.ip, 17, client_port, p4guard_packet::coap::PORT);
+        let flow_resp = flow_id(sensor.ip, gateway.ip, 17, p4guard_packet::coap::PORT, client_port);
+        let mut t = start_s + rng.gen::<f64>() * self.poll_interval_s;
+        let mut message_id: u16 = rng.gen();
+        while t < end_s {
+            let token = vec![rng.gen::<u8>(), rng.gen::<u8>()];
+            let req = CoapMessage::get(message_id, token.clone(), &["sensors", "reading"]);
+            push(
+                trace,
+                t,
+                g2s.udp(
+                    gateway.ip,
+                    sensor.ip,
+                    client_port,
+                    p4guard_packet::coap::PORT,
+                    &req.encode(),
+                ),
+                label,
+                flow_req,
+            );
+            let body = format!("{{\"r\":{:.3}}}", rng.gen::<f64>());
+            let resp = CoapMessage::content_response(message_id, token, body.into_bytes());
+            push(
+                trace,
+                t + 0.004,
+                s2g.udp(
+                    sensor.ip,
+                    gateway.ip,
+                    p4guard_packet::coap::PORT,
+                    client_port,
+                    &resp.encode(),
+                ),
+                label,
+                flow_resp,
+            );
+            message_id = message_id.wrapping_add(1);
+            t += jittered(self.poll_interval_s, 0.15, rng);
+        }
+    }
+}
+
+/// Parameters of periodic DNS lookups.
+#[derive(Debug, Clone, Copy)]
+pub struct DnsLookups {
+    /// Seconds between lookups.
+    pub lookup_interval_s: f64,
+}
+
+impl Default for DnsLookups {
+    fn default() -> Self {
+        DnsLookups {
+            lookup_interval_s: 30.0,
+        }
+    }
+}
+
+impl DnsLookups {
+    /// Emits device→resolver lookups (query + response) over the window.
+    pub fn emit(
+        &self,
+        trace: &mut Trace,
+        device: &Device,
+        dns: &Device,
+        start_s: f64,
+        end_s: f64,
+        rng: &mut impl Rng,
+    ) {
+        let label = Label::Benign;
+        let names = [
+            "telemetry.vendor.example.com",
+            "time.vendor.example.com",
+            "update.vendor.example.com",
+            "api.cloud.example.net",
+        ];
+        let d2s = builder(device, dns);
+        let s2d = builder(dns, device);
+        let mut t = start_s + rng.gen::<f64>() * self.lookup_interval_s;
+        while t < end_s {
+            let sport = ephemeral_port(rng);
+            let id: u16 = rng.gen();
+            let name = names[rng.gen_range(0..names.len())];
+            let query = DnsMessage::query(id, name);
+            push(
+                trace,
+                t,
+                d2s.udp(device.ip, dns.ip, sport, p4guard_packet::dns::PORT, &query.encode()),
+                label,
+                flow_id(device.ip, dns.ip, 17, sport, p4guard_packet::dns::PORT),
+            );
+            let mut resp = query.clone();
+            resp.flags = DnsMessage::FLAGS_RESPONSE;
+            resp.ancount = 1;
+            // Minimal A-record answer with a name pointer.
+            resp.answer_bytes = vec![
+                0xc0, 0x0c, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x3c, 0x00, 0x04, 203, 0,
+                113, rng.gen(),
+            ];
+            push(
+                trace,
+                t + 0.006,
+                s2d.udp(dns.ip, device.ip, p4guard_packet::dns::PORT, sport, &resp.encode()),
+                label,
+                flow_id(dns.ip, device.ip, 17, p4guard_packet::dns::PORT, sport),
+            );
+            t += jittered(self.lookup_interval_s, 0.3, rng);
+        }
+    }
+}
+
+/// NTP-style time sync over UDP port 123.
+#[derive(Debug, Clone, Copy)]
+pub struct NtpSync {
+    /// Seconds between syncs.
+    pub sync_interval_s: f64,
+}
+
+impl Default for NtpSync {
+    fn default() -> Self {
+        NtpSync {
+            sync_interval_s: 64.0,
+        }
+    }
+}
+
+impl NtpSync {
+    /// Emits device→gateway NTP request/response pairs over the window.
+    pub fn emit(
+        &self,
+        trace: &mut Trace,
+        device: &Device,
+        server: &Device,
+        start_s: f64,
+        end_s: f64,
+        rng: &mut impl Rng,
+    ) {
+        let label = Label::Benign;
+        let d2s = builder(device, server);
+        let s2d = builder(server, device);
+        let mut t = start_s + rng.gen::<f64>() * self.sync_interval_s;
+        while t < end_s {
+            let sport = ephemeral_port(rng);
+            let mut req = [0u8; 48];
+            req[0] = 0x23; // LI=0, VN=4, mode=3 (client)
+            rng.fill(&mut req[40..48]);
+            push(
+                trace,
+                t,
+                d2s.udp(device.ip, server.ip, sport, 123, &req),
+                label,
+                flow_id(device.ip, server.ip, 17, sport, 123),
+            );
+            let mut resp = [0u8; 48];
+            resp[0] = 0x24; // mode=4 (server)
+            rng.fill(&mut resp[16..48]);
+            push(
+                trace,
+                t + 0.002,
+                s2d.udp(server.ip, device.ip, 123, sport, &resp),
+                label,
+                flow_id(server.ip, device.ip, 17, 123, sport),
+            );
+            t += jittered(self.sync_interval_s, 0.1, rng);
+        }
+    }
+}
+
+/// Bulk TCP upload (camera video segments to the broker host's storage
+/// service on port 8080).
+#[derive(Debug, Clone, Copy)]
+pub struct BulkUpload {
+    /// Seconds between upload bursts.
+    pub burst_interval_s: f64,
+    /// Segments per burst.
+    pub segments_per_burst: usize,
+    /// Bytes per segment.
+    pub segment_len: usize,
+}
+
+impl Default for BulkUpload {
+    fn default() -> Self {
+        BulkUpload {
+            burst_interval_s: 20.0,
+            segments_per_burst: 6,
+            segment_len: 700,
+        }
+    }
+}
+
+impl BulkUpload {
+    /// Emits periodic upload bursts over the window.
+    pub fn emit(
+        &self,
+        trace: &mut Trace,
+        device: &Device,
+        server: &Device,
+        start_s: f64,
+        end_s: f64,
+        rng: &mut impl Rng,
+    ) {
+        let label = Label::Benign;
+        let mut t = start_s + rng.gen::<f64>() * self.burst_interval_s;
+        while t < end_s {
+            let mut session = TcpSession::new(device, server, 8080, rng);
+            let mut bt = session.handshake(trace, t, label);
+            for _ in 0..self.segments_per_burst {
+                let mut payload = vec![0u8; self.segment_len];
+                rng.fill(payload.as_mut_slice());
+                session.client_send(trace, bt, &payload, label);
+                // Server ACK.
+                session.server_send(trace, bt + 0.0008, &[], label);
+                bt += 0.002;
+            }
+            session.close(trace, bt, label);
+            t += jittered(self.burst_interval_s, 0.25, rng);
+        }
+    }
+}
+
+/// Gateway→PLC Modbus polling.
+#[derive(Debug, Clone, Copy)]
+pub struct ModbusPolling {
+    /// Seconds between polls.
+    pub poll_interval_s: f64,
+}
+
+impl Default for ModbusPolling {
+    fn default() -> Self {
+        ModbusPolling {
+            poll_interval_s: 2.0,
+        }
+    }
+}
+
+impl ModbusPolling {
+    /// Emits a long-lived Modbus polling session over the window.
+    pub fn emit(
+        &self,
+        trace: &mut Trace,
+        gateway: &Device,
+        plc: &Device,
+        start_s: f64,
+        end_s: f64,
+        rng: &mut impl Rng,
+    ) {
+        let label = Label::Benign;
+        let mut session = TcpSession::new(gateway, plc, p4guard_packet::modbus::PORT, rng);
+        let mut t = session.handshake(trace, start_s, label);
+        let mut transaction: u16 = 1;
+        while t < end_s {
+            let req = ModbusAdu::read_holding_registers(transaction, 1, 0x0000, 8);
+            session.client_send(trace, t, &req.encode(), label);
+            // Response: function 3, byte count 16, register values.
+            let mut data = vec![16u8];
+            for _ in 0..16 {
+                data.push(rng.gen());
+            }
+            let resp = ModbusAdu {
+                transaction_id: transaction,
+                unit_id: 1,
+                function: p4guard_packet::modbus::ModbusFunction::ReadHoldingRegisters,
+                data,
+            };
+            session.server_send(trace, t + 0.004, &resp.encode(), label);
+            transaction = transaction.wrapping_add(1);
+            t += jittered(self.poll_interval_s, 0.1, rng);
+        }
+        session.close(trace, end_s, label);
+    }
+}
+
+/// ZWire mesh chatter: beacons, sensor reports to the gateway, and
+/// occasional gateway commands.
+#[derive(Debug, Clone, Copy)]
+pub struct ZWireChatter {
+    /// Seconds between data reports.
+    pub report_interval_s: f64,
+    /// Seconds between broadcast beacons.
+    pub beacon_interval_s: f64,
+}
+
+impl Default for ZWireChatter {
+    fn default() -> Self {
+        ZWireChatter {
+            report_interval_s: 8.0,
+            beacon_interval_s: 30.0,
+        }
+    }
+}
+
+impl ZWireChatter {
+    /// Emits one sensor's mesh traffic over the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either device lacks a ZWire node id.
+    pub fn emit(
+        &self,
+        trace: &mut Trace,
+        sensor: &Device,
+        gateway: &Device,
+        home_id: u32,
+        start_s: f64,
+        end_s: f64,
+        rng: &mut impl Rng,
+    ) {
+        let label = Label::Benign;
+        let s_node = sensor.zwire_node.expect("sensor has a zwire node");
+        let g_node = gateway.zwire_node.expect("gateway has a zwire node");
+        let s2g = builder(sensor, gateway);
+        let g2s = builder(gateway, sensor);
+        let s2all = PacketBuilder::new(sensor.mac, p4guard_packet::MacAddr::BROADCAST);
+        let mut seq = 0u8;
+        let mut t = start_s + rng.gen::<f64>() * self.report_interval_s;
+        let mut next_beacon = start_s + rng.gen::<f64>() * self.beacon_interval_s;
+        while t < end_s {
+            if next_beacon <= t {
+                let beacon = ZWireFrame::new(
+                    ZWireType::Beacon,
+                    home_id,
+                    s_node,
+                    ZWireFrame::BROADCAST_NODE,
+                    seq,
+                    vec![0x01, s_node],
+                );
+                push(
+                    trace,
+                    next_beacon,
+                    s2all.zwire(&beacon),
+                    label,
+                    zwire_flow_id(home_id, s_node, ZWireFrame::BROADCAST_NODE),
+                );
+                seq = seq.wrapping_add(1);
+                next_beacon += self.beacon_interval_s;
+            }
+            let report = ZWireFrame::new(
+                ZWireType::Data,
+                home_id,
+                s_node,
+                g_node,
+                seq,
+                vec![0x10, rng.gen(), rng.gen()],
+            );
+            push(
+                trace,
+                t,
+                s2g.zwire(&report),
+                label,
+                zwire_flow_id(home_id, s_node, g_node),
+            );
+            let ack = ZWireFrame::new(ZWireType::Ack, home_id, g_node, s_node, seq, vec![]);
+            push(
+                trace,
+                t + 0.003,
+                g2s.zwire(&ack),
+                label,
+                zwire_flow_id(home_id, g_node, s_node),
+            );
+            seq = seq.wrapping_add(1);
+            // Occasional command from the gateway.
+            if rng.gen::<f64>() < 0.1 {
+                let cmd = ZWireFrame::new(
+                    ZWireType::Command,
+                    home_id,
+                    g_node,
+                    s_node,
+                    seq,
+                    vec![0x20, rng.gen_range(0..4)],
+                );
+                push(
+                    trace,
+                    t + 0.5,
+                    g2s.zwire(&cmd),
+                    label,
+                    zwire_flow_id(home_id, g_node, s_node),
+                );
+                let cack = ZWireFrame::new(ZWireType::Ack, home_id, s_node, g_node, seq, vec![]);
+                push(
+                    trace,
+                    t + 0.503,
+                    s2g.zwire(&cack),
+                    label,
+                    zwire_flow_id(home_id, s_node, g_node),
+                );
+                seq = seq.wrapping_add(1);
+            }
+            t += jittered(self.report_interval_s, 0.2, rng);
+        }
+    }
+}
+
+/// Occasional ARP resolution chatter.
+#[derive(Debug, Clone, Copy)]
+pub struct ArpChatter {
+    /// Seconds between resolutions.
+    pub interval_s: f64,
+}
+
+impl Default for ArpChatter {
+    fn default() -> Self {
+        ArpChatter { interval_s: 45.0 }
+    }
+}
+
+impl ArpChatter {
+    /// Emits request/reply pairs between `a` and `b` over the window.
+    pub fn emit(
+        &self,
+        trace: &mut Trace,
+        a: &Device,
+        b: &Device,
+        start_s: f64,
+        end_s: f64,
+        rng: &mut impl Rng,
+    ) {
+        let label = Label::Benign;
+        let a2all = PacketBuilder::new(a.mac, p4guard_packet::MacAddr::BROADCAST);
+        let b2a = builder(b, a);
+        let flow = zwire_flow_id(0, a.id as u8, b.id as u8) ^ 0xa0a0;
+        let mut t = start_s + rng.gen::<f64>() * self.interval_s;
+        while t < end_s {
+            let req = ArpHeader::request(a.mac, a.ip, b.ip);
+            push(trace, t, a2all.arp(&req), label, flow);
+            let reply = ArpHeader {
+                operation: p4guard_packet::arp::ArpOperation::Reply,
+                sender_mac: b.mac,
+                sender_ip: b.ip,
+                target_mac: a.mac,
+                target_ip: a.ip,
+            };
+            push(trace, t + 0.001, b2a.arp(&reply), label, flow);
+            t += jittered(self.interval_s, 0.4, rng);
+        }
+    }
+}
+
+/// Gateway liveness pings.
+#[derive(Debug, Clone, Copy)]
+pub struct PingSweep {
+    /// Seconds between echo pairs per device.
+    pub interval_s: f64,
+}
+
+impl Default for PingSweep {
+    fn default() -> Self {
+        PingSweep { interval_s: 60.0 }
+    }
+}
+
+impl PingSweep {
+    /// Emits gateway→device echo request/reply pairs over the window.
+    pub fn emit(
+        &self,
+        trace: &mut Trace,
+        gateway: &Device,
+        device: &Device,
+        start_s: f64,
+        end_s: f64,
+        rng: &mut impl Rng,
+    ) {
+        let label = Label::Benign;
+        let g2d = builder(gateway, device);
+        let d2g = builder(device, gateway);
+        let flow = flow_id(gateway.ip, device.ip, 1, 0, 0);
+        let mut t = start_s + rng.gen::<f64>() * self.interval_s;
+        let mut seqno = 1u16;
+        while t < end_s {
+            let req = IcmpHeader::echo_request(0x4242, seqno);
+            push(trace, t, g2d.icmp(gateway.ip, device.ip, req, b"p4guard-ping"), label, flow);
+            let reply = IcmpHeader {
+                icmp_type: p4guard_packet::icmp::TYPE_ECHO_REPLY,
+                code: 0,
+                rest: req.rest,
+            };
+            push(
+                trace,
+                t + 0.001,
+                d2g.icmp(device.ip, gateway.ip, reply, b"p4guard-ping"),
+                label,
+                flow_id(device.ip, gateway.ip, 1, 0, 0),
+            );
+            seqno = seqno.wrapping_add(1);
+            t += jittered(self.interval_s, 0.2, rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceKind, Fleet};
+    use p4guard_packet::packet::{parse, ProtocolTag};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fleet() -> Fleet {
+        Fleet::mixed()
+    }
+
+    fn protocols(trace: &Trace) -> Vec<ProtocolTag> {
+        trace
+            .iter()
+            .map(|r| parse(&r.frame).expect("generated frames parse").protocol())
+            .collect()
+    }
+
+    #[test]
+    fn mqtt_telemetry_emits_parseable_mqtt() {
+        let f = fleet();
+        let dev = f.of_kind(DeviceKind::Thermostat)[0];
+        let mut trace = Trace::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        MqttTelemetry::default().emit(&mut trace, dev, f.broker(), 0.0, 60.0, &mut rng);
+        let tags = protocols(&trace);
+        assert!(tags.iter().any(|t| *t == ProtocolTag::Mqtt));
+        assert!(trace.iter().all(|r| !r.label.is_attack()));
+        assert!(trace.len() > 15);
+    }
+
+    #[test]
+    fn coap_polling_round_trips() {
+        let f = fleet();
+        let sensor = f.of_kind(DeviceKind::CoapSensor)[0];
+        let mut trace = Trace::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        CoapPolling::default().emit(&mut trace, f.gateway(), sensor, 0.0, 100.0, &mut rng);
+        let tags = protocols(&trace);
+        assert!(tags.iter().all(|t| *t == ProtocolTag::Coap));
+        assert!(trace.len() >= 16, "len = {}", trace.len());
+    }
+
+    #[test]
+    fn dns_lookups_parse() {
+        let f = fleet();
+        let dev = f.of_kind(DeviceKind::Camera)[0];
+        let mut trace = Trace::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        DnsLookups::default().emit(&mut trace, dev, f.dns_server(), 0.0, 300.0, &mut rng);
+        assert!(protocols(&trace).iter().all(|t| *t == ProtocolTag::Dns));
+    }
+
+    #[test]
+    fn modbus_polling_parses() {
+        let f = fleet();
+        let plc = f.of_kind(DeviceKind::ModbusPlc)[0];
+        let mut trace = Trace::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        ModbusPolling::default().emit(&mut trace, f.gateway(), plc, 0.0, 30.0, &mut rng);
+        let tags = protocols(&trace);
+        assert!(tags.iter().any(|t| *t == ProtocolTag::Modbus));
+    }
+
+    #[test]
+    fn zwire_chatter_parses_and_uses_home_id() {
+        let f = fleet();
+        let sensor = f.of_kind(DeviceKind::ZWireSensor)[0];
+        let mut trace = Trace::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        ZWireChatter::default().emit(
+            &mut trace,
+            sensor,
+            f.gateway(),
+            f.zwire_home_id,
+            0.0,
+            120.0,
+            &mut rng,
+        );
+        for r in trace.iter() {
+            let p = parse(&r.frame).unwrap();
+            assert_eq!(p.protocol(), ProtocolTag::ZWire);
+            assert_eq!(p.zwire.as_ref().unwrap().home_id, f.zwire_home_id);
+        }
+    }
+
+    #[test]
+    fn ntp_bulk_arp_ping_parse() {
+        let f = fleet();
+        let cam = f.of_kind(DeviceKind::Camera)[0];
+        let mut trace = Trace::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        NtpSync::default().emit(&mut trace, cam, f.gateway(), 0.0, 200.0, &mut rng);
+        BulkUpload::default().emit(&mut trace, cam, f.broker(), 0.0, 60.0, &mut rng);
+        ArpChatter::default().emit(&mut trace, cam, f.gateway(), 0.0, 200.0, &mut rng);
+        PingSweep::default().emit(&mut trace, f.gateway(), cam, 0.0, 200.0, &mut rng);
+        let tags = protocols(&trace);
+        assert!(tags.contains(&ProtocolTag::Udp)); // ntp
+        assert!(tags.contains(&ProtocolTag::Tcp)); // bulk
+        assert!(tags.contains(&ProtocolTag::Arp));
+        assert!(tags.contains(&ProtocolTag::Icmp));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let f = fleet();
+        let dev = f.of_kind(DeviceKind::SmartPlug)[0];
+        let mut a = Trace::new();
+        let mut b = Trace::new();
+        MqttTelemetry::default().emit(
+            &mut a,
+            dev,
+            f.broker(),
+            0.0,
+            30.0,
+            &mut StdRng::seed_from_u64(9),
+        );
+        MqttTelemetry::default().emit(
+            &mut b,
+            dev,
+            f.broker(),
+            0.0,
+            30.0,
+            &mut StdRng::seed_from_u64(9),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tcp_session_sequences_progress() {
+        let f = fleet();
+        let cam = f.of_kind(DeviceKind::Camera)[0];
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut trace = Trace::new();
+        let mut s = TcpSession::new(cam, f.broker(), 8080, &mut rng);
+        let seq0 = s.client_seq;
+        let t = s.handshake(&mut trace, 0.0, Label::Benign);
+        assert_eq!(s.client_seq, seq0.wrapping_add(1));
+        s.client_send(&mut trace, t, b"hello", Label::Benign);
+        assert_eq!(s.client_seq, seq0.wrapping_add(6));
+        assert_eq!(trace.len(), 4);
+    }
+}

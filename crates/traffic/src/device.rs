@@ -1,0 +1,283 @@
+//! Simulated IoT devices and the network fleet they form.
+
+use p4guard_packet::addr::MacAddr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The kinds of devices the simulator models, spanning the protocol mix of
+/// the evaluation (MQTT, CoAP, DNS, Modbus/TCP, ZWire, and plain TCP/UDP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// IP camera: MQTT telemetry plus bulk TCP uploads.
+    Camera,
+    /// Thermostat: MQTT telemetry.
+    Thermostat,
+    /// Smart plug: MQTT telemetry, sparse.
+    SmartPlug,
+    /// Battery sensor polled over CoAP.
+    CoapSensor,
+    /// Industrial PLC speaking Modbus/TCP.
+    ModbusPlc,
+    /// Low-power mesh sensor speaking ZWire.
+    ZWireSensor,
+    /// The LAN gateway / firewall host (also the CoAP and Modbus poller).
+    Gateway,
+    /// The MQTT broker host.
+    Broker,
+    /// The LAN DNS resolver.
+    DnsServer,
+}
+
+impl DeviceKind {
+    /// All kinds, in display order.
+    pub const ALL: [DeviceKind; 9] = [
+        DeviceKind::Camera,
+        DeviceKind::Thermostat,
+        DeviceKind::SmartPlug,
+        DeviceKind::CoapSensor,
+        DeviceKind::ModbusPlc,
+        DeviceKind::ZWireSensor,
+        DeviceKind::Gateway,
+        DeviceKind::Broker,
+        DeviceKind::DnsServer,
+    ];
+
+    /// Returns `true` for infrastructure roles that exist once per fleet.
+    pub fn is_infrastructure(&self) -> bool {
+        matches!(
+            self,
+            DeviceKind::Gateway | DeviceKind::Broker | DeviceKind::DnsServer
+        )
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DeviceKind::Camera => "camera",
+            DeviceKind::Thermostat => "thermostat",
+            DeviceKind::SmartPlug => "smart-plug",
+            DeviceKind::CoapSensor => "coap-sensor",
+            DeviceKind::ModbusPlc => "modbus-plc",
+            DeviceKind::ZWireSensor => "zwire-sensor",
+            DeviceKind::Gateway => "gateway",
+            DeviceKind::Broker => "broker",
+            DeviceKind::DnsServer => "dns-server",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A simulated device on the LAN.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Device {
+    /// Fleet-unique id.
+    pub id: u32,
+    /// Device kind.
+    pub kind: DeviceKind,
+    /// MAC address (deterministic from id).
+    pub mac: MacAddr,
+    /// LAN IPv4 address.
+    pub ip: Ipv4Addr,
+    /// ZWire mesh node id, for ZWire devices and the gateway.
+    pub zwire_node: Option<u8>,
+}
+
+/// The simulated LAN: infrastructure plus IoT endpoints.
+///
+/// The address plan is `192.168.1.0/24`: `.1` gateway, `.2` broker, `.3`
+/// DNS, endpoints from `.10` up.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fleet {
+    devices: Vec<Device>,
+    /// The ZWire mesh home id shared by paired devices.
+    pub zwire_home_id: u32,
+}
+
+/// Index of the gateway in every fleet.
+const GATEWAY_IDX: usize = 0;
+/// Index of the broker in every fleet.
+const BROKER_IDX: usize = 1;
+/// Index of the DNS server in every fleet.
+const DNS_IDX: usize = 2;
+
+impl Fleet {
+    /// Builds a fleet with the given number of endpoints per kind.
+    /// Infrastructure (gateway, broker, DNS) is always present.
+    pub fn new(counts: &[(DeviceKind, usize)]) -> Self {
+        let mut devices = Vec::new();
+        let mut next_id = 0u32;
+        let mut next_host = 10u8;
+        let mut next_zwire_node = 2u8;
+        let push = |kind: DeviceKind,
+                        host: u8,
+                        zwire_node: Option<u8>,
+                        devices: &mut Vec<Device>,
+                        next_id: &mut u32| {
+            devices.push(Device {
+                id: *next_id,
+                kind,
+                mac: MacAddr::from_id(u64::from(*next_id) + 1),
+                ip: Ipv4Addr::new(192, 168, 1, host),
+                zwire_node,
+            });
+            *next_id += 1;
+        };
+        push(DeviceKind::Gateway, 1, Some(1), &mut devices, &mut next_id);
+        push(DeviceKind::Broker, 2, None, &mut devices, &mut next_id);
+        push(DeviceKind::DnsServer, 3, None, &mut devices, &mut next_id);
+        for &(kind, count) in counts {
+            if kind.is_infrastructure() {
+                continue;
+            }
+            for _ in 0..count {
+                let zwire_node = if kind == DeviceKind::ZWireSensor {
+                    let n = next_zwire_node;
+                    next_zwire_node += 1;
+                    Some(n)
+                } else {
+                    None
+                };
+                push(kind, next_host, zwire_node, &mut devices, &mut next_id);
+                next_host = next_host.wrapping_add(1);
+            }
+        }
+        Fleet {
+            devices,
+            zwire_home_id: 0xcafe_0042,
+        }
+    }
+
+    /// A typical smart-home fleet used by the evaluation scenarios.
+    pub fn smart_home() -> Self {
+        Fleet::new(&[
+            (DeviceKind::Camera, 2),
+            (DeviceKind::Thermostat, 2),
+            (DeviceKind::SmartPlug, 3),
+            (DeviceKind::CoapSensor, 3),
+            (DeviceKind::ZWireSensor, 3),
+        ])
+    }
+
+    /// An industrial fleet: PLCs plus sensors.
+    pub fn industrial() -> Self {
+        Fleet::new(&[
+            (DeviceKind::ModbusPlc, 4),
+            (DeviceKind::CoapSensor, 4),
+            (DeviceKind::Camera, 1),
+        ])
+    }
+
+    /// A mixed fleet exercising every protocol, the default for the
+    /// headline experiments.
+    pub fn mixed() -> Self {
+        Fleet::new(&[
+            (DeviceKind::Camera, 2),
+            (DeviceKind::Thermostat, 2),
+            (DeviceKind::SmartPlug, 2),
+            (DeviceKind::CoapSensor, 3),
+            (DeviceKind::ModbusPlc, 2),
+            (DeviceKind::ZWireSensor, 3),
+        ])
+    }
+
+    /// All devices, infrastructure first.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// The gateway device.
+    pub fn gateway(&self) -> &Device {
+        &self.devices[GATEWAY_IDX]
+    }
+
+    /// The MQTT broker device.
+    pub fn broker(&self) -> &Device {
+        &self.devices[BROKER_IDX]
+    }
+
+    /// The DNS server device.
+    pub fn dns_server(&self) -> &Device {
+        &self.devices[DNS_IDX]
+    }
+
+    /// Devices of a given kind.
+    pub fn of_kind(&self, kind: DeviceKind) -> Vec<&Device> {
+        self.devices.iter().filter(|d| d.kind == kind).collect()
+    }
+
+    /// Endpoints (everything that is not infrastructure).
+    pub fn endpoints(&self) -> Vec<&Device> {
+        self.devices
+            .iter()
+            .filter(|d| !d.kind.is_infrastructure())
+            .collect()
+    }
+
+    /// Looks a device up by id.
+    pub fn device(&self, id: u32) -> Option<&Device> {
+        self.devices.iter().find(|d| d.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_has_infrastructure() {
+        let f = Fleet::smart_home();
+        assert_eq!(f.gateway().kind, DeviceKind::Gateway);
+        assert_eq!(f.broker().kind, DeviceKind::Broker);
+        assert_eq!(f.dns_server().kind, DeviceKind::DnsServer);
+        assert_eq!(f.gateway().ip, Ipv4Addr::new(192, 168, 1, 1));
+    }
+
+    #[test]
+    fn addresses_and_ids_are_unique() {
+        let f = Fleet::mixed();
+        let mut ips: Vec<_> = f.devices().iter().map(|d| d.ip).collect();
+        ips.sort();
+        ips.dedup();
+        assert_eq!(ips.len(), f.devices().len());
+        let mut macs: Vec<_> = f.devices().iter().map(|d| d.mac).collect();
+        macs.sort();
+        macs.dedup();
+        assert_eq!(macs.len(), f.devices().len());
+    }
+
+    #[test]
+    fn zwire_nodes_are_assigned() {
+        let f = Fleet::smart_home();
+        let sensors = f.of_kind(DeviceKind::ZWireSensor);
+        assert_eq!(sensors.len(), 3);
+        let mut nodes: Vec<u8> = sensors.iter().map(|d| d.zwire_node.unwrap()).collect();
+        nodes.sort();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(f.gateway().zwire_node, Some(1));
+    }
+
+    #[test]
+    fn of_kind_and_endpoints() {
+        let f = Fleet::mixed();
+        assert_eq!(f.of_kind(DeviceKind::Camera).len(), 2);
+        assert!(f.endpoints().iter().all(|d| !d.kind.is_infrastructure()));
+        assert_eq!(f.endpoints().len(), 14);
+    }
+
+    #[test]
+    fn infrastructure_counts_are_ignored_in_spec() {
+        let f = Fleet::new(&[(DeviceKind::Gateway, 5), (DeviceKind::Camera, 1)]);
+        assert_eq!(f.of_kind(DeviceKind::Gateway).len(), 1);
+        assert_eq!(f.of_kind(DeviceKind::Camera).len(), 1);
+    }
+
+    #[test]
+    fn device_lookup() {
+        let f = Fleet::smart_home();
+        assert!(f.device(0).is_some());
+        assert!(f.device(9999).is_none());
+    }
+}

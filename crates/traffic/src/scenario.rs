@@ -1,0 +1,526 @@
+//! Scenario orchestration: composes benign behaviour per device kind with
+//! timed attack events into one labelled, time-ordered [`Trace`].
+
+use crate::attacks::{
+    BruteForce, CoapAmplification, DnsTunnel, MiraiScan, ModbusAbuse, MqttFlood, SynFlood,
+    UdpFlood, ZWireHijack,
+};
+use crate::benign::{
+    ArpChatter, BulkUpload, CoapPolling, DnsLookups, ModbusPolling, MqttTelemetry, NtpSync,
+    PingSweep, ZWireChatter,
+};
+use crate::device::{DeviceKind, Fleet};
+use p4guard_packet::trace::{AttackFamily, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// A timed attack injection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackEvent {
+    /// Which attack to run.
+    pub family: AttackFamily,
+    /// Start time, seconds into the scenario.
+    pub start_s: f64,
+    /// End time, seconds into the scenario.
+    pub end_s: f64,
+    /// Rate multiplier on the family's default intensity.
+    pub intensity: f64,
+}
+
+impl AttackEvent {
+    /// Creates an event at default intensity.
+    pub fn new(family: AttackFamily, start_s: f64, end_s: f64) -> Self {
+        AttackEvent {
+            family,
+            start_s,
+            end_s,
+            intensity: 1.0,
+        }
+    }
+}
+
+/// Error returned when a scenario cannot be generated from its fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// An attack event needs a device kind the fleet lacks.
+    MissingDeviceKind {
+        /// The attack that needs it.
+        family: AttackFamily,
+        /// The missing kind.
+        kind: DeviceKind,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::MissingDeviceKind { family, kind } => {
+                write!(f, "attack {family} requires a {kind} device, none in fleet")
+            }
+        }
+    }
+}
+
+impl Error for ScenarioError {}
+
+/// A complete scenario: a fleet, a benign baseline, and attack events.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The simulated LAN.
+    pub fleet: Fleet,
+    /// Scenario length in seconds.
+    pub duration_s: f64,
+    /// Master RNG seed; everything downstream derives from it.
+    pub seed: u64,
+    /// Multiplier on benign traffic rates (1.0 = defaults).
+    pub benign_intensity: f64,
+    /// Attack injections.
+    pub attacks: Vec<AttackEvent>,
+}
+
+impl Scenario {
+    /// Creates a scenario with no attacks.
+    pub fn benign_only(fleet: Fleet, duration_s: f64, seed: u64) -> Self {
+        Scenario {
+            fleet,
+            duration_s,
+            seed,
+            benign_intensity: 1.0,
+            attacks: Vec::new(),
+        }
+    }
+
+    /// The headline mixed-protocol scenario: every protocol active, every
+    /// attack family injected as **two bursts** — one before and one after
+    /// the canonical 60% train/test boundary — so temporal splits see each
+    /// family on both sides (the detector is trained on past instances and
+    /// tested on future ones).
+    pub fn mixed_default(seed: u64) -> Self {
+        let mut attacks = Vec::new();
+        let mut recurring = |family: AttackFamily, a: (f64, f64), b: (f64, f64), k: f64| {
+            attacks.push(AttackEvent {
+                family,
+                start_s: a.0,
+                end_s: a.1,
+                intensity: k,
+            });
+            attacks.push(AttackEvent {
+                family,
+                start_s: b.0,
+                end_s: b.1,
+                intensity: k,
+            });
+        };
+        // The 180 s scenario splits at 108 s under the standard 60/40 cut.
+        recurring(AttackFamily::MiraiScan, (20.0, 40.0), (120.0, 140.0), 0.12);
+        recurring(AttackFamily::BruteForce, (30.0, 60.0), (112.0, 142.0), 0.3);
+        recurring(AttackFamily::SynFlood, (60.0, 72.0), (150.0, 162.0), 0.1);
+        recurring(AttackFamily::UdpFlood, (80.0, 95.0), (160.0, 175.0), 0.1);
+        recurring(AttackFamily::MqttFlood, (40.0, 60.0), (115.0, 135.0), 0.18);
+        recurring(AttackFamily::CoapAmplification, (55.0, 75.0), (130.0, 150.0), 0.25);
+        recurring(AttackFamily::DnsTunnel, (60.0, 100.0), (110.0, 150.0), 0.18);
+        recurring(AttackFamily::ModbusAbuse, (70.0, 100.0), (140.0, 170.0), 0.45);
+        recurring(AttackFamily::ZWireHijack, (50.0, 100.0), (110.0, 160.0), 0.18);
+        Scenario {
+            fleet: Fleet::mixed(),
+            duration_s: 180.0,
+            seed,
+            benign_intensity: 2.5,
+            attacks,
+        }
+    }
+
+    /// A smart-home scenario (no Modbus): a Mirai infection story with
+    /// recurring bursts on both sides of the 60% boundary (90 s of 150 s).
+    pub fn smart_home_default(seed: u64) -> Self {
+        let mut attacks = Vec::new();
+        let mut recurring = |family: AttackFamily, a: (f64, f64), b: (f64, f64), k: f64| {
+            attacks.push(AttackEvent {
+                family,
+                start_s: a.0,
+                end_s: a.1,
+                intensity: k,
+            });
+            attacks.push(AttackEvent {
+                family,
+                start_s: b.0,
+                end_s: b.1,
+                intensity: k,
+            });
+        };
+        recurring(AttackFamily::MiraiScan, (30.0, 60.0), (100.0, 130.0), 0.2);
+        recurring(AttackFamily::BruteForce, (45.0, 85.0), (95.0, 135.0), 0.5);
+        recurring(AttackFamily::MqttFlood, (50.0, 80.0), (100.0, 130.0), 0.3);
+        recurring(AttackFamily::ZWireHijack, (60.0, 88.0), (95.0, 140.0), 0.3);
+        Scenario {
+            fleet: Fleet::smart_home(),
+            duration_s: 150.0,
+            seed,
+            benign_intensity: 2.0,
+            attacks,
+        }
+    }
+
+    /// An industrial scenario: Modbus abuse plus volumetric floods, with
+    /// recurring bursts on both sides of the 60% boundary.
+    pub fn industrial_default(seed: u64) -> Self {
+        let mut attacks = Vec::new();
+        let mut recurring = |family: AttackFamily, a: (f64, f64), b: (f64, f64), k: f64| {
+            attacks.push(AttackEvent {
+                family,
+                start_s: a.0,
+                end_s: a.1,
+                intensity: k,
+            });
+            attacks.push(AttackEvent {
+                family,
+                start_s: b.0,
+                end_s: b.1,
+                intensity: k,
+            });
+        };
+        recurring(AttackFamily::ModbusAbuse, (25.0, 85.0), (95.0, 140.0), 0.6);
+        recurring(AttackFamily::SynFlood, (60.0, 80.0), (100.0, 120.0), 0.15);
+        recurring(AttackFamily::CoapAmplification, (40.0, 70.0), (110.0, 140.0), 0.35);
+        recurring(AttackFamily::DnsTunnel, (30.0, 85.0), (95.0, 145.0), 0.4);
+        Scenario {
+            fleet: Fleet::industrial(),
+            duration_s: 150.0,
+            seed,
+            benign_intensity: 2.0,
+            attacks,
+        }
+    }
+
+    /// A scenario containing a single attack family over the mixed fleet,
+    /// used by per-family experiments (F9).
+    pub fn single_attack(family: AttackFamily, seed: u64) -> Self {
+        Scenario {
+            fleet: Fleet::mixed(),
+            duration_s: 120.0,
+            seed,
+            benign_intensity: 1.5,
+            attacks: vec![
+                AttackEvent {
+                    family,
+                    start_s: 25.0,
+                    end_s: 65.0,
+                    intensity: 0.45,
+                },
+                AttackEvent {
+                    family,
+                    start_s: 80.0,
+                    end_s: 110.0,
+                    intensity: 0.45,
+                },
+            ],
+        }
+    }
+
+    /// Generates the labelled trace, time-sorted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::MissingDeviceKind`] when an attack event
+    /// needs a device the fleet does not contain.
+    pub fn generate(&self) -> Result<Trace, ScenarioError> {
+        let mut trace = Trace::new();
+        self.emit_benign(&mut trace);
+        self.emit_attacks(&mut trace)?;
+        trace.sort_by_time();
+        Ok(trace)
+    }
+
+    fn emit_benign(&self, trace: &mut Trace) {
+        let fleet = &self.fleet;
+        let end = self.duration_s;
+        let speed = self.benign_intensity.max(1e-6);
+        // Derive one RNG per generator role so adding devices does not
+        // perturb unrelated streams.
+        let mut stream = 0u64;
+        let mut next_rng = || {
+            stream += 1;
+            StdRng::seed_from_u64(self.seed ^ (stream.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        };
+        for device in fleet.endpoints() {
+            match device.kind {
+                DeviceKind::Camera => {
+                    let mqtt = MqttTelemetry {
+                        publish_interval_s: 4.0 / speed,
+                        ..MqttTelemetry::default()
+                    };
+                    mqtt.emit(trace, device, fleet.broker(), 0.0, end, &mut next_rng());
+                    let bulk = BulkUpload {
+                        burst_interval_s: 20.0 / speed,
+                        ..BulkUpload::default()
+                    };
+                    bulk.emit(trace, device, fleet.broker(), 0.0, end, &mut next_rng());
+                    DnsLookups::default().emit(
+                        trace,
+                        device,
+                        fleet.dns_server(),
+                        0.0,
+                        end,
+                        &mut next_rng(),
+                    );
+                    NtpSync::default().emit(trace, device, fleet.gateway(), 0.0, end, &mut next_rng());
+                }
+                DeviceKind::Thermostat => {
+                    let mqtt = MqttTelemetry {
+                        publish_interval_s: 6.0 / speed,
+                        ..MqttTelemetry::default()
+                    };
+                    mqtt.emit(trace, device, fleet.broker(), 0.0, end, &mut next_rng());
+                    DnsLookups::default().emit(
+                        trace,
+                        device,
+                        fleet.dns_server(),
+                        0.0,
+                        end,
+                        &mut next_rng(),
+                    );
+                }
+                DeviceKind::SmartPlug => {
+                    let mqtt = MqttTelemetry {
+                        publish_interval_s: 10.0 / speed,
+                        qos1_fraction: 0.5,
+                        ..MqttTelemetry::default()
+                    };
+                    mqtt.emit(trace, device, fleet.broker(), 0.0, end, &mut next_rng());
+                    NtpSync::default().emit(trace, device, fleet.gateway(), 0.0, end, &mut next_rng());
+                }
+                DeviceKind::CoapSensor => {
+                    let coap = CoapPolling {
+                        poll_interval_s: 8.0 / speed,
+                    };
+                    coap.emit(trace, fleet.gateway(), device, 0.0, end, &mut next_rng());
+                }
+                DeviceKind::ModbusPlc => {
+                    let modbus = ModbusPolling {
+                        poll_interval_s: 2.5 / speed,
+                    };
+                    modbus.emit(trace, fleet.gateway(), device, 0.0, end, &mut next_rng());
+                }
+                DeviceKind::ZWireSensor => {
+                    let z = ZWireChatter {
+                        report_interval_s: 7.0 / speed,
+                        ..ZWireChatter::default()
+                    };
+                    z.emit(
+                        trace,
+                        device,
+                        fleet.gateway(),
+                        fleet.zwire_home_id,
+                        0.0,
+                        end,
+                        &mut next_rng(),
+                    );
+                }
+                DeviceKind::Gateway | DeviceKind::Broker | DeviceKind::DnsServer => {}
+            }
+            ArpChatter::default().emit(trace, device, fleet.gateway(), 0.0, end, &mut next_rng());
+            PingSweep::default().emit(trace, fleet.gateway(), device, 0.0, end, &mut next_rng());
+        }
+    }
+
+    fn emit_attacks(&self, trace: &mut Trace) -> Result<(), ScenarioError> {
+        let fleet = &self.fleet;
+        let require = |family: AttackFamily, kind: DeviceKind| {
+            fleet
+                .of_kind(kind)
+                .first()
+                .copied()
+                .cloned()
+                .ok_or(ScenarioError::MissingDeviceKind { family, kind })
+        };
+        // Any endpoint can play the compromised host. The pick is keyed on
+        // the attack family, not the event index, so recurring bursts of
+        // the same family come from the same infected device — the
+        // realistic persistence story, and what keeps temporal splits fair.
+        let endpoints = fleet.endpoints();
+        let pick = |salt: usize| endpoints[salt % endpoints.len()].clone();
+        for (i, event) in self.attacks.iter().enumerate() {
+            let who = usize::from(event.family.code());
+            let mut rng = StdRng::seed_from_u64(
+                self.seed ^ attack_salt(i as u64) ^ u64::from(event.family.code()),
+            );
+            let (start, end, k) = (event.start_s, event.end_s.min(self.duration_s), event.intensity);
+            match event.family {
+                AttackFamily::MiraiScan => {
+                    let g = MiraiScan {
+                        rate_pps: MiraiScan::default().rate_pps * k,
+                    };
+                    g.emit(trace, &pick(who), start, end, &mut rng);
+                }
+                AttackFamily::BruteForce => {
+                    let victim = require(event.family, DeviceKind::Camera)
+                        .or_else(|_| require(event.family, DeviceKind::CoapSensor))?;
+                    let g = BruteForce {
+                        attempts_per_s: BruteForce::default().attempts_per_s * k,
+                    };
+                    g.emit(trace, &pick(who + 1), &victim, start, end, &mut rng);
+                }
+                AttackFamily::SynFlood => {
+                    let g = SynFlood {
+                        rate_pps: SynFlood::default().rate_pps * k,
+                        ..SynFlood::default()
+                    };
+                    g.emit(trace, &pick(who), fleet.broker(), start, end, &mut rng);
+                }
+                AttackFamily::UdpFlood => {
+                    let g = UdpFlood {
+                        rate_pps: UdpFlood::default().rate_pps * k,
+                        ..UdpFlood::default()
+                    };
+                    g.emit(trace, &pick(who), fleet.broker(), start, end, &mut rng);
+                }
+                AttackFamily::MqttFlood => {
+                    let g = MqttFlood {
+                        rate_cps: MqttFlood::default().rate_cps * k,
+                    };
+                    g.emit(trace, &pick(who), fleet.broker(), start, end, &mut rng);
+                }
+                AttackFamily::CoapAmplification => {
+                    let reflector = require(event.family, DeviceKind::CoapSensor)?;
+                    let victim = pick(who + 2);
+                    let g = CoapAmplification {
+                        rate_pps: CoapAmplification::default().rate_pps * k,
+                        ..CoapAmplification::default()
+                    };
+                    g.emit(trace, &pick(who), &reflector, &victim, start, end, &mut rng);
+                }
+                AttackFamily::DnsTunnel => {
+                    let g = DnsTunnel {
+                        rate_pps: DnsTunnel::default().rate_pps * k,
+                        ..DnsTunnel::default()
+                    };
+                    g.emit(trace, &pick(who), fleet.dns_server(), start, end, &mut rng);
+                }
+                AttackFamily::ModbusAbuse => {
+                    let plc = require(event.family, DeviceKind::ModbusPlc)?;
+                    let g = ModbusAbuse {
+                        rate_pps: ModbusAbuse::default().rate_pps * k,
+                    };
+                    g.emit(trace, &pick(who), &plc, start, end, &mut rng);
+                }
+                AttackFamily::ZWireHijack => {
+                    let target = require(event.family, DeviceKind::ZWireSensor)?;
+                    let g = ZWireHijack {
+                        rate_pps: ZWireHijack::default().rate_pps * k,
+                        ..ZWireHijack::default()
+                    };
+                    g.emit(
+                        trace,
+                        &pick(who),
+                        &target,
+                        fleet.zwire_home_id,
+                        start,
+                        end,
+                        &mut rng,
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Mixes a per-event salt into attack RNG seeds.
+fn attack_salt(i: u64) -> u64 {
+    (i + 1).wrapping_mul(0xd6e8_feb8_6659_fd93)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4guard_packet::packet::parse;
+
+    #[test]
+    fn mixed_scenario_generates_labelled_time_sorted_trace() {
+        let trace = Scenario::mixed_default(7).generate().unwrap();
+        assert!(trace.len() > 3000, "len = {}", trace.len());
+        let attacks = trace.attack_count();
+        let frac = attacks as f64 / trace.len() as f64;
+        assert!((0.15..0.75).contains(&frac), "attack fraction {frac}");
+        let mut prev = 0u64;
+        for r in trace.iter() {
+            assert!(r.timestamp_us >= prev);
+            prev = r.timestamp_us;
+        }
+    }
+
+    #[test]
+    fn every_family_appears_in_mixed_default() {
+        let trace = Scenario::mixed_default(7).generate().unwrap();
+        for family in AttackFamily::ALL {
+            assert!(
+                trace
+                    .iter()
+                    .any(|r| r.label.family() == Some(family)),
+                "missing {family}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_generated_frame_parses() {
+        let trace = Scenario::mixed_default(3).generate().unwrap();
+        for r in trace.iter() {
+            parse(&r.frame).expect("generated frame parses");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Scenario::mixed_default(42).generate().unwrap();
+        let b = Scenario::mixed_default(42).generate().unwrap();
+        assert_eq!(a, b);
+        let c = Scenario::mixed_default(43).generate().unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn benign_only_has_no_attacks() {
+        let s = Scenario::benign_only(Fleet::smart_home(), 60.0, 1);
+        let trace = s.generate().unwrap();
+        assert!(trace.len() > 200);
+        assert_eq!(trace.attack_count(), 0);
+    }
+
+    #[test]
+    fn missing_device_kind_is_reported() {
+        let mut s = Scenario::benign_only(Fleet::smart_home(), 60.0, 1);
+        s.attacks.push(AttackEvent::new(AttackFamily::ModbusAbuse, 10.0, 20.0));
+        let err = s.generate().unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::MissingDeviceKind {
+                family: AttackFamily::ModbusAbuse,
+                kind: DeviceKind::ModbusPlc
+            }
+        );
+        assert!(err.to_string().contains("modbus"));
+    }
+
+    #[test]
+    fn single_attack_scenario_contains_only_that_family() {
+        let trace = Scenario::single_attack(AttackFamily::DnsTunnel, 5)
+            .generate()
+            .unwrap();
+        for r in trace.iter() {
+            if let Some(f) = r.label.family() {
+                assert_eq!(f, AttackFamily::DnsTunnel);
+            }
+        }
+        assert!(trace.attack_count() > 100);
+    }
+
+    #[test]
+    fn presets_generate() {
+        assert!(Scenario::smart_home_default(1).generate().unwrap().len() > 1000);
+        assert!(Scenario::industrial_default(1).generate().unwrap().len() > 1000);
+    }
+}

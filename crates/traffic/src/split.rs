@@ -1,0 +1,72 @@
+//! Train/test splitting of labelled traces.
+
+use p4guard_packet::trace::Trace;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Splits a trace temporally: the first `train_fraction` of records (by
+/// time order) become the training set. This is the evaluation-faithful
+/// split — the detector is trained on the past and tested on the future.
+pub fn split_temporal(trace: &Trace, train_fraction: f64) -> (Trace, Trace) {
+    let mut sorted = trace.clone();
+    sorted.sort_by_time();
+    sorted.split_at_fraction(train_fraction)
+}
+
+/// Splits a trace uniformly at random (stratification-free), for ablations
+/// that need i.i.d. train/test sets.
+pub fn split_random(trace: &Trace, train_fraction: f64, seed: u64) -> (Trace, Trace) {
+    let mut indices: Vec<usize> = (0..trace.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let cut = ((trace.len() as f64 * train_fraction.clamp(0.0, 1.0)).round() as usize)
+        .min(trace.len());
+    let records = trace.records();
+    let train: Trace = indices[..cut].iter().map(|&i| records[i].clone()).collect();
+    let test: Trace = indices[cut..].iter().map(|&i| records[i].clone()).collect();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use p4guard_packet::trace::Trace;
+
+    fn trace() -> Trace {
+        Scenario::smart_home_default(3).generate().unwrap()
+    }
+
+    #[test]
+    fn temporal_split_is_ordered() {
+        let t = trace();
+        let (train, test) = split_temporal(&t, 0.6);
+        assert_eq!(train.len() + test.len(), t.len());
+        let train_max = train.iter().map(|r| r.timestamp_us).max().unwrap();
+        let test_min = test.iter().map(|r| r.timestamp_us).min().unwrap();
+        assert!(train_max <= test_min);
+    }
+
+    #[test]
+    fn random_split_is_deterministic_and_complete() {
+        let t = trace();
+        let (a1, b1) = split_random(&t, 0.7, 9);
+        let (a2, _b2) = split_random(&t, 0.7, 9);
+        assert_eq!(a1, a2);
+        assert_eq!(a1.len() + b1.len(), t.len());
+        let (a3, _) = split_random(&t, 0.7, 10);
+        assert_ne!(a1, a3);
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let t = trace();
+        let (train, test) = split_temporal(&t, 1.0);
+        assert_eq!(train.len(), t.len());
+        assert!(test.is_empty());
+        let (train, test) = split_random(&t, 0.0, 1);
+        assert!(train.is_empty());
+        assert_eq!(test.len(), t.len());
+    }
+}

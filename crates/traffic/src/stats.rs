@@ -1,0 +1,178 @@
+//! Trace statistics: the data behind the dataset-summary table (T1).
+
+use p4guard_packet::packet::{parse, ProtocolTag};
+use p4guard_packet::trace::{AttackFamily, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+/// Summary statistics of a labelled trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total record count.
+    pub total: usize,
+    /// Benign record count.
+    pub benign: usize,
+    /// Attack record count per family.
+    pub attacks: BTreeMap<String, usize>,
+    /// Record count per protocol.
+    pub protocols: BTreeMap<String, usize>,
+    /// Attack record count per protocol.
+    pub attack_by_protocol: BTreeMap<String, usize>,
+    /// Number of distinct flow ids.
+    pub flows: usize,
+    /// Trace duration in seconds.
+    pub duration_s: f64,
+    /// Total bytes on the wire.
+    pub bytes: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics over `trace`. Frames that fail to parse are
+    /// counted under the protocol `"unparsed"`.
+    pub fn compute(trace: &Trace) -> Self {
+        let mut attacks: BTreeMap<String, usize> = BTreeMap::new();
+        for family in AttackFamily::ALL {
+            attacks.insert(family.to_string(), 0);
+        }
+        let mut protocols: BTreeMap<String, usize> = BTreeMap::new();
+        let mut attack_by_protocol: BTreeMap<String, usize> = BTreeMap::new();
+        let mut flows = HashSet::new();
+        let mut benign = 0usize;
+        let mut bytes = 0usize;
+        let mut min_ts = u64::MAX;
+        let mut max_ts = 0u64;
+        for r in trace.iter() {
+            bytes += r.frame.len();
+            flows.insert(r.flow_id);
+            min_ts = min_ts.min(r.timestamp_us);
+            max_ts = max_ts.max(r.timestamp_us);
+            let proto = match parse(&r.frame) {
+                Ok(p) => p.protocol().to_string(),
+                Err(_) => "unparsed".to_owned(),
+            };
+            *protocols.entry(proto.clone()).or_insert(0) += 1;
+            match r.label.family() {
+                Some(f) => {
+                    *attacks.entry(f.to_string()).or_insert(0) += 1;
+                    *attack_by_protocol.entry(proto).or_insert(0) += 1;
+                }
+                None => benign += 1,
+            }
+        }
+        let duration_s = if trace.is_empty() {
+            0.0
+        } else {
+            (max_ts - min_ts) as f64 / 1e6
+        };
+        TraceStats {
+            total: trace.len(),
+            benign,
+            attacks,
+            protocols,
+            attack_by_protocol,
+            flows: flows.len(),
+            duration_s,
+            bytes,
+        }
+    }
+
+    /// Attack fraction of the trace.
+    pub fn attack_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            (self.total - self.benign) as f64 / self.total as f64
+        }
+    }
+
+    /// Protocols present (count > 0), in display order.
+    pub fn protocols_present(&self) -> Vec<ProtocolTag> {
+        ProtocolTag::ALL
+            .into_iter()
+            .filter(|t| self.protocols.get(&t.to_string()).copied().unwrap_or(0) > 0)
+            .collect()
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace: {} packets, {} flows, {:.1} s, {} bytes, {:.1}% attack",
+            self.total,
+            self.flows,
+            self.duration_s,
+            self.bytes,
+            self.attack_fraction() * 100.0
+        )?;
+        writeln!(f, "  per protocol:")?;
+        for (proto, count) in &self.protocols {
+            let attacks = self.attack_by_protocol.get(proto).copied().unwrap_or(0);
+            writeln!(f, "    {proto:<12} {count:>7}  ({attacks} attack)")?;
+        }
+        writeln!(f, "  per attack family:")?;
+        for (family, count) in &self.attacks {
+            if *count > 0 {
+                writeln!(f, "    {family:<20} {count:>7}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn stats_add_up() {
+        let trace = Scenario::mixed_default(11).generate().unwrap();
+        let stats = TraceStats::compute(&trace);
+        assert_eq!(stats.total, trace.len());
+        let attack_sum: usize = stats.attacks.values().sum();
+        assert_eq!(stats.benign + attack_sum, stats.total);
+        let proto_sum: usize = stats.protocols.values().sum();
+        assert_eq!(proto_sum, stats.total);
+        assert!(stats.flows > 50);
+        assert!(stats.duration_s > 100.0);
+        assert!(stats.bytes > stats.total * 20);
+        assert!(!stats.protocols.contains_key("unparsed"));
+    }
+
+    #[test]
+    fn protocols_present_covers_the_mix() {
+        let trace = Scenario::mixed_default(11).generate().unwrap();
+        let stats = TraceStats::compute(&trace);
+        let present = stats.protocols_present();
+        for tag in [
+            ProtocolTag::Mqtt,
+            ProtocolTag::Coap,
+            ProtocolTag::Dns,
+            ProtocolTag::Modbus,
+            ProtocolTag::ZWire,
+            ProtocolTag::Tcp,
+            ProtocolTag::Udp,
+        ] {
+            assert!(present.contains(&tag), "missing {tag}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_stats() {
+        let stats = TraceStats::compute(&Trace::new());
+        assert_eq!(stats.total, 0);
+        assert_eq!(stats.attack_fraction(), 0.0);
+        assert_eq!(stats.duration_s, 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let trace = Scenario::smart_home_default(2).generate().unwrap();
+        let s = TraceStats::compute(&trace).to_string();
+        assert!(s.contains("per protocol"));
+        assert!(s.contains("mqtt"));
+        assert!(s.contains("attack"));
+    }
+}

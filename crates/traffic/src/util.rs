@@ -1,0 +1,114 @@
+//! Shared generator utilities: flow ids, timestamp jitter, payload helpers.
+
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+/// Computes a stable flow id from the 5-tuple using FNV-1a. Records of the
+/// same logical flow carry the same id in the generated trace.
+pub fn flow_id(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, src_port: u16, dst_port: u16) -> u64 {
+    let mut bytes = [0u8; 13];
+    bytes[..4].copy_from_slice(&src.octets());
+    bytes[4..8].copy_from_slice(&dst.octets());
+    bytes[8] = protocol;
+    bytes[9..11].copy_from_slice(&src_port.to_be_bytes());
+    bytes[11..13].copy_from_slice(&dst_port.to_be_bytes());
+    fnv1a(&bytes)
+}
+
+/// Flow id for non-IP (ZWire) traffic keyed on home id and node pair.
+pub fn zwire_flow_id(home_id: u32, src_node: u8, dst_node: u8) -> u64 {
+    let mut bytes = [0u8; 7];
+    bytes[..4].copy_from_slice(&home_id.to_be_bytes());
+    bytes[4] = src_node;
+    bytes[5] = dst_node;
+    bytes[6] = 0x5a;
+    fnv1a(&bytes)
+}
+
+/// FNV-1a 64-bit hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// Converts seconds to the microsecond timestamps traces use.
+pub fn secs(t: f64) -> u64 {
+    (t * 1e6) as u64
+}
+
+/// Adds ±`jitter_fraction` multiplicative jitter to an interval.
+pub fn jittered(interval: f64, jitter_fraction: f64, rng: &mut impl Rng) -> f64 {
+    let j = 1.0 + (rng.gen::<f64>() * 2.0 - 1.0) * jitter_fraction;
+    (interval * j).max(1e-6)
+}
+
+/// A random ephemeral (49152..=65535) source port.
+pub fn ephemeral_port(rng: &mut impl Rng) -> u16 {
+    rng.gen_range(49152..=65535)
+}
+
+/// A random ASCII-hex string of the given length, for DNS-tunnel labels and
+/// client ids.
+pub fn hex_string(len: usize, rng: &mut impl Rng) -> String {
+    const HEX: &[u8] = b"0123456789abcdef";
+    (0..len)
+        .map(|_| HEX[rng.gen_range(0..16)] as char)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flow_id_is_stable_and_direction_sensitive() {
+        let a = Ipv4Addr::new(10, 0, 0, 1);
+        let b = Ipv4Addr::new(10, 0, 0, 2);
+        assert_eq!(flow_id(a, b, 6, 1000, 80), flow_id(a, b, 6, 1000, 80));
+        assert_ne!(flow_id(a, b, 6, 1000, 80), flow_id(b, a, 6, 80, 1000));
+        assert_ne!(flow_id(a, b, 6, 1000, 80), flow_id(a, b, 17, 1000, 80));
+    }
+
+    #[test]
+    fn zwire_flow_id_distinguishes_nodes() {
+        assert_ne!(zwire_flow_id(1, 2, 3), zwire_flow_id(1, 3, 2));
+        assert_ne!(zwire_flow_id(1, 2, 3), zwire_flow_id(2, 2, 3));
+    }
+
+    #[test]
+    fn secs_converts_to_micros() {
+        assert_eq!(secs(1.5), 1_500_000);
+        assert_eq!(secs(0.0), 0);
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = jittered(10.0, 0.2, &mut rng);
+            assert!((8.0..=12.0).contains(&v), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn ephemeral_ports_are_high() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            assert!(ephemeral_port(&mut rng) >= 49152);
+        }
+    }
+
+    #[test]
+    fn hex_string_is_hex() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = hex_string(32, &mut rng);
+        assert_eq!(s.len(), 32);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -1,0 +1,108 @@
+//! End-to-end integration: simulate → train → select → compile → deploy →
+//! enforce, asserting the paper's qualitative claims hold across the
+//! whole stack.
+
+use p4guard::baselines::{Detector, FiveTupleFirewall, FullDnn, GuardDetector};
+use p4guard::config::GuardConfig;
+use p4guard::pipeline::TwoStagePipeline;
+use p4guard_traffic::scenario::Scenario;
+use p4guard_traffic::split_temporal;
+
+fn fast() -> GuardConfig {
+    GuardConfig::fast()
+}
+
+#[test]
+fn mixed_scenario_end_to_end() {
+    let trace = Scenario::mixed_default(2024).generate().unwrap();
+    let (train, test) = split_temporal(&trace, 0.6);
+    let guard = TwoStagePipeline::new(fast()).train(&train).unwrap();
+
+    // The compiled rules detect well on the future split.
+    let m = guard.evaluate_rules(&test);
+    assert!(m.f1 > 0.75, "rule F1 {m:?}");
+    assert!(m.false_positive_rate < 0.20, "FPR {m:?}");
+
+    // Deployment agrees exactly with offline classification.
+    let control = guard.deploy(200_000).unwrap();
+    control.with_switch_mut(|sw| {
+        for r in test.iter() {
+            assert_eq!(
+                sw.process(&r.frame).is_drop(),
+                guard.classify_frame(&r.frame) == 1
+            );
+        }
+    });
+
+    // Resource shape: key is k bytes, TCAM bits match the accounting.
+    let cost_bits = control.with_switch(|sw| sw.resources().tcam_bits);
+    assert_eq!(cost_bits, guard.compiled.stats.tcam_bits);
+}
+
+#[test]
+fn two_stage_tracks_full_dnn_and_beats_fixed_field() {
+    // The abstract's headline claim, checked end to end.
+    let trace = Scenario::mixed_default(55).generate().unwrap();
+    let (train, test) = split_temporal(&trace, 0.6);
+    let guard = GuardDetector::train(fast(), &train).unwrap();
+    let dnn = FullDnn::train(&train, 64, 8, 55);
+    let five_tuple = FiveTupleFirewall::train(&train);
+
+    let g = guard.evaluate(&test).f1;
+    let d = dnn.evaluate(&test).f1;
+    let ft = five_tuple.evaluate(&test).f1;
+    assert!(g > ft + 0.15, "two-stage {g} vs 5-tuple {ft}");
+    assert!(d - g < 0.15, "two-stage {g} should track full DNN {d}");
+}
+
+#[test]
+fn selected_fields_are_semantically_meaningful() {
+    // On a TCP-attack-only scenario the selection should reach into the
+    // TCP/IP headers, not the Ethernet addresses.
+    let trace = Scenario::single_attack(p4guard_packet::AttackFamily::MiraiScan, 9)
+        .generate()
+        .unwrap();
+    let (train, _) = split_temporal(&trace, 0.7);
+    let guard = TwoStagePipeline::new(fast()).train(&train).unwrap();
+    let names = guard.describe_fields(&train).join(" ");
+    assert!(
+        names.contains("tcp.") || names.contains("ipv4."),
+        "selection {:?} named {:?}",
+        guard.selection.offsets,
+        names
+    );
+}
+
+#[test]
+fn retraining_after_a_new_attack_restores_detection() {
+    // Train on a scenario with only a SYN flood, then face a DNS tunnel:
+    // the old rules miss it; retraining on the new data catches it.
+    let syn_only = Scenario::single_attack(p4guard_packet::AttackFamily::SynFlood, 3)
+        .generate()
+        .unwrap();
+    let guard_old = TwoStagePipeline::new(fast()).train(&syn_only).unwrap();
+
+    let dns_attack = Scenario::single_attack(p4guard_packet::AttackFamily::DnsTunnel, 4)
+        .generate()
+        .unwrap();
+    let (dns_train, dns_test) = split_temporal(&dns_attack, 0.6);
+    let old_recall = guard_old.evaluate_rules(&dns_test).recall;
+    let guard_new = TwoStagePipeline::new(fast()).train(&dns_train).unwrap();
+    let new_recall = guard_new.evaluate_rules(&dns_test).recall;
+    assert!(
+        new_recall > old_recall + 0.3,
+        "retrained recall {new_recall} vs stale {old_recall}"
+    );
+}
+
+#[test]
+fn capacity_limits_are_enforced_at_deployment() {
+    let trace = Scenario::smart_home_default(8).generate().unwrap();
+    let (train, _) = split_temporal(&trace, 0.6);
+    let guard = TwoStagePipeline::new(fast()).train(&train).unwrap();
+    if guard.compiled.stats.entries > 1 {
+        let err = guard.deploy(1).unwrap_err();
+        assert!(err.to_string().contains("full"));
+    }
+    assert!(guard.deploy(100_000).is_ok());
+}

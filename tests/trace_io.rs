@@ -1,0 +1,49 @@
+//! Trace persistence: generated datasets survive a save/load cycle intact,
+//! so experiments can be re-run from saved artifacts.
+
+use p4guard_packet::trace::Trace;
+use p4guard_traffic::scenario::Scenario;
+use p4guard_traffic::stats::TraceStats;
+
+#[test]
+fn generated_trace_survives_file_round_trip() {
+    let trace = Scenario::smart_home_default(404).generate().unwrap();
+    let dir = std::env::temp_dir().join("p4guard-test-traces");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("smart_home_404.p4gt");
+    trace.save(&path).unwrap();
+    let loaded = Trace::load(&path).unwrap();
+    assert_eq!(loaded, trace);
+    assert_eq!(
+        TraceStats::compute(&loaded),
+        TraceStats::compute(&trace)
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn in_memory_round_trip_of_large_trace() {
+    let trace = Scenario::mixed_default(405).generate().unwrap();
+    let mut buf = Vec::new();
+    trace.write_to(&mut buf).unwrap();
+    // Binary format overhead stays modest: header + 29 bytes per record.
+    let payload: usize = trace.iter().map(|r| r.frame.len()).sum();
+    assert!(buf.len() < payload + trace.len() * 32 + 64);
+    let loaded = Trace::read_from(buf.as_slice()).unwrap();
+    assert_eq!(loaded.len(), trace.len());
+    assert_eq!(loaded.attack_count(), trace.attack_count());
+    assert_eq!(loaded, trace);
+}
+
+#[test]
+fn truncated_file_is_rejected_not_panicking() {
+    let trace = Scenario::smart_home_default(406).generate().unwrap();
+    let mut buf = Vec::new();
+    trace.write_to(&mut buf).unwrap();
+    for cut in [0, 3, 5, 12, 40, buf.len() - 1] {
+        assert!(
+            Trace::read_from(&buf[..cut]).is_err(),
+            "cut at {cut} should fail"
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Universality integration: the pipeline handles attacks in every
+//! protocol — including non-IP — with the same code path.
+
+use p4guard::baselines::{Detector, FiveTupleFirewall, GuardDetector};
+use p4guard::config::GuardConfig;
+use p4guard_packet::trace::AttackFamily;
+use p4guard_traffic::scenario::Scenario;
+use p4guard_traffic::split_temporal;
+
+fn f1_for(family: AttackFamily, seed: u64) -> (f64, f64) {
+    let trace = Scenario::single_attack(family, seed).generate().unwrap();
+    let (train, test) = split_temporal(&trace, 0.6);
+    let guard = GuardDetector::train(GuardConfig::fast(), &train).unwrap();
+    let five_tuple = FiveTupleFirewall::train(&train);
+    (guard.evaluate(&test).f1, five_tuple.evaluate(&test).f1)
+}
+
+#[test]
+fn zwire_hijack_is_caught_only_by_byte_level_matching() {
+    let (two_stage, five_tuple) = f1_for(AttackFamily::ZWireHijack, 301);
+    assert!(two_stage > 0.85, "two-stage on zwire F1 {two_stage}");
+    assert!(
+        two_stage - five_tuple > 0.3,
+        "two-stage {two_stage} vs 5-tuple {five_tuple}"
+    );
+}
+
+#[test]
+fn modbus_abuse_is_caught_without_modbus_specific_code() {
+    let (two_stage, _) = f1_for(AttackFamily::ModbusAbuse, 302);
+    // The attack's TCP handshake/teardown frames carry no Modbus payload
+    // and are intrinsically hard at packet granularity, capping recall.
+    assert!(two_stage > 0.65, "two-stage on modbus F1 {two_stage}");
+}
+
+#[test]
+fn mqtt_flood_is_caught() {
+    let (two_stage, _) = f1_for(AttackFamily::MqttFlood, 303);
+    assert!(two_stage > 0.75, "two-stage on mqtt F1 {two_stage}");
+}
+
+#[test]
+fn spoofed_syn_flood_defeats_exact_tuples_but_not_learned_bytes() {
+    let (two_stage, five_tuple) = f1_for(AttackFamily::SynFlood, 304);
+    assert!(two_stage > 0.85, "two-stage on syn flood F1 {two_stage}");
+    // Every flood packet has a fresh spoofed tuple; exact matching cannot
+    // generalize.
+    assert!(five_tuple < 0.5, "5-tuple on spoofed flood F1 {five_tuple}");
+}
+
+#[test]
+fn dns_tunnel_is_caught() {
+    let (two_stage, _) = f1_for(AttackFamily::DnsTunnel, 305);
+    assert!(two_stage > 0.8, "two-stage on dns tunnel F1 {two_stage}");
+}
