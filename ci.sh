@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification entry point: formatting, lints, release build, tests.
+# Everything runs offline against the vendored dependency set.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release --offline
+
+echo "==> cargo test"
+cargo test --workspace --offline -q
+
+echo "==> OK"

@@ -11,7 +11,9 @@ fn f2_rules(c: &mut Criterion) {
     let (guard, _) = trained_guard();
     let (train, _) = standard_split();
     let bytes = ByteDataset::from_trace(&train, 64).project(&guard.selection.offsets);
-    let flat: Vec<u8> = (0..bytes.len()).flat_map(|i| bytes.sample(i).to_vec()).collect();
+    let flat: Vec<u8> = (0..bytes.len())
+        .flat_map(|i| bytes.sample(i).to_vec())
+        .collect();
     let labels = bytes.labels().to_vec();
     let k = guard.selection.k();
 
@@ -27,13 +29,17 @@ fn f2_rules(c: &mut Criterion) {
                 ..TreeConfig::default()
             },
         );
-        group.bench_with_input(BenchmarkId::new("compile_at_depth", depth), &tree, |b, tree| {
-            b.iter(|| {
-                std::hint::black_box(
-                    compile_tree(tree, &CompileConfig::default()).expect("compiles"),
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("compile_at_depth", depth),
+            &tree,
+            |b, tree| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        compile_tree(tree, &CompileConfig::default()).expect("compiles"),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -11,16 +11,16 @@ fn t3_cost(c: &mut Criterion) {
     let (guard, _) = trained_guard();
     let (train, _) = standard_split();
     let bytes = ByteDataset::from_trace(&train, 64).project(&guard.selection.offsets);
-    let flat: Vec<u8> = (0..bytes.len()).flat_map(|i| bytes.sample(i).to_vec()).collect();
+    let flat: Vec<u8> = (0..bytes.len())
+        .flat_map(|i| bytes.sample(i).to_vec())
+        .collect();
     let labels = bytes.labels().to_vec();
     let k = guard.selection.k();
 
     let mut group = c.benchmark_group("t3_cost");
     group.sample_size(20);
     group.bench_function("tree_fit", |b| {
-        b.iter(|| {
-            std::hint::black_box(DecisionTree::fit(k, &flat, &labels, TreeConfig::default()))
-        })
+        b.iter(|| std::hint::black_box(DecisionTree::fit(k, &flat, &labels, TreeConfig::default())))
     });
     let tree = DecisionTree::fit(k, &flat, &labels, TreeConfig::default());
     group.bench_function("rule_compile", |b| {

@@ -142,8 +142,11 @@ fn main() -> ExitCode {
                 save_json(&options.out, id, &r);
             }
             "f2" => {
-                let r =
-                    efficiency::run_f2(&context(options.seed), &config, &[1, 2, 3, 4, 6, 8, 10, 12]);
+                let r = efficiency::run_f2(
+                    &context(options.seed),
+                    &config,
+                    &[1, 2, 3, 4, 6, 8, 10, 12],
+                );
                 println!("{r}");
                 save_json(&options.out, id, &r);
             }
@@ -202,11 +205,7 @@ fn main() -> ExitCode {
                 save_json(&options.out, id, &r);
             }
             "f14" => {
-                let r = extensions::run_f14(
-                    options.seed,
-                    &config,
-                    &[None, Some(60.0), Some(30.0)],
-                );
+                let r = extensions::run_f14(options.seed, &config, &[None, Some(60.0), Some(30.0)]);
                 println!("{r}");
                 save_json(&options.out, id, &r);
             }

@@ -248,7 +248,9 @@ impl Detector for AllBytesTree {
 
     fn predict_trace(&self, trace: &Trace) -> Vec<usize> {
         let bytes = ByteDataset::from_trace(trace, self.window);
-        (0..bytes.len()).map(|i| self.tree.predict(bytes.sample(i))).collect()
+        (0..bytes.len())
+            .map(|i| self.tree.predict(bytes.sample(i)))
+            .collect()
     }
 
     fn data_plane_cost(&self) -> DataPlaneCost {
@@ -309,8 +311,7 @@ impl FullDnn {
     pub fn scores(&self, trace: &Trace) -> Vec<f32> {
         let bytes = ByteDataset::from_trace(trace, self.window);
         let view = self.standardizer.transform_dataset(&bytes.to_nn_dataset());
-        let probs =
-            p4guard_nn::activation::softmax_rows(&self.model.logits(view.features()));
+        let probs = p4guard_nn::activation::softmax_rows(&self.model.logits(view.features()));
         (0..probs.rows()).map(|r| probs.get(r, 1)).collect()
     }
 }
@@ -376,8 +377,7 @@ impl LogisticBaseline {
     pub fn scores(&self, trace: &Trace) -> Vec<f32> {
         let bytes = ByteDataset::from_trace(trace, self.window);
         let view = self.standardizer.transform_dataset(&bytes.to_nn_dataset());
-        let probs =
-            p4guard_nn::activation::softmax_rows(&self.model.logits(view.features()));
+        let probs = p4guard_nn::activation::softmax_rows(&self.model.logits(view.features()));
         (0..probs.rows()).map(|r| probs.get(r, 1)).collect()
     }
 }

@@ -8,13 +8,18 @@
 //! p4guard-cli evaluate --model guard.json --trace test.p4gt
 //! p4guard-cli export   --model guard.json --trace trace.p4gt --out-dir p4/
 //! p4guard-cli stats    --trace trace.p4gt
+//! p4guard-cli serve    --shards 4 [--model guard.json] [--trace test.p4gt] [--pps 50000]
 //! ```
+//!
+//! `serve` replays a trace through the sharded online gateway, hot-swapping
+//! an optimized ruleset mid-run, and prints the aggregated snapshot.
 
 use p4guard::config::GuardConfig;
 use p4guard::pipeline::{TrainedGuard, TwoStagePipeline};
 use p4guard::{p4gen, report};
-use p4guard_packet::trace::Trace;
+use p4guard_gateway::GatewayConfig;
 use p4guard_packet::pcap;
+use p4guard_packet::trace::Trace;
 use p4guard_traffic::scenario::Scenario;
 use p4guard_traffic::stats::TraceStats;
 use std::collections::HashMap;
@@ -27,7 +32,9 @@ const USAGE: &str = "usage:
   p4guard-cli train    --trace FILE --out FILE [--k N] [--window N] [--fast]
   p4guard-cli evaluate --model FILE --trace FILE
   p4guard-cli export   --model FILE --trace FILE --out-dir DIR
-  p4guard-cli stats    --trace FILE";
+  p4guard-cli stats    --trace FILE
+  p4guard-cli serve    [--shards N] [--model FILE] [--trace FILE] [--scenario S] [--seed N]
+                       [--pps N] [--queue N] [--batch N]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -112,9 +119,8 @@ fn run() -> Result<(), Box<dyn Error>> {
             Ok(())
         }
         "evaluate" => {
-            let guard = TrainedGuard::from_json(&std::fs::read_to_string(required(
-                &flags, "model",
-            )?)?)?;
+            let guard =
+                TrainedGuard::from_json(&std::fs::read_to_string(required(&flags, "model")?)?)?;
             let trace = Trace::load(required(&flags, "trace")?)?;
             let m = guard.evaluate_rules(&trace);
             let mut table = report::TextTable::new(["metric", "value"]);
@@ -128,14 +134,16 @@ fn run() -> Result<(), Box<dyn Error>> {
             Ok(())
         }
         "export" => {
-            let guard = TrainedGuard::from_json(&std::fs::read_to_string(required(
-                &flags, "model",
-            )?)?)?;
+            let guard =
+                TrainedGuard::from_json(&std::fs::read_to_string(required(&flags, "model")?)?)?;
             let trace = Trace::load(required(&flags, "trace")?)?;
             let out_dir = PathBuf::from(required(&flags, "out-dir")?);
             std::fs::create_dir_all(&out_dir)?;
             let names = guard.describe_fields(&trace);
-            std::fs::write(out_dir.join("guard.p4"), p4gen::emit_program(&guard, &names))?;
+            std::fs::write(
+                out_dir.join("guard.p4"),
+                p4gen::emit_program(&guard, &names),
+            )?;
             std::fs::write(out_dir.join("entries.txt"), p4gen::emit_entries(&guard))?;
             println!(
                 "exported guard.p4 and entries.txt ({} entries) to {}",
@@ -147,6 +155,80 @@ fn run() -> Result<(), Box<dyn Error>> {
         "stats" => {
             let trace = Trace::load(required(&flags, "trace")?)?;
             println!("{}", TraceStats::compute(&trace));
+            Ok(())
+        }
+        "serve" => {
+            // Validate the cheap flags before generating/training anything.
+            let mut config =
+                GatewayConfig::with_shards(flags.get("shards").map_or(Ok(4), |v| v.parse())?);
+            if let Some(q) = flags.get("queue") {
+                config.queue_capacity = q.parse()?;
+            }
+            if let Some(b) = flags.get("batch") {
+                config.batch_size = b.parse()?;
+            }
+            if config.shards == 0 {
+                return Err("--shards must be at least 1".into());
+            }
+            if config.queue_capacity == 0 {
+                return Err("--queue must be at least 1".into());
+            }
+            let pps: Option<f64> = flags.get("pps").map(|v| v.parse()).transpose()?;
+            let seed: u64 = flags.get("seed").map_or(Ok(1), |v| v.parse())?;
+            let trace = match flags.get("trace") {
+                Some(path) => Trace::load(path)?,
+                None => {
+                    let scenario = match flags.get("scenario").map(String::as_str) {
+                        None | Some("smart-home") => Scenario::smart_home_default(seed),
+                        Some("mixed") => Scenario::mixed_default(seed),
+                        Some("industrial") => Scenario::industrial_default(seed),
+                        Some(other) => return Err(format!("unknown scenario {other:?}").into()),
+                    };
+                    let trace = scenario.generate()?;
+                    println!(
+                        "no --trace given; generated {} packets (seed {seed})",
+                        trace.len()
+                    );
+                    trace
+                }
+            };
+            let guard = match flags.get("model") {
+                Some(path) => TrainedGuard::from_json(&std::fs::read_to_string(path)?)?,
+                None => {
+                    println!("no --model given; training a fast guard on the trace");
+                    TwoStagePipeline::new(GuardConfig::fast()).train(&trace)?
+                }
+            };
+            println!(
+                "serving {} packets through {} shards (queue {}, batch {}){}",
+                trace.len(),
+                config.shards,
+                config.queue_capacity,
+                config.batch_size,
+                pps.map_or(String::new(), |p| format!(" at {p} pps")),
+            );
+            let live = guard.serve_live(&trace, config, pps)?;
+            println!(
+                "first half : {} packets in {:?} ({:.0} pps offered)",
+                live.first_half.offered, live.first_half.elapsed, live.first_half.offered_pps
+            );
+            println!(
+                "hot swap   : v{} ({} entries, {} churn: {}) published to {} shard cell(s) in {:?}",
+                live.swap.version,
+                live.swap.entries,
+                live.diff.churn(),
+                live.diff,
+                live.swap.subscribers,
+                live.swap.elapsed
+            );
+            println!(
+                "second half: {} packets in {:?} ({:.0} pps offered)",
+                live.second_half.offered, live.second_half.elapsed, live.second_half.offered_pps
+            );
+            print!("{}", live.snapshot);
+            if live.snapshot.dropped_backpressure == 0 {
+                println!("hot swap completed with zero packets dropped to backpressure");
+            }
             Ok(())
         }
         other => Err(format!("unknown command {other:?}\n{USAGE}").into()),

@@ -39,7 +39,12 @@ impl fmt::Display for DatasetSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "T1 — dataset summary")?;
         let mut table = TextTable::new([
-            "scenario", "packets", "flows", "duration", "protocols", "attack %",
+            "scenario",
+            "packets",
+            "flows",
+            "duration",
+            "protocols",
+            "attack %",
         ]);
         for (name, stats) in &self.scenarios {
             table.row([

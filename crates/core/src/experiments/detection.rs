@@ -68,9 +68,23 @@ pub fn run_t2(ctx: &ExperimentContext, config: &GuardConfig) -> DetectionCompari
     };
     let guard = GuardDetector::train(config.clone(), &ctx.train).expect("pipeline trains");
     push(&guard);
-    push(&FullDnn::train(&ctx.train, config.window, config.stage1.epochs, ctx.seed));
-    push(&AllBytesTree::train(&ctx.train, config.window, TreeConfig::default()));
-    push(&LogisticBaseline::train(&ctx.train, config.window, config.stage1.epochs, ctx.seed));
+    push(&FullDnn::train(
+        &ctx.train,
+        config.window,
+        config.stage1.epochs,
+        ctx.seed,
+    ));
+    push(&AllBytesTree::train(
+        &ctx.train,
+        config.window,
+        TreeConfig::default(),
+    ));
+    push(&LogisticBaseline::train(
+        &ctx.train,
+        config.window,
+        config.stage1.epochs,
+        ctx.seed,
+    ));
     push(&FiveTupleFirewall::train(&ctx.train));
     push(&AutoencoderBaseline::train(
         &ctx.train,
@@ -298,7 +312,10 @@ pub fn run_f9(ctx: &ExperimentContext, config: &GuardConfig) -> PerAttackReport 
 
 impl fmt::Display for PerAttackReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "F9 — per-attack-family recall (compiled rules, test split)")?;
+        writeln!(
+            f,
+            "F9 — per-attack-family recall (compiled rules, test split)"
+        )?;
         let mut table = TextTable::new(["attack family", "test packets", "recall"]);
         for (name, total, recall) in &self.rows {
             table.row([name.clone(), total.to_string(), num3(*recall)]);

@@ -85,8 +85,13 @@ pub fn run_f1(ctx: &ExperimentContext, base: &GuardConfig, ks: &[usize]) -> KSwe
 impl fmt::Display for KSweep {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "F1 — accuracy vs number of selected fields k")?;
-        let mut table =
-            TextTable::new(["k", "F1 (learned)", "acc (learned)", "F1 (random)", "entries"]);
+        let mut table = TextTable::new([
+            "k",
+            "F1 (learned)",
+            "acc (learned)",
+            "F1 (random)",
+            "entries",
+        ]);
         for p in &self.points {
             table.row([
                 p.k.to_string(),
@@ -151,7 +156,10 @@ pub fn run_f2(ctx: &ExperimentContext, base: &GuardConfig, depths: &[usize]) -> 
 
 impl fmt::Display for RulesTradeoff {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "F2 — rule count vs accuracy trade-off (tree depth sweep)")?;
+        writeln!(
+            f,
+            "F2 — rule count vs accuracy trade-off (tree depth sweep)"
+        )?;
         let mut table = TextTable::new(["max depth", "leaves", "entries", "F1"]);
         for p in &self.points {
             table.row([
@@ -385,6 +393,11 @@ mod tests {
             .iter()
             .find(|r| r.strategy == "random")
             .unwrap();
-        assert!(saliency.f1 >= random.f1 - 0.02, "saliency {} random {}", saliency.f1, random.f1);
+        assert!(
+            saliency.f1 >= random.f1 - 0.02,
+            "saliency {} random {}",
+            saliency.f1,
+            random.f1
+        );
     }
 }

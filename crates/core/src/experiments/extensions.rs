@@ -76,7 +76,10 @@ pub fn run_f11(ctx: &ExperimentContext, base: &GuardConfig) -> DesignAblation {
 
 impl fmt::Display for DesignAblation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "F11 — pipeline-design ablation (distillation × balancing)")?;
+        writeln!(
+            f,
+            "F11 — pipeline-design ablation (distillation × balancing)"
+        )?;
         let mut table = TextTable::new(["distill", "balance", "F1", "FPR", "entries"]);
         for r in &self.rows {
             table.row([
@@ -117,7 +120,11 @@ pub struct RobustnessReport {
 /// # Panics
 ///
 /// Panics if the pipeline fails on the standard scenario.
-pub fn run_f12(ctx: &ExperimentContext, config: &GuardConfig, fractions: &[f64]) -> RobustnessReport {
+pub fn run_f12(
+    ctx: &ExperimentContext,
+    config: &GuardConfig,
+    fractions: &[f64],
+) -> RobustnessReport {
     let guard = TwoStagePipeline::new(config.clone())
         .train(&ctx.train)
         .expect("pipeline trains");
@@ -168,7 +175,13 @@ mod tests {
         let ablation = run_f11(&ctx, &GuardConfig::fast());
         assert_eq!(ablation.rows.len(), 4);
         for r in &ablation.rows {
-            assert!(r.f1 > 0.6, "distill={} balance={}: F1 {}", r.distill, r.balance, r.f1);
+            assert!(
+                r.f1 > 0.6,
+                "distill={} balance={}: F1 {}",
+                r.distill,
+                r.balance,
+                r.f1
+            );
         }
         assert!(ablation.to_string().contains("F11"));
     }
@@ -183,7 +196,12 @@ mod tests {
         assert!(clean.f1 > 0.75, "clean F1 {}", clean.f1);
         // Half the frames corrupted must not collapse detection: the rules
         // match only k bytes, so most flips land on unmatched positions.
-        assert!(noisy.f1 > clean.f1 - 0.25, "noisy {} vs clean {}", noisy.f1, clean.f1);
+        assert!(
+            noisy.f1 > clean.f1 - 0.25,
+            "noisy {} vs clean {}",
+            noisy.f1,
+            clean.f1
+        );
         assert!(report.to_string().contains("F12"));
     }
 }
@@ -252,8 +270,7 @@ pub fn run_f14(seed: u64, config: &GuardConfig, intervals_s: &[Option<f64>]) -> 
             let mut known = (0usize, 0usize);
             let mut benign = (0usize, 0usize); // (flagged, total)
             for (i, record) in trace.iter().enumerate() {
-                if record.timestamp_us >= next_retrain_us
-                    && (guard.is_none() || interval.is_some())
+                if record.timestamp_us >= next_retrain_us && (guard.is_none() || interval.is_some())
                 {
                     // Retrain on everything seen so far.
                     let past: p4guard_packet::trace::Trace =
@@ -358,7 +375,11 @@ mod online_tests {
             adaptive.recall_novel,
             static_row.recall_novel
         );
-        assert!(adaptive.recall_known > 0.8, "known {}", adaptive.recall_known);
+        assert!(
+            adaptive.recall_known > 0.8,
+            "known {}",
+            adaptive.recall_known
+        );
         assert!(adaptive.fpr < 0.2, "fpr {}", adaptive.fpr);
         assert!(report.to_string().contains("F14"));
     }

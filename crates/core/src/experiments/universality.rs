@@ -103,7 +103,10 @@ pub fn run_f6(seed: u64, config: &GuardConfig, families: &[AttackFamily]) -> Uni
 
 impl fmt::Display for UniversalityReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "F6 — universality across protocols (F1 per attack family)")?;
+        writeln!(
+            f,
+            "F6 — universality across protocols (F1 per attack family)"
+        )?;
         let mut table = TextTable::new([
             "attack family",
             "protocol",

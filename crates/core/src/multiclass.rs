@@ -171,7 +171,11 @@ impl FamilyGuard {
             // Count action on the family table plus the binary ACL drop —
             // in this model a single Drop action also stops the pipeline,
             // so we install Count and rely on a final binary drop table.
-            control.install_ruleset(stage, &f.compiled.ternary, Action::Count(u32::from(f.family.code())))?;
+            control.install_ruleset(
+                stage,
+                &f.compiled.ternary,
+                Action::Count(u32::from(f.family.code())),
+            )?;
         }
         // Final stage: the binary guard's drop rules.
         let final_stage = control.with_switch_mut(|sw| {
@@ -247,8 +251,18 @@ impl IdentificationReport {
 
 impl fmt::Display for IdentificationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "F13 — attack-family identification (one table per family)")?;
-        let mut table = TextTable::new(["family", "packets", "identified", "confused", "recall", "rules"]);
+        writeln!(
+            f,
+            "F13 — attack-family identification (one table per family)"
+        )?;
+        let mut table = TextTable::new([
+            "family",
+            "packets",
+            "identified",
+            "confused",
+            "recall",
+            "rules",
+        ]);
         for r in &self.rows {
             table.row([
                 r.family.clone(),
@@ -285,14 +299,22 @@ mod tests {
     #[test]
     fn identifies_most_attack_families() {
         let (guard, test) = trained();
-        assert!(guard.families.len() >= 8, "families {}", guard.families.len());
+        assert!(
+            guard.families.len() >= 8,
+            "families {}",
+            guard.families.len()
+        );
         let report = guard.evaluate(&test);
         assert!(
             report.mean_recall() > 0.5,
             "mean identification recall {}",
             report.mean_recall()
         );
-        assert!(report.benign_fpr() < 0.2, "benign fpr {}", report.benign_fpr());
+        assert!(
+            report.benign_fpr() < 0.2,
+            "benign fpr {}",
+            report.benign_fpr()
+        );
         assert!(report.to_string().contains("F13"));
     }
 

@@ -2,8 +2,9 @@
 //! synthesize match-action rules, deploy to a switch.
 
 use crate::config::GuardConfig;
+use bytes::Bytes;
 use p4guard_dataplane::action::Action;
-use p4guard_dataplane::control::ControlPlane;
+use p4guard_dataplane::control::{ControlPlane, PublishReport};
 use p4guard_dataplane::key::KeyLayout;
 use p4guard_dataplane::parser::ParserSpec;
 use p4guard_dataplane::switch::Switch;
@@ -11,14 +12,16 @@ use p4guard_dataplane::table::{MatchKind, Table, TableError};
 use p4guard_features::extract::ByteDataset;
 use p4guard_features::naming;
 use p4guard_features::select::{select_fields, FieldSelection};
+use p4guard_gateway::{replay, Gateway, GatewayConfig, GatewaySnapshot, IngestMode, ReplayReport};
 use p4guard_nn::activation::softmax_rows;
+use p4guard_nn::data::Standardizer;
 use p4guard_nn::network::{Mlp, MlpConfig};
 use p4guard_nn::optim::Adam;
 use p4guard_nn::train::{train, History, TrainConfig};
-use p4guard_nn::data::Standardizer;
 use p4guard_nn::{binary_metrics, BinaryMetrics};
 use p4guard_packet::trace::Trace;
 use p4guard_rules::compile::{compile_tree, CompiledRules, TooManyEntries};
+use p4guard_rules::ruleset::RuleSetDiff;
 use p4guard_rules::tree::DecisionTree;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -44,7 +47,10 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::EmptyTrace => write!(f, "training trace is empty"),
             PipelineError::SingleClass => {
-                write!(f, "training trace holds a single class; need benign and attack")
+                write!(
+                    f,
+                    "training trace holds a single class; need benign and attack"
+                )
             }
             PipelineError::Compile(e) => write!(f, "rule compilation failed: {e}"),
         }
@@ -293,7 +299,9 @@ impl TrainedGuard {
     pub fn evaluate_stage2(&self, trace: &Trace) -> BinaryMetrics {
         let bytes = ByteDataset::from_trace(trace, self.config.window);
         let selected = bytes.project(&self.selection.offsets);
-        let view = self.standardizer2.transform_dataset(&selected.to_nn_dataset());
+        let view = self
+            .standardizer2
+            .transform_dataset(&selected.to_nn_dataset());
         let predicted = self.stage2.predict(view.features());
         binary_metrics(&predicted, view.labels())
     }
@@ -302,7 +310,9 @@ impl TrainedGuard {
     pub fn scores(&self, trace: &Trace) -> Vec<f32> {
         let bytes = ByteDataset::from_trace(trace, self.config.window);
         let selected = bytes.project(&self.selection.offsets);
-        let view = self.standardizer2.transform_dataset(&selected.to_nn_dataset());
+        let view = self
+            .standardizer2
+            .transform_dataset(&selected.to_nn_dataset());
         let probs = softmax_rows(&self.stage2.logits(view.features()));
         (0..probs.rows()).map(|r| probs.get(r, 1)).collect()
     }
@@ -347,6 +357,79 @@ impl TrainedGuard {
         control.install_ruleset(stage, &self.compiled.ternary, Action::Drop)?;
         Ok(control)
     }
+
+    /// Serves `trace` through a sharded gateway live: replays the first
+    /// half with the compiled rules, hot-swaps in an optimized ruleset
+    /// mid-run (no forwarding stall — workers pick it up at the next batch
+    /// boundary), then replays the second half.
+    ///
+    /// Ingest is lossless (blocking), so `dropped_backpressure` in the
+    /// returned snapshot is always zero; pacing to `target_pps` applies to
+    /// each half independently.
+    ///
+    /// # Errors
+    ///
+    /// Returns a table error when deployment or the mid-run reinstall
+    /// fails.
+    pub fn serve_live(
+        &self,
+        trace: &Trace,
+        config: GatewayConfig,
+        target_pps: Option<f64>,
+    ) -> Result<LiveReport, TableError> {
+        let capacity = (self.compiled.ternary.len() * 2).max(64);
+        let control = self.deploy(capacity)?;
+        let gateway = Gateway::start(&control, config);
+
+        let frames: Vec<Bytes> = trace.iter().map(|r| r.frame.clone()).collect();
+        let mid = frames.len() / 2;
+        let first_half = replay(
+            &gateway,
+            frames[..mid].iter().cloned(),
+            target_pps,
+            IngestMode::Blocking,
+        );
+
+        // Compile the replacement off to the side, then swap: the shards
+        // keep forwarding against the old snapshot until publish lands.
+        let mut optimized = self.compiled.ternary.clone();
+        optimized.optimize();
+        let diff = self.compiled.ternary.diff(&optimized);
+        control.clear_stage(0)?;
+        control.install_ruleset(0, &optimized, Action::Drop)?;
+        let swap = control.publish();
+
+        let second_half = replay(
+            &gateway,
+            frames[mid..].iter().cloned(),
+            target_pps,
+            IngestMode::Blocking,
+        );
+        let snapshot = gateway.finish();
+        Ok(LiveReport {
+            snapshot,
+            first_half,
+            second_half,
+            swap,
+            diff,
+        })
+    }
+}
+
+/// Outcome of [`TrainedGuard::serve_live`]: the final gateway snapshot,
+/// the two replay legs around the hot swap, and what the swap changed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LiveReport {
+    /// Aggregated gateway state after both halves drained.
+    pub snapshot: GatewaySnapshot,
+    /// Replay of the first half (original ruleset).
+    pub first_half: ReplayReport,
+    /// Replay of the second half (optimized ruleset).
+    pub second_half: ReplayReport,
+    /// The mid-run publication.
+    pub swap: PublishReport,
+    /// Entry churn between the original and optimized rulesets.
+    pub diff: RuleSetDiff,
 }
 
 #[cfg(test)]
@@ -403,6 +486,30 @@ mod tests {
     }
 
     #[test]
+    fn live_serving_replays_the_whole_trace_with_a_mid_run_swap() {
+        let (guard, _, test) = trained();
+        let live = guard
+            .serve_live(&test, GatewayConfig::with_shards(4), None)
+            .unwrap();
+        assert_eq!(live.snapshot.totals.received, test.len() as u64);
+        assert_eq!(
+            live.first_half.offered + live.second_half.offered,
+            test.len() as u64
+        );
+        // Blocking ingest: the hot swap must not cost a single packet.
+        assert_eq!(live.snapshot.dropped_backpressure, 0);
+        assert_eq!(live.swap.version, live.snapshot.version);
+        assert!(live.swap.subscribers >= 1);
+        // The optimized ruleset classifies identically, so the gateway's
+        // drop count matches the offline rule evaluation.
+        let rule_drops = test
+            .iter()
+            .filter(|r| guard.classify_frame(&r.frame) == 1)
+            .count() as u64;
+        assert_eq!(live.snapshot.totals.dropped, rule_drops);
+    }
+
+    #[test]
     fn errors_on_degenerate_traces() {
         let p = TwoStagePipeline::new(GuardConfig::fast());
         assert!(matches!(
@@ -412,10 +519,7 @@ mod tests {
         let benign = Scenario::benign_only(p4guard_traffic::Fleet::smart_home(), 20.0, 1)
             .generate()
             .unwrap();
-        assert!(matches!(
-            p.train(&benign),
-            Err(PipelineError::SingleClass)
-        ));
+        assert!(matches!(p.train(&benign), Err(PipelineError::SingleClass)));
     }
 
     #[test]

@@ -29,7 +29,11 @@ fn full_operator_workflow() {
         .args(["--pcap", pcap.to_str().unwrap()])
         .output()
         .expect("cli runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(trace.exists());
     assert!(pcap.exists());
     // The pcap mirror is a valid classic pcap.
@@ -43,7 +47,11 @@ fn full_operator_workflow() {
         .args(["--k", "6", "--fast"])
         .output()
         .expect("cli runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("rules"), "stdout: {stdout}");
     assert!(model.exists());
@@ -54,7 +62,11 @@ fn full_operator_workflow() {
         .args(["--trace", trace.to_str().unwrap()])
         .output()
         .expect("cli runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("F1"), "stdout: {stdout}");
 
@@ -65,7 +77,11 @@ fn full_operator_workflow() {
         .args(["--out-dir", p4dir.to_str().unwrap()])
         .output()
         .expect("cli runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let program = std::fs::read_to_string(p4dir.join("guard.p4")).unwrap();
     assert!(program.contains("table guard_acl"));
     let entries = std::fs::read_to_string(p4dir.join("entries.txt")).unwrap();
@@ -86,7 +102,10 @@ fn bad_arguments_fail_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 
-    let out = cli().args(["train", "--k", "8"]).output().expect("cli runs");
+    let out = cli()
+        .args(["train", "--k", "8"])
+        .output()
+        .expect("cli runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--trace"));
 }

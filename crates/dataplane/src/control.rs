@@ -3,12 +3,14 @@
 //! (experiment F10 — the "dynamically reconfigurable" claim).
 
 use crate::action::Action;
+use crate::pipeline::{PipelineCell, ReadPipeline};
 use crate::switch::Switch;
-use crate::table::{EntryHandle, MatchSpec, TableError};
-use parking_lot::RwLock;
+use crate::table::{EntryHandle, MatchSpec, Table, TableError};
 use p4guard_rules::ruleset::RuleSet;
 use p4guard_rules::tree::TreePath;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -36,10 +38,26 @@ impl InstallReport {
     }
 }
 
-/// A control plane bound to one switch. Clones share the switch.
+/// Outcome of publishing a pipeline snapshot to subscribed cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PublishReport {
+    /// Version assigned to the published snapshot.
+    pub version: u64,
+    /// Entries in the published snapshot, across all stages.
+    pub entries: usize,
+    /// Cells the snapshot was pushed to.
+    pub subscribers: usize,
+    /// Wall-clock time to snapshot and publish.
+    pub elapsed: Duration,
+}
+
+/// A control plane bound to one switch. Clones share the switch, the
+/// subscriber list and the version counter.
 #[derive(Debug, Clone)]
 pub struct ControlPlane {
     switch: Arc<RwLock<Switch>>,
+    subscribers: Arc<Mutex<Vec<Arc<PipelineCell>>>>,
+    next_version: Arc<AtomicU64>,
 }
 
 impl ControlPlane {
@@ -47,7 +65,17 @@ impl ControlPlane {
     pub fn new(switch: Switch) -> Self {
         ControlPlane {
             switch: Arc::new(RwLock::new(switch)),
+            subscribers: Arc::new(Mutex::new(Vec::new())),
+            next_version: Arc::new(AtomicU64::new(1)),
         }
+    }
+
+    fn stage_checked(sw: &mut Switch, stage: usize) -> Result<&mut Table, TableError> {
+        let stages = sw.stage_count();
+        if stage >= stages {
+            return Err(TableError::NoSuchStage { stage, stages });
+        }
+        Ok(sw.stage_mut(stage))
     }
 
     /// Runs `f` with shared access to the switch.
@@ -66,8 +94,8 @@ impl ControlPlane {
     ///
     /// # Errors
     ///
-    /// Returns the first table error (capacity, width, kind); entries
-    /// installed before the failure remain installed.
+    /// Returns the first table error (missing stage, capacity, width,
+    /// kind); entries installed before the failure remain installed.
     pub fn install_ruleset(
         &self,
         stage: usize,
@@ -75,7 +103,7 @@ impl ControlPlane {
         on_match: Action,
     ) -> Result<InstallReport, TableError> {
         let mut sw = self.switch.write();
-        let table = sw.stage_mut(stage);
+        let table = Self::stage_checked(&mut sw, stage)?;
         let start = Instant::now();
         let mut per_entry = Vec::with_capacity(ruleset.len());
         let mut handles = Vec::with_capacity(ruleset.len());
@@ -112,7 +140,7 @@ impl ControlPlane {
         on_match: Action,
     ) -> Result<InstallReport, TableError> {
         let mut sw = self.switch.write();
-        let table = sw.stage_mut(stage);
+        let table = Self::stage_checked(&mut sw, stage)?;
         let start = Instant::now();
         let mut per_entry = Vec::with_capacity(paths.len());
         let mut handles = Vec::with_capacity(paths.len());
@@ -135,14 +163,14 @@ impl ControlPlane {
     ///
     /// # Errors
     ///
-    /// Returns the first unknown-handle error.
+    /// Returns the first missing-stage or unknown-handle error.
     pub fn remove_entries(
         &self,
         stage: usize,
         handles: &[EntryHandle],
     ) -> Result<Vec<Duration>, TableError> {
         let mut sw = self.switch.write();
-        let table = sw.stage_mut(stage);
+        let table = Self::stage_checked(&mut sw, stage)?;
         let mut latencies = Vec::with_capacity(handles.len());
         for &h in handles {
             let t0 = Instant::now();
@@ -157,7 +185,7 @@ impl ControlPlane {
     ///
     /// # Errors
     ///
-    /// Returns the first unknown-handle error.
+    /// Returns the first missing-stage or unknown-handle error.
     pub fn modify_entries(
         &self,
         stage: usize,
@@ -165,7 +193,7 @@ impl ControlPlane {
         action: Action,
     ) -> Result<(), TableError> {
         let mut sw = self.switch.write();
-        let table = sw.stage_mut(stage);
+        let table = Self::stage_checked(&mut sw, stage)?;
         for &h in handles {
             table.modify(h, action)?;
         }
@@ -173,8 +201,58 @@ impl ControlPlane {
     }
 
     /// Clears a stage.
-    pub fn clear_stage(&self, stage: usize) {
-        self.switch.write().stage_mut(stage).clear();
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::NoSuchStage`] for an out-of-range stage.
+    pub fn clear_stage(&self, stage: usize) -> Result<(), TableError> {
+        let mut sw = self.switch.write();
+        Self::stage_checked(&mut sw, stage)?.clear();
+        Ok(())
+    }
+
+    /// Registers a pipeline cell to receive future [`ControlPlane::publish`]
+    /// snapshots. The cell's current snapshot is left untouched; call
+    /// `publish` to push one immediately.
+    pub fn subscribe(&self, cell: Arc<PipelineCell>) {
+        self.subscribers.lock().push(cell);
+    }
+
+    /// Snapshots the switch into a cell pre-loaded with the current
+    /// pipeline and subscribes it. This is how a gateway attaches its
+    /// shards' shared cell.
+    pub fn attach_cell(&self) -> Arc<PipelineCell> {
+        let snapshot = self.snapshot();
+        let cell = Arc::new(PipelineCell::new(
+            Arc::try_unwrap(snapshot).unwrap_or_else(|arc| (*arc).clone()),
+        ));
+        self.subscribe(Arc::clone(&cell));
+        cell
+    }
+
+    /// Freezes the switch's current pipeline into a versioned read-path
+    /// snapshot without publishing it.
+    pub fn snapshot(&self) -> Arc<ReadPipeline> {
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        Arc::new(self.switch.read().read_pipeline(version))
+    }
+
+    /// Snapshots the switch and atomically publishes the snapshot to every
+    /// subscribed cell (RCU swap: workers pick it up at their next batch
+    /// boundary; no forwarding stall).
+    pub fn publish(&self) -> PublishReport {
+        let start = Instant::now();
+        let snapshot = self.snapshot();
+        let subscribers = self.subscribers.lock();
+        for cell in subscribers.iter() {
+            cell.publish(Arc::clone(&snapshot));
+        }
+        PublishReport {
+            version: snapshot.version(),
+            entries: snapshot.entry_count(),
+            subscribers: subscribers.len(),
+            elapsed: start.elapsed(),
+        }
     }
 }
 
@@ -263,8 +341,83 @@ mod tests {
     fn clear_stage_empties_table() {
         let cp = control_with_table(MatchKind::Ternary, 2, 16);
         cp.install_ruleset(0, &ruleset(), Action::Drop).unwrap();
-        cp.clear_stage(0);
+        cp.clear_stage(0).unwrap();
         cp.with_switch(|sw| assert!(sw.stage(0).is_empty()));
+    }
+
+    #[test]
+    fn missing_stage_is_an_error_not_a_panic() {
+        let cp = control_with_table(MatchKind::Ternary, 2, 16);
+        let missing = TableError::NoSuchStage {
+            stage: 3,
+            stages: 1,
+        };
+        assert_eq!(
+            cp.install_ruleset(3, &ruleset(), Action::Drop).unwrap_err(),
+            missing
+        );
+        assert_eq!(
+            cp.remove_entries(3, &[EntryHandle(1)]).unwrap_err(),
+            missing
+        );
+        assert_eq!(
+            cp.modify_entries(3, &[EntryHandle(1)], Action::Drop)
+                .unwrap_err(),
+            missing
+        );
+        assert_eq!(cp.clear_stage(3).unwrap_err(), missing);
+        assert!(missing.to_string().contains("no stage 3"));
+    }
+
+    #[test]
+    fn stale_handles_error_after_removal() {
+        let cp = control_with_table(MatchKind::Ternary, 2, 16);
+        let report = cp.install_ruleset(0, &ruleset(), Action::Drop).unwrap();
+        cp.remove_entries(0, &report.handles).unwrap();
+        // The handles are now stale: both removal and modification report
+        // NoSuchEntry instead of silently succeeding.
+        assert_eq!(
+            cp.remove_entries(0, &report.handles[..1]).unwrap_err(),
+            TableError::NoSuchEntry(report.handles[0])
+        );
+        assert_eq!(
+            cp.modify_entries(0, &report.handles[..1], Action::NoOp)
+                .unwrap_err(),
+            TableError::NoSuchEntry(report.handles[0])
+        );
+    }
+
+    #[test]
+    fn empty_batches_are_no_ops() {
+        let cp = control_with_table(MatchKind::Ternary, 2, 16);
+        cp.install_ruleset(0, &ruleset(), Action::Drop).unwrap();
+        assert_eq!(cp.remove_entries(0, &[]).unwrap(), Vec::new());
+        cp.modify_entries(0, &[], Action::Drop).unwrap();
+        let report = cp
+            .install_ruleset(0, &RuleSet::new(2, 0), Action::Drop)
+            .unwrap();
+        assert_eq!(report.installed, 0);
+        assert_eq!(report.mean_latency(), Duration::ZERO);
+        cp.with_switch(|sw| assert_eq!(sw.stage(0).len(), 2));
+    }
+
+    #[test]
+    fn publish_pushes_snapshots_to_subscribed_cells() {
+        let cp = control_with_table(MatchKind::Ternary, 2, 16);
+        let cell = cp.attach_cell();
+        assert!(cell.load().entry_count() == 0);
+        cp.install_ruleset(0, &ruleset(), Action::Drop).unwrap();
+        // Not yet published: the cell still serves the old snapshot.
+        assert_eq!(cell.load().entry_count(), 0);
+        let report = cp.publish();
+        assert_eq!(report.subscribers, 1);
+        assert_eq!(report.entries, 2);
+        assert!(report.version > 0);
+        assert_eq!(cell.version(), report.version);
+        assert_eq!(cell.load().entry_count(), 2);
+        // Versions are strictly increasing across publishes.
+        let next = cp.publish();
+        assert!(next.version > report.version);
     }
 
     #[test]

@@ -45,14 +45,16 @@ pub mod action;
 pub mod control;
 pub mod key;
 pub mod parser;
+pub mod pipeline;
 pub mod resources;
 pub mod switch;
 pub mod table;
 
 pub use action::{Action, Verdict};
-pub use control::{ControlPlane, InstallReport};
+pub use control::{ControlPlane, InstallReport, PublishReport};
 pub use key::KeyLayout;
 pub use parser::ParserSpec;
+pub use pipeline::{PipelineCell, ReadPipeline};
 pub use resources::{SwitchResources, TableUsage};
-pub use switch::{RunStats, Switch, SwitchCounters};
+pub use switch::{compute_pps, RunStats, Switch, SwitchCounters};
 pub use table::{EntryHandle, MatchKind, MatchSpec, Table, TableError};

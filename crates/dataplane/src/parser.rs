@@ -179,7 +179,12 @@ impl ParserSpec {
         loop {
             // Defensive: a malformed graph could loop; each state may be
             // visited at most once per packet (parse graphs are DAGs).
-            if *visited.entry(state_idx).and_modify(|v| *v += 1).or_insert(1) > 1 {
+            if *visited
+                .entry(state_idx)
+                .and_modify(|v| *v += 1)
+                .or_insert(1)
+                > 1
+            {
                 return ParseOutcome {
                     accepted: false,
                     extracted: cursor,

@@ -1,0 +1,230 @@
+//! The shareable read path: an immutable snapshot of a switch's parser and
+//! match-action stages, plus the RCU-style cell that lets worker shards pick
+//! up new snapshots between batches without stalling on a lock.
+//!
+//! [`Switch::process`](crate::switch::Switch::process) mutates the switch
+//! (hit counters, per-switch counters), so it cannot be shared across
+//! threads without a write lock on the hot path. [`ReadPipeline`] splits
+//! that coupling: the match pipeline is frozen at snapshot time and matched
+//! with [`Table::peek`], while packet counters live in a caller-owned
+//! [`SwitchCounters`]. N shards can then share one snapshot through an
+//! `Arc` and their counters sum to exactly what a single switch replay
+//! would have produced.
+
+use crate::action::{Action, Verdict};
+use crate::parser::ParserSpec;
+use crate::switch::SwitchCounters;
+use crate::table::Table;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An immutable, shareable snapshot of a switch's forwarding behaviour.
+///
+/// Created with [`Switch::read_pipeline`](crate::switch::Switch::read_pipeline)
+/// or published by
+/// [`ControlPlane::publish`](crate::control::ControlPlane::publish).
+/// Table hit/miss counters are *not* updated on this path (the snapshot is
+/// frozen); packet-level counters go to the [`SwitchCounters`] handed to
+/// [`ReadPipeline::process_into`].
+#[derive(Debug, Clone)]
+pub struct ReadPipeline {
+    parser: ParserSpec,
+    stages: Vec<Table>,
+    default_port: u16,
+    version: u64,
+}
+
+impl ReadPipeline {
+    pub(crate) fn from_parts(
+        parser: ParserSpec,
+        stages: Vec<Table>,
+        default_port: u16,
+        version: u64,
+    ) -> Self {
+        ReadPipeline {
+            parser,
+            stages,
+            default_port,
+            version,
+        }
+    }
+
+    /// The ruleset version this snapshot was published as.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of match-action stages.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total installed entries across all stages.
+    pub fn entry_count(&self) -> usize {
+        self.stages.iter().map(Table::len).sum()
+    }
+
+    /// Processes one frame to a verdict, accumulating into `counters`.
+    ///
+    /// Semantics mirror [`Switch::process`](crate::switch::Switch::process)
+    /// exactly, so per-shard counters from this path sum to the totals a
+    /// single mutable switch would report for the same frames. `scratch` is
+    /// a reusable key buffer; it is resized per stage and never shrinks, so
+    /// the steady state allocates nothing.
+    pub fn process_into(
+        &self,
+        frame: &[u8],
+        counters: &mut SwitchCounters,
+        scratch: &mut Vec<u8>,
+    ) -> Verdict {
+        counters.received += 1;
+        if !self.parser.parse(frame).accepted {
+            counters.parser_rejected += 1;
+            return Verdict::ParserReject;
+        }
+        let mut out_port = self.default_port;
+        for table in &self.stages {
+            scratch.resize(table.key().width(), 0);
+            table.key().build_key_into(frame, scratch);
+            match table.peek(scratch) {
+                Action::Drop => {
+                    counters.dropped += 1;
+                    return Verdict::Drop;
+                }
+                Action::Forward(p) => out_port = p,
+                Action::Mirror(_) => counters.mirrored += 1,
+                Action::Count(c) => {
+                    let idx = c as usize;
+                    if counters.user.len() <= idx {
+                        counters.user.resize(idx + 1, 0);
+                    }
+                    counters.user[idx] += 1;
+                }
+                Action::NoOp => {}
+            }
+        }
+        counters.forwarded += 1;
+        Verdict::Forward(out_port)
+    }
+}
+
+/// An RCU-style publication point for [`ReadPipeline`] snapshots.
+///
+/// Readers poll [`PipelineCell::version`] (one atomic load) between batches
+/// and only take the read lock when the version actually moved, so a swap
+/// never stalls the forwarding path: workers finish their in-flight batch
+/// on the old snapshot and pick up the new one at the next batch boundary.
+#[derive(Debug)]
+pub struct PipelineCell {
+    version: AtomicU64,
+    current: RwLock<Arc<ReadPipeline>>,
+}
+
+impl PipelineCell {
+    /// Creates a cell holding `pipeline` as the current snapshot.
+    pub fn new(pipeline: ReadPipeline) -> Self {
+        PipelineCell {
+            version: AtomicU64::new(pipeline.version()),
+            current: RwLock::new(Arc::new(pipeline)),
+        }
+    }
+
+    /// The version of the current snapshot (one atomic load; the fast-path
+    /// check for workers).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Clones out the current snapshot.
+    pub fn load(&self) -> Arc<ReadPipeline> {
+        Arc::clone(&self.current.read())
+    }
+
+    /// Atomically replaces the current snapshot, returning its version.
+    pub fn publish(&self, pipeline: Arc<ReadPipeline>) -> u64 {
+        let version = pipeline.version();
+        *self.current.write() = pipeline;
+        // Bump the fast-path version only after the snapshot is visible, so
+        // a reader that observes the new version always loads the new
+        // snapshot.
+        self.version.store(version, Ordering::Release);
+        version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyLayout;
+    use crate::switch::Switch;
+    use crate::table::{MatchKind, MatchSpec};
+
+    fn switch_with_acl() -> Switch {
+        let mut sw = Switch::new("gw", ParserSpec::raw_window(8, 1), 1);
+        let mut acl = Table::new(
+            "acl",
+            MatchKind::Ternary,
+            KeyLayout::window(2),
+            64,
+            Action::NoOp,
+        );
+        acl.insert(
+            MatchSpec::Ternary {
+                value: vec![0xbb, 0x00],
+                mask: vec![0xff, 0x00],
+            },
+            Action::Drop,
+            1,
+        )
+        .unwrap();
+        sw.add_stage(acl);
+        sw
+    }
+
+    #[test]
+    fn read_pipeline_matches_switch_process() {
+        let mut sw = switch_with_acl();
+        let pipeline = sw.read_pipeline(1);
+        let frames: Vec<Vec<u8>> = (0..40u8)
+            .map(|i| vec![i.wrapping_mul(7), i, 0, 0])
+            .collect();
+        let mut counters = SwitchCounters::default();
+        let mut scratch = Vec::new();
+        for frame in &frames {
+            let a = sw.process(frame);
+            let b = pipeline.process_into(frame, &mut counters, &mut scratch);
+            assert_eq!(a, b);
+        }
+        assert_eq!(&counters, sw.counters());
+    }
+
+    #[test]
+    fn read_pipeline_is_frozen_at_snapshot_time() {
+        let mut sw = switch_with_acl();
+        let pipeline = sw.read_pipeline(1);
+        sw.stage_mut(0).clear();
+        // The snapshot still drops; the mutated switch no longer does.
+        let mut counters = SwitchCounters::default();
+        let mut scratch = Vec::new();
+        assert!(pipeline
+            .process_into(&[0xbb, 0, 0, 0], &mut counters, &mut scratch)
+            .is_drop());
+        assert!(!sw.process(&[0xbb, 0, 0, 0]).is_drop());
+        assert_eq!(pipeline.entry_count(), 1);
+    }
+
+    #[test]
+    fn cell_publish_bumps_version_and_swaps_snapshot() {
+        let mut sw = switch_with_acl();
+        let cell = PipelineCell::new(sw.read_pipeline(1));
+        assert_eq!(cell.version(), 1);
+        let old = cell.load();
+        sw.stage_mut(0).clear();
+        cell.publish(Arc::new(sw.read_pipeline(2)));
+        assert_eq!(cell.version(), 2);
+        assert_eq!(cell.load().entry_count(), 0);
+        // The old snapshot stays valid for readers still holding it.
+        assert_eq!(old.entry_count(), 1);
+    }
+}

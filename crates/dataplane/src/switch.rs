@@ -40,6 +40,16 @@ pub struct RunStats {
     pub pps: f64,
 }
 
+/// Throughput in packets per second, defined as 0 for empty or
+/// unmeasurably fast runs so serialized stats never carry `inf`/NaN.
+pub fn compute_pps(packets: usize, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if packets == 0 || secs <= 0.0 {
+        return 0.0;
+    }
+    packets as f64 / secs
+}
+
 impl fmt::Display for RunStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -172,7 +182,7 @@ impl Switch {
             packets,
             dropped,
             elapsed,
-            pps: packets as f64 / elapsed.as_secs_f64().max(1e-12),
+            pps: compute_pps(packets, elapsed),
         }
     }
 
@@ -192,8 +202,20 @@ impl Switch {
             packets,
             dropped,
             elapsed,
-            pps: packets as f64 / elapsed.as_secs_f64().max(1e-12),
+            pps: compute_pps(packets, elapsed),
         }
+    }
+
+    /// Freezes the current parser, stages and default port into a shareable
+    /// read-path snapshot tagged with `version`. See
+    /// [`ReadPipeline`](crate::pipeline::ReadPipeline).
+    pub fn read_pipeline(&self, version: u64) -> crate::pipeline::ReadPipeline {
+        crate::pipeline::ReadPipeline::from_parts(
+            self.parser.clone(),
+            self.stages.clone(),
+            self.default_port,
+            version,
+        )
     }
 }
 
@@ -270,8 +292,10 @@ mod tests {
             8,
             Action::NoOp,
         );
-        t.insert(MatchSpec::Exact(vec![1]), Action::Count(3), 0).unwrap();
-        t.insert(MatchSpec::Exact(vec![2]), Action::Mirror(7), 0).unwrap();
+        t.insert(MatchSpec::Exact(vec![1]), Action::Count(3), 0)
+            .unwrap();
+        t.insert(MatchSpec::Exact(vec![2]), Action::Mirror(7), 0)
+            .unwrap();
         sw.add_stage(t);
         sw.process(&[1]);
         sw.process(&[1]);
@@ -301,7 +325,8 @@ mod tests {
             8,
             Action::NoOp,
         );
-        deny.insert(MatchSpec::Exact(vec![9]), Action::Drop, 0).unwrap();
+        deny.insert(MatchSpec::Exact(vec![9]), Action::Drop, 0)
+            .unwrap();
         sw.add_stage(allow);
         sw.add_stage(deny);
         // The deny stage runs after allow and wins with Drop.
@@ -319,6 +344,20 @@ mod tests {
         assert_eq!(stats.dropped, 25);
         assert!(stats.pps > 0.0);
         assert!(stats.to_string().contains("100 packets"));
+    }
+
+    #[test]
+    fn pps_is_zero_for_degenerate_runs() {
+        assert_eq!(compute_pps(0, Duration::from_secs(1)), 0.0);
+        assert_eq!(compute_pps(100, Duration::ZERO), 0.0);
+        assert_eq!(compute_pps(100, Duration::from_secs(2)), 50.0);
+        // An empty replay must serialize finite numbers.
+        let mut sw = firewall_switch();
+        let stats = sw.run_frames(std::iter::empty());
+        assert_eq!(stats.pps, 0.0);
+        assert!(stats.pps.is_finite());
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(!json.contains("inf") && !json.contains("NaN"), "{json}");
     }
 
     #[test]

@@ -197,6 +197,13 @@ pub enum TableError {
     InvalidSpec(String),
     /// No entry with the given handle.
     NoSuchEntry(EntryHandle),
+    /// The pipeline has no stage with the given index.
+    NoSuchStage {
+        /// Requested stage index.
+        stage: usize,
+        /// Number of stages in the pipeline.
+        stages: usize,
+    },
 }
 
 impl fmt::Display for TableError {
@@ -207,10 +214,16 @@ impl fmt::Display for TableError {
                 write!(f, "match-kind mismatch: table is {table}, entry is {entry}")
             }
             TableError::WidthMismatch { table, entry } => {
-                write!(f, "key-width mismatch: table is {table} bytes, entry is {entry}")
+                write!(
+                    f,
+                    "key-width mismatch: table is {table} bytes, entry is {entry}"
+                )
             }
             TableError::InvalidSpec(m) => write!(f, "invalid match spec: {m}"),
             TableError::NoSuchEntry(h) => write!(f, "no entry with handle {}", h.0),
+            TableError::NoSuchStage { stage, stages } => {
+                write!(f, "no stage {stage} in a {stages}-stage pipeline")
+            }
         }
     }
 }
@@ -514,9 +527,13 @@ mod tests {
     #[test]
     fn capacity_is_enforced() {
         let mut t = Table::new("s", MatchKind::Exact, KeyLayout::window(1), 2, Action::NoOp);
-        t.insert(MatchSpec::Exact(vec![1]), Action::Drop, 0).unwrap();
-        t.insert(MatchSpec::Exact(vec![2]), Action::Drop, 0).unwrap();
-        let err = t.insert(MatchSpec::Exact(vec![3]), Action::Drop, 0).unwrap_err();
+        t.insert(MatchSpec::Exact(vec![1]), Action::Drop, 0)
+            .unwrap();
+        t.insert(MatchSpec::Exact(vec![2]), Action::Drop, 0)
+            .unwrap();
+        let err = t
+            .insert(MatchSpec::Exact(vec![3]), Action::Drop, 0)
+            .unwrap_err();
         assert_eq!(err, TableError::Full { capacity: 2 });
     }
 
@@ -570,7 +587,9 @@ mod tests {
     #[test]
     fn modify_and_clear() {
         let mut t = table(MatchKind::Exact, 1);
-        let h = t.insert(MatchSpec::Exact(vec![7]), Action::Drop, 0).unwrap();
+        let h = t
+            .insert(MatchSpec::Exact(vec![7]), Action::Drop, 0)
+            .unwrap();
         t.modify(h, Action::Forward(4)).unwrap();
         assert_eq!(t.lookup(&[7]), Action::Forward(4));
         t.clear();
@@ -581,7 +600,8 @@ mod tests {
     #[test]
     fn peek_has_no_side_effects() {
         let mut t = table(MatchKind::Exact, 1);
-        t.insert(MatchSpec::Exact(vec![7]), Action::Drop, 0).unwrap();
+        t.insert(MatchSpec::Exact(vec![7]), Action::Drop, 0)
+            .unwrap();
         assert_eq!(t.peek(&[7]), Action::Drop);
         assert_eq!(t.peek(&[8]), Action::NoOp);
         assert_eq!(t.entries()[0].hits, 0);

@@ -37,7 +37,11 @@ pub fn describe_offset_over_trace(trace: &Trace, offset: usize, samples: usize) 
 
 /// Describes every offset of a selection. Returns one string per offset, in
 /// selection order.
-pub fn describe_selection(selection: &FieldSelection, trace: &Trace, samples: usize) -> Vec<String> {
+pub fn describe_selection(
+    selection: &FieldSelection,
+    trace: &Trace,
+    samples: usize,
+) -> Vec<String> {
     selection
         .offsets
         .iter()
@@ -70,7 +74,10 @@ mod tests {
         let names = describe_selection(&sel, &trace, 200);
         assert_eq!(names.len(), 3);
         // ipv4.protocol sits at 23 for every untagged IPv4 frame.
-        assert!(names[0].contains("ipv4.protocol") || names[0].contains('%'), "{names:?}");
+        assert!(
+            names[0].contains("ipv4.protocol") || names[0].contains('%'),
+            "{names:?}"
+        );
     }
 
     #[test]

@@ -31,7 +31,13 @@ impl FieldSelection {
 
 impl fmt::Display for FieldSelection {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} fields via {}: {:?}", self.k(), self.strategy, self.offsets)
+        write!(
+            f,
+            "{} fields via {}: {:?}",
+            self.k(),
+            self.strategy,
+            self.offsets
+        )
     }
 }
 
@@ -142,12 +148,18 @@ pub fn select_fields(
             let model = model.expect("weight-magnitude selection needs the stage-1 model");
             Some(saliency::weight_magnitude_scores(model))
         }
-        SelectionStrategy::MutualInformation => {
-            Some(mutual_information_scores(bytes).iter().map(|&v| v as f32).collect())
-        }
-        SelectionStrategy::ChiSquared => {
-            Some(chi_squared_scores(bytes).iter().map(|&v| v as f32).collect())
-        }
+        SelectionStrategy::MutualInformation => Some(
+            mutual_information_scores(bytes)
+                .iter()
+                .map(|&v| v as f32)
+                .collect(),
+        ),
+        SelectionStrategy::ChiSquared => Some(
+            chi_squared_scores(bytes)
+                .iter()
+                .map(|&v| v as f32)
+                .collect(),
+        ),
         SelectionStrategy::Random | SelectionStrategy::FirstK => None,
     };
     let offsets = match strategy {

@@ -1,0 +1,237 @@
+//! The gateway runtime: N shard workers behind bounded frame queues, fed
+//! by flow-hash dispatch, serving the control plane's latest published
+//! ruleset snapshot.
+
+use crate::flow::shard_for;
+use crate::histogram::LatencyHistogram;
+use crate::shard::{run_shard, ShardStats};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Sender, TrySendError};
+use p4guard_dataplane::control::ControlPlane;
+use p4guard_dataplane::pipeline::PipelineCell;
+use p4guard_dataplane::switch::SwitchCounters;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Gateway sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatewayConfig {
+    /// Worker shards (≥ 1).
+    pub shards: usize,
+    /// Bounded per-shard queue depth; when full, non-blocking ingest drops
+    /// with a counter instead of growing without bound.
+    pub queue_capacity: usize,
+    /// Frames a shard drains per batch (the ruleset-swap granularity).
+    pub batch_size: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            shards: 2,
+            queue_capacity: 1024,
+            batch_size: 32,
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// A config with `shards` shards and default queue sizing.
+    pub fn with_shards(shards: usize) -> Self {
+        GatewayConfig {
+            shards,
+            ..Self::default()
+        }
+    }
+}
+
+/// Point-in-time view of the whole gateway: per-shard stats plus
+/// aggregates with the same semantics as a single-switch replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GatewaySnapshot {
+    /// Per-shard statistics, indexed by shard.
+    pub shards: Vec<ShardStats>,
+    /// Frames dropped at ingest because a shard queue was full.
+    pub dropped_backpressure: u64,
+    /// Ruleset version currently published to the shards.
+    pub version: u64,
+    /// Sum of all shard counters.
+    pub totals: SwitchCounters,
+    /// Merged forwarding-latency histogram.
+    pub latency: LatencyHistogram,
+}
+
+fn merge_counters(total: &mut SwitchCounters, c: &SwitchCounters) {
+    total.received += c.received;
+    total.forwarded += c.forwarded;
+    total.dropped += c.dropped;
+    total.parser_rejected += c.parser_rejected;
+    total.mirrored += c.mirrored;
+    if total.user.len() < c.user.len() {
+        total.user.resize(c.user.len(), 0);
+    }
+    for (t, u) in total.user.iter_mut().zip(&c.user) {
+        *t += u;
+    }
+}
+
+impl fmt::Display for GatewaySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "gateway: {} shards, ruleset v{}, {} received / {} forwarded / {} dropped ({} parser-rejected), {} backpressure drops",
+            self.shards.len(),
+            self.version,
+            self.totals.received,
+            self.totals.forwarded,
+            self.totals.dropped,
+            self.totals.parser_rejected,
+            self.dropped_backpressure,
+        )?;
+        writeln!(f, "latency: {}", self.latency)?;
+        for s in &self.shards {
+            writeln!(
+                f,
+                "  shard {}: {} frames in {} batches, {} swaps seen (v{})",
+                s.shard, s.processed, s.batches, s.swaps_seen, s.ruleset_version
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The online serving runtime. See the crate docs for the architecture.
+///
+/// Created with [`Gateway::start`]; frames enter through
+/// [`Gateway::offer`] (drop-on-full) or [`Gateway::dispatch`] (blocking);
+/// [`Gateway::finish`] drains the queues, joins the workers and returns
+/// the final [`GatewaySnapshot`].
+pub struct Gateway {
+    senders: Vec<Sender<Bytes>>,
+    workers: Vec<JoinHandle<()>>,
+    states: Vec<Arc<Mutex<ShardStats>>>,
+    ingest_drops: Vec<AtomicU64>,
+    cell: Arc<PipelineCell>,
+    config: GatewayConfig,
+}
+
+impl Gateway {
+    /// Spawns `config.shards` workers serving the control plane's current
+    /// pipeline, and subscribes the gateway to future
+    /// [`ControlPlane::publish`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` or `config.queue_capacity` is zero.
+    pub fn start(control: &ControlPlane, config: GatewayConfig) -> Gateway {
+        assert!(config.shards > 0, "gateway needs at least one shard");
+        assert!(config.queue_capacity > 0, "queue capacity must be nonzero");
+        let cell = control.attach_cell();
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        let mut states = Vec::with_capacity(config.shards);
+        let mut ingest_drops = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = bounded::<Bytes>(config.queue_capacity);
+            let state = Arc::new(Mutex::new(ShardStats {
+                shard,
+                ..ShardStats::default()
+            }));
+            let worker_cell = Arc::clone(&cell);
+            let worker_state = Arc::clone(&state);
+            let batch = config.batch_size.max(1);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("p4guard-shard-{shard}"))
+                    .spawn(move || run_shard(rx, worker_cell, worker_state, batch))
+                    .expect("spawn shard worker"),
+            );
+            senders.push(tx);
+            states.push(state);
+            ingest_drops.push(AtomicU64::new(0));
+        }
+        Gateway {
+            senders,
+            workers,
+            states,
+            ingest_drops,
+            cell,
+            config,
+        }
+    }
+
+    /// The gateway's sizing.
+    pub fn config(&self) -> GatewayConfig {
+        self.config
+    }
+
+    /// The publication cell the shards read from (for tests and manual
+    /// publication).
+    pub fn cell(&self) -> &Arc<PipelineCell> {
+        &self.cell
+    }
+
+    /// Shard index `frame` would be dispatched to.
+    pub fn shard_of(&self, frame: &[u8]) -> usize {
+        shard_for(frame, self.config.shards)
+    }
+
+    /// Non-blocking ingest: enqueues `frame` on its flow's shard, or drops
+    /// it (counted, reported in the snapshot) when that queue is full.
+    /// Returns `true` when the frame was enqueued.
+    pub fn offer(&self, frame: Bytes) -> bool {
+        let shard = self.shard_of(&frame);
+        match self.senders[shard].try_send(frame) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.ingest_drops[shard].fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Blocking ingest: waits for queue space instead of dropping. This is
+    /// the lossless path used by paced replay.
+    pub fn dispatch(&self, frame: Bytes) {
+        let shard = self.shard_of(&frame);
+        if self.senders[shard].send(frame).is_err() {
+            self.ingest_drops[shard].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Aggregates a live snapshot without stopping the workers.
+    pub fn snapshot(&self) -> GatewaySnapshot {
+        let shards: Vec<ShardStats> = self.states.iter().map(|s| s.lock().clone()).collect();
+        let mut totals = SwitchCounters::default();
+        let mut latency = LatencyHistogram::new();
+        for s in &shards {
+            merge_counters(&mut totals, &s.counters);
+            latency.merge(&s.latency);
+        }
+        GatewaySnapshot {
+            dropped_backpressure: self
+                .ingest_drops
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .sum(),
+            version: self.cell.version(),
+            totals,
+            latency,
+            shards,
+        }
+    }
+
+    /// Closes ingest, lets every shard drain its queue, joins the workers
+    /// and returns the final snapshot.
+    pub fn finish(mut self) -> GatewaySnapshot {
+        self.senders.clear(); // disconnects the channels; workers exit after draining
+        for worker in self.workers.drain(..) {
+            worker.join().expect("shard worker panicked");
+        }
+        self.snapshot()
+    }
+}

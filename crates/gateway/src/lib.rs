@@ -1,0 +1,41 @@
+//! # p4guard-gateway
+//!
+//! Online serving runtime for the p4guard data plane: wraps the software
+//! switch in a pool of worker shards so traces (or live traffic) can be
+//! replayed through the learned ruleset concurrently, while the control
+//! plane hot-swaps new rulesets underneath with zero forwarding stalls.
+//!
+//! ## Architecture
+//!
+//! - **Sharding** ([`flow`]): frames are dispatched to one of N workers by
+//!   an RSS-style FNV-1a hash of the IPv4 5-tuple, so all packets of one
+//!   flow land on the same shard and per-flow ordering is preserved.
+//! - **Bounded queues**: each shard drains a bounded `crossbeam` channel.
+//!   Under overload the gateway drops at ingest with a counter
+//!   ([`GatewaySnapshot::dropped_backpressure`]) — queues never grow
+//!   without bound.
+//! - **RCU-style hot swap**: workers process batches against a frozen
+//!   [`ReadPipeline`](p4guard_dataplane::pipeline::ReadPipeline) snapshot
+//!   and re-check the shared
+//!   [`PipelineCell`](p4guard_dataplane::pipeline::PipelineCell) version
+//!   (one atomic load) between batches. The control plane compiles the new
+//!   ruleset off to the side and publishes it with
+//!   [`ControlPlane::publish`](p4guard_dataplane::control::ControlPlane::publish);
+//!   no worker ever blocks on a rule update.
+//! - **Observability**: each shard keeps its own
+//!   [`SwitchCounters`](p4guard_dataplane::switch::SwitchCounters) and a
+//!   mergeable log-scale [`LatencyHistogram`]; [`Gateway::snapshot`]
+//!   aggregates them into one [`GatewaySnapshot`] whose totals match what a
+//!   single switch would have counted on the same frames.
+
+pub mod flow;
+pub mod gateway;
+pub mod histogram;
+pub mod replay;
+pub mod shard;
+
+pub use flow::{flow_hash, shard_for};
+pub use gateway::{Gateway, GatewayConfig, GatewaySnapshot};
+pub use histogram::LatencyHistogram;
+pub use replay::{replay, IngestMode, ReplayReport};
+pub use shard::ShardStats;

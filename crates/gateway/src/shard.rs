@@ -1,0 +1,83 @@
+//! The per-shard worker: drains a bounded frame queue in batches through
+//! the current [`ReadPipeline`] snapshot, refreshing the snapshot between
+//! batches when the control plane has published a new version.
+
+use crate::histogram::LatencyHistogram;
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+use p4guard_dataplane::pipeline::PipelineCell;
+use p4guard_dataplane::switch::SwitchCounters;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Live statistics of one shard, readable while the shard runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index within the gateway.
+    pub shard: usize,
+    /// Packet counters, same semantics as a single switch's counters.
+    pub counters: SwitchCounters,
+    /// Per-frame forwarding latency.
+    pub latency: LatencyHistogram,
+    /// Frames processed.
+    pub processed: u64,
+    /// Batches drained from the queue.
+    pub batches: u64,
+    /// Ruleset swaps this shard picked up.
+    pub swaps_seen: u64,
+    /// Version of the snapshot the shard last processed with.
+    pub ruleset_version: u64,
+}
+
+/// Runs one shard to queue exhaustion: blocks for the next frame, drains
+/// opportunistically up to `batch_size`, processes the batch against the
+/// cached snapshot, then checks the cell version once per batch.
+///
+/// The snapshot check is a single atomic load on the fast path, so a
+/// concurrent [`ControlPlane::publish`](p4guard_dataplane::control::ControlPlane::publish)
+/// never blocks frame processing — the new ruleset simply takes effect at
+/// the next batch boundary.
+pub(crate) fn run_shard(
+    rx: Receiver<Bytes>,
+    cell: Arc<PipelineCell>,
+    state: Arc<Mutex<ShardStats>>,
+    batch_size: usize,
+) {
+    let mut pipeline = cell.load();
+    let mut version = pipeline.version();
+    {
+        let mut st = state.lock();
+        st.ruleset_version = version;
+    }
+    let mut scratch: Vec<u8> = Vec::new();
+    let mut batch: Vec<Bytes> = Vec::with_capacity(batch_size);
+    while let Ok(first) = rx.recv() {
+        batch.push(first);
+        while batch.len() < batch_size {
+            match rx.try_recv() {
+                Ok(frame) => batch.push(frame),
+                Err(_) => break,
+            }
+        }
+        let published = cell.version();
+        let swapped = published != version;
+        if swapped {
+            pipeline = cell.load();
+            version = pipeline.version();
+        }
+        let mut st = state.lock();
+        if swapped {
+            st.swaps_seen += 1;
+            st.ruleset_version = version;
+        }
+        for frame in batch.drain(..) {
+            let t0 = Instant::now();
+            pipeline.process_into(&frame, &mut st.counters, &mut scratch);
+            st.latency.record(t0.elapsed());
+            st.processed += 1;
+        }
+        st.batches += 1;
+    }
+}

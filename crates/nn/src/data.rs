@@ -85,7 +85,10 @@ impl Standardizer {
 
     /// Returns a dataset with standardized features and unchanged labels.
     pub fn transform_dataset(&self, dataset: &Dataset) -> Dataset {
-        Dataset::new(self.transform(dataset.features()), dataset.labels().to_vec())
+        Dataset::new(
+            self.transform(dataset.features()),
+            dataset.labels().to_vec(),
+        )
     }
 }
 
@@ -204,7 +207,9 @@ impl Dataset {
         let minority = counts[0].min(counts[1]);
         let mut keep: Vec<usize> = Vec::with_capacity(minority * 2);
         for class in 0..2 {
-            let mut idx: Vec<usize> = (0..self.len()).filter(|&i| self.labels[i] == class).collect();
+            let mut idx: Vec<usize> = (0..self.len())
+                .filter(|&i| self.labels[i] == class)
+                .collect();
             idx.shuffle(rng);
             idx.truncate(minority);
             keep.extend(idx);

@@ -249,7 +249,7 @@ mod tests {
         });
         let analytic = analytic.expect("weights gradient produced");
         let eps = 1e-3f32;
-        for idx in 0..6 {
+        for (idx, &expected) in analytic.iter().enumerate().take(6) {
             let orig = layer.weights.data()[idx];
             layer.weights.data_mut()[idx] = orig + eps;
             let lp: f32 = layer.forward(&x).data().iter().sum();
@@ -258,9 +258,8 @@ mod tests {
             layer.weights.data_mut()[idx] = orig;
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
-                (numeric - analytic[idx]).abs() < 1e-2,
-                "weight {idx}: numeric {numeric} vs analytic {}",
-                analytic[idx]
+                (numeric - expected).abs() < 1e-2,
+                "weight {idx}: numeric {numeric} vs analytic {expected}",
             );
         }
     }

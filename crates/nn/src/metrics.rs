@@ -43,10 +43,7 @@ impl Confusion {
 
     /// Fraction classified correctly.
     pub fn accuracy(&self) -> f64 {
-        ratio(
-            self.true_positives + self.true_negatives,
-            self.total(),
-        )
+        ratio(self.true_positives + self.true_negatives, self.total())
     }
 
     /// Of predicted attacks, the fraction that are attacks.

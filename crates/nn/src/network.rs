@@ -74,7 +74,12 @@ impl Mlp {
             layers.push(layer);
             prev = h;
         }
-        layers.push(Dense::new(prev, config.num_classes, Activation::Linear, &mut rng));
+        layers.push(Dense::new(
+            prev,
+            config.num_classes,
+            Activation::Linear,
+            &mut rng,
+        ));
         Mlp {
             layers,
             config,

@@ -110,7 +110,12 @@ impl Optimizer for Adam {
         let t = self.step as f32;
         let bias1 = 1.0 - self.beta1.powf(t);
         let bias2 = 1.0 - self.beta2.powf(t);
-        for (((p, &g), m), v) in param.iter_mut().zip(grad).zip(m.iter_mut()).zip(v.iter_mut()) {
+        for (((p, &g), m), v) in param
+            .iter_mut()
+            .zip(grad)
+            .zip(m.iter_mut())
+            .zip(v.iter_mut())
+        {
             *m = self.beta1 * *m + (1.0 - self.beta1) * g;
             *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
             let m_hat = *m / bias1;

@@ -92,7 +92,9 @@ mod tests {
 
     #[test]
     fn verify_accepts_self_checksummed_buffer() {
-        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0];
+        let mut data = vec![
+            0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0,
+        ];
         let ck = internet_checksum(&data);
         data[10..12].copy_from_slice(&ck.to_be_bytes());
         assert!(verify(&data));

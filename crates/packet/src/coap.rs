@@ -292,7 +292,11 @@ mod tests {
 
     #[test]
     fn round_trip_get() {
-        round_trip(CoapMessage::get(0x1234, vec![0xde, 0xad], &["sensors", "temp"]));
+        round_trip(CoapMessage::get(
+            0x1234,
+            vec![0xde, 0xad],
+            &["sensors", "temp"],
+        ));
     }
 
     #[test]

@@ -115,7 +115,7 @@ mod tests {
 
     #[test]
     fn trace_io_error_from_io() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e = TraceIoError::from(io);
         assert!(e.to_string().contains("boom"));
     }

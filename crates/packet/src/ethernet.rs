@@ -188,11 +188,7 @@ mod tests {
     use super::*;
 
     fn sample() -> EthernetHeader {
-        EthernetHeader::new(
-            MacAddr::from_id(1),
-            MacAddr::from_id(2),
-            EtherType::Ipv4,
-        )
+        EthernetHeader::new(MacAddr::from_id(1), MacAddr::from_id(2), EtherType::Ipv4)
     }
 
     #[test]

@@ -75,9 +75,8 @@ impl Ipv6Header {
 
     /// Appends the encoded header to `out`.
     pub fn encode(&self, out: &mut Vec<u8>) {
-        let first = (6u32 << 28)
-            | (u32::from(self.traffic_class) << 20)
-            | (self.flow_label & 0x000f_ffff);
+        let first =
+            (6u32 << 28) | (u32::from(self.traffic_class) << 20) | (self.flow_label & 0x000f_ffff);
         wire::put_u32(out, first);
         wire::put_u16(out, self.payload_len);
         out.push(self.next_header.as_u8());

@@ -67,4 +67,4 @@ pub mod zwire;
 pub use addr::MacAddr;
 pub use error::ParseError;
 pub use packet::{parse, Application, PacketBuilder, ParsedPacket, ProtocolTag, Transport};
-pub use trace::{AttackFamily, Label, Record, Trace};
+pub use trace::{AttackFamily, Label, Record, Trace, TraceReader};

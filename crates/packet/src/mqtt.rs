@@ -296,8 +296,8 @@ fn get_string(buf: &[u8], what: &'static str) -> Result<(String, usize), ParseEr
     let bytes = buf
         .get(2..end)
         .ok_or_else(|| ParseError::truncated(what, end, buf.len()))?;
-    let s = std::str::from_utf8(bytes)
-        .map_err(|_| ParseError::invalid(what, "string is not utf-8"))?;
+    let s =
+        std::str::from_utf8(bytes).map_err(|_| ParseError::invalid(what, "string is not utf-8"))?;
     Ok((s.to_owned(), end))
 }
 

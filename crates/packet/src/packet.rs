@@ -223,10 +223,7 @@ pub fn parse(buf: &[u8]) -> Result<ParsedPacket, ParseError> {
             if usize::from(ip.total_len) < ip_len {
                 return Err(ParseError::invalid(
                     "ipv4 header",
-                    format!(
-                        "total length {} below header length {ip_len}",
-                        ip.total_len
-                    ),
+                    format!("total length {} below header length {ip_len}", ip.total_len),
                 ));
             }
             at += ip_len;
@@ -396,13 +393,7 @@ impl PacketBuilder {
     }
 
     /// Builds a TCP segment inside IPv4 inside Ethernet.
-    pub fn tcp(
-        &self,
-        src: Ipv4Addr,
-        dst: Ipv4Addr,
-        tcp: TcpHeader,
-        payload: &[u8],
-    ) -> Bytes {
+    pub fn tcp(&self, src: Ipv4Addr, dst: Ipv4Addr, tcp: TcpHeader, payload: &[u8]) -> Bytes {
         let mut seg = Vec::with_capacity(crate::tcp::HEADER_LEN + payload.len());
         tcp.encode_with_payload(src, dst, payload, &mut seg);
         self.ip_frame(src, dst, IpProtocol::Tcp, &seg)
@@ -529,7 +520,10 @@ mod tests {
         let frame = builder().tcp(src, dst, hdr, &publish.encode());
         let p = parse(&frame).unwrap();
         assert_eq!(p.protocol(), ProtocolTag::Mqtt);
-        assert!(matches!(p.app, Some(Application::Mqtt(MqttPacket::Publish { .. }))));
+        assert!(matches!(
+            p.app,
+            Some(Application::Mqtt(MqttPacket::Publish { .. }))
+        ));
     }
 
     #[test]

@@ -230,55 +230,13 @@ impl Trace {
         Ok(())
     }
 
-    /// Reads a trace from `reader`.
+    /// Reads a trace from `reader` by draining a [`TraceReader`].
     ///
     /// # Errors
     ///
     /// Returns an error on I/O failure or a malformed file.
-    pub fn read_from<R: Read>(mut reader: R) -> Result<Self, TraceIoError> {
-        let mut magic = [0u8; 4];
-        reader.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(TraceIoError::Format("bad magic".into()));
-        }
-        let mut version = [0u8; 1];
-        reader.read_exact(&mut version)?;
-        if version[0] != FORMAT_VERSION {
-            return Err(TraceIoError::Format(format!(
-                "unsupported format version {}",
-                version[0]
-            )));
-        }
-        let mut count_bytes = [0u8; 8];
-        reader.read_exact(&mut count_bytes)?;
-        let count = u64::from_le_bytes(count_bytes) as usize;
-        let mut records = Vec::with_capacity(count.min(1 << 20));
-        for _ in 0..count {
-            let mut ts = [0u8; 8];
-            reader.read_exact(&mut ts)?;
-            let mut flow = [0u8; 8];
-            reader.read_exact(&mut flow)?;
-            let mut label_code = [0u8; 1];
-            reader.read_exact(&mut label_code)?;
-            let label = if label_code[0] == 0 {
-                Label::Benign
-            } else {
-                Label::Attack(AttackFamily::from_code(label_code[0]).ok_or_else(|| {
-                    TraceIoError::Format(format!("unknown attack code {}", label_code[0]))
-                })?)
-            };
-            let mut len = [0u8; 4];
-            reader.read_exact(&mut len)?;
-            let mut frame = vec![0u8; u32::from_le_bytes(len) as usize];
-            reader.read_exact(&mut frame)?;
-            records.push(Record {
-                timestamp_us: u64::from_le_bytes(ts),
-                flow_id: u64::from_le_bytes(flow),
-                label,
-                frame: Bytes::from(frame),
-            });
-        }
-        Ok(Trace { records })
+    pub fn read_from<R: Read>(reader: R) -> Result<Self, TraceIoError> {
+        TraceReader::new(reader)?.collect()
     }
 
     /// Saves the trace to a file. See [`Trace::write_to`].
@@ -299,6 +257,129 @@ impl Trace {
     pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceIoError> {
         let file = std::fs::File::open(path)?;
         Self::read_from(std::io::BufReader::new(file))
+    }
+}
+
+/// A streaming reader over the `P4GT` format: yields one [`Record`] at a
+/// time instead of slurping the whole trace into memory. This is the
+/// ingestion path for serving runtimes that replay multi-gigabyte traces.
+///
+/// The header is validated eagerly in [`TraceReader::new`]; records are
+/// decoded lazily as the iterator is driven. After the declared record
+/// count has been yielded the iterator fuses to `None`.
+#[derive(Debug)]
+pub struct TraceReader<R> {
+    reader: R,
+    remaining: u64,
+    total: u64,
+}
+
+impl TraceReader<std::io::BufReader<std::fs::File>> {
+    /// Opens a trace file for streaming.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the file cannot be opened or the header is
+    /// malformed.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceIoError> {
+        let file = std::fs::File::open(path)?;
+        Self::new(std::io::BufReader::new(file))
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wraps a reader, consuming and validating the `P4GT` header.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure, bad magic, or an unsupported
+    /// format version.
+    pub fn new(mut reader: R) -> Result<Self, TraceIoError> {
+        let mut magic = [0u8; 4];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(TraceIoError::Format("bad magic".into()));
+        }
+        let mut version = [0u8; 1];
+        reader.read_exact(&mut version)?;
+        if version[0] != FORMAT_VERSION {
+            return Err(TraceIoError::Format(format!(
+                "unsupported format version {}",
+                version[0]
+            )));
+        }
+        let mut count_bytes = [0u8; 8];
+        reader.read_exact(&mut count_bytes)?;
+        let total = u64::from_le_bytes(count_bytes);
+        Ok(TraceReader {
+            reader,
+            remaining: total,
+            total,
+        })
+    }
+
+    /// Records declared by the header.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Records not yet yielded.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    fn read_record(&mut self) -> Result<Record, TraceIoError> {
+        let mut ts = [0u8; 8];
+        self.reader.read_exact(&mut ts)?;
+        let mut flow = [0u8; 8];
+        self.reader.read_exact(&mut flow)?;
+        let mut label_code = [0u8; 1];
+        self.reader.read_exact(&mut label_code)?;
+        let label = if label_code[0] == 0 {
+            Label::Benign
+        } else {
+            Label::Attack(AttackFamily::from_code(label_code[0]).ok_or_else(|| {
+                TraceIoError::Format(format!("unknown attack code {}", label_code[0]))
+            })?)
+        };
+        let mut len = [0u8; 4];
+        self.reader.read_exact(&mut len)?;
+        let mut frame = vec![0u8; u32::from_le_bytes(len) as usize];
+        self.reader.read_exact(&mut frame)?;
+        Ok(Record {
+            timestamp_us: u64::from_le_bytes(ts),
+            flow_id: u64::from_le_bytes(flow),
+            label,
+            frame: Bytes::from(frame),
+        })
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<Record, TraceIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        match self.read_record() {
+            Ok(record) => {
+                self.remaining -= 1;
+                Some(Ok(record))
+            }
+            Err(e) => {
+                // A decode error poisons the stream: stop yielding rather
+                // than resynchronise mid-record.
+                self.remaining = 0;
+                Some(Err(e))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        // The header-declared count is an upper bound; a truncated file
+        // yields fewer records.
+        (0, usize::try_from(self.remaining).ok())
     }
 }
 
@@ -401,6 +482,57 @@ mod tests {
         // Label byte sits after magic(4)+ver(1)+count(8)+ts(8)+flow(8).
         buf[29] = 200;
         assert!(Trace::read_from(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn streaming_reader_yields_records_lazily() {
+        let mut t = Trace::new();
+        for i in 0..20 {
+            t.push(record(i, Label::Benign));
+        }
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        assert_eq!(reader.total(), 20);
+        assert_eq!(reader.remaining(), 20);
+        let first = reader.next().unwrap().unwrap();
+        assert_eq!(first.timestamp_us, 0);
+        assert_eq!(reader.remaining(), 19);
+        let rest: Result<Vec<Record>, _> = reader.collect();
+        assert_eq!(rest.unwrap().len(), 19);
+    }
+
+    #[test]
+    fn streaming_reader_stops_after_decode_error() {
+        let mut t = Trace::new();
+        t.push(record(1, Label::Benign));
+        t.push(record(2, Label::Benign));
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        buf[29] = 200; // corrupt the first record's label byte
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        assert!(reader.next().unwrap().is_err());
+        assert!(reader.next().is_none(), "stream fuses after an error");
+    }
+
+    #[test]
+    fn streaming_reader_matches_batch_load() {
+        let mut t = Trace::new();
+        for i in 0..10 {
+            let label = if i % 3 == 0 {
+                Label::Attack(AttackFamily::UdpFlood)
+            } else {
+                Label::Benign
+            };
+            t.push(record(i, label));
+        }
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let streamed: Trace = TraceReader::new(buf.as_slice())
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, t);
     }
 
     #[test]

@@ -246,7 +246,14 @@ mod tests {
 
     #[test]
     fn empty_payload_round_trip() {
-        let frame = ZWireFrame::new(ZWireType::Beacon, 1, 2, ZWireFrame::BROADCAST_NODE, 0, vec![]);
+        let frame = ZWireFrame::new(
+            ZWireType::Beacon,
+            1,
+            2,
+            ZWireFrame::BROADCAST_NODE,
+            0,
+            vec![],
+        );
         let bytes = frame.encode();
         let (decoded, _) = ZWireFrame::decode(&bytes).unwrap();
         assert_eq!(decoded, frame);

@@ -156,7 +156,12 @@ fn expand_path(
                     reached: *entries_raw,
                 });
             }
-            ruleset.push(TernaryEntry::new(value, mask, config.compile_class, priority));
+            ruleset.push(TernaryEntry::new(
+                value,
+                mask,
+                config.compile_class,
+                priority,
+            ));
             continue;
         }
         for prefix in &per_field[field] {

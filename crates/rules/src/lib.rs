@@ -34,6 +34,6 @@ pub mod ternary;
 pub mod tree;
 
 pub use compile::{compile_tree, CompileConfig, CompileStats, CompiledRules, TooManyEntries};
-pub use ruleset::RuleSet;
+pub use ruleset::{RuleSet, RuleSetDiff};
 pub use ternary::{range_to_prefixes, BytePrefix, TernaryEntry};
 pub use tree::{DecisionTree, Node, SplitCriterion, TreeConfig, TreePath};

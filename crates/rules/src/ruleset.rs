@@ -147,9 +147,8 @@ impl RuleSet {
                                 new_mask[byte_idx] &= !b;
                                 let mut new_value = value.clone();
                                 new_value[byte_idx] &= new_mask[byte_idx];
-                                next_entries.push(TernaryEntry::new(
-                                    new_value, new_mask, class, priority,
-                                ));
+                                next_entries
+                                    .push(TernaryEntry::new(new_value, new_mask, class, priority));
                                 consumed.insert(value.clone());
                                 consumed.insert(partner);
                                 merged = true;
@@ -174,7 +173,7 @@ impl RuleSet {
             merges += merged_this_round;
             // Restore priority ordering (stable across equal priorities by
             // the deterministic group iteration).
-            next_entries.sort_by(|a, b| b.priority.cmp(&a.priority));
+            next_entries.sort_by_key(|e| std::cmp::Reverse(e.priority));
             self.entries = next_entries;
         }
     }
@@ -184,6 +183,64 @@ impl RuleSet {
         let merged = self.merge_siblings();
         let shadowed = self.remove_shadowed();
         (merged, shadowed)
+    }
+
+    /// Computes the entry-level difference from `self` to `next`: what a
+    /// hot swap replacing this rule set with `next` adds and removes.
+    ///
+    /// Entries are compared as multisets of `(value, mask, class,
+    /// priority)` — order does not matter, duplicates count. Swap reports
+    /// use this to tell operators what actually changed in the data plane.
+    pub fn diff(&self, next: &RuleSet) -> RuleSetDiff {
+        use std::collections::BTreeMap;
+        type Key = (Vec<u8>, Vec<u8>, usize, i32);
+        let key = |e: &TernaryEntry| (e.value.clone(), e.mask.clone(), e.class, e.priority);
+        let mut counts: BTreeMap<Key, i64> = BTreeMap::new();
+        for e in &self.entries {
+            *counts.entry(key(e)).or_insert(0) -= 1;
+        }
+        for e in &next.entries {
+            *counts.entry(key(e)).or_insert(0) += 1;
+        }
+        let mut diff = RuleSetDiff::default();
+        for ((value, mask, class, priority), n) in counts {
+            let entry = TernaryEntry::new(value, mask, class, priority);
+            for _ in 0..n.abs() {
+                if n > 0 {
+                    diff.added.push(entry.clone());
+                } else {
+                    diff.removed.push(entry.clone());
+                }
+            }
+        }
+        diff
+    }
+}
+
+/// The entry-level change between two rule sets (see [`RuleSet::diff`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleSetDiff {
+    /// Entries present in the new rule set but not the old.
+    pub added: Vec<TernaryEntry>,
+    /// Entries present in the old rule set but not the new.
+    pub removed: Vec<TernaryEntry>,
+}
+
+impl RuleSetDiff {
+    /// Returns `true` when the rule sets hold the same entries.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total entries touched by the swap.
+    pub fn churn(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+}
+
+impl fmt::Display for RuleSetDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "+{} -{} entries", self.added.len(), self.removed.len())
     }
 }
 
@@ -297,6 +354,35 @@ mod tests {
     fn wrong_width_entry_panics() {
         let mut rs = RuleSet::new(2, 0);
         rs.push(entry(0x00, 0xff, 1, 0));
+    }
+
+    #[test]
+    fn diff_reports_added_and_removed() {
+        let mut old = RuleSet::new(1, 0);
+        old.push(entry(0x01, 0xff, 1, 5));
+        old.push(entry(0x02, 0xff, 1, 5));
+        let mut new = RuleSet::new(1, 0);
+        new.push(entry(0x02, 0xff, 1, 5)); // kept
+        new.push(entry(0x03, 0xff, 2, 7)); // added
+        let diff = old.diff(&new);
+        assert_eq!(diff.added.len(), 1);
+        assert_eq!(diff.removed.len(), 1);
+        assert_eq!(diff.added[0].value, vec![0x03]);
+        assert_eq!(diff.removed[0].value, vec![0x01]);
+        assert_eq!(diff.churn(), 2);
+        assert_eq!(diff.to_string(), "+1 -1 entries");
+        // Identical sets (order-insensitive) diff to empty.
+        let mut reordered = RuleSet::new(1, 0);
+        reordered.push(entry(0x02, 0xff, 1, 5));
+        reordered.push(entry(0x01, 0xff, 1, 5));
+        assert!(old.diff(&reordered).is_empty());
+        // Duplicates count as a multiset.
+        let mut doubled = RuleSet::new(1, 0);
+        doubled.push(entry(0x01, 0xff, 1, 5));
+        doubled.push(entry(0x01, 0xff, 1, 5));
+        let d = old.diff(&doubled);
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.removed.len(), 1);
     }
 
     #[test]

@@ -149,7 +149,9 @@ mod tests {
     use super::*;
 
     fn covered_set(prefixes: &[BytePrefix]) -> Vec<u8> {
-        (0..=255u8).filter(|&v| prefixes.iter().any(|p| p.contains(v))).collect()
+        (0..=255u8)
+            .filter(|&v| prefixes.iter().any(|p| p.contains(v)))
+            .collect()
     }
 
     #[test]
@@ -169,7 +171,14 @@ mod tests {
 
     #[test]
     fn expansion_covers_exactly_the_range() {
-        for (lo, hi) in [(0u8, 100u8), (1, 254), (13, 200), (128, 255), (0, 127), (37, 42)] {
+        for (lo, hi) in [
+            (0u8, 100u8),
+            (1, 254),
+            (13, 200),
+            (128, 255),
+            (0, 127),
+            (37, 42),
+        ] {
             let prefixes = range_to_prefixes(lo, hi);
             let covered = covered_set(&prefixes);
             let expected: Vec<u8> = (lo..=hi).collect();
@@ -190,7 +199,7 @@ mod tests {
         for lo in 0..=255u8 {
             for hi in lo..=255u8 {
                 // Spot-check the bound holds on a sparse grid.
-                if (lo as usize + hi as usize) % 37 == 0 {
+                if (lo as usize + hi as usize).is_multiple_of(37) {
                     assert!(range_to_prefixes(lo, hi).len() <= MAX_PREFIXES_PER_BYTE);
                 }
             }

@@ -116,7 +116,10 @@ impl TreePath {
     /// Number of features actually constrained (range narrower than the
     /// full byte).
     pub fn constrained_fields(&self) -> usize {
-        self.ranges.iter().filter(|&&(lo, hi)| lo > 0 || hi < 255).count()
+        self.ranges
+            .iter()
+            .filter(|&&(lo, hi)| lo > 0 || hi < 255)
+            .count()
     }
 }
 
@@ -385,9 +388,9 @@ fn best_split(
             histogram[v][labels[i as usize]] += 1;
         }
         let mut left = [0usize; 2];
-        for threshold in 0..255usize {
-            left[0] += histogram[threshold][0];
-            left[1] += histogram[threshold][1];
+        for (threshold, counts) in histogram.iter().enumerate().take(255) {
+            left[0] += counts[0];
+            left[1] += counts[1];
             let left_n = left[0] + left[1];
             if left_n == 0 {
                 continue;
@@ -400,7 +403,7 @@ fn best_split(
             let gain = parent_impurity
                 - (left_n as f64 / total as f64) * config.criterion.impurity(&left)
                 - (right_n as f64 / total as f64) * config.criterion.impurity(&right);
-            if gain > 1e-9 && best.map_or(true, |(_, _, g)| gain > g) {
+            if gain > 1e-9 && best.is_none_or(|(_, _, g)| gain > g) {
                 best = Some((feature, threshold as u8, gain));
             }
         }

@@ -98,7 +98,9 @@ pub struct BruteForce {
 
 impl Default for BruteForce {
     fn default() -> Self {
-        BruteForce { attempts_per_s: 4.0 }
+        BruteForce {
+            attempts_per_s: 4.0,
+        }
     }
 }
 
@@ -114,8 +116,14 @@ impl BruteForce {
         rng: &mut impl Rng,
     ) {
         const CREDENTIALS: &[&str] = &[
-            "root:xc3511", "root:vizxv", "admin:admin", "root:888888", "support:support",
-            "root:default", "admin:password", "user:user",
+            "root:xc3511",
+            "root:vizxv",
+            "admin:admin",
+            "root:888888",
+            "support:support",
+            "root:default",
+            "admin:password",
+            "user:user",
         ];
         let label = Label::Attack(AttackFamily::BruteForce);
         let mut t = start_s;
@@ -330,6 +338,7 @@ impl Default for CoapAmplification {
 impl CoapAmplification {
     /// Emits request/response pairs: `attacker` spoofs `victim` toward
     /// `reflector` (a CoAP sensor).
+    #[allow(clippy::too_many_arguments)]
     pub fn emit(
         &self,
         trace: &mut Trace,
@@ -357,7 +366,13 @@ impl CoapAmplification {
             push(
                 trace,
                 t,
-                a2r.udp(victim.ip, reflector.ip, coap::PORT, coap::PORT, &req.encode()),
+                a2r.udp(
+                    victim.ip,
+                    reflector.ip,
+                    coap::PORT,
+                    coap::PORT,
+                    &req.encode(),
+                ),
                 label,
                 flow_id(victim.ip, reflector.ip, 17, coap::PORT, coap::PORT),
             );
@@ -377,7 +392,13 @@ impl CoapAmplification {
             push(
                 trace,
                 t + 0.002,
-                r2v.udp(reflector.ip, victim.ip, coap::PORT, coap::PORT, &resp.encode()),
+                r2v.udp(
+                    reflector.ip,
+                    victim.ip,
+                    coap::PORT,
+                    coap::PORT,
+                    &resp.encode(),
+                ),
                 label,
                 flow_id(reflector.ip, victim.ip, 17, coap::PORT, coap::PORT),
             );
@@ -555,6 +576,7 @@ impl Default for ZWireHijack {
 impl ZWireHijack {
     /// Emits injected frames from `rogue` (any LAN NIC) into the mesh whose
     /// legitimate home id is `home_id`; targets `target` devices.
+    #[allow(clippy::too_many_arguments)]
     pub fn emit(
         &self,
         trace: &mut Trace,
@@ -680,8 +702,11 @@ mod tests {
         let mut connects = 0;
         for r in trace.iter() {
             let p = parse(&r.frame).unwrap();
-            if let Some(Application::Mqtt(MqttPacket::Connect { keep_alive, client_id, .. })) =
-                &p.app
+            if let Some(Application::Mqtt(MqttPacket::Connect {
+                keep_alive,
+                client_id,
+                ..
+            })) = &p.app
             {
                 assert_eq!(*keep_alive, 0);
                 assert_eq!(client_id.len(), 16);
@@ -699,9 +724,8 @@ mod tests {
         let victim = f.of_kind(DeviceKind::Camera)[0];
         let mut trace = Trace::new();
         let mut rng = StdRng::seed_from_u64(5);
-        CoapAmplification::default().emit(
-            &mut trace, attacker, reflector, victim, 0.0, 1.0, &mut rng,
-        );
+        CoapAmplification::default()
+            .emit(&mut trace, attacker, reflector, victim, 0.0, 1.0, &mut rng);
         let mut req_len = 0usize;
         let mut resp_len = 0usize;
         for r in trace.iter() {
@@ -811,8 +835,22 @@ mod tests {
         let attacker = f.of_kind(DeviceKind::SmartPlug)[0];
         let mut a = Trace::new();
         let mut b = Trace::new();
-        SynFlood::default().emit(&mut a, attacker, f.broker(), 0.0, 1.0, &mut StdRng::seed_from_u64(11));
-        SynFlood::default().emit(&mut b, attacker, f.broker(), 0.0, 1.0, &mut StdRng::seed_from_u64(11));
+        SynFlood::default().emit(
+            &mut a,
+            attacker,
+            f.broker(),
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(11),
+        );
+        SynFlood::default().emit(
+            &mut b,
+            attacker,
+            f.broker(),
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(11),
+        );
         assert_eq!(a, b);
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::device::Device;
 use crate::util::{ephemeral_port, flow_id, jittered, secs, zwire_flow_id};
+use bytes::Bytes;
 use p4guard_packet::arp::ArpHeader;
 use p4guard_packet::coap::CoapMessage;
 use p4guard_packet::dns::DnsMessage;
@@ -18,7 +19,6 @@ use p4guard_packet::tcp::{TcpFlags, TcpHeader};
 use p4guard_packet::trace::{Label, Record, Trace};
 use p4guard_packet::zwire::{ZWireFrame, ZWireType};
 use p4guard_packet::{mqtt, PacketBuilder};
-use bytes::Bytes;
 use rand::Rng;
 
 /// Pushes one benign record.
@@ -301,8 +301,20 @@ impl CoapPolling {
         let client_port = ephemeral_port(rng);
         let g2s = builder(gateway, sensor);
         let s2g = builder(sensor, gateway);
-        let flow_req = flow_id(gateway.ip, sensor.ip, 17, client_port, p4guard_packet::coap::PORT);
-        let flow_resp = flow_id(sensor.ip, gateway.ip, 17, p4guard_packet::coap::PORT, client_port);
+        let flow_req = flow_id(
+            gateway.ip,
+            sensor.ip,
+            17,
+            client_port,
+            p4guard_packet::coap::PORT,
+        );
+        let flow_resp = flow_id(
+            sensor.ip,
+            gateway.ip,
+            17,
+            p4guard_packet::coap::PORT,
+            client_port,
+        );
         let mut t = start_s + rng.gen::<f64>() * self.poll_interval_s;
         let mut message_id: u16 = rng.gen();
         while t < end_s {
@@ -386,7 +398,13 @@ impl DnsLookups {
             push(
                 trace,
                 t,
-                d2s.udp(device.ip, dns.ip, sport, p4guard_packet::dns::PORT, &query.encode()),
+                d2s.udp(
+                    device.ip,
+                    dns.ip,
+                    sport,
+                    p4guard_packet::dns::PORT,
+                    &query.encode(),
+                ),
                 label,
                 flow_id(device.ip, dns.ip, 17, sport, p4guard_packet::dns::PORT),
             );
@@ -395,13 +413,33 @@ impl DnsLookups {
             resp.ancount = 1;
             // Minimal A-record answer with a name pointer.
             resp.answer_bytes = vec![
-                0xc0, 0x0c, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x3c, 0x00, 0x04, 203, 0,
-                113, rng.gen(),
+                0xc0,
+                0x0c,
+                0x00,
+                0x01,
+                0x00,
+                0x01,
+                0x00,
+                0x00,
+                0x00,
+                0x3c,
+                0x00,
+                0x04,
+                203,
+                0,
+                113,
+                rng.gen(),
             ];
             push(
                 trace,
                 t + 0.006,
-                s2d.udp(dns.ip, device.ip, p4guard_packet::dns::PORT, sport, &resp.encode()),
+                s2d.udp(
+                    dns.ip,
+                    device.ip,
+                    p4guard_packet::dns::PORT,
+                    sport,
+                    &resp.encode(),
+                ),
                 label,
                 flow_id(dns.ip, device.ip, 17, p4guard_packet::dns::PORT, sport),
             );
@@ -596,6 +634,7 @@ impl ZWireChatter {
     /// # Panics
     ///
     /// Panics if either device lacks a ZWire node id.
+    #[allow(clippy::too_many_arguments)]
     pub fn emit(
         &self,
         trace: &mut Trace,
@@ -768,7 +807,13 @@ impl PingSweep {
         let mut seqno = 1u16;
         while t < end_s {
             let req = IcmpHeader::echo_request(0x4242, seqno);
-            push(trace, t, g2d.icmp(gateway.ip, device.ip, req, b"p4guard-ping"), label, flow);
+            push(
+                trace,
+                t,
+                g2d.icmp(gateway.ip, device.ip, req, b"p4guard-ping"),
+                label,
+                flow,
+            );
             let reply = IcmpHeader {
                 icmp_type: p4guard_packet::icmp::TYPE_ECHO_REPLY,
                 code: 0,
@@ -814,7 +859,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         MqttTelemetry::default().emit(&mut trace, dev, f.broker(), 0.0, 60.0, &mut rng);
         let tags = protocols(&trace);
-        assert!(tags.iter().any(|t| *t == ProtocolTag::Mqtt));
+        assert!(tags.contains(&ProtocolTag::Mqtt));
         assert!(trace.iter().all(|r| !r.label.is_attack()));
         assert!(trace.len() > 15);
     }
@@ -849,7 +894,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         ModbusPolling::default().emit(&mut trace, f.gateway(), plc, 0.0, 30.0, &mut rng);
         let tags = protocols(&trace);
-        assert!(tags.iter().any(|t| *t == ProtocolTag::Modbus));
+        assert!(tags.contains(&ProtocolTag::Modbus));
     }
 
     #[test]

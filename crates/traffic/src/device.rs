@@ -111,10 +111,10 @@ impl Fleet {
         let mut next_host = 10u8;
         let mut next_zwire_node = 2u8;
         let push = |kind: DeviceKind,
-                        host: u8,
-                        zwire_node: Option<u8>,
-                        devices: &mut Vec<Device>,
-                        next_id: &mut u32| {
+                    host: u8,
+                    zwire_node: Option<u8>,
+                    devices: &mut Vec<Device>,
+                    next_id: &mut u32| {
             devices.push(Device {
                 id: *next_id,
                 kind,

@@ -120,10 +120,25 @@ impl Scenario {
         recurring(AttackFamily::SynFlood, (60.0, 72.0), (150.0, 162.0), 0.1);
         recurring(AttackFamily::UdpFlood, (80.0, 95.0), (160.0, 175.0), 0.1);
         recurring(AttackFamily::MqttFlood, (40.0, 60.0), (115.0, 135.0), 0.18);
-        recurring(AttackFamily::CoapAmplification, (55.0, 75.0), (130.0, 150.0), 0.25);
+        recurring(
+            AttackFamily::CoapAmplification,
+            (55.0, 75.0),
+            (130.0, 150.0),
+            0.25,
+        );
         recurring(AttackFamily::DnsTunnel, (60.0, 100.0), (110.0, 150.0), 0.18);
-        recurring(AttackFamily::ModbusAbuse, (70.0, 100.0), (140.0, 170.0), 0.45);
-        recurring(AttackFamily::ZWireHijack, (50.0, 100.0), (110.0, 160.0), 0.18);
+        recurring(
+            AttackFamily::ModbusAbuse,
+            (70.0, 100.0),
+            (140.0, 170.0),
+            0.45,
+        );
+        recurring(
+            AttackFamily::ZWireHijack,
+            (50.0, 100.0),
+            (110.0, 160.0),
+            0.18,
+        );
         Scenario {
             fleet: Fleet::mixed(),
             duration_s: 180.0,
@@ -184,7 +199,12 @@ impl Scenario {
         };
         recurring(AttackFamily::ModbusAbuse, (25.0, 85.0), (95.0, 140.0), 0.6);
         recurring(AttackFamily::SynFlood, (60.0, 80.0), (100.0, 120.0), 0.15);
-        recurring(AttackFamily::CoapAmplification, (40.0, 70.0), (110.0, 140.0), 0.35);
+        recurring(
+            AttackFamily::CoapAmplification,
+            (40.0, 70.0),
+            (110.0, 140.0),
+            0.35,
+        );
         recurring(AttackFamily::DnsTunnel, (30.0, 85.0), (95.0, 145.0), 0.4);
         Scenario {
             fleet: Fleet::industrial(),
@@ -266,7 +286,14 @@ impl Scenario {
                         end,
                         &mut next_rng(),
                     );
-                    NtpSync::default().emit(trace, device, fleet.gateway(), 0.0, end, &mut next_rng());
+                    NtpSync::default().emit(
+                        trace,
+                        device,
+                        fleet.gateway(),
+                        0.0,
+                        end,
+                        &mut next_rng(),
+                    );
                 }
                 DeviceKind::Thermostat => {
                     let mqtt = MqttTelemetry {
@@ -290,7 +317,14 @@ impl Scenario {
                         ..MqttTelemetry::default()
                     };
                     mqtt.emit(trace, device, fleet.broker(), 0.0, end, &mut next_rng());
-                    NtpSync::default().emit(trace, device, fleet.gateway(), 0.0, end, &mut next_rng());
+                    NtpSync::default().emit(
+                        trace,
+                        device,
+                        fleet.gateway(),
+                        0.0,
+                        end,
+                        &mut next_rng(),
+                    );
                 }
                 DeviceKind::CoapSensor => {
                     let coap = CoapPolling {
@@ -347,7 +381,11 @@ impl Scenario {
             let mut rng = StdRng::seed_from_u64(
                 self.seed ^ attack_salt(i as u64) ^ u64::from(event.family.code()),
             );
-            let (start, end, k) = (event.start_s, event.end_s.min(self.duration_s), event.intensity);
+            let (start, end, k) = (
+                event.start_s,
+                event.end_s.min(self.duration_s),
+                event.intensity,
+            );
             match event.family {
                 AttackFamily::MiraiScan => {
                     let g = MiraiScan {
@@ -457,9 +495,7 @@ mod tests {
         let trace = Scenario::mixed_default(7).generate().unwrap();
         for family in AttackFamily::ALL {
             assert!(
-                trace
-                    .iter()
-                    .any(|r| r.label.family() == Some(family)),
+                trace.iter().any(|r| r.label.family() == Some(family)),
                 "missing {family}"
             );
         }
@@ -493,7 +529,8 @@ mod tests {
     #[test]
     fn missing_device_kind_is_reported() {
         let mut s = Scenario::benign_only(Fleet::smart_home(), 60.0, 1);
-        s.attacks.push(AttackEvent::new(AttackFamily::ModbusAbuse, 10.0, 20.0));
+        s.attacks
+            .push(AttackEvent::new(AttackFamily::ModbusAbuse, 10.0, 20.0));
         let err = s.generate().unwrap_err();
         assert_eq!(
             err,

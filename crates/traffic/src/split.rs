@@ -20,8 +20,8 @@ pub fn split_random(trace: &Trace, train_fraction: f64, seed: u64) -> (Trace, Tr
     let mut indices: Vec<usize> = (0..trace.len()).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     indices.shuffle(&mut rng);
-    let cut = ((trace.len() as f64 * train_fraction.clamp(0.0, 1.0)).round() as usize)
-        .min(trace.len());
+    let cut =
+        ((trace.len() as f64 * train_fraction.clamp(0.0, 1.0)).round() as usize).min(trace.len());
     let records = trace.records();
     let train: Trace = indices[..cut].iter().map(|&i| records[i].clone()).collect();
     let test: Trace = indices[cut..].iter().map(|&i| records[i].clone()).collect();

@@ -12,10 +12,10 @@
 use p4guard::config::GuardConfig;
 use p4guard::pipeline::TwoStagePipeline;
 use p4guard_dataplane::action::Action;
+use p4guard_packet::trace::AttackFamily;
 use p4guard_packet::trace::Trace;
 use p4guard_traffic::scenario::{AttackEvent, Scenario};
-use p4guard_traffic::{Fleet, split_temporal};
-use p4guard_packet::trace::AttackFamily;
+use p4guard_traffic::{split_temporal, Fleet};
 use std::error::Error;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let trace = scenario.generate()?;
     let (train, live) = split_temporal(&trace, 0.45);
 
-    println!("training on the first {} packets of the outbreak…", train.len());
+    println!(
+        "training on the first {} packets of the outbreak…",
+        train.len()
+    );
     let guard = TwoStagePipeline::new(GuardConfig::default()).train(&train)?;
     println!(
         "learned {} rules over bytes {:?}",
@@ -58,9 +61,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Deploy in observe-only (mirror) mode first — the staged rollout a
     // real operator would use.
     let control = guard.deploy(10_000)?;
-    let handles: Vec<_> = control.with_switch(|sw| {
-        sw.stage(0).entries().iter().map(|e| e.handle).collect()
-    });
+    let handles: Vec<_> =
+        control.with_switch(|sw| sw.stage(0).entries().iter().map(|e| e.handle).collect());
     control.modify_entries(0, &handles, Action::Mirror(99))?;
     println!("\nphase 1: observe-only (mirror to port 99)");
     let (mirror_window, enforce_window) = split_temporal(&live, 0.3);
@@ -94,7 +96,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
     for (bucket, (dropped, attacks)) in buckets {
         let bar = "#".repeat((dropped / 10).min(60));
-        println!("  t={:>4}s  {dropped:>5} / {attacks:>5}  {bar}", bucket * 10);
+        println!(
+            "  t={:>4}s  {dropped:>5} / {attacks:>5}  {bar}",
+            bucket * 10
+        );
     }
 
     let metrics = guard.evaluate_rules(&enforce_window);

@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("\n=== detection on the test split ===");
     println!(
         "  accuracy {:.3}  precision {:.3}  recall {:.3}  F1 {:.3}  FPR {:.3}",
-        metrics.accuracy, metrics.precision, metrics.recall, metrics.f1,
+        metrics.accuracy,
+        metrics.precision,
+        metrics.recall,
+        metrics.f1,
         metrics.false_positive_rate
     );
 

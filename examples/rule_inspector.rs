@@ -26,8 +26,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         println!("  key[{i}] = frame[{offset}]   // {name}");
     }
 
-    println!("\n=== distilled decision tree ({} leaves, depth {}) ===",
-        guard.tree.leaf_count(), guard.tree.depth());
+    println!(
+        "\n=== distilled decision tree ({} leaves, depth {}) ===",
+        guard.tree.leaf_count(),
+        guard.tree.depth()
+    );
     for (i, path) in guard.tree.paths().iter().enumerate() {
         let class = if path.class == 1 { "DROP " } else { "allow" };
         let constraints: Vec<String> = path

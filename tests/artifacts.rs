@@ -12,7 +12,9 @@ use p4guard_traffic::split_temporal;
 fn trained() -> (TrainedGuard, p4guard_packet::Trace) {
     let trace = Scenario::smart_home_default(505).generate().unwrap();
     let (train, test) = split_temporal(&trace, 0.6);
-    let guard = TwoStagePipeline::new(GuardConfig::fast()).train(&train).unwrap();
+    let guard = TwoStagePipeline::new(GuardConfig::fast())
+        .train(&train)
+        .unwrap();
     (guard, test)
 }
 

@@ -44,8 +44,7 @@ fn compiled_rules_equal_tree_on_random_keys() {
         let keys: Vec<Vec<u8>> = (0..4000)
             .map(|_| (0..width).map(|_| rng.gen()).collect())
             .collect();
-        let disagreement =
-            find_disagreement(&tree, &compiled, keys.iter().map(|k| k.as_slice()));
+        let disagreement = find_disagreement(&tree, &compiled, keys.iter().map(|k| k.as_slice()));
         assert_eq!(disagreement, None, "trial {trial} disagreed");
     }
 }
@@ -56,7 +55,9 @@ fn compiled_rules_equal_tree_on_random_keys() {
 fn range_and_ternary_deployments_agree() {
     let trace = Scenario::smart_home_default(61).generate().unwrap();
     let (train, test) = split_temporal(&trace, 0.6);
-    let guard = TwoStagePipeline::new(GuardConfig::fast()).train(&train).unwrap();
+    let guard = TwoStagePipeline::new(GuardConfig::fast())
+        .train(&train)
+        .unwrap();
 
     // Ternary deployment via the normal path.
     let ternary_control = guard.deploy(200_000).unwrap();
@@ -99,7 +100,9 @@ fn range_and_ternary_deployments_agree() {
 fn switch_counters_are_consistent() {
     let trace = Scenario::smart_home_default(62).generate().unwrap();
     let (train, test) = split_temporal(&trace, 0.6);
-    let guard = TwoStagePipeline::new(GuardConfig::fast()).train(&train).unwrap();
+    let guard = TwoStagePipeline::new(GuardConfig::fast())
+        .train(&train)
+        .unwrap();
     let control = guard.deploy(200_000).unwrap();
     let stats = control.with_switch_mut(|sw| sw.run_trace(&test));
     control.with_switch(|sw| {

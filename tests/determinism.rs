@@ -20,8 +20,12 @@ fn scenario_generation_is_seed_deterministic() {
 fn full_pipeline_is_seed_deterministic() {
     let trace = Scenario::smart_home_default(11).generate().unwrap();
     let (train, test) = split_temporal(&trace, 0.6);
-    let a = TwoStagePipeline::new(GuardConfig::fast()).train(&train).unwrap();
-    let b = TwoStagePipeline::new(GuardConfig::fast()).train(&train).unwrap();
+    let a = TwoStagePipeline::new(GuardConfig::fast())
+        .train(&train)
+        .unwrap();
+    let b = TwoStagePipeline::new(GuardConfig::fast())
+        .train(&train)
+        .unwrap();
     assert_eq!(a.selection.offsets, b.selection.offsets);
     assert_eq!(a.compiled.ternary, b.compiled.ternary);
     assert_eq!(a.tree.paths(), b.tree.paths());
@@ -49,8 +53,22 @@ fn different_pipeline_seeds_may_differ_but_stay_accurate() {
 fn mutual_information_selection_is_data_deterministic() {
     let trace = Scenario::smart_home_default(13).generate().unwrap();
     let bytes = ByteDataset::from_trace(&trace, 64);
-    let a = select_fields(SelectionStrategy::MutualInformation, &bytes, None, None, 8, 0);
-    let b = select_fields(SelectionStrategy::MutualInformation, &bytes, None, None, 8, 99);
+    let a = select_fields(
+        SelectionStrategy::MutualInformation,
+        &bytes,
+        None,
+        None,
+        8,
+        0,
+    );
+    let b = select_fields(
+        SelectionStrategy::MutualInformation,
+        &bytes,
+        None,
+        None,
+        8,
+        99,
+    );
     // The seed must not matter for data-driven strategies.
     assert_eq!(a.offsets, b.offsets);
 }

@@ -194,7 +194,7 @@ proptest! {
             data.push(*b);
             labels.push(usize::from(*label));
         }
-        prop_assume!(labels.iter().any(|&l| l == 0) && labels.iter().any(|&l| l == 1));
+        prop_assume!(labels.contains(&0) && labels.contains(&1));
         let tree = DecisionTree::fit(2, &data, &labels, TreeConfig::default());
         let compiled = compile_tree(&tree, &CompileConfig::default()).unwrap();
         for (a, b) in probes {

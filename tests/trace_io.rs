@@ -14,10 +14,7 @@ fn generated_trace_survives_file_round_trip() {
     trace.save(&path).unwrap();
     let loaded = Trace::load(&path).unwrap();
     assert_eq!(loaded, trace);
-    assert_eq!(
-        TraceStats::compute(&loaded),
-        TraceStats::compute(&trace)
-    );
+    assert_eq!(TraceStats::compute(&loaded), TraceStats::compute(&trace));
     std::fs::remove_file(&path).unwrap();
 }
 

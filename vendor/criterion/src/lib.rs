@@ -1,0 +1,320 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! Keeps the workspace's bench sources compiling and runnable without the
+//! real crate: [`criterion_group!`]/[`criterion_main!`], benchmark groups,
+//! `bench_function`/`bench_with_input`, [`BenchmarkId`], [`Throughput`],
+//! and [`black_box`]. Measurement is a simple best-of-samples wall-clock
+//! loop with text output — no statistics, plots, or HTML reports.
+//!
+//! Passing `--test` (as `cargo test` does for bench targets) or setting
+//! `CRITERION_FAST=1` runs every benchmark body exactly once, so benches
+//! double as smoke tests.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+pub struct Criterion {
+    fast: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            fast: std::env::var_os("CRITERION_FAST").is_some(),
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds the harness from CLI arguments (`--test` selects fast mode).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        if std::env::args().any(|a| a == "--test") {
+            c.fast = true;
+        }
+        c
+    }
+
+    /// Mirrors criterion's builder API; CLI filtering is not implemented.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.fast = true;
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id().label;
+        run_benchmark(&label, self.fast, self.default_sample_size, None, |b| f(b));
+        self
+    }
+
+    /// Prints the closing line, mirroring criterion's summary hook.
+    pub fn final_summary(&mut self) {
+        println!("(criterion shim: wall-clock timings only, no statistics)");
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize_opt,
+    throughput: Option<Throughput>,
+}
+
+#[allow(non_camel_case_types)]
+type usize_opt = Option<usize>;
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares units of work per iteration for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Mirrors criterion's measurement-time knob; ignored by the shim.
+    pub fn measurement_time(&mut self, _: Duration) -> &mut Self {
+        self
+    }
+
+    /// Mirrors criterion's warm-up knob; ignored by the shim.
+    pub fn warm_up_time(&mut self, _: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        run_benchmark(
+            &label,
+            self.criterion.fast,
+            samples,
+            self.throughput.as_ref(),
+            |b| f(b),
+        );
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        run_benchmark(
+            &label,
+            self.criterion.fast,
+            samples,
+            self.throughput.as_ref(),
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Iteration driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter value only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversions accepted wherever criterion takes a benchmark id.
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_owned(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    fast: bool,
+    samples: usize,
+    throughput: Option<&Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    if fast {
+        f(&mut bencher);
+        println!("bench {label}: ok (fast mode, 1 iteration)");
+        return;
+    }
+    // Warm-up pass, then best-of-N single-iteration samples. "Best of"
+    // rather than mean keeps scheduler noise out of the headline number.
+    f(&mut bencher);
+    let mut best = Duration::MAX;
+    for _ in 0..samples.clamp(1, 100) {
+        f(&mut bencher);
+        if bencher.elapsed < best {
+            best = bencher.elapsed;
+        }
+    }
+    let nanos = best.as_nanos().max(1);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = *n as f64 / best.as_secs_f64().max(1e-12);
+            println!("bench {label}: {nanos} ns/iter ({rate:.0} elem/s)");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = *n as f64 / best.as_secs_f64().max(1e-12);
+            println!("bench {label}: {nanos} ns/iter ({rate:.0} B/s)");
+        }
+        None => println!("bench {label}: {nanos} ns/iter"),
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            let _ = $config;
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks() {
+        std::env::set_var("CRITERION_FAST", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u32;
+        group.sample_size(3).bench_function("one", |b| {
+            b.iter(|| black_box(1 + 1));
+            runs += 1;
+        });
+        group.bench_with_input(BenchmarkId::new("two", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        group.finish();
+        assert!(runs >= 1);
+    }
+}

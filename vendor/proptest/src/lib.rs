@@ -1,0 +1,514 @@
+//! Offline drop-in subset of `proptest`.
+//!
+//! Implements the API surface this workspace's property tests use: the
+//! [`proptest!`] macro, [`prelude::any`], integer-range strategies, string
+//! strategies from a small regex subset, tuple strategies, and
+//! [`collection::vec`]. Cases are generated from a fixed seed so failures
+//! reproduce; there is NO shrinking — a failing case panics with its inputs
+//! printed instead.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+
+/// Number of cases each `proptest!` test runs.
+pub const DEFAULT_CASES: usize = 96;
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy for any value of a type, uniform over its range.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_std {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_std!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                // Uniform in [start, end): 53 (or 24) random mantissa bits.
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start() + unit * (self.end() - self.start())
+            }
+        }
+    )*};
+}
+impl_float_range_strategies!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+/// `&str` strategies generate strings matching a regex subset: literals,
+/// `[a-z0-9]` classes, `(...)` groups, `a|b` alternation, and the
+/// quantifiers `?`, `*`, `+`, `{m}`, `{m,n}`.
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let ast = regex::parse(self);
+        let mut out = String::new();
+        regex::generate(&ast, rng, &mut out);
+        out
+    }
+}
+
+mod regex {
+    //! Tiny regex-subset parser/generator for string strategies.
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    pub enum Node {
+        Literal(char),
+        Class(Vec<(char, char)>),
+        Group(Vec<Vec<Node>>),
+        Repeat(Box<Node>, usize, usize),
+    }
+
+    pub fn parse(pattern: &str) -> Vec<Node> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (nodes, consumed) = parse_alternatives(&chars, 0, None);
+        assert_eq!(
+            consumed,
+            chars.len(),
+            "proptest shim: trailing characters in pattern {pattern:?}"
+        );
+        match nodes.len() {
+            1 => nodes.into_iter().next().unwrap(),
+            _ => vec![Node::Group(nodes)],
+        }
+    }
+
+    /// Parses `a|b|c` until `stop` (exclusive) or end; returns the branches
+    /// and the index after the last consumed character.
+    fn parse_alternatives(
+        chars: &[char],
+        mut i: usize,
+        stop: Option<char>,
+    ) -> (Vec<Vec<Node>>, usize) {
+        let mut branches = Vec::new();
+        let mut current = Vec::new();
+        while i < chars.len() {
+            let c = chars[i];
+            if Some(c) == stop {
+                break;
+            }
+            match c {
+                '|' => {
+                    branches.push(std::mem::take(&mut current));
+                    i += 1;
+                }
+                '(' => {
+                    let (inner, after) = parse_alternatives(chars, i + 1, Some(')'));
+                    assert!(
+                        after < chars.len() && chars[after] == ')',
+                        "proptest shim: unclosed group"
+                    );
+                    i = after + 1;
+                    let node = Node::Group(inner);
+                    i = maybe_quantify(chars, i, node, &mut current);
+                }
+                '[' => {
+                    let (ranges, after) = parse_class(chars, i + 1);
+                    i = after;
+                    let node = Node::Class(ranges);
+                    i = maybe_quantify(chars, i, node, &mut current);
+                }
+                '\\' => {
+                    assert!(i + 1 < chars.len(), "proptest shim: dangling backslash");
+                    let node = Node::Literal(chars[i + 1]);
+                    i += 2;
+                    i = maybe_quantify(chars, i, node, &mut current);
+                }
+                _ => {
+                    let node = Node::Literal(c);
+                    i += 1;
+                    i = maybe_quantify(chars, i, node, &mut current);
+                }
+            }
+        }
+        branches.push(current);
+        (branches, i)
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> (Vec<(char, char)>, usize) {
+        let mut ranges = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let lo = chars[i];
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                ranges.push((lo, chars[i + 2]));
+                i += 3;
+            } else {
+                ranges.push((lo, lo));
+                i += 1;
+            }
+        }
+        assert!(i < chars.len(), "proptest shim: unclosed character class");
+        (ranges, i + 1)
+    }
+
+    fn maybe_quantify(chars: &[char], i: usize, node: Node, out: &mut Vec<Node>) -> usize {
+        match chars.get(i) {
+            Some('?') => {
+                out.push(Node::Repeat(Box::new(node), 0, 1));
+                i + 1
+            }
+            Some('*') => {
+                out.push(Node::Repeat(Box::new(node), 0, 8));
+                i + 1
+            }
+            Some('+') => {
+                out.push(Node::Repeat(Box::new(node), 1, 8));
+                i + 1
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("proptest shim: unclosed {} quantifier")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (lo, hi) = match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().expect("bad quantifier"),
+                        b.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                };
+                out.push(Node::Repeat(Box::new(node), lo, hi));
+                close + 1
+            }
+            _ => {
+                out.push(node);
+                i
+            }
+        }
+    }
+
+    pub fn generate(nodes: &[Node], rng: &mut StdRng, out: &mut String) {
+        for node in nodes {
+            generate_one(node, rng, out);
+        }
+    }
+
+    fn generate_one(node: &Node, rng: &mut StdRng, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                let c = char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap_or(lo);
+                out.push(c);
+            }
+            Node::Group(branches) => {
+                let branch = &branches[rng.gen_range(0..branches.len())];
+                generate(branch, rng, out);
+            }
+            Node::Repeat(inner, lo, hi) => {
+                let n = rng.gen_range(*lo..=*hi);
+                for _ in 0..n {
+                    generate_one(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::*;
+
+    /// Strategy for a `Vec` whose length is drawn from `len`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Creates a `Vec` strategy; `len` is any usize strategy (a range or a
+    /// fixed size).
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    /// Lengths accepted by [`vec`].
+    pub trait SizeRange {
+        /// Draws a length.
+        fn draw(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn draw(&self, _: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn draw(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn draw(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.len.draw(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod strategy {
+    //! Re-exports mirroring proptest's module layout.
+    pub use super::Strategy;
+}
+
+pub mod prelude {
+    //! Common imports for property tests.
+    pub use super::collection;
+    pub use super::{any, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Runs one strategy; used by the [`proptest!`] expansion.
+pub fn draw<S: Strategy>(strategy: &S, rng: &mut StdRng) -> S::Value {
+    strategy.generate(rng)
+}
+
+/// Derives the per-test RNG seed. Override with `PROPTEST_SEED` to
+/// reproduce a CI failure locally.
+pub fn base_seed(test_name: &str) -> u64 {
+    let env = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x9e37_79b9);
+    let mut h = env ^ 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Declares property tests. Mirrors proptest's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn my_prop(x in 0u8..10, v in collection::vec(any::<u8>(), 0..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )+) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let mut __rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                $crate::base_seed(stringify!($name)),
+            );
+            for __case in 0..$crate::DEFAULT_CASES {
+                $(let $arg = $crate::draw(&$strategy, &mut __rng);)+
+                let __inputs = format!(
+                    concat!("case {} of ", stringify!($name), ":", $(" ", stringify!($arg), "={:?}"),+),
+                    __case, $(&$arg),+
+                );
+                let __run = || -> () { $body };
+                let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run));
+                if let Err(__panic) = __result {
+                    eprintln!("proptest failure inputs: {__inputs}");
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+    )+};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// Skips the current case when the assumption doesn't hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_vecs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let x = super::draw(&(0u8..4), &mut rng);
+            assert!(x < 4);
+            let v = super::draw(&collection::vec(any::<u8>(), 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn string_patterns() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let s = super::draw(&"[a-z0-9]{1,20}", &mut rng);
+            assert!((1..=20).contains(&s.len()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            let p = super::draw(&"[a-z]{1,4}(/[a-z]{1,4}){0,2}", &mut rng);
+            assert!(
+                p.split('/').all(|seg| (1..=4).contains(&seg.len())),
+                "{p:?}"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(x in 0u16..100, pair in (any::<u8>(), any::<bool>())) {
+            prop_assume!(x != 3);
+            prop_assert!(x < 100);
+            prop_assert_eq!(pair.0 as u32 + 1, u32::from(pair.0) + 1);
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! Offline drop-in subset of the `rand` 0.8 API.
+//!
+//! The real crate is unreachable in this build environment, so this shim
+//! reimplements the narrow surface the workspace uses: [`Rng`] with
+//! `gen`/`gen_range`/`gen_bool`/`fill`, [`SeedableRng`] with
+//! `seed_from_u64`/`from_seed`, [`rngs::StdRng`] (a deterministic
+//! xoshiro256** generator), and [`seq::SliceRandom::shuffle`].
+//!
+//! Streams are deterministic for a given seed but are NOT bit-compatible
+//! with upstream `rand`; everything in this workspace only relies on
+//! self-consistency, never on upstream byte streams.
+
+#![forbid(unsafe_code)]
+
+use core::ops::{Range, RangeFrom, RangeInclusive};
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types that can be sampled uniformly over their full value range.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<const N: usize> Standard for [u8; N] {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Integer types that support uniform range sampling.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[lo, hi]` (both inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// The largest representable value.
+    fn max_value() -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                // Multiply-shift bounded sampling; the tiny modulo bias of a
+                // 64-bit draw over spans far below 2^64 is irrelevant here.
+                let draw = u128::from(rng.next_u64()) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+            fn max_value() -> Self {
+                <$t>::MAX
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + f64::sample_standard(rng) * (hi - lo)
+    }
+    fn max_value() -> Self {
+        f64::MAX
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        lo + f32::sample_standard(rng) * (hi - lo)
+    }
+    fn max_value() -> Self {
+        f32::MAX
+    }
+}
+
+/// Range arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + Dec> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, self.start, self.end.dec())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeFrom<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, self.start, T::max_value())
+    }
+}
+
+/// Decrement helper so `a..b` can reuse inclusive sampling.
+pub trait Dec {
+    /// Returns `self - 1`, panicking on an empty exclusive range.
+    fn dec(self) -> Self;
+}
+
+macro_rules! impl_dec {
+    ($($t:ty),*) => {$(
+        impl Dec for $t {
+            fn dec(self) -> Self {
+                self.checked_sub(1).expect("gen_range: empty range")
+            }
+        }
+    )*};
+}
+impl_dec!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Dec for f64 {
+    fn dec(self) -> Self {
+        self
+    }
+}
+impl Dec for f32 {
+    fn dec(self) -> Self {
+        self
+    }
+}
+
+/// User-facing random-value API, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` uniformly over its full range.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+
+    /// Fills a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Rngs constructible from seeds.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Constructs from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs from a 64-bit seed via splitmix64 expansion.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generator types.
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // All-zero state would be a fixed point; nudge it.
+            if s == [0, 0, 0, 0] {
+                s = [0x9e3779b97f4a7c15, 0x6a09e667f3bcc909, 1, 2];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related random operations.
+    use super::{Rng, RngCore};
+
+    /// Shuffle/choose extensions on slices, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffles the slice in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly picks one element, or `None` when empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Convenience re-exports.
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: u8 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: u16 = rng.gen_range(1024..=65535);
+            assert!((1024..=65535).contains(&w));
+            let x: usize = rng.gen_range(0..3);
+            assert!(x < 3);
+        }
+    }
+
+    #[test]
+    fn floats_are_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let g: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should move something");
+    }
+
+    #[test]
+    fn fill_covers_remainder() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buf = [0u8; 13];
+        rng.fill(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

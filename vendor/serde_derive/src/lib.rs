@@ -1,0 +1,690 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! shim, written without `syn`/`quote`: the item is parsed from its token
+//! string with a small hand-rolled scanner, and the impl is emitted as a
+//! formatted string parsed back into a `TokenStream`.
+//!
+//! Supported shapes (everything this workspace derives):
+//! * structs with named fields, tuple structs (newtype transparent), unit
+//!   structs;
+//! * enums with unit, tuple (newtype transparent), and struct variants;
+//! * field attributes `#[serde(skip)]` and
+//!   `#[serde(skip, default = "path")]`.
+//!
+//! Generics are intentionally unsupported — the shim fails loudly rather
+//! than emitting subtly wrong impls.
+
+use proc_macro::TokenStream;
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    skip: bool,
+    default_path: Option<String>,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(s: &str) -> Self {
+        Cursor {
+            chars: s.chars().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+                self.pos += 1;
+            }
+            // rustc renders doc comments verbatim in `TokenStream::to_string()`;
+            // treat them (and ordinary comments) as whitespace.
+            if self.peek() == Some('/') && self.chars.get(self.pos + 1) == Some(&'/') {
+                while !matches!(self.peek(), None | Some('\n')) {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            if self.peek() == Some('/') && self.chars.get(self.pos + 1) == Some(&'*') {
+                self.pos += 2;
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (self.peek(), self.chars.get(self.pos + 1).copied()) {
+                        (Some('/'), Some('*')) => {
+                            depth += 1;
+                            self.pos += 2;
+                        }
+                        (Some('*'), Some('/')) => {
+                            depth -= 1;
+                            self.pos += 2;
+                        }
+                        (Some(_), _) => self.pos += 1,
+                        (None, _) => break,
+                    }
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char, ctx: &str) {
+        if !self.eat(c) {
+            panic!(
+                "serde_derive shim: expected `{c}` {ctx}, found `{:?}` at {}",
+                self.peek(),
+                self.pos
+            );
+        }
+    }
+
+    fn read_ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        let start = self.pos;
+        // Accept raw identifiers.
+        if self.peek() == Some('r') && self.chars.get(self.pos + 1) == Some(&'#') {
+            self.pos += 2;
+        }
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            None
+        } else {
+            Some(self.chars[start..self.pos].iter().collect())
+        }
+    }
+
+    /// Skips a string literal assuming the opening quote was consumed.
+    fn skip_string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => return,
+                _ => {}
+            }
+        }
+    }
+
+    /// Reads a string literal (with quotes), returning its raw contents.
+    fn read_string(&mut self) -> Option<String> {
+        self.skip_ws();
+        if self.peek() != Some('"') {
+            return None;
+        }
+        self.bump();
+        let start = self.pos;
+        self.skip_string_body();
+        Some(self.chars[start..self.pos - 1].iter().collect())
+    }
+
+    /// Consumes a balanced bracket group assuming the opener was consumed.
+    fn skip_balanced(&mut self, open: char, close: char) {
+        let mut depth = 1usize;
+        while let Some(c) = self.bump() {
+            match c {
+                '"' => self.skip_string_body(),
+                c if c == open => depth += 1,
+                c if c == close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        }
+        panic!("serde_derive shim: unbalanced `{open}{close}` group");
+    }
+
+    /// Consumes `#[...]`, returning the raw attribute text (inside brackets).
+    fn read_attr(&mut self) -> String {
+        self.expect('#', "to start an attribute");
+        // `#![...]` inner attributes don't occur on derive input fields.
+        self.expect('[', "after `#`");
+        let start = self.pos;
+        self.skip_balanced('[', ']');
+        self.chars[start..self.pos - 1].iter().collect()
+    }
+
+    /// Skips a type (or expression) up to a top-level `,` or until the
+    /// closing delimiter of the surrounding group (not consumed).
+    fn skip_to_comma_or(&mut self, terminator: char) {
+        let mut angle = 0usize;
+        let mut round = 0usize;
+        let mut square = 0usize;
+        let mut brace = 0usize;
+        loop {
+            self.skip_ws();
+            let Some(c) = self.peek() else { return };
+            let at_top = angle == 0 && round == 0 && square == 0 && brace == 0;
+            if at_top && (c == ',' || c == terminator) {
+                return;
+            }
+            self.bump();
+            match c {
+                '"' => self.skip_string_body(),
+                '<' => angle += 1,
+                '>' => angle = angle.saturating_sub(1),
+                '(' => round += 1,
+                ')' => round = round.saturating_sub(1),
+                '[' => square += 1,
+                ']' => square = square.saturating_sub(1),
+                '{' => brace += 1,
+                '}' => brace = brace.saturating_sub(1),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Parses a `#[serde(...)]` attribute body (e.g. `serde(skip, default = "p")`).
+fn apply_serde_attr(attr: &str, field: &mut Field) {
+    let Some(rest) = attr.trim().strip_prefix("serde") else {
+        return;
+    };
+    let mut c = Cursor::new(rest);
+    if !c.eat('(') {
+        return;
+    }
+    loop {
+        c.skip_ws();
+        let Some(word) = c.read_ident() else { break };
+        match word.as_str() {
+            "skip" | "skip_serializing" | "skip_deserializing" => field.skip = true,
+            "default" => {
+                if c.eat('=') {
+                    field.default_path = c.read_string();
+                } else if field.default_path.is_none() {
+                    field.default_path = Some(String::new());
+                }
+            }
+            other => panic!("serde_derive shim: unsupported serde attribute `{other}`"),
+        }
+        if !c.eat(',') {
+            break;
+        }
+    }
+}
+
+/// Parses named fields inside `{ ... }`; the opening brace must be consumed.
+fn parse_named_fields(c: &mut Cursor) -> Vec<Field> {
+    let mut fields = Vec::new();
+    loop {
+        c.skip_ws();
+        if c.eat('}') {
+            return fields;
+        }
+        let mut field = Field {
+            name: String::new(),
+            skip: false,
+            default_path: None,
+        };
+        while {
+            c.skip_ws();
+            c.peek() == Some('#')
+        } {
+            let attr = c.read_attr();
+            apply_serde_attr(&attr, &mut field);
+        }
+        let mut name = c
+            .read_ident()
+            .unwrap_or_else(|| panic!("serde_derive shim: expected field name"));
+        if name == "pub" {
+            c.skip_ws();
+            if c.peek() == Some('(') {
+                c.bump();
+                c.skip_balanced('(', ')');
+            }
+            name = c
+                .read_ident()
+                .unwrap_or_else(|| panic!("serde_derive shim: expected field name after pub"));
+        }
+        field.name = name;
+        c.expect(':', "after field name");
+        c.skip_to_comma_or('}');
+        fields.push(field);
+        if !c.eat(',') {
+            c.expect('}', "to close the field list");
+            return fields;
+        }
+    }
+}
+
+/// Counts tuple elements inside `( ... )`; the opening paren must be consumed.
+fn parse_tuple_arity(c: &mut Cursor) -> usize {
+    let mut arity = 0usize;
+    loop {
+        c.skip_ws();
+        if c.eat(')') {
+            return arity;
+        }
+        // Skip any attributes/visibility on the element.
+        while {
+            c.skip_ws();
+            c.peek() == Some('#')
+        } {
+            c.read_attr();
+        }
+        c.skip_to_comma_or(')');
+        arity += 1;
+        if !c.eat(',') {
+            c.expect(')', "to close the tuple");
+            return arity;
+        }
+    }
+}
+
+fn parse_item(source: &str) -> Item {
+    let mut c = Cursor::new(source);
+    let kind = loop {
+        c.skip_ws();
+        match c.peek() {
+            Some('#') => {
+                c.read_attr();
+            }
+            None => panic!("serde_derive shim: no struct or enum found"),
+            _ => {
+                let word = c
+                    .read_ident()
+                    .unwrap_or_else(|| panic!("serde_derive shim: unexpected `{:?}`", c.peek()));
+                match word.as_str() {
+                    "pub" => {
+                        c.skip_ws();
+                        if c.peek() == Some('(') {
+                            c.bump();
+                            c.skip_balanced('(', ')');
+                        }
+                    }
+                    "struct" | "enum" => break word,
+                    // e.g. `union` or oddities: fail loudly.
+                    other => panic!("serde_derive shim: unsupported item starter `{other}`"),
+                }
+            }
+        }
+    };
+    let name = c
+        .read_ident()
+        .unwrap_or_else(|| panic!("serde_derive shim: expected item name"));
+    c.skip_ws();
+    if c.peek() == Some('<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    if kind == "struct" {
+        c.skip_ws();
+        match c.peek() {
+            Some('{') => {
+                c.bump();
+                Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(&mut c),
+                }
+            }
+            Some('(') => {
+                c.bump();
+                Item::TupleStruct {
+                    name,
+                    arity: parse_tuple_arity(&mut c),
+                }
+            }
+            Some(';') | None => Item::UnitStruct { name },
+            other => panic!("serde_derive shim: unexpected `{other:?}` after struct name"),
+        }
+    } else {
+        c.expect('{', "to open the enum body");
+        let mut variants = Vec::new();
+        loop {
+            c.skip_ws();
+            if c.eat('}') {
+                break;
+            }
+            while {
+                c.skip_ws();
+                c.peek() == Some('#')
+            } {
+                c.read_attr();
+            }
+            let vname = c
+                .read_ident()
+                .unwrap_or_else(|| panic!("serde_derive shim: expected variant name"));
+            c.skip_ws();
+            let kind = match c.peek() {
+                Some('(') => {
+                    c.bump();
+                    VariantKind::Tuple(parse_tuple_arity(&mut c))
+                }
+                Some('{') => {
+                    c.bump();
+                    VariantKind::Struct(parse_named_fields(&mut c))
+                }
+                _ => VariantKind::Unit,
+            };
+            c.skip_ws();
+            if c.peek() == Some('=') {
+                // Explicit discriminant: skip the expression.
+                c.bump();
+                c.skip_to_comma_or('}');
+            }
+            variants.push(Variant { name: vname, kind });
+            if !c.eat(',') {
+                c.expect('}', "to close the enum body");
+                break;
+            }
+        }
+        Item::Enum { name, variants }
+    }
+}
+
+fn field_default_expr(field: &Field) -> String {
+    match field.default_path.as_deref() {
+        Some(path) if !path.is_empty() => format!("{path}()"),
+        _ => "::std::default::Default::default()".to_owned(),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__fields.push((\"{0}\".to_owned(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Map(__fields)\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_owned()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!(
+                    "::serde::Value::Seq(::std::vec::Vec::from([{}]))",
+                    items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}\n"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}\n"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_owned()),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "::serde::Value::Seq(::std::vec::Vec::from([{}]))",
+                                items.join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(::std::vec::Vec::from([(\"{vn}\".to_owned(), {inner})])),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_owned(), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec::Vec::from([(\"{vn}\".to_owned(), ::serde::Value::Map(::std::vec::Vec::from([{}])))])),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_named_field_inits(ty_name: &str, fields: &[Field], source: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!("{}: {},\n", f.name, field_default_expr(f)));
+        } else {
+            inits.push_str(&format!(
+                "{0}: match {source}.get(\"{0}\") {{\n\
+                 Some(__f) => ::serde::Deserialize::from_value(__f)?,\n\
+                 None => match ::serde::Deserialize::from_value(&::serde::Value::Null) {{\n\
+                 Ok(__d) => __d,\n\
+                 Err(_) => return Err(::serde::DeError::missing_field(\"{ty_name}\", \"{0}\")),\n\
+                 }},\n\
+                 }},\n",
+                f.name
+            ));
+        }
+    }
+    inits
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits = gen_named_field_inits(name, fields, "__v");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if __v.as_map().is_none() {{\n\
+                 return Err(::serde::DeError::expected(\"object\", __v));\n\
+                 }}\n\
+                 Ok({name} {{\n{inits}}})\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                    .collect();
+                format!(
+                    "let __seq = __v.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array\", __v))?;\n\
+                     if __seq.len() != {arity} {{\n\
+                     return Err(::serde::DeError::custom(\"wrong tuple arity for {name}\"));\n\
+                     }}\n\
+                     Ok({name}({}))",
+                    items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(_: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+             Ok({name})\n\
+             }}\n}}\n"
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    unit_arms.push_str(&format!("\"{0}\" => Ok({name}::{0}),\n", v.name));
+                }
+            }
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!("Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?))")
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__seq[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "let __seq = __inner.as_seq().ok_or_else(|| ::serde::DeError::expected(\"array\", __inner))?;\n\
+                                 if __seq.len() != {arity} {{\n\
+                                 return Err(::serde::DeError::custom(\"wrong arity for {name}::{vn}\"));\n\
+                                 }}\n\
+                                 Ok({name}::{vn}({}))",
+                                items.join(", ")
+                            )
+                        };
+                        data_arms.push_str(&format!("\"{vn}\" => {{ {body} }}\n"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits =
+                            gen_named_field_inits(&format!("{name}::{vn}"), fields, "__inner");
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             if __inner.as_map().is_none() {{\n\
+                             return Err(::serde::DeError::expected(\"object\", __inner));\n\
+                             }}\n\
+                             Ok({name}::{vn} {{\n{inits}}})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::DeError::custom(format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__m[0];\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => Err(::serde::DeError::custom(format!(\"unknown {name} variant {{__other:?}}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => Err(::serde::DeError::expected(\"string or single-key object\", __other)),\n\
+                 }}\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(&input.to_string());
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(&input.to_string());
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated Deserialize impl parses")
+}

@@ -1,0 +1,409 @@
+//! Offline drop-in subset of `serde_json`: converts between the vendored
+//! serde [`Value`] tree and JSON text. Supports `to_string`,
+//! `to_string_pretty`, `from_str`, and a `json` error type.
+
+#![forbid(unsafe_code)]
+
+use serde::{DeError, Deserialize, Serialize};
+use std::fmt;
+
+pub use serde::Value;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for tree-representable values; the `Result` mirrors the real
+/// crate's signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to two-space-indented JSON.
+///
+/// # Errors
+///
+/// Never fails for tree-representable values.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Lowers any serializable value to a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Rebuilds a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an error when the tree doesn't match the target type.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Parses JSON text into a typed value.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value_str(text)?;
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Parses JSON text into a [`Value`].
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON.
+pub fn parse_value_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        chars: text.chars().collect(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.chars.len() {
+        return Err(Error::new(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // `{:?}` prints the shortest representation that round-trips.
+                out.push_str(&format!("{x:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_json_string(out, s),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_json_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            if !entries.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.get(self.pos), Some(c) if c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<char, Error> {
+        let c = self
+            .peek()
+            .ok_or_else(|| Error::new("unexpected end of JSON"))?;
+        self.pos += 1;
+        Ok(c)
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), Error> {
+        let got = self.bump()?;
+        if got != want {
+            return Err(Error::new(format!(
+                "expected `{want}` at offset {}, found `{got}`",
+                self.pos - 1
+            )));
+        }
+        Ok(())
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<(), Error> {
+        for want in lit.chars() {
+            self.expect(want)?;
+        }
+        Ok(())
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some('n') => {
+                self.eat_literal("null")?;
+                Ok(Value::Null)
+            }
+            Some('t') => {
+                self.eat_literal("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some('f') => {
+                self.eat_literal("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some('"') => Ok(Value::Str(self.parse_string()?)),
+            Some('[') => {
+                self.bump()?;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(']') {
+                    self.bump()?;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.bump()? {
+                        ',' => {}
+                        ']' => return Ok(Value::Seq(items)),
+                        c => return Err(Error::new(format!("expected `,` or `]`, found `{c}`"))),
+                    }
+                }
+            }
+            Some('{') => {
+                self.bump()?;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some('}') {
+                    self.bump()?;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.bump()? {
+                        ',' => {}
+                        '}' => return Ok(Value::Map(entries)),
+                        c => return Err(Error::new(format!("expected `,` or `}}`, found `{c}`"))),
+                    }
+                }
+            }
+            Some(c) if c == '-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(Error::new(format!("unexpected character `{c}` in JSON"))),
+            None => Err(Error::new("unexpected end of JSON")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                '"' => return Ok(out),
+                '\\' => match self.bump()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let c = self.bump()?;
+                            code = code * 16
+                                + c.to_digit(16).ok_or_else(|| Error::new("bad \\u escape"))?;
+                        }
+                        out.push(
+                            char::from_u32(code).ok_or_else(|| Error::new("bad unicode escape"))?,
+                        );
+                    }
+                    c => return Err(Error::new(format!("bad escape `\\{c}`"))),
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                '0'..='9' => self.pos += 1,
+                '.' | 'e' | 'E' | '+' | '-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error::new(format!("bad number {text:?}: {e}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| Error::new(format!("bad number {text:?}: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|e| Error::new(format!("bad number {text:?}: {e}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_text() {
+        let v = vec![1u32, 2, 3];
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "[1,2,3]");
+        let back: Vec<u32> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "a\"b\\c\nd".to_owned();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn floats_round_trip() {
+        for x in [0.0f64, 1.5, -2.25, 1e-9, 1234567.875] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, x, "via {text}");
+        }
+        // Non-finite numbers serialize as null and come back as NaN.
+        let text = to_string(&f64::INFINITY).unwrap();
+        assert_eq!(text, "null");
+        let back: f64 = from_str(&text).unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = Value::Map(vec![("k".to_owned(), Value::Seq(vec![Value::UInt(1)]))]);
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\n  \"k\": [\n"));
+        let parsed = parse_value_str(&text).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(from_str::<u32>("").is_err());
+        assert!(from_str::<u32>("12abc").is_err());
+        assert!(parse_value_str("{\"a\": }").is_err());
+        assert!(parse_value_str("[1,]").is_err());
+    }
+
+    #[test]
+    fn nested_unicode_escapes() {
+        let v: String = from_str("\"\\u0041\\u00e9\"").unwrap();
+        assert_eq!(v, "Aé");
+    }
+}
