@@ -13,6 +13,11 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo build --release"
 cargo build --workspace --release --offline
 
+echo "==> cargo bench --no-run"
+# Compile (but do not run) every bench target so they cannot bit-rot
+# outside the tier-1 test gate.
+cargo bench --workspace --offline --no-run
+
 echo "==> cargo test"
 cargo test --workspace --offline -q
 

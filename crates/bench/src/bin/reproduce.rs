@@ -6,7 +6,7 @@
 //! ```text
 //! reproduce [EXPERIMENT ...] [--seed N] [--full] [--out DIR]
 //!
-//! EXPERIMENT ∈ { t1 t2 t3 f1 .. f14 all }  (default: all)
+//! EXPERIMENT ∈ { t1 t2 t3 f1 .. f14 f11_lookup all }  (default: all)
 //! --seed N   scenario seed (default 2020, the publication year)
 //! --full     use the full (paper-scale) pipeline config instead of the
 //!            fast profile
@@ -30,9 +30,25 @@ struct Options {
     out: Option<PathBuf>,
 }
 
-const ALL: [&str; 17] = [
-    "t1", "t2", "t3", "f1", "f2", "f3", "f4", "f5", "f6", "f7", "f8", "f9", "f10", "f11", "f12",
-    "f13", "f14",
+const ALL: [&str; 18] = [
+    "t1",
+    "t2",
+    "t3",
+    "f1",
+    "f2",
+    "f3",
+    "f4",
+    "f5",
+    "f6",
+    "f7",
+    "f8",
+    "f9",
+    "f10",
+    "f11",
+    "f11_lookup",
+    "f12",
+    "f13",
+    "f14",
 ];
 
 fn parse_args() -> Result<Options, String> {
@@ -92,7 +108,9 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: reproduce [t1 t2 t3 f1..f14 | all] [--seed N] [--full] [--out DIR]");
+            eprintln!(
+                "usage: reproduce [t1 t2 t3 f1..f14 f11_lookup | all] [--seed N] [--full] [--out DIR]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -192,6 +210,11 @@ fn main() -> ExitCode {
             }
             "f11" => {
                 let r = extensions::run_f11(&context(options.seed), &config);
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "f11_lookup" => {
+                let r = dataplane_exp::run_f11_lookup(options.seed, &[16, 64, 256, 1024, 4096]);
                 println!("{r}");
                 save_json(&options.out, id, &r);
             }

@@ -1,20 +1,23 @@
-//! Experiments F4 (data-plane throughput) and F10 (rule-update latency).
+//! Experiments F4 (data-plane throughput), F10 (rule-update latency) and
+//! F11-lookup (linear scan vs compiled lookup engines).
 
 use crate::config::GuardConfig;
 use crate::experiments::ExperimentContext;
 use crate::pipeline::TwoStagePipeline;
 use crate::report::{dur, TextTable};
 use p4guard_dataplane::action::Action;
+use p4guard_dataplane::compiled::CompiledTable;
 use p4guard_dataplane::control::ControlPlane;
 use p4guard_dataplane::key::KeyLayout;
 use p4guard_dataplane::parser::ParserSpec;
-use p4guard_dataplane::switch::Switch;
+use p4guard_dataplane::switch::{compute_pps, Switch};
 use p4guard_dataplane::table::{MatchKind, MatchSpec, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::time::Duration;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 /// One throughput measurement.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -213,6 +216,187 @@ pub fn run_f10(seed: u64, occupancies: &[usize]) -> UpdateLatencyReport {
     UpdateLatencyReport { points }
 }
 
+/// One (match kind, table size) measurement of F11-lookup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LookupPoint {
+    /// Match kind of the measured table.
+    pub kind: MatchKind,
+    /// Installed entries.
+    pub entries: usize,
+    /// Engine the table compiled to (`CompiledTable::strategy`).
+    pub strategy: String,
+    /// Lookups per second through the priority-ordered linear scan
+    /// (`Table::peek`).
+    pub scan_pps: f64,
+    /// Lookups per second through the compiled engine.
+    pub compiled_pps: f64,
+    /// `compiled_pps / scan_pps`.
+    pub speedup: f64,
+}
+
+/// Result of F11-lookup: scan vs compiled lookup cost as the table grows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LookupReport {
+    /// Lookups timed per measurement.
+    pub lookups: usize,
+    /// Points, grouped by kind in increasing entry count.
+    pub points: Vec<LookupPoint>,
+}
+
+/// Match-key width of the F11-lookup tables (the paper's stage-1 window).
+const F11_KEY_WIDTH: usize = 8;
+/// Probe keys per measurement (half hits, half random).
+const F11_KEYS: usize = 2048;
+/// Timed passes over the probe keys.
+const F11_ROUNDS: usize = 2;
+
+/// Builds an F11 table of `kind` with `entries` random entries plus the
+/// probe-key stream used against it.
+fn f11_fixture(kind: MatchKind, entries: usize, seed: u64) -> (Table, Vec<Vec<u8>>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf11);
+    let mut table = Table::new(
+        "f11",
+        kind,
+        KeyLayout::window(F11_KEY_WIDTH),
+        entries.max(1),
+        Action::NoOp,
+    );
+    // A coarse mask pool: model-compiled rulesets reuse a handful of
+    // feature masks, which is what tuple-space search exploits.
+    let masks: Vec<Vec<u8>> = (0..8)
+        .map(|_| {
+            (0..F11_KEY_WIDTH)
+                .map(|_| if rng.gen::<bool>() { 0xff } else { 0x00 })
+                .collect()
+        })
+        .collect();
+    let mut hit_keys = Vec::with_capacity(entries);
+    for i in 0..entries {
+        let value: Vec<u8> = (0..F11_KEY_WIDTH).map(|_| rng.gen()).collect();
+        let spec = match kind {
+            MatchKind::Exact => MatchSpec::Exact(value.clone()),
+            MatchKind::Ternary => MatchSpec::Ternary {
+                value: value.clone(),
+                mask: masks[i % masks.len()].clone(),
+            },
+            // Prefix lengths from a small pool, like compiler-emitted
+            // tables (one length per feature split), not one bucket per
+            // possible length.
+            MatchKind::Lpm => MatchSpec::Lpm {
+                value: value.clone(),
+                prefix_len: [8, 16, 24, 32, 40, 48, 56, 64][rng.gen_range(0..8)],
+            },
+            MatchKind::Range => {
+                let hi: Vec<u8> = value
+                    .iter()
+                    .map(|&lo| lo.saturating_add(rng.gen_range(0..=32)))
+                    .collect();
+                MatchSpec::Range {
+                    lo: value.clone(),
+                    hi,
+                }
+            }
+        };
+        hit_keys.push(value);
+        table
+            .insert(spec, Action::Drop, rng.gen_range(0..4))
+            .expect("within capacity");
+    }
+    let keys = (0..F11_KEYS)
+        .map(|i| {
+            if i % 2 == 0 && !hit_keys.is_empty() {
+                hit_keys[(i / 2) % hit_keys.len()].clone()
+            } else {
+                (0..F11_KEY_WIDTH).map(|_| rng.gen()).collect()
+            }
+        })
+        .collect();
+    (table, keys)
+}
+
+/// Runs F11-lookup: per match kind, lookups/sec of the mutable table's
+/// linear scan vs the compiled engine a published snapshot uses, as the
+/// entry count sweeps `entry_counts`.
+pub fn run_f11_lookup(seed: u64, entry_counts: &[usize]) -> LookupReport {
+    let kinds = [
+        MatchKind::Exact,
+        MatchKind::Lpm,
+        MatchKind::Range,
+        MatchKind::Ternary,
+    ];
+    let mut points = Vec::with_capacity(kinds.len() * entry_counts.len());
+    for kind in kinds {
+        for &entries in entry_counts {
+            let (table, keys) = f11_fixture(kind, entries, seed);
+            let compiled = CompiledTable::compile(&table);
+            let mut probe = vec![0u8; F11_KEY_WIDTH];
+            let lookups = F11_KEYS * F11_ROUNDS;
+
+            let t0 = Instant::now();
+            for _ in 0..F11_ROUNDS {
+                for key in &keys {
+                    black_box(table.peek(black_box(key)));
+                }
+            }
+            let scan_pps = compute_pps(lookups, t0.elapsed());
+
+            let t0 = Instant::now();
+            for _ in 0..F11_ROUNDS {
+                for key in &keys {
+                    black_box(compiled.lookup(black_box(key), &mut probe));
+                }
+            }
+            let compiled_pps = compute_pps(lookups, t0.elapsed());
+
+            points.push(LookupPoint {
+                kind,
+                entries,
+                strategy: compiled.strategy().to_owned(),
+                scan_pps,
+                compiled_pps,
+                speedup: if scan_pps > 0.0 {
+                    compiled_pps / scan_pps
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+    LookupReport {
+        lookups: F11_KEYS * F11_ROUNDS,
+        points,
+    }
+}
+
+impl fmt::Display for LookupReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "F11 — lookup cost: linear scan vs compiled engine ({} lookups/point)",
+            self.lookups
+        )?;
+        let mut table = TextTable::new([
+            "kind",
+            "entries",
+            "engine",
+            "scan pps",
+            "compiled pps",
+            "speedup",
+        ]);
+        for p in &self.points {
+            table.row([
+                p.kind.to_string(),
+                p.entries.to_string(),
+                p.strategy.clone(),
+                format!("{:.0}", p.scan_pps),
+                format!("{:.0}", p.compiled_pps),
+                format!("{:.1}x", p.speedup),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
 fn mean(ds: &[Duration]) -> Duration {
     if ds.is_empty() {
         Duration::ZERO
@@ -249,6 +433,29 @@ mod tests {
         let large = report.table_size_sweep.last().unwrap().pps;
         assert!(small > large, "small {small} vs large {large}");
         assert!(report.to_string().contains("F4"));
+    }
+
+    #[test]
+    fn f11_compiled_lookup_beats_scan_at_scale() {
+        let report = run_f11_lookup(7, &[16, 1024]);
+        assert_eq!(report.points.len(), 8); // 4 kinds × 2 sizes
+        for p in &report.points {
+            assert!(p.scan_pps > 0.0 && p.compiled_pps > 0.0);
+        }
+        let exact_large = report
+            .points
+            .iter()
+            .find(|p| p.kind == MatchKind::Exact && p.entries == 1024)
+            .expect("exact point present");
+        assert_eq!(exact_large.strategy, "exact-hash");
+        // Loose bound (debug builds, noisy CI): the release-mode curve in
+        // the f11_lookup bench is far steeper.
+        assert!(
+            exact_large.speedup > 2.0,
+            "expected compiled >> scan, got {:.2}x",
+            exact_large.speedup
+        );
+        assert!(report.to_string().contains("F11"));
     }
 
     #[test]

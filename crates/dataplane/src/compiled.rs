@@ -1,0 +1,563 @@
+//! Compile-at-publish lookup engines: a frozen [`Table`] lowered into the
+//! data structure a real P4 target would use for its match kind.
+//!
+//! The mutable [`Table`] keeps its priority-ordered linear scan — the
+//! control plane mutates it and scan is the simplest correct structure for
+//! that. But snapshots taken for the read path
+//! ([`ReadPipeline`](crate::pipeline::ReadPipeline)) are immutable, so
+//! arbitrary compile work at publish time is free under the RCU scheme,
+//! and the per-packet cost stops growing with ruleset size:
+//!
+//! | match kind | engine                        | per-lookup cost            |
+//! |------------|-------------------------------|----------------------------|
+//! | exact      | hash index on the key bytes   | O(1)                       |
+//! | LPM        | prefix-length-bucketed hashes | O(distinct prefix lengths) |
+//! | range      | leading-byte interval index   | O(overlaps on first byte)  |
+//! | ternary    | tuple-space search            | O(distinct masks), early-exit |
+//!
+//! Ternary tables whose masks are almost all distinct gain nothing from
+//! tuple-space grouping (one probe per group ≈ one compare per entry), so
+//! compilation falls back to the priority scan in that regime.
+//!
+//! Semantics are pinned to [`Table::peek`]: the winning entry is the first
+//! match in priority order (insertion order among equal priorities), and a
+//! miss — including a wrong-width key — selects the default action. A
+//! differential property test enforces this for randomized rulesets across
+//! all four kinds.
+
+use crate::action::Action;
+use crate::key::KeyLayout;
+use crate::table::{MatchKind, MatchSpec, Table};
+use std::collections::HashMap;
+
+/// Rank of an entry in the frozen match order: the index into
+/// [`Table::entries`], which sorts by priority (descending) with insertion
+/// order breaking ties. Smaller rank wins.
+type Rank = u32;
+
+/// One hash bucket of the LPM engine: every installed prefix of one
+/// length, keyed by the masked prefix bytes.
+#[derive(Debug, Clone)]
+struct LpmBucket {
+    /// Prefix length in bits.
+    prefix_len: usize,
+    /// Masked prefix bytes (`ceil(prefix_len / 8)` of them) → action.
+    prefixes: HashMap<Vec<u8>, Action>,
+}
+
+/// The range engine: entries indexed by which leading-byte values their
+/// `[lo[0], hi[0]]` interval covers, so a lookup jumps straight to the
+/// candidates overlapping `key[0]` and only scans those (in rank order).
+#[derive(Debug, Clone)]
+struct RangeIndex {
+    /// Entries in frozen match order.
+    entries: Vec<(Vec<u8>, Vec<u8>, Action)>,
+    /// `buckets[b]` = ranks of entries whose leading range covers byte `b`,
+    /// ascending (i.e. already in match-priority order).
+    buckets: Vec<Vec<Rank>>,
+}
+
+/// One tuple-space group: all ternary entries sharing a mask, keyed by
+/// their masked value.
+#[derive(Debug, Clone)]
+struct MaskGroup {
+    mask: Vec<u8>,
+    /// Best (smallest) rank of any entry in the group; groups are probed
+    /// in ascending `min_rank` order so the search can stop as soon as the
+    /// current winner outranks every remaining group.
+    min_rank: Rank,
+    /// Masked value → (rank, action). Duplicate masked values keep the
+    /// best-ranked entry, matching first-match-wins scan semantics.
+    slots: HashMap<Vec<u8>, (Rank, Action)>,
+}
+
+#[derive(Debug, Clone)]
+enum Engine {
+    /// Exact: one hash probe on the raw key bytes.
+    ExactHash(HashMap<Vec<u8>, Action>),
+    /// LPM: one masked hash probe per distinct prefix length, longest
+    /// first, so the first hit is the longest match.
+    LpmBuckets(Vec<LpmBucket>),
+    /// Range: leading-byte interval index with a bounded residual scan.
+    RangeIndex(RangeIndex),
+    /// Ternary: tuple-space search over mask groups.
+    TupleSpace(Vec<MaskGroup>),
+    /// Fallback for high mask diversity: the original priority scan.
+    Scan(Vec<(MatchSpec, Action)>),
+}
+
+/// Ternary tables smaller than this always compile to tuple-space search
+/// (a scan over so few entries is cheap either way, but grouping keeps the
+/// engine choice useful for the common model-compiled rulesets).
+const TUPLE_SPACE_FALLBACK_MIN: usize = 16;
+
+/// An immutable, compiled form of one [`Table`], built at snapshot time by
+/// [`CompiledTable::compile`] and queried lock-free on the read path.
+#[derive(Debug, Clone)]
+pub struct CompiledTable {
+    name: String,
+    kind: MatchKind,
+    key: KeyLayout,
+    default_action: Action,
+    len: usize,
+    engine: Engine,
+}
+
+impl CompiledTable {
+    /// Lowers a frozen table into the lookup engine for its match kind.
+    pub fn compile(table: &Table) -> Self {
+        let entries = table.entries();
+        let engine = match table.kind() {
+            MatchKind::Exact => Self::compile_exact(entries),
+            MatchKind::Lpm => Self::compile_lpm(entries),
+            MatchKind::Range => Self::compile_range(entries),
+            MatchKind::Ternary => Self::compile_ternary(entries),
+        };
+        CompiledTable {
+            name: table.name().to_owned(),
+            kind: table.kind(),
+            key: table.key().clone(),
+            default_action: table.default_action(),
+            len: entries.len(),
+            engine,
+        }
+    }
+
+    fn compile_exact(entries: &[crate::table::TableEntry]) -> Engine {
+        let mut map = HashMap::with_capacity(entries.len());
+        for entry in entries {
+            if let MatchSpec::Exact(value) = &entry.spec {
+                // First occurrence in match order wins duplicates.
+                map.entry(value.clone()).or_insert(entry.action);
+            }
+        }
+        Engine::ExactHash(map)
+    }
+
+    fn compile_lpm(entries: &[crate::table::TableEntry]) -> Engine {
+        // Entries arrive sorted by prefix length (the LPM priority),
+        // longest first; group them into one hash bucket per length.
+        let mut buckets: Vec<LpmBucket> = Vec::new();
+        for entry in entries {
+            if let MatchSpec::Lpm { value, prefix_len } = &entry.spec {
+                let masked = masked_prefix(value, *prefix_len);
+                match buckets.iter_mut().find(|b| b.prefix_len == *prefix_len) {
+                    Some(bucket) => {
+                        bucket.prefixes.entry(masked).or_insert(entry.action);
+                    }
+                    None => buckets.push(LpmBucket {
+                        prefix_len: *prefix_len,
+                        prefixes: HashMap::from([(masked, entry.action)]),
+                    }),
+                }
+            }
+        }
+        buckets.sort_by_key(|b| std::cmp::Reverse(b.prefix_len));
+        Engine::LpmBuckets(buckets)
+    }
+
+    fn compile_range(entries: &[crate::table::TableEntry]) -> Engine {
+        let mut index = RangeIndex {
+            entries: Vec::with_capacity(entries.len()),
+            buckets: vec![Vec::new(); 256],
+        };
+        for entry in entries {
+            if let MatchSpec::Range { lo, hi } = &entry.spec {
+                let rank = index.entries.len() as Rank;
+                for b in lo[0]..=hi[0] {
+                    index.buckets[b as usize].push(rank);
+                }
+                index.entries.push((lo.clone(), hi.clone(), entry.action));
+            }
+        }
+        Engine::RangeIndex(index)
+    }
+
+    fn compile_ternary(entries: &[crate::table::TableEntry]) -> Engine {
+        let mut groups: Vec<MaskGroup> = Vec::new();
+        for (rank, entry) in entries.iter().enumerate() {
+            let rank = rank as Rank;
+            if let MatchSpec::Ternary { value, mask } = &entry.spec {
+                let masked: Vec<u8> = value.iter().zip(mask).map(|(&v, &m)| v & m).collect();
+                match groups.iter_mut().find(|g| &g.mask == mask) {
+                    Some(group) => {
+                        group.slots.entry(masked).or_insert((rank, entry.action));
+                    }
+                    None => groups.push(MaskGroup {
+                        mask: mask.clone(),
+                        min_rank: rank,
+                        slots: HashMap::from([(masked, (rank, entry.action))]),
+                    }),
+                }
+            }
+        }
+        // One hash probe per group only pays off when entries share masks;
+        // with (almost) all-distinct masks the scan is strictly cheaper.
+        if entries.len() >= TUPLE_SPACE_FALLBACK_MIN && groups.len() * 2 > entries.len() {
+            return Engine::Scan(entries.iter().map(|e| (e.spec.clone(), e.action)).collect());
+        }
+        // `min_rank` is the first-seen rank, so first-seen order is already
+        // ascending; keep the sort for clarity and future-proofing.
+        groups.sort_by_key(|g| g.min_rank);
+        Engine::TupleSpace(groups)
+    }
+
+    /// Table name (copied from the source table).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table's match kind.
+    pub fn kind(&self) -> MatchKind {
+        self.kind
+    }
+
+    /// The key layout.
+    pub fn key(&self) -> &KeyLayout {
+        &self.key
+    }
+
+    /// Entries compiled in (counting duplicates shadowed by hashing).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the source table had no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The default action on miss.
+    pub fn default_action(&self) -> Action {
+        self.default_action
+    }
+
+    /// Which engine compilation chose: `"exact-hash"`, `"lpm-buckets"`,
+    /// `"range-index"`, `"tuple-space"` or `"scan"` (the ternary
+    /// high-mask-diversity fallback).
+    pub fn strategy(&self) -> &'static str {
+        match &self.engine {
+            Engine::ExactHash(_) => "exact-hash",
+            Engine::LpmBuckets(_) => "lpm-buckets",
+            Engine::RangeIndex(_) => "range-index",
+            Engine::TupleSpace(_) => "tuple-space",
+            Engine::Scan(_) => "scan",
+        }
+    }
+
+    /// Looks up `key`, returning the selected action (the default on miss).
+    ///
+    /// `probe` is a caller-owned scratch buffer for masked probe keys; it
+    /// must be at least as long as the key width. Semantics are identical
+    /// to [`Table::peek`] on the source table, including wrong-width keys
+    /// missing to the default action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probe` is shorter than the key width.
+    pub fn lookup(&self, key: &[u8], probe: &mut [u8]) -> Action {
+        let width = self.key.width();
+        if key.len() != width {
+            return self.default_action;
+        }
+        assert!(probe.len() >= width, "probe buffer shorter than key");
+        match &self.engine {
+            Engine::ExactHash(map) => map.get(key).copied().unwrap_or(self.default_action),
+            Engine::LpmBuckets(buckets) => {
+                for bucket in buckets {
+                    let nbytes = prefix_bytes(bucket.prefix_len);
+                    mask_prefix_into(key, bucket.prefix_len, &mut probe[..nbytes]);
+                    if let Some(&action) = bucket.prefixes.get(&probe[..nbytes]) {
+                        return action;
+                    }
+                }
+                self.default_action
+            }
+            Engine::RangeIndex(index) => {
+                for &rank in &index.buckets[key[0] as usize] {
+                    let (lo, hi, action) = &index.entries[rank as usize];
+                    if key
+                        .iter()
+                        .zip(lo)
+                        .zip(hi)
+                        .all(|((&k, &l), &h)| k >= l && k <= h)
+                    {
+                        return *action;
+                    }
+                }
+                self.default_action
+            }
+            Engine::TupleSpace(groups) => {
+                let mut best: Option<(Rank, Action)> = None;
+                for group in groups {
+                    if let Some((rank, _)) = best {
+                        // Every entry in this and all later groups ranks
+                        // worse than the current winner: stop probing.
+                        if rank < group.min_rank {
+                            break;
+                        }
+                    }
+                    for ((slot, &k), &m) in probe[..width].iter_mut().zip(key).zip(&group.mask) {
+                        *slot = k & m;
+                    }
+                    if let Some(&(rank, action)) = group.slots.get(&probe[..width]) {
+                        if best.is_none_or(|(r, _)| rank < r) {
+                            best = Some((rank, action));
+                        }
+                    }
+                }
+                best.map_or(self.default_action, |(_, action)| action)
+            }
+            Engine::Scan(entries) => entries
+                .iter()
+                .find(|(spec, _)| spec.matches(key))
+                .map_or(self.default_action, |&(_, action)| action),
+        }
+    }
+
+    /// Allocating convenience wrapper around [`CompiledTable::lookup`];
+    /// drop-in for [`Table::peek`] in tests and cold paths.
+    pub fn peek(&self, key: &[u8]) -> Action {
+        let mut probe = vec![0u8; self.key.width()];
+        self.lookup(key, &mut probe)
+    }
+}
+
+/// Number of bytes a `prefix_len`-bit prefix occupies.
+fn prefix_bytes(prefix_len: usize) -> usize {
+    prefix_len.div_ceil(8)
+}
+
+/// The masked prefix bytes of `value` (trailing bits of the last byte
+/// zeroed).
+fn masked_prefix(value: &[u8], prefix_len: usize) -> Vec<u8> {
+    let nbytes = prefix_bytes(prefix_len);
+    let mut out = value[..nbytes].to_vec();
+    mask_last_byte(&mut out, prefix_len);
+    out
+}
+
+/// Writes the masked prefix of `key` into `out` (`out.len()` must be the
+/// prefix byte count).
+fn mask_prefix_into(key: &[u8], prefix_len: usize, out: &mut [u8]) {
+    out.copy_from_slice(&key[..out.len()]);
+    mask_last_byte(out, prefix_len);
+}
+
+fn mask_last_byte(bytes: &mut [u8], prefix_len: usize) {
+    let rem = prefix_len % 8;
+    if rem != 0 {
+        if let Some(last) = bytes.last_mut() {
+            *last &= 0xffu8 << (8 - rem);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(kind: MatchKind, width: usize, capacity: usize) -> Table {
+        Table::new("t", kind, KeyLayout::window(width), capacity, Action::NoOp)
+    }
+
+    #[test]
+    fn exact_hash_lookup_and_duplicate_keys() {
+        let mut t = table(MatchKind::Exact, 2, 16);
+        t.insert(MatchSpec::Exact(vec![1, 2]), Action::Drop, 5)
+            .unwrap();
+        // Lower-priority duplicate of the same key: shadowed by the first.
+        t.insert(MatchSpec::Exact(vec![1, 2]), Action::Forward(7), 1)
+            .unwrap();
+        t.insert(MatchSpec::Exact(vec![3, 4]), Action::Mirror(2), 0)
+            .unwrap();
+        let c = CompiledTable::compile(&t);
+        assert_eq!(c.strategy(), "exact-hash");
+        assert_eq!(c.len(), 3);
+        for key in [[1u8, 2], [3, 4], [9, 9]] {
+            assert_eq!(c.peek(&key), t.peek(&key), "key {key:?}");
+        }
+        assert_eq!(c.peek(&[1, 2]), Action::Drop);
+        assert_eq!(c.peek(&[9, 9]), Action::NoOp);
+    }
+
+    #[test]
+    fn lpm_buckets_probe_longest_prefix_first() {
+        let mut t = table(MatchKind::Lpm, 2, 16);
+        t.insert(
+            MatchSpec::Lpm {
+                value: vec![0xc0, 0x00],
+                prefix_len: 8,
+            },
+            Action::Forward(1),
+            0,
+        )
+        .unwrap();
+        t.insert(
+            MatchSpec::Lpm {
+                value: vec![0xc0, 0xa8],
+                prefix_len: 16,
+            },
+            Action::Forward(2),
+            0,
+        )
+        .unwrap();
+        t.insert(
+            MatchSpec::Lpm {
+                value: vec![0xa0, 0x00],
+                prefix_len: 3,
+            },
+            Action::Forward(3),
+            0,
+        )
+        .unwrap();
+        let c = CompiledTable::compile(&t);
+        assert_eq!(c.strategy(), "lpm-buckets");
+        // Longest prefix wins, partial-byte prefixes mask correctly.
+        assert_eq!(c.peek(&[0xc0, 0xa8]), Action::Forward(2));
+        assert_eq!(c.peek(&[0xc0, 0x01]), Action::Forward(1));
+        assert_eq!(c.peek(&[0xbf, 0xff]), Action::Forward(3)); // 101x_xxxx
+        assert_eq!(c.peek(&[0x80, 0x00]), Action::NoOp);
+        for hi in 0..=255u8 {
+            let key = [hi, 0xa8];
+            assert_eq!(c.peek(&key), t.peek(&key), "key {key:?}");
+        }
+    }
+
+    #[test]
+    fn range_index_respects_priority_among_overlaps() {
+        let mut t = table(MatchKind::Range, 2, 16);
+        t.insert(
+            MatchSpec::Range {
+                lo: vec![10, 0],
+                hi: vec![20, 255],
+            },
+            Action::Forward(1),
+            1,
+        )
+        .unwrap();
+        t.insert(
+            MatchSpec::Range {
+                lo: vec![15, 0],
+                hi: vec![30, 100],
+            },
+            Action::Drop,
+            9,
+        )
+        .unwrap();
+        let c = CompiledTable::compile(&t);
+        assert_eq!(c.strategy(), "range-index");
+        // Overlap region: the higher-priority entry wins.
+        assert_eq!(c.peek(&[17, 50]), Action::Drop);
+        // Covered only by the lower-priority entry (second byte too big).
+        assert_eq!(c.peek(&[17, 200]), Action::Forward(1));
+        assert_eq!(c.peek(&[25, 50]), Action::Drop);
+        assert_eq!(c.peek(&[9, 50]), Action::NoOp);
+        for b in 0..=255u8 {
+            let key = [b, 80];
+            assert_eq!(c.peek(&key), t.peek(&key), "key {key:?}");
+        }
+    }
+
+    #[test]
+    fn tuple_space_priority_ordering_and_ties() {
+        let mut t = table(MatchKind::Ternary, 1, 16);
+        t.insert(
+            MatchSpec::Ternary {
+                value: vec![0x10],
+                mask: vec![0xf0],
+            },
+            Action::Forward(1),
+            1,
+        )
+        .unwrap();
+        t.insert(
+            MatchSpec::Ternary {
+                value: vec![0x17],
+                mask: vec![0xff],
+            },
+            Action::Drop,
+            9,
+        )
+        .unwrap();
+        // Equal priority in a different mask group: insertion order breaks
+        // the tie, so the 0xf0 entry above must keep winning on 0x1_.
+        t.insert(
+            MatchSpec::Ternary {
+                value: vec![0x01],
+                mask: vec![0x0f],
+            },
+            Action::Mirror(5),
+            1,
+        )
+        .unwrap();
+        let c = CompiledTable::compile(&t);
+        assert_eq!(c.strategy(), "tuple-space");
+        assert_eq!(c.peek(&[0x17]), Action::Drop);
+        assert_eq!(c.peek(&[0x11]), Action::Forward(1));
+        assert_eq!(c.peek(&[0x21]), Action::Mirror(5));
+        for b in 0..=255u8 {
+            assert_eq!(c.peek(&[b]), t.peek(&[b]), "key {b:#x}");
+        }
+    }
+
+    #[test]
+    fn ternary_mask_diversity_falls_back_to_scan() {
+        let mut diverse = table(MatchKind::Ternary, 4, 64);
+        let mut shared = table(MatchKind::Ternary, 4, 64);
+        for i in 0..TUPLE_SPACE_FALLBACK_MIN as u8 {
+            // Every entry its own mask: tuple-space degenerates to one
+            // probe per entry, so compilation keeps the scan.
+            diverse
+                .insert(
+                    MatchSpec::Ternary {
+                        value: vec![i, 0, 0, 0],
+                        mask: vec![0xff, i, 0, 0],
+                    },
+                    Action::Drop,
+                    1,
+                )
+                .unwrap();
+            shared
+                .insert(
+                    MatchSpec::Ternary {
+                        value: vec![i, 0, 0, 0],
+                        mask: vec![0xff, 0xff, 0, 0],
+                    },
+                    Action::Drop,
+                    1,
+                )
+                .unwrap();
+        }
+        let diverse = CompiledTable::compile(&diverse);
+        let shared = CompiledTable::compile(&shared);
+        assert_eq!(diverse.strategy(), "scan");
+        assert_eq!(shared.strategy(), "tuple-space");
+        assert_eq!(diverse.peek(&[3, 0, 0, 0]), Action::Drop);
+        assert_eq!(shared.peek(&[3, 0, 0, 0]), Action::Drop);
+    }
+
+    #[test]
+    fn wrong_width_and_empty_tables_miss_to_default() {
+        let mut t = Table::new(
+            "t",
+            MatchKind::Exact,
+            KeyLayout::window(2),
+            8,
+            Action::Forward(4),
+        );
+        let empty = CompiledTable::compile(&t);
+        assert!(empty.is_empty());
+        assert_eq!(empty.peek(&[1, 2]), Action::Forward(4));
+        t.insert(MatchSpec::Exact(vec![1, 2]), Action::Drop, 0)
+            .unwrap();
+        let c = CompiledTable::compile(&t);
+        assert_eq!(c.peek(&[1]), Action::Forward(4));
+        assert_eq!(c.peek(&[1, 2, 3]), Action::Forward(4));
+        assert_eq!(c.peek(&[1, 2]), Action::Drop);
+        assert_eq!(c.name(), "t");
+        assert_eq!(c.kind(), MatchKind::Exact);
+        assert_eq!(c.default_action(), Action::Forward(4));
+        assert_eq!(c.key().width(), 2);
+    }
+}

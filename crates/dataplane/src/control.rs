@@ -239,7 +239,10 @@ impl ControlPlane {
 
     /// Snapshots the switch and atomically publishes the snapshot to every
     /// subscribed cell (RCU swap: workers pick it up at their next batch
-    /// boundary; no forwarding stall).
+    /// boundary; no forwarding stall). Snapshotting compiles each frozen
+    /// table into its O(1)/O(log n) lookup engine
+    /// ([`CompiledTable`](crate::compiled::CompiledTable)) — the compile
+    /// cost is paid here, once per publish, never on the packet path.
     pub fn publish(&self) -> PublishReport {
         let start = Instant::now();
         let snapshot = self.snapshot();

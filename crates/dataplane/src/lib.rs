@@ -4,9 +4,10 @@
 //! switch: a programmable [`parser::ParserSpec`] (parse-graph VM),
 //! match-action [`table::Table`]s with exact/ternary/LPM/range kinds and
 //! capacity limits, a TCAM/SRAM [`resources`] cost model, a software
-//! [`switch::Switch`] with counters and a throughput harness, and a
+//! [`switch::Switch`] with counters and a throughput harness, a
 //! [`control::ControlPlane`] that installs compiled rule sets and measures
-//! update latency.
+//! update latency, and a [`compiled::CompiledTable`] layer that lowers
+//! frozen tables into O(1)/O(log n) lookup engines for the read path.
 //!
 //! The claims the model preserves from real hardware are the ones the
 //! paper's evaluation rests on: *expressiveness* (match keys are arbitrary
@@ -42,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 pub mod action;
+pub mod compiled;
 pub mod control;
 pub mod key;
 pub mod parser;
@@ -51,6 +53,7 @@ pub mod switch;
 pub mod table;
 
 pub use action::{Action, Verdict};
+pub use compiled::CompiledTable;
 pub use control::{ControlPlane, InstallReport, PublishReport};
 pub use key::KeyLayout;
 pub use parser::ParserSpec;

@@ -5,13 +5,16 @@
 //! [`Switch::process`](crate::switch::Switch::process) mutates the switch
 //! (hit counters, per-switch counters), so it cannot be shared across
 //! threads without a write lock on the hot path. [`ReadPipeline`] splits
-//! that coupling: the match pipeline is frozen at snapshot time and matched
-//! with [`Table::peek`], while packet counters live in a caller-owned
-//! [`SwitchCounters`]. N shards can then share one snapshot through an
-//! `Arc` and their counters sum to exactly what a single switch replay
-//! would have produced.
+//! that coupling: each table is lowered into its
+//! [`CompiledTable`](crate::compiled::CompiledTable) engine at snapshot
+//! time (hash index, LPM buckets, range index or tuple-space search — see
+//! [`compiled`](crate::compiled)), while packet counters live in a
+//! caller-owned [`SwitchCounters`]. N shards can then share one snapshot
+//! through an `Arc` and their counters sum to exactly what a single switch
+//! replay would have produced.
 
 use crate::action::{Action, Verdict};
+use crate::compiled::CompiledTable;
 use crate::parser::ParserSpec;
 use crate::switch::SwitchCounters;
 use crate::table::Table;
@@ -30,9 +33,12 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct ReadPipeline {
     parser: ParserSpec,
-    stages: Vec<Table>,
+    stages: Vec<CompiledTable>,
     default_port: u16,
     version: u64,
+    /// Widest stage key, fixed at build time so the hot path sizes its
+    /// scratch once per packet instead of once per stage.
+    max_key_width: usize,
 }
 
 impl ReadPipeline {
@@ -42,11 +48,14 @@ impl ReadPipeline {
         default_port: u16,
         version: u64,
     ) -> Self {
+        let stages: Vec<CompiledTable> = stages.iter().map(CompiledTable::compile).collect();
+        let max_key_width = stages.iter().map(|s| s.key().width()).max().unwrap_or(0);
         ReadPipeline {
             parser,
             stages,
             default_port,
             version,
+            max_key_width,
         }
     }
 
@@ -62,7 +71,21 @@ impl ReadPipeline {
 
     /// Total installed entries across all stages.
     pub fn entry_count(&self) -> usize {
-        self.stages.iter().map(Table::len).sum()
+        self.stages.iter().map(CompiledTable::len).sum()
+    }
+
+    /// Borrows the compiled stages (e.g. to inspect which lookup engine
+    /// each table lowered to).
+    pub fn stages(&self) -> &[CompiledTable] {
+        &self.stages
+    }
+
+    /// The scratch length [`ReadPipeline::process_into`] needs: key plus
+    /// masked-probe halves, both sized to the widest stage key. Callers may
+    /// pre-size their scratch to this to avoid even the first-packet
+    /// resize.
+    pub fn scratch_len(&self) -> usize {
+        self.max_key_width * 2
     }
 
     /// Processes one frame to a verdict, accumulating into `counters`.
@@ -70,8 +93,10 @@ impl ReadPipeline {
     /// Semantics mirror [`Switch::process`](crate::switch::Switch::process)
     /// exactly, so per-shard counters from this path sum to the totals a
     /// single mutable switch would report for the same frames. `scratch` is
-    /// a reusable key buffer; it is resized per stage and never shrinks, so
-    /// the steady state allocates nothing.
+    /// a reusable buffer grown once to [`ReadPipeline::scratch_len`] (the
+    /// max key width is precomputed at snapshot build) and never shrunk, so
+    /// the steady state allocates nothing and the per-stage resize of the
+    /// old scan path is gone.
     pub fn process_into(
         &self,
         frame: &[u8],
@@ -83,11 +108,15 @@ impl ReadPipeline {
             counters.parser_rejected += 1;
             return Verdict::ParserReject;
         }
+        if scratch.len() < self.max_key_width * 2 {
+            scratch.resize(self.max_key_width * 2, 0);
+        }
+        let (key_buf, probe) = scratch.split_at_mut(self.max_key_width);
         let mut out_port = self.default_port;
         for table in &self.stages {
-            scratch.resize(table.key().width(), 0);
-            table.key().build_key_into(frame, scratch);
-            match table.peek(scratch) {
+            let width = table.key().width();
+            table.key().build_key_into(frame, &mut key_buf[..width]);
+            match table.lookup(&key_buf[..width], probe) {
                 Action::Drop => {
                     counters.dropped += 1;
                     return Verdict::Drop;
@@ -212,6 +241,21 @@ mod tests {
             .is_drop());
         assert!(!sw.process(&[0xbb, 0, 0, 0]).is_drop());
         assert_eq!(pipeline.entry_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_compiles_stages_and_sizes_scratch() {
+        let sw = switch_with_acl();
+        let pipeline = sw.read_pipeline(1);
+        assert_eq!(pipeline.stages().len(), 1);
+        assert_eq!(pipeline.stages()[0].strategy(), "tuple-space");
+        // Key width 2 → one key half + one probe half.
+        assert_eq!(pipeline.scratch_len(), 4);
+        // A pre-sized scratch is never regrown by the hot path.
+        let mut counters = SwitchCounters::default();
+        let mut scratch = vec![0u8; pipeline.scratch_len()];
+        pipeline.process_into(&[0xaa, 0, 0, 0], &mut counters, &mut scratch);
+        assert_eq!(scratch.len(), pipeline.scratch_len());
     }
 
     #[test]

@@ -207,7 +207,9 @@ impl Switch {
     }
 
     /// Freezes the current parser, stages and default port into a shareable
-    /// read-path snapshot tagged with `version`. See
+    /// read-path snapshot tagged with `version`, lowering every table into
+    /// its compiled lookup engine
+    /// ([`CompiledTable`](crate::compiled::CompiledTable)). See
     /// [`ReadPipeline`](crate::pipeline::ReadPipeline).
     pub fn read_pipeline(&self, version: u64) -> crate::pipeline::ReadPipeline {
         crate::pipeline::ReadPipeline::from_parts(

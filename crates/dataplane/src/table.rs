@@ -81,8 +81,14 @@ impl MatchSpec {
         }
     }
 
-    /// Returns `true` if `key` satisfies the spec.
+    /// Returns `true` if `key` satisfies the spec. A key whose width
+    /// differs from the spec's never matches: without the up-front check
+    /// the ternary/range `zip`s would silently truncate to the shorter
+    /// side and the LPM arm would index out of bounds.
     pub fn matches(&self, key: &[u8]) -> bool {
+        if key.len() != self.width() {
+            return false;
+        }
         match self {
             MatchSpec::Exact(v) => key == v.as_slice(),
             MatchSpec::Ternary { value, mask } => key
@@ -595,6 +601,39 @@ mod tests {
         t.clear();
         assert!(t.is_empty());
         assert_eq!(t.modify(h, Action::Drop), Err(TableError::NoSuchEntry(h)));
+    }
+
+    #[test]
+    fn wrong_width_keys_never_match() {
+        // Regression: the ternary/range arms used to zip-truncate, so a
+        // one-byte key could "match" a two-byte spec, and the LPM arm
+        // panicked on a key shorter than the prefix bytes.
+        let ternary = MatchSpec::Ternary {
+            value: vec![0x17, 0x00],
+            mask: vec![0xff, 0x00],
+        };
+        assert!(!ternary.matches(&[0x17]));
+        assert!(!ternary.matches(&[0x17, 0x00, 0x00]));
+        assert!(ternary.matches(&[0x17, 0x42]));
+
+        let range = MatchSpec::Range {
+            lo: vec![10, 0],
+            hi: vec![20, 255],
+        };
+        assert!(!range.matches(&[15]));
+        assert!(!range.matches(&[15, 0, 0]));
+
+        let lpm = MatchSpec::Lpm {
+            value: vec![0xc0, 0xa8],
+            prefix_len: 16,
+        };
+        assert!(!lpm.matches(&[0xc0])); // used to panic
+        assert!(!lpm.matches(&[0xc0, 0xa8, 0x01]));
+        assert!(lpm.matches(&[0xc0, 0xa8]));
+
+        let exact = MatchSpec::Exact(vec![1, 2]);
+        assert!(!exact.matches(&[1]));
+        assert!(!exact.matches(&[1, 2, 3]));
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub(crate) fn run_shard(
         let mut st = state.lock();
         st.ruleset_version = version;
     }
-    let mut scratch: Vec<u8> = Vec::new();
+    // Pre-sized to the snapshot's requirement so the forwarding loop never
+    // grows it; regrown only if a published ruleset widens its match keys.
+    let mut scratch: Vec<u8> = vec![0; pipeline.scratch_len()];
     let mut batch: Vec<Bytes> = Vec::with_capacity(batch_size);
     while let Ok(first) = rx.recv() {
         batch.push(first);
@@ -66,6 +68,9 @@ pub(crate) fn run_shard(
         if swapped {
             pipeline = cell.load();
             version = pipeline.version();
+            if scratch.len() < pipeline.scratch_len() {
+                scratch.resize(pipeline.scratch_len(), 0);
+            }
         }
         let mut st = state.lock();
         if swapped {
