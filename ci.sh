@@ -21,4 +21,9 @@ cargo bench --workspace --offline --no-run
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> conformance smoke (fixed seed, time-boxed)"
+# Re-run the seed-driven conformance suite under an explicit wall-clock
+# ceiling so a pathological slowdown fails CI instead of hanging it.
+timeout 60 cargo test -p p4guard-conformance --offline -q
+
 echo "==> OK"

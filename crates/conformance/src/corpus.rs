@@ -1,0 +1,130 @@
+//! Hex repro corpus: minimal failing inputs persisted as text files under
+//! `tests/corpus/` and replayed as pinned regressions.
+//!
+//! File format: `#`-prefixed comment lines (what the repro demonstrates),
+//! then hex digits in any layout — whitespace is ignored.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Renders bytes as commented hex, 32 bytes per line.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2 + bytes.len() / 16);
+    for chunk in bytes.chunks(32) {
+        for b in chunk {
+            out.push_str(&format!("{b:02x}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a corpus file body: `#` comment lines are skipped, whitespace
+/// is ignored, the rest must be an even number of hex digits.
+///
+/// # Errors
+///
+/// Returns a description of the first non-hex character or an odd digit
+/// count.
+pub fn from_hex(text: &str) -> Result<Vec<u8>, String> {
+    let mut nibbles = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        for ch in line.chars().filter(|c| !c.is_whitespace()) {
+            let n = ch
+                .to_digit(16)
+                .ok_or_else(|| format!("non-hex character {ch:?}"))?;
+            nibbles.push(n as u8);
+        }
+    }
+    if nibbles.len() % 2 != 0 {
+        return Err(format!("odd number of hex digits ({})", nibbles.len()));
+    }
+    Ok(nibbles.chunks(2).map(|p| (p[0] << 4) | p[1]).collect())
+}
+
+/// Loads every `*.hex` file in `dir`, sorted by file name.
+///
+/// # Errors
+///
+/// Returns I/O errors from the directory walk, or an
+/// [`io::ErrorKind::InvalidData`] error naming the file for malformed hex.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<(String, Vec<u8>)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("hex") {
+            continue;
+        }
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("<non-utf8>")
+            .to_owned();
+        let bytes = from_hex(&fs::read_to_string(&path)?)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{name}: {e}")))?;
+        out.push((name, bytes));
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Content fingerprint (FNV-1a) used to give repro files stable names.
+pub fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Writes a repro as `<dir>/<kind>-<fingerprint>.hex` with `comment`
+/// lines explaining what it pins, returning the path. Idempotent for
+/// identical bytes.
+///
+/// # Errors
+///
+/// Returns I/O errors from directory creation or the file write.
+pub fn write_repro(dir: &Path, kind: &str, comment: &str, bytes: &[u8]) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{kind}-{:016x}.hex", fingerprint(bytes)));
+    let mut body = String::new();
+    for line in comment.lines() {
+        body.push_str("# ");
+        body.push_str(line);
+        body.push('\n');
+    }
+    body.push_str(&to_hex(bytes));
+    fs::write(&path, body)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trips_with_comments() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let text = format!("# a comment\n\n{}", to_hex(&bytes));
+        assert_eq!(from_hex(&text).unwrap(), bytes);
+    }
+
+    #[test]
+    fn malformed_hex_is_rejected() {
+        assert!(from_hex("zz").is_err());
+        assert!(from_hex("abc").is_err());
+        assert_eq!(from_hex("# only comments\n").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        assert_eq!(fingerprint(b"abc"), fingerprint(b"abc"));
+        assert_ne!(fingerprint(b"abc"), fingerprint(b"abd"));
+    }
+}

@@ -1,0 +1,327 @@
+//! Structure-aware generation of *valid* frames, one generator per
+//! protocol family the `p4guard-packet` parsers understand.
+//!
+//! Valid frames matter more than random bytes: the deep codec paths
+//! (MQTT varints, CoAP option nibbles, DNS labels, nested IP options)
+//! only execute when the outer layers hold up, so mutation starts from
+//! well-formed inputs and corrupts them surgically (see [`crate::mutate`]).
+
+use p4guard_packet::addr::MacAddr;
+use p4guard_packet::arp::ArpHeader;
+use p4guard_packet::coap::CoapMessage;
+use p4guard_packet::dns::DnsMessage;
+use p4guard_packet::ethernet::VlanTag;
+use p4guard_packet::icmp::IcmpHeader;
+use p4guard_packet::modbus::ModbusAdu;
+use p4guard_packet::mqtt::MqttPacket;
+use p4guard_packet::packet::PacketBuilder;
+use p4guard_packet::tcp::{TcpFlags, TcpHeader};
+use p4guard_packet::zwire::{ZWireFrame, ZWireType};
+use p4guard_packet::{coap, dns, modbus, mqtt};
+use rand::prelude::*;
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// A protocol family with its own frame generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// MQTT over TCP/1883.
+    Mqtt,
+    /// CoAP over UDP/5683.
+    Coap,
+    /// DNS over UDP/53.
+    Dns,
+    /// Modbus over TCP/502.
+    Modbus,
+    /// Plain TCP with an unrecognized application payload.
+    Tcp,
+    /// Plain UDP with an unrecognized application payload.
+    Udp,
+    /// ICMP echo traffic.
+    Icmp,
+    /// ARP requests.
+    Arp,
+    /// The non-IP ZWire protocol.
+    ZWire,
+    /// UDP over IPv6.
+    Ipv6Udp,
+}
+
+impl Family {
+    /// Every family, in smoke-test order.
+    pub const ALL: [Family; 10] = [
+        Family::Mqtt,
+        Family::Coap,
+        Family::Dns,
+        Family::Modbus,
+        Family::Tcp,
+        Family::Udp,
+        Family::Icmp,
+        Family::Arp,
+        Family::ZWire,
+        Family::Ipv6Udp,
+    ];
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Family::Mqtt => "mqtt",
+            Family::Coap => "coap",
+            Family::Dns => "dns",
+            Family::Modbus => "modbus",
+            Family::Tcp => "tcp",
+            Family::Udp => "udp",
+            Family::Icmp => "icmp",
+            Family::Arp => "arp",
+            Family::ZWire => "zwire",
+            Family::Ipv6Udp => "ipv6-udp",
+        };
+        write!(f, "{s}")
+    }
+}
+
+fn builder<R: Rng>(rng: &mut R) -> PacketBuilder {
+    let mut b = PacketBuilder::new(
+        MacAddr::from_id(rng.gen_range(1..64)),
+        MacAddr::from_id(rng.gen_range(1..64)),
+    );
+    if rng.gen_bool(0.15) {
+        b.vlan(VlanTag::new(rng.gen_range(1..4095)));
+    }
+    b.ttl(rng.gen_range(1..=255));
+    b.ip_id(rng.gen());
+    if rng.gen_bool(0.2) {
+        b.dscp_ecn(rng.gen());
+    }
+    b
+}
+
+fn ips<R: Rng>(rng: &mut R) -> (Ipv4Addr, Ipv4Addr) {
+    (
+        Ipv4Addr::new(10, 0, rng.gen(), rng.gen_range(1..=254)),
+        Ipv4Addr::new(192, 168, rng.gen(), rng.gen_range(1..=254)),
+    )
+}
+
+fn payload<R: Rng>(rng: &mut R, max: usize) -> Vec<u8> {
+    let mut v = vec![0u8; rng.gen_range(0..=max)];
+    rng.fill(v.as_mut_slice());
+    v
+}
+
+fn label<R: Rng>(rng: &mut R) -> String {
+    const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-";
+    let len = rng.gen_range(1..=12);
+    (0..len)
+        .map(|_| *ALPHA.choose(rng).expect("alphabet is non-empty") as char)
+        .collect()
+}
+
+fn mqtt_packet<R: Rng>(rng: &mut R) -> MqttPacket {
+    match rng.gen_range(0..9) {
+        0 => MqttPacket::Connect {
+            keep_alive: rng.gen(),
+            client_id: label(rng),
+            connect_flags: rng.gen::<u8>() & 0xfe,
+        },
+        1 => MqttPacket::ConnAck {
+            session_present: rng.gen(),
+            return_code: rng.gen_range(0..6),
+        },
+        2 => {
+            let qos = rng.gen_range(0..=2);
+            MqttPacket::Publish {
+                topic: format!("{}/{}", label(rng), label(rng)),
+                packet_id: (qos > 0).then(|| rng.gen()),
+                qos,
+                retain: rng.gen(),
+                payload: payload(rng, 48),
+            }
+        }
+        3 => MqttPacket::PubAck {
+            packet_id: rng.gen(),
+        },
+        4 => MqttPacket::Subscribe {
+            packet_id: rng.gen(),
+            topic: format!("{}/#", label(rng)),
+            qos: rng.gen_range(0..=2),
+        },
+        5 => MqttPacket::SubAck {
+            packet_id: rng.gen(),
+            return_code: rng.gen_range(0..3),
+        },
+        6 => MqttPacket::PingReq,
+        7 => MqttPacket::Disconnect,
+        _ => MqttPacket::PingResp,
+    }
+}
+
+/// Generates one valid frame of the given family.
+///
+/// The result always parses cleanly through [`p4guard_packet::parse`] and
+/// classifies as the family's [`p4guard_packet::ProtocolTag`].
+pub fn valid_frame<R: Rng>(family: Family, rng: &mut R) -> Vec<u8> {
+    let b = builder(rng);
+    let (src, dst) = ips(rng);
+    let frame = match family {
+        Family::Mqtt => {
+            let tcp = TcpHeader::new(
+                rng.gen_range(1024..=65535),
+                mqtt::PORT,
+                rng.gen(),
+                rng.gen(),
+                TcpFlags::PSH | TcpFlags::ACK,
+            );
+            b.tcp(src, dst, tcp, &mqtt_packet(rng).encode())
+        }
+        Family::Coap => {
+            let token = payload(rng, 8);
+            let msg = if rng.gen_bool(0.5) {
+                let parts: Vec<String> = (0..rng.gen_range(1..=3)).map(|_| label(rng)).collect();
+                let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+                CoapMessage::get(rng.gen(), token, &refs)
+            } else {
+                CoapMessage::content_response(rng.gen(), token, payload(rng, 32))
+            };
+            b.udp(
+                src,
+                dst,
+                rng.gen_range(1024..=65535),
+                coap::PORT,
+                &msg.encode(),
+            )
+        }
+        Family::Dns => {
+            let mut msg = DnsMessage::query(
+                rng.gen(),
+                &(0..rng.gen_range(1..=4))
+                    .map(|_| label(rng))
+                    .collect::<Vec<_>>()
+                    .join("."),
+            );
+            if rng.gen_bool(0.3) {
+                msg.flags = DnsMessage::FLAGS_RESPONSE;
+                msg.ancount = rng.gen_range(1..=3);
+                msg.answer_bytes = payload(rng, 48);
+            }
+            b.udp(
+                src,
+                dst,
+                rng.gen_range(1024..=65535),
+                dns::PORT,
+                &msg.encode(),
+            )
+        }
+        Family::Modbus => {
+            let adu = if rng.gen_bool(0.5) {
+                ModbusAdu::read_holding_registers(
+                    rng.gen(),
+                    rng.gen(),
+                    rng.gen(),
+                    rng.gen_range(1..=125),
+                )
+            } else {
+                ModbusAdu::write_single_coil(rng.gen(), rng.gen(), rng.gen(), rng.gen())
+            };
+            let tcp = TcpHeader::new(
+                rng.gen_range(1024..=65535),
+                modbus::PORT,
+                rng.gen(),
+                rng.gen(),
+                TcpFlags::PSH | TcpFlags::ACK,
+            );
+            b.tcp(src, dst, tcp, &adu.encode())
+        }
+        Family::Tcp => {
+            let flags = [
+                TcpFlags::SYN,
+                TcpFlags::SYN | TcpFlags::ACK,
+                TcpFlags::ACK,
+                TcpFlags::FIN | TcpFlags::ACK,
+                TcpFlags::RST,
+                TcpFlags::PSH | TcpFlags::ACK | TcpFlags::URG,
+            ];
+            let tcp = TcpHeader::new(
+                rng.gen_range(1024..=65535),
+                rng.gen_range(1..1024),
+                rng.gen(),
+                rng.gen(),
+                *flags.choose(rng).expect("flag set is non-empty"),
+            );
+            b.tcp(src, dst, tcp, &payload(rng, 64))
+        }
+        Family::Udp => b.udp(
+            src,
+            dst,
+            rng.gen_range(1024..=65535),
+            rng.gen_range(1..1024),
+            &payload(rng, 64),
+        ),
+        Family::Icmp => b.icmp(
+            src,
+            dst,
+            IcmpHeader::echo_request(rng.gen(), rng.gen()),
+            &payload(rng, 32),
+        ),
+        Family::Arp => b.arp(&ArpHeader::request(
+            MacAddr::from_id(rng.gen_range(1..64)),
+            src,
+            dst,
+        )),
+        Family::ZWire => {
+            let types = [
+                ZWireType::Beacon,
+                ZWireType::Data,
+                ZWireType::Command,
+                ZWireType::Ack,
+                ZWireType::Pair,
+            ];
+            b.zwire(&ZWireFrame::new(
+                *types.choose(rng).expect("type set is non-empty"),
+                rng.gen(),
+                rng.gen(),
+                rng.gen(),
+                rng.gen(),
+                payload(rng, 40),
+            ))
+        }
+        Family::Ipv6Udp => {
+            let v6 = |rng: &mut R| {
+                Ipv6Addr::new(0xfd00, 0, 0, 0, rng.gen(), rng.gen(), rng.gen(), rng.gen())
+            };
+            let (s6, d6) = (v6(rng), v6(rng));
+            b.udp6(
+                s6,
+                d6,
+                rng.gen_range(1024..=65535),
+                if rng.gen_bool(0.3) {
+                    coap::PORT
+                } else {
+                    rng.gen_range(1..1024)
+                },
+                &payload(rng, 48),
+            )
+        }
+    };
+    frame.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4guard_packet::parse;
+
+    #[test]
+    fn every_family_generates_parsable_frames() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for family in Family::ALL {
+            for _ in 0..50 {
+                let frame = valid_frame(family, &mut rng);
+                let parsed = parse(&frame)
+                    .unwrap_or_else(|e| panic!("{family} generator emitted unparsable frame: {e}"));
+                drop(parsed);
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Field-aware corruption of valid frames.
+//!
+//! Mutations are biased toward the places parsers actually branch on:
+//! length and count fields (IHL, IPv4 total length, UDP length, TCP data
+//! offset, MQTT remaining-length varints, Modbus length, CoAP option
+//! nibbles, ZWire payload length), with plain bit flips, truncation and
+//! region duplication layered on top.
+
+use rand::prelude::*;
+
+/// Byte offsets where the standard encapsulation keeps its length, count
+/// and offset fields (Ethernet II, no VLAN): IPv4 ver/IHL (14), total
+/// length (16–17) / IPv6 payload length (18–19), fragment word (20–21),
+/// protocol (23), UDP length (38–39), TCP data offset (46), and the first
+/// application-layer bytes (54+) where MQTT varints, Modbus lengths, DNS
+/// counts and CoAP option nibbles live. VLAN-tagged frames shift by 4,
+/// which the random stomp arm covers.
+pub const LENGTH_FIELD_OFFSETS: &[usize] = &[
+    14, 16, 17, 18, 19, 20, 21, 23, 24, 38, 39, 46, 54, 55, 56, 57, 58, 59, 60,
+];
+
+/// Values that sit on parser decision boundaries: zero, one, nibble and
+/// sign edges, the IPv4 `0x45` ver/IHL byte and all-ones.
+pub const EXTREME_BYTES: &[u8] = &[
+    0x00, 0x01, 0x04, 0x0f, 0x3f, 0x40, 0x45, 0x50, 0x7f, 0x80, 0xc0, 0xf0, 0xff,
+];
+
+/// Applies 1–3 random structure-aware mutations to `frame` in place.
+///
+/// The frame may end up shorter (truncation, deletion) or longer
+/// (duplication); it is never left empty unless it started empty.
+pub fn mutate<R: Rng>(frame: &mut Vec<u8>, rng: &mut R) {
+    for _ in 0..rng.gen_range(1..=3) {
+        if frame.is_empty() {
+            return;
+        }
+        match rng.gen_range(0..6) {
+            // Lie in a length/count/offset field.
+            0 => {
+                let &at = LENGTH_FIELD_OFFSETS
+                    .choose(rng)
+                    .expect("offset list is non-empty");
+                if at < frame.len() {
+                    frame[at] = *EXTREME_BYTES.choose(rng).expect("byte list is non-empty");
+                }
+            }
+            // Truncate at an arbitrary offset.
+            1 => {
+                let at = rng.gen_range(0..frame.len());
+                frame.truncate(at);
+            }
+            // Flip one bit anywhere.
+            2 => {
+                let at = rng.gen_range(0..frame.len());
+                frame[at] ^= 1 << rng.gen_range(0..8);
+            }
+            // Stomp a random byte with a random value.
+            3 => {
+                let at = rng.gen_range(0..frame.len());
+                frame[at] = rng.gen();
+            }
+            // Delete a short region (shifts every later field).
+            4 => {
+                let at = rng.gen_range(0..frame.len());
+                let len = rng.gen_range(1..=8).min(frame.len() - at);
+                frame.drain(at..at + len);
+            }
+            // Duplicate a short region (nested-option / repeated-TLV abuse).
+            _ => {
+                let at = rng.gen_range(0..frame.len());
+                let len = rng.gen_range(1..=8).min(frame.len() - at);
+                let chunk: Vec<u8> = frame[at..at + len].to_vec();
+                frame.splice(at..at, chunk);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_is_deterministic_for_a_seed() {
+        let base: Vec<u8> = (0..120).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        mutate(&mut a, &mut StdRng::seed_from_u64(42));
+        mutate(&mut b, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+        let mut c = base;
+        mutate(&mut c, &mut StdRng::seed_from_u64(43));
+        // Different seeds almost surely differ; equality would mean the rng
+        // is being ignored.
+        assert_ne!(a, c);
+    }
+}

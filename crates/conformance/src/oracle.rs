@@ -1,0 +1,213 @@
+//! Differential oracles.
+//!
+//! * [`check_frame`]: the parser must never panic, and every layer struct
+//!   it yields must be a `decode → encode → decode` fixpoint — re-encoding
+//!   a decoded header and decoding it again must give back the identical
+//!   struct. Clean parse *errors* on corrupt input are conformant; only
+//!   panics and fixpoint divergences are bugs.
+//! * [`check_compiled`]: a [`CompiledTable`] must return exactly the
+//!   verdict of the reference priority scan (`Table::peek`) for any key.
+
+use p4guard_dataplane::table::Table;
+use p4guard_dataplane::CompiledTable;
+use p4guard_packet::arp::ArpHeader;
+use p4guard_packet::coap::CoapMessage;
+use p4guard_packet::dns::DnsMessage;
+use p4guard_packet::ethernet::EthernetHeader;
+use p4guard_packet::icmp::IcmpHeader;
+use p4guard_packet::ipv4::Ipv4Header;
+use p4guard_packet::ipv6::Ipv6Header;
+use p4guard_packet::modbus::ModbusAdu;
+use p4guard_packet::mqtt::MqttPacket;
+use p4guard_packet::tcp::TcpHeader;
+use p4guard_packet::udp::UdpHeader;
+use p4guard_packet::zwire::ZWireFrame;
+use p4guard_packet::{parse, Application, ParsedPacket, Transport};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A conformance violation found by an oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Failure {
+    /// Code panicked instead of returning an error.
+    Panic {
+        /// Best-effort panic payload.
+        detail: String,
+    },
+    /// A decoded struct did not survive `encode → decode`.
+    Fixpoint {
+        /// Which layer diverged (e.g. `"ipv4"`, `"mqtt"`).
+        layer: &'static str,
+        /// What differed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Failure::Panic { detail } => write!(f, "panic: {detail}"),
+            Failure::Fixpoint { layer, detail } => write!(f, "{layer} fixpoint broken: {detail}"),
+        }
+    }
+}
+
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn roundtrip<T, E>(
+    layer: &'static str,
+    original: &T,
+    encoded: &[u8],
+    decode: impl FnOnce(&[u8]) -> Result<(T, usize), E>,
+) -> Result<(), Failure>
+where
+    T: PartialEq + fmt::Debug,
+    E: fmt::Display,
+{
+    match decode(encoded) {
+        Ok((again, _)) if &again == original => Ok(()),
+        Ok((again, _)) => Err(Failure::Fixpoint {
+            layer,
+            detail: format!("decoded {original:?}, re-decoded {again:?}"),
+        }),
+        Err(e) => Err(Failure::Fixpoint {
+            layer,
+            detail: format!("re-encoding of {original:?} no longer decodes: {e}"),
+        }),
+    }
+}
+
+fn check_fixpoints(p: &ParsedPacket) -> Result<(), Failure> {
+    // Checksums and addresses are either absent from the structs or
+    // recomputed on encode, so dummy endpoints are fine for transport
+    // re-encoding: decode never verifies them.
+    let (a, b) = (Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+
+    let mut buf = Vec::new();
+    p.ethernet.encode(&mut buf);
+    roundtrip("ethernet", &p.ethernet, &buf, EthernetHeader::decode)?;
+
+    if let Some(arp) = &p.arp {
+        buf.clear();
+        arp.encode(&mut buf);
+        roundtrip("arp", arp, &buf, ArpHeader::decode)?;
+    }
+    if let Some(ip) = &p.ipv4 {
+        buf.clear();
+        ip.encode(&mut buf);
+        roundtrip("ipv4", ip, &buf, Ipv4Header::decode)?;
+    }
+    if let Some(ip6) = &p.ipv6 {
+        buf.clear();
+        ip6.encode(&mut buf);
+        roundtrip("ipv6", ip6, &buf, Ipv6Header::decode)?;
+    }
+    if let Some(zw) = &p.zwire {
+        let bytes = zw.encode();
+        roundtrip("zwire", zw, &bytes, ZWireFrame::decode)?;
+    }
+    match &p.transport {
+        Some(Transport::Tcp(tcp)) => {
+            buf.clear();
+            tcp.encode_with_payload(a, b, &[], &mut buf);
+            roundtrip("tcp", tcp, &buf, TcpHeader::decode)?;
+        }
+        Some(Transport::Udp(udp)) => {
+            buf.clear();
+            udp.encode_with_payload(a, b, &[], &mut buf);
+            roundtrip("udp", udp, &buf, UdpHeader::decode)?;
+        }
+        Some(Transport::Icmp(icmp)) => {
+            buf.clear();
+            icmp.encode_with_payload(&[], &mut buf);
+            roundtrip("icmp", icmp, &buf, IcmpHeader::decode)?;
+        }
+        None => {}
+    }
+    match &p.app {
+        Some(Application::Mqtt(m)) => roundtrip("mqtt", m, &m.encode(), MqttPacket::decode)?,
+        Some(Application::Coap(m)) => roundtrip("coap", m, &m.encode(), CoapMessage::decode)?,
+        Some(Application::Dns(m)) => roundtrip("dns", m, &m.encode(), DnsMessage::decode)?,
+        Some(Application::Modbus(m)) => roundtrip("modbus", m, &m.encode(), ModbusAdu::decode)?,
+        None => {}
+    }
+    Ok(())
+}
+
+/// Runs the frame oracle: panic-free parsing, and layer-struct fixpoints
+/// on whatever survives parsing.
+///
+/// # Errors
+///
+/// Returns the first [`Failure`] found; a clean [`p4guard_packet::parse`]
+/// error is conformant and returns `Ok`.
+pub fn check_frame(frame: &[u8]) -> Result<(), Failure> {
+    let parsed = match catch_unwind(AssertUnwindSafe(|| parse(frame))) {
+        Err(payload) => {
+            return Err(Failure::Panic {
+                detail: format!("parse: {}", panic_detail(payload)),
+            })
+        }
+        Ok(Err(_)) => return Ok(()),
+        Ok(Ok(p)) => p,
+    };
+    match catch_unwind(AssertUnwindSafe(|| check_fixpoints(&parsed))) {
+        Err(payload) => Err(Failure::Panic {
+            detail: format!("re-encode: {}", panic_detail(payload)),
+        }),
+        Ok(result) => result,
+    }
+}
+
+/// Runs the table oracle: [`CompiledTable::peek`] must agree with the
+/// reference scan `Table::peek` on `key`.
+///
+/// # Errors
+///
+/// Returns a [`Failure::Fixpoint`] describing both verdicts on divergence.
+pub fn check_compiled(table: &Table, compiled: &CompiledTable, key: &[u8]) -> Result<(), Failure> {
+    let want = table.peek(key);
+    let got = compiled.peek(key);
+    if got == want {
+        Ok(())
+    } else {
+        Err(Failure::Fixpoint {
+            layer: "compiled-table",
+            detail: format!(
+                "key {key:02x?}: scan says {want}, {} engine says {got}",
+                compiled.strategy()
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4guard_packet::addr::MacAddr;
+    use p4guard_packet::packet::PacketBuilder;
+    use p4guard_packet::tcp::TcpFlags;
+
+    #[test]
+    fn valid_frame_passes_and_truncations_never_fail_the_oracle() {
+        let b = PacketBuilder::new(MacAddr::from_id(1), MacAddr::from_id(2));
+        let frame = b.tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            TcpHeader::new(40000, 80, 1, 0, TcpFlags::SYN),
+            b"hello",
+        );
+        for cut in 0..=frame.len() {
+            check_frame(&frame[..cut]).expect("truncation must reject cleanly, not fail");
+        }
+    }
+}

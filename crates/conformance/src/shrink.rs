@@ -1,0 +1,76 @@
+//! Greedy shrinking of failing frames to minimal repros.
+//!
+//! Two passes, repeated to fixpoint (bounded): remove byte chunks of
+//! halving sizes while the predicate still fails, then zero individual
+//! bytes so the surviving repro highlights exactly which bytes matter.
+
+/// Shrinks `frame` to a (locally) minimal input for which `still_fails`
+/// returns `true`.
+///
+/// `still_fails(&frame)` must be `true` on entry; the result is the
+/// smallest frame the greedy passes could reach, never empty growth —
+/// only removals and zeroing are attempted.
+pub fn shrink_frame(frame: &[u8], still_fails: impl Fn(&[u8]) -> bool) -> Vec<u8> {
+    debug_assert!(still_fails(frame), "shrink needs a failing input");
+    let mut best = frame.to_vec();
+    // Chunk removal to fixpoint.
+    loop {
+        let mut progressed = false;
+        let mut chunk = best.len().max(1);
+        while chunk >= 1 {
+            let mut at = 0;
+            while at < best.len() {
+                let end = (at + chunk).min(best.len());
+                let mut candidate = Vec::with_capacity(best.len() - (end - at));
+                candidate.extend_from_slice(&best[..at]);
+                candidate.extend_from_slice(&best[end..]);
+                if still_fails(&candidate) {
+                    best = candidate;
+                    progressed = true;
+                    // Retry at the same offset: the next chunk shifted in.
+                } else {
+                    at = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        if !progressed {
+            break;
+        }
+    }
+    // Zero bytes that are not load-bearing.
+    for i in 0..best.len() {
+        if best[i] == 0 {
+            continue;
+        }
+        let saved = best[i];
+        best[i] = 0;
+        if !still_fails(&best) {
+            best[i] = saved;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_minimal_failing_subsequence() {
+        // Failing iff the frame contains the byte 0xbb.
+        let frame: Vec<u8> = (0..64).map(|i| if i == 40 { 0xbb } else { i }).collect();
+        let small = shrink_frame(&frame, |f| f.contains(&0xbb));
+        assert_eq!(small, vec![0xbb]);
+    }
+
+    #[test]
+    fn zeroes_non_load_bearing_bytes() {
+        // Failing iff byte 0 is 0x10 and the frame is at least 3 long.
+        let small = shrink_frame(&[0x10, 0xaa, 0xcc, 0xdd], |f| f.len() >= 3 && f[0] == 0x10);
+        assert_eq!(small, vec![0x10, 0, 0]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Pinned regressions: every hex repro under `tests/corpus/` is replayed
+//! through the frame oracle on every test run.
+//!
+//! The curated pins are frames that once broke an oracle (panic, unbounded
+//! allocation, or a `decode → encode → decode` divergence) and were fixed;
+//! fuzzer-discovered repros written by `smoke.rs` accumulate here too.
+
+use p4guard_conformance::{corpus, oracle};
+use p4guard_packet::addr::MacAddr;
+use p4guard_packet::mqtt::MqttPacket;
+use p4guard_packet::packet::PacketBuilder;
+use p4guard_packet::tcp::{TcpFlags, TcpHeader};
+use p4guard_packet::zwire::{ZWireFrame, ZWireType};
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// The hand-curated pins, built deterministically from the codecs.
+///
+/// Each is `(file name, what it pins, frame bytes)`.
+fn curated_pins() -> Vec<(&'static str, &'static str, Vec<u8>)> {
+    let b = PacketBuilder::new(MacAddr::from_id(1), MacAddr::from_id(2));
+    let (src, dst) = (Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2));
+    let mut pins = Vec::new();
+
+    // DNS label containing a dot: decoded to qname "." whose re-encoding
+    // collapsed to the root name, breaking the struct fixpoint. The
+    // decoder now rejects dot-bearing labels.
+    let mut q = Vec::new();
+    q.extend_from_slice(&[0x00, 0x07]); // id
+    q.extend_from_slice(&[0x01, 0x00]); // flags: standard query
+    q.extend_from_slice(&[0x00, 0x01]); // qdcount
+    q.extend_from_slice(&[0, 0, 0, 0, 0, 0]); // ancount/nscount/arcount
+    q.extend_from_slice(&[1, b'.', 0]); // qname: the label "."
+    q.extend_from_slice(&[0, 1, 0, 1]); // qtype A, qclass IN
+    pins.push((
+        "frame-dns-dot-label.hex",
+        "dns label \".\" used to break the qname round-trip fixpoint",
+        b.udp(src, dst, 40000, 53, &q).to_vec(),
+    ));
+
+    // IPv4 header with options (IHL 6): encode used to hard-code IHL 5,
+    // so header_len 24 re-encoded as 20 and the fixpoint broke.
+    let mut v = b.udp(src, dst, 40000, 9, b"opt").to_vec();
+    v[14] = 0x46; // version 4, IHL 6
+    let tl = u16::from_be_bytes([v[16], v[17]]) + 4;
+    v[16..18].copy_from_slice(&tl.to_be_bytes());
+    v.splice(34..34, [0x01, 0x01, 0x01, 0x00]); // NOP, NOP, NOP, EOL
+    pins.push((
+        "frame-ipv4-options-ihl.hex",
+        "ipv4 options (IHL 6) used to break the header_len fixpoint",
+        v,
+    ));
+
+    // TCP header with an MSS option (data offset 6): same hard-coded
+    // offset bug as IPv4, on the TCP side.
+    let mut v = b
+        .tcp(
+            src,
+            dst,
+            TcpHeader::new(40000, 80, 1, 0, TcpFlags::SYN),
+            b"",
+        )
+        .to_vec();
+    v[14 + 20 + 12] = 0x60; // data offset 6
+    let tl = u16::from_be_bytes([v[16], v[17]]) + 4;
+    v[16..18].copy_from_slice(&tl.to_be_bytes());
+    v.splice(54..54, [2, 4, 5, 0xb4]); // MSS 1460
+    pins.push((
+        "frame-tcp-options-offset.hex",
+        "tcp options (data offset 6) used to break the header_len fixpoint",
+        v,
+    ));
+
+    // MQTT remaining-length lie: the varint claims 127 bytes but the
+    // segment carries 9. Must stay a lenient opaque payload, not a panic.
+    let publish = MqttPacket::Publish {
+        topic: "a/b".into(),
+        packet_id: None,
+        qos: 0,
+        retain: false,
+        payload: vec![1, 2, 3],
+    };
+    let mut v = b
+        .tcp(
+            src,
+            dst,
+            TcpHeader::new(40000, 1883, 1, 1, TcpFlags::PSH | TcpFlags::ACK),
+            &publish.encode(),
+        )
+        .to_vec();
+    v[55] = 0x7f; // remaining-length byte (frame offset 14+20+20+1)
+    pins.push((
+        "frame-mqtt-varint-lie.hex",
+        "mqtt remaining-length varint lying about the body size",
+        v,
+    ));
+
+    // ZWire payload-length lie: the length byte (offset 24) claims 255
+    // bytes; the old arithmetic under-flowed on the trailing checksum.
+    let mut v = b
+        .zwire(&ZWireFrame::new(
+            ZWireType::Data,
+            0x1234,
+            1,
+            2,
+            3,
+            vec![9, 9, 9],
+        ))
+        .to_vec();
+    v[24] = 0xff;
+    pins.push((
+        "frame-zwire-length-lie.hex",
+        "zwire payload-length byte lying about the frame size",
+        v,
+    ));
+
+    pins
+}
+
+#[test]
+fn corpus_repros_stay_green() {
+    let entries = corpus::load_dir(&corpus_dir()).expect("corpus dir must load");
+    assert!(
+        entries.len() >= 5,
+        "corpus unexpectedly small: {} files",
+        entries.len()
+    );
+    let mut failures = Vec::new();
+    for (name, bytes) in entries {
+        if let Err(e) = oracle::check_frame(&bytes) {
+            failures.push(format!("{name}: {e}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "pinned repro(s) regressed:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn curated_pin_files_match_their_builders() {
+    let on_disk = corpus::load_dir(&corpus_dir()).expect("corpus dir must load");
+    for (name, _, bytes) in curated_pins() {
+        let found = on_disk
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("{name} missing; run the regenerate test"));
+        assert_eq!(
+            found.1, bytes,
+            "{name} drifted from its builder; run the regenerate test"
+        );
+    }
+}
+
+/// Rewrites the curated pin files from their builders. Run explicitly
+/// after changing a pin:
+/// `cargo test -p p4guard-conformance regenerate -- --ignored`
+#[test]
+#[ignore = "writes tests/corpus/ pin files"]
+fn regenerate_curated_pins() {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).expect("corpus dir must be creatable");
+    for (name, comment, bytes) in curated_pins() {
+        let body = format!("# {comment}\n{}", corpus::to_hex(&bytes));
+        std::fs::write(dir.join(name), body).expect("pin file must be writable");
+    }
+}

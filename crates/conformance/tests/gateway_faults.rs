@@ -1,0 +1,270 @@
+//! Gateway fault schedules: deterministic, seed-driven sequences of hot
+//! swaps, overload bursts and invalid installs, with differential oracles
+//! against a single-switch replay.
+//!
+//! Oracles:
+//! * **Phased equality** — with drains between swap points, the sharded
+//!   gateway's merged totals must equal a single switch replaying the same
+//!   frames under the same per-phase rulesets, for every shard count.
+//! * **Conservation** — under overload and mid-replay swaps (no drains),
+//!   every frame is either processed or counted as a backpressure drop;
+//!   nothing vanishes.
+//! * **Fault rejection** — a wrong-width ruleset install fails loudly and
+//!   leaves the gateway serving the previous ruleset.
+
+use bytes::Bytes;
+use p4guard_dataplane::action::Action;
+use p4guard_dataplane::control::ControlPlane;
+use p4guard_dataplane::key::KeyLayout;
+use p4guard_dataplane::parser::ParserSpec;
+use p4guard_dataplane::switch::Switch;
+use p4guard_dataplane::table::{MatchKind, Table, TableError};
+use p4guard_gateway::{Gateway, GatewayConfig};
+use p4guard_rules::{RuleSet, TernaryEntry};
+use rand::prelude::*;
+use std::time::{Duration, Instant};
+
+const SEED: u64 = 0xfa17_5eed;
+
+/// Offset of the IPv4 protocol byte in an Ethernet frame.
+const PROTO_OFF: usize = 14 + 9;
+
+/// An Ethernet+IPv4 frame for `flow` carrying protocol byte `proto`.
+/// Distinct flows produce distinct 5-tuples (and so distinct shards).
+fn frame(flow: u8, proto: u8, payload: u8) -> Bytes {
+    let mut f = vec![0u8; 14];
+    f[12] = 0x08; // EtherType IPv4
+    let mut ip = vec![0u8; 20];
+    ip[0] = 0x45;
+    ip[9] = proto;
+    ip[12..16].copy_from_slice(&[10, 0, 0, flow]);
+    ip[16..20].copy_from_slice(&[10, 0, 1, 1]);
+    f.extend_from_slice(&ip);
+    f.extend_from_slice(&(1000 + u16::from(flow)).to_be_bytes());
+    f.extend_from_slice(&443u16.to_be_bytes());
+    f.extend_from_slice(&[0, 9, 0, 0]);
+    f.push(payload);
+    Bytes::from(f)
+}
+
+/// A randomized workload over 16 flows and a protocol mix that includes
+/// values no ruleset mentions.
+fn workload<R: Rng>(rng: &mut R, n: usize) -> Vec<Bytes> {
+    (0..n)
+        .map(|i| {
+            let proto = *[6u8, 17, 1, 47, rng.gen()]
+                .choose(rng)
+                .expect("protocol list is non-empty");
+            frame(rng.gen_range(0..16), proto, i as u8)
+        })
+        .collect()
+}
+
+/// A control plane over a one-stage switch whose ternary ACL keys on the
+/// IPv4 protocol byte. Starts empty (everything forwards).
+fn build_control() -> (ControlPlane, usize) {
+    let parser = ParserSpec::raw_window(64, 14);
+    let mut switch = Switch::new("conf-gw", parser, 1);
+    let acl = Table::new(
+        "acl",
+        MatchKind::Ternary,
+        KeyLayout::new(vec![PROTO_OFF]),
+        64,
+        Action::NoOp,
+    );
+    let stage = switch.add_stage(acl);
+    (ControlPlane::new(switch), stage)
+}
+
+/// A small adversarial ruleset over the protocol byte: partial masks,
+/// duplicate priorities, occasional match-alls.
+fn random_ruleset<R: Rng>(rng: &mut R) -> RuleSet {
+    let mut rs = RuleSet::new(1, 0);
+    for _ in 0..rng.gen_range(1..=6) {
+        let mask = *[0xffu8, 0xff, 0xf0, 0x0f, 0x00]
+            .choose(rng)
+            .expect("mask list is non-empty");
+        rs.push(TernaryEntry::new(
+            vec![rng.gen()],
+            vec![mask],
+            1,
+            rng.gen_range(0..4),
+        ));
+    }
+    rs
+}
+
+fn drain(gw: &Gateway, expected: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while gw.snapshot().totals.received < expected {
+        assert!(
+            Instant::now() < deadline,
+            "gateway failed to drain to {expected} received frames"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Phased hot-swap schedule: for every shard count, gateway totals under a
+/// sequence of ruleset swaps (drained at each swap point) must equal a
+/// single switch replaying the identical schedule.
+#[test]
+fn phased_hot_swaps_match_single_switch_replay() {
+    for shards in [1usize, 2, 4, 8] {
+        let mut rng = StdRng::seed_from_u64(SEED ^ shards as u64);
+        let phases: Vec<(RuleSet, Vec<Bytes>)> = (0..4)
+            .map(|_| (random_ruleset(&mut rng), workload(&mut rng, 400)))
+            .collect();
+
+        let (control, stage) = build_control();
+        let (reference, ref_stage) = build_control();
+        let gw = Gateway::start(&control, GatewayConfig::with_shards(shards));
+
+        let mut sent = 0u64;
+        for (ruleset, frames) in &phases {
+            // Swap on the live path…
+            control.clear_stage(stage).unwrap();
+            control
+                .install_ruleset(stage, ruleset, Action::Drop)
+                .unwrap();
+            control.publish();
+            // …and identically on the reference switch.
+            reference.clear_stage(ref_stage).unwrap();
+            reference
+                .install_ruleset(ref_stage, ruleset, Action::Drop)
+                .unwrap();
+
+            for f in frames {
+                gw.dispatch(f.clone());
+            }
+            sent += frames.len() as u64;
+            // Drain so no queued frame straddles the next swap.
+            drain(&gw, sent);
+            reference.with_switch_mut(|sw| {
+                sw.run_frames(frames.iter().map(|f| f.as_ref()));
+            });
+        }
+
+        let snap = gw.finish();
+        let single = reference.with_switch_mut(|sw| sw.counters().clone());
+        assert_eq!(
+            snap.totals, single,
+            "{shards}-shard phased totals diverge from single-switch replay"
+        );
+        assert_eq!(snap.dropped_backpressure, 0, "blocking ingest never drops");
+    }
+}
+
+/// Mid-replay swaps with no drain: totals can legitimately split across
+/// ruleset versions, but conservation must hold exactly and the final
+/// version must be the last published one.
+#[test]
+fn undrained_swaps_lose_no_frames() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xdead);
+    let (control, stage) = build_control();
+    let gw = Gateway::start(&control, GatewayConfig::with_shards(4));
+    let frames = workload(&mut rng, 3000);
+    let mut last_version = 0;
+    for (i, f) in frames.iter().enumerate() {
+        if i % 500 == 250 {
+            let ruleset = random_ruleset(&mut rng);
+            control.clear_stage(stage).unwrap();
+            control
+                .install_ruleset(stage, &ruleset, Action::Drop)
+                .unwrap();
+            last_version = control.publish().version;
+        }
+        gw.dispatch(f.clone());
+    }
+    let snap = gw.finish();
+    assert_eq!(snap.totals.received, frames.len() as u64);
+    assert_eq!(snap.dropped_backpressure, 0);
+    assert_eq!(
+        snap.totals.forwarded + snap.totals.dropped + snap.totals.parser_rejected,
+        snap.totals.received,
+        "every received frame must get exactly one verdict"
+    );
+    assert_eq!(snap.version, last_version);
+}
+
+/// Queue-overload burst with non-blocking ingest and concurrent swaps:
+/// accepted + backpressure-dropped must equal offered, and the shards must
+/// process exactly the accepted frames.
+#[test]
+fn overload_bursts_conserve_every_frame() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xb00);
+    let (control, stage) = build_control();
+    let gw = Gateway::start(
+        &control,
+        GatewayConfig {
+            shards: 2,
+            queue_capacity: 4,
+            batch_size: 2,
+        },
+    );
+    let frames = workload(&mut rng, 4000);
+    let mut accepted = 0u64;
+    for (i, f) in frames.iter().enumerate() {
+        if i % 1000 == 500 {
+            let ruleset = random_ruleset(&mut rng);
+            control.clear_stage(stage).unwrap();
+            control
+                .install_ruleset(stage, &ruleset, Action::Drop)
+                .unwrap();
+            control.publish();
+        }
+        if gw.offer(f.clone()) {
+            accepted += 1;
+        }
+    }
+    let snap = gw.finish();
+    assert_eq!(snap.totals.received, accepted);
+    assert_eq!(
+        snap.totals.received + snap.dropped_backpressure,
+        frames.len() as u64,
+        "offered = processed + backpressure-dropped, nothing vanishes"
+    );
+    assert_eq!(
+        snap.totals.forwarded + snap.totals.dropped + snap.totals.parser_rejected,
+        snap.totals.received
+    );
+}
+
+/// A ruleset whose key width does not match the stage must be rejected
+/// with a typed error, and the gateway must keep serving the previously
+/// published ruleset untouched.
+#[test]
+fn wrong_width_ruleset_is_rejected_and_service_continues() {
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x1de);
+    let (control, stage) = build_control();
+
+    // Publish a known-good ruleset first: drop TCP.
+    let mut good = RuleSet::new(1, 0);
+    good.push(TernaryEntry::new(vec![6], vec![0xff], 1, 1));
+    control.install_ruleset(stage, &good, Action::Drop).unwrap();
+    let gw = Gateway::start(&control, GatewayConfig::with_shards(2));
+
+    // A two-byte-wide ruleset cannot install into the one-byte stage.
+    let mut wide = RuleSet::new(2, 0);
+    wide.push(TernaryEntry::new(vec![0xaa, 0xbb], vec![0xff, 0xff], 1, 1));
+    let err = control
+        .install_ruleset(stage, &wide, Action::Drop)
+        .expect_err("wrong-width install must fail");
+    assert!(
+        matches!(err, TableError::WidthMismatch { table: 1, entry: 2 }),
+        "want WidthMismatch, got {err}"
+    );
+
+    // The failed install must not have disturbed the live ruleset.
+    let frames = workload(&mut rng, 600);
+    let tcp = frames.iter().filter(|f| f[PROTO_OFF] == 6).count() as u64;
+    for f in &frames {
+        gw.dispatch(f.clone());
+    }
+    let snap = gw.finish();
+    assert_eq!(snap.totals.received, frames.len() as u64);
+    assert_eq!(
+        snap.totals.dropped, tcp,
+        "previous ruleset must still apply"
+    );
+}

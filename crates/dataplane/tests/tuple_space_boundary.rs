@@ -1,0 +1,181 @@
+//! Pins the tuple-space fallback threshold in `CompiledTable`: ternary
+//! tables fall back to the priority scan only when `entries >= 16` AND
+//! `distinct_masks * 2 > entries`. Rulesets exactly at, one below and one
+//! above the mask-diversity boundary must compile to the expected engine
+//! and — crucially — produce identical verdicts and priority ordering on
+//! both sides of the switch-over, across the full two-byte key space.
+
+use p4guard_dataplane::action::Action;
+use p4guard_dataplane::compiled::CompiledTable;
+use p4guard_dataplane::key::KeyLayout;
+use p4guard_dataplane::table::{MatchKind, MatchSpec, Table};
+
+/// Builds a ternary table with `entries` entries spread round-robin over
+/// `distinct_masks` distinct two-byte masks.
+///
+/// Mask 0 is the match-all `[0x00, 0x00]` so overlap is guaranteed and
+/// every probe key gets a non-default verdict; priorities cycle through a
+/// small range so duplicates occur and ordering is load-bearing.
+fn boundary_table(entries: usize, distinct_masks: usize) -> Table {
+    assert!(distinct_masks <= entries && distinct_masks <= 256);
+    let mut table = Table::new(
+        "boundary",
+        MatchKind::Ternary,
+        KeyLayout::window(2),
+        entries,
+        Action::NoOp,
+    );
+    for i in 0..entries {
+        let m = i % distinct_masks;
+        let mask = if m == 0 {
+            vec![0x00, 0x00]
+        } else {
+            vec![0xff, m as u8]
+        };
+        let value = vec![(i as u8).wrapping_mul(37), (i as u8).wrapping_mul(11)];
+        // Priorities 1..=3 with the match-alls lowest, so masked entries
+        // genuinely outrank them on overlapping keys.
+        let priority = if m == 0 { 0 } else { 1 + (i % 3) as i32 };
+        table
+            .insert(
+                MatchSpec::Ternary { value, mask },
+                Action::Forward(i as u16),
+                priority,
+            )
+            .expect("boundary entries are valid");
+    }
+    table
+}
+
+/// The three rulesets straddling the fallback boundary, plus the engine
+/// each must compile to:
+/// * exactly at the threshold — 16 entries over 8 masks (`8 * 2 == 16`,
+///   not greater) stays tuple-space;
+/// * one step above — 16 entries over 9 masks (`18 > 16`) falls back to
+///   the scan;
+/// * one entry below the gate — 15 entries with maximal mask diversity
+///   stays tuple-space regardless of diversity.
+const BOUNDARY_CASES: [(usize, usize, &str); 3] = [
+    (16, 8, "tuple-space"),
+    (16, 9, "scan"),
+    (15, 15, "tuple-space"),
+];
+
+#[test]
+fn fallback_threshold_is_exact() {
+    for (entries, masks, want) in BOUNDARY_CASES {
+        let table = boundary_table(entries, masks);
+        let compiled = CompiledTable::compile(&table);
+        assert_eq!(
+            compiled.strategy(),
+            want,
+            "{entries} entries over {masks} masks compiled to the wrong engine"
+        );
+        assert_eq!(compiled.len(), entries);
+    }
+}
+
+#[test]
+fn verdicts_agree_across_the_boundary_for_every_key() {
+    for (entries, masks, want) in BOUNDARY_CASES {
+        let table = boundary_table(entries, masks);
+        let compiled = CompiledTable::compile(&table);
+        assert_eq!(compiled.strategy(), want);
+        let mut non_default = 0u32;
+        for k in 0..=u16::MAX {
+            let key = k.to_be_bytes();
+            let scan = table.peek(&key);
+            assert_eq!(
+                compiled.peek(&key),
+                scan,
+                "{want} engine diverges from scan on key {key:02x?} \
+                 ({entries} entries, {masks} masks)"
+            );
+            if scan != Action::NoOp {
+                non_default += 1;
+            }
+        }
+        // The match-all entries guarantee the sweep was not vacuous.
+        assert_eq!(non_default, 65_536, "every key should hit an entry");
+    }
+}
+
+/// Priority ordering and insertion-order tie-breaks must be identical on
+/// both sides of the boundary: the same overlapping entry set, padded to
+/// land on either engine, must pick the same winner.
+#[test]
+fn priority_ordering_is_stable_across_engines() {
+    // Two match-all entries at the same priority: the first inserted must
+    // win; a higher-priority masked entry must beat both where it applies.
+    let build = |pad_masks: usize| {
+        let mut table = Table::new(
+            "ties",
+            MatchKind::Ternary,
+            KeyLayout::window(2),
+            16,
+            Action::NoOp,
+        );
+        table
+            .insert(
+                MatchSpec::Ternary {
+                    value: vec![0, 0],
+                    mask: vec![0, 0],
+                },
+                Action::Forward(100),
+                5,
+            )
+            .unwrap();
+        table
+            .insert(
+                MatchSpec::Ternary {
+                    value: vec![0, 0],
+                    mask: vec![0, 0],
+                },
+                Action::Forward(200),
+                5,
+            )
+            .unwrap();
+        table
+            .insert(
+                MatchSpec::Ternary {
+                    value: vec![0xab, 0x00],
+                    mask: vec![0xff, 0x00],
+                },
+                Action::Drop,
+                9,
+            )
+            .unwrap();
+        // Pad to 16 entries with never-matching low-priority entries over
+        // `pad_masks` distinct masks to steer the engine choice.
+        for i in 0..13usize {
+            let m = 1 + (i % pad_masks) as u8;
+            table
+                .insert(
+                    MatchSpec::Ternary {
+                        value: vec![0xff, m],
+                        mask: vec![0xff, m],
+                    },
+                    Action::Mirror(i as u16),
+                    -1,
+                )
+                .unwrap();
+        }
+        table
+    };
+
+    // 13 pad masks + 2 distinct real masks = 15 groups over 16 entries
+    // (30 > 16) forces the scan; 2 pad masks give 4 groups and stay
+    // tuple-space.
+    for (pad_masks, want) in [(2usize, "tuple-space"), (13usize, "scan")] {
+        let table = build(pad_masks);
+        let compiled = CompiledTable::compile(&table);
+        assert_eq!(compiled.strategy(), want);
+        // Tie between the two match-alls: first inserted wins on both
+        // engines.
+        assert_eq!(table.peek(&[0x11, 0x22]), Action::Forward(100));
+        assert_eq!(compiled.peek(&[0x11, 0x22]), Action::Forward(100));
+        // The priority-9 masked entry outranks both match-alls.
+        assert_eq!(table.peek(&[0xab, 0x77]), Action::Drop);
+        assert_eq!(compiled.peek(&[0xab, 0x77]), Action::Drop);
+    }
+}

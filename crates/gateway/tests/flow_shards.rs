@@ -1,0 +1,143 @@
+//! Property suite for flow sharding: frames of the same 5-tuple must land
+//! on the same shard for every shard count, shard indices must always be
+//! in range, and dispatching through a live gateway must account for every
+//! frame on exactly the shard the flow hash predicts, for 1–16 shards.
+
+use bytes::Bytes;
+use p4guard_dataplane::control::ControlPlane;
+use p4guard_dataplane::parser::ParserSpec;
+use p4guard_dataplane::switch::Switch;
+use p4guard_gateway::{flow_hash, shard_for, Gateway, GatewayConfig};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// An Ethernet+IPv4 frame with every non-5-tuple field parameterized so
+/// properties can prove they do not influence shard placement.
+#[allow(clippy::too_many_arguments)]
+fn ip_frame(
+    mac_fill: u8,
+    src: &[u8],
+    dst: &[u8],
+    proto: u8,
+    sport: u16,
+    dport: u16,
+    ttl: u8,
+    ip_id: u16,
+    payload: &[u8],
+) -> Vec<u8> {
+    let mut f = vec![mac_fill; 12];
+    f.extend_from_slice(&[0x08, 0x00]); // EtherType IPv4
+    let mut ip = [0u8; 20];
+    ip[0] = 0x45;
+    ip[4..6].copy_from_slice(&ip_id.to_be_bytes());
+    ip[8] = ttl;
+    ip[9] = proto;
+    ip[12..16].copy_from_slice(src);
+    ip[16..20].copy_from_slice(dst);
+    f.extend_from_slice(&ip);
+    f.extend_from_slice(&sport.to_be_bytes());
+    f.extend_from_slice(&dport.to_be_bytes());
+    f.extend_from_slice(&[0, 0, 0, 0]); // rest of the L4 header prefix
+    f.extend_from_slice(payload);
+    f
+}
+
+proptest! {
+    /// Two frames of the identical 5-tuple — but different MACs, TTLs, IP
+    /// identification and payloads — hash identically and land on the same
+    /// shard for every shard count from 1 to 16.
+    #[test]
+    fn same_flow_same_shard_for_every_shard_count(
+        src in collection::vec(any::<u8>(), 4usize),
+        dst in collection::vec(any::<u8>(), 4usize),
+        is_tcp in any::<bool>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        mac_a in any::<u8>(),
+        ttl_a in any::<u8>(),
+        id_a in any::<u16>(),
+        mac_b in any::<u8>(),
+        ttl_b in any::<u8>(),
+        id_b in any::<u16>(),
+        pay_a in collection::vec(any::<u8>(), 0..32),
+        pay_b in collection::vec(any::<u8>(), 0..32),
+    ) {
+        let proto = if is_tcp { 6 } else { 17 };
+        let a = ip_frame(mac_a, &src, &dst, proto, sport, dport, ttl_a, id_a, &pay_a);
+        let b = ip_frame(mac_b, &src, &dst, proto, sport, dport, ttl_b, id_b, &pay_b);
+        prop_assert_eq!(flow_hash(&a), flow_hash(&b));
+        for shards in 1..=16usize {
+            prop_assert_eq!(
+                shard_for(&a, shards),
+                shard_for(&b, shards),
+                "5-tuple twins split across shards at {} shards",
+                shards
+            );
+        }
+    }
+
+    /// Any byte string — IPv4 or not, truncated or not — maps into range
+    /// for every shard count.
+    #[test]
+    fn shard_index_is_always_in_range(
+        frame in collection::vec(any::<u8>(), 0..96),
+        shards in 1..=16usize,
+    ) {
+        prop_assert!(shard_for(&frame, shards) < shards);
+    }
+}
+
+/// Dispatching a fixed workload through a live gateway at every shard
+/// count 1–16: the per-shard processed counts must sum to the workload
+/// size, and each shard must process exactly the frames `shard_for`
+/// assigns to it.
+#[test]
+fn dispatch_totals_account_for_every_frame_across_shard_counts() {
+    // 320 frames over 40 flows, both TCP and UDP.
+    let frames: Vec<Bytes> = (0..320u16)
+        .map(|i| {
+            let flow = (i % 40) as u8;
+            let proto = if flow.is_multiple_of(2) { 6 } else { 17 };
+            Bytes::from(ip_frame(
+                0x02,
+                &[10, 0, 0, flow],
+                &[10, 0, 1, 1],
+                proto,
+                1000 + u16::from(flow),
+                443,
+                64,
+                i,
+                &i.to_be_bytes(),
+            ))
+        })
+        .collect();
+
+    for shards in 1..=16usize {
+        let mut predicted = vec![0u64; shards];
+        for f in &frames {
+            predicted[shard_for(f, shards)] += 1;
+        }
+
+        let parser = ParserSpec::raw_window(64, 14);
+        let control = ControlPlane::new(Switch::new("flow-shards", parser, 1));
+        let gw = Gateway::start(&control, GatewayConfig::with_shards(shards));
+        for f in &frames {
+            assert_eq!(gw.shard_of(f), shard_for(f, shards));
+            gw.dispatch(f.clone());
+        }
+        let snap = gw.finish();
+
+        assert_eq!(snap.shards.len(), shards);
+        assert_eq!(snap.totals.received, frames.len() as u64);
+        let processed: Vec<u64> = snap.shards.iter().map(|s| s.processed).collect();
+        assert_eq!(
+            processed.iter().sum::<u64>(),
+            frames.len() as u64,
+            "{shards}-shard dispatch lost or duplicated frames"
+        );
+        assert_eq!(
+            processed, predicted,
+            "{shards}-shard placement diverges from shard_for"
+        );
+    }
+}

@@ -150,6 +150,15 @@ fn decode_name(buf: &[u8], start: usize) -> Result<(String, usize), ParseError> 
             .ok_or_else(|| ParseError::truncated("dns label", end, buf.len()))?;
         let label = std::str::from_utf8(bytes)
             .map_err(|_| ParseError::invalid("dns label", "label is not utf-8"))?;
+        // The dotted-name form cannot represent a label that itself
+        // contains a dot: `decode → encode` would re-split it into
+        // different labels, breaking the round-trip fixpoint.
+        if label.contains('.') {
+            return Err(ParseError::invalid(
+                "dns label",
+                "label contains a dot (not representable in dotted-name form)",
+            ));
+        }
         labels.push(label.to_owned());
         at = end;
     }
@@ -199,5 +208,33 @@ mod tests {
     #[should_panic(expected = "63 bytes")]
     fn encode_panics_on_long_label() {
         let _ = DnsMessage::query(1, &"x".repeat(64)).encode();
+    }
+
+    #[test]
+    fn rejects_label_containing_dot() {
+        // Conformance-fuzzer repro: a wire label consisting of a single "."
+        // decodes to qname "." whose re-encoding (split on dots, empty
+        // labels dropped) is the root name — decode(encode(m)) != m.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&[0, 1]); // id
+        bytes.extend_from_slice(&[1, 0]); // flags
+        bytes.extend_from_slice(&[0, 1]); // qdcount
+        bytes.extend_from_slice(&[0, 0, 0, 0, 0, 0]); // ancount/nscount/arcount
+        bytes.extend_from_slice(&[1, b'.', 0]); // name: label "." + root
+        bytes.extend_from_slice(&[0, 1, 0, 1]); // qtype/qclass
+        assert!(DnsMessage::decode(&bytes).is_err());
+        // Same for a label hiding dots between letters.
+        bytes[12..15].copy_from_slice(&[3, b'a', b'.']);
+        bytes.insert(15, b'b');
+        assert!(DnsMessage::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn root_query_round_trips() {
+        // The empty qname (root-domain query) must stay a fixpoint.
+        let q = DnsMessage::query(9, "");
+        let bytes = q.encode();
+        let (decoded, _) = DnsMessage::decode(&bytes).unwrap();
+        assert_eq!(decoded, q);
     }
 }

@@ -80,8 +80,8 @@ pub struct Ipv4Header {
     pub src: Ipv4Addr,
     /// Destination address.
     pub dst: Ipv4Addr,
-    /// Header length in bytes (IHL × 4); always [`HEADER_LEN`] for encoded
-    /// headers, but preserved from the wire on decode.
+    /// Header length in bytes (IHL × 4); preserved from the wire on decode
+    /// and honoured on encode (option bytes re-encode as zero padding).
     pub header_len: u8,
 }
 
@@ -153,10 +153,15 @@ impl Ipv4Header {
 
     /// Appends the encoded header (with a correct checksum) to `out`.
     ///
-    /// Always emits the 20-byte options-free form.
+    /// Emits `header_len` bytes; headers decoded from frames with IP
+    /// options keep their IHL, with the option bytes zeroed.
     pub fn encode(&self, out: &mut Vec<u8>) {
         let start = out.len();
-        out.push(0x45); // version 4, IHL 5
+        // Honour the decoded header length: option *bytes* are not retained
+        // by this view, so they re-encode as zero padding, but the IHL (and
+        // therefore the struct round-trip) stays faithful.
+        let header_len = usize::from(self.header_len).clamp(HEADER_LEN, 60) & !3;
+        out.push(0x40 | (header_len / 4) as u8);
         out.push(self.dscp_ecn);
         wire::put_u16(out, self.total_len);
         wire::put_u16(out, self.identification);
@@ -173,7 +178,8 @@ impl Ipv4Header {
         wire::put_u16(out, 0); // checksum placeholder
         out.extend_from_slice(&self.src.octets());
         out.extend_from_slice(&self.dst.octets());
-        let ck = checksum::internet_checksum(&out[start..start + HEADER_LEN]);
+        out.resize(start + header_len, 0); // zeroed option bytes
+        let ck = checksum::internet_checksum(&out[start..start + header_len]);
         out[start + 10..start + 12].copy_from_slice(&ck.to_be_bytes());
     }
 }
@@ -237,6 +243,27 @@ mod tests {
         buf.extend_from_slice(&[1, 1, 1, 1]);
         let (_, used) = Ipv4Header::decode(&buf).unwrap();
         assert_eq!(used, 24);
+    }
+
+    #[test]
+    fn options_header_round_trips_with_faithful_ihl() {
+        // Conformance-fuzzer repro: encode used to hard-code IHL 5, so a
+        // header decoded from an options-bearing frame failed the
+        // decode → encode → decode fixpoint (header_len 24 became 20).
+        let mut buf = Vec::new();
+        sample().encode(&mut buf);
+        buf[0] = 0x46; // IHL 6
+        buf.extend_from_slice(&[1, 2, 3, 4]);
+        let (decoded, used) = Ipv4Header::decode(&buf).unwrap();
+        assert_eq!(used, 24);
+        assert_eq!(decoded.header_len, 24);
+        let mut re = Vec::new();
+        decoded.encode(&mut re);
+        assert_eq!(re.len(), 24, "encode must honour the decoded IHL");
+        assert!(crate::checksum::verify(&re[..24]));
+        let (again, used_again) = Ipv4Header::decode(&re).unwrap();
+        assert_eq!(used_again, 24);
+        assert_eq!(again, decoded);
     }
 
     #[test]

@@ -89,6 +89,14 @@ pub fn read_pcap<R: Read>(mut reader: R) -> Result<Trace, TraceIoError> {
         let secs = read_u32([rec_header[0], rec_header[1], rec_header[2], rec_header[3]]);
         let usecs = read_u32([rec_header[4], rec_header[5], rec_header[6], rec_header[7]]);
         let captured = read_u32([rec_header[8], rec_header[9], rec_header[10], rec_header[11]]);
+        // Same untrusted-length defence as the `P4GT` reader: refuse to
+        // preallocate from a corrupt 32-bit captured-length field.
+        if captured > crate::trace::MAX_FRAME_LEN {
+            return Err(TraceIoError::Format(format!(
+                "pcap captured length {captured} exceeds the {}-byte cap",
+                crate::trace::MAX_FRAME_LEN
+            )));
+        }
         let mut frame = vec![0u8; captured as usize];
         reader.read_exact(&mut frame)?;
         trace.push(Record {

@@ -93,7 +93,8 @@ pub struct TcpHeader {
     /// Urgent pointer.
     pub urgent: u16,
     /// Header length in bytes (data offset × 4); preserved from the wire on
-    /// decode, always [`HEADER_LEN`] on encode.
+    /// decode and honoured on encode (option bytes re-encode as zero
+    /// padding).
     pub header_len: u8,
 }
 
@@ -158,11 +159,16 @@ impl TcpHeader {
         wire::put_u16(out, self.dst_port);
         wire::put_u32(out, self.seq);
         wire::put_u32(out, self.ack);
-        out.push(0x50); // data offset 5, reserved 0
+        // Honour the decoded data offset: option *bytes* are not retained
+        // by this view, so they re-encode as zero padding, but the offset
+        // (and therefore the struct round-trip) stays faithful.
+        let header_len = usize::from(self.header_len).clamp(HEADER_LEN, 60) & !3;
+        out.push((((header_len / 4) as u8) << 4) & 0xf0);
         out.push(self.flags.0);
         wire::put_u16(out, self.window);
         wire::put_u16(out, 0); // checksum placeholder
         wire::put_u16(out, self.urgent);
+        out.resize(start + header_len, 0); // zeroed option bytes
         out.extend_from_slice(payload);
         let ck = checksum::transport_checksum(src, dst, IpProtocol::Tcp.as_u8(), &out[start..]);
         out[start + 16..start + 18].copy_from_slice(&ck.to_be_bytes());
@@ -203,6 +209,33 @@ mod tests {
             z
         });
         assert_eq!(&buf[16..18], &ck.to_be_bytes());
+    }
+
+    #[test]
+    fn options_header_round_trips_with_faithful_offset() {
+        // Conformance-fuzzer repro: encode used to hard-code data offset 5,
+        // so a header decoded from an options-bearing segment failed the
+        // decode → encode → decode fixpoint (header_len 24 became 20).
+        let (src, dst) = addrs();
+        let mut buf = Vec::new();
+        TcpHeader::new(49152, 502, 3, 4, TcpFlags::PSH).encode_with_payload(
+            src,
+            dst,
+            &[],
+            &mut buf,
+        );
+        buf[12] = 0x60; // data offset 6
+        buf.extend_from_slice(&[2, 4, 5, 0xb4]); // MSS option
+        let (decoded, used) = TcpHeader::decode(&buf).unwrap();
+        assert_eq!(used, 24);
+        assert_eq!(decoded.header_len, 24);
+        let mut re = Vec::new();
+        decoded.encode_with_payload(src, dst, b"xy", &mut re);
+        assert_eq!(re.len(), 24 + 2, "encode must honour the decoded offset");
+        let (again, used_again) = TcpHeader::decode(&re).unwrap();
+        assert_eq!(used_again, 24);
+        assert_eq!(again, decoded);
+        assert_eq!(&re[used_again..], b"xy");
     }
 
     #[test]

@@ -148,6 +148,12 @@ pub struct Trace {
 const MAGIC: &[u8; 4] = b"P4GT";
 const FORMAT_VERSION: u8 = 1;
 
+/// Upper bound on a single record's frame length. The length prefix is an
+/// untrusted 32-bit field; without a cap, a corrupt prefix makes the reader
+/// preallocate up to 4 GiB before the truncation is even noticed. Jumbo
+/// Ethernet frames top out under 10 KiB, so 16 MiB is generous headroom.
+pub const MAX_FRAME_LEN: u32 = 1 << 24;
+
 impl Trace {
     /// Creates an empty trace.
     pub fn new() -> Self {
@@ -344,8 +350,22 @@ impl<R: Read> TraceReader<R> {
         };
         let mut len = [0u8; 4];
         self.reader.read_exact(&mut len)?;
-        let mut frame = vec![0u8; u32::from_le_bytes(len) as usize];
-        self.reader.read_exact(&mut frame)?;
+        let len = u32::from_le_bytes(len);
+        if len > MAX_FRAME_LEN {
+            return Err(TraceIoError::Format(format!(
+                "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap (corrupt length prefix)"
+            )));
+        }
+        let mut frame = vec![0u8; len as usize];
+        self.reader.read_exact(&mut frame).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                TraceIoError::Format(format!(
+                    "record truncated: frame claims {len} bytes but the stream ended early"
+                ))
+            } else {
+                TraceIoError::Io(e)
+            }
+        })?;
         Ok(Record {
             timestamp_us: u64::from_le_bytes(ts),
             flow_id: u64::from_le_bytes(flow),

@@ -33,6 +33,51 @@ fn in_memory_round_trip_of_large_trace() {
 }
 
 #[test]
+fn corrupt_length_prefix_is_rejected_without_huge_allocation() {
+    let trace = Scenario::smart_home_default(407).generate().unwrap();
+    let mut buf = Vec::new();
+    trace.write_to(&mut buf).unwrap();
+    // First record layout: magic(4) + version(1) + count(8) + ts(8) +
+    // flow(8) + label(1) puts the frame-length prefix at offset 30.
+    buf[30..34].copy_from_slice(&u32::MAX.to_le_bytes());
+    let err = Trace::read_from(buf.as_slice()).unwrap_err();
+    assert!(
+        err.to_string().contains("exceeds"),
+        "want the length-cap error, got: {err}"
+    );
+}
+
+#[test]
+fn truncated_final_record_yields_typed_error() {
+    let trace = Scenario::smart_home_default(408).generate().unwrap();
+    let mut buf = Vec::new();
+    trace.write_to(&mut buf).unwrap();
+    buf.truncate(buf.len() - 2); // cut into the last record's frame bytes
+    let mut reader = p4guard_packet::TraceReader::new(buf.as_slice()).unwrap();
+    let mut records = 0usize;
+    let mut saw_error = false;
+    for item in &mut reader {
+        match item {
+            Ok(_) => records += 1,
+            Err(e) => {
+                saw_error = true;
+                assert!(
+                    e.to_string().contains("truncated"),
+                    "want the truncation error, got: {e}"
+                );
+            }
+        }
+    }
+    assert!(saw_error, "truncation must surface as an error");
+    assert_eq!(
+        records,
+        trace.len() - 1,
+        "all complete records still decode"
+    );
+    assert!(reader.next().is_none(), "stream fuses after the error");
+}
+
+#[test]
 fn truncated_file_is_rejected_not_panicking() {
     let trace = Scenario::smart_home_default(406).generate().unwrap();
     let mut buf = Vec::new();
