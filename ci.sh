@@ -26,4 +26,45 @@ echo "==> conformance smoke (fixed seed, time-boxed)"
 # ceiling so a pathological slowdown fails CI instead of hanging it.
 timeout 60 cargo test -p p4guard-conformance --offline -q
 
+echo "==> metrics endpoint smoke (time-boxed)"
+# Serve a small generated scenario with a live /metrics endpoint on an
+# ephemeral port, scrape it once with the CLI's built-in client (no curl
+# in the image), and require the core frame counter family on the wire.
+CLI=target/release/p4guard-cli
+SMOKE_DIR="$(mktemp -d)"
+SERVE_PID=""
+trap 'rm -rf "$SMOKE_DIR"; kill "$SERVE_PID" 2>/dev/null || true' EXIT
+timeout 180 "$CLI" serve --shards 2 --seed 1 \
+  --metrics-addr 127.0.0.1:0 --hold 60 > "$SMOKE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 300); do
+  # The replay must have finished (endpoint held open) before we scrape,
+  # so the counters we grep for are final rather than mid-flight.
+  if grep -q 'holding metrics endpoint' "$SMOKE_DIR/serve.log"; then
+    ADDR=$(sed -n 's|^metrics: listening on http://\([0-9.:]*\)/metrics$|\1|p' "$SMOKE_DIR/serve.log")
+    break
+  fi
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "serve exited before holding the metrics endpoint:" >&2
+    cat "$SMOKE_DIR/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+if [ -z "$ADDR" ]; then
+  echo "never saw the metrics endpoint come up:" >&2
+  cat "$SMOKE_DIR/serve.log" >&2
+  exit 1
+fi
+# stats --metrics exits non-zero on connection failure or any non-200.
+"$CLI" stats --metrics "$ADDR" > "$SMOKE_DIR/metrics.txt"
+grep -q '^p4guard_frames_received_total' "$SMOKE_DIR/metrics.txt" || {
+  echo "p4guard_frames_received_total missing from /metrics:" >&2
+  head -50 "$SMOKE_DIR/metrics.txt" >&2
+  exit 1
+}
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+
 echo "==> OK"

@@ -13,8 +13,10 @@ use p4guard_dataplane::table::{MatchKind, MatchSpec, Table};
 use p4guard_gateway::{replay, Gateway, GatewayConfig, IngestMode};
 use p4guard_rules::ruleset::RuleSet;
 use p4guard_rules::ternary::TernaryEntry;
+use p4guard_telemetry::{Telemetry, TelemetryConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 const KEY_WIDTH: usize = 8;
 
@@ -77,6 +79,36 @@ fn f4_gateway(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+
+    // Replay throughput with the registry telemetry sink attached versus
+    // the no-op sink, at a fixed shard count — the overhead the ISSUE
+    // bounds at 3% (see also examples/telemetry_overhead.rs, which writes
+    // results/BENCH_telemetry.json from the same comparison).
+    let mut group = c.benchmark_group("f4_gateway_telemetry");
+    group.throughput(Throughput::Elements(frames.len() as u64));
+    group.sample_size(10);
+    group.bench_function("noop_sink", |b| {
+        b.iter(|| {
+            let control = synthetic_control(64);
+            let gw = Gateway::start(&control, GatewayConfig::with_shards(4));
+            let report = replay(&gw, frames.iter().cloned(), None, IngestMode::Blocking);
+            std::hint::black_box((gw.finish(), report))
+        })
+    });
+    group.bench_function("registry_sink", |b| {
+        b.iter(|| {
+            let control = synthetic_control(64);
+            let telemetry = Arc::new(Telemetry::new(TelemetryConfig::default()));
+            let gw = Gateway::start_with_telemetry(
+                &control,
+                GatewayConfig::with_shards(4),
+                Some(Arc::clone(&telemetry)),
+            );
+            let report = replay(&gw, frames.iter().cloned(), None, IngestMode::Blocking);
+            std::hint::black_box((gw.finish(), report, telemetry))
+        })
+    });
     group.finish();
 
     // Hot-swap update latency (clear + install + publish) versus rule-batch

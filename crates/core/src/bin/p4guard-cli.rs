@@ -8,11 +8,18 @@
 //! p4guard-cli evaluate --model guard.json --trace test.p4gt
 //! p4guard-cli export   --model guard.json --trace trace.p4gt --out-dir p4/
 //! p4guard-cli stats    --trace trace.p4gt
+//! p4guard-cli stats    --metrics 127.0.0.1:9100
 //! p4guard-cli serve    --shards 4 [--model guard.json] [--trace test.p4gt] [--pps 50000]
+//!                      [--metrics-addr 127.0.0.1:9100] [--hold SECS]
 //! ```
 //!
 //! `serve` replays a trace through the sharded online gateway, hot-swapping
-//! an optimized ruleset mid-run, and prints the aggregated snapshot.
+//! an optimized ruleset mid-run, and prints the aggregated snapshot. With
+//! `--metrics-addr` it also serves live Prometheus metrics (`/metrics`)
+//! and flight-recorder events (`/events`) while replaying; `--hold` keeps
+//! the endpoint up after the replay finishes so scrapers can collect the
+//! final state. `stats --metrics` fetches and prints a snapshot from such
+//! a running gateway.
 
 use p4guard::config::GuardConfig;
 use p4guard::pipeline::{TrainedGuard, TwoStagePipeline};
@@ -20,21 +27,28 @@ use p4guard::{p4gen, report};
 use p4guard_gateway::GatewayConfig;
 use p4guard_packet::pcap;
 use p4guard_packet::trace::Trace;
+use p4guard_telemetry::{http_get, MetricsServer, Telemetry, TelemetryConfig};
 use p4guard_traffic::scenario::Scenario;
 use p4guard_traffic::stats::TraceStats;
 use std::collections::HashMap;
 use std::error::Error;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE: &str = "usage:
   p4guard-cli generate --scenario <mixed|smart-home|industrial> [--seed N] --out FILE [--pcap FILE]
   p4guard-cli train    --trace FILE --out FILE [--k N] [--window N] [--fast]
   p4guard-cli evaluate --model FILE --trace FILE
   p4guard-cli export   --model FILE --trace FILE --out-dir DIR
-  p4guard-cli stats    --trace FILE
+  p4guard-cli stats    --trace FILE | --metrics ADDR [--events]
   p4guard-cli serve    [--shards N] [--model FILE] [--trace FILE] [--scenario S] [--seed N]
-                       [--pps N] [--queue N] [--batch N]";
+                       [--pps N] [--queue N] [--batch N]
+                       [--metrics-addr ADDR] [--hold SECS] [--sample-every N]";
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: [&str; 2] = ["fast", "events"];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -43,7 +57,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, found {:?}", args[i]))?;
-        if key == "fast" {
+        if BOOLEAN_FLAGS.contains(&key) {
             flags.insert(key.to_owned(), "true".to_owned());
             i += 1;
             continue;
@@ -153,6 +167,9 @@ fn run() -> Result<(), Box<dyn Error>> {
             Ok(())
         }
         "stats" => {
+            if let Some(addr) = flags.get("metrics") {
+                return fetch_remote_stats(addr, flags.contains_key("events"));
+            }
             let trace = Trace::load(required(&flags, "trace")?)?;
             println!("{}", TraceStats::compute(&trace));
             Ok(())
@@ -199,6 +216,31 @@ fn run() -> Result<(), Box<dyn Error>> {
                     TwoStagePipeline::new(GuardConfig::fast()).train(&trace)?
                 }
             };
+            let hold: u64 = flags.get("hold").map_or(Ok(0), |v| v.parse())?;
+            let sample_every: u64 = flags.get("sample-every").map_or(Ok(64), |v| v.parse())?;
+            let mut observability = match flags.get("metrics-addr") {
+                Some(addr) => {
+                    let telemetry = Arc::new(Telemetry::new(TelemetryConfig {
+                        sample_every,
+                        seed,
+                        ..TelemetryConfig::default()
+                    }));
+                    let server = MetricsServer::serve(addr, Arc::clone(&telemetry))?;
+                    // One line per endpoint; stdout is line-buffered, so
+                    // scripts polling the log see the bound (possibly
+                    // ephemeral) port as soon as the server is up.
+                    println!(
+                        "metrics: listening on http://{}/metrics",
+                        server.local_addr()
+                    );
+                    println!(
+                        "events : listening on http://{}/events",
+                        server.local_addr()
+                    );
+                    Some((telemetry, server))
+                }
+                None => None,
+            };
             println!(
                 "serving {} packets through {} shards (queue {}, batch {}){}",
                 trace.len(),
@@ -207,7 +249,12 @@ fn run() -> Result<(), Box<dyn Error>> {
                 config.batch_size,
                 pps.map_or(String::new(), |p| format!(" at {p} pps")),
             );
-            let live = guard.serve_live(&trace, config, pps)?;
+            let live = guard.serve_live_observed(
+                &trace,
+                config,
+                pps,
+                observability.as_ref().map(|(t, _)| Arc::clone(t)),
+            )?;
             println!(
                 "first half : {} packets in {:?} ({:.0} pps offered)",
                 live.first_half.offered, live.first_half.elapsed, live.first_half.offered_pps
@@ -229,10 +276,38 @@ fn run() -> Result<(), Box<dyn Error>> {
             if live.snapshot.dropped_backpressure == 0 {
                 println!("hot swap completed with zero packets dropped to backpressure");
             }
+            if let Some((_, server)) = observability.as_mut() {
+                if hold > 0 {
+                    println!("holding metrics endpoint for {hold}s");
+                    std::thread::sleep(Duration::from_secs(hold));
+                }
+                server.shutdown();
+            }
             Ok(())
         }
         other => Err(format!("unknown command {other:?}\n{USAGE}").into()),
     }
+}
+
+/// Fetches and prints `/metrics` (and with `events`, `/events`) from a
+/// gateway started with `serve --metrics-addr`. Non-200 responses and
+/// connection failures surface as errors, so scripts can gate on the
+/// exit code without needing `curl`.
+fn fetch_remote_stats(addr: &str, events: bool) -> Result<(), Box<dyn Error>> {
+    let timeout = Duration::from_secs(5);
+    let (status, body) = http_get(addr, "/metrics", timeout)?;
+    if status != 200 {
+        return Err(format!("GET /metrics on {addr} returned HTTP {status}").into());
+    }
+    print!("{body}");
+    if events {
+        let (status, body) = http_get(addr, "/events", timeout)?;
+        if status != 200 {
+            return Err(format!("GET /events on {addr} returned HTTP {status}").into());
+        }
+        println!("{body}");
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {

@@ -23,11 +23,13 @@ use p4guard_packet::trace::Trace;
 use p4guard_rules::compile::{compile_tree, CompiledRules, TooManyEntries};
 use p4guard_rules::ruleset::RuleSetDiff;
 use p4guard_rules::tree::DecisionTree;
+use p4guard_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Errors produced by [`TwoStagePipeline::train`].
@@ -377,9 +379,29 @@ impl TrainedGuard {
         config: GatewayConfig,
         target_pps: Option<f64>,
     ) -> Result<LiveReport, TableError> {
+        self.serve_live_observed(trace, config, target_pps, None)
+    }
+
+    /// [`TrainedGuard::serve_live`] with an optional telemetry bundle:
+    /// shard workers feed its metrics registry and flight recorder, the
+    /// mid-run publish leaves a swap audit event carrying the ruleset
+    /// diff, and a [`MetricsServer`](p4guard_telemetry::MetricsServer)
+    /// bound to the same bundle exposes it all live.
+    ///
+    /// # Errors
+    ///
+    /// Returns a table error when deployment or the mid-run reinstall
+    /// fails.
+    pub fn serve_live_observed(
+        &self,
+        trace: &Trace,
+        config: GatewayConfig,
+        target_pps: Option<f64>,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Result<LiveReport, TableError> {
         let capacity = (self.compiled.ternary.len() * 2).max(64);
         let control = self.deploy(capacity)?;
-        let gateway = Gateway::start(&control, config);
+        let gateway = Gateway::start_with_telemetry(&control, config, telemetry);
 
         let frames: Vec<Bytes> = trace.iter().map(|r| r.frame.clone()).collect();
         let mid = frames.len() / 2;
@@ -397,7 +419,7 @@ impl TrainedGuard {
         let diff = self.compiled.ternary.diff(&optimized);
         control.clear_stage(0)?;
         control.install_ruleset(0, &optimized, Action::Drop)?;
-        let swap = control.publish();
+        let swap = control.publish_audited(Some(&diff), false);
 
         let second_half = replay(
             &gateway,

@@ -33,7 +33,22 @@ use std::collections::HashMap;
 /// Rank of an entry in the frozen match order: the index into
 /// [`Table::entries`], which sorts by priority (descending) with insertion
 /// order breaking ties. Smaller rank wins.
-type Rank = u32;
+pub type Rank = u32;
+
+/// What a traced lookup observed (see [`CompiledTable::lookup_traced`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// An installed entry matched; carries its [`Rank`] in frozen match
+    /// order (the install-order identifier telemetry reports as the
+    /// matched rule id).
+    Hit(Rank),
+    /// No entry matched; the default action applied.
+    Miss,
+    /// The key width did not match the compiled layout; the default
+    /// action applied. Distinguished from [`LookupOutcome::Miss`] so the
+    /// drop taxonomy can separate configuration bugs from policy misses.
+    WrongWidth,
+}
 
 /// One hash bucket of the LPM engine: every installed prefix of one
 /// length, keyed by the masked prefix bytes.
@@ -41,8 +56,8 @@ type Rank = u32;
 struct LpmBucket {
     /// Prefix length in bits.
     prefix_len: usize,
-    /// Masked prefix bytes (`ceil(prefix_len / 8)` of them) → action.
-    prefixes: HashMap<Vec<u8>, Action>,
+    /// Masked prefix bytes (`ceil(prefix_len / 8)` of them) → entry.
+    prefixes: HashMap<Vec<u8>, (Rank, Action)>,
 }
 
 /// The range engine: entries indexed by which leading-byte values their
@@ -74,7 +89,7 @@ struct MaskGroup {
 #[derive(Debug, Clone)]
 enum Engine {
     /// Exact: one hash probe on the raw key bytes.
-    ExactHash(HashMap<Vec<u8>, Action>),
+    ExactHash(HashMap<Vec<u8>, (Rank, Action)>),
     /// LPM: one masked hash probe per distinct prefix length, longest
     /// first, so the first hit is the longest match.
     LpmBuckets(Vec<LpmBucket>),
@@ -125,10 +140,11 @@ impl CompiledTable {
 
     fn compile_exact(entries: &[crate::table::TableEntry]) -> Engine {
         let mut map = HashMap::with_capacity(entries.len());
-        for entry in entries {
+        for (rank, entry) in entries.iter().enumerate() {
             if let MatchSpec::Exact(value) = &entry.spec {
                 // First occurrence in match order wins duplicates.
-                map.entry(value.clone()).or_insert(entry.action);
+                map.entry(value.clone())
+                    .or_insert((rank as Rank, entry.action));
             }
         }
         Engine::ExactHash(map)
@@ -138,16 +154,20 @@ impl CompiledTable {
         // Entries arrive sorted by prefix length (the LPM priority),
         // longest first; group them into one hash bucket per length.
         let mut buckets: Vec<LpmBucket> = Vec::new();
-        for entry in entries {
+        for (rank, entry) in entries.iter().enumerate() {
+            let rank = rank as Rank;
             if let MatchSpec::Lpm { value, prefix_len } = &entry.spec {
                 let masked = masked_prefix(value, *prefix_len);
                 match buckets.iter_mut().find(|b| b.prefix_len == *prefix_len) {
                     Some(bucket) => {
-                        bucket.prefixes.entry(masked).or_insert(entry.action);
+                        bucket
+                            .prefixes
+                            .entry(masked)
+                            .or_insert((rank, entry.action));
                     }
                     None => buckets.push(LpmBucket {
                         prefix_len: *prefix_len,
-                        prefixes: HashMap::from([(masked, entry.action)]),
+                        prefixes: HashMap::from([(masked, (rank, entry.action))]),
                     }),
                 }
             }
@@ -255,23 +275,41 @@ impl CompiledTable {
     /// # Panics
     ///
     /// Panics if `probe` is shorter than the key width.
+    #[inline]
     pub fn lookup(&self, key: &[u8], probe: &mut [u8]) -> Action {
+        self.lookup_traced(key, probe).0
+    }
+
+    /// [`CompiledTable::lookup`] plus a [`LookupOutcome`] telling telemetry
+    /// whether an entry matched (and its [`Rank`]), the lookup missed to
+    /// the default, or the key width was wrong. The action returned is
+    /// identical to the untraced lookup; the outcome is dead code the
+    /// optimizer erases when a caller ignores it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probe` is shorter than the key width.
+    #[inline]
+    pub fn lookup_traced(&self, key: &[u8], probe: &mut [u8]) -> (Action, LookupOutcome) {
         let width = self.key.width();
         if key.len() != width {
-            return self.default_action;
+            return (self.default_action, LookupOutcome::WrongWidth);
         }
         assert!(probe.len() >= width, "probe buffer shorter than key");
+        let miss = (self.default_action, LookupOutcome::Miss);
         match &self.engine {
-            Engine::ExactHash(map) => map.get(key).copied().unwrap_or(self.default_action),
+            Engine::ExactHash(map) => map
+                .get(key)
+                .map_or(miss, |&(rank, action)| (action, LookupOutcome::Hit(rank))),
             Engine::LpmBuckets(buckets) => {
                 for bucket in buckets {
                     let nbytes = prefix_bytes(bucket.prefix_len);
                     mask_prefix_into(key, bucket.prefix_len, &mut probe[..nbytes]);
-                    if let Some(&action) = bucket.prefixes.get(&probe[..nbytes]) {
-                        return action;
+                    if let Some(&(rank, action)) = bucket.prefixes.get(&probe[..nbytes]) {
+                        return (action, LookupOutcome::Hit(rank));
                     }
                 }
-                self.default_action
+                miss
             }
             Engine::RangeIndex(index) => {
                 for &rank in &index.buckets[key[0] as usize] {
@@ -282,10 +320,10 @@ impl CompiledTable {
                         .zip(hi)
                         .all(|((&k, &l), &h)| k >= l && k <= h)
                     {
-                        return *action;
+                        return (*action, LookupOutcome::Hit(rank));
                     }
                 }
-                self.default_action
+                miss
             }
             Engine::TupleSpace(groups) => {
                 let mut best: Option<(Rank, Action)> = None;
@@ -306,12 +344,15 @@ impl CompiledTable {
                         }
                     }
                 }
-                best.map_or(self.default_action, |(_, action)| action)
+                best.map_or(miss, |(rank, action)| (action, LookupOutcome::Hit(rank)))
             }
             Engine::Scan(entries) => entries
                 .iter()
-                .find(|(spec, _)| spec.matches(key))
-                .map_or(self.default_action, |&(_, action)| action),
+                .enumerate()
+                .find(|(_, (spec, _))| spec.matches(key))
+                .map_or(miss, |(rank, &(_, action))| {
+                    (action, LookupOutcome::Hit(rank as Rank))
+                }),
         }
     }
 
@@ -559,5 +600,84 @@ mod tests {
         assert_eq!(c.kind(), MatchKind::Exact);
         assert_eq!(c.default_action(), Action::Forward(4));
         assert_eq!(c.key().width(), 2);
+    }
+
+    #[test]
+    fn traced_lookup_reports_rank_and_outcome() {
+        let mut t = table(MatchKind::Ternary, 1, 16);
+        t.insert(
+            MatchSpec::Ternary {
+                value: vec![0x10],
+                mask: vec![0xf0],
+            },
+            Action::Forward(1),
+            9,
+        )
+        .unwrap();
+        t.insert(
+            MatchSpec::Ternary {
+                value: vec![0x22],
+                mask: vec![0xff],
+            },
+            Action::Drop,
+            1,
+        )
+        .unwrap();
+        let c = CompiledTable::compile(&t);
+        let mut probe = [0u8; 1];
+        // Rank is the frozen match-order index: priority 9 entry is rank 0.
+        assert_eq!(
+            c.lookup_traced(&[0x15], &mut probe),
+            (Action::Forward(1), LookupOutcome::Hit(0))
+        );
+        assert_eq!(
+            c.lookup_traced(&[0x22], &mut probe),
+            (Action::Drop, LookupOutcome::Hit(1))
+        );
+        assert_eq!(
+            c.lookup_traced(&[0x99], &mut probe),
+            (Action::NoOp, LookupOutcome::Miss)
+        );
+        let mut wide = [0u8; 2];
+        assert_eq!(
+            c.lookup_traced(&[0x22, 0x00], &mut wide),
+            (Action::NoOp, LookupOutcome::WrongWidth)
+        );
+        // Traced and untraced lookups agree on the action for every key.
+        for b in 0..=255u8 {
+            assert_eq!(
+                c.lookup(&[b], &mut probe),
+                c.lookup_traced(&[b], &mut probe).0
+            );
+        }
+    }
+
+    #[test]
+    fn traced_rank_matches_across_engines() {
+        // Exact, LPM, and range engines report the frozen match-order rank.
+        let mut exact = table(MatchKind::Exact, 1, 8);
+        exact
+            .insert(MatchSpec::Exact(vec![7]), Action::Drop, 0)
+            .unwrap();
+        exact
+            .insert(MatchSpec::Exact(vec![9]), Action::Forward(1), 0)
+            .unwrap();
+        let c = CompiledTable::compile(&exact);
+        let mut probe = [0u8; 1];
+        assert_eq!(c.lookup_traced(&[9], &mut probe).1, LookupOutcome::Hit(1));
+
+        let mut range = table(MatchKind::Range, 1, 8);
+        range
+            .insert(
+                MatchSpec::Range {
+                    lo: vec![10],
+                    hi: vec![20],
+                },
+                Action::Drop,
+                1,
+            )
+            .unwrap();
+        let c = CompiledTable::compile(&range);
+        assert_eq!(c.lookup_traced(&[15], &mut probe).1, LookupOutcome::Hit(0));
     }
 }

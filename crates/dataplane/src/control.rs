@@ -6,8 +6,9 @@ use crate::action::Action;
 use crate::pipeline::{PipelineCell, ReadPipeline};
 use crate::switch::Switch;
 use crate::table::{EntryHandle, MatchSpec, Table, TableError};
-use p4guard_rules::ruleset::RuleSet;
+use p4guard_rules::ruleset::{RuleSet, RuleSetDiff};
 use p4guard_rules::tree::TreePath;
+use p4guard_telemetry::{Event, FlightRecorder};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,12 +53,13 @@ pub struct PublishReport {
 }
 
 /// A control plane bound to one switch. Clones share the switch, the
-/// subscriber list and the version counter.
+/// subscriber list, the version counter and the audit recorder.
 #[derive(Debug, Clone)]
 pub struct ControlPlane {
     switch: Arc<RwLock<Switch>>,
     subscribers: Arc<Mutex<Vec<Arc<PipelineCell>>>>,
     next_version: Arc<AtomicU64>,
+    recorder: Arc<Mutex<Option<Arc<FlightRecorder>>>>,
 }
 
 impl ControlPlane {
@@ -67,7 +69,14 @@ impl ControlPlane {
             switch: Arc::new(RwLock::new(switch)),
             subscribers: Arc::new(Mutex::new(Vec::new())),
             next_version: Arc::new(AtomicU64::new(1)),
+            recorder: Arc::new(Mutex::new(None)),
         }
+    }
+
+    /// Attaches a flight recorder; every publish from any clone then
+    /// leaves a swap audit event ([`Event::Swap`]) in it.
+    pub fn set_recorder(&self, recorder: Arc<FlightRecorder>) {
+        *self.recorder.lock() = Some(recorder);
     }
 
     fn stage_checked(sw: &mut Switch, stage: usize) -> Result<&mut Table, TableError> {
@@ -244,18 +253,41 @@ impl ControlPlane {
     /// ([`CompiledTable`](crate::compiled::CompiledTable)) — the compile
     /// cost is paid here, once per publish, never on the packet path.
     pub fn publish(&self) -> PublishReport {
+        self.publish_audited(None, false)
+    }
+
+    /// [`ControlPlane::publish`] plus an audit trail: when a recorder is
+    /// attached (see [`ControlPlane::set_recorder`]), records an
+    /// [`Event::Swap`] carrying the published version, entry count,
+    /// subscriber count, the entry delta (when the caller knows the
+    /// [`RuleSetDiff`] that produced this publish), whether shards were
+    /// drained first, and the publish duration.
+    pub fn publish_audited(&self, delta: Option<&RuleSetDiff>, drained: bool) -> PublishReport {
         let start = Instant::now();
         let snapshot = self.snapshot();
         let subscribers = self.subscribers.lock();
         for cell in subscribers.iter() {
             cell.publish(Arc::clone(&snapshot));
         }
-        PublishReport {
+        let report = PublishReport {
             version: snapshot.version(),
             entries: snapshot.entry_count(),
             subscribers: subscribers.len(),
             elapsed: start.elapsed(),
+        };
+        drop(subscribers);
+        if let Some(recorder) = self.recorder.lock().as_ref() {
+            recorder.record(Event::Swap {
+                version: report.version,
+                entries: report.entries,
+                subscribers: report.subscribers,
+                added: delta.map_or(0, |d| d.added.len()),
+                removed: delta.map_or(0, |d| d.removed.len()),
+                drained,
+                duration_ns: u64::try_from(report.elapsed.as_nanos()).unwrap_or(u64::MAX),
+            });
         }
+        report
     }
 }
 
@@ -429,5 +461,54 @@ mod tests {
         let cp2 = cp.clone();
         cp.install_ruleset(0, &ruleset(), Action::Drop).unwrap();
         cp2.with_switch(|sw| assert_eq!(sw.stage(0).len(), 2));
+    }
+
+    #[test]
+    fn audited_publish_records_swap_events() {
+        let cp = control_with_table(MatchKind::Ternary, 2, 16);
+        let recorder = Arc::new(FlightRecorder::new(16, 1, 0));
+        cp.set_recorder(Arc::clone(&recorder));
+        cp.install_ruleset(0, &ruleset(), Action::Drop).unwrap();
+
+        let old = RuleSet::new(2, 0);
+        let diff = old.diff(&ruleset());
+        let report = cp.publish_audited(Some(&diff), true);
+
+        // A clone shares the recorder: its plain publish is audited too.
+        cp.clone().publish();
+
+        let events = recorder.events();
+        assert_eq!(events.len(), 2);
+        match &events[0].event {
+            Event::Swap {
+                version,
+                entries,
+                subscribers,
+                added,
+                removed,
+                drained,
+                ..
+            } => {
+                assert_eq!(*version, report.version);
+                assert_eq!(*entries, 2);
+                assert_eq!(*subscribers, 0);
+                assert_eq!(*added, 2);
+                assert_eq!(*removed, 0);
+                assert!(*drained);
+            }
+            other => panic!("expected a swap event, got {other:?}"),
+        }
+        match &events[1].event {
+            Event::Swap {
+                added,
+                removed,
+                drained,
+                ..
+            } => {
+                // Plain publish carries no delta knowledge.
+                assert_eq!((*added, *removed, *drained), (0, 0, false));
+            }
+            other => panic!("expected a swap event, got {other:?}"),
+        }
     }
 }

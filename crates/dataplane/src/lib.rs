@@ -53,7 +53,7 @@ pub mod switch;
 pub mod table;
 
 pub use action::{Action, Verdict};
-pub use compiled::CompiledTable;
+pub use compiled::{CompiledTable, LookupOutcome, Rank};
 pub use control::{ControlPlane, InstallReport, PublishReport};
 pub use key::KeyLayout;
 pub use parser::ParserSpec;

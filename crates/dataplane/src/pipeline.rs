@@ -14,10 +14,11 @@
 //! replay would have produced.
 
 use crate::action::{Action, Verdict};
-use crate::compiled::CompiledTable;
+use crate::compiled::{CompiledTable, LookupOutcome, Rank};
 use crate::parser::ParserSpec;
 use crate::switch::SwitchCounters;
 use crate::table::Table;
+use p4guard_telemetry::{DropReason, NoopSink, TelemetrySink, VerdictKind};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -103,9 +104,27 @@ impl ReadPipeline {
         counters: &mut SwitchCounters,
         scratch: &mut Vec<u8>,
     ) -> Verdict {
+        self.process_with(frame, counters, scratch, &mut NoopSink)
+    }
+
+    /// [`ReadPipeline::process_into`] plus telemetry: reports per-stage
+    /// hit/miss, the refined drop reason, and the final verdict (with the
+    /// matched `(stage, rank)`) to `sink`. With [`NoopSink`] every report
+    /// is a no-op the compiler erases, so the un-instrumented hot path is
+    /// unchanged — benchmarks compare exactly this monomorphization
+    /// against an instrumented one.
+    pub fn process_with<S: TelemetrySink>(
+        &self,
+        frame: &[u8],
+        counters: &mut SwitchCounters,
+        scratch: &mut Vec<u8>,
+        sink: &mut S,
+    ) -> Verdict {
         counters.received += 1;
         if !self.parser.parse(frame).accepted {
             counters.parser_rejected += 1;
+            sink.drop_frame(DropReason::ParserRejected);
+            sink.verdict(VerdictKind::ParserReject, frame, None);
             return Verdict::ParserReject;
         }
         if scratch.len() < self.max_key_width * 2 {
@@ -113,12 +132,26 @@ impl ReadPipeline {
         }
         let (key_buf, probe) = scratch.split_at_mut(self.max_key_width);
         let mut out_port = self.default_port;
-        for table in &self.stages {
+        let mut matched: Option<(usize, Rank)> = None;
+        for (stage, table) in self.stages.iter().enumerate() {
             let width = table.key().width();
             table.key().build_key_into(frame, &mut key_buf[..width]);
-            match table.lookup(&key_buf[..width], probe) {
+            let (action, outcome) = table.lookup_traced(&key_buf[..width], probe);
+            if let LookupOutcome::Hit(rank) = outcome {
+                sink.table_lookup(stage, true);
+                matched = Some((stage, rank));
+            } else {
+                sink.table_lookup(stage, false);
+            }
+            match action {
                 Action::Drop => {
                     counters.dropped += 1;
+                    sink.drop_frame(match outcome {
+                        LookupOutcome::Hit(_) => DropReason::RuleDrop,
+                        LookupOutcome::Miss => DropReason::NoRule,
+                        LookupOutcome::WrongWidth => DropReason::WrongWidth,
+                    });
+                    sink.verdict(VerdictKind::Drop, frame, matched);
                     return Verdict::Drop;
                 }
                 Action::Forward(p) => out_port = p,
@@ -134,7 +167,18 @@ impl ReadPipeline {
             }
         }
         counters.forwarded += 1;
+        sink.verdict(VerdictKind::Forward, frame, matched);
         Verdict::Forward(out_port)
+    }
+
+    /// `(stage index, table name)` pairs for telemetry sinks rebuilding
+    /// their per-stage series after a swap.
+    pub fn stage_names(&self) -> Vec<(usize, String)> {
+        self.stages
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, t.name().to_string()))
+            .collect()
     }
 }
 

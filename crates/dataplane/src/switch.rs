@@ -6,6 +6,7 @@ use crate::parser::ParserSpec;
 use crate::resources::SwitchResources;
 use crate::table::Table;
 use p4guard_packet::trace::Trace;
+use p4guard_telemetry::{DropReason, NoopSink, TelemetrySink, VerdictKind};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -25,6 +26,24 @@ pub struct SwitchCounters {
     pub mirrored: u64,
     /// User counters (indexed by `Action::Count` ids).
     pub user: Vec<u64>,
+}
+
+impl SwitchCounters {
+    /// Folds another counter set into this one (shard → gateway totals).
+    /// User counters are summed index-wise, growing this set as needed.
+    pub fn merge(&mut self, other: &SwitchCounters) {
+        self.received += other.received;
+        self.forwarded += other.forwarded;
+        self.dropped += other.dropped;
+        self.parser_rejected += other.parser_rejected;
+        self.mirrored += other.mirrored;
+        if self.user.len() < other.user.len() {
+            self.user.resize(other.user.len(), 0);
+        }
+        for (acc, v) in self.user.iter_mut().zip(&other.user) {
+            *acc += v;
+        }
+    }
 }
 
 /// Result of replaying a batch of frames through the switch.
@@ -137,18 +156,49 @@ impl Switch {
 
     /// Processes one frame to a verdict, updating counters.
     pub fn process(&mut self, frame: &[u8]) -> Verdict {
+        self.process_with(frame, &mut NoopSink)
+    }
+
+    /// [`Switch::process`] plus telemetry: per-stage hit/miss, refined
+    /// drop reason, and a final verdict report go to `sink`. With
+    /// [`NoopSink`] (what [`Switch::process`] passes) the reports compile
+    /// to nothing. The behavioral model has no compiled width check — a
+    /// wrong-width key simply misses — so the mutable path never reports
+    /// `wrong_width`; see
+    /// [`ReadPipeline::process_with`](crate::pipeline::ReadPipeline::process_with)
+    /// for the compiled path that does.
+    pub fn process_with<S: TelemetrySink>(&mut self, frame: &[u8], sink: &mut S) -> Verdict {
         self.counters.received += 1;
         let outcome = self.parser.parse(frame);
         if !outcome.accepted {
             self.counters.parser_rejected += 1;
+            sink.drop_frame(DropReason::ParserRejected);
+            sink.verdict(VerdictKind::ParserReject, frame, None);
             return Verdict::ParserReject;
         }
         let mut out_port = self.default_port;
-        for (table, buf) in self.stages.iter_mut().zip(&mut self.key_buffers) {
+        let mut matched: Option<(usize, u32)> = None;
+        for (stage, (table, buf)) in self
+            .stages
+            .iter_mut()
+            .zip(&mut self.key_buffers)
+            .enumerate()
+        {
             table.key().build_key_into(frame, buf);
-            match table.lookup(buf) {
+            let (action, rank) = table.lookup_traced(buf);
+            sink.table_lookup(stage, rank.is_some());
+            if let Some(rank) = rank {
+                matched = Some((stage, rank));
+            }
+            match action {
                 Action::Drop => {
                     self.counters.dropped += 1;
+                    sink.drop_frame(if rank.is_some() {
+                        DropReason::RuleDrop
+                    } else {
+                        DropReason::NoRule
+                    });
+                    sink.verdict(VerdictKind::Drop, frame, matched);
                     return Verdict::Drop;
                 }
                 Action::Forward(p) => out_port = p,
@@ -164,6 +214,7 @@ impl Switch {
             }
         }
         self.counters.forwarded += 1;
+        sink.verdict(VerdictKind::Forward, frame, matched);
         Verdict::Forward(out_port)
     }
 
@@ -368,5 +419,81 @@ mod tests {
         sw.process(&[0xbb, 0, 0, 0]);
         sw.reset_counters();
         assert_eq!(sw.counters(), &SwitchCounters::default());
+    }
+
+    #[test]
+    fn merge_sums_all_fields_and_grows_user_counters() {
+        let mut a = SwitchCounters {
+            received: 10,
+            forwarded: 6,
+            dropped: 2,
+            parser_rejected: 2,
+            mirrored: 1,
+            user: vec![3],
+        };
+        let b = SwitchCounters {
+            received: 5,
+            forwarded: 5,
+            dropped: 0,
+            parser_rejected: 0,
+            mirrored: 0,
+            user: vec![1, 7],
+        };
+        a.merge(&b);
+        assert_eq!(a.received, 15);
+        assert_eq!(a.forwarded, 11);
+        assert_eq!(a.dropped, 2);
+        assert_eq!(a.parser_rejected, 2);
+        assert_eq!(a.mirrored, 1);
+        assert_eq!(a.user, vec![4, 7]);
+        // Merging into a default is identity.
+        let mut zero = SwitchCounters::default();
+        zero.merge(&a);
+        assert_eq!(zero, a);
+    }
+
+    #[test]
+    fn process_with_reports_drop_taxonomy() {
+        use p4guard_telemetry::{DropReason, TelemetrySink, VerdictKind};
+
+        #[derive(Default)]
+        struct Probe {
+            drops: Vec<DropReason>,
+            verdicts: Vec<(VerdictKind, Option<(usize, u32)>)>,
+            lookups: Vec<(usize, bool)>,
+        }
+        impl TelemetrySink for Probe {
+            fn table_lookup(&mut self, stage: usize, hit: bool) {
+                self.lookups.push((stage, hit));
+            }
+            fn drop_frame(&mut self, reason: DropReason) {
+                self.drops.push(reason);
+            }
+            fn verdict(
+                &mut self,
+                verdict: VerdictKind,
+                _frame: &[u8],
+                matched: Option<(usize, u32)>,
+            ) {
+                self.verdicts.push((verdict, matched));
+            }
+        }
+
+        let mut sw = firewall_switch();
+        let mut probe = Probe::default();
+        sw.process_with(&[0xbb, 0, 0, 0], &mut probe); // rule drop, rank 0
+        sw.process_with(&[0x11, 0, 0, 0], &mut probe); // forward, no match
+        assert_eq!(probe.drops, vec![DropReason::RuleDrop]);
+        assert_eq!(probe.lookups, vec![(0, true), (0, false)]);
+        assert_eq!(
+            probe.verdicts,
+            vec![
+                (VerdictKind::Drop, Some((0, 0))),
+                (VerdictKind::Forward, None),
+            ]
+        );
+        // Telemetry and legacy counters agree.
+        assert_eq!(sw.counters().dropped, 1);
+        assert_eq!(sw.counters().forwarded, 1);
     }
 }

@@ -403,14 +403,28 @@ impl Table {
     /// Looks up `key`, bumping hit/miss counters, and returns the selected
     /// action (the default on miss).
     pub fn lookup(&mut self, key: &[u8]) -> Action {
-        match self.entries.iter_mut().find(|e| e.spec.matches(key)) {
-            Some(entry) => {
+        self.lookup_traced(key).0
+    }
+
+    /// [`Table::lookup`] plus the matched entry's rank (its index in the
+    /// frozen match order, the same identifier
+    /// [`CompiledTable::lookup_traced`](crate::compiled::CompiledTable::lookup_traced)
+    /// reports), or `None` on a miss. Counter side effects are identical
+    /// to [`Table::lookup`].
+    pub fn lookup_traced(&mut self, key: &[u8]) -> (Action, Option<u32>) {
+        match self
+            .entries
+            .iter_mut()
+            .enumerate()
+            .find(|(_, e)| e.spec.matches(key))
+        {
+            Some((rank, entry)) => {
                 entry.hits += 1;
-                entry.action
+                (entry.action, Some(rank as u32))
             }
             None => {
                 self.misses += 1;
-                self.default_action
+                (self.default_action, None)
             }
         }
     }

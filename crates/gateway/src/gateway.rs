@@ -10,6 +10,7 @@ use crossbeam::channel::{bounded, Sender, TrySendError};
 use p4guard_dataplane::control::ControlPlane;
 use p4guard_dataplane::pipeline::PipelineCell;
 use p4guard_dataplane::switch::SwitchCounters;
+use p4guard_telemetry::{Counter, DropReason, Event, NoopSink, Telemetry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -65,20 +66,6 @@ pub struct GatewaySnapshot {
     pub latency: LatencyHistogram,
 }
 
-fn merge_counters(total: &mut SwitchCounters, c: &SwitchCounters) {
-    total.received += c.received;
-    total.forwarded += c.forwarded;
-    total.dropped += c.dropped;
-    total.parser_rejected += c.parser_rejected;
-    total.mirrored += c.mirrored;
-    if total.user.len() < c.user.len() {
-        total.user.resize(c.user.len(), 0);
-    }
-    for (t, u) in total.user.iter_mut().zip(&c.user) {
-        *t += u;
-    }
-}
-
 impl fmt::Display for GatewaySnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -117,6 +104,15 @@ pub struct Gateway {
     ingest_drops: Vec<AtomicU64>,
     cell: Arc<PipelineCell>,
     config: GatewayConfig,
+    telemetry: Option<GatewayTelemetry>,
+}
+
+/// The gateway-side telemetry handles: per-shard backpressure counters
+/// (ingest drops happen before a frame reaches any shard sink) and the
+/// shared bundle for overload flight-recorder events.
+struct GatewayTelemetry {
+    bundle: Arc<Telemetry>,
+    backpressure: Vec<Counter>,
 }
 
 impl Gateway {
@@ -128,9 +124,35 @@ impl Gateway {
     ///
     /// Panics if `config.shards` or `config.queue_capacity` is zero.
     pub fn start(control: &ControlPlane, config: GatewayConfig) -> Gateway {
+        Self::start_with_telemetry(control, config, None)
+    }
+
+    /// [`Gateway::start`] with an optional telemetry bundle. When `Some`,
+    /// every shard worker runs with a
+    /// [`RegistrySink`](p4guard_telemetry::RegistrySink) feeding the
+    /// bundle's registry and flight recorder, and ingest backpressure
+    /// drops are counted under `p4guard_drops_total{reason="backpressure"}`
+    /// with an [`Event::Overload`] recorded the first time each shard
+    /// sheds. When `None`, workers run with [`NoopSink`] and the hot path
+    /// is byte-identical to the un-instrumented gateway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` or `config.queue_capacity` is zero.
+    pub fn start_with_telemetry(
+        control: &ControlPlane,
+        config: GatewayConfig,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Gateway {
         assert!(config.shards > 0, "gateway needs at least one shard");
         assert!(config.queue_capacity > 0, "queue capacity must be nonzero");
         let cell = control.attach_cell();
+        if let Some(t) = &telemetry {
+            control.set_recorder(Arc::clone(&t.recorder));
+            t.registry
+                .gauge("p4guard_shards", "Worker shards in the gateway", &[])
+                .set(config.shards as f64);
+        }
         let mut senders = Vec::with_capacity(config.shards);
         let mut workers = Vec::with_capacity(config.shards);
         let mut states = Vec::with_capacity(config.shards);
@@ -144,16 +166,36 @@ impl Gateway {
             let worker_cell = Arc::clone(&cell);
             let worker_state = Arc::clone(&state);
             let batch = config.batch_size.max(1);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("p4guard-shard-{shard}"))
-                    .spawn(move || run_shard(rx, worker_cell, worker_state, batch))
-                    .expect("spawn shard worker"),
-            );
+            let builder = std::thread::Builder::new().name(format!("p4guard-shard-{shard}"));
+            let worker = match &telemetry {
+                Some(t) => {
+                    let sink = t.shard_sink(shard);
+                    builder.spawn(move || run_shard(rx, worker_cell, worker_state, batch, sink))
+                }
+                None => {
+                    builder.spawn(move || run_shard(rx, worker_cell, worker_state, batch, NoopSink))
+                }
+            };
+            workers.push(worker.expect("spawn shard worker"));
             senders.push(tx);
             states.push(state);
             ingest_drops.push(AtomicU64::new(0));
         }
+        let telemetry = telemetry.map(|bundle| GatewayTelemetry {
+            backpressure: (0..config.shards)
+                .map(|shard| {
+                    bundle.registry.counter(
+                        "p4guard_drops_total",
+                        "Frames dropped, by reason",
+                        &[
+                            ("shard", &shard.to_string()),
+                            ("reason", DropReason::Backpressure.as_str()),
+                        ],
+                    )
+                })
+                .collect(),
+            bundle,
+        });
         Gateway {
             senders,
             workers,
@@ -161,6 +203,7 @@ impl Gateway {
             ingest_drops,
             cell,
             config,
+            telemetry,
         }
     }
 
@@ -188,7 +231,7 @@ impl Gateway {
         match self.senders[shard].try_send(frame) {
             Ok(()) => true,
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                self.ingest_drops[shard].fetch_add(1, Ordering::Relaxed);
+                self.note_ingest_drop(shard);
                 false
             }
         }
@@ -199,7 +242,23 @@ impl Gateway {
     pub fn dispatch(&self, frame: Bytes) {
         let shard = self.shard_of(&frame);
         if self.senders[shard].send(frame).is_err() {
-            self.ingest_drops[shard].fetch_add(1, Ordering::Relaxed);
+            self.note_ingest_drop(shard);
+        }
+    }
+
+    /// Counts one ingest drop; with telemetry attached also bumps the
+    /// backpressure drop counter and records an overload-onset event the
+    /// first time this shard sheds.
+    fn note_ingest_drop(&self, shard: usize) {
+        let previous = self.ingest_drops[shard].fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = &self.telemetry {
+            t.backpressure[shard].inc();
+            if previous == 0 {
+                t.bundle.recorder.record(Event::Overload {
+                    shard,
+                    dropped: previous + 1,
+                });
+            }
         }
     }
 
@@ -209,7 +268,7 @@ impl Gateway {
         let mut totals = SwitchCounters::default();
         let mut latency = LatencyHistogram::new();
         for s in &shards {
-            merge_counters(&mut totals, &s.counters);
+            totals.merge(&s.counters);
             latency.merge(&s.latency);
         }
         GatewaySnapshot {

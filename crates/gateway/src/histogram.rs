@@ -1,168 +1,9 @@
-//! Mergeable log-scale latency histograms for per-shard forwarding
-//! latency. Power-of-two nanosecond buckets keep recording to a couple of
-//! integer ops, and shard histograms merge losslessly into the gateway
-//! aggregate.
+//! Mergeable log-scale latency histograms.
+//!
+//! The implementation moved to [`p4guard_telemetry::histogram`] so the
+//! metrics registry can expose histograms without depending on the
+//! gateway; this module re-exports it under the original path for
+//! compatibility. The move also fixed an out-of-bounds panic on saturated
+//! samples (`Duration::MAX`) by clamping the bucket index.
 
-use serde::{Deserialize, Serialize};
-use std::fmt;
-use std::time::Duration;
-
-const BUCKETS: usize = 64;
-
-/// A histogram of durations in power-of-two nanosecond buckets: bucket `b`
-/// counts samples with `nanos` in `[2^(b-1), 2^b)` (bucket 0 holds 0 ns).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct LatencyHistogram {
-    buckets: Vec<u64>,
-    count: u64,
-    sum_nanos: u64,
-    max_nanos: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: vec![0; BUCKETS],
-            count: 0,
-            sum_nanos: 0,
-            max_nanos: 0,
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    fn bucket_of(nanos: u64) -> usize {
-        (u64::BITS - nanos.leading_zeros()) as usize
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, latency: Duration) {
-        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
-        self.buckets[Self::bucket_of(nanos)] += 1;
-        self.count += 1;
-        self.sum_nanos = self.sum_nanos.saturating_add(nanos);
-        self.max_nanos = self.max_nanos.max(nanos);
-    }
-
-    /// Folds another histogram into this one (shard → aggregate).
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum_nanos = self.sum_nanos.saturating_add(other.sum_nanos);
-        self.max_nanos = self.max_nanos.max(other.max_nanos);
-    }
-
-    /// Number of samples recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean sample, or zero when empty.
-    pub fn mean(&self) -> Duration {
-        match self.sum_nanos.checked_div(self.count) {
-            Some(mean) => Duration::from_nanos(mean),
-            None => Duration::ZERO,
-        }
-    }
-
-    /// Largest sample seen.
-    pub fn max(&self) -> Duration {
-        Duration::from_nanos(self.max_nanos)
-    }
-
-    /// The `q`-quantile (`0.0..=1.0`), resolved to the upper bound of the
-    /// bucket holding that rank — within 2× of the true value by
-    /// construction. Zero when empty.
-    pub fn quantile(&self, q: f64) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (b, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                let upper = if b == 0 { 0 } else { 1u64 << b };
-                return Duration::from_nanos(upper.min(self.max_nanos));
-            }
-        }
-        self.max()
-    }
-}
-
-impl fmt::Display for LatencyHistogram {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} samples, mean {:?}, p50 {:?}, p99 {:?}, max {:?}",
-            self.count,
-            self.mean(),
-            self.quantile(0.5),
-            self.quantile(0.99),
-            self.max()
-        )
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn records_and_summarizes() {
-        let mut h = LatencyHistogram::new();
-        for nanos in [100u64, 200, 400, 800, 100_000] {
-            h.record(Duration::from_nanos(nanos));
-        }
-        assert_eq!(h.count(), 5);
-        assert_eq!(h.max(), Duration::from_nanos(100_000));
-        assert_eq!(h.mean(), Duration::from_nanos(101_500 / 5));
-        // p50 lands in the bucket holding 400ns: upper bound 512ns.
-        assert_eq!(h.quantile(0.5), Duration::from_nanos(512));
-        // The top quantile resolves to at most the observed max.
-        assert_eq!(h.quantile(1.0), Duration::from_nanos(100_000));
-    }
-
-    #[test]
-    fn empty_histogram_is_all_zeros() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.mean(), Duration::ZERO);
-        assert_eq!(h.quantile(0.99), Duration::ZERO);
-        assert!(h.to_string().contains("0 samples"));
-    }
-
-    #[test]
-    fn merge_equals_recording_into_one() {
-        let samples_a = [10u64, 20, 3000];
-        let samples_b = [40u64, 50_000, 7];
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        let mut whole = LatencyHistogram::new();
-        for &n in &samples_a {
-            a.record(Duration::from_nanos(n));
-            whole.record(Duration::from_nanos(n));
-        }
-        for &n in &samples_b {
-            b.record(Duration::from_nanos(n));
-            whole.record(Duration::from_nanos(n));
-        }
-        a.merge(&b);
-        assert_eq!(a, whole);
-    }
-
-    #[test]
-    fn zero_duration_goes_to_bucket_zero() {
-        let mut h = LatencyHistogram::new();
-        h.record(Duration::ZERO);
-        assert_eq!(h.count(), 1);
-        assert_eq!(h.quantile(0.5), Duration::ZERO);
-    }
-}
+pub use p4guard_telemetry::histogram::LatencyHistogram;

@@ -7,6 +7,7 @@ use bytes::Bytes;
 use crossbeam::channel::Receiver;
 use p4guard_dataplane::pipeline::PipelineCell;
 use p4guard_dataplane::switch::SwitchCounters;
+use p4guard_telemetry::TelemetrySink;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -39,14 +40,16 @@ pub struct ShardStats {
 /// concurrent [`ControlPlane::publish`](p4guard_dataplane::control::ControlPlane::publish)
 /// never blocks frame processing — the new ruleset simply takes effect at
 /// the next batch boundary.
-pub(crate) fn run_shard(
+pub(crate) fn run_shard<S: TelemetrySink>(
     rx: Receiver<Bytes>,
     cell: Arc<PipelineCell>,
     state: Arc<Mutex<ShardStats>>,
     batch_size: usize,
+    mut sink: S,
 ) {
     let mut pipeline = cell.load();
     let mut version = pipeline.version();
+    sink.swap_seen(version, &pipeline.stage_names());
     {
         let mut st = state.lock();
         st.ruleset_version = version;
@@ -68,6 +71,7 @@ pub(crate) fn run_shard(
         if swapped {
             pipeline = cell.load();
             version = pipeline.version();
+            sink.swap_seen(version, &pipeline.stage_names());
             if scratch.len() < pipeline.scratch_len() {
                 scratch.resize(pipeline.scratch_len(), 0);
             }
@@ -79,10 +83,16 @@ pub(crate) fn run_shard(
         }
         for frame in batch.drain(..) {
             let t0 = Instant::now();
-            pipeline.process_into(&frame, &mut st.counters, &mut scratch);
-            st.latency.record(t0.elapsed());
+            pipeline.process_with(&frame, &mut st.counters, &mut scratch, &mut sink);
+            let elapsed = t0.elapsed();
+            st.latency.record(elapsed);
+            sink.latency(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
             st.processed += 1;
         }
         st.batches += 1;
+        // Flush buffered telemetry while still holding the stats lock:
+        // any observer that sees this batch in `ShardStats` (snapshot,
+        // drain loops) is guaranteed to find the registry caught up too.
+        sink.batch_end();
     }
 }

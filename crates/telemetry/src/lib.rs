@@ -1,0 +1,125 @@
+//! Observability layer for p4guard: a metrics [`Registry`]
+//! (counters/gauges/latency histograms with labels, Prometheus text and
+//! JSON exposition), a [`FlightRecorder`] ring of recent structured
+//! events, rolling [`RateWindows`] computed from counter deltas, and a
+//! hand-rolled blocking HTTP responder ([`MetricsServer`]) that serves
+//! `GET /metrics` and `GET /events` on a background thread.
+//!
+//! The crate is dependency-free beyond the workspace's vendored
+//! `parking_lot`/`serde` shims: no tokio, no hyper, no prometheus client.
+//! The dataplane reports through the [`TelemetrySink`] trait, whose
+//! [`NoopSink`] default keeps the un-instrumented hot path byte-identical
+//! to the pre-telemetry code.
+//!
+//! Metric name schema (see DESIGN.md "Telemetry" for the full table):
+//!
+//! | Metric | Kind | Labels |
+//! |--------|------|--------|
+//! | `p4guard_frames_received_total` | counter | `shard` |
+//! | `p4guard_frames_forwarded_total` | counter | `shard` |
+//! | `p4guard_drops_total` | counter | `shard`, `reason` |
+//! | `p4guard_table_hits_total` / `_misses_total` | counter | `shard`, `stage`, `table` |
+//! | `p4guard_ruleset_version` | gauge | — |
+//! | `p4guard_ruleset_swaps_total` | counter | `shard` |
+//! | `p4guard_forward_latency_seconds` | histogram | `shard` |
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod http;
+pub mod rates;
+pub mod recorder;
+pub mod registry;
+pub mod sink;
+
+pub use histogram::LatencyHistogram;
+pub use http::{http_get, MetricsServer};
+pub use rates::RateWindows;
+pub use recorder::{Event, FlightRecorder, RecordedEvent};
+pub use registry::{Counter, Gauge, Histogram, Labels, MetricKind, Registry};
+pub use sink::{frame_digest, DropReason, NoopSink, RegistrySink, TelemetrySink, VerdictKind};
+
+use std::sync::Arc;
+
+/// Tuning knobs for a [`Telemetry`] instance.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Flight-recorder capacity in events.
+    pub events_capacity: usize,
+    /// Verdict sampling stride: one frame in `sample_every` is recorded.
+    pub sample_every: u64,
+    /// Seed offsetting which frame in each stride is sampled (the
+    /// sampling stays deterministic for any fixed seed).
+    pub seed: u64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            events_capacity: 1024,
+            sample_every: 64,
+            seed: 0,
+        }
+    }
+}
+
+/// The bundle a process shares between its dataplane shards, publisher,
+/// and metrics endpoint: one registry, one flight recorder, one rate
+/// tracker.
+pub struct Telemetry {
+    /// Metric families (counters, gauges, histograms).
+    pub registry: Arc<Registry>,
+    /// Recent structured events.
+    pub recorder: Arc<FlightRecorder>,
+    /// Rolling 1s/10s rates over the registry's counters.
+    pub rates: Arc<RateWindows>,
+}
+
+impl Telemetry {
+    /// Builds a telemetry bundle from `config`.
+    pub fn new(config: TelemetryConfig) -> Self {
+        let registry = Arc::new(Registry::new());
+        let recorder = Arc::new(FlightRecorder::new(
+            config.events_capacity,
+            config.sample_every,
+            config.seed,
+        ));
+        let rates = Arc::new(RateWindows::new(Arc::clone(&registry)));
+        Telemetry {
+            registry,
+            recorder,
+            rates,
+        }
+    }
+
+    /// Builds a per-shard [`RegistrySink`] wired to this bundle.
+    pub fn shard_sink(&self, shard: usize) -> RegistrySink {
+        RegistrySink::new(
+            Arc::clone(&self.registry),
+            Arc::clone(&self.recorder),
+            shard,
+        )
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new(TelemetryConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_shares_one_registry() {
+        let t = Telemetry::default();
+        let mut sink = t.shard_sink(0);
+        sink.verdict(VerdictKind::Forward, b"frame", None);
+        sink.batch_end();
+        assert_eq!(t.registry.family_sum("p4guard_frames_received_total"), 1);
+        assert_eq!(t.recorder.capacity(), 1024);
+        assert_eq!(t.recorder.sample_every(), 64);
+    }
+}

@@ -1,0 +1,231 @@
+//! Rolling-window rates derived from counter deltas: a sampler keeps a
+//! short history of full counter snapshots and renders 1s/10s per-second
+//! rates (pps in/out, drop rate per reason) as synthetic gauge series.
+
+use crate::registry::{Labels, Registry};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The two windows rendered for every counter family.
+pub const WINDOWS: [(Duration, &str); 2] = [
+    (Duration::from_secs(1), "1s"),
+    (Duration::from_secs(10), "10s"),
+];
+
+/// Retain a little more than the longest window so a rate can always span
+/// the full window once enough history exists.
+const RETAIN: Duration = Duration::from_secs(15);
+
+/// Minimum spacing between retained snapshots; calling
+/// [`RateWindows::tick`] faster than this is a no-op, so render paths can
+/// tick opportunistically without flooding the history.
+const MIN_TICK: Duration = Duration::from_millis(50);
+
+struct Sample {
+    at: Instant,
+    values: Vec<(String, Labels, u64)>,
+}
+
+/// Computes rolling per-second rates for every counter in a [`Registry`].
+///
+/// Feed it with [`RateWindows::tick`] (a background sampler thread, plus
+/// opportunistic ticks before rendering); read rates with
+/// [`RateWindows::rate`] or render them all with
+/// [`RateWindows::render_prometheus`].
+pub struct RateWindows {
+    registry: Arc<Registry>,
+    samples: Mutex<VecDeque<Sample>>,
+}
+
+impl RateWindows {
+    /// Creates an empty window tracker over `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        RateWindows {
+            registry,
+            samples: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Takes a counter snapshot now (rate-limited to one per 50ms) and
+    /// prunes history beyond the retention horizon.
+    pub fn tick(&self) {
+        let now = Instant::now();
+        let mut samples = self.samples.lock();
+        if let Some(last) = samples.back() {
+            if now.duration_since(last.at) < MIN_TICK {
+                return;
+            }
+        }
+        samples.push_back(Sample {
+            at: now,
+            values: self.registry.counter_snapshot(),
+        });
+        while let Some(front) = samples.front() {
+            if now.duration_since(front.at) > RETAIN && samples.len() > 2 {
+                samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Per-second rate of one counter series over (up to) `window`: the
+    /// delta between the newest snapshot and the oldest snapshot inside
+    /// the window, divided by the actual elapsed span. `None` until two
+    /// snapshots exist.
+    pub fn rate(&self, name: &str, labels: &[(&str, &str)], window: Duration) -> Option<f64> {
+        let want: Labels = {
+            let mut l: Labels = labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect();
+            l.sort();
+            l
+        };
+        let samples = self.samples.lock();
+        let newest = samples.back()?;
+        let oldest = oldest_in_window(&samples, newest.at, window)?;
+        let span = newest.at.duration_since(oldest.at).as_secs_f64();
+        if span <= 0.0 {
+            return None;
+        }
+        let find = |s: &Sample| {
+            s.values
+                .iter()
+                .find(|(n, l, _)| n == name && *l == want)
+                .map(|(_, _, v)| *v)
+        };
+        let new = find(newest)?;
+        let old = find(oldest).unwrap_or(0);
+        Some(new.saturating_sub(old) as f64 / span)
+    }
+
+    /// Renders every counter family's 1s and 10s rates as gauge series
+    /// named `<family without _total>:rate_<window>` (recording-rule-style
+    /// names), appended after the registry's own exposition text.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let samples = self.samples.lock();
+        let Some(newest) = samples.back() else {
+            return out;
+        };
+        for (window, suffix) in WINDOWS {
+            let Some(oldest) = oldest_in_window(&samples, newest.at, window) else {
+                continue;
+            };
+            let span = newest.at.duration_since(oldest.at).as_secs_f64();
+            if span <= 0.0 {
+                continue;
+            }
+            let mut last_family = String::new();
+            for (name, labels, new) in &newest.values {
+                let base = name.strip_suffix("_total").unwrap_or(name);
+                let rate_name = format!("{base}:rate_{suffix}");
+                if rate_name != last_family {
+                    let _ = writeln!(
+                        out,
+                        "# HELP {rate_name} Per-second rate of {name} over the trailing {suffix}"
+                    );
+                    let _ = writeln!(out, "# TYPE {rate_name} gauge");
+                    last_family = rate_name.clone();
+                }
+                let old = oldest
+                    .values
+                    .iter()
+                    .find(|(n, l, _)| n == name && l == labels)
+                    .map_or(0, |(_, _, v)| *v);
+                let rate = new.saturating_sub(old) as f64 / span;
+                let label_text = if labels.is_empty() {
+                    String::new()
+                } else {
+                    let parts: Vec<String> =
+                        labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+                    format!("{{{}}}", parts.join(","))
+                };
+                let _ = writeln!(out, "{rate_name}{label_text} {rate}");
+            }
+        }
+        out
+    }
+}
+
+/// The oldest retained sample no older than `window` before `newest_at`
+/// (falling back to the oldest overall sample inside the window). Returns
+/// `None` when the only sample is the newest one.
+fn oldest_in_window(
+    samples: &VecDeque<Sample>,
+    newest_at: Instant,
+    window: Duration,
+) -> Option<&Sample> {
+    samples
+        .iter()
+        .find(|s| newest_at.duration_since(s.at) <= window && s.at != newest_at)
+        .filter(|s| s.at != newest_at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn rate_reflects_counter_deltas() {
+        let registry = Arc::new(Registry::new());
+        let c = registry.counter("pkts_total", "", &[("shard", "0")]);
+        let rates = RateWindows::new(Arc::clone(&registry));
+        rates.tick();
+        c.add(100);
+        thread::sleep(Duration::from_millis(60));
+        rates.tick();
+        let r = rates
+            .rate("pkts_total", &[("shard", "0")], Duration::from_secs(1))
+            .expect("two snapshots exist");
+        // 100 packets over ≥60ms: a positive, finite rate well above zero.
+        assert!(r > 0.0 && r.is_finite(), "rate was {r}");
+        let text = rates.render_prometheus();
+        assert!(text.contains("pkts:rate_1s{shard=\"0\"}"), "{text}");
+        assert!(text.contains("# TYPE pkts:rate_1s gauge"));
+    }
+
+    #[test]
+    fn rate_is_none_without_history() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("x_total", "", &[]);
+        let rates = RateWindows::new(Arc::clone(&registry));
+        assert!(rates.rate("x_total", &[], Duration::from_secs(1)).is_none());
+        rates.tick();
+        assert!(
+            rates.rate("x_total", &[], Duration::from_secs(1)).is_none(),
+            "a single snapshot has no delta"
+        );
+        assert_eq!(rates.render_prometheus(), "");
+    }
+
+    #[test]
+    fn ticks_are_rate_limited() {
+        let registry = Arc::new(Registry::new());
+        let rates = RateWindows::new(registry);
+        for _ in 0..100 {
+            rates.tick();
+        }
+        assert_eq!(rates.samples.lock().len(), 1);
+    }
+
+    #[test]
+    fn series_appearing_later_count_from_zero() {
+        let registry = Arc::new(Registry::new());
+        let rates = RateWindows::new(Arc::clone(&registry));
+        rates.tick();
+        thread::sleep(Duration::from_millis(60));
+        // Counter registered after the first snapshot: old value treated as 0.
+        registry.counter("late_total", "", &[]).add(10);
+        rates.tick();
+        let r = rates
+            .rate("late_total", &[], Duration::from_secs(1))
+            .unwrap();
+        assert!(r > 0.0);
+    }
+}

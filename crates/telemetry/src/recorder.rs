@@ -1,0 +1,281 @@
+//! The flight recorder: a fixed-capacity ring buffer of recent structured
+//! events — sampled verdicts, ruleset swaps, overload onsets — dumpable as
+//! JSON on demand. The "what just happened" tool for conformance failures
+//! and live incidents.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// One structured occurrence worth keeping around.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A sampled per-frame disposition.
+    Verdict {
+        /// `forward` / `drop` / `parser_reject`.
+        verdict: String,
+        /// FNV-1a digest of the frame prefix (see `sink::frame_digest`).
+        digest: u64,
+        /// Frame length in bytes.
+        len: usize,
+        /// Shard that processed the frame.
+        shard: usize,
+        /// Ruleset version the shard was serving.
+        version: u64,
+        /// Stage of the last matching entry, if any matched.
+        matched_stage: Option<usize>,
+        /// Rank (install order) of the matching entry within its table.
+        matched_rank: Option<u32>,
+    },
+    /// A ruleset publish/swap audit record.
+    Swap {
+        /// Version number assigned to the published snapshot.
+        version: u64,
+        /// Total entries in the published snapshot.
+        entries: usize,
+        /// Pipeline cells that received the snapshot.
+        subscribers: usize,
+        /// Entries added relative to the previous ruleset (when known).
+        added: usize,
+        /// Entries removed relative to the previous ruleset (when known).
+        removed: usize,
+        /// Whether shards were drained before the swap.
+        drained: bool,
+        /// Publish duration in nanoseconds.
+        duration_ns: u64,
+    },
+    /// A shard ingest queue started shedding frames.
+    Overload {
+        /// The overloaded shard.
+        shard: usize,
+        /// Total frames this shard has shed so far.
+        dropped: u64,
+    },
+}
+
+impl Event {
+    /// Short tag for display and filtering.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Verdict { .. } => "verdict",
+            Event::Swap { .. } => "swap",
+            Event::Overload { .. } => "overload",
+        }
+    }
+}
+
+/// An [`Event`] plus its position in the stream and capture time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordedEvent {
+    /// Strictly increasing sequence number (never reset, so gaps reveal
+    /// how much the ring has evicted).
+    pub seq: u64,
+    /// Nanoseconds since the recorder was created.
+    pub at_ns: u64,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// Fixed-capacity ring of [`RecordedEvent`]s with deterministic, seedable
+/// 1-in-N sampling for the high-rate verdict stream. Swap and overload
+/// events are recorded unconditionally via [`FlightRecorder::record`];
+/// verdicts go through [`FlightRecorder::sample`].
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    sample_every: u64,
+    phase: u64,
+    counter: AtomicU64,
+    seq: AtomicU64,
+    start: Instant,
+    ring: Mutex<VecDeque<RecordedEvent>>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding at most `capacity` events, sampling one
+    /// in `sample_every` calls to [`FlightRecorder::sample`] (clamped to at
+    /// least 1). `seed` offsets which call in each stride fires, so two
+    /// recorders with different seeds sample different packets from the
+    /// same stream while each remains fully deterministic.
+    pub fn new(capacity: usize, sample_every: u64, seed: u64) -> Self {
+        let sample_every = sample_every.max(1);
+        FlightRecorder {
+            capacity: capacity.max(1),
+            sample_every,
+            // Mix the seed so nearby seeds land on different phases.
+            phase: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) % sample_every,
+            counter: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            start: Instant::now(),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The sampling stride N (one verdict in N is kept).
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
+    /// Number of events currently retained (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// Whether no events have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().is_empty()
+    }
+
+    /// Unconditionally appends an event, evicting the oldest when full.
+    pub fn record(&self, event: Event) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let at_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(RecordedEvent { seq, at_ns, event });
+    }
+
+    /// Counts one sampling opportunity; on every Nth (deterministically,
+    /// offset by the seed phase) builds the event with `make` and records
+    /// it. The closure runs only when sampled, so callers can defer any
+    /// per-event cost (packet digests) to the 1-in-N path.
+    #[inline]
+    pub fn sample<F: FnOnce() -> Event>(&self, make: F) {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        if self.samples_at(n) {
+            self.record(make());
+        }
+    }
+
+    /// Whether stream position `position` falls on the sampled residue
+    /// class. Lets callers that already track their own stream position
+    /// (per-shard sinks) skip the shared opportunity counter entirely.
+    #[inline]
+    pub fn samples_at(&self, position: u64) -> bool {
+        (position.wrapping_add(self.phase)).is_multiple_of(self.sample_every)
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<RecordedEvent> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// The retained events as a JSON array, oldest first.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.events()).expect("recorder events always serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict(shard: usize) -> Event {
+        Event::Verdict {
+            verdict: "forward".to_string(),
+            digest: 1,
+            len: 64,
+            shard,
+            version: 1,
+            matched_stage: Some(0),
+            matched_rank: Some(0),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let r = FlightRecorder::new(3, 1, 0);
+        for i in 0..5 {
+            r.record(verdict(i));
+        }
+        let events = r.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 2);
+        assert_eq!(events[2].seq, 4);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn sampling_is_one_in_n_and_deterministic() {
+        let r = FlightRecorder::new(1000, 8, 42);
+        let mut made = 0u32;
+        for _ in 0..64 {
+            r.sample(|| {
+                made += 1;
+                verdict(0)
+            });
+        }
+        assert_eq!(made, 8, "exactly one in eight opportunities sampled");
+        assert_eq!(r.len(), 8);
+
+        // Same seed → same sampled positions.
+        let a = FlightRecorder::new(1000, 8, 7);
+        let b = FlightRecorder::new(1000, 8, 7);
+        for i in 0..64usize {
+            a.sample(|| verdict(i));
+            b.sample(|| verdict(i));
+        }
+        let shards = |r: &FlightRecorder| -> Vec<usize> {
+            r.events()
+                .iter()
+                .map(|e| match &e.event {
+                    Event::Verdict { shard, .. } => *shard,
+                    _ => unreachable!(),
+                })
+                .collect()
+        };
+        assert_eq!(shards(&a), shards(&b));
+    }
+
+    #[test]
+    fn different_seeds_shift_the_phase() {
+        let a = FlightRecorder::new(10, 16, 1);
+        let b = FlightRecorder::new(10, 16, 2);
+        for i in 0..16usize {
+            a.sample(|| verdict(i));
+            b.sample(|| verdict(i));
+        }
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        let picked = |r: &FlightRecorder| match r.events()[0].event {
+            Event::Verdict { shard, .. } => shard,
+            _ => unreachable!(),
+        };
+        assert_ne!(picked(&a), picked(&b));
+    }
+
+    #[test]
+    fn json_dump_parses_and_tags_kinds() {
+        let r = FlightRecorder::new(4, 1, 0);
+        r.record(verdict(0));
+        r.record(Event::Swap {
+            version: 2,
+            entries: 10,
+            subscribers: 1,
+            added: 3,
+            removed: 1,
+            drained: false,
+            duration_ns: 500,
+        });
+        r.record(Event::Overload {
+            shard: 1,
+            dropped: 9,
+        });
+        assert_eq!(r.events()[1].event.kind(), "swap");
+        let json = r.to_json();
+        let v = serde_json::parse_value_str(&json).unwrap();
+        assert_eq!(v.as_seq().unwrap().len(), 3);
+        // Round-trip through the typed model.
+        let back: Vec<RecordedEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r.events());
+    }
+}

@@ -1,0 +1,468 @@
+//! The instrumentation seam between the packet hot path and the metrics
+//! layer: a [`TelemetrySink`] trait the dataplane calls into, a zero-cost
+//! [`NoopSink`] (the default — benchmarks and un-instrumented callers
+//! monomorphize to exactly the pre-telemetry code), and a [`RegistrySink`]
+//! that feeds a [`Registry`] and [`FlightRecorder`].
+
+use crate::recorder::{Event, FlightRecorder};
+use crate::registry::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
+
+/// Why a frame was not forwarded. The taxonomy refines the legacy
+/// `SwitchCounters { dropped, parser_rejected }` pair: `ParserRejected`
+/// corresponds to the old `parser_rejected` total, and the remaining
+/// reasons partition the old `dropped` total (plus `Backpressure`, which
+/// is counted before a frame ever reaches a pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// The parser could not extract the configured key fields.
+    ParserRejected,
+    /// A table entry matched and its action was an explicit drop.
+    RuleDrop,
+    /// No entry matched and the table's default action dropped the frame.
+    NoRule,
+    /// The extracted key width did not match the compiled table width.
+    WrongWidth,
+    /// The shard ingest queue was full; the frame never reached a pipeline.
+    Backpressure,
+}
+
+impl DropReason {
+    /// Every reason, in rendering order.
+    pub const ALL: [DropReason; 5] = [
+        DropReason::ParserRejected,
+        DropReason::RuleDrop,
+        DropReason::NoRule,
+        DropReason::WrongWidth,
+        DropReason::Backpressure,
+    ];
+
+    /// The `reason` label value.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DropReason::ParserRejected => "parser_rejected",
+            DropReason::RuleDrop => "rule_drop",
+            DropReason::NoRule => "no_rule",
+            DropReason::WrongWidth => "wrong_width",
+            DropReason::Backpressure => "backpressure",
+        }
+    }
+
+    fn index(&self) -> usize {
+        match self {
+            DropReason::ParserRejected => 0,
+            DropReason::RuleDrop => 1,
+            DropReason::NoRule => 2,
+            DropReason::WrongWidth => 3,
+            DropReason::Backpressure => 4,
+        }
+    }
+}
+
+/// Final disposition of a processed frame, mirroring the dataplane's
+/// `Verdict` without depending on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerdictKind {
+    /// Forwarded out an egress port.
+    Forward,
+    /// Dropped by policy.
+    Drop,
+    /// Rejected by the parser.
+    ParserReject,
+}
+
+impl VerdictKind {
+    /// Short label used in flight-recorder events.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            VerdictKind::Forward => "forward",
+            VerdictKind::Drop => "drop",
+            VerdictKind::ParserReject => "parser_reject",
+        }
+    }
+}
+
+/// Observer for per-frame dataplane activity. Every method has a no-op
+/// default, so the hot path stays free of branches when compiled against
+/// [`NoopSink`] — the compiler erases the calls entirely.
+///
+/// Methods take `&mut self` so per-shard sinks can keep plain (non-atomic)
+/// scratch state; sinks are owned by their shard thread.
+pub trait TelemetrySink {
+    /// A new pipeline snapshot became visible to this observer:
+    /// `version` is the published ruleset version and `tables` lists
+    /// `(stage, table_name)` pairs so the sink can (re)build per-stage
+    /// series.
+    fn swap_seen(&mut self, _version: u64, _tables: &[(usize, String)]) {}
+
+    /// One compiled-table lookup finished: `hit` is whether an entry
+    /// matched (a miss means the default action applied).
+    fn table_lookup(&mut self, _stage: usize, _hit: bool) {}
+
+    /// A frame was dropped for `reason`.
+    fn drop_frame(&mut self, _reason: DropReason) {}
+
+    /// A frame finished processing. `frame` is the raw bytes (digested
+    /// only when the flight recorder samples this event) and `matched` is
+    /// the `(stage, rank)` of the last matching entry, when any matched.
+    fn verdict(&mut self, _verdict: VerdictKind, _frame: &[u8], _matched: Option<(usize, u32)>) {}
+
+    /// Frame processing latency, in nanoseconds.
+    fn latency(&mut self, _nanos: u64) {}
+
+    /// The shard finished a batch of frames. Buffering sinks flush their
+    /// locally accumulated counts to shared state here, so the per-frame
+    /// path stays free of atomics and locks.
+    fn batch_end(&mut self) {}
+}
+
+/// The do-nothing sink. `process_with::<NoopSink>` compiles to the same
+/// machine code as the un-instrumented path.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {}
+
+/// 64-bit FNV-1a over (a prefix of) a frame — the packet digest recorded
+/// with verdict samples. Stable across runs; cheap enough to compute only
+/// on the sampled 1-in-N path.
+pub fn frame_digest(frame: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in frame.iter().take(64) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h ^= frame.len() as u64;
+    h.wrapping_mul(PRIME)
+}
+
+/// A [`TelemetrySink`] that counts into a [`Registry`] and samples verdicts
+/// into a [`FlightRecorder`]. One instance per shard thread.
+///
+/// Per-frame events accumulate in plain (non-atomic) buffers and flush to
+/// the shared registry on [`TelemetrySink::batch_end`], on swaps, and on
+/// drop — so the hot path costs a handful of local adds per frame while
+/// scrapers still see totals at most one batch stale (and exact once the
+/// shard drains or exits).
+pub struct RegistrySink {
+    registry: Arc<Registry>,
+    recorder: Arc<FlightRecorder>,
+    shard: String,
+    shard_idx: usize,
+    version: u64,
+    received: Counter,
+    forwarded: Counter,
+    drops: [Counter; 5],
+    stage_hits: Vec<(Counter, Counter)>,
+    latency: Histogram,
+    version_gauge: Gauge,
+    swaps: Counter,
+    buf: SinkBuffer,
+    /// Local stream position feeding the recorder's residue-class check,
+    /// so sampling needs no shared opportunity counter.
+    sample_position: u64,
+}
+
+/// The per-batch accumulation state of a [`RegistrySink`].
+#[derive(Default)]
+struct SinkBuffer {
+    received: u64,
+    forwarded: u64,
+    drops: [u64; 5],
+    stage_hits: Vec<(u64, u64)>,
+    latency: crate::histogram::LatencyHistogram,
+}
+
+impl RegistrySink {
+    /// Builds a sink for `shard`, registering its per-shard series.
+    pub fn new(registry: Arc<Registry>, recorder: Arc<FlightRecorder>, shard: usize) -> Self {
+        let shard_label = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", &shard_label)];
+        let received = registry.counter(
+            "p4guard_frames_received_total",
+            "Frames that reached a shard pipeline",
+            labels,
+        );
+        let forwarded = registry.counter(
+            "p4guard_frames_forwarded_total",
+            "Frames forwarded out an egress port",
+            labels,
+        );
+        let drops = DropReason::ALL.map(|reason| {
+            registry.counter(
+                "p4guard_drops_total",
+                "Frames dropped, by reason",
+                &[("shard", &shard_label), ("reason", reason.as_str())],
+            )
+        });
+        let latency = registry.histogram(
+            "p4guard_forward_latency_seconds",
+            "Per-frame processing latency",
+            labels,
+        );
+        let version_gauge = registry.gauge(
+            "p4guard_ruleset_version",
+            "Version of the pipeline snapshot this shard is serving",
+            &[],
+        );
+        let swaps = registry.counter(
+            "p4guard_ruleset_swaps_total",
+            "Pipeline snapshot swaps observed",
+            labels,
+        );
+        RegistrySink {
+            registry,
+            recorder,
+            shard: shard_label,
+            shard_idx: shard,
+            version: u64::MAX,
+            received,
+            forwarded,
+            drops,
+            stage_hits: Vec::new(),
+            latency,
+            version_gauge,
+            swaps,
+            buf: SinkBuffer::default(),
+            sample_position: 0,
+        }
+    }
+
+    /// The shard index this sink instruments.
+    pub fn shard(&self) -> usize {
+        self.shard_idx
+    }
+
+    /// Pushes every buffered count into the shared registry. Cheap when
+    /// nothing accumulated (all-zero adds are skipped).
+    fn flush(&mut self) {
+        if self.buf.received > 0 {
+            self.received.add(self.buf.received);
+            self.buf.received = 0;
+        }
+        if self.buf.forwarded > 0 {
+            self.forwarded.add(self.buf.forwarded);
+            self.buf.forwarded = 0;
+        }
+        for (counter, buffered) in self.drops.iter().zip(self.buf.drops.iter_mut()) {
+            if *buffered > 0 {
+                counter.add(*buffered);
+                *buffered = 0;
+            }
+        }
+        for ((hits, misses), (h, m)) in self.stage_hits.iter().zip(self.buf.stage_hits.iter_mut()) {
+            if *h > 0 {
+                hits.add(*h);
+                *h = 0;
+            }
+            if *m > 0 {
+                misses.add(*m);
+                *m = 0;
+            }
+        }
+        if self.buf.latency.count() > 0 {
+            self.latency.merge(&self.buf.latency);
+            self.buf.latency = crate::histogram::LatencyHistogram::new();
+        }
+    }
+}
+
+impl TelemetrySink for RegistrySink {
+    fn swap_seen(&mut self, version: u64, tables: &[(usize, String)]) {
+        if self.version == version {
+            return;
+        }
+        // Flush before re-targeting, so buffered lookups still land on the
+        // table series they belong to.
+        self.flush();
+        let first = self.version == u64::MAX;
+        self.version = version;
+        self.version_gauge.set(version as f64);
+        if !first {
+            self.swaps.inc();
+        }
+        self.buf.stage_hits = vec![(0, 0); tables.len()];
+        self.stage_hits = tables
+            .iter()
+            .map(|(stage, name)| {
+                let stage_label = stage.to_string();
+                let labels: &[(&str, &str)] = &[
+                    ("shard", &self.shard),
+                    ("stage", &stage_label),
+                    ("table", name),
+                ];
+                (
+                    self.registry.counter(
+                        "p4guard_table_hits_total",
+                        "Compiled-table lookups that matched an entry",
+                        labels,
+                    ),
+                    self.registry.counter(
+                        "p4guard_table_misses_total",
+                        "Compiled-table lookups that fell through to the default action",
+                        labels,
+                    ),
+                )
+            })
+            .collect();
+    }
+
+    #[inline]
+    fn table_lookup(&mut self, stage: usize, hit: bool) {
+        if let Some((hits, misses)) = self.buf.stage_hits.get_mut(stage) {
+            if hit {
+                *hits += 1;
+            } else {
+                *misses += 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn drop_frame(&mut self, reason: DropReason) {
+        self.buf.drops[reason.index()] += 1;
+    }
+
+    fn verdict(&mut self, verdict: VerdictKind, frame: &[u8], matched: Option<(usize, u32)>) {
+        self.buf.received += 1;
+        if verdict == VerdictKind::Forward {
+            self.buf.forwarded += 1;
+        }
+        let position = self.sample_position;
+        self.sample_position += 1;
+        if self.recorder.samples_at(position) {
+            self.recorder.record(Event::Verdict {
+                verdict: verdict.as_str().to_string(),
+                digest: frame_digest(frame),
+                len: frame.len(),
+                shard: self.shard_idx,
+                version: self.version,
+                matched_stage: matched.map(|(s, _)| s),
+                matched_rank: matched.map(|(_, r)| r),
+            });
+        }
+    }
+
+    #[inline]
+    fn latency(&mut self, nanos: u64) {
+        self.buf
+            .latency
+            .record(std::time::Duration::from_nanos(nanos));
+    }
+
+    fn batch_end(&mut self) {
+        self.flush();
+    }
+}
+
+impl Drop for RegistrySink {
+    /// A shard exiting mid-batch still publishes its final counts.
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::FlightRecorder;
+
+    fn sink() -> (Arc<Registry>, Arc<FlightRecorder>, RegistrySink) {
+        let registry = Arc::new(Registry::new());
+        let recorder = Arc::new(FlightRecorder::new(8, 1, 0));
+        let sink = RegistrySink::new(Arc::clone(&registry), Arc::clone(&recorder), 3);
+        (registry, recorder, sink)
+    }
+
+    #[test]
+    fn verdicts_count_received_and_forwarded() {
+        let (registry, recorder, mut sink) = sink();
+        sink.swap_seen(7, &[(0, "acl".to_string())]);
+        sink.verdict(VerdictKind::Forward, b"abc", Some((0, 2)));
+        sink.verdict(VerdictKind::Drop, b"xyz", None);
+        sink.drop_frame(DropReason::NoRule);
+        // Counts are batch-buffered: invisible until a flush point.
+        assert_eq!(
+            registry.counter_value("p4guard_frames_received_total", &[("shard", "3")]),
+            Some(0)
+        );
+        sink.batch_end();
+        assert_eq!(
+            registry.counter_value("p4guard_frames_received_total", &[("shard", "3")]),
+            Some(2)
+        );
+        assert_eq!(
+            registry.counter_value("p4guard_frames_forwarded_total", &[("shard", "3")]),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value(
+                "p4guard_drops_total",
+                &[("reason", "no_rule"), ("shard", "3")]
+            ),
+            Some(1)
+        );
+        // sample_every=1 records every verdict.
+        assert_eq!(recorder.len(), 2);
+    }
+
+    #[test]
+    fn table_lookups_track_per_stage_series() {
+        let (registry, _recorder, mut sink) = sink();
+        sink.swap_seen(1, &[(0, "acl".to_string()), (1, "nat".to_string())]);
+        sink.table_lookup(0, true);
+        sink.table_lookup(0, true);
+        sink.table_lookup(1, false);
+        sink.table_lookup(9, true); // unknown stage: ignored, not a panic
+        sink.batch_end();
+        assert_eq!(
+            registry.counter_value(
+                "p4guard_table_hits_total",
+                &[("shard", "3"), ("stage", "0"), ("table", "acl")]
+            ),
+            Some(2)
+        );
+        assert_eq!(
+            registry.counter_value(
+                "p4guard_table_misses_total",
+                &[("shard", "3"), ("stage", "1"), ("table", "nat")]
+            ),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn swaps_count_only_version_changes() {
+        let (registry, _recorder, mut sink) = sink();
+        let tables = vec![(0, "acl".to_string())];
+        sink.swap_seen(1, &tables);
+        sink.swap_seen(1, &tables);
+        sink.swap_seen(2, &tables);
+        assert_eq!(
+            registry.counter_value("p4guard_ruleset_swaps_total", &[("shard", "3")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn digest_is_stable_and_length_sensitive() {
+        assert_eq!(frame_digest(b"hello"), frame_digest(b"hello"));
+        assert_ne!(frame_digest(b"hello"), frame_digest(b"hellp"));
+        let long = vec![0u8; 100];
+        let longer = vec![0u8; 200];
+        // Prefix-limited hashing still distinguishes lengths.
+        assert_ne!(frame_digest(&long), frame_digest(&longer));
+    }
+
+    #[test]
+    fn noop_sink_accepts_everything() {
+        let mut s = NoopSink;
+        s.swap_seen(1, &[]);
+        s.table_lookup(0, true);
+        s.drop_frame(DropReason::Backpressure);
+        s.verdict(VerdictKind::ParserReject, b"", None);
+        s.latency(5);
+    }
+}
