@@ -13,6 +13,12 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo build --release"
 cargo build --workspace --release --offline
 
+echo "==> cargo doc (deny warnings)"
+# API docs are part of the contract: broken intra-doc links or malformed
+# examples fail the gate, not just produce rustdoc noise. Scoped to the
+# p4guard crates — vendored workspace members are out of our control.
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps -p p4guard -p 'p4guard-*'
+
 echo "==> cargo bench --no-run"
 # Compile (but do not run) every bench target so they cannot bit-rot
 # outside the tier-1 test gate.
@@ -66,5 +72,26 @@ grep -q '^p4guard_frames_received_total' "$SMOKE_DIR/metrics.txt" || {
 }
 kill "$SERVE_PID" 2>/dev/null || true
 wait "$SERVE_PID" 2>/dev/null || true
+
+echo "==> adaptation loop smoke (fixed seed, time-boxed)"
+# Drive the full closed loop on a live gateway: a scripted regime shift
+# must complete drift → retrain → shadow → canary → promote, and a
+# poisoned proposal must trip the canary guardrail and roll back — both
+# inside the wall-clock box.
+timeout 180 "$CLI" serve --adapt --shards 4 --seed 7 > "$SMOKE_DIR/adapt.log" 2>&1 || {
+  echo "serve --adapt failed:" >&2
+  tail -30 "$SMOKE_DIR/adapt.log" >&2
+  exit 1
+}
+grep -q 'promoted' "$SMOKE_DIR/adapt.log" || {
+  echo "adaptation smoke never promoted the retrained candidate:" >&2
+  cat "$SMOKE_DIR/adapt.log" >&2
+  exit 1
+}
+grep -q 'rolled_back' "$SMOKE_DIR/adapt.log" || {
+  echo "adaptation smoke never rolled back the poisoned candidate:" >&2
+  cat "$SMOKE_DIR/adapt.log" >&2
+  exit 1
+}
 
 echo "==> OK"

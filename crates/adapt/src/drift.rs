@@ -1,0 +1,376 @@
+//! Drift detection over telemetry counters.
+//!
+//! A [`DriftMonitor`] is fed the shared metrics [`Registry`] at
+//! checkpoints (typically after the gateway has drained a traffic chunk).
+//! Each observation turns the cumulative counters into a **delta** since
+//! the previous checkpoint and runs two deterministic tests on it:
+//!
+//! - a **chi-squared** goodness-of-fit test of the verdict-category mix
+//!   (forwarded + per-reason drops) against a baseline mix captured during
+//!   a warmup period, and
+//! - a two-sided **Page–Hinkley** test on the scalar drop-rate series.
+//!
+//! Both statistics are pure functions of the counter deltas, so replaying
+//! the same trace through the same ruleset produces the same firing
+//! decision every run — no clocks, no randomness.
+
+use p4guard_telemetry::Registry;
+use std::collections::BTreeMap;
+
+/// Thresholds and warmup sizing for a [`DriftMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Checkpoints whose deltas build the baseline mix before any test
+    /// runs.
+    pub warmup_checks: u32,
+    /// Minimum frames a checkpoint delta needs before it is evaluated;
+    /// smaller deltas accumulate into the next checkpoint.
+    pub min_frames: u64,
+    /// Page–Hinkley drift allowance `δ` (tolerated per-step rate change).
+    pub ph_delta: f64,
+    /// Page–Hinkley firing threshold `λ` on the cumulative deviation.
+    pub ph_lambda: f64,
+    /// Chi-squared firing threshold (compare against the critical value
+    /// for `categories - 1` degrees of freedom).
+    pub chi_threshold: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            warmup_checks: 2,
+            min_frames: 200,
+            ph_delta: 0.01,
+            ph_lambda: 0.5,
+            chi_threshold: 30.0,
+        }
+    }
+}
+
+/// A fired drift decision: which statistic crossed which threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftSignal {
+    /// `"chi_squared"` or `"page_hinkley"`.
+    pub metric: String,
+    /// The statistic's value at the firing checkpoint.
+    pub statistic: f64,
+    /// The configured threshold it crossed.
+    pub threshold: f64,
+}
+
+/// Cumulative verdict-category counts extracted from the registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct CategoryCounts(BTreeMap<String, u64>);
+
+impl CategoryCounts {
+    /// Reads the current totals. Categories are `forward` plus one
+    /// `drop:<reason>` per drop reason, summed across shards.
+    /// Backpressure drops are excluded: they happen before a frame
+    /// reaches any pipeline, so they say nothing about the ruleset.
+    fn read(registry: &Registry) -> CategoryCounts {
+        let mut counts = BTreeMap::new();
+        counts.insert(
+            "forward".to_string(),
+            registry.family_sum("p4guard_frames_forwarded_total"),
+        );
+        for (name, labels, value) in registry.counter_snapshot() {
+            if name != "p4guard_drops_total" {
+                continue;
+            }
+            let Some(reason) = labels
+                .iter()
+                .find(|(k, _)| k == "reason")
+                .map(|(_, v)| v.clone())
+            else {
+                continue;
+            };
+            if reason == "backpressure" {
+                continue;
+            }
+            *counts.entry(format!("drop:{reason}")).or_insert(0) += value;
+        }
+        CategoryCounts(counts)
+    }
+
+    /// Per-category saturating difference `self - earlier`.
+    fn delta(&self, earlier: &CategoryCounts) -> BTreeMap<String, u64> {
+        let mut out = BTreeMap::new();
+        for (k, &v) in &self.0 {
+            let before = earlier.0.get(k).copied().unwrap_or(0);
+            let d = v.saturating_sub(before);
+            if d > 0 {
+                out.insert(k.clone(), d);
+            }
+        }
+        out
+    }
+}
+
+/// Two-sided Page–Hinkley state over a scalar series.
+#[derive(Debug, Clone, Default)]
+struct PageHinkley {
+    n: u64,
+    mean: f64,
+    /// Cumulative positive deviation and its running minimum (detects
+    /// upward shifts).
+    m_up: f64,
+    min_up: f64,
+    /// Cumulative negative deviation and its running minimum (detects
+    /// downward shifts).
+    m_down: f64,
+    min_down: f64,
+}
+
+impl PageHinkley {
+    /// Feeds one sample; returns the larger of the two one-sided
+    /// statistics.
+    fn observe(&mut self, x: f64, delta: f64) -> f64 {
+        self.n += 1;
+        self.mean += (x - self.mean) / self.n as f64;
+        self.m_up += x - self.mean - delta;
+        self.min_up = self.min_up.min(self.m_up);
+        self.m_down += self.mean - x - delta;
+        self.min_down = self.min_down.min(self.m_down);
+        (self.m_up - self.min_up).max(self.m_down - self.min_down)
+    }
+}
+
+/// Windowed drift detector over the registry's verdict counters. Feed it
+/// with [`DriftMonitor::observe`] at drained checkpoints; it answers with
+/// a [`DriftSignal`] when either test fires.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    config: DriftConfig,
+    last: CategoryCounts,
+    warmup_seen: u32,
+    baseline_counts: BTreeMap<String, u64>,
+    /// Baseline category proportions, frozen after warmup.
+    baseline: Option<BTreeMap<String, f64>>,
+    ph: PageHinkley,
+}
+
+impl DriftMonitor {
+    /// A monitor with no baseline yet; the first `warmup_checks`
+    /// qualifying checkpoints build it.
+    pub fn new(config: DriftConfig) -> Self {
+        DriftMonitor {
+            config,
+            last: CategoryCounts::default(),
+            warmup_seen: 0,
+            baseline_counts: BTreeMap::new(),
+            baseline: None,
+            ph: PageHinkley::default(),
+        }
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Whether the warmup baseline is frozen and tests are active.
+    pub fn warmed_up(&self) -> bool {
+        self.baseline.is_some()
+    }
+
+    /// Checkpoints observed so far (including warmup).
+    pub fn checks(&self) -> u32 {
+        self.warmup_seen
+    }
+
+    /// Drops the baseline and test state while keeping the cumulative
+    /// counter position, so the next checkpoints re-learn the mix of the
+    /// new regime. Call after a promote or rollback changed the ruleset.
+    pub fn reset(&mut self) {
+        self.warmup_seen = 0;
+        self.baseline_counts.clear();
+        self.baseline = None;
+        self.ph = PageHinkley::default();
+    }
+
+    /// Observes one checkpoint. Returns `Some` when a test fired;
+    /// checkpoints with fewer than [`DriftConfig::min_frames`] new frames
+    /// are deferred (their delta folds into the next call).
+    pub fn observe(&mut self, registry: &Registry) -> Option<DriftSignal> {
+        let now = CategoryCounts::read(registry);
+        let delta = now.delta(&self.last);
+        let total: u64 = delta.values().sum();
+        if total < self.config.min_frames {
+            return None;
+        }
+        self.last = now;
+        self.warmup_seen += 1;
+
+        let Some(baseline) = &self.baseline else {
+            for (k, v) in &delta {
+                *self.baseline_counts.entry(k.clone()).or_insert(0) += v;
+            }
+            if self.warmup_seen >= self.config.warmup_checks {
+                let base_total: u64 = self.baseline_counts.values().sum();
+                if base_total > 0 {
+                    self.baseline = Some(
+                        self.baseline_counts
+                            .iter()
+                            .map(|(k, &v)| (k.clone(), v as f64 / base_total as f64))
+                            .collect(),
+                    );
+                }
+            }
+            return None;
+        };
+
+        // Chi-squared over the union of baseline and observed categories.
+        // A category absent from the baseline gets a floor expectation, so
+        // brand-new verdict mixes (e.g. drops appearing where none were)
+        // register as maximally surprising instead of dividing by zero.
+        let mut chi = 0.0f64;
+        let mut keys: Vec<&String> = baseline.keys().collect();
+        for k in delta.keys() {
+            if !baseline.contains_key(k) {
+                keys.push(k);
+            }
+        }
+        for k in keys {
+            let expected = (baseline.get(k).copied().unwrap_or(0.0) * total as f64).max(0.5);
+            let observed = delta.get(k).copied().unwrap_or(0) as f64;
+            chi += (observed - expected).powi(2) / expected;
+        }
+        if chi > self.config.chi_threshold {
+            return Some(DriftSignal {
+                metric: "chi_squared".to_string(),
+                statistic: chi,
+                threshold: self.config.chi_threshold,
+            });
+        }
+
+        // Page–Hinkley on the drop-rate series.
+        let drops: u64 = delta
+            .iter()
+            .filter(|(k, _)| k.starts_with("drop:"))
+            .map(|(_, &v)| v)
+            .sum();
+        let rate = drops as f64 / total as f64;
+        let ph = self.ph.observe(rate, self.config.ph_delta);
+        if ph > self.config.ph_lambda {
+            return Some(DriftSignal {
+                metric: "page_hinkley".to_string(),
+                statistic: ph,
+                threshold: self.config.ph_lambda,
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4guard_telemetry::Registry;
+
+    /// Drives the registry like a shard sink would: bulk-add forwarded /
+    /// dropped counts, then run one checkpoint.
+    fn feed(registry: &Registry, forwarded: u64, rule_drops: u64) {
+        registry
+            .counter("p4guard_frames_forwarded_total", "t", &[("shard", "0")])
+            .add(forwarded);
+        registry
+            .counter(
+                "p4guard_drops_total",
+                "t",
+                &[("shard", "0"), ("reason", "rule_drop")],
+            )
+            .add(rule_drops);
+    }
+
+    fn monitor(chi: f64, lambda: f64) -> DriftMonitor {
+        DriftMonitor::new(DriftConfig {
+            warmup_checks: 2,
+            min_frames: 100,
+            ph_delta: 0.01,
+            ph_lambda: lambda,
+            chi_threshold: chi,
+        })
+    }
+
+    #[test]
+    fn stationary_mix_never_fires() {
+        let registry = Registry::new();
+        let mut m = monitor(30.0, 0.5);
+        for _ in 0..10 {
+            feed(&registry, 800, 200);
+            assert_eq!(m.observe(&registry), None);
+        }
+        assert!(m.warmed_up());
+    }
+
+    #[test]
+    fn mix_flip_fires_chi_squared() {
+        let registry = Registry::new();
+        let mut m = monitor(30.0, 1e9);
+        feed(&registry, 800, 200);
+        assert_eq!(m.observe(&registry), None);
+        feed(&registry, 800, 200);
+        assert_eq!(m.observe(&registry), None); // warmup complete
+                                                // The drop mix collapses: the attack the rules caught went away
+                                                // and a new (uncaught) one replaced it.
+        feed(&registry, 1000, 0);
+        let signal = m.observe(&registry).expect("chi-squared fires");
+        assert_eq!(signal.metric, "chi_squared");
+        assert!(signal.statistic > signal.threshold);
+    }
+
+    #[test]
+    fn sustained_rate_shift_fires_page_hinkley() {
+        let registry = Registry::new();
+        // Chi threshold sky-high so only Page–Hinkley can fire.
+        let mut m = monitor(1e12, 0.3);
+        for _ in 0..4 {
+            feed(&registry, 900, 100);
+            assert_eq!(m.observe(&registry), None);
+        }
+        let mut fired = None;
+        for _ in 0..20 {
+            feed(&registry, 500, 500);
+            if let Some(s) = m.observe(&registry) {
+                fired = Some(s);
+                break;
+            }
+        }
+        let signal = fired.expect("page-hinkley fires on a sustained shift");
+        assert_eq!(signal.metric, "page_hinkley");
+    }
+
+    #[test]
+    fn small_deltas_accumulate_until_min_frames() {
+        let registry = Registry::new();
+        let mut m = monitor(30.0, 0.5);
+        feed(&registry, 60, 0);
+        assert_eq!(m.observe(&registry), None);
+        assert_eq!(m.checks(), 0, "below min_frames: checkpoint deferred");
+        feed(&registry, 60, 0);
+        assert_eq!(m.observe(&registry), None);
+        assert_eq!(m.checks(), 1, "accumulated delta crossed min_frames");
+    }
+
+    #[test]
+    fn reset_relearns_the_baseline() {
+        let registry = Registry::new();
+        let mut m = monitor(30.0, 1e9);
+        feed(&registry, 800, 200);
+        m.observe(&registry);
+        feed(&registry, 800, 200);
+        m.observe(&registry);
+        assert!(m.warmed_up());
+        m.reset();
+        assert!(!m.warmed_up());
+        // The new regime (all-forward) becomes the baseline instead of
+        // firing against the old one.
+        feed(&registry, 1000, 0);
+        assert_eq!(m.observe(&registry), None);
+        feed(&registry, 1000, 0);
+        assert_eq!(m.observe(&registry), None);
+        assert!(m.warmed_up());
+        feed(&registry, 1000, 0);
+        assert_eq!(m.observe(&registry), None, "stationary after reset");
+    }
+}

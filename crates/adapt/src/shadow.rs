@@ -1,0 +1,199 @@
+//! Shadow evaluation: running a candidate pipeline on mirrored traffic.
+//!
+//! The gateway's [`MirrorTap`](p4guard_gateway::MirrorTap) clones a
+//! deterministic 1-in-N sample of ingest frames into a bounded channel.
+//! A [`ShadowScore`] drains that channel and runs each sample through
+//! **both** the candidate and the live [`ReadPipeline`] — never
+//! enforcing, never touching the hot path — and tallies verdict
+//! disagreement and the candidate's absolute drop rate.
+//!
+//! The promotion gate is the candidate's own drop rate, not the
+//! disagreement rate: after genuine drift a *good* candidate is expected
+//! to disagree with the stale live ruleset (that is the point of
+//! retraining). What shadow evaluation protects against is a candidate
+//! that would drop an implausible share of everything it sees.
+
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+use p4guard_dataplane::pipeline::ReadPipeline;
+use p4guard_dataplane::switch::SwitchCounters;
+use p4guard_dataplane::Verdict;
+
+/// Running tallies of a shadow comparison between a candidate pipeline
+/// and the live one.
+#[derive(Debug, Clone, Default)]
+pub struct ShadowScore {
+    /// Mirrored frames evaluated.
+    pub samples: u64,
+    /// Frames where the candidate and live verdicts differ.
+    pub disagreements: u64,
+    /// Frames the candidate dropped (policy or parser).
+    pub candidate_drops: u64,
+    /// Frames the live pipeline dropped (policy or parser).
+    pub live_drops: u64,
+}
+
+impl ShadowScore {
+    /// Fraction of samples the candidate would drop.
+    pub fn candidate_drop_rate(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.candidate_drops as f64 / self.samples as f64
+        }
+    }
+
+    /// Fraction of samples where the two pipelines disagree.
+    pub fn disagreement_rate(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.disagreements as f64 / self.samples as f64
+        }
+    }
+
+    /// Scores a single mirrored frame through both pipelines. Useful for
+    /// a dedicated shadow thread that blocks on the mirror receiver
+    /// instead of draining at checkpoints.
+    pub fn observe(&mut self, frame: &[u8], candidate: &ReadPipeline, live: &ReadPipeline) {
+        let mut scratch_candidate = vec![0u8; candidate.scratch_len()];
+        let mut scratch_live = vec![0u8; live.scratch_len()];
+        let mut counters = SwitchCounters::default();
+        self.score(
+            frame,
+            candidate,
+            live,
+            &mut counters,
+            &mut scratch_candidate,
+            &mut scratch_live,
+        );
+    }
+
+    /// Drains every queued mirror sample through both pipelines,
+    /// returning how many samples this call consumed. Non-blocking: the
+    /// caller re-invokes at its next checkpoint while traffic keeps the
+    /// tap fed.
+    pub fn drain(
+        &mut self,
+        rx: &Receiver<Bytes>,
+        candidate: &ReadPipeline,
+        live: &ReadPipeline,
+    ) -> u64 {
+        let mut scratch_candidate = vec![0u8; candidate.scratch_len()];
+        let mut scratch_live = vec![0u8; live.scratch_len()];
+        // Shadow counters are throwaway; the score keeps its own tallies.
+        let mut counters = SwitchCounters::default();
+        let mut drained = 0u64;
+        while let Ok(frame) = rx.try_recv() {
+            self.score(
+                &frame,
+                candidate,
+                live,
+                &mut counters,
+                &mut scratch_candidate,
+                &mut scratch_live,
+            );
+            drained += 1;
+        }
+        drained
+    }
+
+    fn score(
+        &mut self,
+        frame: &[u8],
+        candidate: &ReadPipeline,
+        live: &ReadPipeline,
+        counters: &mut SwitchCounters,
+        scratch_candidate: &mut Vec<u8>,
+        scratch_live: &mut Vec<u8>,
+    ) {
+        let cand = candidate.process_into(frame, counters, scratch_candidate);
+        let base = live.process_into(frame, counters, scratch_live);
+        self.samples += 1;
+        if dropped(cand) != dropped(base) {
+            self.disagreements += 1;
+        }
+        if dropped(cand) {
+            self.candidate_drops += 1;
+        }
+        if dropped(base) {
+            self.live_drops += 1;
+        }
+    }
+}
+
+fn dropped(v: Verdict) -> bool {
+    !matches!(v, Verdict::Forward(_))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+    use p4guard_dataplane::action::Action;
+    use p4guard_dataplane::key::KeyLayout;
+    use p4guard_dataplane::parser::ParserSpec;
+    use p4guard_dataplane::switch::Switch;
+    use p4guard_dataplane::table::{MatchKind, MatchSpec, Table};
+
+    /// A one-stage pipeline keying on byte 0 that drops value `drop_value`.
+    fn pipeline(drop_value: Option<u8>) -> ReadPipeline {
+        let mut sw = Switch::new("shadow-test", ParserSpec::raw_window(8, 1), 1);
+        let stage = sw.add_stage(Table::new(
+            "acl",
+            MatchKind::Ternary,
+            KeyLayout::new(vec![0]),
+            8,
+            Action::NoOp,
+        ));
+        if let Some(v) = drop_value {
+            sw.stage_mut(stage)
+                .insert(
+                    MatchSpec::Ternary {
+                        value: vec![v],
+                        mask: vec![0xff],
+                    },
+                    Action::Drop,
+                    1,
+                )
+                .unwrap();
+        }
+        sw.read_pipeline(0)
+    }
+
+    #[test]
+    fn drain_scores_disagreement_and_drop_rates() {
+        let live = pipeline(None); // forwards everything
+        let candidate = pipeline(Some(0xAA)); // drops frames starting 0xAA
+        let (tx, rx) = bounded(16);
+        for i in 0..8u8 {
+            let first = if i % 2 == 0 { 0xAA } else { 0x01 };
+            tx.send(Bytes::from(vec![first; 8])).unwrap();
+        }
+        let mut score = ShadowScore::default();
+        assert_eq!(score.drain(&rx, &candidate, &live), 8);
+        assert_eq!(score.samples, 8);
+        assert_eq!(score.candidate_drops, 4);
+        assert_eq!(score.live_drops, 0);
+        assert_eq!(score.disagreements, 4);
+        assert!((score.candidate_drop_rate() - 0.5).abs() < 1e-9);
+        assert!((score.disagreement_rate() - 0.5).abs() < 1e-9);
+        // A second drain on the empty queue is a no-op.
+        assert_eq!(score.drain(&rx, &candidate, &live), 0);
+        assert_eq!(score.samples, 8);
+    }
+
+    #[test]
+    fn identical_pipelines_never_disagree() {
+        let live = pipeline(Some(0x10));
+        let candidate = pipeline(Some(0x10));
+        let (tx, rx) = bounded(16);
+        for i in 0..10u8 {
+            tx.send(Bytes::from(vec![i, 0, 0, 0, 0, 0, 0, 0])).unwrap();
+        }
+        let mut score = ShadowScore::default();
+        score.drain(&rx, &candidate, &live);
+        assert_eq!(score.disagreements, 0);
+        assert_eq!(score.candidate_drops, score.live_drops);
+    }
+}

@@ -1,0 +1,204 @@
+//! Measures the gateway replay throughput cost of a shadow-evaluation
+//! episode — mirror tap open at the production stride, candidate scored at
+//! drained checkpoints until the sample quorum, then tap closed — against
+//! the same checkpointed replay without shadowing, and writes
+//! `results/BENCH_adapt.json`. The ISSUE bounds the acceptable regression
+//! at 5% of f4_gateway pps.
+//!
+//! Both arms run with the registry telemetry sink attached (the PR 4
+//! baseline) and replay in identical chunks with a drained checkpoint
+//! between them — the adaptation engine's cadence. The only difference is
+//! the shadow episode: the tap opens at the first checkpoint, each later
+//! checkpoint drains and scores the queued samples through the candidate
+//! and live pipelines, and once the quorum is reached the tap closes and
+//! the rest of the replay proceeds with the tap's one-atomic-load fast
+//! path. This is exactly how `AdaptEngine` shadows a candidate: sampled,
+//! bounded, and off the enforcement path.
+//!
+//! ```text
+//! cargo run --release --example adapt_overhead [trials]
+//! ```
+
+use bytes::Bytes;
+use p4guard_adapt::ShadowScore;
+use p4guard_bench::standard_split;
+use p4guard_dataplane::action::Action;
+use p4guard_dataplane::control::ControlPlane;
+use p4guard_dataplane::key::KeyLayout;
+use p4guard_dataplane::parser::ParserSpec;
+use p4guard_dataplane::switch::Switch;
+use p4guard_dataplane::table::{MatchKind, MatchSpec, Table};
+use p4guard_gateway::{replay, Gateway, GatewayConfig, IngestMode};
+use p4guard_telemetry::{Telemetry, TelemetryConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Value;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const KEY_WIDTH: usize = 8;
+const SHARDS: usize = 4;
+const ENTRIES: usize = 64;
+/// Production sampling stride: one ingest frame in four is mirrored while
+/// the tap is open.
+const STRIDE: u64 = 4;
+const MIRROR_CAPACITY: usize = 4096;
+/// Samples the shadow gate needs before it decides (the episode length).
+const QUORUM: u64 = 256;
+/// Frames dispatched between drained checkpoints.
+const CHUNK_FRAMES: usize = 2048;
+
+/// Frames replayed per trial (matches the telemetry overhead bench so the
+/// two JSON artifacts are comparable).
+const FRAMES_PER_TRIAL: usize = 50_000;
+
+/// The synthetic one-stage ternary switch f4_gateway benches.
+fn synthetic_switch(entries: usize, seed: u64) -> Switch {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sw = Switch::new("bench-gw", ParserSpec::raw_window(64, 14), 1);
+    let mut acl = Table::new(
+        "acl",
+        MatchKind::Ternary,
+        KeyLayout::window(KEY_WIDTH),
+        entries.max(1024),
+        Action::NoOp,
+    );
+    for _ in 0..entries {
+        let value: Vec<u8> = (0..KEY_WIDTH).map(|_| rng.gen()).collect();
+        let mask: Vec<u8> = (0..KEY_WIDTH)
+            .map(|_| if rng.gen::<bool>() { 0xff } else { 0x00 })
+            .collect();
+        acl.insert(MatchSpec::Ternary { value, mask }, Action::Drop, 1)
+            .expect("capacity");
+    }
+    sw.add_stage(acl);
+    sw
+}
+
+/// Blocks until the gateway has processed `expected` frames.
+fn wait_drained(gw: &Gateway, expected: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let snap = gw.snapshot();
+        if snap.totals.received + snap.dropped_backpressure >= expected {
+            return;
+        }
+        assert!(Instant::now() < deadline, "gateway failed to drain");
+        std::thread::yield_now();
+    }
+}
+
+/// One checkpointed replay through a fresh gateway; with `shadow`, a full
+/// shadow-evaluation episode runs during it. Returns end-to-end pps and
+/// the samples the episode scored.
+fn run_once(frames: &[Bytes], shadow: bool) -> (f64, u64) {
+    let control = ControlPlane::new(synthetic_switch(ENTRIES, p4guard_bench::BENCH_SEED));
+    let telemetry = Arc::new(Telemetry::new(TelemetryConfig::default()));
+    let gw = Gateway::start_with_telemetry(
+        &control,
+        GatewayConfig::with_shards(SHARDS),
+        Some(telemetry),
+    );
+    let mirror = Arc::clone(gw.mirror());
+    let candidate = synthetic_switch(ENTRIES, p4guard_bench::BENCH_SEED + 1).read_pipeline(0);
+    let live = gw.cells()[0].load();
+
+    let mut episode =
+        shadow.then(|| (mirror.open(STRIDE, MIRROR_CAPACITY), ShadowScore::default()));
+    let mut scored = 0u64;
+    let mut dispatched = 0u64;
+    let start = Instant::now();
+    let mut iter = frames.iter().cycle().take(FRAMES_PER_TRIAL).cloned();
+    loop {
+        let chunk: Vec<Bytes> = iter.by_ref().take(CHUNK_FRAMES).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        dispatched += chunk.len() as u64;
+        let _report = replay(&gw, chunk, None, IngestMode::Blocking);
+        // Drained checkpoint: the engine's step cadence.
+        wait_drained(&gw, dispatched);
+        if let Some((rx, score)) = episode.as_mut() {
+            score.drain(rx, &candidate, &live);
+            if score.samples >= QUORUM {
+                // Gate decided; the episode ends and the tap goes back to
+                // its closed fast path.
+                mirror.close();
+                scored = score.samples;
+                episode = None;
+            }
+        }
+    }
+    let snap = gw.finish();
+    let elapsed = start.elapsed();
+    (snap.totals.received as f64 / elapsed.as_secs_f64(), scored)
+}
+
+/// Median over `trials` runs.
+fn median_pps(frames: &[Bytes], trials: usize, shadow: bool) -> (f64, u64) {
+    let mut samples = 0u64;
+    let mut pps: Vec<f64> = (0..trials)
+        .map(|_| {
+            let (p, s) = run_once(frames, shadow);
+            samples = samples.max(s);
+            p
+        })
+        .collect();
+    pps.sort_by(|a, b| a.total_cmp(b));
+    (pps[pps.len() / 2], samples)
+}
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .map(|v| v.parse().expect("trials must be a number"))
+        .unwrap_or(7);
+    let (_, test) = standard_split();
+    let frames: Vec<Bytes> = test.iter().map(|r| r.frame.clone()).collect();
+    println!(
+        "shadow overhead: {} distinct frames cycled to {FRAMES_PER_TRIAL} per trial in \
+         {CHUNK_FRAMES}-frame checkpointed chunks, {SHARDS} shards, 1-in-{STRIDE} mirror, \
+         quorum {QUORUM}, {trials} trials per arm",
+        frames.len()
+    );
+
+    // Warm both arms, then measure.
+    run_once(&frames, false);
+    run_once(&frames, true);
+
+    let (baseline_pps, _) = median_pps(&frames, trials, false);
+    let (shadow_pps, shadow_samples) = median_pps(&frames, trials, true);
+    let overhead_pct = (baseline_pps - shadow_pps) / baseline_pps * 100.0;
+
+    println!("no shadowing  : {baseline_pps:>12.0} pps");
+    println!("shadow episode: {shadow_pps:>12.0} pps ({shadow_samples} samples scored)");
+    println!("overhead      : {overhead_pct:>11.2}%");
+
+    let out = Value::Map(vec![
+        ("bench".into(), Value::Str("f4_gateway_shadow".into())),
+        ("frames".into(), Value::UInt(FRAMES_PER_TRIAL as u64)),
+        ("chunk_frames".into(), Value::UInt(CHUNK_FRAMES as u64)),
+        ("shards".into(), Value::UInt(SHARDS as u64)),
+        ("entries".into(), Value::UInt(ENTRIES as u64)),
+        ("mirror_stride".into(), Value::UInt(STRIDE)),
+        ("quorum".into(), Value::UInt(QUORUM)),
+        ("trials".into(), Value::UInt(trials as u64)),
+        ("baseline_pps".into(), Value::Float(baseline_pps)),
+        ("shadow_pps".into(), Value::Float(shadow_pps)),
+        ("shadow_samples".into(), Value::UInt(shadow_samples)),
+        ("overhead_pct".into(), Value::Float(overhead_pct)),
+        ("budget_pct".into(), Value::Float(5.0)),
+        ("within_budget".into(), Value::Bool(overhead_pct <= 5.0)),
+    ]);
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write(
+        "results/BENCH_adapt.json",
+        serde_json::to_string_pretty(&out).expect("serialize"),
+    )
+    .expect("write results/BENCH_adapt.json");
+    println!("wrote results/BENCH_adapt.json");
+    if overhead_pct > 5.0 {
+        eprintln!("warning: shadow overhead exceeds the 5% budget");
+        std::process::exit(1);
+    }
+}

@@ -6,7 +6,7 @@
 //! ```text
 //! reproduce [EXPERIMENT ...] [--seed N] [--full] [--out DIR]
 //!
-//! EXPERIMENT ∈ { t1 t2 t3 f1 .. f14 f11_lookup all }  (default: all)
+//! EXPERIMENT ∈ { t1 t2 t3 f1 .. f14 f11_lookup f12_adapt all }  (default: all)
 //! --seed N   scenario seed (default 2020, the publication year)
 //! --full     use the full (paper-scale) pipeline config instead of the
 //!            fast profile
@@ -15,8 +15,8 @@
 
 use p4guard::config::GuardConfig;
 use p4guard::experiments::{
-    convergence, dataplane_exp, dataset, detection, efficiency, extensions, universality,
-    ExperimentContext,
+    adaptation, convergence, dataplane_exp, dataset, detection, efficiency, extensions,
+    universality, ExperimentContext,
 };
 use p4guard_packet::trace::AttackFamily;
 use serde::Serialize;
@@ -30,7 +30,7 @@ struct Options {
     out: Option<PathBuf>,
 }
 
-const ALL: [&str; 18] = [
+const ALL: [&str; 19] = [
     "t1",
     "t2",
     "t3",
@@ -47,6 +47,7 @@ const ALL: [&str; 18] = [
     "f11",
     "f11_lookup",
     "f12",
+    "f12_adapt",
     "f13",
     "f14",
 ];
@@ -109,7 +110,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: reproduce [t1 t2 t3 f1..f14 f11_lookup | all] [--seed N] [--full] [--out DIR]"
+                "usage: reproduce [t1 t2 t3 f1..f14 f11_lookup f12_adapt | all] [--seed N] [--full] [--out DIR]"
             );
             return ExitCode::FAILURE;
         }
@@ -224,6 +225,11 @@ fn main() -> ExitCode {
                     &config,
                     &[0.0, 0.05, 0.1, 0.2, 0.35, 0.5],
                 );
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "f12_adapt" => {
+                let r = adaptation::run_f12_adapt(options.seed, 4, None);
                 println!("{r}");
                 save_json(&options.out, id, &r);
             }

@@ -21,6 +21,12 @@
 //!   hot swaps, queue-overload bursts and wrong-width ruleset installs.
 //!   The oracle demands that drained-gateway totals equal a single-switch
 //!   replay and that no frame is ever lost unaccounted.
+//! * **Adaptation rollback schedules** (`tests/adapt_rollback.rs`): a
+//!   poisoned candidate trips the canary guardrail mid-rollout; the
+//!   oracle demands that rollback restores the exact prior version —
+//!   shard version numbers, [`p4guard_rules::RuleSet::diff`] emptiness
+//!   against the baseline, and verdict-for-verdict agreement with a
+//!   single switch replaying the baseline rules.
 //!
 //! Failures shrink ([`shrink`]) to minimal hex repros persisted under
 //! `tests/corpus/` ([`corpus`]), which `tests/corpus_replay.rs` replays

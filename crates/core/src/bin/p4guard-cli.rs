@@ -44,11 +44,11 @@ const USAGE: &str = "usage:
   p4guard-cli export   --model FILE --trace FILE --out-dir DIR
   p4guard-cli stats    --trace FILE | --metrics ADDR [--events]
   p4guard-cli serve    [--shards N] [--model FILE] [--trace FILE] [--scenario S] [--seed N]
-                       [--pps N] [--queue N] [--batch N]
+                       [--pps N] [--queue N] [--batch N] [--adapt]
                        [--metrics-addr ADDR] [--hold SECS] [--sample-every N]";
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 2] = ["fast", "events"];
+const BOOLEAN_FLAGS: [&str; 3] = ["fast", "events", "adapt"];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -192,6 +192,49 @@ fn run() -> Result<(), Box<dyn Error>> {
             }
             let pps: Option<f64> = flags.get("pps").map(|v| v.parse()).transpose()?;
             let seed: u64 = flags.get("seed").map_or(Ok(1), |v| v.parse())?;
+            if flags.contains_key("adapt") {
+                // Closed-loop demo: drive the adaptation engine through a
+                // scripted regime shift (promote path) and a poisoned
+                // proposal (rollback path) on a live gateway, optionally
+                // serving the adapt_* counters and audit events while the
+                // loop runs.
+                let hold: u64 = flags.get("hold").map_or(Ok(0), |v| v.parse())?;
+                let sample_every: u64 = flags.get("sample-every").map_or(Ok(8), |v| v.parse())?;
+                let telemetry = Arc::new(Telemetry::new(TelemetryConfig {
+                    sample_every,
+                    seed,
+                    ..TelemetryConfig::default()
+                }));
+                let server = match flags.get("metrics-addr") {
+                    Some(addr) => {
+                        let server = MetricsServer::serve(addr, Arc::clone(&telemetry))?;
+                        println!(
+                            "metrics: listening on http://{}/metrics",
+                            server.local_addr()
+                        );
+                        Some(server)
+                    }
+                    None => None,
+                };
+                println!(
+                    "adaptation loop: injecting a regime shift across {} shards (seed {seed})",
+                    config.shards
+                );
+                let report = p4guard::experiments::adaptation::run_f12_adapt(
+                    seed,
+                    config.shards,
+                    Some(Arc::clone(&telemetry)),
+                );
+                println!("{report}");
+                if let Some(mut server) = server {
+                    if hold > 0 {
+                        println!("holding metrics endpoint for {hold}s");
+                        std::thread::sleep(Duration::from_secs(hold));
+                    }
+                    server.shutdown();
+                }
+                return Ok(());
+            }
             let trace = match flags.get("trace") {
                 Some(path) => Trace::load(path)?,
                 None => {
@@ -295,13 +338,19 @@ fn run() -> Result<(), Box<dyn Error>> {
 /// exit code without needing `curl`.
 fn fetch_remote_stats(addr: &str, events: bool) -> Result<(), Box<dyn Error>> {
     let timeout = Duration::from_secs(5);
-    let (status, body) = http_get(addr, "/metrics", timeout)?;
+    let unreachable = |e: std::io::Error| {
+        format!(
+            "cannot reach metrics endpoint {addr}: {e} \
+             (is a gateway running with serve --metrics-addr {addr}?)"
+        )
+    };
+    let (status, body) = http_get(addr, "/metrics", timeout).map_err(unreachable)?;
     if status != 200 {
         return Err(format!("GET /metrics on {addr} returned HTTP {status}").into());
     }
     print!("{body}");
     if events {
-        let (status, body) = http_get(addr, "/events", timeout)?;
+        let (status, body) = http_get(addr, "/events", timeout).map_err(unreachable)?;
         if status != 200 {
             return Err(format!("GET /events on {addr} returned HTTP {status}").into());
         }

@@ -3,6 +3,7 @@
 //! serializable result struct whose `Display` prints the table/series the
 //! paper reports.
 
+pub mod adaptation;
 pub mod convergence;
 pub mod dataplane_exp;
 pub mod dataset;

@@ -1,0 +1,58 @@
+//! `p4guard-cli stats --metrics` failure-path tests: an unreachable
+//! endpoint must exit non-zero with a clear, actionable error instead of
+//! panicking or printing an opaque failure.
+
+use std::net::TcpListener;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_p4guard-cli"))
+}
+
+/// Binds an ephemeral port, drops the listener, and returns the now-closed
+/// address: nothing is listening there, but the port was just valid.
+fn closed_port_addr() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    drop(listener);
+    addr
+}
+
+#[test]
+fn stats_metrics_unreachable_endpoint_fails_clearly() {
+    let addr = closed_port_addr();
+    let out = cli()
+        .args(["stats", "--metrics", &addr])
+        .output()
+        .expect("cli runs");
+    assert!(
+        !out.status.success(),
+        "closed port must produce a non-zero exit"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot reach metrics endpoint") && stderr.contains(&addr),
+        "stderr names the endpoint and the failure: {stderr}"
+    );
+    assert!(
+        stderr.contains("serve --metrics-addr"),
+        "stderr tells the operator how to start a gateway: {stderr}"
+    );
+    // The failure is a clean error path, not a panic.
+    assert!(!stderr.contains("panicked"), "no panic: {stderr}");
+}
+
+#[test]
+fn stats_metrics_events_flag_also_fails_clearly() {
+    let addr = closed_port_addr();
+    let out = cli()
+        .args(["stats", "--metrics", &addr, "--events"])
+        .output()
+        .expect("cli runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot reach metrics endpoint"),
+        "stderr: {stderr}"
+    );
+}

@@ -11,9 +11,16 @@ use p4guard_rules::tree::TreePath;
 use p4guard_telemetry::{Event, FlightRecorder};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How many published snapshots the control plane retains for
+/// [`ControlPlane::republish`] / [`ControlPlane::rollback_to`].
+const HISTORY_CAP: usize = 16;
 
 /// Outcome of a batch install.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -52,14 +59,53 @@ pub struct PublishReport {
     pub elapsed: Duration,
 }
 
+/// Errors from targeted publication and version-history operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PublishError {
+    /// A subscriber index in a targeted publish was out of range.
+    NoSuchSubscriber {
+        /// The offending index.
+        index: usize,
+        /// How many cells are subscribed.
+        subscribers: usize,
+    },
+    /// The requested version is not (or no longer) in the retained history.
+    UnknownVersion {
+        /// The version that was asked for.
+        version: u64,
+        /// Versions currently retained, oldest first.
+        retained: Vec<u64>,
+    },
+}
+
+impl fmt::Display for PublishError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PublishError::NoSuchSubscriber { index, subscribers } => {
+                write!(f, "no subscriber {index} (have {subscribers})")
+            }
+            PublishError::UnknownVersion { version, retained } => {
+                write!(
+                    f,
+                    "version {version} not in history (retained {retained:?})"
+                )
+            }
+        }
+    }
+}
+
+impl Error for PublishError {}
+
 /// A control plane bound to one switch. Clones share the switch, the
-/// subscriber list, the version counter and the audit recorder.
+/// subscriber list, the version counter, the snapshot history and the
+/// audit recorder.
 #[derive(Debug, Clone)]
 pub struct ControlPlane {
     switch: Arc<RwLock<Switch>>,
     subscribers: Arc<Mutex<Vec<Arc<PipelineCell>>>>,
     next_version: Arc<AtomicU64>,
     recorder: Arc<Mutex<Option<Arc<FlightRecorder>>>>,
+    history: Arc<Mutex<VecDeque<Arc<ReadPipeline>>>>,
 }
 
 impl ControlPlane {
@@ -70,6 +116,7 @@ impl ControlPlane {
             subscribers: Arc::new(Mutex::new(Vec::new())),
             next_version: Arc::new(AtomicU64::new(1)),
             recorder: Arc::new(Mutex::new(None)),
+            history: Arc::new(Mutex::new(VecDeque::new())),
         }
     }
 
@@ -265,6 +312,7 @@ impl ControlPlane {
     pub fn publish_audited(&self, delta: Option<&RuleSetDiff>, drained: bool) -> PublishReport {
         let start = Instant::now();
         let snapshot = self.snapshot();
+        self.retain(Arc::clone(&snapshot));
         let subscribers = self.subscribers.lock();
         for cell in subscribers.iter() {
             cell.publish(Arc::clone(&snapshot));
@@ -288,6 +336,134 @@ impl ControlPlane {
             });
         }
         report
+    }
+
+    /// Number of subscribed pipeline cells (with a gateway attached via
+    /// [`Gateway::start`](https://docs.rs/p4guard-gateway), cell index ==
+    /// shard index, so targeted publishes address shards directly).
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().len()
+    }
+
+    /// Keeps `snapshot` in the bounded publish history for later
+    /// [`ControlPlane::republish`] / [`ControlPlane::rollback_to`].
+    fn retain(&self, snapshot: Arc<ReadPipeline>) {
+        let mut history = self.history.lock();
+        if history.len() == HISTORY_CAP {
+            history.pop_front();
+        }
+        history.push_back(snapshot);
+    }
+
+    /// Versions currently retained in the publish history, oldest first.
+    pub fn retained_versions(&self) -> Vec<u64> {
+        self.history.lock().iter().map(|p| p.version()).collect()
+    }
+
+    /// Snapshots the switch and publishes the snapshot **only** to the
+    /// subscriber cells listed in `targets` — the canary primitive: with a
+    /// gateway attached, subscriber index equals shard index, so a rollout
+    /// engine can stage a candidate on a shard subset while the rest of
+    /// the fleet keeps serving the previous version. The snapshot is
+    /// retained in the history so the same version can later be promoted
+    /// fleet-wide with [`ControlPlane::republish`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PublishError::NoSuchSubscriber`] (before publishing to
+    /// anyone) when any target index is out of range.
+    pub fn publish_to(&self, targets: &[usize]) -> Result<PublishReport, PublishError> {
+        let start = Instant::now();
+        let subscribers = self.subscribers.lock();
+        if let Some(&index) = targets.iter().find(|&&t| t >= subscribers.len()) {
+            return Err(PublishError::NoSuchSubscriber {
+                index,
+                subscribers: subscribers.len(),
+            });
+        }
+        let snapshot = self.snapshot();
+        self.retain(Arc::clone(&snapshot));
+        for &t in targets {
+            subscribers[t].publish(Arc::clone(&snapshot));
+        }
+        let report = PublishReport {
+            version: snapshot.version(),
+            entries: snapshot.entry_count(),
+            subscribers: targets.len(),
+            elapsed: start.elapsed(),
+        };
+        drop(subscribers);
+        if let Some(recorder) = self.recorder.lock().as_ref() {
+            recorder.record(Event::Swap {
+                version: report.version,
+                entries: report.entries,
+                subscribers: report.subscribers,
+                added: 0,
+                removed: 0,
+                drained: false,
+                duration_ns: u64::try_from(report.elapsed.as_nanos()).unwrap_or(u64::MAX),
+            });
+        }
+        Ok(report)
+    }
+
+    /// Re-publishes a retained historical snapshot — exact bytes, original
+    /// version number — to every subscribed cell. Promotion uses this to
+    /// take a canaried version fleet-wide without recompiling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PublishError::UnknownVersion`] when `version` has been
+    /// evicted from (or never entered) the bounded history.
+    pub fn republish(&self, version: u64) -> Result<PublishReport, PublishError> {
+        let start = Instant::now();
+        let snapshot = {
+            let history = self.history.lock();
+            history
+                .iter()
+                .find(|p| p.version() == version)
+                .cloned()
+                .ok_or_else(|| PublishError::UnknownVersion {
+                    version,
+                    retained: history.iter().map(|p| p.version()).collect(),
+                })?
+        };
+        let subscribers = self.subscribers.lock();
+        for cell in subscribers.iter() {
+            cell.publish(Arc::clone(&snapshot));
+        }
+        Ok(PublishReport {
+            version: snapshot.version(),
+            entries: snapshot.entry_count(),
+            subscribers: subscribers.len(),
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Rolls every subscriber back to a retained prior `version` and leaves
+    /// an [`Event::Rollout`] audit record (phase `rolled_back`) carrying
+    /// `reason` — the canary engine's abort path. The data plane is
+    /// guaranteed to serve exactly the bytes it served at `version`; the
+    /// caller is responsible for re-synchronising the mutable switch tables
+    /// (see `p4guard-adapt`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PublishError::UnknownVersion`] when the version has left
+    /// the bounded history.
+    pub fn rollback_to(&self, version: u64, reason: &str) -> Result<PublishReport, PublishError> {
+        let from = self.retained_versions().last().copied().unwrap_or(0);
+        let report = self.republish(version)?;
+        if let Some(recorder) = self.recorder.lock().as_ref() {
+            recorder.record(Event::Rollout {
+                phase: "rolled_back".to_string(),
+                version: from,
+                baseline: version,
+                shards: Vec::new(),
+                reason: reason.to_string(),
+            });
+        }
+        Ok(report)
     }
 }
 
@@ -461,6 +637,114 @@ mod tests {
         let cp2 = cp.clone();
         cp.install_ruleset(0, &ruleset(), Action::Drop).unwrap();
         cp2.with_switch(|sw| assert_eq!(sw.stage(0).len(), 2));
+    }
+
+    #[test]
+    fn publish_to_targets_a_subset_of_cells() {
+        let cp = control_with_table(MatchKind::Ternary, 2, 16);
+        let canary = cp.attach_cell();
+        let steady = cp.attach_cell();
+        assert_eq!(cp.subscriber_count(), 2);
+        let baseline = cp.publish();
+        cp.install_ruleset(0, &ruleset(), Action::Drop).unwrap();
+        let report = cp.publish_to(&[0]).unwrap();
+        assert_eq!(report.subscribers, 1);
+        assert_eq!(report.entries, 2);
+        // Only the targeted cell moved; the other still serves baseline.
+        assert_eq!(canary.version(), report.version);
+        assert_eq!(canary.load().entry_count(), 2);
+        assert_eq!(steady.version(), baseline.version);
+        assert_eq!(steady.load().entry_count(), 0);
+    }
+
+    #[test]
+    fn publish_to_rejects_bad_indices_before_publishing() {
+        let cp = control_with_table(MatchKind::Ternary, 2, 16);
+        let cell = cp.attach_cell();
+        let before = cell.version();
+        let err = cp.publish_to(&[0, 3]).unwrap_err();
+        assert_eq!(
+            err,
+            PublishError::NoSuchSubscriber {
+                index: 3,
+                subscribers: 1
+            }
+        );
+        assert!(err.to_string().contains("no subscriber 3"));
+        // Validation happens first: the in-range target was not touched.
+        assert_eq!(cell.version(), before);
+    }
+
+    #[test]
+    fn republish_and_rollback_restore_a_retained_version() {
+        let cp = control_with_table(MatchKind::Ternary, 2, 16);
+        let recorder = Arc::new(FlightRecorder::new(16, 1, 0));
+        cp.set_recorder(Arc::clone(&recorder));
+        let cell = cp.attach_cell();
+
+        let empty = cp.publish(); // baseline: no entries
+        cp.install_ruleset(0, &ruleset(), Action::Drop).unwrap();
+        let full = cp.publish(); // candidate: two entries
+        assert_eq!(cp.retained_versions(), vec![empty.version, full.version]);
+        assert_eq!(cell.load().entry_count(), 2);
+
+        let back = cp
+            .rollback_to(empty.version, "drop-rate guardrail")
+            .unwrap();
+        assert_eq!(back.version, empty.version);
+        assert_eq!(cell.version(), empty.version);
+        assert_eq!(cell.load().entry_count(), 0);
+
+        let fwd = cp.republish(full.version).unwrap();
+        assert_eq!(fwd.version, full.version);
+        assert_eq!(cell.load().entry_count(), 2);
+
+        let rollouts: Vec<_> = recorder
+            .events()
+            .into_iter()
+            .filter(|e| e.event.kind() == "rollout")
+            .collect();
+        assert_eq!(rollouts.len(), 1);
+        match &rollouts[0].event {
+            Event::Rollout {
+                phase,
+                version,
+                baseline,
+                reason,
+                ..
+            } => {
+                assert_eq!(phase, "rolled_back");
+                assert_eq!(*version, full.version);
+                assert_eq!(*baseline, empty.version);
+                assert_eq!(reason, "drop-rate guardrail");
+            }
+            other => panic!("expected a rollout event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn history_is_bounded_and_unknown_versions_error() {
+        let cp = control_with_table(MatchKind::Ternary, 2, 16);
+        let first = cp.publish();
+        for _ in 0..HISTORY_CAP {
+            cp.publish();
+        }
+        let retained = cp.retained_versions();
+        assert_eq!(retained.len(), HISTORY_CAP);
+        assert!(!retained.contains(&first.version), "oldest evicted");
+        let err = cp.republish(first.version).unwrap_err();
+        assert_eq!(
+            err,
+            PublishError::UnknownVersion {
+                version: first.version,
+                retained,
+            }
+        );
+        assert!(err.to_string().contains("not in history"));
+        assert_eq!(
+            cp.rollback_to(first.version, "x").unwrap_err(),
+            cp.republish(first.version).unwrap_err()
+        );
     }
 
     #[test]

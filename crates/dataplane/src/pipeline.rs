@@ -6,7 +6,7 @@
 //! (hit counters, per-switch counters), so it cannot be shared across
 //! threads without a write lock on the hot path. [`ReadPipeline`] splits
 //! that coupling: each table is lowered into its
-//! [`CompiledTable`](crate::compiled::CompiledTable) engine at snapshot
+//! [`CompiledTable`] engine at snapshot
 //! time (hash index, LPM buckets, range index or tuple-space search — see
 //! [`compiled`](crate::compiled)), while packet counters live in a
 //! caller-owned [`SwitchCounters`]. N shards can then share one snapshot

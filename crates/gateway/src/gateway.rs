@@ -4,6 +4,7 @@
 
 use crate::flow::shard_for;
 use crate::histogram::LatencyHistogram;
+use crate::mirror::MirrorTap;
 use crate::shard::{run_shard, ShardStats};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Sender, TrySendError};
@@ -58,8 +59,15 @@ pub struct GatewaySnapshot {
     pub shards: Vec<ShardStats>,
     /// Frames dropped at ingest because a shard queue was full.
     pub dropped_backpressure: u64,
-    /// Ruleset version currently published to the shards.
+    /// Newest ruleset version published to any shard. During a canary
+    /// rollout shards intentionally diverge — see
+    /// [`GatewaySnapshot::shard_versions`] for the per-shard truth.
     pub version: u64,
+    /// Active ruleset version in each shard's publication cell, indexed by
+    /// shard. Unlike [`ShardStats::ruleset_version`] (the version the
+    /// worker last *processed* with), this is what the shard will serve
+    /// next — the value a canary engine compares against its candidate.
+    pub shard_versions: Vec<u64>,
     /// Sum of all shard counters.
     pub totals: SwitchCounters,
     /// Merged forwarding-latency histogram.
@@ -81,10 +89,11 @@ impl fmt::Display for GatewaySnapshot {
         )?;
         writeln!(f, "latency: {}", self.latency)?;
         for s in &self.shards {
+            let active = self.shard_versions.get(s.shard).copied().unwrap_or(0);
             writeln!(
                 f,
-                "  shard {}: {} frames in {} batches, {} swaps seen (v{})",
-                s.shard, s.processed, s.batches, s.swaps_seen, s.ruleset_version
+                "  shard {}: {} frames in {} batches, {} swaps seen (processed v{}, serving v{})",
+                s.shard, s.processed, s.batches, s.swaps_seen, s.ruleset_version, active
             )?;
         }
         Ok(())
@@ -102,7 +111,8 @@ pub struct Gateway {
     workers: Vec<JoinHandle<()>>,
     states: Vec<Arc<Mutex<ShardStats>>>,
     ingest_drops: Vec<AtomicU64>,
-    cell: Arc<PipelineCell>,
+    cells: Vec<Arc<PipelineCell>>,
+    mirror: Arc<MirrorTap>,
     config: GatewayConfig,
     telemetry: Option<GatewayTelemetry>,
 }
@@ -146,7 +156,19 @@ impl Gateway {
     ) -> Gateway {
         assert!(config.shards > 0, "gateway needs at least one shard");
         assert!(config.queue_capacity > 0, "queue capacity must be nonzero");
-        let cell = control.attach_cell();
+        // One publication cell per shard, all pre-loaded with the same
+        // snapshot and subscribed in shard order — so with the gateway as
+        // the control plane's first subscriber, subscriber index equals
+        // shard index and `ControlPlane::publish_to` can canary a shard
+        // subset while the rest keep their version.
+        let initial = control.snapshot();
+        let cells: Vec<Arc<PipelineCell>> = (0..config.shards)
+            .map(|_| {
+                let cell = Arc::new(PipelineCell::new((*initial).clone()));
+                control.subscribe(Arc::clone(&cell));
+                cell
+            })
+            .collect();
         if let Some(t) = &telemetry {
             control.set_recorder(Arc::clone(&t.recorder));
             t.registry
@@ -157,13 +179,13 @@ impl Gateway {
         let mut workers = Vec::with_capacity(config.shards);
         let mut states = Vec::with_capacity(config.shards);
         let mut ingest_drops = Vec::with_capacity(config.shards);
-        for shard in 0..config.shards {
+        for (shard, cell) in cells.iter().enumerate() {
             let (tx, rx) = bounded::<Bytes>(config.queue_capacity);
             let state = Arc::new(Mutex::new(ShardStats {
                 shard,
                 ..ShardStats::default()
             }));
-            let worker_cell = Arc::clone(&cell);
+            let worker_cell = Arc::clone(cell);
             let worker_state = Arc::clone(&state);
             let batch = config.batch_size.max(1);
             let builder = std::thread::Builder::new().name(format!("p4guard-shard-{shard}"));
@@ -201,7 +223,8 @@ impl Gateway {
             workers,
             states,
             ingest_drops,
-            cell,
+            cells,
+            mirror: Arc::new(MirrorTap::new()),
             config,
             telemetry,
         }
@@ -212,10 +235,17 @@ impl Gateway {
         self.config
     }
 
-    /// The publication cell the shards read from (for tests and manual
-    /// publication).
-    pub fn cell(&self) -> &Arc<PipelineCell> {
-        &self.cell
+    /// The per-shard publication cells the shards read from, indexed by
+    /// shard (for tests and manual publication).
+    pub fn cells(&self) -> &[Arc<PipelineCell>] {
+        &self.cells
+    }
+
+    /// The ingest mirror tap feeding shadow evaluation. Closed (zero-cost
+    /// beyond one atomic load per frame) until a shadow evaluator opens
+    /// it.
+    pub fn mirror(&self) -> &Arc<MirrorTap> {
+        &self.mirror
     }
 
     /// Shard index `frame` would be dispatched to.
@@ -227,6 +257,7 @@ impl Gateway {
     /// it (counted, reported in the snapshot) when that queue is full.
     /// Returns `true` when the frame was enqueued.
     pub fn offer(&self, frame: Bytes) -> bool {
+        self.mirror.observe(&frame);
         let shard = self.shard_of(&frame);
         match self.senders[shard].try_send(frame) {
             Ok(()) => true,
@@ -240,6 +271,7 @@ impl Gateway {
     /// Blocking ingest: waits for queue space instead of dropping. This is
     /// the lossless path used by paced replay.
     pub fn dispatch(&self, frame: Bytes) {
+        self.mirror.observe(&frame);
         let shard = self.shard_of(&frame);
         if self.senders[shard].send(frame).is_err() {
             self.note_ingest_drop(shard);
@@ -271,13 +303,15 @@ impl Gateway {
             totals.merge(&s.counters);
             latency.merge(&s.latency);
         }
+        let shard_versions: Vec<u64> = self.cells.iter().map(|c| c.version()).collect();
         GatewaySnapshot {
             dropped_backpressure: self
                 .ingest_drops
                 .iter()
                 .map(|d| d.load(Ordering::Relaxed))
                 .sum(),
-            version: self.cell.version(),
+            version: shard_versions.iter().copied().max().unwrap_or(0),
+            shard_versions,
             totals,
             latency,
             shards,

@@ -31,11 +31,13 @@
 pub mod flow;
 pub mod gateway;
 pub mod histogram;
+pub mod mirror;
 pub mod replay;
 pub mod shard;
 
 pub use flow::{flow_hash, shard_for};
 pub use gateway::{Gateway, GatewayConfig, GatewaySnapshot};
 pub use histogram::LatencyHistogram;
+pub use mirror::MirrorTap;
 pub use replay::{replay, IngestMode, ReplayReport};
 pub use shard::ShardStats;

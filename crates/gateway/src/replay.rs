@@ -39,7 +39,7 @@ pub enum IngestMode {
 
 /// Replays `frames` into `gateway`, pacing to `target_pps` when given.
 ///
-/// Pacing is coarse: the offered rate is checked every [`PACE_CHUNK`]
+/// Pacing is coarse: the offered rate is checked every `PACE_CHUNK` (256)
 /// frames and the loop sleeps off any accumulated lead, so short traces
 /// can overshoot slightly but sustained rates converge on the target.
 pub fn replay<I>(

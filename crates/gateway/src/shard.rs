@@ -1,5 +1,6 @@
 //! The per-shard worker: drains a bounded frame queue in batches through
-//! the current [`ReadPipeline`] snapshot, refreshing the snapshot between
+//! the current [`ReadPipeline`](p4guard_dataplane::pipeline::ReadPipeline)
+//! snapshot, refreshing the snapshot between
 //! batches when the control plane has published a new version.
 
 use crate::histogram::LatencyHistogram;

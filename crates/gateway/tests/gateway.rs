@@ -192,6 +192,69 @@ fn backpressure_drops_are_counted_and_conserved() {
     assert_eq!(snap.totals.received, report.enqueued);
 }
 
+/// Canary primitive: a targeted publish moves only the listed shards'
+/// cells; the snapshot exposes the divergence per shard; a fleet-wide
+/// republish of the same version converges everyone.
+#[test]
+fn targeted_publish_diverges_then_republish_converges_shard_versions() {
+    let (control, stage) = build_control();
+    let gw = Gateway::start(&control, GatewayConfig::with_shards(4));
+    let baseline = control.publish();
+    install_drop_proto(&control, stage, UDP);
+    let canary = control.publish_to(&[1, 3]).unwrap();
+    assert!(canary.version > baseline.version);
+
+    let snap = gw.snapshot();
+    assert_eq!(snap.shard_versions.len(), 4);
+    assert_eq!(snap.shard_versions[0], baseline.version);
+    assert_eq!(snap.shard_versions[1], canary.version);
+    assert_eq!(snap.shard_versions[2], baseline.version);
+    assert_eq!(snap.shard_versions[3], canary.version);
+    assert_eq!(snap.version, canary.version, "snapshot.version is the max");
+
+    // Canary traffic is actually enforced only on the canary shards.
+    let mut udp_by_shard = [0u64; 4];
+    let frames = workload(10);
+    for f in &frames {
+        if f[PROTO_OFF] == UDP {
+            udp_by_shard[gw.shard_of(f)] += 1;
+        }
+        gw.dispatch(f.clone());
+    }
+    // Promote: republish the canaried version fleet-wide, then finish.
+    control.republish(canary.version).unwrap();
+    let fin = gw.finish();
+    assert!(fin.shard_versions.iter().all(|&v| v == canary.version));
+    // Shards 0 and 2 forwarded their UDP before promotion reached them
+    // only if they processed those frames pre-republish; either way the
+    // canary shards dropped every UDP frame they saw.
+    for s in [1usize, 3] {
+        assert_eq!(fin.shards[s].counters.dropped, udp_by_shard[s]);
+    }
+}
+
+/// The mirror tap samples the live ingest stream without affecting
+/// enforcement totals.
+#[test]
+fn mirror_tap_samples_ingest_without_changing_totals() {
+    let (control, _) = build_control();
+    let gw = Gateway::start(&control, GatewayConfig::with_shards(2));
+    let rx = gw.mirror().open(8, 1024);
+    let frames = workload(16); // 256 frames
+    for f in &frames {
+        gw.dispatch(f.clone());
+    }
+    assert_eq!(gw.mirror().mirrored(), 32, "one in eight frames mirrored");
+    let mut sampled = 0;
+    while rx.try_recv().is_ok() {
+        sampled += 1;
+    }
+    assert_eq!(sampled, 32);
+    gw.mirror().close();
+    let snap = gw.finish();
+    assert_eq!(snap.totals.received, 256, "tap is off the enforcement path");
+}
+
 /// Paced replay approaches the requested rate instead of blasting.
 #[test]
 fn paced_replay_respects_target_rate() {

@@ -100,29 +100,80 @@ impl RuleSet {
 
     /// Merges sibling entries — same mask, same class, same priority,
     /// values differing in exactly one cared bit — into one entry with that
-    /// bit wildcarded. Runs to fixpoint. Returns the number of merges.
+    /// bit wildcarded. Runs to fixpoint per priority level. Returns the
+    /// number of merges.
     ///
-    /// Sibling merging is semantics-preserving for rule sets whose
-    /// same-priority entries are disjoint per class, which is what tree
-    /// compilation produces. The pass is the classic Quine–McCluskey-style
-    /// bit pairing over deterministic (`BTree`) orderings, so results are
-    /// reproducible and the pass is `O(rounds · n · key_bits · log n)`.
+    /// The pass is semantics-preserving for **arbitrary** rule sets, not
+    /// just tree-compiler output: within one priority level,
+    /// [`RuleSet::classify`] is first-match-wins, so reordering (which
+    /// merging implies) is only sound when no two entries of different
+    /// classes overlap in that level. Levels that fail this check are
+    /// passed through byte-for-byte in their original order; order-free
+    /// levels get the classic Quine–McCluskey-style bit pairing over
+    /// deterministic (`BTree`) orderings, so results are reproducible and
+    /// the pass is `O(rounds · n · key_bits · log n)` plus an `O(n²)`
+    /// per-level overlap check.
     pub fn merge_siblings(&mut self) -> usize {
+        // Split into priority levels, preserving the (already sorted,
+        // stable) order within each level.
+        let mut levels: Vec<(i32, Vec<TernaryEntry>)> = Vec::new();
+        for e in self.entries.drain(..) {
+            match levels.last_mut() {
+                Some((p, level)) if *p == e.priority => level.push(e),
+                _ => levels.push((e.priority, vec![e])),
+            }
+        }
+        let mut merges = 0usize;
+        for (priority, level) in &mut levels {
+            if Self::level_is_order_free(level) {
+                merges += Self::merge_level(*priority, level);
+            }
+        }
+        self.entries = levels.into_iter().flat_map(|(_, l)| l).collect();
+        merges
+    }
+
+    /// Whether `a` and `b` can both match some key (their cared bits agree
+    /// wherever both care).
+    fn overlaps(a: &TernaryEntry, b: &TernaryEntry) -> bool {
+        a.value
+            .iter()
+            .zip(&a.mask)
+            .zip(b.value.iter().zip(&b.mask))
+            .all(|((&va, &ma), (&vb, &mb))| (va & ma & mb) == (vb & ma & mb))
+    }
+
+    /// Whether classification within this equal-priority level is
+    /// independent of entry order: no key can match two entries with
+    /// different classes. Merging preserves each class's matched key set
+    /// exactly (a sibling pair's union is the merged entry), so this
+    /// property also survives the merge itself.
+    fn level_is_order_free(level: &[TernaryEntry]) -> bool {
+        level.iter().enumerate().all(|(i, a)| {
+            level[i + 1..]
+                .iter()
+                .all(|b| a.class == b.class || !Self::overlaps(a, b))
+        })
+    }
+
+    /// Runs sibling merging to fixpoint over one order-free priority
+    /// level, rewriting `level` in place. Returns the number of merges.
+    fn merge_level(priority: i32, level: &mut Vec<TernaryEntry>) -> usize {
         use std::collections::{BTreeMap, BTreeSet};
         let mut merges = 0usize;
         loop {
-            // Group entry indices by (mask, class, priority).
-            let mut groups: BTreeMap<(Vec<u8>, usize, i32), BTreeSet<Vec<u8>>> = BTreeMap::new();
-            for e in &self.entries {
+            // Group masked values by (mask, class).
+            let mut groups: BTreeMap<(Vec<u8>, usize), BTreeSet<Vec<u8>>> = BTreeMap::new();
+            for e in level.iter() {
                 let masked: Vec<u8> = e.value.iter().zip(&e.mask).map(|(v, m)| v & m).collect();
                 groups
-                    .entry((e.mask.clone(), e.class, e.priority))
+                    .entry((e.mask.clone(), e.class))
                     .or_default()
                     .insert(masked);
             }
-            let mut next_entries: Vec<TernaryEntry> = Vec::with_capacity(self.entries.len());
+            let mut next_entries: Vec<TernaryEntry> = Vec::with_capacity(level.len());
             let mut merged_this_round = 0usize;
-            for ((mask, class, priority), values) in groups {
+            for ((mask, class), values) in groups {
                 let mut consumed: BTreeSet<Vec<u8>> = BTreeSet::new();
                 for value in &values {
                     if consumed.contains(value) {
@@ -171,10 +222,7 @@ impl RuleSet {
                 return merges;
             }
             merges += merged_this_round;
-            // Restore priority ordering (stable across equal priorities by
-            // the deterministic group iteration).
-            next_entries.sort_by_key(|e| std::cmp::Reverse(e.priority));
-            self.entries = next_entries;
+            *level = next_entries;
         }
     }
 
@@ -327,6 +375,40 @@ mod tests {
         assert_eq!(rs.len(), 1);
         for v in 0..=255u8 {
             assert_eq!(rs.classify(&[v]), usize::from((4..=7).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn merge_leaves_order_dependent_levels_untouched() {
+        let mut rs = RuleSet::new(1, 0);
+        // Two mergeable exact entries, then a same-priority wildcard
+        // fallback of a different class: first-match-wins order is load-
+        // bearing here, so the whole level must pass through unchanged.
+        rs.push(entry(0x02, 0xff, 2, 5));
+        rs.push(entry(0x03, 0xff, 2, 5));
+        rs.push(entry(0x00, 0x00, 1, 5));
+        let before = rs.entries().to_vec();
+        assert_eq!(rs.merge_siblings(), 0);
+        assert_eq!(rs.entries(), &before[..]);
+        assert_eq!(rs.classify(&[0x02]), 2);
+        assert_eq!(rs.classify(&[0x07]), 1);
+    }
+
+    #[test]
+    fn merge_handles_disjoint_multi_class_levels() {
+        let mut rs = RuleSet::new(1, 0);
+        rs.push(entry(0x10, 0xff, 1, 5));
+        rs.push(entry(0x11, 0xff, 1, 5));
+        rs.push(entry(0x20, 0xff, 2, 5)); // disjoint, order-free level
+        assert_eq!(rs.merge_siblings(), 1);
+        assert_eq!(rs.len(), 2);
+        for v in 0..=255u8 {
+            let expect = match v {
+                0x10 | 0x11 => 1,
+                0x20 => 2,
+                _ => 0,
+            };
+            assert_eq!(rs.classify(&[v]), expect);
         }
     }
 

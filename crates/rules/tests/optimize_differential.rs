@@ -1,0 +1,92 @@
+//! Differential property suite for `RuleSet::optimize()`: the merge and
+//! shadow-elimination passes must never change any classification. Random
+//! rule sets — including adversarial ones with overlapping same-priority
+//! entries of different classes, which the old merge pass would have
+//! reordered — are checked verdict-for-verdict against the unoptimized
+//! set over the **full** keyspace for 1- and 2-byte keys.
+
+use p4guard_rules::ruleset::RuleSet;
+use p4guard_rules::ternary::TernaryEntry;
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Masks biased toward sibling-mergeable shapes: purely random masks
+/// almost never produce mergeable pairs, so the merge path would go
+/// untested.
+const MASKS: [u8; 6] = [0xff, 0xfe, 0xfc, 0xf0, 0x80, 0x00];
+
+fn build(width: usize, raw: &[(Vec<u8>, Vec<usize>, usize, i32)]) -> RuleSet {
+    let mut rs = RuleSet::new(width, 0);
+    for (value, mask_sel, class, priority) in raw {
+        let mask: Vec<u8> = mask_sel.iter().map(|&s| MASKS[s % MASKS.len()]).collect();
+        rs.push(TernaryEntry::new(value.clone(), mask, *class, *priority));
+    }
+    rs
+}
+
+proptest! {
+    /// Width-1 rule sets: every one of the 256 keys classifies identically
+    /// before and after `optimize()`, and optimization never grows the
+    /// entry count.
+    #[test]
+    fn optimize_preserves_all_verdicts_width_1(
+        raw in collection::vec(
+            (collection::vec(any::<u8>(), 1usize), collection::vec(0usize..6, 1usize), 0usize..3, 0i32..3),
+            0..12,
+        )
+    ) {
+        let original = build(1, &raw);
+        let mut optimized = original.clone();
+        let (merged, shadowed) = optimized.optimize();
+        prop_assert!(optimized.len() <= original.len());
+        for key in 0..=255u8 {
+            prop_assert_eq!(
+                original.classify(&[key]),
+                optimized.classify(&[key]),
+                "verdict changed for key {:#04x} (merged {}, shadowed {})\noriginal:\n{}\noptimized:\n{}",
+                key, merged, shadowed, original, optimized
+            );
+        }
+    }
+
+    /// Width-2 rule sets over the full 65536-key keyspace.
+    #[test]
+    fn optimize_preserves_all_verdicts_width_2(
+        raw in collection::vec(
+            (collection::vec(any::<u8>(), 2usize), collection::vec(0usize..6, 2usize), 0usize..3, 0i32..3),
+            0..8,
+        )
+    ) {
+        let original = build(2, &raw);
+        let mut optimized = original.clone();
+        optimized.optimize();
+        for hi in 0..=255u8 {
+            for lo in 0..=255u8 {
+                let key = [hi, lo];
+                prop_assert_eq!(
+                    original.classify(&key),
+                    optimized.classify(&key),
+                    "verdict changed for key {:?}\noriginal:\n{}\noptimized:\n{}",
+                    key, original, optimized
+                );
+            }
+        }
+    }
+
+    /// Optimization is idempotent: a second pass finds nothing to do and
+    /// the verdict function stays fixed.
+    #[test]
+    fn optimize_is_idempotent(
+        raw in collection::vec(
+            (collection::vec(any::<u8>(), 1usize), collection::vec(0usize..6, 1usize), 0usize..3, 0i32..3),
+            0..12,
+        )
+    ) {
+        let mut rs = build(1, &raw);
+        rs.optimize();
+        let after_first = rs.clone();
+        let (merged, shadowed) = rs.optimize();
+        prop_assert_eq!((merged, shadowed), (0, 0), "second pass did work:\n{}", after_first);
+        prop_assert!(rs.diff(&after_first).is_empty());
+    }
+}

@@ -53,6 +53,32 @@ pub enum Event {
         /// Total frames this shard has shed so far.
         dropped: u64,
     },
+    /// A drift detector fired on a telemetry baseline.
+    Drift {
+        /// Which statistic fired (`page_hinkley` / `chi_squared`).
+        metric: String,
+        /// The statistic's value when it crossed the threshold.
+        statistic: f64,
+        /// The configured firing threshold.
+        threshold: f64,
+        /// Ruleset version that was live when drift was declared.
+        at_version: u64,
+    },
+    /// A rollout-lifecycle audit record from the adaptation loop.
+    Rollout {
+        /// Lifecycle phase: `shadow_start`, `shadow_reject`, `canary_start`,
+        /// `promoted` or `rolled_back`.
+        phase: String,
+        /// Candidate ruleset version (0 while still unpublished).
+        version: u64,
+        /// The version that was live when the phase began (the rollback
+        /// target).
+        baseline: u64,
+        /// Shards the phase touched (canary subset; empty = fleet-wide).
+        shards: Vec<usize>,
+        /// Human-readable cause (guardrail that tripped, promotion gate).
+        reason: String,
+    },
 }
 
 impl Event {
@@ -62,6 +88,8 @@ impl Event {
             Event::Verdict { .. } => "verdict",
             Event::Swap { .. } => "swap",
             Event::Overload { .. } => "overload",
+            Event::Drift { .. } => "drift",
+            Event::Rollout { .. } => "rollout",
         }
     }
 }
@@ -270,10 +298,28 @@ mod tests {
             shard: 1,
             dropped: 9,
         });
+        r.record(Event::Drift {
+            metric: "chi_squared".to_string(),
+            statistic: 21.4,
+            threshold: 16.0,
+            at_version: 2,
+        });
         assert_eq!(r.events()[1].event.kind(), "swap");
+        assert_eq!(r.events()[3].event.kind(), "drift");
+        assert_eq!(
+            Event::Rollout {
+                phase: "rolled_back".to_string(),
+                version: 3,
+                baseline: 2,
+                shards: vec![0],
+                reason: "drop-rate guardrail".to_string(),
+            }
+            .kind(),
+            "rollout"
+        );
         let json = r.to_json();
         let v = serde_json::parse_value_str(&json).unwrap();
-        assert_eq!(v.as_seq().unwrap().len(), 3);
+        assert_eq!(v.as_seq().unwrap().len(), 4);
         // Round-trip through the typed model.
         let back: Vec<RecordedEvent> = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r.events());
