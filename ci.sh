@@ -94,4 +94,59 @@ grep -q 'rolled_back' "$SMOKE_DIR/adapt.log" || {
   exit 1
 }
 
+echo "==> fleet smoke (fixed seed, time-boxed)"
+# Multi-tenant fleet: a small 2-tenant simulation served through the
+# shared shard workers with a live /metrics endpoint. The run must report
+# every tenant within its table budget, exercise a budget rejection, and
+# export per-tenant metric series.
+timeout 180 "$CLI" serve --tenants 2 --devices 2000 --shards 2 --seed 5 \
+  --metrics-addr 127.0.0.1:0 --hold 60 > "$SMOKE_DIR/fleet.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 300); do
+  if grep -q 'holding metrics endpoint' "$SMOKE_DIR/fleet.log"; then
+    ADDR=$(sed -n 's|^metrics: listening on http://\([0-9.:]*\)/metrics$|\1|p' "$SMOKE_DIR/fleet.log")
+    break
+  fi
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "fleet serve exited before holding the metrics endpoint:" >&2
+    cat "$SMOKE_DIR/fleet.log" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+if [ -z "$ADDR" ]; then
+  echo "never saw the fleet metrics endpoint come up:" >&2
+  cat "$SMOKE_DIR/fleet.log" >&2
+  exit 1
+fi
+grep -q 'publish(es) rejected' "$SMOKE_DIR/fleet.log" && \
+  ! grep -q ' 0 publish(es) rejected' "$SMOKE_DIR/fleet.log" || {
+  echo "fleet smoke never exercised the budget reject path:" >&2
+  cat "$SMOKE_DIR/fleet.log" >&2
+  exit 1
+}
+if grep -q '| NO' "$SMOKE_DIR/fleet.log"; then
+  echo "fleet smoke reported a tenant over its table budget:" >&2
+  cat "$SMOKE_DIR/fleet.log" >&2
+  exit 1
+fi
+"$CLI" stats --metrics "$ADDR" > "$SMOKE_DIR/fleet-metrics.txt"
+for family in p4guard_tenant_budget_bits p4guard_tenant_occupancy_bits \
+              p4guard_tenant_publish_rejected_total; do
+  grep -q "^$family" "$SMOKE_DIR/fleet-metrics.txt" || {
+    echo "$family missing from fleet /metrics:" >&2
+    head -50 "$SMOKE_DIR/fleet-metrics.txt" >&2
+    exit 1
+  }
+done
+# The shared counter families must carry the tenant label.
+grep -q 'p4guard_frames_received_total{.*tenant=' "$SMOKE_DIR/fleet-metrics.txt" || {
+  echo "per-tenant frame counters missing from fleet /metrics:" >&2
+  grep '^p4guard_frames_received_total' "$SMOKE_DIR/fleet-metrics.txt" >&2 || true
+  exit 1
+}
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+
 echo "==> OK"

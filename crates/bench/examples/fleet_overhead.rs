@@ -1,0 +1,187 @@
+//! Measures the pps cost of tenant dispatch: the same frames, through the
+//! same learned-style ternary ACL, served by (a) the single-tenant
+//! [`Gateway`] that f4_gateway benches and (b) the multi-tenant
+//! [`FleetGateway`] configured with one tenant — so the only extra work is
+//! the per-frame tenant classifier and the per-tenant pipeline/counter
+//! indexing. Writes `results/BENCH_fleet.json`; the ISSUE bounds the
+//! acceptable overhead at 3% of the single-tenant pps.
+//!
+//! ```text
+//! cargo run --release --example fleet_overhead [trials]
+//! ```
+
+use bytes::Bytes;
+use p4guard_dataplane::action::Action;
+use p4guard_dataplane::control::ControlPlane;
+use p4guard_dataplane::key::KeyLayout;
+use p4guard_dataplane::parser::ParserSpec;
+use p4guard_dataplane::switch::Switch;
+use p4guard_dataplane::table::{MatchKind, Table};
+use p4guard_fleet::{
+    AclLayout, AdmitPolicy, BudgetConfig, FleetGateway, FleetSim, FleetSimConfig, TenantRegistry,
+    TenantShare, TenantSpec,
+};
+use p4guard_gateway::{Gateway, GatewayConfig};
+use p4guard_rules::{RuleSet, TernaryEntry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Value;
+use std::time::{Duration, Instant};
+
+const SHARDS: usize = 4;
+const ENTRIES: usize = 64;
+const FRAMES_PER_TRIAL: usize = 50_000;
+/// The 3% pps budget the ISSUE sets for tenant dispatch.
+const BUDGET_PCT: f64 = 3.0;
+
+/// A synthetic ternary ruleset over the fleet ACL key (proto + ports).
+fn synthetic_ruleset(layout: &AclLayout, entries: usize, seed: u64) -> RuleSet {
+    let width = layout.offsets.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rs = RuleSet::new(width, 0);
+    for i in 0..entries {
+        let value: Vec<u8> = (0..width).map(|_| rng.gen()).collect();
+        let mask: Vec<u8> = (0..width)
+            .map(|_| if rng.gen::<bool>() { 0xff } else { 0x00 })
+            .collect();
+        rs.push(TernaryEntry::new(value, mask, 1, i as i32));
+    }
+    rs
+}
+
+/// The deterministic frame mix both arms replay: one simulated tenant's
+/// traffic (so every frame resolves under the fleet classifier).
+fn bench_frames() -> Vec<Bytes> {
+    let mut config = FleetSimConfig::demo(1, 10_000, p4guard_bench::BENCH_SEED);
+    config.steps = 8;
+    config.frames_per_step = 2048;
+    FleetSim::new(config)
+        .run()
+        .into_iter()
+        .map(|f| f.frame)
+        .collect()
+}
+
+/// Single-tenant arm: the plain sharded gateway over an identical switch.
+fn run_single(frames: &[Bytes], layout: &AclLayout, ruleset: &RuleSet) -> f64 {
+    let mut sw = Switch::new("bench-single", ParserSpec::raw_window(layout.window, 14), 1);
+    sw.add_stage(Table::new(
+        "acl",
+        MatchKind::Ternary,
+        KeyLayout::new(layout.offsets.clone()),
+        layout.capacity,
+        Action::NoOp,
+    ));
+    let control = ControlPlane::new(sw);
+    control
+        .install_ruleset(0, ruleset, Action::Drop)
+        .expect("ruleset fits");
+    control.publish();
+    let gw = Gateway::start(&control, GatewayConfig::with_shards(SHARDS));
+
+    let start = Instant::now();
+    for frame in frames.iter().cycle().take(FRAMES_PER_TRIAL) {
+        gw.dispatch(frame.clone());
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while gw.snapshot().totals.received < FRAMES_PER_TRIAL as u64 {
+        assert!(Instant::now() < deadline, "single-tenant gateway stalled");
+        std::thread::yield_now();
+    }
+    let elapsed = start.elapsed();
+    let snap = gw.finish();
+    snap.totals.received as f64 / elapsed.as_secs_f64()
+}
+
+/// Fleet arm: one tenant behind the tenant classifier and budgeter.
+fn run_fleet(frames: &[Bytes], layout: &AclLayout, ruleset: &RuleSet) -> f64 {
+    let specs = vec![TenantSpec {
+        name: "bench".to_owned(),
+        share: TenantShare::flat(),
+    }];
+    let mut registry = TenantRegistry::new(specs, BudgetConfig::default(), layout.clone())
+        .expect("flat share is feasible");
+    registry
+        .publish(0, ruleset, AdmitPolicy::Reject)
+        .expect("synthetic ruleset fits the budget");
+    let gw = FleetGateway::start(&registry, GatewayConfig::with_shards(SHARDS), None);
+
+    let start = Instant::now();
+    for frame in frames.iter().cycle().take(FRAMES_PER_TRIAL) {
+        gw.dispatch(frame.clone());
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while gw.snapshot().totals.received < FRAMES_PER_TRIAL as u64 {
+        assert!(Instant::now() < deadline, "fleet gateway stalled");
+        std::thread::yield_now();
+    }
+    let elapsed = start.elapsed();
+    let snap = gw.finish();
+    assert_eq!(snap.unknown_tenant, 0, "bench frames must all classify");
+    snap.totals.received as f64 / elapsed.as_secs_f64()
+}
+
+fn median(mut pps: Vec<f64>) -> f64 {
+    pps.sort_by(|a, b| a.total_cmp(b));
+    pps[pps.len() / 2]
+}
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .map(|v| v.parse().expect("trials must be a number"))
+        .unwrap_or(7);
+    let layout = AclLayout::default();
+    let ruleset = synthetic_ruleset(&layout, ENTRIES, p4guard_bench::BENCH_SEED);
+    let frames = bench_frames();
+    println!(
+        "tenant dispatch overhead: {} distinct frames cycled to {FRAMES_PER_TRIAL} per trial, \
+         {SHARDS} shards, {ENTRIES}-entry ACL, {trials} trials per arm",
+        frames.len()
+    );
+
+    // Warm both arms, then interleave the measured trials so drift hits
+    // both equally.
+    run_single(&frames, &layout, &ruleset);
+    run_fleet(&frames, &layout, &ruleset);
+    let mut single = Vec::with_capacity(trials);
+    let mut fleet = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        single.push(run_single(&frames, &layout, &ruleset));
+        fleet.push(run_fleet(&frames, &layout, &ruleset));
+    }
+    let single_pps = median(single);
+    let fleet_pps = median(fleet);
+    let overhead_pct = (single_pps - fleet_pps) / single_pps * 100.0;
+
+    println!("single-tenant : {single_pps:>12.0} pps");
+    println!("fleet (1 ten.): {fleet_pps:>12.0} pps");
+    println!("overhead      : {overhead_pct:>11.2}%");
+
+    let out = Value::Map(vec![
+        ("bench".into(), Value::Str("fleet_dispatch".into())),
+        ("frames".into(), Value::UInt(FRAMES_PER_TRIAL as u64)),
+        ("shards".into(), Value::UInt(SHARDS as u64)),
+        ("entries".into(), Value::UInt(ENTRIES as u64)),
+        ("trials".into(), Value::UInt(trials as u64)),
+        ("single_tenant_pps".into(), Value::Float(single_pps)),
+        ("fleet_pps".into(), Value::Float(fleet_pps)),
+        ("overhead_pct".into(), Value::Float(overhead_pct)),
+        ("budget_pct".into(), Value::Float(BUDGET_PCT)),
+        (
+            "within_budget".into(),
+            Value::Bool(overhead_pct <= BUDGET_PCT),
+        ),
+    ]);
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write(
+        "results/BENCH_fleet.json",
+        serde_json::to_string_pretty(&out).expect("serialize"),
+    )
+    .expect("write results/BENCH_fleet.json");
+    println!("wrote results/BENCH_fleet.json");
+    if overhead_pct > BUDGET_PCT {
+        eprintln!("warning: tenant dispatch overhead exceeds the {BUDGET_PCT}% budget");
+        std::process::exit(1);
+    }
+}

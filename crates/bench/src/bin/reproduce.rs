@@ -6,7 +6,7 @@
 //! ```text
 //! reproduce [EXPERIMENT ...] [--seed N] [--full] [--out DIR]
 //!
-//! EXPERIMENT ∈ { t1 t2 t3 f1 .. f14 f11_lookup f12_adapt all }  (default: all)
+//! EXPERIMENT ∈ { t1 t2 t3 f1 .. f14 f11_lookup f12_adapt f13_fleet all }  (default: all)
 //! --seed N   scenario seed (default 2020, the publication year)
 //! --full     use the full (paper-scale) pipeline config instead of the
 //!            fast profile
@@ -15,7 +15,7 @@
 
 use p4guard::config::GuardConfig;
 use p4guard::experiments::{
-    adaptation, convergence, dataplane_exp, dataset, detection, efficiency, extensions,
+    adaptation, convergence, dataplane_exp, dataset, detection, efficiency, extensions, fleet_exp,
     universality, ExperimentContext,
 };
 use p4guard_packet::trace::AttackFamily;
@@ -30,7 +30,7 @@ struct Options {
     out: Option<PathBuf>,
 }
 
-const ALL: [&str; 19] = [
+const ALL: [&str; 20] = [
     "t1",
     "t2",
     "t3",
@@ -49,6 +49,7 @@ const ALL: [&str; 19] = [
     "f12",
     "f12_adapt",
     "f13",
+    "f13_fleet",
     "f14",
 ];
 
@@ -110,7 +111,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: reproduce [t1 t2 t3 f1..f14 f11_lookup f12_adapt | all] [--seed N] [--full] [--out DIR]"
+                "usage: reproduce [t1 t2 t3 f1..f14 f11_lookup f12_adapt f13_fleet | all] [--seed N] [--full] [--out DIR]"
             );
             return ExitCode::FAILURE;
         }
@@ -230,6 +231,14 @@ fn main() -> ExitCode {
             }
             "f12_adapt" => {
                 let r = adaptation::run_f12_adapt(options.seed, 4, None);
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "f13_fleet" => {
+                // ≥10⁵ devices across 4 tenants; the full profile runs the
+                // million-device fleet.
+                let devices = if options.full { 1_000_000 } else { 100_000 };
+                let r = fleet_exp::run_f13_fleet(options.seed, devices, 4, 4, None);
                 println!("{r}");
                 save_json(&options.out, id, &r);
             }

@@ -45,6 +45,7 @@ const USAGE: &str = "usage:
   p4guard-cli stats    --trace FILE | --metrics ADDR [--events]
   p4guard-cli serve    [--shards N] [--model FILE] [--trace FILE] [--scenario S] [--seed N]
                        [--pps N] [--queue N] [--batch N] [--adapt]
+                       [--tenants N] [--devices N]
                        [--metrics-addr ADDR] [--hold SECS] [--sample-every N]";
 
 /// Flags that take no value.
@@ -192,6 +193,58 @@ fn run() -> Result<(), Box<dyn Error>> {
             }
             let pps: Option<f64> = flags.get("pps").map(|v| v.parse()).transpose()?;
             let seed: u64 = flags.get("seed").map_or(Ok(1), |v| v.parse())?;
+            if let Some(tenants) = flags.get("tenants") {
+                // Multi-tenant fleet: train one detector per tenant, admit
+                // the rulesets against the shared table budget, and replay
+                // the deterministic fleet simulation through the shared
+                // shard workers, optionally serving per-tenant metrics.
+                let tenants: usize = tenants.parse()?;
+                if !(1..=16).contains(&tenants) {
+                    return Err("--tenants must be between 1 and 16".into());
+                }
+                let devices: u64 = flags.get("devices").map_or(Ok(20_000), |v| v.parse())?;
+                if devices < tenants as u64 {
+                    return Err("--devices must be at least --tenants".into());
+                }
+                let hold: u64 = flags.get("hold").map_or(Ok(0), |v| v.parse())?;
+                let sample_every: u64 = flags.get("sample-every").map_or(Ok(64), |v| v.parse())?;
+                let telemetry = Arc::new(Telemetry::new(TelemetryConfig {
+                    sample_every,
+                    seed,
+                    ..TelemetryConfig::default()
+                }));
+                let server = match flags.get("metrics-addr") {
+                    Some(addr) => {
+                        let server = MetricsServer::serve(addr, Arc::clone(&telemetry))?;
+                        println!(
+                            "metrics: listening on http://{}/metrics",
+                            server.local_addr()
+                        );
+                        Some(server)
+                    }
+                    None => None,
+                };
+                println!(
+                    "fleet: {tenants} tenant(s), {devices} simulated devices, {} shards (seed {seed})",
+                    config.shards
+                );
+                let report = p4guard::experiments::fleet_exp::run_f13_fleet(
+                    seed,
+                    devices,
+                    tenants,
+                    config.shards,
+                    Some(Arc::clone(&telemetry)),
+                );
+                println!("{report}");
+                if let Some(mut server) = server {
+                    if hold > 0 {
+                        println!("holding metrics endpoint for {hold}s");
+                        std::thread::sleep(Duration::from_secs(hold));
+                    }
+                    server.shutdown();
+                }
+                return Ok(());
+            }
             if flags.contains_key("adapt") {
                 // Closed-loop demo: drive the adaptation engine through a
                 // scripted regime shift (promote path) and a poisoned

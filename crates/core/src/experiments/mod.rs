@@ -10,6 +10,7 @@ pub mod dataset;
 pub mod detection;
 pub mod efficiency;
 pub mod extensions;
+pub mod fleet_exp;
 pub mod universality;
 
 use p4guard_packet::trace::Trace;

@@ -89,6 +89,11 @@ impl TableUsage {
             self.entries as f64 / self.capacity as f64
         }
     }
+
+    /// Bits still available before the table hits its entry capacity.
+    pub fn headroom_bits(&self) -> usize {
+        self.capacity.saturating_sub(self.entries) * self.bits_per_entry
+    }
 }
 
 /// Aggregate usage across a switch's tables.
@@ -100,27 +105,49 @@ pub struct SwitchResources {
     pub tcam_bits: usize,
     /// Total SRAM bits.
     pub sram_bits: usize,
+    /// Installed entries across TCAM tables.
+    pub tcam_entries: usize,
+    /// Installed entries across SRAM tables.
+    pub sram_entries: usize,
 }
 
 impl SwitchResources {
     /// Aggregates usage over `tables`.
     pub fn of(tables: &[Table]) -> Self {
         let usages: Vec<TableUsage> = tables.iter().map(TableUsage::of).collect();
-        let tcam_bits = usages
-            .iter()
-            .filter(|u| u.memory == MemoryKind::Tcam)
-            .map(|u| u.total_bits)
-            .sum();
-        let sram_bits = usages
-            .iter()
-            .filter(|u| u.memory == MemoryKind::Sram)
-            .map(|u| u.total_bits)
-            .sum();
+        let mut tcam_bits = 0;
+        let mut sram_bits = 0;
+        let mut tcam_entries = 0;
+        let mut sram_entries = 0;
+        for u in &usages {
+            match u.memory {
+                MemoryKind::Tcam => {
+                    tcam_bits += u.total_bits;
+                    tcam_entries += u.entries;
+                }
+                MemoryKind::Sram => {
+                    sram_bits += u.total_bits;
+                    sram_entries += u.entries;
+                }
+            }
+        }
         SwitchResources {
             tables: usages,
             tcam_bits,
             sram_bits,
+            tcam_entries,
+            sram_entries,
         }
+    }
+
+    /// Bits still available before any table of `memory` fills, summed
+    /// across the pipeline.
+    pub fn headroom_bits(&self, memory: MemoryKind) -> usize {
+        self.tables
+            .iter()
+            .filter(|u| u.memory == memory)
+            .map(TableUsage::headroom_bits)
+            .sum()
     }
 }
 
@@ -220,6 +247,18 @@ mod tests {
         let r = SwitchResources::of(&tables);
         assert_eq!(r.sram_bits, 48);
         assert_eq!(r.tcam_bits, 2 * 128);
+        assert_eq!(r.sram_entries, 1);
+        assert_eq!(r.tcam_entries, 2);
         assert!(r.to_string().contains("acl"));
+    }
+
+    #[test]
+    fn headroom_tracks_remaining_capacity() {
+        let t = ternary_table_with(10);
+        let u = TableUsage::of(&t);
+        assert_eq!(u.headroom_bits(), (1024 - 10) * 128);
+        let r = SwitchResources::of(std::slice::from_ref(&t));
+        assert_eq!(r.headroom_bits(MemoryKind::Tcam), (1024 - 10) * 128);
+        assert_eq!(r.headroom_bits(MemoryKind::Sram), 0);
     }
 }

@@ -1,0 +1,426 @@
+//! The fleet-wide table-space budgeter.
+//!
+//! A physical switch has one TCAM and one SRAM; every tenant's compiled
+//! ruleset competes for the same bits. [`TableBudgeter`] carves a global
+//! bit budget into per-tenant allocations by weighted fair share on top of
+//! per-tenant minimum guarantees, and admits or trims publishes against
+//! those allocations. All arithmetic is integral and iteration order is
+//! fixed, so the same tenant set always yields the same split.
+//!
+//! The allocation algorithm (per memory kind):
+//!
+//! 1. every tenant is granted its minimum guarantee up front — the
+//!    constructor rejects tenant sets whose guarantees alone exceed the
+//!    budget;
+//! 2. the remaining bits are divided proportionally to integer weights
+//!    (floor division), and the leftover from flooring is handed out by
+//!    largest remainder, ties broken by tenant index.
+
+use p4guard_dataplane::resources::MemoryKind;
+use p4guard_rules::RuleSet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The global bit budget shared by all tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BudgetConfig {
+    /// Total TCAM bits available to the fleet.
+    pub tcam_bits: usize,
+    /// Total SRAM bits available to the fleet.
+    pub sram_bits: usize,
+}
+
+impl Default for BudgetConfig {
+    fn default() -> Self {
+        // A small fixed-function switch: 256 Kbit TCAM, 1 Mbit SRAM.
+        BudgetConfig {
+            tcam_bits: 256 * 1024,
+            sram_bits: 1024 * 1024,
+        }
+    }
+}
+
+/// One tenant's claim on the shared budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantShare {
+    /// Proportional weight for the bits left after minimum guarantees.
+    /// Zero-weight tenants receive exactly their guarantees.
+    pub weight: u32,
+    /// TCAM bits guaranteed regardless of weight.
+    pub min_tcam_bits: usize,
+    /// SRAM bits guaranteed regardless of weight.
+    pub min_sram_bits: usize,
+}
+
+impl TenantShare {
+    /// An equal-weight share with no guarantees.
+    pub fn flat() -> Self {
+        TenantShare {
+            weight: 1,
+            min_tcam_bits: 0,
+            min_sram_bits: 0,
+        }
+    }
+}
+
+/// The bits one tenant may occupy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantAllocation {
+    /// Tenant index.
+    pub tenant: usize,
+    /// Allocated TCAM bits.
+    pub tcam_bits: usize,
+    /// Allocated SRAM bits.
+    pub sram_bits: usize,
+}
+
+impl TenantAllocation {
+    /// The allocation for the given memory kind.
+    pub fn bits(&self, memory: MemoryKind) -> usize {
+        match memory {
+            MemoryKind::Tcam => self.tcam_bits,
+            MemoryKind::Sram => self.sram_bits,
+        }
+    }
+}
+
+/// Why the budgeter refused an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BudgetError {
+    /// The minimum guarantees alone exceed the global budget.
+    InfeasibleMinimums {
+        /// Memory kind that overflows.
+        memory: MemoryKind,
+        /// Sum of guarantees.
+        required_bits: usize,
+        /// The global budget for that memory.
+        budget_bits: usize,
+    },
+    /// A publish needs more bits than the tenant's allocation.
+    OverBudget {
+        /// The offending tenant.
+        tenant: usize,
+        /// Memory kind that overflows.
+        memory: MemoryKind,
+        /// Bits the publish would occupy.
+        required_bits: usize,
+        /// Bits the tenant is allocated.
+        allocated_bits: usize,
+    },
+    /// Unknown tenant index.
+    NoSuchTenant {
+        /// The index asked for.
+        tenant: usize,
+        /// How many tenants exist.
+        tenants: usize,
+    },
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetError::InfeasibleMinimums {
+                memory,
+                required_bits,
+                budget_bits,
+            } => write!(
+                f,
+                "minimum guarantees need {required_bits} {memory} bits but the budget is {budget_bits}"
+            ),
+            BudgetError::OverBudget {
+                tenant,
+                memory,
+                required_bits,
+                allocated_bits,
+            } => write!(
+                f,
+                "tenant {tenant} publish needs {required_bits} {memory} bits but is allocated {allocated_bits}"
+            ),
+            BudgetError::NoSuchTenant { tenant, tenants } => {
+                write!(f, "tenant {tenant} out of range ({tenants} tenants)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// Splits `budget` bits across `shares` by minimum-then-weighted-fair
+/// share. Returns one figure per tenant; their sum never exceeds `budget`.
+fn split(budget: usize, shares: &[TenantShare], min_of: fn(&TenantShare) -> usize) -> Vec<usize> {
+    let mut out: Vec<usize> = shares.iter().map(min_of).collect();
+    let guaranteed: usize = out.iter().sum();
+    let remaining = budget - guaranteed;
+    let total_weight: u64 = shares.iter().map(|s| u64::from(s.weight)).sum();
+    if total_weight == 0 || remaining == 0 {
+        return out;
+    }
+    // Floor split, then hand the flooring leftover out by largest
+    // remainder (tenant index breaks ties) so every bit is placed
+    // deterministically.
+    let mut remainders: Vec<(u64, usize)> = Vec::with_capacity(shares.len());
+    let mut placed = 0usize;
+    for (i, s) in shares.iter().enumerate() {
+        let num = remaining as u64 * u64::from(s.weight);
+        let share = (num / total_weight) as usize;
+        out[i] += share;
+        placed += share;
+        remainders.push((num % total_weight, i));
+    }
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for &(_, i) in remainders.iter().take(remaining - placed) {
+        out[i] += 1;
+    }
+    out
+}
+
+/// Allocates the global TCAM/SRAM budget across tenants and polices
+/// publishes against the resulting per-tenant allocations.
+#[derive(Debug, Clone)]
+pub struct TableBudgeter {
+    config: BudgetConfig,
+    shares: Vec<TenantShare>,
+    allocations: Vec<TenantAllocation>,
+}
+
+impl TableBudgeter {
+    /// Computes the allocation for `shares` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetError::InfeasibleMinimums`] when the guarantees alone
+    /// exceed either memory's budget.
+    pub fn new(config: BudgetConfig, shares: Vec<TenantShare>) -> Result<Self, BudgetError> {
+        let min_tcam: usize = shares.iter().map(|s| s.min_tcam_bits).sum();
+        if min_tcam > config.tcam_bits {
+            return Err(BudgetError::InfeasibleMinimums {
+                memory: MemoryKind::Tcam,
+                required_bits: min_tcam,
+                budget_bits: config.tcam_bits,
+            });
+        }
+        let min_sram: usize = shares.iter().map(|s| s.min_sram_bits).sum();
+        if min_sram > config.sram_bits {
+            return Err(BudgetError::InfeasibleMinimums {
+                memory: MemoryKind::Sram,
+                required_bits: min_sram,
+                budget_bits: config.sram_bits,
+            });
+        }
+        let tcam = split(config.tcam_bits, &shares, |s| s.min_tcam_bits);
+        let sram = split(config.sram_bits, &shares, |s| s.min_sram_bits);
+        let allocations = tcam
+            .into_iter()
+            .zip(sram)
+            .enumerate()
+            .map(|(tenant, (tcam_bits, sram_bits))| TenantAllocation {
+                tenant,
+                tcam_bits,
+                sram_bits,
+            })
+            .collect();
+        Ok(TableBudgeter {
+            config,
+            shares,
+            allocations,
+        })
+    }
+
+    /// The global budget.
+    pub fn config(&self) -> BudgetConfig {
+        self.config
+    }
+
+    /// Number of tenants sharing the budget.
+    pub fn tenant_count(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// The share `tenant` registered with.
+    pub fn share(&self, tenant: usize) -> Option<&TenantShare> {
+        self.shares.get(tenant)
+    }
+
+    /// Every tenant's allocation, indexed by tenant.
+    pub fn allocations(&self) -> &[TenantAllocation] {
+        &self.allocations
+    }
+
+    /// One tenant's allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetError::NoSuchTenant`] for an out-of-range index.
+    pub fn allocation(&self, tenant: usize) -> Result<TenantAllocation, BudgetError> {
+        self.allocations
+            .get(tenant)
+            .copied()
+            .ok_or(BudgetError::NoSuchTenant {
+                tenant,
+                tenants: self.shares.len(),
+            })
+    }
+
+    /// Checks that a ternary ruleset fits `tenant`'s TCAM allocation,
+    /// without mutating anything.
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetError::OverBudget`] when it does not fit,
+    /// [`BudgetError::NoSuchTenant`] for an out-of-range index.
+    pub fn admit(&self, tenant: usize, ruleset: &RuleSet) -> Result<(), BudgetError> {
+        let alloc = self.allocation(tenant)?;
+        let required = ruleset.tcam_bits();
+        if required > alloc.tcam_bits {
+            return Err(BudgetError::OverBudget {
+                tenant,
+                memory: MemoryKind::Tcam,
+                required_bits: required,
+                allocated_bits: alloc.tcam_bits,
+            });
+        }
+        Ok(())
+    }
+
+    /// Trims `ruleset` to fit `tenant`'s TCAM allocation by dropping its
+    /// lowest-priority entries. Returns the surviving ruleset and how many
+    /// entries were cut (0 when it already fit).
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetError::NoSuchTenant`] for an out-of-range index.
+    pub fn trim(&self, tenant: usize, ruleset: &RuleSet) -> Result<(RuleSet, usize), BudgetError> {
+        let alloc = self.allocation(tenant)?;
+        if ruleset.tcam_bits() <= alloc.tcam_bits {
+            return Ok((ruleset.clone(), 0));
+        }
+        let bits_per_entry = ruleset.key_width() * 8 * 2;
+        let keep = alloc
+            .tcam_bits
+            .checked_div(bits_per_entry)
+            .unwrap_or(ruleset.len())
+            .min(ruleset.len());
+        // Entries are kept sorted by descending priority, so the retained
+        // prefix is exactly the most important `keep` rules.
+        let mut trimmed = RuleSet::new(ruleset.key_width(), ruleset.default_class());
+        for entry in ruleset.entries().iter().take(keep) {
+            trimmed.push(entry.clone());
+        }
+        Ok((trimmed, ruleset.len() - keep))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4guard_rules::TernaryEntry;
+
+    fn ruleset_with(entries: usize, width: usize) -> RuleSet {
+        let mut rs = RuleSet::new(width, 0);
+        for i in 0..entries {
+            rs.push(TernaryEntry::new(
+                vec![i as u8; width],
+                vec![0xff; width],
+                1,
+                i as i32,
+            ));
+        }
+        rs
+    }
+
+    #[test]
+    fn split_is_exact_and_ordered() {
+        let shares = vec![
+            TenantShare {
+                weight: 3,
+                min_tcam_bits: 100,
+                min_sram_bits: 0,
+            },
+            TenantShare {
+                weight: 1,
+                min_tcam_bits: 50,
+                min_sram_bits: 0,
+            },
+        ];
+        let b = TableBudgeter::new(
+            BudgetConfig {
+                tcam_bits: 1000,
+                sram_bits: 0,
+            },
+            shares,
+        )
+        .unwrap();
+        let a = b.allocations();
+        // 150 guaranteed, 850 split 3:1 → 637.5 floors to 637, remainder
+        // bit goes to the larger fractional part.
+        assert_eq!(a[0].tcam_bits + a[1].tcam_bits, 1000);
+        assert!(a[0].tcam_bits >= 100 + 637);
+        assert!(a[1].tcam_bits >= 50 + 212);
+    }
+
+    #[test]
+    fn infeasible_minimums_rejected() {
+        let shares = vec![TenantShare {
+            weight: 1,
+            min_tcam_bits: 2000,
+            min_sram_bits: 0,
+        }];
+        let err = TableBudgeter::new(
+            BudgetConfig {
+                tcam_bits: 1000,
+                sram_bits: 0,
+            },
+            shares,
+        )
+        .unwrap_err();
+        assert!(matches!(err, BudgetError::InfeasibleMinimums { .. }));
+    }
+
+    #[test]
+    fn admit_and_trim_respect_allocation() {
+        let b = TableBudgeter::new(
+            BudgetConfig {
+                tcam_bits: 8 * 8 * 2 * 10, // ten 8-byte ternary entries
+                sram_bits: 0,
+            },
+            vec![TenantShare::flat()],
+        )
+        .unwrap();
+        assert!(b.admit(0, &ruleset_with(10, 8)).is_ok());
+        assert!(matches!(
+            b.admit(0, &ruleset_with(11, 8)),
+            Err(BudgetError::OverBudget { tenant: 0, .. })
+        ));
+        let (trimmed, cut) = b.trim(0, &ruleset_with(25, 8)).unwrap();
+        assert_eq!(trimmed.len(), 10);
+        assert_eq!(cut, 15);
+        // Highest-priority entries survive.
+        assert!(trimmed.entries().iter().all(|e| e.priority >= 15));
+    }
+
+    #[test]
+    fn zero_weight_gets_only_minimum() {
+        let shares = vec![
+            TenantShare {
+                weight: 0,
+                min_tcam_bits: 64,
+                min_sram_bits: 0,
+            },
+            TenantShare {
+                weight: 5,
+                min_tcam_bits: 0,
+                min_sram_bits: 0,
+            },
+        ];
+        let b = TableBudgeter::new(
+            BudgetConfig {
+                tcam_bits: 1000,
+                sram_bits: 0,
+            },
+            shares,
+        )
+        .unwrap();
+        assert_eq!(b.allocation(0).unwrap().tcam_bits, 64);
+        assert_eq!(b.allocation(1).unwrap().tcam_bits, 936);
+    }
+}

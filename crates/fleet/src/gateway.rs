@@ -1,0 +1,475 @@
+//! The multi-tenant serving runtime: the single-tenant gateway's
+//! flow-hash shard workers, widened to hold one published pipeline per
+//! tenant.
+//!
+//! There are **no per-tenant thread pools**: the same N shard workers
+//! serve every tenant. Each worker keeps a `Vec` of cached
+//! [`ReadPipeline`](p4guard_dataplane::pipeline::ReadPipeline) snapshots
+//! (one per tenant, refreshed per batch with one atomic version load
+//! each), resolves the owning tenant per frame with the O(1)
+//! [`TenantClassifier`], and processes the frame through that tenant's
+//! pipeline into that tenant's counters. The added per-frame cost over
+//! the single-tenant gateway is the classifier lookup and one extra
+//! index — guarded at ≤3% by `bench/examples/fleet_overhead.rs`.
+//!
+//! Per-tenant telemetry reuses the existing counter families with a
+//! `tenant` label (`p4guard_frames_received_total{shard,tenant}`, …),
+//! flushed as counter deltas at batch boundaries so the per-frame hot
+//! path stays allocation- and atomics-free.
+
+use crate::tenant::{TenantClassifier, TenantRegistry};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use p4guard_dataplane::pipeline::PipelineCell;
+use p4guard_dataplane::switch::SwitchCounters;
+use p4guard_gateway::{shard_for, GatewayConfig, LatencyHistogram};
+use p4guard_telemetry::{Counter, DropReason, Event, Gauge, Telemetry};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Live statistics of one fleet shard.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Per-tenant packet counters, indexed by tenant.
+    pub per_tenant: Vec<SwitchCounters>,
+    /// Frames whose source resolved to no tenant (counted, not processed).
+    pub unknown_tenant: u64,
+    /// Per-frame forwarding latency across all tenants.
+    pub latency: LatencyHistogram,
+    /// Frames processed.
+    pub processed: u64,
+    /// Batches drained.
+    pub batches: u64,
+    /// Pipeline swaps picked up, summed over tenants.
+    pub swaps_seen: u64,
+    /// Version last processed with, per tenant.
+    pub tenant_versions: Vec<u64>,
+}
+
+/// Point-in-time view of the fleet gateway.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSnapshot {
+    /// Per-shard statistics, indexed by shard.
+    pub shards: Vec<FleetShardStats>,
+    /// Frames dropped at ingest because a shard queue was full.
+    pub dropped_backpressure: u64,
+    /// Frames that resolved to no tenant, summed over shards.
+    pub unknown_tenant: u64,
+    /// Serving pipeline version per tenant per shard:
+    /// `tenant_versions[tenant][shard]`.
+    pub tenant_versions: Vec<Vec<u64>>,
+    /// Counters summed per tenant across shards, indexed by tenant.
+    pub per_tenant: Vec<SwitchCounters>,
+    /// Counters summed over everything.
+    pub totals: SwitchCounters,
+    /// Merged forwarding-latency histogram.
+    pub latency: LatencyHistogram,
+}
+
+impl fmt::Display for FleetSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet: {} shards × {} tenants, {} received / {} forwarded / {} dropped, {} backpressure, {} unclassified",
+            self.shards.len(),
+            self.per_tenant.len(),
+            self.totals.received,
+            self.totals.forwarded,
+            self.totals.dropped,
+            self.dropped_backpressure,
+            self.unknown_tenant,
+        )?;
+        for (t, c) in self.per_tenant.iter().enumerate() {
+            let versions = &self.tenant_versions[t];
+            writeln!(
+                f,
+                "  tenant {}: {} received / {} forwarded / {} dropped (serving v{})",
+                t,
+                c.received,
+                c.forwarded,
+                c.dropped,
+                versions.iter().copied().max().unwrap_or(0),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-shard × per-tenant counter handles, resolved once at startup.
+struct TenantMetrics {
+    received: Counter,
+    forwarded: Counter,
+    rule_drop: Counter,
+    parser_rejected: Counter,
+}
+
+/// The multi-tenant gateway runtime. Start with [`FleetGateway::start`],
+/// ingest with [`FleetGateway::offer`]/[`FleetGateway::dispatch`], stop
+/// with [`FleetGateway::finish`].
+pub struct FleetGateway {
+    senders: Vec<Sender<Bytes>>,
+    workers: Vec<JoinHandle<()>>,
+    states: Vec<Arc<Mutex<FleetShardStats>>>,
+    ingest_drops: Vec<AtomicU64>,
+    /// `cells[tenant][shard]`.
+    cells: Vec<Vec<Arc<PipelineCell>>>,
+    config: GatewayConfig,
+    telemetry: Option<FleetTelemetry>,
+}
+
+struct FleetTelemetry {
+    bundle: Arc<Telemetry>,
+    backpressure: Vec<Counter>,
+    queue_depth: Vec<Gauge>,
+}
+
+impl FleetGateway {
+    /// Spawns `config.shards` workers serving every tenant in `registry`,
+    /// subscribing one pipeline cell per tenant per shard (shard s is
+    /// subscriber s of each tenant's control plane, so per-tenant
+    /// canaries via
+    /// [`ControlPlane::publish_to`](p4guard_dataplane::control::ControlPlane::publish_to)
+    /// target shards exactly as in the single-tenant gateway).
+    ///
+    /// With telemetry, the registry's counter families gain a `tenant`
+    /// label and the per-shard `p4guard_queue_depth` gauges are kept
+    /// fresh by [`FleetGateway::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry has no tenants or `config` has zero shards
+    /// or queue capacity.
+    pub fn start(
+        registry: &TenantRegistry,
+        config: GatewayConfig,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> FleetGateway {
+        let tenants = registry.tenant_count();
+        assert!(tenants > 0, "fleet gateway needs at least one tenant");
+        assert!(config.shards > 0, "fleet gateway needs at least one shard");
+        assert!(config.queue_capacity > 0, "queue capacity must be nonzero");
+        let classifier = registry.classifier();
+        // cells[tenant][shard], subscribed shard-major so each tenant's
+        // control plane sees shard 0 first.
+        let mut cells: Vec<Vec<Arc<PipelineCell>>> = (0..tenants).map(|_| Vec::new()).collect();
+        for _shard in 0..config.shards {
+            for (tenant, row) in cells.iter_mut().enumerate() {
+                let control = registry.control(tenant).expect("tenant in registry");
+                row.push(control.attach_cell());
+            }
+        }
+        if let Some(t) = &telemetry {
+            t.registry
+                .gauge("p4guard_shards", "Worker shards in the gateway", &[])
+                .set(config.shards as f64);
+            t.registry
+                .gauge(
+                    "p4guard_tenants",
+                    "Tenants served by the fleet gateway",
+                    &[],
+                )
+                .set(tenants as f64);
+        }
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        let mut states = Vec::with_capacity(config.shards);
+        let mut ingest_drops = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = bounded::<Bytes>(config.queue_capacity);
+            let state = Arc::new(Mutex::new(FleetShardStats {
+                shard,
+                per_tenant: vec![SwitchCounters::default(); tenants],
+                tenant_versions: vec![0; tenants],
+                ..FleetShardStats::default()
+            }));
+            let worker_cells: Vec<Arc<PipelineCell>> =
+                cells.iter().map(|row| Arc::clone(&row[shard])).collect();
+            let worker_state = Arc::clone(&state);
+            let worker_classifier = classifier.clone();
+            let batch = config.batch_size.max(1);
+            let metrics = telemetry.as_ref().map(|t| {
+                (0..tenants)
+                    .map(|tenant| {
+                        let shard_label = shard.to_string();
+                        let name = &registry.spec(tenant).expect("tenant in registry").name;
+                        let labels = [("shard", shard_label.as_str()), ("tenant", name.as_str())];
+                        TenantMetrics {
+                            received: t.registry.counter(
+                                "p4guard_frames_received_total",
+                                "Frames entering the pipeline",
+                                &labels,
+                            ),
+                            forwarded: t.registry.counter(
+                                "p4guard_frames_forwarded_total",
+                                "Frames forwarded",
+                                &labels,
+                            ),
+                            rule_drop: t.registry.counter(
+                                "p4guard_drops_total",
+                                "Frames dropped, by reason",
+                                &[
+                                    ("shard", shard_label.as_str()),
+                                    ("tenant", name.as_str()),
+                                    ("reason", DropReason::RuleDrop.as_str()),
+                                ],
+                            ),
+                            parser_rejected: t.registry.counter(
+                                "p4guard_drops_total",
+                                "Frames dropped, by reason",
+                                &[
+                                    ("shard", shard_label.as_str()),
+                                    ("tenant", name.as_str()),
+                                    ("reason", DropReason::ParserRejected.as_str()),
+                                ],
+                            ),
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            });
+            let builder = std::thread::Builder::new().name(format!("p4guard-fleet-{shard}"));
+            let worker = builder
+                .spawn(move || {
+                    run_fleet_shard(
+                        rx,
+                        worker_cells,
+                        worker_classifier,
+                        worker_state,
+                        batch,
+                        metrics,
+                    )
+                })
+                .expect("spawn fleet shard worker");
+            workers.push(worker);
+            senders.push(tx);
+            states.push(state);
+            ingest_drops.push(AtomicU64::new(0));
+        }
+        let telemetry = telemetry.map(|bundle| FleetTelemetry {
+            backpressure: (0..config.shards)
+                .map(|shard| {
+                    bundle.registry.counter(
+                        "p4guard_drops_total",
+                        "Frames dropped, by reason",
+                        &[
+                            ("shard", &shard.to_string()),
+                            ("reason", DropReason::Backpressure.as_str()),
+                        ],
+                    )
+                })
+                .collect(),
+            queue_depth: (0..config.shards)
+                .map(|shard| {
+                    bundle.registry.gauge(
+                        "p4guard_queue_depth",
+                        "Frames waiting in a shard's ingest queue",
+                        &[("shard", &shard.to_string())],
+                    )
+                })
+                .collect(),
+            bundle,
+        });
+        FleetGateway {
+            senders,
+            workers,
+            states,
+            ingest_drops,
+            cells,
+            config,
+            telemetry,
+        }
+    }
+
+    /// The gateway's sizing.
+    pub fn config(&self) -> GatewayConfig {
+        self.config
+    }
+
+    /// Shard index `frame` would be dispatched to (same flow-hash as the
+    /// single-tenant gateway: tenancy never splits a flow across shards).
+    pub fn shard_of(&self, frame: &[u8]) -> usize {
+        shard_for(frame, self.config.shards)
+    }
+
+    /// The pipeline cells for `tenant`, indexed by shard.
+    pub fn tenant_cells(&self, tenant: usize) -> &[Arc<PipelineCell>] {
+        &self.cells[tenant]
+    }
+
+    /// Non-blocking ingest; drops (counted) when the shard queue is full.
+    pub fn offer(&self, frame: Bytes) -> bool {
+        let shard = self.shard_of(&frame);
+        match self.senders[shard].try_send(frame) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.note_ingest_drop(shard);
+                false
+            }
+        }
+    }
+
+    /// Blocking ingest: waits for queue space instead of dropping.
+    pub fn dispatch(&self, frame: Bytes) {
+        let shard = self.shard_of(&frame);
+        if self.senders[shard].send(frame).is_err() {
+            self.note_ingest_drop(shard);
+        }
+    }
+
+    fn note_ingest_drop(&self, shard: usize) {
+        let previous = self.ingest_drops[shard].fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = &self.telemetry {
+            t.backpressure[shard].inc();
+            t.queue_depth[shard].set(self.senders[shard].len() as f64);
+            if previous == 0 {
+                t.bundle.recorder.record(Event::Overload {
+                    shard,
+                    dropped: previous + 1,
+                });
+            }
+        }
+    }
+
+    /// Frames currently waiting in each shard's ingest queue.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.senders.iter().map(Sender::len).collect()
+    }
+
+    /// Aggregates a live snapshot without stopping the workers, and
+    /// refreshes the queue-depth gauges when telemetry is attached.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        if let Some(t) = &self.telemetry {
+            for (shard, tx) in self.senders.iter().enumerate() {
+                t.queue_depth[shard].set(tx.len() as f64);
+            }
+        }
+        let shards: Vec<FleetShardStats> = self.states.iter().map(|s| s.lock().clone()).collect();
+        let tenants = self.cells.len();
+        let mut per_tenant = vec![SwitchCounters::default(); tenants];
+        let mut totals = SwitchCounters::default();
+        let mut latency = LatencyHistogram::new();
+        let mut unknown_tenant = 0;
+        for s in &shards {
+            for (t, c) in s.per_tenant.iter().enumerate() {
+                per_tenant[t].merge(c);
+                totals.merge(c);
+            }
+            latency.merge(&s.latency);
+            unknown_tenant += s.unknown_tenant;
+        }
+        let tenant_versions: Vec<Vec<u64>> = self
+            .cells
+            .iter()
+            .map(|row| row.iter().map(|c| c.version()).collect())
+            .collect();
+        FleetSnapshot {
+            dropped_backpressure: self
+                .ingest_drops
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .sum(),
+            unknown_tenant,
+            tenant_versions,
+            per_tenant,
+            totals,
+            latency,
+            shards,
+        }
+    }
+
+    /// Closes ingest, drains the queues, joins the workers and returns
+    /// the final snapshot.
+    pub fn finish(mut self) -> FleetSnapshot {
+        self.senders.clear();
+        for worker in self.workers.drain(..) {
+            worker.join().expect("fleet shard worker panicked");
+        }
+        self.snapshot()
+    }
+}
+
+/// The fleet worker loop: the single-tenant shard loop with a pipeline
+/// cache per tenant. Version checks stay one atomic load per tenant per
+/// batch; the per-frame path adds only the classifier lookup.
+fn run_fleet_shard(
+    rx: Receiver<Bytes>,
+    cells: Vec<Arc<PipelineCell>>,
+    classifier: TenantClassifier,
+    state: Arc<Mutex<FleetShardStats>>,
+    batch_size: usize,
+    metrics: Option<Vec<TenantMetrics>>,
+) {
+    let tenants = cells.len();
+    let mut pipelines: Vec<_> = cells.iter().map(|c| c.load()).collect();
+    let mut versions: Vec<u64> = pipelines.iter().map(|p| p.version()).collect();
+    {
+        let mut st = state.lock();
+        st.tenant_versions.copy_from_slice(&versions);
+    }
+    let mut scratch: Vec<u8> =
+        vec![0; pipelines.iter().map(|p| p.scratch_len()).max().unwrap_or(0)];
+    // Last counter values flushed to the registry, per tenant, so batch
+    // boundaries publish deltas instead of re-walking frames.
+    let mut flushed: Vec<SwitchCounters> = vec![SwitchCounters::default(); tenants];
+    let mut batch: Vec<Bytes> = Vec::with_capacity(batch_size);
+    while let Ok(first) = rx.recv() {
+        batch.push(first);
+        while batch.len() < batch_size {
+            match rx.try_recv() {
+                Ok(frame) => batch.push(frame),
+                Err(_) => break,
+            }
+        }
+        let mut swapped = 0u64;
+        for (t, cell) in cells.iter().enumerate() {
+            let published = cell.version();
+            if published != versions[t] {
+                pipelines[t] = cell.load();
+                versions[t] = pipelines[t].version();
+                if scratch.len() < pipelines[t].scratch_len() {
+                    scratch.resize(pipelines[t].scratch_len(), 0);
+                }
+                swapped += 1;
+            }
+        }
+        let mut st = state.lock();
+        if swapped > 0 {
+            st.swaps_seen += swapped;
+            st.tenant_versions.copy_from_slice(&versions);
+        }
+        for frame in batch.drain(..) {
+            let t0 = Instant::now();
+            match classifier.resolve(&frame) {
+                Some(tenant) => {
+                    pipelines[tenant].process_into(
+                        &frame,
+                        &mut st.per_tenant[tenant],
+                        &mut scratch,
+                    );
+                }
+                None => st.unknown_tenant += 1,
+            }
+            st.latency.record(t0.elapsed());
+            st.processed += 1;
+        }
+        st.batches += 1;
+        if let Some(metrics) = &metrics {
+            for (t, m) in metrics.iter().enumerate() {
+                let now = &st.per_tenant[t];
+                let last = &mut flushed[t];
+                m.received.add(now.received - last.received);
+                m.forwarded.add(now.forwarded - last.forwarded);
+                m.rule_drop.add(now.dropped - last.dropped);
+                m.parser_rejected
+                    .add(now.parser_rejected - last.parser_rejected);
+                *last = now.clone();
+            }
+        }
+    }
+}

@@ -1,0 +1,616 @@
+//! Deterministic fleet-scale traffic simulation: 10⁵–10⁶ simulated IoT
+//! devices across tenants, with device churn, diurnal load curves and
+//! per-tenant attack waves.
+//!
+//! The per-device scenario generator in `crates/traffic` materializes
+//! every device and flow — perfect fidelity for dozens of devices,
+//! hopeless for a million. This simulator inverts the representation:
+//! devices are *virtual* (addresses, roles and churn state derived
+//! on demand from the device id by hashing), and each time step samples a
+//! bounded number of frames from the live population. Memory is
+//! O(frames per step), never O(devices).
+//!
+//! Everything is a pure function of `(seed, step)`: steps re-seed their
+//! own RNG stream, churn is a per-epoch hash of the device id, and wave
+//! activity depends only on the step fraction — so the same config always
+//! emits the identical frame sequence, and any step can be regenerated in
+//! isolation.
+
+use crate::tenant::{device_ip, DEFAULT_PREFIX_SPAN};
+use bytes::Bytes;
+use p4guard_packet::addr::MacAddr;
+use p4guard_packet::tcp::{TcpFlags, TcpHeader};
+use p4guard_packet::{AttackFamily, Label, PacketBuilder, Record, Trace};
+use p4guard_traffic::DeviceKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Benign device source ports start here (ephemeral range).
+const BENIGN_SPORT_BASE: u16 = 49152;
+/// Compromised firmware uses a fixed low source-port band — the separable
+/// signature the per-tenant classifiers learn.
+const ATTACK_SPORT_BASE: u16 = 1024;
+/// Compromised devices per attack wave.
+const BOTNET_SIZE: u32 = 8;
+
+/// One attack campaign against a tenant, active over a fraction of the
+/// simulated day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackWave {
+    /// Attack family.
+    pub family: AttackFamily,
+    /// Wave start as a fraction of the run, in `[0, 1)`.
+    pub start_frac: f64,
+    /// Wave end as a fraction of the run.
+    pub end_frac: f64,
+    /// Attack frames per step, as a fraction of the tenant's benign base
+    /// rate.
+    pub weight: f64,
+}
+
+/// One tenant's traffic profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantTraffic {
+    /// Tenant name (mirrors the registry's [`TenantSpec`](crate::tenant::TenantSpec)).
+    pub name: String,
+    /// Simulated device population.
+    pub devices: u32,
+    /// Device-class mix; device `d` is of kind `kinds[d % kinds.len()]`.
+    pub kinds: Vec<DeviceKind>,
+    /// Diurnal swing in `[0, 1]`: load dips to `1 − amplitude` at the
+    /// trough.
+    pub diurnal_amplitude: f64,
+    /// When the diurnal curve peaks, as a fraction of the run.
+    pub peak_frac: f64,
+    /// Fraction of devices offline in any churn epoch.
+    pub offline_fraction: f64,
+    /// Churn rotations over the run: each epoch re-draws which devices
+    /// are offline.
+    pub churn_epochs: u32,
+    /// Attack campaigns against this tenant.
+    pub waves: Vec<AttackWave>,
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSimConfig {
+    /// Master seed; every derived stream re-mixes it.
+    pub seed: u64,
+    /// Time steps in the run.
+    pub steps: usize,
+    /// Fleet-wide benign frame budget per step at diurnal peak, divided
+    /// across tenants by device share.
+    pub frames_per_step: usize,
+    /// Tenant profiles, indexed by tenant.
+    pub tenants: Vec<TenantTraffic>,
+}
+
+impl FleetSimConfig {
+    /// Total simulated devices across tenants.
+    pub fn total_devices(&self) -> u64 {
+        self.tenants.iter().map(|t| u64::from(t.devices)).sum()
+    }
+
+    /// A ready-made fleet of `tenants` tenants cycling four device-class
+    /// profiles (smart-home, industrial, camera-park, sensor-grid), with
+    /// `devices_total` devices split 4:2:1:3 across the cycle.
+    pub fn demo(tenants: usize, devices_total: u64, seed: u64) -> Self {
+        assert!(tenants > 0, "need at least one tenant");
+        let weights: Vec<u64> = (0..tenants).map(|i| [4u64, 2, 1, 3][i % 4]).collect();
+        let total_weight: u64 = weights.iter().sum();
+        let tenants = (0..tenants)
+            .map(|i| {
+                let devices = (devices_total * weights[i] / total_weight).max(1) as u32;
+                demo_profile(i, devices)
+            })
+            .collect();
+        FleetSimConfig {
+            seed,
+            steps: 64,
+            frames_per_step: 4096,
+            tenants,
+        }
+    }
+}
+
+/// One of the four demo device-class profiles, with `devices` devices.
+fn demo_profile(tenant: usize, devices: u32) -> TenantTraffic {
+    match tenant % 4 {
+        0 => TenantTraffic {
+            name: format!("smart-home-{tenant}"),
+            devices,
+            kinds: vec![
+                DeviceKind::Camera,
+                DeviceKind::Thermostat,
+                DeviceKind::SmartPlug,
+            ],
+            diurnal_amplitude: 0.6,
+            peak_frac: 0.75,
+            offline_fraction: 0.15,
+            churn_epochs: 4,
+            waves: vec![
+                AttackWave {
+                    family: AttackFamily::MqttFlood,
+                    start_frac: 0.30,
+                    end_frac: 0.55,
+                    weight: 0.5,
+                },
+                AttackWave {
+                    family: AttackFamily::MiraiScan,
+                    start_frac: 0.60,
+                    end_frac: 0.80,
+                    weight: 0.4,
+                },
+            ],
+        },
+        1 => TenantTraffic {
+            name: format!("industrial-{tenant}"),
+            devices,
+            kinds: vec![DeviceKind::ModbusPlc, DeviceKind::CoapSensor],
+            diurnal_amplitude: 0.2,
+            peak_frac: 0.40,
+            offline_fraction: 0.05,
+            churn_epochs: 2,
+            waves: vec![
+                AttackWave {
+                    family: AttackFamily::ModbusAbuse,
+                    start_frac: 0.20,
+                    end_frac: 0.45,
+                    weight: 0.4,
+                },
+                AttackWave {
+                    family: AttackFamily::SynFlood,
+                    start_frac: 0.70,
+                    end_frac: 0.90,
+                    weight: 0.6,
+                },
+            ],
+        },
+        2 => TenantTraffic {
+            name: format!("camera-park-{tenant}"),
+            devices,
+            kinds: vec![DeviceKind::Camera],
+            diurnal_amplitude: 0.5,
+            peak_frac: 0.50,
+            offline_fraction: 0.10,
+            churn_epochs: 3,
+            waves: vec![
+                AttackWave {
+                    family: AttackFamily::BruteForce,
+                    start_frac: 0.10,
+                    end_frac: 0.35,
+                    weight: 0.4,
+                },
+                AttackWave {
+                    family: AttackFamily::UdpFlood,
+                    start_frac: 0.55,
+                    end_frac: 0.80,
+                    weight: 0.7,
+                },
+            ],
+        },
+        _ => TenantTraffic {
+            name: format!("sensor-grid-{tenant}"),
+            devices,
+            kinds: vec![DeviceKind::CoapSensor, DeviceKind::ZWireSensor],
+            diurnal_amplitude: 0.7,
+            peak_frac: 0.25,
+            offline_fraction: 0.25,
+            churn_epochs: 5,
+            waves: vec![
+                AttackWave {
+                    family: AttackFamily::CoapAmplification,
+                    start_frac: 0.30,
+                    end_frac: 0.50,
+                    weight: 0.5,
+                },
+                AttackWave {
+                    family: AttackFamily::DnsTunnel,
+                    start_frac: 0.50,
+                    end_frac: 0.75,
+                    weight: 0.3,
+                },
+            ],
+        },
+    }
+}
+
+/// One emitted frame with its owning tenant and ground truth.
+#[derive(Debug, Clone)]
+pub struct SimFrame {
+    /// Tenant the source device belongs to.
+    pub tenant: usize,
+    /// Raw Ethernet frame.
+    pub frame: Bytes,
+    /// Ground-truth label.
+    pub label: Label,
+}
+
+/// Per-tenant emission counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantSimStats {
+    /// Frames emitted.
+    pub frames: u64,
+    /// Benign frames.
+    pub benign: u64,
+    /// Attack frames.
+    pub attack: u64,
+    /// Benign sends suppressed because the device was churned offline.
+    pub offline_skips: u64,
+}
+
+/// The fleet simulator. Create once, then call [`FleetSim::step_frames`]
+/// per step (or [`FleetSim::run`] to collect the whole run).
+pub struct FleetSim {
+    config: FleetSimConfig,
+    stats: Vec<TenantSimStats>,
+}
+
+/// splitmix64: the stateless hash behind churn and botnet membership.
+fn mix(mut h: u64) -> u64 {
+    h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+impl FleetSim {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty tenant list, zero steps, or a tenant set that
+    /// overflows the classifier's address plan.
+    pub fn new(config: FleetSimConfig) -> Self {
+        assert!(!config.tenants.is_empty(), "need at least one tenant");
+        assert!(config.steps > 0, "need at least one step");
+        assert!(
+            config.tenants.len() * usize::from(DEFAULT_PREFIX_SPAN) <= 256,
+            "tenant count overflows the address plan"
+        );
+        for t in &config.tenants {
+            assert!(t.devices > 0, "tenant {} has no devices", t.name);
+            assert!(!t.kinds.is_empty(), "tenant {} has no device kinds", t.name);
+            assert!(
+                t.devices >> 16 < u32::from(DEFAULT_PREFIX_SPAN),
+                "tenant {} population overflows its prefix span",
+                t.name
+            );
+        }
+        let stats = vec![TenantSimStats::default(); config.tenants.len()];
+        FleetSim { config, stats }
+    }
+
+    /// The configuration this simulator runs.
+    pub fn config(&self) -> &FleetSimConfig {
+        &self.config
+    }
+
+    /// Per-tenant emission counters so far.
+    pub fn stats(&self) -> &[TenantSimStats] {
+        &self.stats
+    }
+
+    /// Whether device `device` of tenant `tenant` is online at `step`
+    /// (churn: each epoch re-draws the offline subset by hash).
+    pub fn online(&self, tenant: usize, device: u32, step: usize) -> bool {
+        let profile = &self.config.tenants[tenant];
+        if profile.offline_fraction <= 0.0 {
+            return true;
+        }
+        let epoch = step * profile.churn_epochs.max(1) as usize / self.config.steps;
+        let h = mix(self
+            .config
+            .seed
+            .wrapping_add(0x5eed_0000)
+            .wrapping_add((tenant as u64) << 48)
+            .wrapping_add(u64::from(device) << 16)
+            .wrapping_add(epoch as u64));
+        (h % 10_000) as f64 >= profile.offline_fraction * 10_000.0
+    }
+
+    /// The diurnal load factor for `tenant` at `step`: 1.0 at the peak,
+    /// `1 − amplitude` at the trough.
+    pub fn diurnal(&self, tenant: usize, step: usize) -> f64 {
+        let profile = &self.config.tenants[tenant];
+        let t_frac = step as f64 / self.config.steps as f64;
+        let phase = (t_frac - profile.peak_frac) * std::f64::consts::TAU;
+        1.0 - profile.diurnal_amplitude * 0.5 * (1.0 - phase.cos())
+    }
+
+    /// Emits one step's frames, tenant-ordered. Deterministic per
+    /// `(seed, step)` and independent of other steps.
+    pub fn step_frames(&mut self, step: usize) -> Vec<SimFrame> {
+        let t_frac = step as f64 / self.config.steps as f64;
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ mix(0xf1ee_7000 + step as u64));
+        let total_devices = self.config.total_devices().max(1);
+        let mut out = Vec::new();
+        for tenant in 0..self.config.tenants.len() {
+            let profile = self.config.tenants[tenant].clone();
+            let base = (self.config.frames_per_step as u64 * u64::from(profile.devices)
+                / total_devices)
+                .max(1) as usize;
+            let benign_target = (base as f64 * self.diurnal(tenant, step)).round() as usize;
+            for _ in 0..benign_target {
+                let device = rng.gen_range(0..profile.devices);
+                if !self.online(tenant, device, step) {
+                    self.stats[tenant].offline_skips += 1;
+                    continue;
+                }
+                let kind = profile.kinds[device as usize % profile.kinds.len()];
+                let frame = benign_frame(tenant, device, kind, &mut rng);
+                self.stats[tenant].frames += 1;
+                self.stats[tenant].benign += 1;
+                out.push(SimFrame {
+                    tenant,
+                    frame,
+                    label: Label::Benign,
+                });
+            }
+            for (w, wave) in profile.waves.iter().enumerate() {
+                if t_frac < wave.start_frac || t_frac >= wave.end_frac {
+                    continue;
+                }
+                let attack_target = (base as f64 * wave.weight).round() as usize;
+                for _ in 0..attack_target {
+                    // A small compromised pool per wave, fixed for the run.
+                    let bot = rng.gen_range(0..BOTNET_SIZE);
+                    let device = (mix(self.config.seed
+                        ^ 0xb07_0000
+                        ^ ((tenant as u64) << 32)
+                        ^ ((w as u64) << 16)
+                        ^ u64::from(bot))
+                        % u64::from(profile.devices)) as u32;
+                    let frame = attack_frame(tenant, device, wave.family, &mut rng);
+                    self.stats[tenant].frames += 1;
+                    self.stats[tenant].attack += 1;
+                    out.push(SimFrame {
+                        tenant,
+                        frame,
+                        label: Label::Attack(wave.family),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs every step and collects the full frame sequence.
+    pub fn run(&mut self) -> Vec<SimFrame> {
+        let mut out = Vec::new();
+        for step in 0..self.config.steps {
+            out.extend(self.step_frames(step));
+        }
+        out
+    }
+
+    /// A labelled training trace for one tenant: `frames` records mixing
+    /// every device kind with every wave family the tenant faces (70/30
+    /// benign/attack). Uses a seed stream disjoint from the serving run,
+    /// so training data never equals the evaluation stream.
+    pub fn training_trace(&self, tenant: usize, frames: usize) -> Trace {
+        let profile = &self.config.tenants[tenant];
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ mix(0x7ea1_0000 + tenant as u64));
+        let mut trace = Trace::new();
+        for i in 0..frames {
+            let device = rng.gen_range(0..profile.devices);
+            let attack = !profile.waves.is_empty() && i % 10 >= 7;
+            let (frame, label) = if attack {
+                let wave = &profile.waves[i % profile.waves.len()];
+                (
+                    attack_frame(tenant, device, wave.family, &mut rng),
+                    Label::Attack(wave.family),
+                )
+            } else {
+                let kind = profile.kinds[device as usize % profile.kinds.len()];
+                (benign_frame(tenant, device, kind, &mut rng), Label::Benign)
+            };
+            trace.push(Record {
+                timestamp_us: i as u64,
+                frame,
+                label,
+                flow_id: u64::from(device),
+            });
+        }
+        trace
+    }
+}
+
+/// The tenant's upstream service address for a device kind (MQTT broker,
+/// CoAP/Modbus poller, resolver). Tenancy is decided by the *source*
+/// prefix, so these only need to be stable.
+fn service_ip(tenant: usize, kind: DeviceKind) -> Ipv4Addr {
+    let svc = match kind {
+        DeviceKind::Camera | DeviceKind::Thermostat | DeviceKind::SmartPlug => 1,
+        DeviceKind::CoapSensor | DeviceKind::ZWireSensor => 2,
+        DeviceKind::ModbusPlc => 3,
+        DeviceKind::Gateway | DeviceKind::Broker | DeviceKind::DnsServer => 4,
+    };
+    Ipv4Addr::new(172, 16, tenant as u8, svc)
+}
+
+fn builder(device: u32) -> PacketBuilder {
+    PacketBuilder::new(
+        MacAddr::from_id(u64::from(device) + 1),
+        MacAddr::from_id(0xfeed),
+    )
+}
+
+/// A benign frame from `device` of `kind`: its habitual application
+/// protocol from an ephemeral source port.
+fn benign_frame(tenant: usize, device: u32, kind: DeviceKind, rng: &mut StdRng) -> Bytes {
+    let src = device_ip(tenant, device, DEFAULT_PREFIX_SPAN);
+    let dst = service_ip(tenant, kind);
+    let sport = BENIGN_SPORT_BASE + (device % 16000) as u16;
+    let b = builder(device);
+    let seq = rng.gen_range(1..=u32::MAX / 2);
+    match kind {
+        DeviceKind::Camera => b.tcp(
+            src,
+            dst,
+            TcpHeader::new(sport, 1883, seq, seq, TcpFlags::PSH | TcpFlags::ACK),
+            &[0x30, 0x10, 0, 6, b'c', b'a', b'm', b'e', b'r', b'a'],
+        ),
+        DeviceKind::Thermostat | DeviceKind::SmartPlug => b.tcp(
+            src,
+            dst,
+            TcpHeader::new(sport, 1883, seq, seq, TcpFlags::PSH | TcpFlags::ACK),
+            &[0x30, 0x04, 0, 2, b't', b'p'],
+        ),
+        DeviceKind::CoapSensor | DeviceKind::ZWireSensor => {
+            b.udp(src, dst, sport, 5683, &[0x40, 0x01, 0x12, 0x34])
+        }
+        DeviceKind::ModbusPlc => b.tcp(
+            src,
+            dst,
+            TcpHeader::new(sport, 502, seq, seq, TcpFlags::PSH | TcpFlags::ACK),
+            &[0, 1, 0, 0, 0, 6, 1, 3, 0, 0, 0, 2],
+        ),
+        DeviceKind::Gateway | DeviceKind::Broker | DeviceKind::DnsServer => {
+            b.udp(src, dst, sport, 53, &[0, 1, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0])
+        }
+    }
+}
+
+/// An attack frame from compromised `device`: the family's signature
+/// protocol/port from the fixed low source-port band.
+fn attack_frame(tenant: usize, device: u32, family: AttackFamily, rng: &mut StdRng) -> Bytes {
+    let src = device_ip(tenant, device, DEFAULT_PREFIX_SPAN);
+    let b = builder(device);
+    let sport = ATTACK_SPORT_BASE + rng.gen_range(0..256u16);
+    let seq = rng.gen_range(1..=u32::MAX / 2);
+    let victim = Ipv4Addr::new(172, 16, tenant as u8, 1);
+    match family {
+        AttackFamily::MiraiScan => {
+            let target = device_ip(tenant, rng.gen_range(0..0xffff), DEFAULT_PREFIX_SPAN);
+            b.tcp(
+                src,
+                target,
+                TcpHeader::new(sport, 23, seq, 0, TcpFlags::SYN),
+                &[],
+            )
+        }
+        AttackFamily::BruteForce => b.tcp(
+            src,
+            victim,
+            TcpHeader::new(sport, 22, seq, seq, TcpFlags::PSH | TcpFlags::ACK),
+            b"root",
+        ),
+        AttackFamily::SynFlood => b.tcp(
+            src,
+            victim,
+            TcpHeader::new(sport, 80, seq, 0, TcpFlags::SYN),
+            &[],
+        ),
+        AttackFamily::UdpFlood => b.udp(src, victim, sport, 7, &[0xaa; 64]),
+        AttackFamily::MqttFlood => b.tcp(
+            src,
+            victim,
+            TcpHeader::new(sport, 1883, seq, seq, TcpFlags::PSH | TcpFlags::ACK),
+            &[0x10, 0x0c, 0, 4, b'M', b'Q', b'T', b'T', 4, 2, 0, 30],
+        ),
+        AttackFamily::CoapAmplification => b.udp(src, victim, sport, 5683, &[0x40, 0x01, 0, 0]),
+        AttackFamily::DnsTunnel => {
+            let mut payload = vec![0u8; 48];
+            rng.fill(payload.as_mut_slice());
+            payload[2] = 1; // query flags
+            b.udp(src, victim, sport, 53, &payload)
+        }
+        AttackFamily::ModbusAbuse => b.tcp(
+            src,
+            victim,
+            TcpHeader::new(sport, 502, seq, seq, TcpFlags::PSH | TcpFlags::ACK),
+            &[0, 1, 0, 0, 0, 6, 1, 6, 0, 0, 0xff, 0xff],
+        ),
+        AttackFamily::ZWireHijack => b.udp(src, victim, sport, 4123, &[0x5a, 0x57, 0xff, 0xff]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(seed: u64) -> FleetSimConfig {
+        let mut c = FleetSimConfig::demo(4, 200_000, seed);
+        c.steps = 8;
+        c.frames_per_step = 512;
+        c
+    }
+
+    #[test]
+    fn same_seed_same_frames() {
+        let a: Vec<_> = FleetSim::new(small_config(7)).run();
+        let b: Vec<_> = FleetSim::new(small_config(7)).run();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tenant, y.tenant);
+            assert_eq!(x.frame, y.frame);
+            assert_eq!(x.label, y.label);
+        }
+        let c: Vec<_> = FleetSim::new(small_config(8)).run();
+        assert!(
+            a.len() != c.len() || a.iter().zip(&c).any(|(x, y)| x.frame != y.frame),
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn steps_are_independent() {
+        let mut full = FleetSim::new(small_config(3));
+        let step5: Vec<_> = (0..6).map(|s| full.step_frames(s)).nth(5).unwrap();
+        let mut fresh = FleetSim::new(small_config(3));
+        let direct = fresh.step_frames(5);
+        assert_eq!(step5.len(), direct.len());
+        for (x, y) in step5.iter().zip(&direct) {
+            assert_eq!(x.frame, y.frame);
+        }
+    }
+
+    #[test]
+    fn every_tenant_emits_and_attacks_happen() {
+        let mut sim = FleetSim::new(small_config(11));
+        sim.run();
+        for (t, st) in sim.stats().iter().enumerate() {
+            assert!(st.frames > 0, "tenant {t} silent");
+            assert!(st.benign > 0, "tenant {t} has no benign traffic");
+            assert!(st.attack > 0, "tenant {t} saw no attack frames");
+            assert!(st.offline_skips > 0, "tenant {t} churn never triggered");
+        }
+        assert_eq!(sim.config().total_devices(), 200_000);
+    }
+
+    #[test]
+    fn frames_resolve_to_their_tenant() {
+        let mut sim = FleetSim::new(small_config(5));
+        let classifier = crate::tenant::TenantClassifier::prefix_per_tenant(4, DEFAULT_PREFIX_SPAN);
+        for f in sim.run() {
+            assert_eq!(
+                classifier.resolve(&f.frame),
+                Some(f.tenant),
+                "frame source must map back to its tenant"
+            );
+        }
+    }
+
+    #[test]
+    fn training_trace_is_labelled_and_deterministic() {
+        let sim = FleetSim::new(small_config(9));
+        let a = sim.training_trace(0, 500);
+        let b = sim.training_trace(0, 500);
+        assert_eq!(a.records(), b.records());
+        assert!(a.attack_count() > 100);
+        assert!(a.attack_count() < 400);
+    }
+
+    #[test]
+    fn diurnal_curve_peaks_where_configured() {
+        let sim = FleetSim::new(small_config(1));
+        // Tenant 0 peaks at 0.75 of the run (step 6 of 8).
+        let peak = sim.diurnal(0, 6);
+        let trough = sim.diurnal(0, 2);
+        assert!(peak > 0.99);
+        assert!(trough < peak - 0.3);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property suite for the table-space budgeter: for arbitrary tenant
+//! sets, allocations (i) never exceed the global TCAM/SRAM budget,
+//! (ii) respect every tenant's minimum guarantee, and (iii) are a pure
+//! function of the tenant set — the same shares always split the same
+//! way, in allocation, admission and trimming alike.
+
+use p4guard_fleet::{BudgetConfig, TableBudgeter, TenantShare};
+use p4guard_rules::{RuleSet, TernaryEntry};
+use proptest::prelude::*;
+
+/// Raw share material: (weight, min_tcam_seed, min_sram_seed).
+type RawShare = (u32, usize, usize);
+
+/// Builds shares whose guarantees are scaled to stay feasible: each
+/// tenant's minimum is at most `budget / tenants`, so the construction
+/// below never hits `InfeasibleMinimums` and the properties quantify
+/// over *accepted* tenant sets.
+fn shares_from(raw: &[RawShare], config: BudgetConfig) -> Vec<TenantShare> {
+    let n = raw.len().max(1);
+    raw.iter()
+        .map(|&(weight, t_seed, s_seed)| TenantShare {
+            weight: weight % 1000,
+            min_tcam_bits: t_seed % (config.tcam_bits / n + 1),
+            min_sram_bits: s_seed % (config.sram_bits / n + 1),
+        })
+        .collect()
+}
+
+fn ruleset_with(entries: usize, width: usize) -> RuleSet {
+    let mut rs = RuleSet::new(width, 0);
+    for i in 0..entries {
+        rs.push(TernaryEntry::new(
+            vec![(i % 251) as u8; width],
+            vec![0xff; width],
+            1,
+            i as i32,
+        ));
+    }
+    rs
+}
+
+proptest! {
+    #[test]
+    fn allocations_never_exceed_global_budget(
+        raw in collection::vec((any::<u32>(), any::<usize>(), any::<usize>()), 1..24),
+        tcam_budget in 1usize..2_000_000,
+        sram_budget in 1usize..2_000_000,
+    ) {
+        let config = BudgetConfig { tcam_bits: tcam_budget, sram_bits: sram_budget };
+        let shares = shares_from(&raw, config);
+        let budgeter = TableBudgeter::new(config, shares).expect("scaled minimums are feasible");
+        let tcam: usize = budgeter.allocations().iter().map(|a| a.tcam_bits).sum();
+        let sram: usize = budgeter.allocations().iter().map(|a| a.sram_bits).sum();
+        prop_assert!(tcam <= config.tcam_bits, "tcam {tcam} > budget {}", config.tcam_bits);
+        prop_assert!(sram <= config.sram_bits, "sram {sram} > budget {}", config.sram_bits);
+    }
+
+    #[test]
+    fn minimum_guarantees_are_respected(
+        raw in collection::vec((any::<u32>(), any::<usize>(), any::<usize>()), 1..24),
+        tcam_budget in 1usize..2_000_000,
+        sram_budget in 1usize..2_000_000,
+    ) {
+        let config = BudgetConfig { tcam_bits: tcam_budget, sram_bits: sram_budget };
+        let shares = shares_from(&raw, config);
+        let budgeter = TableBudgeter::new(config, shares.clone()).expect("feasible");
+        for (share, alloc) in shares.iter().zip(budgeter.allocations()) {
+            prop_assert!(
+                alloc.tcam_bits >= share.min_tcam_bits,
+                "tenant {} allocated {} < guaranteed {}",
+                alloc.tenant, alloc.tcam_bits, share.min_tcam_bits
+            );
+            prop_assert!(alloc.sram_bits >= share.min_sram_bits);
+        }
+    }
+
+    #[test]
+    fn allocation_is_deterministic(
+        raw in collection::vec((any::<u32>(), any::<usize>(), any::<usize>()), 1..24),
+        tcam_budget in 1usize..2_000_000,
+        sram_budget in 1usize..2_000_000,
+        entries in 0usize..64,
+        width in 1usize..8,
+    ) {
+        let config = BudgetConfig { tcam_bits: tcam_budget, sram_bits: sram_budget };
+        let shares = shares_from(&raw, config);
+        let a = TableBudgeter::new(config, shares.clone()).expect("feasible");
+        let b = TableBudgeter::new(config, shares).expect("feasible");
+        prop_assert_eq!(a.allocations(), b.allocations());
+        // Admission and trimming decisions replay identically too.
+        let rs = ruleset_with(entries, width);
+        for tenant in 0..a.tenant_count() {
+            prop_assert_eq!(
+                a.admit(tenant, &rs).is_ok(),
+                b.admit(tenant, &rs).is_ok()
+            );
+            let (ta, cut_a) = a.trim(tenant, &rs).expect("tenant in range");
+            let (tb, cut_b) = b.trim(tenant, &rs).expect("tenant in range");
+            prop_assert_eq!(cut_a, cut_b);
+            prop_assert_eq!(ta.entries(), tb.entries());
+            // Trimmed result always fits the allocation the admitter uses.
+            prop_assert!(a.admit(tenant, &ta).is_ok());
+        }
+    }
+}

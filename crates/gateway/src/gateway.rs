@@ -11,7 +11,7 @@ use crossbeam::channel::{bounded, Sender, TrySendError};
 use p4guard_dataplane::control::ControlPlane;
 use p4guard_dataplane::pipeline::PipelineCell;
 use p4guard_dataplane::switch::SwitchCounters;
-use p4guard_telemetry::{Counter, DropReason, Event, NoopSink, Telemetry};
+use p4guard_telemetry::{Counter, DropReason, Event, Gauge, NoopSink, Telemetry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -123,6 +123,7 @@ pub struct Gateway {
 struct GatewayTelemetry {
     bundle: Arc<Telemetry>,
     backpressure: Vec<Counter>,
+    queue_depth: Vec<Gauge>,
 }
 
 impl Gateway {
@@ -216,6 +217,15 @@ impl Gateway {
                     )
                 })
                 .collect(),
+            queue_depth: (0..config.shards)
+                .map(|shard| {
+                    bundle.registry.gauge(
+                        "p4guard_queue_depth",
+                        "Frames waiting in a shard's ingest queue",
+                        &[("shard", &shard.to_string())],
+                    )
+                })
+                .collect(),
             bundle,
         });
         Gateway {
@@ -285,6 +295,9 @@ impl Gateway {
         let previous = self.ingest_drops[shard].fetch_add(1, Ordering::Relaxed);
         if let Some(t) = &self.telemetry {
             t.backpressure[shard].inc();
+            // A shed frame means the queue is at capacity right now — make
+            // the overload visible even if nobody snapshots until later.
+            t.queue_depth[shard].set(self.senders[shard].len() as f64);
             if previous == 0 {
                 t.bundle.recorder.record(Event::Overload {
                     shard,
@@ -294,8 +307,22 @@ impl Gateway {
         }
     }
 
-    /// Aggregates a live snapshot without stopping the workers.
+    /// Frames currently waiting in each shard's ingest queue, indexed by
+    /// shard.
+    pub fn queue_depths(&self) -> Vec<usize> {
+        self.senders.iter().map(Sender::len).collect()
+    }
+
+    /// Aggregates a live snapshot without stopping the workers. With
+    /// telemetry attached, also refreshes the
+    /// `p4guard_queue_depth{shard}` gauges — diurnal overload shows up on
+    /// `/metrics` whenever anything observes the gateway.
     pub fn snapshot(&self) -> GatewaySnapshot {
+        if let Some(t) = &self.telemetry {
+            for (shard, tx) in self.senders.iter().enumerate() {
+                t.queue_depth[shard].set(tx.len() as f64);
+            }
+        }
         let shards: Vec<ShardStats> = self.states.iter().map(|s| s.lock().clone()).collect();
         let mut totals = SwitchCounters::default();
         let mut latency = LatencyHistogram::new();

@@ -275,3 +275,29 @@ fn paced_replay_respects_target_rate() {
         report.elapsed
     );
 }
+
+/// Queue-depth visibility: the gauge family tracks the senders' live
+/// occupancy, and a snapshot refreshes it on `/metrics`.
+#[test]
+fn queue_depth_gauges_track_sender_occupancy() {
+    use p4guard_telemetry::{Telemetry, TelemetryConfig};
+    use std::sync::Arc;
+
+    let (control, _) = build_control();
+    let telemetry = Arc::new(Telemetry::new(TelemetryConfig::default()));
+    let gw = Gateway::start_with_telemetry(
+        &control,
+        GatewayConfig::with_shards(2),
+        Some(Arc::clone(&telemetry)),
+    );
+    assert_eq!(gw.queue_depths(), vec![0, 0]);
+    let snap = gw.snapshot();
+    assert_eq!(snap.shards.len(), 2);
+    let rendered = telemetry.registry.render_prometheus();
+    assert!(
+        rendered.contains("p4guard_queue_depth{shard=\"0\"}"),
+        "missing queue depth gauge:\n{rendered}"
+    );
+    assert!(rendered.contains("p4guard_queue_depth{shard=\"1\"}"));
+    gw.finish();
+}

@@ -116,6 +116,7 @@ fn live_scrape_covers_all_required_families() {
         "p4guard_forward_latency_seconds_bucket",
         "p4guard_forward_latency_seconds_count",
         "p4guard_shards",
+        "p4guard_queue_depth",
     ] {
         assert!(body.contains(family), "missing family {family}:\n{body}");
     }

@@ -221,6 +221,16 @@ pub mod channel {
             self.shared.not_empty.notify_one();
             Ok(())
         }
+
+        /// Number of queued messages (racy; for diagnostics only).
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().unwrap().queue.len()
+        }
+
+        /// Returns `true` when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     impl<T> Receiver<T> {
