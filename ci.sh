@@ -73,6 +73,66 @@ grep -q '^p4guard_frames_received_total' "$SMOKE_DIR/metrics.txt" || {
 kill "$SERVE_PID" 2>/dev/null || true
 wait "$SERVE_PID" 2>/dev/null || true
 
+echo "==> batched replay smoke (fixed seed, time-boxed)"
+# The arena-batched hot path must process the whole trace — /metrics frame
+# totals equal to the generated packet count, with the batch-fill and
+# arena occupancy gauges on the wire — and must not be slower than the
+# per-frame path on the identical scenario.
+timeout 180 "$CLI" serve --shards 2 --seed 1 > "$SMOKE_DIR/perframe.log" 2>&1 || {
+  echo "per-frame serve (batched smoke baseline) failed:" >&2
+  tail -30 "$SMOKE_DIR/perframe.log" >&2
+  exit 1
+}
+timeout 180 "$CLI" serve --batched --batch-size 128 --shards 2 --seed 1 \
+  --metrics-addr 127.0.0.1:0 --hold 60 > "$SMOKE_DIR/batched.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 300); do
+  if grep -q 'holding metrics endpoint' "$SMOKE_DIR/batched.log"; then
+    ADDR=$(sed -n 's|^metrics: listening on http://\([0-9.:]*\)/metrics$|\1|p' "$SMOKE_DIR/batched.log")
+    break
+  fi
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "batched serve exited before holding the metrics endpoint:" >&2
+    cat "$SMOKE_DIR/batched.log" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+if [ -z "$ADDR" ]; then
+  echo "never saw the batched metrics endpoint come up:" >&2
+  cat "$SMOKE_DIR/batched.log" >&2
+  exit 1
+fi
+FRAMES=$(sed -n 's/^no --trace given; generated \([0-9]*\) packets.*/\1/p' "$SMOKE_DIR/batched.log")
+"$CLI" stats --metrics "$ADDR" > "$SMOKE_DIR/batched-metrics.txt"
+RECEIVED=$(awk '/^p4guard_frames_received_total/ { sum += $NF } END { printf "%.0f", sum }' \
+  "$SMOKE_DIR/batched-metrics.txt")
+if [ -z "$FRAMES" ] || [ "$RECEIVED" != "$FRAMES" ]; then
+  echo "batched replay lost frames: generated ${FRAMES:-?}, /metrics received ${RECEIVED:-?}" >&2
+  grep '^p4guard_frames_received_total' "$SMOKE_DIR/batched-metrics.txt" >&2 || true
+  exit 1
+fi
+for family in p4guard_batch_fill p4guard_arena_frames p4guard_arena_batches; do
+  grep -q "^$family" "$SMOKE_DIR/batched-metrics.txt" || {
+    echo "$family missing from batched /metrics:" >&2
+    head -50 "$SMOKE_DIR/batched-metrics.txt" >&2
+    exit 1
+  }
+done
+# Throughput sanity gate: the best replay-half pps of the batched run must
+# be at least the per-frame run's (the full bench target lives in
+# crates/bench/examples/batch_overhead.rs; this is an ordering check).
+PF_PPS=$(sed -n 's/.*(\([0-9]*\) pps offered).*/\1/p' "$SMOKE_DIR/perframe.log" | sort -n | tail -1)
+BA_PPS=$(sed -n 's/.*(\([0-9]*\) pps offered).*/\1/p' "$SMOKE_DIR/batched.log" | sort -n | tail -1)
+if [ -z "$PF_PPS" ] || [ -z "$BA_PPS" ] || [ "$BA_PPS" -lt "$PF_PPS" ]; then
+  echo "batched replay slower than per-frame: batched ${BA_PPS:-?} pps < per-frame ${PF_PPS:-?} pps" >&2
+  exit 1
+fi
+echo "batched $BA_PPS pps >= per-frame $PF_PPS pps, $RECEIVED/$FRAMES frames on /metrics"
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+
 echo "==> adaptation loop smoke (fixed seed, time-boxed)"
 # Drive the full closed loop on a live gateway: a scripted regime shift
 # must complete drift → retrain → shadow → canary → promote, and a

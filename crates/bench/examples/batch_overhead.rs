@@ -1,0 +1,236 @@
+//! Measures the gateway's per-frame ingest path against the arena-batched
+//! hot path on the f4_gateway workload and writes
+//! `results/BENCH_gateway.json`. The ISSUE asks the batched path for
+//! ≥5M pps aggregate while keeping the registry-telemetry cost within 3%
+//! and the open-mirror (shadow sampling) cost within 5% of the batched
+//! baseline.
+//!
+//! ```text
+//! cargo run --release --example batch_overhead [trials]
+//! ```
+
+use bytes::Bytes;
+use p4guard_bench::standard_split;
+use p4guard_dataplane::action::Action;
+use p4guard_dataplane::control::ControlPlane;
+use p4guard_dataplane::key::KeyLayout;
+use p4guard_dataplane::parser::ParserSpec;
+use p4guard_dataplane::switch::Switch;
+use p4guard_dataplane::table::{MatchKind, MatchSpec, Table};
+use p4guard_gateway::{replay, replay_batched, Gateway, GatewayConfig, IngestMode};
+use p4guard_packet::FrameArena;
+use p4guard_telemetry::{Telemetry, TelemetryConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Value;
+use std::sync::Arc;
+use std::time::Instant;
+
+const KEY_WIDTH: usize = 8;
+const SHARDS: usize = 4;
+const ENTRIES: usize = 64;
+
+/// Frames per ingest batch on the batched arm.
+const BATCH_SIZE: usize = 256;
+
+/// Production shadow-sampling stride (same as the adaptation engine).
+const MIRROR_STRIDE: u64 = 4;
+const MIRROR_CAPACITY: usize = 4096;
+/// Samples a shadow gate collects before deciding; the tap closes after
+/// this many, exactly like an `AdaptEngine` evaluation episode (shadow
+/// evaluation is episodic — the tap is never left open indefinitely).
+const SHADOW_SAMPLES: u64 = 2048;
+
+/// Frames replayed per trial; long enough that thread startup, scheduler
+/// jitter, and the episodic shadow window are noise against the per-frame
+/// cost being measured (a batched trial still runs for ~100ms).
+const FRAMES_PER_TRIAL: usize = 500_000;
+
+/// The synthetic one-stage ternary control plane f4_gateway benches.
+fn synthetic_control(entries: usize) -> ControlPlane {
+    let mut rng = StdRng::seed_from_u64(p4guard_bench::BENCH_SEED);
+    let mut sw = Switch::new("bench-gw", ParserSpec::raw_window(64, 14), 1);
+    let mut acl = Table::new(
+        "acl",
+        MatchKind::Ternary,
+        KeyLayout::window(KEY_WIDTH),
+        entries.max(1024),
+        Action::NoOp,
+    );
+    for _ in 0..entries {
+        let value: Vec<u8> = (0..KEY_WIDTH).map(|_| rng.gen()).collect();
+        let mask: Vec<u8> = (0..KEY_WIDTH)
+            .map(|_| if rng.gen::<bool>() { 0xff } else { 0x00 })
+            .collect();
+        acl.insert(MatchSpec::Ternary { value, mask }, Action::Drop, 1)
+            .expect("capacity");
+    }
+    sw.add_stage(acl);
+    ControlPlane::new(sw)
+}
+
+/// What one trial should exercise on top of the bare batched replay.
+#[derive(Clone, Copy, PartialEq)]
+enum Arm {
+    PerFrame,
+    Batched,
+    BatchedTelemetry,
+    BatchedShadow,
+}
+
+/// One replay through a fresh gateway; returns end-to-end pps (dispatch
+/// through drain) and the frames processed.
+fn run_once(frames: &[Bytes], batches: &[p4guard_packet::FrameBatch], arm: Arm) -> (f64, u64) {
+    let control = synthetic_control(ENTRIES);
+    let telemetry = (arm == Arm::BatchedTelemetry)
+        .then(|| Arc::new(Telemetry::new(TelemetryConfig::default())));
+    let gw = Gateway::start_with_telemetry(&control, GatewayConfig::with_shards(SHARDS), telemetry);
+    // Shadow arm: one evaluation episode — the tap opens at the
+    // production stride, a gate thread consumes samples until its quorum,
+    // then closes the tap; the rest of the replay pays only the
+    // closed-tap load. This is the adaptation engine's shadow shape.
+    let drainer = (arm == Arm::BatchedShadow).then(|| {
+        let rx = gw.mirror().open(MIRROR_STRIDE, MIRROR_CAPACITY);
+        let mirror = Arc::clone(gw.mirror());
+        std::thread::spawn(move || {
+            let mut seen = 0u64;
+            while seen < SHADOW_SAMPLES && rx.recv().is_ok() {
+                seen += 1;
+            }
+            mirror.close();
+            while rx.recv().is_ok() {}
+        })
+    });
+    let start = Instant::now();
+    match arm {
+        Arm::PerFrame => {
+            replay(
+                &gw,
+                frames.iter().cycle().take(FRAMES_PER_TRIAL).cloned(),
+                None,
+                IngestMode::Blocking,
+            );
+        }
+        _ => {
+            replay_batched(&gw, batches.iter().cloned(), None, IngestMode::Blocking);
+        }
+    }
+    let mirror = Arc::clone(gw.mirror());
+    let snap = gw.finish();
+    let elapsed = start.elapsed();
+    if let Some(d) = drainer {
+        // Idempotent: unblocks the gate thread if the replay ended before
+        // its quorum (it closes the tap itself otherwise).
+        mirror.close();
+        d.join().expect("drainer");
+    }
+    (
+        snap.totals.received as f64 / elapsed.as_secs_f64(),
+        snap.totals.received,
+    )
+}
+
+/// Median over `trials` runs (robust to a descheduled trial).
+fn median_pps(
+    frames: &[Bytes],
+    batches: &[p4guard_packet::FrameBatch],
+    trials: usize,
+    arm: Arm,
+) -> f64 {
+    let mut samples: Vec<f64> = (0..trials)
+        .map(|_| run_once(frames, batches, arm).0)
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .map(|v| v.parse().expect("trials must be a number"))
+        .unwrap_or(7);
+    let (_, test) = standard_split();
+    let frames: Vec<Bytes> = test.iter().map(|r| r.frame.clone()).collect();
+    // Pre-pack the batched arm's input once; every trial re-sends the same
+    // arena chunks (refcount bumps, no copies), mirroring a zero-copy
+    // capture source.
+    let mut arena = FrameArena::new(p4guard_packet::arena::DEFAULT_CHUNK_CAPACITY);
+    let mut batches = Vec::new();
+    for frame in frames.iter().cycle().take(FRAMES_PER_TRIAL) {
+        arena.push(frame);
+        if arena.pending() >= BATCH_SIZE {
+            batches.push(arena.seal_batch());
+        }
+    }
+    if arena.pending() > 0 {
+        batches.push(arena.seal_batch());
+    }
+    println!(
+        "batch overhead: {} distinct frames cycled to {FRAMES_PER_TRIAL} per trial, \
+         {SHARDS} shards, {BATCH_SIZE}-frame batches, {trials} trials per arm",
+        frames.len()
+    );
+
+    // Warm every arm once, then measure.
+    for arm in [
+        Arm::PerFrame,
+        Arm::Batched,
+        Arm::BatchedTelemetry,
+        Arm::BatchedShadow,
+    ] {
+        run_once(&frames, &batches, arm);
+    }
+    let per_frame_pps = median_pps(&frames, &batches, trials, Arm::PerFrame);
+    let batched_pps = median_pps(&frames, &batches, trials, Arm::Batched);
+    let telemetry_pps = median_pps(&frames, &batches, trials, Arm::BatchedTelemetry);
+    let shadow_pps = median_pps(&frames, &batches, trials, Arm::BatchedShadow);
+    let speedup = batched_pps / per_frame_pps;
+    let telemetry_overhead_pct = (batched_pps - telemetry_pps) / batched_pps * 100.0;
+    let shadow_overhead_pct = (batched_pps - shadow_pps) / batched_pps * 100.0;
+
+    println!("per-frame ingest   : {per_frame_pps:>12.0} pps");
+    println!("batched ingest     : {batched_pps:>12.0} pps ({speedup:.2}x)");
+    println!(
+        "batched + telemetry: {telemetry_pps:>12.0} pps ({telemetry_overhead_pct:.2}% overhead)"
+    );
+    println!("batched + shadow   : {shadow_pps:>12.0} pps ({shadow_overhead_pct:.2}% overhead)");
+
+    let within = telemetry_overhead_pct <= 3.0 && shadow_overhead_pct <= 5.0;
+    let out = Value::Map(vec![
+        ("bench".into(), Value::Str("f4_gateway_batched".into())),
+        ("frames".into(), Value::UInt(FRAMES_PER_TRIAL as u64)),
+        ("shards".into(), Value::UInt(SHARDS as u64)),
+        ("entries".into(), Value::UInt(ENTRIES as u64)),
+        ("batch_size".into(), Value::UInt(BATCH_SIZE as u64)),
+        ("trials".into(), Value::UInt(trials as u64)),
+        ("per_frame_pps".into(), Value::Float(per_frame_pps)),
+        ("batched_pps".into(), Value::Float(batched_pps)),
+        ("speedup".into(), Value::Float(speedup)),
+        ("batched_telemetry_pps".into(), Value::Float(telemetry_pps)),
+        (
+            "telemetry_overhead_pct".into(),
+            Value::Float(telemetry_overhead_pct),
+        ),
+        ("telemetry_budget_pct".into(), Value::Float(3.0)),
+        ("batched_shadow_pps".into(), Value::Float(shadow_pps)),
+        (
+            "shadow_overhead_pct".into(),
+            Value::Float(shadow_overhead_pct),
+        ),
+        ("shadow_budget_pct".into(), Value::Float(5.0)),
+        ("mirror_stride".into(), Value::UInt(MIRROR_STRIDE)),
+        ("target_pps".into(), Value::Float(5_000_000.0)),
+        ("within_budget".into(), Value::Bool(within)),
+    ]);
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write(
+        "results/BENCH_gateway.json",
+        serde_json::to_string_pretty(&out).expect("serialize"),
+    )
+    .expect("write results/BENCH_gateway.json");
+    println!("wrote results/BENCH_gateway.json");
+    if !within {
+        eprintln!("warning: telemetry/shadow overhead exceeds budget on the batched path");
+        std::process::exit(1);
+    }
+}

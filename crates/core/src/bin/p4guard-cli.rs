@@ -45,11 +45,12 @@ const USAGE: &str = "usage:
   p4guard-cli stats    --trace FILE | --metrics ADDR [--events]
   p4guard-cli serve    [--shards N] [--model FILE] [--trace FILE] [--scenario S] [--seed N]
                        [--pps N] [--queue N] [--batch N] [--adapt]
+                       [--batched] [--batch-size N]
                        [--tenants N] [--devices N]
                        [--metrics-addr ADDR] [--hold SECS] [--sample-every N]";
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 3] = ["fast", "events", "adapt"];
+const BOOLEAN_FLAGS: [&str; 4] = ["fast", "events", "adapt", "batched"];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -193,6 +194,11 @@ fn run() -> Result<(), Box<dyn Error>> {
             }
             let pps: Option<f64> = flags.get("pps").map(|v| v.parse()).transpose()?;
             let seed: u64 = flags.get("seed").map_or(Ok(1), |v| v.parse())?;
+            let batched = flags.contains_key("batched");
+            let ingest_batch: usize = flags.get("batch-size").map_or(Ok(128), |v| v.parse())?;
+            if ingest_batch == 0 {
+                return Err("--batch-size must be at least 1".into());
+            }
             if let Some(tenants) = flags.get("tenants") {
                 // Multi-tenant fleet: train one detector per tenant, admit
                 // the rulesets against the shared table budget, and replay
@@ -338,19 +344,24 @@ fn run() -> Result<(), Box<dyn Error>> {
                 None => None,
             };
             println!(
-                "serving {} packets through {} shards (queue {}, batch {}){}",
+                "serving {} packets through {} shards (queue {}, batch {}){}{}",
                 trace.len(),
                 config.shards,
                 config.queue_capacity,
                 config.batch_size,
+                if batched {
+                    format!(" on the batched path (ingest batches of {ingest_batch})")
+                } else {
+                    String::new()
+                },
                 pps.map_or(String::new(), |p| format!(" at {p} pps")),
             );
-            let live = guard.serve_live_observed(
-                &trace,
-                config,
-                pps,
-                observability.as_ref().map(|(t, _)| Arc::clone(t)),
-            )?;
+            let telemetry = observability.as_ref().map(|(t, _)| Arc::clone(t));
+            let live = if batched {
+                guard.serve_live_batched(&trace, config, pps, telemetry, ingest_batch)?
+            } else {
+                guard.serve_live_observed(&trace, config, pps, telemetry)?
+            };
             println!(
                 "first half : {} packets in {:?} ({:.0} pps offered)",
                 live.first_half.offered, live.first_half.elapsed, live.first_half.offered_pps

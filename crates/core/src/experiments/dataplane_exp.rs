@@ -32,6 +32,23 @@ pub struct ThroughputPoint {
     pub drop_fraction: f64,
 }
 
+/// Sharded-gateway throughput on the test trace: the per-frame ingest
+/// path vs the arena-batched hot path, end to end (replay + drain).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GatewayPoint {
+    /// Worker shards.
+    pub shards: usize,
+    /// Frames per ingest [`FrameBatch`](p4guard_packet::arena::FrameBatch)
+    /// on the batched arm.
+    pub ingest_batch: usize,
+    /// End-to-end pps through per-frame ingest.
+    pub per_frame_pps: f64,
+    /// End-to-end pps through batched ingest.
+    pub batched_pps: f64,
+    /// `batched_pps / per_frame_pps`.
+    pub speedup: f64,
+}
+
 /// Result of F4.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ThroughputReport {
@@ -41,6 +58,10 @@ pub struct ThroughputReport {
     pub key_width_sweep: Vec<ThroughputPoint>,
     /// Synthetic sweep over table sizes (fixed 8-byte key).
     pub table_size_sweep: Vec<ThroughputPoint>,
+    /// Sharded gateway, per-frame vs batched ingest (absent in reports
+    /// serialized before the batched hot path existed).
+    #[serde(default)]
+    pub gateway: Option<GatewayPoint>,
 }
 
 fn synthetic_switch(key_width: usize, entries: usize, seed: u64) -> Switch {
@@ -103,10 +124,41 @@ pub fn run_f4(ctx: &ExperimentContext, config: &GuardConfig) -> ThroughputReport
         .iter()
         .map(|&n| measure(8, n))
         .collect();
+
+    // Sharded-gateway comparison: the same trained guard serving the same
+    // test trace, once frame-by-frame and once through arena batches.
+    // Timed around the whole serve (replay, mid-run swap, drain) so both
+    // arms pay identical fixed costs.
+    const GATEWAY_SHARDS: usize = 4;
+    const INGEST_BATCH: usize = 256;
+    let gw_config = p4guard_gateway::GatewayConfig::with_shards(GATEWAY_SHARDS);
+    let t0 = Instant::now();
+    let per_frame = guard
+        .serve_live(&ctx.test, gw_config, None)
+        .expect("per-frame serve");
+    let per_frame_pps = compute_pps(per_frame.snapshot.totals.received as usize, t0.elapsed());
+    let t0 = Instant::now();
+    let batched = guard
+        .serve_live_batched(&ctx.test, gw_config, None, None, INGEST_BATCH)
+        .expect("batched serve");
+    let batched_pps = compute_pps(batched.snapshot.totals.received as usize, t0.elapsed());
+    let gateway = Some(GatewayPoint {
+        shards: GATEWAY_SHARDS,
+        ingest_batch: INGEST_BATCH,
+        per_frame_pps,
+        batched_pps,
+        speedup: if per_frame_pps > 0.0 {
+            batched_pps / per_frame_pps
+        } else {
+            0.0
+        },
+    });
+
     ThroughputReport {
         guard_point,
         key_width_sweep,
         table_size_sweep,
+        gateway,
     }
 }
 
@@ -138,7 +190,15 @@ impl fmt::Display for ThroughputReport {
                 format!("{:.0}", p.pps),
             ]);
         }
-        write!(f, "{table}")
+        write!(f, "{table}")?;
+        if let Some(g) = &self.gateway {
+            writeln!(
+                f,
+                "gateway ({} shards): {:.0} pps per-frame, {:.0} pps batched ({} per batch, {:.2}x)",
+                g.shards, g.per_frame_pps, g.batched_pps, g.ingest_batch, g.speedup
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -432,6 +492,9 @@ mod tests {
         let small = report.table_size_sweep.first().unwrap().pps;
         let large = report.table_size_sweep.last().unwrap().pps;
         assert!(small > large, "small {small} vs large {large}");
+        let gw = report.gateway.expect("gateway point present");
+        assert!(gw.per_frame_pps > 0.0 && gw.batched_pps > 0.0);
+        assert!(report.to_string().contains("pps batched"));
         assert!(report.to_string().contains("F4"));
     }
 

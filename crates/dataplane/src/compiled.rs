@@ -98,7 +98,79 @@ enum Engine {
     /// Ternary: tuple-space search over mask groups.
     TupleSpace(Vec<MaskGroup>),
     /// Fallback for high mask diversity: the original priority scan.
-    Scan(Vec<(MatchSpec, Action)>),
+    Scan(ScanEngine),
+}
+
+/// Widest key (bytes) the scan fallback lowers to u64 words; wider keys
+/// keep the byte-wise scan (they are rare and the stack buffer for key
+/// words stays fixed-size).
+const SCAN_MAX_LOWERED_WIDTH: usize = 32;
+/// Key-word buffer length for the lowered scan.
+const SCAN_MAX_WORDS: usize = SCAN_MAX_LOWERED_WIDTH / 8;
+
+/// The ternary priority scan, plus a word-lowered form when the key is
+/// narrow enough: per entry, `value & mask` and `mask` packed into
+/// little-endian u64 words (trailing bytes zero, so pad bytes always
+/// match). One entry check then costs `ceil(width / 8)` word compares
+/// instead of a byte-wise zip — the dominant per-frame cost for scan
+/// tables collapses roughly eight-fold.
+#[derive(Debug, Clone)]
+struct ScanEngine {
+    entries: Vec<(MatchSpec, Action)>,
+    lowered: Option<LoweredScan>,
+}
+
+#[derive(Debug, Clone)]
+struct LoweredScan {
+    /// u64 words per row: `ceil(width / 8)`.
+    words: usize,
+    /// Row-major pre-masked values (`value & mask`), `words` per entry.
+    value: Vec<u64>,
+    /// Row-major masks, `words` per entry.
+    mask: Vec<u64>,
+}
+
+impl ScanEngine {
+    fn new(entries: Vec<(MatchSpec, Action)>) -> ScanEngine {
+        let lowered = Self::lower(&entries);
+        ScanEngine { entries, lowered }
+    }
+
+    fn lower(entries: &[(MatchSpec, Action)]) -> Option<LoweredScan> {
+        let width = entries.first().map(|(s, _)| s.width())?;
+        if width > SCAN_MAX_LOWERED_WIDTH {
+            return None;
+        }
+        let words = width.div_ceil(8).max(1);
+        let mut value = Vec::with_capacity(entries.len() * words);
+        let mut mask = Vec::with_capacity(entries.len() * words);
+        for (spec, _) in entries {
+            let MatchSpec::Ternary { value: v, mask: m } = spec else {
+                return None;
+            };
+            if v.len() != width {
+                return None;
+            }
+            let masked: Vec<u8> = v.iter().zip(m).map(|(&v, &m)| v & m).collect();
+            let mut vw = [0u64; SCAN_MAX_WORDS];
+            let mut mw = [0u64; SCAN_MAX_WORDS];
+            load_words(&masked, &mut vw[..words]);
+            load_words(m, &mut mw[..words]);
+            value.extend_from_slice(&vw[..words]);
+            mask.extend_from_slice(&mw[..words]);
+        }
+        Some(LoweredScan { words, value, mask })
+    }
+}
+
+/// Packs `bytes` into little-endian u64 words, zero-padding the tail.
+#[inline]
+fn load_words(bytes: &[u8], out: &mut [u64]) {
+    for (w, chunk) in bytes.chunks(8).enumerate() {
+        let mut buf = [0u8; 8];
+        buf[..chunk.len()].copy_from_slice(chunk);
+        out[w] = u64::from_le_bytes(buf);
+    }
 }
 
 /// Ternary tables smaller than this always compile to tuple-space search
@@ -214,7 +286,9 @@ impl CompiledTable {
         // One hash probe per group only pays off when entries share masks;
         // with (almost) all-distinct masks the scan is strictly cheaper.
         if entries.len() >= TUPLE_SPACE_FALLBACK_MIN && groups.len() * 2 > entries.len() {
-            return Engine::Scan(entries.iter().map(|e| (e.spec.clone(), e.action)).collect());
+            return Engine::Scan(ScanEngine::new(
+                entries.iter().map(|e| (e.spec.clone(), e.action)).collect(),
+            ));
         }
         // `min_rank` is the first-seen rank, so first-seen order is already
         // ascending; keep the sort for clarity and future-proofing.
@@ -298,61 +372,88 @@ impl CompiledTable {
         assert!(probe.len() >= width, "probe buffer shorter than key");
         let miss = (self.default_action, LookupOutcome::Miss);
         match &self.engine {
-            Engine::ExactHash(map) => map
-                .get(key)
-                .map_or(miss, |&(rank, action)| (action, LookupOutcome::Hit(rank))),
-            Engine::LpmBuckets(buckets) => {
-                for bucket in buckets {
-                    let nbytes = prefix_bytes(bucket.prefix_len);
-                    mask_prefix_into(key, bucket.prefix_len, &mut probe[..nbytes]);
-                    if let Some(&(rank, action)) = bucket.prefixes.get(&probe[..nbytes]) {
-                        return (action, LookupOutcome::Hit(rank));
-                    }
+            Engine::ExactHash(map) => probe_exact(map, key, miss),
+            Engine::LpmBuckets(buckets) => probe_lpm(buckets, key, probe, miss),
+            Engine::RangeIndex(index) => probe_range(index, key, miss),
+            Engine::TupleSpace(groups) => probe_tuple_space(groups, key, probe, width, miss),
+            Engine::Scan(entries) => probe_scan(entries, key, miss),
+        }
+    }
+
+    /// Looks up a whole batch of keys packed contiguously in `keys` with
+    /// `stride` bytes per key, writing one `(action, outcome)` per key into
+    /// `out` (`out.len()` keys are consumed). Results are identical to
+    /// calling [`CompiledTable::lookup_traced`] per key — the batch form
+    /// exists so the engine dispatch is resolved **once per batch** and the
+    /// per-engine loop runs tight over the contiguous key matrix.
+    ///
+    /// A `stride` different from the compiled key width reports
+    /// [`LookupOutcome::WrongWidth`] for every key, mirroring the
+    /// wrong-width miss of the single-key path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` is shorter than `out.len() * stride` or `probe` is
+    /// shorter than the key width.
+    pub fn lookup_batch(
+        &self,
+        keys: &[u8],
+        stride: usize,
+        probe: &mut [u8],
+        out: &mut [(Action, LookupOutcome)],
+    ) {
+        let width = self.key.width();
+        assert!(
+            keys.len() >= out.len() * stride,
+            "key matrix shorter than out.len() * stride"
+        );
+        if stride != width {
+            out.fill((self.default_action, LookupOutcome::WrongWidth));
+            return;
+        }
+        assert!(probe.len() >= width, "probe buffer shorter than key");
+        let miss = (self.default_action, LookupOutcome::Miss);
+        let key_at = |j: usize| &keys[j * stride..j * stride + width];
+        match &self.engine {
+            Engine::ExactHash(map) => {
+                for (j, o) in out.iter_mut().enumerate() {
+                    *o = probe_exact(map, key_at(j), miss);
                 }
-                miss
+            }
+            Engine::LpmBuckets(buckets) => {
+                for (j, o) in out.iter_mut().enumerate() {
+                    *o = probe_lpm(buckets, key_at(j), probe, miss);
+                }
             }
             Engine::RangeIndex(index) => {
-                for &rank in &index.buckets[key[0] as usize] {
-                    let (lo, hi, action) = &index.entries[rank as usize];
-                    if key
-                        .iter()
-                        .zip(lo)
-                        .zip(hi)
-                        .all(|((&k, &l), &h)| k >= l && k <= h)
-                    {
-                        return (*action, LookupOutcome::Hit(rank));
-                    }
+                for (j, o) in out.iter_mut().enumerate() {
+                    *o = probe_range(index, key_at(j), miss);
                 }
-                miss
             }
             Engine::TupleSpace(groups) => {
-                let mut best: Option<(Rank, Action)> = None;
-                for group in groups {
-                    if let Some((rank, _)) = best {
-                        // Every entry in this and all later groups ranks
-                        // worse than the current winner: stop probing.
-                        if rank < group.min_rank {
-                            break;
-                        }
-                    }
-                    for ((slot, &k), &m) in probe[..width].iter_mut().zip(key).zip(&group.mask) {
-                        *slot = k & m;
-                    }
-                    if let Some(&(rank, action)) = group.slots.get(&probe[..width]) {
-                        if best.is_none_or(|(r, _)| rank < r) {
-                            best = Some((rank, action));
-                        }
+                for (j, o) in out.iter_mut().enumerate() {
+                    *o = probe_tuple_space(groups, key_at(j), probe, width, miss);
+                }
+            }
+            Engine::Scan(engine) => match &engine.lowered {
+                Some(lowered) => {
+                    let mut kw = [0u64; SCAN_MAX_WORDS];
+                    for (j, o) in out.iter_mut().enumerate() {
+                        load_words(key_at(j), &mut kw[..lowered.words]);
+                        *o = probe_scan_lowered(
+                            lowered,
+                            &engine.entries,
+                            &kw[..lowered.words],
+                            miss,
+                        );
                     }
                 }
-                best.map_or(miss, |(rank, action)| (action, LookupOutcome::Hit(rank)))
-            }
-            Engine::Scan(entries) => entries
-                .iter()
-                .enumerate()
-                .find(|(_, (spec, _))| spec.matches(key))
-                .map_or(miss, |(rank, &(_, action))| {
-                    (action, LookupOutcome::Hit(rank as Rank))
-                }),
+                None => {
+                    for (j, o) in out.iter_mut().enumerate() {
+                        *o = probe_scan_bytes(&engine.entries, key_at(j), miss);
+                    }
+                }
+            },
         }
     }
 
@@ -362,6 +463,136 @@ impl CompiledTable {
         let mut probe = vec![0u8; self.key.width()];
         self.lookup(key, &mut probe)
     }
+}
+
+// Per-engine single-key probes, shared verbatim by the single-key and
+// batched lookup paths so their semantics cannot drift apart.
+
+#[inline]
+fn probe_exact(
+    map: &HashMap<Vec<u8>, (Rank, Action)>,
+    key: &[u8],
+    miss: (Action, LookupOutcome),
+) -> (Action, LookupOutcome) {
+    map.get(key)
+        .map_or(miss, |&(rank, action)| (action, LookupOutcome::Hit(rank)))
+}
+
+#[inline]
+fn probe_lpm(
+    buckets: &[LpmBucket],
+    key: &[u8],
+    probe: &mut [u8],
+    miss: (Action, LookupOutcome),
+) -> (Action, LookupOutcome) {
+    for bucket in buckets {
+        let nbytes = prefix_bytes(bucket.prefix_len);
+        mask_prefix_into(key, bucket.prefix_len, &mut probe[..nbytes]);
+        if let Some(&(rank, action)) = bucket.prefixes.get(&probe[..nbytes]) {
+            return (action, LookupOutcome::Hit(rank));
+        }
+    }
+    miss
+}
+
+#[inline]
+fn probe_range(
+    index: &RangeIndex,
+    key: &[u8],
+    miss: (Action, LookupOutcome),
+) -> (Action, LookupOutcome) {
+    for &rank in &index.buckets[key[0] as usize] {
+        let (lo, hi, action) = &index.entries[rank as usize];
+        if key
+            .iter()
+            .zip(lo)
+            .zip(hi)
+            .all(|((&k, &l), &h)| k >= l && k <= h)
+        {
+            return (*action, LookupOutcome::Hit(rank));
+        }
+    }
+    miss
+}
+
+#[inline]
+fn probe_tuple_space(
+    groups: &[MaskGroup],
+    key: &[u8],
+    probe: &mut [u8],
+    width: usize,
+    miss: (Action, LookupOutcome),
+) -> (Action, LookupOutcome) {
+    let mut best: Option<(Rank, Action)> = None;
+    for group in groups {
+        if let Some((rank, _)) = best {
+            // Every entry in this and all later groups ranks worse than
+            // the current winner: stop probing.
+            if rank < group.min_rank {
+                break;
+            }
+        }
+        for ((slot, &k), &m) in probe[..width].iter_mut().zip(key).zip(&group.mask) {
+            *slot = k & m;
+        }
+        if let Some(&(rank, action)) = group.slots.get(&probe[..width]) {
+            if best.is_none_or(|(r, _)| rank < r) {
+                best = Some((rank, action));
+            }
+        }
+    }
+    best.map_or(miss, |(rank, action)| (action, LookupOutcome::Hit(rank)))
+}
+
+#[inline]
+fn probe_scan(
+    engine: &ScanEngine,
+    key: &[u8],
+    miss: (Action, LookupOutcome),
+) -> (Action, LookupOutcome) {
+    if let Some(lowered) = &engine.lowered {
+        let mut kw = [0u64; SCAN_MAX_WORDS];
+        load_words(key, &mut kw[..lowered.words]);
+        return probe_scan_lowered(lowered, &engine.entries, &kw[..lowered.words], miss);
+    }
+    probe_scan_bytes(&engine.entries, key, miss)
+}
+
+/// The original byte-wise priority scan (wide keys and non-ternary specs).
+#[inline]
+fn probe_scan_bytes(
+    entries: &[(MatchSpec, Action)],
+    key: &[u8],
+    miss: (Action, LookupOutcome),
+) -> (Action, LookupOutcome) {
+    entries
+        .iter()
+        .enumerate()
+        .find(|(_, (spec, _))| spec.matches(key))
+        .map_or(miss, |(rank, &(_, action))| {
+            (action, LookupOutcome::Hit(rank as Rank))
+        })
+}
+
+/// Word-level scan over the lowered rows: first match in rank order wins,
+/// identical to [`probe_scan_bytes`] on the source entries.
+#[inline]
+fn probe_scan_lowered(
+    lowered: &LoweredScan,
+    entries: &[(MatchSpec, Action)],
+    key_words: &[u64],
+    miss: (Action, LookupOutcome),
+) -> (Action, LookupOutcome) {
+    let words = lowered.words;
+    for (rank, (_, action)) in entries.iter().enumerate() {
+        let base = rank * words;
+        let hit =
+            (0..words).all(|w| key_words[w] & lowered.mask[base + w] == lowered.value[base + w]);
+        if hit {
+            return (*action, LookupOutcome::Hit(rank as Rank));
+        }
+    }
+    miss
 }
 
 /// Number of bytes a `prefix_len`-bit prefix occupies.
@@ -650,6 +881,79 @@ mod tests {
                 c.lookup_traced(&[b], &mut probe).0
             );
         }
+    }
+
+    #[test]
+    fn lookup_batch_matches_single_key_path_across_engines() {
+        // One table per engine family; every 1-byte key checked both ways.
+        let mut exact = table(MatchKind::Exact, 1, 32);
+        let mut lpm = table(MatchKind::Lpm, 1, 32);
+        let mut range = table(MatchKind::Range, 1, 32);
+        let mut ternary = table(MatchKind::Ternary, 1, 32);
+        for i in 0..8u8 {
+            exact
+                .insert(MatchSpec::Exact(vec![i * 31]), Action::Forward(i.into()), 0)
+                .unwrap();
+            lpm.insert(
+                MatchSpec::Lpm {
+                    value: vec![i << 5],
+                    prefix_len: usize::from(i % 8) + 1,
+                },
+                Action::Forward(i.into()),
+                0,
+            )
+            .unwrap();
+            range
+                .insert(
+                    MatchSpec::Range {
+                        lo: vec![i * 20],
+                        hi: vec![i * 20 + 30],
+                    },
+                    Action::Forward(i.into()),
+                    i.into(),
+                )
+                .unwrap();
+            ternary
+                .insert(
+                    MatchSpec::Ternary {
+                        value: vec![i],
+                        mask: vec![if i % 2 == 0 { 0x0f } else { 0xf0 }],
+                    },
+                    Action::Forward(i.into()),
+                    i.into(),
+                )
+                .unwrap();
+        }
+        for t in [&exact, &lpm, &range, &ternary] {
+            let c = CompiledTable::compile(t);
+            let keys: Vec<u8> = (0..=255u8).collect();
+            let mut probe = [0u8; 1];
+            let mut batch = vec![(Action::NoOp, LookupOutcome::Miss); keys.len()];
+            c.lookup_batch(&keys, 1, &mut probe, &mut batch);
+            for (b, &k) in keys.iter().enumerate() {
+                assert_eq!(
+                    batch[b],
+                    c.lookup_traced(&[k], &mut probe),
+                    "{} key {k:#x}",
+                    c.strategy()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_batch_wrong_stride_reports_wrong_width() {
+        let mut t = table(MatchKind::Exact, 2, 8);
+        t.insert(MatchSpec::Exact(vec![1, 2]), Action::Drop, 0)
+            .unwrap();
+        let c = CompiledTable::compile(&t);
+        let keys = [1u8, 2, 3];
+        let mut probe = [0u8; 2];
+        let mut out = [(Action::Drop, LookupOutcome::Miss); 3];
+        c.lookup_batch(&keys, 1, &mut probe, &mut out);
+        assert!(out
+            .iter()
+            .all(|&o| o == (Action::NoOp, LookupOutcome::WrongWidth)));
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub use compiled::{CompiledTable, LookupOutcome, Rank};
 pub use control::{ControlPlane, InstallReport, PublishReport};
 pub use key::KeyLayout;
 pub use parser::ParserSpec;
-pub use pipeline::{PipelineCell, ReadPipeline};
+pub use pipeline::{BatchScratch, PipelineCell, ReadPipeline};
 pub use resources::{SwitchResources, TableUsage};
 pub use switch::{compute_pps, RunStats, Switch, SwitchCounters};
 pub use table::{EntryHandle, MatchKind, MatchSpec, Table, TableError};

@@ -249,6 +249,56 @@ impl ParserSpec {
     pub fn min_len(&self) -> usize {
         self.min_len
     }
+
+    /// Whether `frame` parses to accept — the hot-path form of
+    /// [`ParserSpec::parse`]: the identical accept/reject decision with no
+    /// path vector, state-name clones, or visited map. The forwarding
+    /// loops call this once per frame; `parse` stays for diagnostics and
+    /// tests that want the walked path.
+    #[inline]
+    pub fn accepts(&self, frame: &[u8]) -> bool {
+        if frame.len() < self.min_len {
+            return false;
+        }
+        let mut cursor = 0usize;
+        let mut state_idx = 0usize;
+        let mut steps = 0usize;
+        loop {
+            // Cycle guard without a visited map: walking more states than
+            // exist means some state repeated (pigeonhole), which is
+            // exactly when `parse` rejects a malformed graph.
+            steps += 1;
+            if steps > self.states.len() {
+                return false;
+            }
+            let state = &self.states[state_idx];
+            cursor = (cursor + state.extract).min(frame.len());
+            match &state.select {
+                None => return true,
+                Some(sel) => {
+                    let end = sel.offset + sel.width;
+                    if end > cursor {
+                        return false;
+                    }
+                    let mut value = 0u64;
+                    for &b in &frame[sel.offset..end] {
+                        value = (value << 8) | u64::from(b);
+                    }
+                    let target = sel
+                        .cases
+                        .iter()
+                        .find(|(v, _)| *v == value)
+                        .map(|(_, t)| *t)
+                        .unwrap_or(sel.default);
+                    match target {
+                        StateTarget::State(i) => state_idx = i,
+                        StateTarget::Accept => return true,
+                        StateTarget::Reject => return false,
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -309,6 +359,46 @@ mod tests {
         let spec = ParserSpec::ethernet_ipv4();
         let out = spec.parse(&[0u8; 10]);
         assert!(!out.accepted);
+    }
+
+    #[test]
+    fn accepts_agrees_with_parse_on_every_frame_family() {
+        let specs = [
+            ParserSpec::raw_window(64, 20),
+            ParserSpec::raw_window(8, 1),
+            ParserSpec::ethernet_ipv4(),
+        ];
+        let b = PacketBuilder::new(MacAddr::from_id(1), MacAddr::from_id(2));
+        let tcp = b.tcp(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            TcpHeader::new(1, 2, 0, 0, TcpFlags::SYN),
+            &[],
+        );
+        let mut unknown = vec![0u8; 64];
+        unknown[12] = 0x12;
+        unknown[13] = 0x34;
+        let mut zwire = vec![0u8; 40];
+        zwire[12] = 0x88;
+        zwire[13] = 0xb5;
+        let frames: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![0u8; 10],
+            vec![0u8; 100],
+            tcp.to_vec(),
+            unknown,
+            zwire,
+        ];
+        for spec in &specs {
+            for frame in &frames {
+                assert_eq!(
+                    spec.accepts(frame),
+                    spec.parse(frame).accepted,
+                    "accepts() must match parse() on a {}-byte frame",
+                    frame.len()
+                );
+            }
+        }
     }
 
     #[test]

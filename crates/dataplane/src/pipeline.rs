@@ -18,6 +18,7 @@ use crate::compiled::{CompiledTable, LookupOutcome, Rank};
 use crate::parser::ParserSpec;
 use crate::switch::SwitchCounters;
 use crate::table::Table;
+use p4guard_packet::arena::FrameSpan;
 use p4guard_telemetry::{DropReason, NoopSink, TelemetrySink, VerdictKind};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -121,7 +122,7 @@ impl ReadPipeline {
         sink: &mut S,
     ) -> Verdict {
         counters.received += 1;
-        if !self.parser.parse(frame).accepted {
+        if !self.parser.accepts(frame) {
             counters.parser_rejected += 1;
             sink.drop_frame(DropReason::ParserRejected);
             sink.verdict(VerdictKind::ParserReject, frame, None);
@@ -171,6 +172,153 @@ impl ReadPipeline {
         Verdict::Forward(out_port)
     }
 
+    /// Processes a whole batch of frames (contiguous `data` + one
+    /// [`FrameSpan`] per frame) through tight staged loops: batch parse →
+    /// batch key-extract into a contiguous key matrix → batch lookup via
+    /// [`CompiledTable::lookup_batch`] — with one verdict appended to
+    /// `verdicts` per frame, in frame order.
+    ///
+    /// Results are **bit-identical** to calling
+    /// [`ReadPipeline::process_with`] once per frame: counters accumulate to
+    /// the same totals, `verdicts` matches the per-frame verdict sequence,
+    /// and sink `drop_frame`/`verdict` reports are emitted in frame order
+    /// (in a deferred pass after the staged loops) so even positional
+    /// samplers like the flight recorder observe the same stream. Per-stage
+    /// `table_lookup` reports are emitted stage-major — they are pure
+    /// counts, so their totals are unchanged.
+    ///
+    /// Frames that drop at stage *k* leave the alive set and cost nothing
+    /// in stages *k+1..*, exactly like the per-frame early return.
+    pub fn process_batch_with<S: TelemetrySink>(
+        &self,
+        data: &[u8],
+        spans: &[FrameSpan],
+        counters: &mut SwitchCounters,
+        scratch: &mut BatchScratch,
+        verdicts: &mut Vec<Verdict>,
+        sink: &mut S,
+    ) {
+        let n = spans.len();
+        counters.received += n as u64;
+        scratch.reset(n, self.max_key_width, self.default_port);
+        let frame_of = |s: &FrameSpan| &data[s.offset as usize..s.end()];
+
+        // Stage 0: batch parse. Rejected frames never enter the alive set.
+        for (i, span) in spans.iter().enumerate() {
+            if self.parser.accepts(frame_of(span)) {
+                scratch.alive.push(i as u32);
+            } else {
+                counters.parser_rejected += 1;
+                scratch.state[i] = FrameState::ParserReject;
+            }
+        }
+
+        for (stage, table) in self.stages.iter().enumerate() {
+            if scratch.alive.is_empty() {
+                break;
+            }
+            let width = table.key().width();
+            let alive_len = scratch.alive.len();
+            // Batch key extraction: one contiguous row per alive frame, so
+            // the extraction loop touches the key matrix strictly forward.
+            scratch.keys.clear();
+            scratch.keys.resize(alive_len * width, 0);
+            for (j, &i) in scratch.alive.iter().enumerate() {
+                table.key().build_key_into(
+                    frame_of(&spans[i as usize]),
+                    &mut scratch.keys[j * width..(j + 1) * width],
+                );
+            }
+            scratch.lookups.clear();
+            scratch
+                .lookups
+                .resize(alive_len, (Action::NoOp, LookupOutcome::Miss));
+            table.lookup_batch(
+                &scratch.keys,
+                width,
+                &mut scratch.probe,
+                &mut scratch.lookups,
+            );
+            // Apply actions, compacting the alive set in place.
+            let mut kept = 0usize;
+            for j in 0..alive_len {
+                let i = scratch.alive[j] as usize;
+                let (action, outcome) = scratch.lookups[j];
+                if let LookupOutcome::Hit(rank) = outcome {
+                    sink.table_lookup(stage, true);
+                    scratch.matched[i] = Some((stage, rank));
+                } else {
+                    sink.table_lookup(stage, false);
+                }
+                match action {
+                    Action::Drop => {
+                        counters.dropped += 1;
+                        scratch.state[i] = FrameState::Drop(match outcome {
+                            LookupOutcome::Hit(_) => DropReason::RuleDrop,
+                            LookupOutcome::Miss => DropReason::NoRule,
+                            LookupOutcome::WrongWidth => DropReason::WrongWidth,
+                        });
+                        continue;
+                    }
+                    Action::Forward(p) => scratch.out_port[i] = p,
+                    Action::Mirror(_) => counters.mirrored += 1,
+                    Action::Count(c) => {
+                        let idx = c as usize;
+                        if counters.user.len() <= idx {
+                            counters.user.resize(idx + 1, 0);
+                        }
+                        counters.user[idx] += 1;
+                    }
+                    Action::NoOp => {}
+                }
+                scratch.alive[kept] = i as u32;
+                kept += 1;
+            }
+            scratch.alive.truncate(kept);
+        }
+
+        for &i in &scratch.alive {
+            counters.forwarded += 1;
+            scratch.state[i as usize] = FrameState::Forward;
+        }
+
+        // Deferred frame-order pass: emit drop/verdict reports and the
+        // verdict sequence exactly as the per-frame path would have.
+        verdicts.reserve(n);
+        for (i, span) in spans.iter().enumerate() {
+            let frame = frame_of(span);
+            let v = match scratch.state[i] {
+                FrameState::ParserReject => {
+                    sink.drop_frame(DropReason::ParserRejected);
+                    sink.verdict(VerdictKind::ParserReject, frame, None);
+                    Verdict::ParserReject
+                }
+                FrameState::Drop(reason) => {
+                    sink.drop_frame(reason);
+                    sink.verdict(VerdictKind::Drop, frame, scratch.matched[i]);
+                    Verdict::Drop
+                }
+                FrameState::Forward => {
+                    sink.verdict(VerdictKind::Forward, frame, scratch.matched[i]);
+                    Verdict::Forward(scratch.out_port[i])
+                }
+            };
+            verdicts.push(v);
+        }
+    }
+
+    /// [`ReadPipeline::process_batch_with`] without telemetry.
+    pub fn process_batch_into(
+        &self,
+        data: &[u8],
+        spans: &[FrameSpan],
+        counters: &mut SwitchCounters,
+        scratch: &mut BatchScratch,
+        verdicts: &mut Vec<Verdict>,
+    ) {
+        self.process_batch_with(data, spans, counters, scratch, verdicts, &mut NoopSink)
+    }
+
     /// `(stage index, table name)` pairs for telemetry sinks rebuilding
     /// their per-stage series after a swap.
     pub fn stage_names(&self) -> Vec<(usize, String)> {
@@ -179,6 +327,63 @@ impl ReadPipeline {
             .enumerate()
             .map(|(i, t)| (i, t.name().to_string()))
             .collect()
+    }
+}
+
+/// Per-frame terminal state tracked by [`BatchScratch`] between the staged
+/// loops and the deferred frame-order report pass.
+#[derive(Debug, Clone, Copy)]
+enum FrameState {
+    /// Rejected by the parser.
+    ParserReject,
+    /// Dropped by a stage, with the refined reason.
+    Drop(DropReason),
+    /// Survived all stages.
+    Forward,
+}
+
+/// Reusable working memory for [`ReadPipeline::process_batch_with`].
+///
+/// All vectors grow to the high-water batch size once and are reused across
+/// batches, so the steady-state batched hot loop allocates nothing. One
+/// scratch belongs to one worker; it carries no state across batches.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    /// Contiguous key matrix: `alive.len()` rows of the current stage's
+    /// key width.
+    keys: Vec<u8>,
+    /// Masked-probe buffer shared by all lookups (max key width).
+    probe: Vec<u8>,
+    /// Per-alive-frame lookup results for the current stage.
+    lookups: Vec<(Action, LookupOutcome)>,
+    /// Indices of frames still flowing through the stages.
+    alive: Vec<u32>,
+    /// Terminal state per frame.
+    state: Vec<FrameState>,
+    /// Egress port per frame (tracks the last `Forward` action).
+    out_port: Vec<u16>,
+    /// Winning `(stage, rank)` per frame, for verdict reports.
+    matched: Vec<Option<(usize, Rank)>>,
+}
+
+impl BatchScratch {
+    /// Creates an empty scratch; buffers size themselves on first use.
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+
+    fn reset(&mut self, n: usize, max_key_width: usize, default_port: u16) {
+        self.alive.clear();
+        self.alive.reserve(n);
+        self.state.clear();
+        self.state.resize(n, FrameState::Forward);
+        self.out_port.clear();
+        self.out_port.resize(n, default_port);
+        self.matched.clear();
+        self.matched.resize(n, None);
+        if self.probe.len() < max_key_width {
+            self.probe.resize(max_key_width, 0);
+        }
     }
 }
 
@@ -300,6 +505,83 @@ mod tests {
         let mut scratch = vec![0u8; pipeline.scratch_len()];
         pipeline.process_into(&[0xaa, 0, 0, 0], &mut counters, &mut scratch);
         assert_eq!(scratch.len(), pipeline.scratch_len());
+    }
+
+    #[test]
+    fn batched_processing_matches_per_frame_path() {
+        let sw = switch_with_acl();
+        let pipeline = sw.read_pipeline(1);
+        // Mix of forwards, rule drops, and short frames.
+        let mut arena = p4guard_packet::arena::FrameArena::new(1024);
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        for i in 0..64u8 {
+            let frame = if i % 5 == 0 {
+                vec![0xbb, i, 0, 0, 0, 0, 0, 0]
+            } else if i % 11 == 0 {
+                vec![i, i] // too short for the 8-byte parser window
+            } else {
+                vec![i.wrapping_mul(7), i, 0, 0, 0, 0, 0, 0]
+            };
+            arena.push(&frame);
+            frames.push(frame);
+        }
+        let batch = arena.seal_batch();
+
+        let mut per_counters = SwitchCounters::default();
+        let mut scratch = Vec::new();
+        let per_verdicts: Vec<Verdict> = frames
+            .iter()
+            .map(|f| pipeline.process_into(f, &mut per_counters, &mut scratch))
+            .collect();
+
+        let mut batch_counters = SwitchCounters::default();
+        let mut batch_scratch = BatchScratch::new();
+        let mut batch_verdicts = Vec::new();
+        pipeline.process_batch_into(
+            batch.data(),
+            batch.spans(),
+            &mut batch_counters,
+            &mut batch_scratch,
+            &mut batch_verdicts,
+        );
+        assert_eq!(batch_verdicts, per_verdicts);
+        assert_eq!(batch_counters, per_counters);
+    }
+
+    #[test]
+    fn batched_scratch_is_reusable_across_batches() {
+        let sw = switch_with_acl();
+        let pipeline = sw.read_pipeline(1);
+        let mut arena = p4guard_packet::arena::FrameArena::new(256);
+        arena.push(&[0x01, 0, 0, 0, 0, 0, 0, 0]);
+        let first = arena.seal_batch();
+        arena.push(&[0xbb, 0, 0, 0, 0, 0, 0, 0]);
+        arena.push(&[0x02, 0, 0, 0, 0, 0, 0, 0]);
+        let second = arena.seal_batch();
+        let mut counters = SwitchCounters::default();
+        let mut scratch = BatchScratch::new();
+        let mut verdicts = Vec::new();
+        pipeline.process_batch_into(
+            first.data(),
+            first.spans(),
+            &mut counters,
+            &mut scratch,
+            &mut verdicts,
+        );
+        pipeline.process_batch_into(
+            second.data(),
+            second.spans(),
+            &mut counters,
+            &mut scratch,
+            &mut verdicts,
+        );
+        assert_eq!(
+            verdicts,
+            [Verdict::Forward(1), Verdict::Drop, Verdict::Forward(1)]
+        );
+        assert_eq!(counters.received, 3);
+        assert_eq!(counters.dropped, 1);
+        assert_eq!(counters.forwarded, 2);
     }
 
     #[test]

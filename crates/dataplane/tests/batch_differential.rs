@@ -1,0 +1,201 @@
+//! Differential property suite pinning the batched pipeline path to the
+//! per-frame path: for randomized rulesets (all four match kinds, priority
+//! ties, multiple stages) and randomized frame batches — including
+//! parser-rejected runts — `process_batch_with` must produce the same
+//! verdict sequence, the same counter totals, the same per-reason drop
+//! counts, the same per-table hit counters, and the same frame-order
+//! verdict report stream as calling `process_with` once per frame.
+
+use p4guard_dataplane::action::{Action, Verdict};
+use p4guard_dataplane::key::KeyLayout;
+use p4guard_dataplane::parser::ParserSpec;
+use p4guard_dataplane::pipeline::BatchScratch;
+use p4guard_dataplane::switch::{Switch, SwitchCounters};
+use p4guard_dataplane::table::{MatchKind, MatchSpec, Table};
+use p4guard_packet::arena::FrameArena;
+use p4guard_telemetry::{DropReason, TelemetrySink, VerdictKind};
+use proptest::collection;
+use proptest::prelude::*;
+
+const KINDS: [MatchKind; 4] = [
+    MatchKind::Exact,
+    MatchKind::Ternary,
+    MatchKind::Lpm,
+    MatchKind::Range,
+];
+
+fn action_for(selector: u8) -> Action {
+    match selector % 6 {
+        0 | 5 => Action::Drop,
+        1 => Action::Forward(u16::from(selector)),
+        2 => Action::Mirror(u16::from(selector)),
+        3 => Action::Count(u32::from(selector) % 4),
+        _ => Action::NoOp,
+    }
+}
+
+fn spec_for(kind: MatchKind, width: usize, a: &[u8], b: &[u8], plen: usize) -> MatchSpec {
+    let a = &a[..width];
+    let b = &b[..width];
+    match kind {
+        MatchKind::Exact => MatchSpec::Exact(a.to_vec()),
+        MatchKind::Ternary => MatchSpec::Ternary {
+            value: a.to_vec(),
+            mask: b
+                .iter()
+                .map(|&m| [0x00, 0x0f, 0xf0, 0xff][m as usize % 4])
+                .collect(),
+        },
+        MatchKind::Lpm => MatchSpec::Lpm {
+            value: a.to_vec(),
+            prefix_len: plen % (width * 8 + 1),
+        },
+        MatchKind::Range => MatchSpec::Range {
+            lo: a.iter().zip(b).map(|(&x, &y)| x.min(y)).collect(),
+            hi: a.iter().zip(b).map(|(&x, &y)| x.max(y)).collect(),
+        },
+    }
+}
+
+/// A sink that records every report verbatim, so the test can compare the
+/// exact call streams (order included for `drop_frame`/`verdict`, the
+/// frame-order reports; totals for the count-only `table_lookup`).
+#[derive(Debug, Default, PartialEq)]
+struct RecordingSink {
+    table_lookups: Vec<(usize, bool)>,
+    drops: Vec<DropReason>,
+    verdicts: Vec<VerdictRecord>,
+    batch_ends: usize,
+}
+
+/// One recorded `verdict` call: kind, frame digest, matched (stage, rank).
+type VerdictRecord = (VerdictKind, u64, Option<(usize, u32)>);
+
+impl TelemetrySink for RecordingSink {
+    fn table_lookup(&mut self, stage: usize, hit: bool) {
+        self.table_lookups.push((stage, hit));
+    }
+    fn drop_frame(&mut self, reason: DropReason) {
+        self.drops.push(reason);
+    }
+    fn verdict(&mut self, verdict: VerdictKind, frame: &[u8], matched: Option<(usize, u32)>) {
+        self.verdicts
+            .push((verdict, p4guard_telemetry::frame_digest(frame), matched));
+    }
+    fn batch_end(&mut self) {
+        self.batch_ends += 1;
+    }
+}
+
+/// Sorted copy: `table_lookup` totals must match but the batched path emits
+/// them stage-major rather than frame-major.
+fn lookup_totals(calls: &[(usize, bool)]) -> Vec<(usize, bool, usize)> {
+    let mut sorted = calls.to_vec();
+    sorted.sort_unstable();
+    let mut out: Vec<(usize, bool, usize)> = Vec::new();
+    for &(stage, hit) in &sorted {
+        match out.last_mut() {
+            Some((s, h, n)) if *s == stage && *h == hit => *n += 1,
+            _ => out.push((stage, hit, 1)),
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn batched_path_equals_per_frame_path(
+        stage_raws in collection::vec(
+            (
+                0usize..4, // kind selector
+                1usize..=3, // key width
+                collection::vec(
+                    (
+                        (
+                            collection::vec(any::<u8>(), 3usize),
+                            collection::vec(any::<u8>(), 3usize),
+                        ),
+                        (0i32..3, any::<u8>(), 0usize..=24),
+                    ),
+                    0..10,
+                ),
+                any::<u8>(), // default action selector
+            ),
+            1..3,
+        ),
+        raw_frames in collection::vec(collection::vec(any::<u8>(), 0..10), 1..40,),
+        batch_cut in any::<u16>(),
+    ) {
+        // Parser accepts frames of >= 2 bytes; shorter ones are rejected,
+        // exercising the ParserReject lane of the batch.
+        let mut sw = Switch::new("prop", ParserSpec::raw_window(2, 1), 9);
+        for (kind_sel, width, raws, default_sel) in &stage_raws {
+            let kind = KINDS[*kind_sel];
+            let mut table = Table::new(
+                "t",
+                kind,
+                KeyLayout::window(*width),
+                raws.len().max(1),
+                action_for(*default_sel),
+            );
+            for ((a, b), (priority, action_sel, plen)) in raws {
+                table
+                    .insert(
+                        spec_for(kind, *width, a, b, *plen),
+                        action_for(*action_sel),
+                        *priority,
+                    )
+                    .expect("generated specs are valid");
+            }
+            sw.add_stage(table);
+        }
+        let pipeline = sw.read_pipeline(1);
+
+        // Per-frame reference run.
+        let mut per_counters = SwitchCounters::default();
+        let mut per_sink = RecordingSink::default();
+        let mut scratch = Vec::new();
+        let per_verdicts: Vec<Verdict> = raw_frames
+            .iter()
+            .map(|f| pipeline.process_with(f, &mut per_counters, &mut scratch, &mut per_sink))
+            .collect();
+
+        // Batched run, split into two batches at an arbitrary cut so the
+        // scratch-reuse path across batch boundaries is also covered.
+        let cut = usize::from(batch_cut) % raw_frames.len();
+        let mut arena = FrameArena::new(256);
+        let mut batches = Vec::new();
+        for (i, f) in raw_frames.iter().enumerate() {
+            arena.push(f);
+            if i + 1 == cut {
+                batches.push(arena.seal_batch());
+            }
+        }
+        batches.push(arena.seal_batch());
+
+        let mut batch_counters = SwitchCounters::default();
+        let mut batch_sink = RecordingSink::default();
+        let mut batch_scratch = BatchScratch::new();
+        let mut batch_verdicts = Vec::new();
+        for batch in &batches {
+            pipeline.process_batch_with(
+                batch.data(),
+                batch.spans(),
+                &mut batch_counters,
+                &mut batch_scratch,
+                &mut batch_verdicts,
+                &mut batch_sink,
+            );
+        }
+
+        prop_assert_eq!(&batch_verdicts, &per_verdicts, "verdict sequence");
+        prop_assert_eq!(&batch_counters, &per_counters, "counter totals");
+        prop_assert_eq!(&batch_sink.drops, &per_sink.drops, "drop report order");
+        prop_assert_eq!(&batch_sink.verdicts, &per_sink.verdicts, "verdict report order");
+        prop_assert_eq!(
+            lookup_totals(&batch_sink.table_lookups),
+            lookup_totals(&per_sink.table_lookups),
+            "per-table hit counters"
+        );
+    }
+}

@@ -20,9 +20,11 @@
 use crate::tenant::{TenantClassifier, TenantRegistry};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use p4guard_dataplane::pipeline::PipelineCell;
+use p4guard_dataplane::pipeline::{BatchScratch, PipelineCell};
 use p4guard_dataplane::switch::SwitchCounters;
-use p4guard_gateway::{shard_for, GatewayConfig, LatencyHistogram};
+use p4guard_dataplane::Verdict;
+use p4guard_gateway::{shard_for, GatewayConfig, Ingest, LatencyHistogram};
+use p4guard_packet::arena::FrameBatch;
 use p4guard_telemetry::{Counter, DropReason, Event, Gauge, Telemetry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -51,6 +53,12 @@ pub struct FleetShardStats {
     pub swaps_seen: u64,
     /// Version last processed with, per tenant.
     pub tenant_versions: Vec<u64>,
+    /// Frames that arrived packed in [`FrameBatch`] messages.
+    #[serde(default)]
+    pub batched_frames: u64,
+    /// [`FrameBatch`] messages processed.
+    #[serde(default)]
+    pub frame_batches: u64,
 }
 
 /// Point-in-time view of the fleet gateway.
@@ -114,7 +122,7 @@ struct TenantMetrics {
 /// ingest with [`FleetGateway::offer`]/[`FleetGateway::dispatch`], stop
 /// with [`FleetGateway::finish`].
 pub struct FleetGateway {
-    senders: Vec<Sender<Bytes>>,
+    senders: Vec<Sender<Ingest>>,
     workers: Vec<JoinHandle<()>>,
     states: Vec<Arc<Mutex<FleetShardStats>>>,
     ingest_drops: Vec<AtomicU64>,
@@ -182,7 +190,7 @@ impl FleetGateway {
         let mut states = Vec::with_capacity(config.shards);
         let mut ingest_drops = Vec::with_capacity(config.shards);
         for shard in 0..config.shards {
-            let (tx, rx) = bounded::<Bytes>(config.queue_capacity);
+            let (tx, rx) = bounded::<Ingest>(config.queue_capacity);
             let state = Arc::new(Mutex::new(FleetShardStats {
                 shard,
                 per_tenant: vec![SwitchCounters::default(); tenants],
@@ -305,10 +313,10 @@ impl FleetGateway {
     /// Non-blocking ingest; drops (counted) when the shard queue is full.
     pub fn offer(&self, frame: Bytes) -> bool {
         let shard = self.shard_of(&frame);
-        match self.senders[shard].try_send(frame) {
+        match self.senders[shard].try_send(Ingest::Frame(frame)) {
             Ok(()) => true,
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                self.note_ingest_drop(shard);
+                self.note_ingest_drops(shard, 1);
                 false
             }
         }
@@ -317,20 +325,66 @@ impl FleetGateway {
     /// Blocking ingest: waits for queue space instead of dropping.
     pub fn dispatch(&self, frame: Bytes) {
         let shard = self.shard_of(&frame);
-        if self.senders[shard].send(frame).is_err() {
-            self.note_ingest_drop(shard);
+        if self.senders[shard].send(Ingest::Frame(frame)).is_err() {
+            self.note_ingest_drops(shard, 1);
         }
     }
 
-    fn note_ingest_drop(&self, shard: usize) {
-        let previous = self.ingest_drops[shard].fetch_add(1, Ordering::Relaxed);
+    /// Splits `batch` by flow-hash into one sub-batch per shard (sharing
+    /// the chunk, no frame copies) — the batched analogue of routing each
+    /// frame through [`FleetGateway::shard_of`].
+    fn split_batch(&self, batch: FrameBatch) -> Vec<FrameBatch> {
+        let shards = self.config.shards;
+        if shards == 1 {
+            vec![batch]
+        } else {
+            batch.partition_by(shards, |frame| shard_for(frame, shards))
+        }
+    }
+
+    /// Blocking batched ingest: splits `batch` per shard and waits for
+    /// queue space on each.
+    pub fn dispatch_batch(&self, batch: FrameBatch) {
+        for (shard, sub) in self.split_batch(batch).into_iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            let frames = sub.len() as u64;
+            if self.senders[shard].send(Ingest::Batch(sub)).is_err() {
+                self.note_ingest_drops(shard, frames);
+            }
+        }
+    }
+
+    /// Non-blocking batched ingest; whole sub-batches are dropped
+    /// (counted per frame) when a shard queue is full. Returns the number
+    /// of frames enqueued.
+    pub fn offer_batch(&self, batch: FrameBatch) -> u64 {
+        let mut enqueued = 0u64;
+        for (shard, sub) in self.split_batch(batch).into_iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            let frames = sub.len() as u64;
+            match self.senders[shard].try_send(Ingest::Batch(sub)) {
+                Ok(()) => enqueued += frames,
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                    self.note_ingest_drops(shard, frames);
+                }
+            }
+        }
+        enqueued
+    }
+
+    fn note_ingest_drops(&self, shard: usize, count: u64) {
+        let previous = self.ingest_drops[shard].fetch_add(count, Ordering::Relaxed);
         if let Some(t) = &self.telemetry {
-            t.backpressure[shard].inc();
+            t.backpressure[shard].add(count);
             t.queue_depth[shard].set(self.senders[shard].len() as f64);
             if previous == 0 {
                 t.bundle.recorder.record(Event::Overload {
                     shard,
-                    dropped: previous + 1,
+                    dropped: previous + count,
                 });
             }
         }
@@ -398,7 +452,7 @@ impl FleetGateway {
 /// cache per tenant. Version checks stay one atomic load per tenant per
 /// batch; the per-frame path adds only the classifier lookup.
 fn run_fleet_shard(
-    rx: Receiver<Bytes>,
+    rx: Receiver<Ingest>,
     cells: Vec<Arc<PipelineCell>>,
     classifier: TenantClassifier,
     state: Arc<Mutex<FleetShardStats>>,
@@ -414,15 +468,21 @@ fn run_fleet_shard(
     }
     let mut scratch: Vec<u8> =
         vec![0; pipelines.iter().map(|p| p.scratch_len()).max().unwrap_or(0)];
+    let mut batch_scratch = BatchScratch::new();
+    let mut verdicts: Vec<Verdict> = Vec::new();
     // Last counter values flushed to the registry, per tenant, so batch
     // boundaries publish deltas instead of re-walking frames.
     let mut flushed: Vec<SwitchCounters> = vec![SwitchCounters::default(); tenants];
-    let mut batch: Vec<Bytes> = Vec::with_capacity(batch_size);
+    let mut batch: Vec<Ingest> = Vec::with_capacity(batch_size);
     while let Ok(first) = rx.recv() {
+        let mut frames = first.frame_count();
         batch.push(first);
-        while batch.len() < batch_size {
+        while frames < batch_size {
             match rx.try_recv() {
-                Ok(frame) => batch.push(frame),
+                Ok(msg) => {
+                    frames += msg.frame_count();
+                    batch.push(msg);
+                }
                 Err(_) => break,
             }
         }
@@ -443,20 +503,60 @@ fn run_fleet_shard(
             st.swaps_seen += swapped;
             st.tenant_versions.copy_from_slice(&versions);
         }
-        for frame in batch.drain(..) {
-            let t0 = Instant::now();
-            match classifier.resolve(&frame) {
-                Some(tenant) => {
-                    pipelines[tenant].process_into(
-                        &frame,
-                        &mut st.per_tenant[tenant],
-                        &mut scratch,
-                    );
+        for msg in batch.drain(..) {
+            match msg {
+                Ingest::Frame(frame) => {
+                    let t0 = Instant::now();
+                    match classifier.resolve(&frame) {
+                        Some(tenant) => {
+                            pipelines[tenant].process_into(
+                                &frame,
+                                &mut st.per_tenant[tenant],
+                                &mut scratch,
+                            );
+                        }
+                        None => st.unknown_tenant += 1,
+                    }
+                    st.latency.record(t0.elapsed());
+                    st.processed += 1;
                 }
-                None => st.unknown_tenant += 1,
+                Ingest::Batch(fb) => {
+                    let n = fb.len();
+                    if n == 0 {
+                        continue;
+                    }
+                    let t0 = Instant::now();
+                    // Regroup spans by owning tenant (lane `tenants` holds
+                    // unclassified frames), sharing the chunk, then run
+                    // each tenant's frames through its own staged batch
+                    // loop into that tenant's counters.
+                    let lanes = fb.partition_by(tenants + 1, |frame| {
+                        classifier.resolve(frame).unwrap_or(tenants)
+                    });
+                    for (tenant, lane) in lanes.into_iter().enumerate() {
+                        if lane.is_empty() {
+                            continue;
+                        }
+                        if tenant == tenants {
+                            st.unknown_tenant += lane.len() as u64;
+                            continue;
+                        }
+                        verdicts.clear();
+                        pipelines[tenant].process_batch_into(
+                            lane.data(),
+                            lane.spans(),
+                            &mut st.per_tenant[tenant],
+                            &mut batch_scratch,
+                            &mut verdicts,
+                        );
+                    }
+                    let per_frame = t0.elapsed() / n as u32;
+                    st.latency.record_n(per_frame, n as u64);
+                    st.processed += n as u64;
+                    st.batched_frames += n as u64;
+                    st.frame_batches += 1;
+                }
             }
-            st.latency.record(t0.elapsed());
-            st.processed += 1;
         }
         st.batches += 1;
         if let Some(metrics) = &metrics {

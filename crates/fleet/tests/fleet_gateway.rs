@@ -117,3 +117,65 @@ fn fleet_verdicts_match_offline_classification() {
     assert!(rendered.contains("p4guard_tenant_occupancy_bits"));
     assert!(rendered.contains("tenant=\"smart-home-0\""));
 }
+
+#[test]
+fn fleet_batched_ingest_matches_per_frame_ingest() {
+    let mut config = FleetSimConfig::demo(4, 100_000, 77);
+    config.steps = 8;
+    config.frames_per_step = 512;
+    let layout = AclLayout::default();
+    let width = layout.offsets.len();
+    let specs: Vec<TenantSpec> = config
+        .tenants
+        .iter()
+        .map(|t| TenantSpec {
+            name: t.name.clone(),
+            share: TenantShare::flat(),
+        })
+        .collect();
+    let mut registry = TenantRegistry::new(specs, BudgetConfig::default(), layout).unwrap();
+    for t in 0..4 {
+        registry
+            .publish(t, &drop_attack_sports(width), AdmitPolicy::Reject)
+            .unwrap();
+    }
+    let frames: Vec<_> = FleetSim::new(config).run();
+    let total = frames.len() as u64;
+
+    // Per-frame reference run.
+    let gw = FleetGateway::start(&registry, GatewayConfig::with_shards(2), None);
+    for f in &frames {
+        gw.dispatch(f.frame.clone());
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while gw.snapshot().totals.received < total {
+        assert!(Instant::now() < deadline, "per-frame run failed to drain");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let per_frame = gw.finish();
+
+    // Batched run: pack the same frames into arena-backed batches.
+    let gw = FleetGateway::start(&registry, GatewayConfig::with_shards(2), None);
+    let mut arena = p4guard_packet::FrameArena::new(64 * 1024);
+    for f in &frames {
+        arena.push(&f.frame);
+        if arena.pending() >= 128 {
+            gw.dispatch_batch(arena.seal_batch());
+        }
+    }
+    gw.dispatch_batch(arena.seal_batch());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while gw.snapshot().totals.received < total {
+        assert!(Instant::now() < deadline, "batched run failed to drain");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let batched = gw.finish();
+
+    assert_eq!(batched.totals.received, per_frame.totals.received);
+    assert_eq!(batched.unknown_tenant, per_frame.unknown_tenant);
+    for t in 0..4 {
+        assert_eq!(batched.per_tenant[t], per_frame.per_tenant[t], "tenant {t}");
+    }
+    let batched_frames: u64 = batched.shards.iter().map(|s| s.batched_frames).sum();
+    assert_eq!(batched_frames, total, "all frames took the batched path");
+}

@@ -5,12 +5,13 @@
 use crate::flow::shard_for;
 use crate::histogram::LatencyHistogram;
 use crate::mirror::MirrorTap;
-use crate::shard::{run_shard, ShardStats};
+use crate::shard::{run_shard, Ingest, ShardStats};
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Sender, TrySendError};
 use p4guard_dataplane::control::ControlPlane;
 use p4guard_dataplane::pipeline::PipelineCell;
 use p4guard_dataplane::switch::SwitchCounters;
+use p4guard_packet::arena::FrameBatch;
 use p4guard_telemetry::{Counter, DropReason, Event, Gauge, NoopSink, Telemetry};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -107,7 +108,7 @@ impl fmt::Display for GatewaySnapshot {
 /// [`Gateway::finish`] drains the queues, joins the workers and returns
 /// the final [`GatewaySnapshot`].
 pub struct Gateway {
-    senders: Vec<Sender<Bytes>>,
+    senders: Vec<Sender<Ingest>>,
     workers: Vec<JoinHandle<()>>,
     states: Vec<Arc<Mutex<ShardStats>>>,
     ingest_drops: Vec<AtomicU64>,
@@ -124,6 +125,7 @@ struct GatewayTelemetry {
     bundle: Arc<Telemetry>,
     backpressure: Vec<Counter>,
     queue_depth: Vec<Gauge>,
+    batch_fill: Vec<Gauge>,
 }
 
 impl Gateway {
@@ -181,7 +183,7 @@ impl Gateway {
         let mut states = Vec::with_capacity(config.shards);
         let mut ingest_drops = Vec::with_capacity(config.shards);
         for (shard, cell) in cells.iter().enumerate() {
-            let (tx, rx) = bounded::<Bytes>(config.queue_capacity);
+            let (tx, rx) = bounded::<Ingest>(config.queue_capacity);
             let state = Arc::new(Mutex::new(ShardStats {
                 shard,
                 ..ShardStats::default()
@@ -222,6 +224,15 @@ impl Gateway {
                     bundle.registry.gauge(
                         "p4guard_queue_depth",
                         "Frames waiting in a shard's ingest queue",
+                        &[("shard", &shard.to_string())],
+                    )
+                })
+                .collect(),
+            batch_fill: (0..config.shards)
+                .map(|shard| {
+                    bundle.registry.gauge(
+                        "p4guard_batch_fill",
+                        "Mean frames per processed FrameBatch on a shard",
                         &[("shard", &shard.to_string())],
                     )
                 })
@@ -269,10 +280,10 @@ impl Gateway {
     pub fn offer(&self, frame: Bytes) -> bool {
         self.mirror.observe(&frame);
         let shard = self.shard_of(&frame);
-        match self.senders[shard].try_send(frame) {
+        match self.senders[shard].try_send(Ingest::Frame(frame)) {
             Ok(()) => true,
             Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                self.note_ingest_drop(shard);
+                self.note_ingest_drops(shard, 1);
                 false
             }
         }
@@ -283,25 +294,76 @@ impl Gateway {
     pub fn dispatch(&self, frame: Bytes) {
         self.mirror.observe(&frame);
         let shard = self.shard_of(&frame);
-        if self.senders[shard].send(frame).is_err() {
-            self.note_ingest_drop(shard);
+        if self.senders[shard].send(Ingest::Frame(frame)).is_err() {
+            self.note_ingest_drops(shard, 1);
         }
     }
 
-    /// Counts one ingest drop; with telemetry attached also bumps the
+    /// Splits `batch` into per-shard sub-batches by flow hash (sharing the
+    /// arena chunk — no frame bytes are copied) and returns them indexed by
+    /// shard. With one shard the batch passes through whole.
+    fn split_batch(&self, batch: FrameBatch) -> Vec<FrameBatch> {
+        if self.config.shards == 1 {
+            return vec![batch];
+        }
+        batch.partition_by(self.config.shards, |frame| {
+            shard_for(frame, self.config.shards)
+        })
+    }
+
+    /// Blocking batch ingest: mirrors the batch, splits it per shard by
+    /// flow hash, and waits for queue space on each shard. The whole batch
+    /// crosses each queue as **one** message, so the per-frame channel cost
+    /// of [`Gateway::dispatch`] is amortized over the batch.
+    pub fn dispatch_batch(&self, batch: FrameBatch) {
+        self.mirror.observe_batch(&batch);
+        for (shard, sub) in self.split_batch(batch).into_iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            let frames = sub.len() as u64;
+            if self.senders[shard].send(Ingest::Batch(sub)).is_err() {
+                self.note_ingest_drops(shard, frames);
+            }
+        }
+    }
+
+    /// Non-blocking batch ingest: like [`Gateway::dispatch_batch`] but a
+    /// full shard queue drops that shard's whole sub-batch (counted as one
+    /// backpressure drop per frame). Returns the number of frames that made
+    /// it into a queue.
+    pub fn offer_batch(&self, batch: FrameBatch) -> u64 {
+        self.mirror.observe_batch(&batch);
+        let mut enqueued = 0u64;
+        for (shard, sub) in self.split_batch(batch).into_iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            let frames = sub.len() as u64;
+            match self.senders[shard].try_send(Ingest::Batch(sub)) {
+                Ok(()) => enqueued += frames,
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                    self.note_ingest_drops(shard, frames);
+                }
+            }
+        }
+        enqueued
+    }
+
+    /// Counts `count` ingest drops; with telemetry attached also bumps the
     /// backpressure drop counter and records an overload-onset event the
     /// first time this shard sheds.
-    fn note_ingest_drop(&self, shard: usize) {
-        let previous = self.ingest_drops[shard].fetch_add(1, Ordering::Relaxed);
+    fn note_ingest_drops(&self, shard: usize, count: u64) {
+        let previous = self.ingest_drops[shard].fetch_add(count, Ordering::Relaxed);
         if let Some(t) = &self.telemetry {
-            t.backpressure[shard].inc();
+            t.backpressure[shard].add(count);
             // A shed frame means the queue is at capacity right now — make
             // the overload visible even if nobody snapshots until later.
             t.queue_depth[shard].set(self.senders[shard].len() as f64);
             if previous == 0 {
                 t.bundle.recorder.record(Event::Overload {
                     shard,
-                    dropped: previous + 1,
+                    dropped: previous + count,
                 });
             }
         }
@@ -324,6 +386,11 @@ impl Gateway {
             }
         }
         let shards: Vec<ShardStats> = self.states.iter().map(|s| s.lock().clone()).collect();
+        if let Some(t) = &self.telemetry {
+            for s in &shards {
+                t.batch_fill[s.shard].set(s.batch_fill());
+            }
+        }
         let mut totals = SwitchCounters::default();
         let mut latency = LatencyHistogram::new();
         for s in &shards {

@@ -39,5 +39,5 @@ pub use flow::{flow_hash, shard_for};
 pub use gateway::{Gateway, GatewayConfig, GatewaySnapshot};
 pub use histogram::LatencyHistogram;
 pub use mirror::MirrorTap;
-pub use replay::{replay, IngestMode, ReplayReport};
-pub use shard::ShardStats;
+pub use replay::{replay, replay_batched, IngestMode, ReplayReport};
+pub use shard::{Ingest, ShardStats};

@@ -7,6 +7,7 @@
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use p4guard_packet::arena::FrameBatch;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -83,9 +84,34 @@ impl MirrorTap {
             return;
         }
         self.countdown.store(stride, Ordering::Relaxed);
+        self.send_sample(frame.clone());
+    }
+
+    /// Observes a whole ingest batch, mirroring the frames that fall on
+    /// sampled stride positions — the same positions a frame-by-frame
+    /// [`MirrorTap::observe`] walk would sample. With the tap closed this
+    /// is a single relaxed load **per batch** (the open/closed decision is
+    /// hoisted out of the frame loop; a tap opened mid-batch starts
+    /// sampling at the next batch). Sampled frames are handed out as
+    /// zero-copy `Bytes` views into the batch's shared chunk.
+    pub fn observe_batch(&self, batch: &FrameBatch) {
+        let stride = self.stride.load(Ordering::Relaxed);
+        if stride == 0 {
+            return;
+        }
+        for i in 0..batch.len() {
+            if self.countdown.fetch_sub(1, Ordering::Relaxed) != 1 {
+                continue;
+            }
+            self.countdown.store(stride, Ordering::Relaxed);
+            self.send_sample(batch.frame_bytes(i));
+        }
+    }
+
+    fn send_sample(&self, sample: Bytes) {
         let guard = self.tx.lock();
         if let Some(tx) = guard.as_ref() {
-            match tx.try_send(frame.clone()) {
+            match tx.try_send(sample) {
                 Ok(()) => {
                     self.mirrored.fetch_add(1, Ordering::Relaxed);
                 }
@@ -140,6 +166,29 @@ mod tests {
             tap.observe(&frame(i));
         }
         assert_eq!(drain(&rx), vec![0, 4]);
+    }
+
+    #[test]
+    fn observe_batch_samples_the_same_positions_as_per_frame() {
+        let per = MirrorTap::new();
+        let rx_per = per.open(3, 64);
+        for i in 0..10 {
+            per.observe(&frame(i));
+        }
+        let batched = MirrorTap::new();
+        let rx_batched = batched.open(3, 64);
+        let mut arena = p4guard_packet::arena::FrameArena::new(128);
+        for i in 0..10u8 {
+            arena.push(&[i; 4]);
+            if i % 4 == 3 {
+                let b = arena.seal_batch();
+                batched.observe_batch(&b);
+            }
+        }
+        let b = arena.seal_batch();
+        batched.observe_batch(&b);
+        assert_eq!(drain(&rx_per), drain(&rx_batched));
+        assert_eq!(per.mirrored(), batched.mirrored());
     }
 
     #[test]

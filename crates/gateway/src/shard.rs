@@ -1,4 +1,4 @@
-//! The per-shard worker: drains a bounded frame queue in batches through
+//! The per-shard worker: drains a bounded ingest queue in batches through
 //! the current [`ReadPipeline`](p4guard_dataplane::pipeline::ReadPipeline)
 //! snapshot, refreshing the snapshot between
 //! batches when the control plane has published a new version.
@@ -6,13 +6,37 @@
 use crate::histogram::LatencyHistogram;
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
-use p4guard_dataplane::pipeline::PipelineCell;
+use p4guard_dataplane::pipeline::{BatchScratch, PipelineCell};
 use p4guard_dataplane::switch::SwitchCounters;
+use p4guard_dataplane::Verdict;
+use p4guard_packet::arena::FrameBatch;
 use p4guard_telemetry::TelemetrySink;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// One message on a shard's ingest queue: either a single owned frame (the
+/// classic per-frame path, kept intact so the two paths stay directly
+/// comparable) or a whole arena-backed [`FrameBatch`] that crossed the
+/// queue with a single refcount bump.
+#[derive(Debug, Clone)]
+pub enum Ingest {
+    /// One owned frame.
+    Frame(Bytes),
+    /// A batch of frames sharing one chunk.
+    Batch(FrameBatch),
+}
+
+impl Ingest {
+    /// Frames this message carries.
+    pub fn frame_count(&self) -> usize {
+        match self {
+            Ingest::Frame(_) => 1,
+            Ingest::Batch(b) => b.len(),
+        }
+    }
+}
 
 /// Live statistics of one shard, readable while the shard runs.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -31,18 +55,46 @@ pub struct ShardStats {
     pub swaps_seen: u64,
     /// Version of the snapshot the shard last processed with.
     pub ruleset_version: u64,
+    /// Frames that arrived packed in [`FrameBatch`] messages.
+    #[serde(default)]
+    pub batched_frames: u64,
+    /// [`FrameBatch`] messages processed (feeds the
+    /// `p4guard_batch_fill` gauge: `batched_frames / frame_batches`).
+    #[serde(default)]
+    pub frame_batches: u64,
 }
 
-/// Runs one shard to queue exhaustion: blocks for the next frame, drains
-/// opportunistically up to `batch_size`, processes the batch against the
-/// cached snapshot, then checks the cell version once per batch.
+impl ShardStats {
+    /// Mean frames per processed [`FrameBatch`] (0 before the first batch).
+    pub fn batch_fill(&self) -> f64 {
+        if self.frame_batches == 0 {
+            0.0
+        } else {
+            self.batched_frames as f64 / self.frame_batches as f64
+        }
+    }
+}
+
+/// Runs one shard to queue exhaustion: blocks for the next message, drains
+/// opportunistically up to `batch_size` frames, processes them against the
+/// cached snapshot, then checks the cell version once per drain.
 ///
 /// The snapshot check is a single atomic load on the fast path, so a
 /// concurrent [`ControlPlane::publish`](p4guard_dataplane::control::ControlPlane::publish)
 /// never blocks frame processing — the new ruleset simply takes effect at
-/// the next batch boundary.
+/// the next batch boundary. A [`FrameBatch`] already in flight when a swap
+/// lands is processed entirely against one snapshot (the drain it belongs
+/// to), which is exactly the per-frame path's batch-boundary guarantee.
+///
+/// Per-frame messages go through
+/// [`process_with`](p4guard_dataplane::pipeline::ReadPipeline::process_with)
+/// with one `Instant` read per frame; [`FrameBatch`] messages go through
+/// the staged
+/// [`process_batch_with`](p4guard_dataplane::pipeline::ReadPipeline::process_batch_with)
+/// loop with one `Instant` read per batch, attributing the batch-mean cost
+/// to each frame.
 pub(crate) fn run_shard<S: TelemetrySink>(
-    rx: Receiver<Bytes>,
+    rx: Receiver<Ingest>,
     cell: Arc<PipelineCell>,
     state: Arc<Mutex<ShardStats>>,
     batch_size: usize,
@@ -58,12 +110,18 @@ pub(crate) fn run_shard<S: TelemetrySink>(
     // Pre-sized to the snapshot's requirement so the forwarding loop never
     // grows it; regrown only if a published ruleset widens its match keys.
     let mut scratch: Vec<u8> = vec![0; pipeline.scratch_len()];
-    let mut batch: Vec<Bytes> = Vec::with_capacity(batch_size);
+    let mut batch_scratch = BatchScratch::new();
+    let mut verdicts: Vec<Verdict> = Vec::new();
+    let mut queue: Vec<Ingest> = Vec::with_capacity(batch_size);
     while let Ok(first) = rx.recv() {
-        batch.push(first);
-        while batch.len() < batch_size {
+        let mut frames = first.frame_count();
+        queue.push(first);
+        while frames < batch_size {
             match rx.try_recv() {
-                Ok(frame) => batch.push(frame),
+                Ok(msg) => {
+                    frames += msg.frame_count();
+                    queue.push(msg);
+                }
                 Err(_) => break,
             }
         }
@@ -82,13 +140,42 @@ pub(crate) fn run_shard<S: TelemetrySink>(
             st.swaps_seen += 1;
             st.ruleset_version = version;
         }
-        for frame in batch.drain(..) {
-            let t0 = Instant::now();
-            pipeline.process_with(&frame, &mut st.counters, &mut scratch, &mut sink);
-            let elapsed = t0.elapsed();
-            st.latency.record(elapsed);
-            sink.latency(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
-            st.processed += 1;
+        for msg in queue.drain(..) {
+            match msg {
+                Ingest::Frame(frame) => {
+                    let t0 = Instant::now();
+                    pipeline.process_with(&frame, &mut st.counters, &mut scratch, &mut sink);
+                    let elapsed = t0.elapsed();
+                    st.latency.record(elapsed);
+                    sink.latency(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+                    st.processed += 1;
+                }
+                Ingest::Batch(batch) => {
+                    let n = batch.len();
+                    if n == 0 {
+                        continue;
+                    }
+                    let t0 = Instant::now();
+                    verdicts.clear();
+                    pipeline.process_batch_with(
+                        batch.data(),
+                        batch.spans(),
+                        &mut st.counters,
+                        &mut batch_scratch,
+                        &mut verdicts,
+                        &mut sink,
+                    );
+                    let per_frame = t0.elapsed() / n as u32;
+                    st.latency.record_n(per_frame, n as u64);
+                    sink.latency_n(
+                        u64::try_from(per_frame.as_nanos()).unwrap_or(u64::MAX),
+                        n as u64,
+                    );
+                    st.processed += n as u64;
+                    st.batched_frames += n as u64;
+                    st.frame_batches += 1;
+                }
+            }
         }
         st.batches += 1;
         // Flush buffered telemetry while still holding the stats lock:

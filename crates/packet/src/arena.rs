@@ -1,0 +1,387 @@
+//! Arena-backed frame storage for the batched gateway hot path.
+//!
+//! The per-frame serving path moves one `Bytes` handle per frame through the
+//! shard queues: every enqueue clones an `Arc`, every frame was once its own
+//! heap allocation, and every pipeline invocation pays the fixed costs of a
+//! channel op, a timestamp, and a telemetry flush. At millions of packets per
+//! second those fixed costs dominate the actual match work.
+//!
+//! This module amortizes them. A [`FrameArena`] accumulates raw frame bytes
+//! into one large contiguous chunk and seals the chunk into a [`FrameBatch`]:
+//! a single refcounted [`Bytes`] buffer plus a vector of [`FrameSpan`]
+//! offsets. A batch crosses a thread boundary with **one** `Arc` clone no
+//! matter how many frames it carries, and consumers borrow each frame as a
+//! plain `&[u8]` view into the shared chunk — no per-frame allocation, no
+//! per-frame refcount traffic.
+//!
+//! # Lifetime rules
+//!
+//! - Frame views (`&[u8]`) borrow from the batch; they are valid for as long
+//!   as the batch (or any clone of its `data`) is alive.
+//! - A batch never reallocates: sealing freezes the chunk. Spans are
+//!   validated at construction, so [`FrameBatch::frame`] cannot go out of
+//!   bounds.
+//! - When a single frame must outlive its batch (e.g. a mirrored sample),
+//!   [`FrameBatch::frame_bytes`] hands out a zero-copy `Bytes` slice that
+//!   keeps only the shared chunk alive.
+
+use bytes::Bytes;
+
+/// Location of one frame inside a [`FrameBatch`] chunk.
+///
+/// Offsets are 32-bit: a single batch chunk is far below 4 GiB (the trace
+/// format itself caps individual frames at 16 MiB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameSpan {
+    /// Byte offset of the frame within the chunk.
+    pub offset: u32,
+    /// Frame length in bytes.
+    pub len: u32,
+}
+
+impl FrameSpan {
+    /// End offset (exclusive) of the frame within the chunk.
+    #[inline]
+    pub fn end(&self) -> usize {
+        self.offset as usize + self.len as usize
+    }
+}
+
+/// A sealed group of frames sharing one contiguous byte chunk.
+///
+/// Cloning a batch is cheap (`Bytes` refcount bump + span vector copy); the
+/// common cross-thread move costs a single `Arc` increment for the chunk.
+#[derive(Debug, Clone, Default)]
+pub struct FrameBatch {
+    data: Bytes,
+    spans: Vec<FrameSpan>,
+}
+
+impl FrameBatch {
+    /// Builds a batch from a chunk and frame spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any span reaches past the end of `data`; spans are trusted
+    /// after construction so the check happens exactly once, here.
+    pub fn new(data: Bytes, spans: Vec<FrameSpan>) -> Self {
+        for s in &spans {
+            assert!(
+                s.end() <= data.len(),
+                "frame span {}..{} exceeds chunk of {} bytes",
+                s.offset,
+                s.end(),
+                data.len()
+            );
+        }
+        FrameBatch { data, spans }
+    }
+
+    /// Wraps a single owned frame as a one-frame batch (used where a
+    /// per-frame producer feeds a batch consumer).
+    pub fn single(frame: Bytes) -> Self {
+        let len = frame.len() as u32;
+        FrameBatch {
+            data: frame,
+            spans: vec![FrameSpan { offset: 0, len }],
+        }
+    }
+
+    /// Number of frames in the batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Returns `true` when the batch holds no frames.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total payload bytes across all frames (spans may not cover padding).
+    pub fn frame_bytes_total(&self) -> usize {
+        self.spans.iter().map(|s| s.len as usize).sum()
+    }
+
+    /// Borrows frame `i` as a slice of the shared chunk.
+    #[inline]
+    pub fn frame(&self, i: usize) -> &[u8] {
+        let s = self.spans[i];
+        &self.data[s.offset as usize..s.end()]
+    }
+
+    /// Zero-copy `Bytes` handle to frame `i`; keeps the whole chunk alive.
+    pub fn frame_bytes(&self, i: usize) -> Bytes {
+        let s = self.spans[i];
+        self.data.slice(s.offset as usize..s.end())
+    }
+
+    /// Iterates over borrowed frame views in order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> + '_ {
+        self.spans
+            .iter()
+            .map(move |s| &self.data[s.offset as usize..s.end()])
+    }
+
+    /// The shared byte chunk.
+    #[inline]
+    pub fn data(&self) -> &Bytes {
+        &self.data
+    }
+
+    /// The frame spans, in frame order.
+    #[inline]
+    pub fn spans(&self) -> &[FrameSpan] {
+        &self.spans
+    }
+
+    /// Splits the batch into per-lane sub-batches, where `lane(frame)` maps
+    /// each frame view to a lane index below `lanes`. Sub-batches share the
+    /// chunk (refcount bump only); empty lanes come back as empty batches.
+    pub fn partition_by<F: FnMut(&[u8]) -> usize>(
+        &self,
+        lanes: usize,
+        mut lane: F,
+    ) -> Vec<FrameBatch> {
+        let mut out: Vec<FrameBatch> = (0..lanes)
+            .map(|_| FrameBatch {
+                data: self.data.clone(),
+                spans: Vec::new(),
+            })
+            .collect();
+        for s in &self.spans {
+            let view = &self.data[s.offset as usize..s.end()];
+            let idx = lane(view).min(lanes.saturating_sub(1));
+            out[idx].spans.push(*s);
+        }
+        out
+    }
+}
+
+/// Cumulative statistics for a [`FrameArena`]; feeds the
+/// `p4guard_arena_*` gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Frames pushed since creation.
+    pub frames: u64,
+    /// Frame payload bytes pushed since creation.
+    pub bytes: u64,
+    /// Batches sealed since creation.
+    pub batches: u64,
+    /// Bytes currently buffered in the open chunk (unsealed).
+    pub open_bytes: u64,
+    /// Frames currently buffered in the open chunk (unsealed).
+    pub open_frames: u64,
+}
+
+impl ArenaStats {
+    /// Average frames per sealed batch (0 when nothing sealed yet).
+    pub fn avg_batch_fill(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            (self.frames - self.open_frames) as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Default chunk capacity: large enough that a 256-frame batch of full-size
+/// Ethernet frames fits without reallocating.
+pub const DEFAULT_CHUNK_CAPACITY: usize = 512 * 1024;
+
+/// An append-only frame accumulator that seals contiguous chunks into
+/// [`FrameBatch`]es.
+///
+/// The arena owns exactly one open chunk at a time. Pushing copies frame
+/// bytes to the chunk tail (the only copy the batched path ever makes);
+/// sealing freezes the chunk into a `Bytes` and starts a fresh one with the
+/// same capacity. Allocation cost is therefore one `Vec` per *batch*, not
+/// per frame.
+#[derive(Debug)]
+pub struct FrameArena {
+    chunk_capacity: usize,
+    chunk: Vec<u8>,
+    spans: Vec<FrameSpan>,
+    stats: ArenaStats,
+}
+
+impl Default for FrameArena {
+    fn default() -> Self {
+        Self::new(DEFAULT_CHUNK_CAPACITY)
+    }
+}
+
+impl FrameArena {
+    /// Creates an arena whose chunks start at `chunk_capacity` bytes.
+    pub fn new(chunk_capacity: usize) -> Self {
+        FrameArena {
+            chunk_capacity: chunk_capacity.max(64),
+            chunk: Vec::with_capacity(chunk_capacity.max(64)),
+            spans: Vec::new(),
+            stats: ArenaStats::default(),
+        }
+    }
+
+    /// Appends one frame to the open chunk.
+    pub fn push(&mut self, frame: &[u8]) {
+        let offset = self.chunk.len() as u32;
+        self.chunk.extend_from_slice(frame);
+        self.spans.push(FrameSpan {
+            offset,
+            len: frame.len() as u32,
+        });
+        self.stats.frames += 1;
+        self.stats.bytes += frame.len() as u64;
+        self.stats.open_frames += 1;
+        self.stats.open_bytes += frame.len() as u64;
+    }
+
+    /// Extends the open chunk by `len` zero bytes and returns the span's
+    /// mutable tail, so callers can decode straight into the arena without
+    /// an intermediate buffer. The span is recorded as a pushed frame.
+    pub fn push_uninit(&mut self, len: usize) -> &mut [u8] {
+        let offset = self.chunk.len();
+        self.chunk.resize(offset + len, 0);
+        self.spans.push(FrameSpan {
+            offset: offset as u32,
+            len: len as u32,
+        });
+        self.stats.frames += 1;
+        self.stats.bytes += len as u64;
+        self.stats.open_frames += 1;
+        self.stats.open_bytes += len as u64;
+        &mut self.chunk[offset..]
+    }
+
+    /// Frames currently buffered in the open chunk.
+    pub fn pending(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Seals the open chunk into a batch and starts a new chunk. Returns an
+    /// empty batch when nothing is pending.
+    pub fn seal_batch(&mut self) -> FrameBatch {
+        if self.spans.is_empty() {
+            return FrameBatch::default();
+        }
+        let chunk = std::mem::replace(&mut self.chunk, Vec::with_capacity(self.chunk_capacity));
+        let spans = std::mem::take(&mut self.spans);
+        self.stats.batches += 1;
+        self.stats.open_frames = 0;
+        self.stats.open_bytes = 0;
+        FrameBatch {
+            data: Bytes::from(chunk),
+            spans,
+        }
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> ArenaStats {
+        self.stats
+    }
+
+    /// Configured chunk capacity.
+    pub fn chunk_capacity(&self) -> usize {
+        self.chunk_capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_seal_round_trip() {
+        let mut arena = FrameArena::new(1024);
+        arena.push(b"alpha");
+        arena.push(b"bee");
+        arena.push(b"");
+        let batch = arena.seal_batch();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.frame(0), b"alpha");
+        assert_eq!(batch.frame(1), b"bee");
+        assert_eq!(batch.frame(2), b"");
+        assert_eq!(batch.frame_bytes_total(), 8);
+        let collected: Vec<&[u8]> = batch.iter().collect();
+        assert_eq!(collected, vec![b"alpha".as_slice(), b"bee", b""]);
+    }
+
+    #[test]
+    fn seal_starts_fresh_chunk() {
+        let mut arena = FrameArena::new(64);
+        arena.push(b"one");
+        let first = arena.seal_batch();
+        arena.push(b"two");
+        let second = arena.seal_batch();
+        assert_eq!(first.frame(0), b"one");
+        assert_eq!(second.frame(0), b"two");
+        assert_eq!(arena.stats().batches, 2);
+        assert_eq!(arena.stats().frames, 2);
+        assert_eq!(arena.stats().open_frames, 0);
+        assert!((arena.stats().avg_batch_fill() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_seal_is_empty_batch() {
+        let mut arena = FrameArena::new(64);
+        let batch = arena.seal_batch();
+        assert!(batch.is_empty());
+        assert_eq!(arena.stats().batches, 0);
+    }
+
+    #[test]
+    fn push_uninit_exposes_writable_tail() {
+        let mut arena = FrameArena::new(64);
+        arena.push_uninit(4).copy_from_slice(&[9, 8, 7, 6]);
+        let batch = arena.seal_batch();
+        assert_eq!(batch.frame(0), &[9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn frame_bytes_is_zero_copy_view() {
+        let mut arena = FrameArena::new(64);
+        arena.push(b"abcdef");
+        arena.push(b"xyz");
+        let batch = arena.seal_batch();
+        let solo = batch.frame_bytes(1);
+        assert_eq!(&solo[..], b"xyz");
+        // The view aliases the chunk rather than copying it.
+        let chunk_ptr = batch.data().as_ptr() as usize;
+        let solo_ptr = solo.as_ptr() as usize;
+        assert_eq!(solo_ptr, chunk_ptr + 6);
+    }
+
+    #[test]
+    fn single_wraps_one_frame() {
+        let b = FrameBatch::single(Bytes::from_static(b"frame"));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.frame(0), b"frame");
+    }
+
+    #[test]
+    fn partition_by_groups_frames_and_shares_chunk() {
+        let mut arena = FrameArena::new(64);
+        arena.push(b"a0");
+        arena.push(b"b1");
+        arena.push(b"a2");
+        arena.push(b"b3");
+        let batch = arena.seal_batch();
+        let lanes = batch.partition_by(2, |f| usize::from(f[0] == b'b'));
+        assert_eq!(lanes.len(), 2);
+        assert_eq!(lanes[0].len(), 2);
+        assert_eq!(lanes[1].len(), 2);
+        assert_eq!(lanes[0].frame(1), b"a2");
+        assert_eq!(lanes[1].frame(0), b"b1");
+        assert_eq!(lanes[0].data().as_ptr(), batch.data().as_ptr());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds chunk")]
+    fn out_of_range_span_panics_at_construction() {
+        FrameBatch::new(
+            Bytes::from_static(b"abc"),
+            vec![FrameSpan { offset: 2, len: 5 }],
+        );
+    }
+}

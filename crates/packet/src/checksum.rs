@@ -44,6 +44,40 @@ pub fn transport_checksum_v6(
     !fold(acc)
 }
 
+/// Computes the TCP/UDP checksum including the IPv4 pseudo-header over a
+/// segment whose checksum field is still populated, without copying.
+///
+/// `checksum_offset` is the byte offset of the 16-bit checksum field within
+/// `segment`; the field is treated as zero. Because the offset is even in
+/// every real transport header, the bytes before and after the field keep
+/// their 16-bit pairing, so the two sub-slices sum to the same value as a
+/// zero-filled copy would.
+///
+/// # Panics
+///
+/// Panics if `checksum_offset` is odd or the field does not fit in
+/// `segment`.
+pub fn transport_checksum_excluding(
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    protocol: u8,
+    segment: &[u8],
+    checksum_offset: usize,
+) -> u16 {
+    assert!(
+        checksum_offset.is_multiple_of(2) && checksum_offset + 2 <= segment.len(),
+        "checksum field at {checksum_offset} must be even-aligned and inside the segment"
+    );
+    let mut acc: u32 = 0;
+    acc = sum_bytes(acc, &src.octets());
+    acc = sum_bytes(acc, &dst.octets());
+    acc += u32::from(protocol);
+    acc += segment.len() as u32;
+    acc = sum_bytes(acc, &segment[..checksum_offset]);
+    acc = sum_bytes(acc, &segment[checksum_offset + 2..]);
+    !fold(acc)
+}
+
 /// Verifies a buffer that contains its own checksum field; returns `true`
 /// when the checksum over the whole buffer folds to zero.
 pub fn verify(data: &[u8]) -> bool {
@@ -110,14 +144,30 @@ mod tests {
         seg[0] = 0x13;
         seg[1] = 0x88; // src port 5000
         let ck = transport_checksum(src, dst, 17, &seg);
-        // Place checksum at UDP offset 6..8 and re-verify via pseudo-header sum.
+        // Place checksum at UDP offset 6..8 and re-verify in place: the
+        // excluding variant skips the populated field without a copy.
         seg[6..8].copy_from_slice(&ck.to_be_bytes());
-        let again = transport_checksum(src, dst, 17, &{
-            let mut z = seg.clone();
-            z[6] = 0;
-            z[7] = 0;
-            z
-        });
+        let again = transport_checksum_excluding(src, dst, 17, &seg, 6);
         assert_eq!(again, ck);
+    }
+
+    #[test]
+    fn excluding_matches_zero_filled_copy() {
+        let src = Ipv4Addr::new(192, 168, 1, 7);
+        let dst = Ipv4Addr::new(192, 168, 1, 1);
+        // Odd total length exercises the trailing-byte padding path.
+        let seg: Vec<u8> = (0u8..21)
+            .map(|b| b.wrapping_mul(37).wrapping_add(5))
+            .collect();
+        for off in [0usize, 6, 16] {
+            let mut zeroed = seg.clone();
+            zeroed[off] = 0;
+            zeroed[off + 1] = 0;
+            assert_eq!(
+                transport_checksum_excluding(src, dst, 6, &seg, off),
+                transport_checksum(src, dst, 6, &zeroed),
+                "offset {off}"
+            );
+        }
     }
 }

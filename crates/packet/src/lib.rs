@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 
 pub mod addr;
+pub mod arena;
 pub mod arp;
 pub mod checksum;
 pub mod coap;
@@ -65,6 +66,7 @@ pub mod wire;
 pub mod zwire;
 
 pub use addr::MacAddr;
+pub use arena::{ArenaStats, FrameArena, FrameBatch, FrameSpan};
 pub use error::ParseError;
 pub use packet::{parse, Application, PacketBuilder, ParsedPacket, ProtocolTag, Transport};
-pub use trace::{AttackFamily, Label, Record, Trace, TraceReader};
+pub use trace::{AttackFamily, Label, Record, Trace, TraceBatchReader, TraceReader};

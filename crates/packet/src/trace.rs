@@ -5,6 +5,7 @@
 //! truth label. Traces serialize to a compact binary file format (magic
 //! `P4GT`) so generated datasets can be saved and reloaded deterministically.
 
+use crate::arena::{FrameArena, FrameBatch};
 use crate::error::TraceIoError;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
@@ -264,6 +265,26 @@ impl Trace {
         let file = std::fs::File::open(path)?;
         Self::read_from(std::io::BufReader::new(file))
     }
+
+    /// Repacks the trace's frames into arena-backed [`FrameBatch`]es of at
+    /// most `batch_size` frames, preserving record order. Each batch owns
+    /// one contiguous chunk, so downstream consumers move a whole batch with
+    /// a single refcount bump instead of one `Bytes` clone per frame.
+    pub fn to_batches(&self, batch_size: usize) -> Vec<FrameBatch> {
+        let batch_size = batch_size.max(1);
+        let mut arena = FrameArena::default();
+        let mut out = Vec::with_capacity(self.records.len().div_ceil(batch_size));
+        for r in &self.records {
+            arena.push(&r.frame);
+            if arena.pending() >= batch_size {
+                out.push(arena.seal_batch());
+            }
+        }
+        if arena.pending() > 0 {
+            out.push(arena.seal_batch());
+        }
+        out
+    }
 }
 
 /// A streaming reader over the `P4GT` format: yields one [`Record`] at a
@@ -400,6 +421,128 @@ impl<R: Read> Iterator for TraceReader<R> {
         // The header-declared count is an upper bound; a truncated file
         // yields fewer records.
         (0, usize::try_from(self.remaining).ok())
+    }
+}
+
+/// A streaming batch reader over the `P4GT` format: the zero-copy ingestion
+/// path for batched serving.
+///
+/// Where [`TraceReader`] allocates one `Bytes` per record, this reader
+/// decodes frame payloads **directly into a [`FrameArena`] chunk** (labels
+/// and timestamps are skipped — serving does not need ground truth) and
+/// yields sealed [`FrameBatch`]es of up to `batch_size` frames. The only
+/// copy is the unavoidable `read()` from the underlying stream into the
+/// chunk tail; after that every consumer borrows `&[u8]` views.
+#[derive(Debug)]
+pub struct TraceBatchReader<R> {
+    reader: R,
+    remaining: u64,
+    total: u64,
+    batch_size: usize,
+    arena: FrameArena,
+}
+
+impl TraceBatchReader<std::io::BufReader<std::fs::File>> {
+    /// Opens a trace file for streaming batch reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the file cannot be opened or the header is
+    /// malformed.
+    pub fn open(path: impl AsRef<Path>, batch_size: usize) -> Result<Self, TraceIoError> {
+        let file = std::fs::File::open(path)?;
+        Self::new(std::io::BufReader::new(file), batch_size)
+    }
+}
+
+impl<R: Read> TraceBatchReader<R> {
+    /// Wraps a reader, consuming and validating the `P4GT` header.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure, bad magic, or an unsupported
+    /// format version.
+    pub fn new(reader: R, batch_size: usize) -> Result<Self, TraceIoError> {
+        // Reuse the record reader's header validation, then take the
+        // underlying stream back.
+        let inner = TraceReader::new(reader)?;
+        let total = inner.total();
+        Ok(TraceBatchReader {
+            reader: inner.reader,
+            remaining: total,
+            total,
+            batch_size: batch_size.max(1),
+            arena: FrameArena::default(),
+        })
+    }
+
+    /// Records declared by the header.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Records not yet yielded in a sealed batch.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Arena statistics (batch fill, chunk bytes) accumulated so far.
+    pub fn arena_stats(&self) -> crate::arena::ArenaStats {
+        self.arena.stats()
+    }
+
+    fn read_frame_into_arena(&mut self) -> Result<(), TraceIoError> {
+        // Skip ts(8) + flow(8), validate the label byte, then splice the
+        // frame straight into the open arena chunk.
+        let mut head = [0u8; 17];
+        self.reader.read_exact(&mut head)?;
+        let label_code = head[16];
+        if label_code != 0 && AttackFamily::from_code(label_code).is_none() {
+            return Err(TraceIoError::Format(format!(
+                "unknown attack code {label_code}"
+            )));
+        }
+        let mut len = [0u8; 4];
+        self.reader.read_exact(&mut len)?;
+        let len = u32::from_le_bytes(len);
+        if len > MAX_FRAME_LEN {
+            return Err(TraceIoError::Format(format!(
+                "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap (corrupt length prefix)"
+            )));
+        }
+        let tail = self.arena.push_uninit(len as usize);
+        self.reader.read_exact(tail).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                TraceIoError::Format(format!(
+                    "record truncated: frame claims {len} bytes but the stream ended early"
+                ))
+            } else {
+                TraceIoError::Io(e)
+            }
+        })?;
+        Ok(())
+    }
+}
+
+impl<R: Read> Iterator for TraceBatchReader<R> {
+    type Item = Result<FrameBatch, TraceIoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        while self.arena.pending() < self.batch_size
+            && (self.arena.pending() as u64) < self.remaining
+        {
+            if let Err(e) = self.read_frame_into_arena() {
+                // A decode error poisons the stream, matching TraceReader.
+                self.remaining = 0;
+                return Some(Err(e));
+            }
+        }
+        let batch = self.arena.seal_batch();
+        self.remaining -= batch.len() as u64;
+        Some(Ok(batch))
     }
 }
 
@@ -553,6 +696,79 @@ mod tests {
             .collect::<Result<_, _>>()
             .unwrap();
         assert_eq!(streamed, t);
+    }
+
+    #[test]
+    fn to_batches_preserves_frames_and_order() {
+        let mut t = Trace::new();
+        for i in 0..10u8 {
+            t.push(Record {
+                timestamp_us: u64::from(i),
+                frame: Bytes::from(vec![i; usize::from(i) + 1]),
+                label: Label::Benign,
+                flow_id: u64::from(i),
+            });
+        }
+        let batches = t.to_batches(4);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(
+            batches.iter().map(|b| b.len()).collect::<Vec<_>>(),
+            [4, 4, 2]
+        );
+        let flat: Vec<Vec<u8>> = batches
+            .iter()
+            .flat_map(|b| b.iter().map(|f| f.to_vec()))
+            .collect();
+        let expected: Vec<Vec<u8>> = t.iter().map(|r| r.frame.to_vec()).collect();
+        assert_eq!(flat, expected);
+    }
+
+    #[test]
+    fn batch_reader_matches_record_reader() {
+        let mut t = Trace::new();
+        for i in 0..23 {
+            let label = if i % 4 == 0 {
+                Label::Attack(AttackFamily::SynFlood)
+            } else {
+                Label::Benign
+            };
+            t.push(Record {
+                timestamp_us: i,
+                frame: Bytes::from(vec![i as u8; (i as usize % 7) + 1]),
+                label,
+                flow_id: i,
+            });
+        }
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let mut reader = TraceBatchReader::new(buf.as_slice(), 8).unwrap();
+        assert_eq!(reader.total(), 23);
+        let mut frames = Vec::new();
+        let mut sizes = Vec::new();
+        for batch in &mut reader {
+            let batch = batch.unwrap();
+            sizes.push(batch.len());
+            frames.extend(batch.iter().map(|f| f.to_vec()));
+        }
+        assert_eq!(sizes, [8, 8, 7]);
+        let expected: Vec<Vec<u8>> = t.iter().map(|r| r.frame.to_vec()).collect();
+        assert_eq!(frames, expected);
+        assert_eq!(reader.remaining(), 0);
+        assert_eq!(reader.arena_stats().batches, 3);
+        assert!((reader.arena_stats().avg_batch_fill() - 23.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_reader_rejects_corrupt_label_and_fuses() {
+        let mut t = Trace::new();
+        t.push(record(1, Label::Benign));
+        t.push(record(2, Label::Benign));
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        buf[29] = 200; // corrupt the first record's label byte
+        let mut reader = TraceBatchReader::new(buf.as_slice(), 16).unwrap();
+        assert!(reader.next().unwrap().is_err());
+        assert!(reader.next().is_none(), "stream fuses after an error");
     }
 
     #[test]

@@ -57,6 +57,20 @@ impl LatencyHistogram {
         self.max_nanos = self.max_nanos.max(nanos);
     }
 
+    /// Records `count` samples of the same duration in O(1): the batched
+    /// hot loop times a whole batch once and attributes the mean per-frame
+    /// cost to every frame, instead of calling `Instant::now` per frame.
+    pub fn record_n(&mut self, latency: Duration, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let nanos = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.buckets[Self::bucket_of(nanos)] += count;
+        self.count += count;
+        self.sum_nanos = self.sum_nanos.saturating_add(nanos.saturating_mul(count));
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
     /// Folds another histogram into this one (shard → aggregate).
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {

@@ -110,6 +110,15 @@ pub trait TelemetrySink {
     /// Frame processing latency, in nanoseconds.
     fn latency(&mut self, _nanos: u64) {}
 
+    /// `count` frames that shared one measured batch, each costing `nanos`
+    /// (the batch mean). Defaults to repeated [`TelemetrySink::latency`]
+    /// calls; buffering sinks override it with an O(1) bulk record.
+    fn latency_n(&mut self, nanos: u64, count: u64) {
+        for _ in 0..count {
+            self.latency(nanos);
+        }
+    }
+
     /// The shard finished a batch of frames. Buffering sinks flush their
     /// locally accumulated counts to shared state here, so the per-frame
     /// path stays free of atomics and locks.
@@ -350,6 +359,13 @@ impl TelemetrySink for RegistrySink {
         self.buf
             .latency
             .record(std::time::Duration::from_nanos(nanos));
+    }
+
+    #[inline]
+    fn latency_n(&mut self, nanos: u64, count: u64) {
+        self.buf
+            .latency
+            .record_n(std::time::Duration::from_nanos(nanos), count);
     }
 
     fn batch_end(&mut self) {
