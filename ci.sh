@@ -209,4 +209,38 @@ grep -q 'p4guard_frames_received_total{.*tenant=' "$SMOKE_DIR/fleet-metrics.txt"
 kill "$SERVE_PID" 2>/dev/null || true
 wait "$SERVE_PID" 2>/dev/null || true
 
+echo "==> delta-publish smoke (fixed seed, time-boxed)"
+# Incremental compilation + minimization gate (reproduce f14_minimize):
+# one-entry diffs against a 1024-entry stage must publish >=10x faster
+# than a from-scratch recompile, the live mid-serve delta chain must
+# conserve every frame, and the lowering-time minimizer must cut entries
+# on at least one learned ruleset.
+timeout 300 target/release/reproduce f14_minimize --out "$SMOKE_DIR/results" \
+  > "$SMOKE_DIR/minimize.log" 2>&1 || {
+  echo "reproduce f14_minimize failed:" >&2
+  tail -30 "$SMOKE_DIR/minimize.log" >&2
+  exit 1
+}
+grep -q 'conserved: yes' "$SMOKE_DIR/minimize.log" || {
+  echo "delta-publish smoke lost frames mid-serve:" >&2
+  cat "$SMOKE_DIR/minimize.log" >&2
+  exit 1
+}
+MINIMIZE_JSON="$SMOKE_DIR/results/f14_minimize.json"
+SPEEDUP=$(sed -n 's/.*"speedup": \([0-9.]*\).*/\1/p' "$MINIMIZE_JSON")
+if [ -z "$SPEEDUP" ] || ! awk -v s="$SPEEDUP" 'BEGIN { exit !(s >= 10) }'; then
+  echo "incremental publish speedup ${SPEEDUP:-?}x below the 10x gate:" >&2
+  grep 'speedup' "$SMOKE_DIR/minimize.log" >&2 || true
+  exit 1
+fi
+MARGIN_OK=$(awk '/"entries_source"/ { src = $2 + 0 }
+                 /"entries_minimized"/ { if ($2 + 0 < src) ok = 1 }
+                 END { print ok + 0 }' "$MINIMIZE_JSON")
+if [ "$MARGIN_OK" != "1" ]; then
+  echo "minimizer cut no entries on any learned ruleset:" >&2
+  cat "$SMOKE_DIR/minimize.log" >&2
+  exit 1
+fi
+echo "delta publish ${SPEEDUP}x >= 10x, frames conserved, minimizer margin > 0"
+
 echo "==> OK"

@@ -6,7 +6,7 @@
 //! ```text
 //! reproduce [EXPERIMENT ...] [--seed N] [--full] [--out DIR]
 //!
-//! EXPERIMENT ∈ { t1 t2 t3 f1 .. f14 f11_lookup f12_adapt f13_fleet all }  (default: all)
+//! EXPERIMENT ∈ { t1 t2 t3 f1 .. f14 f11_lookup f12_adapt f13_fleet f14_minimize all }  (default: all)
 //! --seed N   scenario seed (default 2020, the publication year)
 //! --full     use the full (paper-scale) pipeline config instead of the
 //!            fast profile
@@ -16,7 +16,7 @@
 use p4guard::config::GuardConfig;
 use p4guard::experiments::{
     adaptation, convergence, dataplane_exp, dataset, detection, efficiency, extensions, fleet_exp,
-    universality, ExperimentContext,
+    minimize_exp, universality, ExperimentContext,
 };
 use p4guard_packet::trace::AttackFamily;
 use serde::Serialize;
@@ -30,7 +30,7 @@ struct Options {
     out: Option<PathBuf>,
 }
 
-const ALL: [&str; 20] = [
+const ALL: [&str; 21] = [
     "t1",
     "t2",
     "t3",
@@ -51,6 +51,7 @@ const ALL: [&str; 20] = [
     "f13",
     "f13_fleet",
     "f14",
+    "f14_minimize",
 ];
 
 fn parse_args() -> Result<Options, String> {
@@ -111,7 +112,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: reproduce [t1 t2 t3 f1..f14 f11_lookup f12_adapt f13_fleet | all] [--seed N] [--full] [--out DIR]"
+                "usage: reproduce [t1 t2 t3 f1..f14 f11_lookup f12_adapt f13_fleet f14_minimize | all] [--seed N] [--full] [--out DIR]"
             );
             return ExitCode::FAILURE;
         }
@@ -244,6 +245,20 @@ fn main() -> ExitCode {
             }
             "f14" => {
                 let r = extensions::run_f14(options.seed, &config, &[None, Some(60.0), Some(30.0)]);
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "f14_minimize" => {
+                // 1-entry diffs against a 1024-entry stage; the full
+                // profile quadruples the trial count for tighter tails.
+                let trials = if options.full { 128 } else { 32 };
+                let r = minimize_exp::run_f14_minimize(
+                    &context(options.seed),
+                    &config,
+                    &[2, 4, 6, 8],
+                    1024,
+                    trials,
+                );
                 println!("{r}");
                 save_json(&options.out, id, &r);
             }

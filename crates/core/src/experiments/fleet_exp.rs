@@ -14,7 +14,7 @@
 use p4guard_features::extract::ByteDataset;
 use p4guard_fleet::{
     AclLayout, AdmitPolicy, BudgetConfig, FleetError, FleetGateway, FleetSim, FleetSimConfig,
-    TenantRegistry, TenantShare, TenantSpec,
+    TableBudgeter, TenantRegistry, TenantShare, TenantSpec,
 };
 use p4guard_gateway::GatewayConfig;
 use p4guard_rules::compile::{compile_tree, CompileConfig};
@@ -163,22 +163,32 @@ fn train_tenant(sim: &FleetSim, tenant: usize, layout: &AclLayout) -> RuleSet {
         .ternary
 }
 
-/// A ruleset guaranteed to overflow `tcam_bits`: filler entries keyed on
-/// a protocol number no device emits, at minimum priority so trimming
-/// cuts them first.
+/// A ruleset guaranteed to overflow `tcam_bits` *after minimization*:
+/// filler entries keyed on a protocol number no device emits, at minimum
+/// priority so trimming cuts them first. Broad learned entries can shadow
+/// part of the filler space (the minimizer then eliminates those fillers
+/// as dead), so the filler count cannot be derived from raw bits alone —
+/// we pad in chunks until the budgeter's minimized occupancy overflows.
 fn oversized(base: &RuleSet, tcam_bits: usize) -> RuleSet {
     let width = base.key_width();
-    let entry_bits = width * 8 * 2;
-    let filler = tcam_bits / entry_bits + 1;
     let mut rs = base.clone();
-    for i in 0..filler {
-        let mut value = vec![0u8; width];
-        let mut mask = vec![0u8; width];
-        value[0] = UNUSED_PROTO; // offset 0 of the key = IPv4 protocol
-        mask[0] = 0xff;
-        value[1] = (i % 256) as u8;
-        mask[1] = 0xff;
-        rs.push(TernaryEntry::new(value, mask, 1, i32::MIN + i as i32));
+    let mut i = 0usize;
+    while TableBudgeter::minimized_tcam_bits(&rs) <= tcam_bits {
+        for _ in 0..128 {
+            let mut value = vec![0u8; width];
+            let mut mask = vec![0u8; width];
+            value[0] = UNUSED_PROTO; // offset 0 of the key = IPv4 protocol
+            mask[0] = 0xff;
+            // Two distinct value bytes keep every filler spec unique, so
+            // the minimizer cannot merge or deduplicate fillers among
+            // themselves.
+            value[1] = (i % 256) as u8;
+            mask[1] = 0xff;
+            value[2] = ((i / 256) % 256) as u8;
+            mask[2] = 0xff;
+            rs.push(TernaryEntry::new(value, mask, 1, i32::MIN + i as i32));
+            i += 1;
+        }
     }
     rs
 }

@@ -11,6 +11,7 @@ pub mod detection;
 pub mod efficiency;
 pub mod extensions;
 pub mod fleet_exp;
+pub mod minimize_exp;
 pub mod universality;
 
 use p4guard_packet::trace::Trace;

@@ -4,7 +4,11 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The action bound to a table entry (or a table's default).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The derived ordering has no semantic meaning; it exists so actions can
+/// key ordered maps (the minimizer buckets entries deterministically by
+/// `(mask, action)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Action {
     /// Send the packet out of `port`.
     Forward(u16),

@@ -27,12 +27,15 @@
 
 use crate::action::Action;
 use crate::key::KeyLayout;
-use crate::table::{MatchKind, MatchSpec, Table};
+use crate::minimize::{self, MinEntry, MinimizedTable, SourceClass};
+use crate::table::{EntryHandle, MatchKind, MatchSpec, Table};
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// Rank of an entry in the frozen match order: the index into
-/// [`Table::entries`], which sorts by priority (descending) with insertion
-/// order breaking ties. Smaller rank wins.
+/// Rank of an entry in the frozen match order of the *minimized* entry
+/// list (priority descending, earliest-source order breaking ties; equal
+/// to the index into [`Table::entries`] when minimization is the
+/// identity). Smaller rank wins.
 pub type Rank = u32;
 
 /// What a traced lookup observed (see [`CompiledTable::lookup_traced`]).
@@ -187,30 +190,121 @@ pub struct CompiledTable {
     key: KeyLayout,
     default_action: Action,
     len: usize,
+    min: MinimizedTable,
     engine: Engine,
 }
 
 impl CompiledTable {
-    /// Lowers a frozen table into the lookup engine for its match kind.
+    /// Lowers a frozen table into the lookup engine for its match kind,
+    /// minimizing the entry list first (see [`crate::minimize`]): the
+    /// engine indexes the minimized entries, while [`CompiledTable::len`]
+    /// keeps reporting the source entry count.
     pub fn compile(table: &Table) -> Self {
-        let entries = table.entries();
-        let engine = match table.kind() {
-            MatchKind::Exact => Self::compile_exact(entries),
-            MatchKind::Lpm => Self::compile_lpm(entries),
-            MatchKind::Range => Self::compile_range(entries),
-            MatchKind::Ternary => Self::compile_ternary(entries),
-        };
+        let min = minimize::minimize(table.kind(), table.entries());
+        let engine = Self::build_engine(table.kind(), &min.entries, table.len());
         CompiledTable {
             name: table.name().to_owned(),
             kind: table.kind(),
             key: table.key().clone(),
             default_action: table.default_action(),
-            len: entries.len(),
+            len: table.len(),
+            min,
             engine,
         }
     }
 
-    fn compile_exact(entries: &[crate::table::TableEntry]) -> Engine {
+    /// Incrementally re-lowers `table` against its previously compiled
+    /// form. Three outcomes, cheapest first:
+    ///
+    /// 1. the `(handle, action)` fingerprint and default action are
+    ///    unchanged — the previous `Arc` is returned as-is (structural
+    ///    sharing across pipeline versions);
+    /// 2. the diff is additions plus removals of handles the last full
+    ///    minimization classified [`SourceClass::Clean`] or
+    ///    [`SourceClass::Eliminated`] — the minimized list is patched in
+    ///    place (added entries verbatim at the end of their priority
+    ///    level, which is where they sit in source match order too) and
+    ///    only the engine is rebuilt, skipping the quadratic
+    ///    minimization passes;
+    /// 3. anything else (action modified in place, default changed, a
+    ///    merged/covering entry removed, or a different table shape) —
+    ///    a full from-scratch compile.
+    ///
+    /// Patched-in entries are not re-minimized, so an incrementally
+    /// patched table can carry more entries than a fresh compile would —
+    /// never different verdicts. Verdict+priority equality with the
+    /// from-scratch compile is pinned by the differential suite.
+    pub fn recompile(prev: &Arc<CompiledTable>, table: &Table) -> Arc<CompiledTable> {
+        if prev.kind != table.kind()
+            || prev.name != table.name()
+            || &prev.key != table.key()
+            || prev.default_action != table.default_action()
+        {
+            return Arc::new(Self::compile(table));
+        }
+        let entries = table.entries();
+        if prev.min.source.len() == entries.len()
+            && prev
+                .min
+                .source
+                .iter()
+                .zip(entries)
+                .all(|(&(h, a), e)| h == e.handle && a == e.action)
+        {
+            return Arc::clone(prev);
+        }
+        let mut prev_actions: HashMap<EntryHandle, Action> =
+            prev.min.source.iter().copied().collect();
+        let mut added: Vec<&crate::table::TableEntry> = Vec::new();
+        for e in entries {
+            match prev_actions.remove(&e.handle) {
+                Some(a) if a == e.action => {}
+                // Action modified in place: patching is unsound when the
+                // modified entry interleaves with a merged wildcard, so
+                // always recompile the stage.
+                Some(_) => return Arc::new(Self::compile(table)),
+                None => added.push(e),
+            }
+        }
+        let removed: Vec<EntryHandle> = prev_actions.into_keys().collect();
+        if removed.iter().any(|&h| {
+            !matches!(
+                prev.min.class_of(h),
+                Some(SourceClass::Clean) | Some(SourceClass::Eliminated)
+            )
+        }) {
+            return Arc::new(Self::compile(table));
+        }
+        let mut min = prev.min.clone();
+        for h in removed {
+            min.patch_remove(h);
+        }
+        for e in added {
+            min.patch_add(e);
+        }
+        min.refresh_source(entries);
+        let engine = Self::build_engine(table.kind(), &min.entries, entries.len());
+        Arc::new(CompiledTable {
+            name: prev.name.clone(),
+            kind: prev.kind,
+            key: prev.key.clone(),
+            default_action: prev.default_action,
+            len: entries.len(),
+            min,
+            engine,
+        })
+    }
+
+    fn build_engine(kind: MatchKind, entries: &[MinEntry], source_len: usize) -> Engine {
+        match kind {
+            MatchKind::Exact => Self::compile_exact(entries),
+            MatchKind::Lpm => Self::compile_lpm(entries),
+            MatchKind::Range => Self::compile_range(entries),
+            MatchKind::Ternary => Self::compile_ternary(entries, source_len),
+        }
+    }
+
+    fn compile_exact(entries: &[MinEntry]) -> Engine {
         let mut map = HashMap::with_capacity(entries.len());
         for (rank, entry) in entries.iter().enumerate() {
             if let MatchSpec::Exact(value) = &entry.spec {
@@ -222,7 +316,7 @@ impl CompiledTable {
         Engine::ExactHash(map)
     }
 
-    fn compile_lpm(entries: &[crate::table::TableEntry]) -> Engine {
+    fn compile_lpm(entries: &[MinEntry]) -> Engine {
         // Entries arrive sorted by prefix length (the LPM priority),
         // longest first; group them into one hash bucket per length.
         let mut buckets: Vec<LpmBucket> = Vec::new();
@@ -248,7 +342,7 @@ impl CompiledTable {
         Engine::LpmBuckets(buckets)
     }
 
-    fn compile_range(entries: &[crate::table::TableEntry]) -> Engine {
+    fn compile_range(entries: &[MinEntry]) -> Engine {
         let mut index = RangeIndex {
             entries: Vec::with_capacity(entries.len()),
             buckets: vec![Vec::new(); 256],
@@ -265,7 +359,7 @@ impl CompiledTable {
         Engine::RangeIndex(index)
     }
 
-    fn compile_ternary(entries: &[crate::table::TableEntry]) -> Engine {
+    fn compile_ternary(entries: &[MinEntry], source_len: usize) -> Engine {
         let mut groups: Vec<MaskGroup> = Vec::new();
         for (rank, entry) in entries.iter().enumerate() {
             let rank = rank as Rank;
@@ -285,7 +379,10 @@ impl CompiledTable {
         }
         // One hash probe per group only pays off when entries share masks;
         // with (almost) all-distinct masks the scan is strictly cheaper.
-        if entries.len() >= TUPLE_SPACE_FALLBACK_MIN && groups.len() * 2 > entries.len() {
+        // The size gate stays on the *source* entry count (the table the
+        // operator installed), while diversity is measured on what is
+        // actually indexed — the minimized list.
+        if source_len >= TUPLE_SPACE_FALLBACK_MIN && groups.len() * 2 > source_len {
             return Engine::Scan(ScanEngine::new(
                 entries.iter().map(|e| (e.spec.clone(), e.action)).collect(),
             ));
@@ -319,6 +416,26 @@ impl CompiledTable {
     /// Returns `true` when the source table had no entries.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Entries the engine actually indexes after minimization (never more
+    /// than [`CompiledTable::len`]).
+    pub fn minimized_len(&self) -> usize {
+        self.min.entries.len()
+    }
+
+    /// The minimized entry list and its per-handle bookkeeping.
+    pub fn minimized(&self) -> &MinimizedTable {
+        &self.min
+    }
+
+    /// The effective priority of the minimized entry behind `rank`, or
+    /// `None` for an out-of-range rank. Together with the action this is
+    /// the transform-invariant identity of a lookup winner: minimization
+    /// and incremental patching may renumber ranks but never change the
+    /// winning `(action, priority)`.
+    pub fn rank_priority(&self, rank: Rank) -> Option<i32> {
+        self.min.entries.get(rank as usize).map(|m| m.priority)
     }
 
     /// The default action on miss.

@@ -57,6 +57,13 @@ pub struct PublishReport {
     pub subscribers: usize,
     /// Wall-clock time to snapshot and publish.
     pub elapsed: Duration,
+    /// Stages re-lowered for this snapshot (delta compilation rebuilt or
+    /// patched them because their entries changed).
+    #[serde(default)]
+    pub stages_recompiled: usize,
+    /// Stages shared unchanged (`Arc` clones) from the previous snapshot.
+    #[serde(default)]
+    pub stages_shared: usize,
 }
 
 /// Errors from targeted publication and version-history operations.
@@ -106,6 +113,11 @@ pub struct ControlPlane {
     next_version: Arc<AtomicU64>,
     recorder: Arc<Mutex<Option<Arc<FlightRecorder>>>>,
     history: Arc<Mutex<VecDeque<Arc<ReadPipeline>>>>,
+    /// The most recently compiled snapshot, kept as the delta-compilation
+    /// baseline: the next [`ControlPlane::snapshot`] re-lowers only the
+    /// stages whose entries changed since this one was built and shares
+    /// the rest by `Arc` clone.
+    last_compiled: Arc<Mutex<Option<Arc<ReadPipeline>>>>,
 }
 
 impl ControlPlane {
@@ -117,6 +129,7 @@ impl ControlPlane {
             next_version: Arc::new(AtomicU64::new(1)),
             recorder: Arc::new(Mutex::new(None)),
             history: Arc::new(Mutex::new(VecDeque::new())),
+            last_compiled: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -215,6 +228,51 @@ impl ControlPlane {
         })
     }
 
+    /// Applies a [`RuleSetDiff`] to stage `stage`: removes each `removed`
+    /// entry by spec + priority, then installs each `added` entry with
+    /// `on_match` — the O(changed entries) alternative to clearing and
+    /// re-installing a whole ruleset. Removals run first so capacity they
+    /// free is available to the inserts. Returns `(removed, installed)`
+    /// counts; a `removed` entry that is not present in the table is
+    /// skipped, not an error (the diff may predate other edits).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first table error from an insert (missing stage,
+    /// capacity, width); entries applied before the failure remain.
+    pub fn apply_ruleset_diff(
+        &self,
+        stage: usize,
+        diff: &RuleSetDiff,
+        on_match: Action,
+    ) -> Result<(usize, usize), TableError> {
+        let mut sw = self.switch.write();
+        let table = Self::stage_checked(&mut sw, stage)?;
+        let mut removed = 0usize;
+        for e in &diff.removed {
+            let spec = MatchSpec::Ternary {
+                value: e.value.clone(),
+                mask: e.mask.clone(),
+            };
+            if table.remove_matching(&spec, e.priority).is_some() {
+                removed += 1;
+            }
+        }
+        let mut installed = 0usize;
+        for e in &diff.added {
+            table.insert(
+                MatchSpec::Ternary {
+                    value: e.value.clone(),
+                    mask: e.mask.clone(),
+                },
+                on_match,
+                e.priority,
+            )?;
+            installed += 1;
+        }
+        Ok((removed, installed))
+    }
+
     /// Removes entries by handle, returning per-op latencies.
     ///
     /// # Errors
@@ -288,9 +346,38 @@ impl ControlPlane {
 
     /// Freezes the switch's current pipeline into a versioned read-path
     /// snapshot without publishing it.
+    ///
+    /// Compilation is incremental: stages unchanged since the last
+    /// snapshot are shared (`Arc` clones) rather than re-lowered, and pure
+    /// entry additions/removals patch the previous minimized form (see
+    /// [`Switch::read_pipeline_incremental`]), so republishing after a
+    /// small diff costs O(changed entries), not O(ruleset).
     pub fn snapshot(&self) -> Arc<ReadPipeline> {
+        self.snapshot_with_stats().0
+    }
+
+    /// [`ControlPlane::snapshot`] plus `(stages recompiled, stages shared)`
+    /// relative to the previous compiled snapshot.
+    fn snapshot_with_stats(&self) -> (Arc<ReadPipeline>, usize, usize) {
+        let mut cache = self.last_compiled.lock();
         let version = self.next_version.fetch_add(1, Ordering::Relaxed);
-        Arc::new(self.switch.read().read_pipeline(version))
+        let snapshot = Arc::new(
+            self.switch
+                .read()
+                .read_pipeline_incremental(version, cache.as_deref()),
+        );
+        let shared = match cache.as_deref() {
+            Some(prev) if prev.stages().len() == snapshot.stages().len() => snapshot
+                .stages()
+                .iter()
+                .zip(prev.stages())
+                .filter(|(a, b)| Arc::ptr_eq(a, b))
+                .count(),
+            _ => 0,
+        };
+        let recompiled = snapshot.stages().len() - shared;
+        *cache = Some(Arc::clone(&snapshot));
+        (snapshot, recompiled, shared)
     }
 
     /// Snapshots the switch and atomically publishes the snapshot to every
@@ -311,7 +398,7 @@ impl ControlPlane {
     /// drained first, and the publish duration.
     pub fn publish_audited(&self, delta: Option<&RuleSetDiff>, drained: bool) -> PublishReport {
         let start = Instant::now();
-        let snapshot = self.snapshot();
+        let (snapshot, stages_recompiled, stages_shared) = self.snapshot_with_stats();
         self.retain(Arc::clone(&snapshot));
         let subscribers = self.subscribers.lock();
         for cell in subscribers.iter() {
@@ -322,6 +409,8 @@ impl ControlPlane {
             entries: snapshot.entry_count(),
             subscribers: subscribers.len(),
             elapsed: start.elapsed(),
+            stages_recompiled,
+            stages_shared,
         };
         drop(subscribers);
         if let Some(recorder) = self.recorder.lock().as_ref() {
@@ -381,7 +470,7 @@ impl ControlPlane {
                 subscribers: subscribers.len(),
             });
         }
-        let snapshot = self.snapshot();
+        let (snapshot, stages_recompiled, stages_shared) = self.snapshot_with_stats();
         self.retain(Arc::clone(&snapshot));
         for &t in targets {
             subscribers[t].publish(Arc::clone(&snapshot));
@@ -391,6 +480,8 @@ impl ControlPlane {
             entries: snapshot.entry_count(),
             subscribers: targets.len(),
             elapsed: start.elapsed(),
+            stages_recompiled,
+            stages_shared,
         };
         drop(subscribers);
         if let Some(recorder) = self.recorder.lock().as_ref() {
@@ -437,6 +528,9 @@ impl ControlPlane {
             entries: snapshot.entry_count(),
             subscribers: subscribers.len(),
             elapsed: start.elapsed(),
+            // Republish serves retained bytes: nothing is compiled at all.
+            stages_recompiled: 0,
+            stages_shared: snapshot.stages().len(),
         })
     }
 
@@ -629,6 +723,82 @@ mod tests {
         // Versions are strictly increasing across publishes.
         let next = cp.publish();
         assert!(next.version > report.version);
+    }
+
+    #[test]
+    fn snapshots_share_unchanged_stages_and_recompile_changed_ones() {
+        // Two stages; touching only stage 1 must leave stage 0 shared by
+        // pointer identity across snapshots.
+        let mut sw = Switch::new("gw", ParserSpec::raw_window(2, 1), 0);
+        for name in ["acl", "policy"] {
+            sw.add_stage(Table::new(
+                name,
+                MatchKind::Ternary,
+                KeyLayout::window(2),
+                16,
+                Action::NoOp,
+            ));
+        }
+        let cp = ControlPlane::new(sw);
+        cp.install_ruleset(0, &ruleset(), Action::Drop).unwrap();
+        let first = cp.publish();
+        assert_eq!(
+            (first.stages_recompiled, first.stages_shared),
+            (2, 0),
+            "first publish compiles everything"
+        );
+        let s1 = cp.snapshot();
+
+        cp.install_ruleset(1, &ruleset(), Action::Mirror(7))
+            .unwrap();
+        let s2 = cp.snapshot();
+        assert!(
+            Arc::ptr_eq(&s1.stages()[0], &s2.stages()[0]),
+            "untouched stage is shared, not re-lowered"
+        );
+        assert!(
+            !Arc::ptr_eq(&s1.stages()[1], &s2.stages()[1]),
+            "modified stage is recompiled"
+        );
+
+        // A no-op publish shares every stage.
+        let idle = cp.publish();
+        assert_eq!((idle.stages_recompiled, idle.stages_shared), (0, 2));
+
+        // The shared snapshot still enforces both stages' rules.
+        let mut counters = crate::switch::SwitchCounters::default();
+        let mut scratch = Vec::new();
+        assert!(s2
+            .process_into(&[0x17, 0x99], &mut counters, &mut scratch)
+            .is_drop());
+    }
+
+    #[test]
+    fn incremental_snapshot_matches_scratch_after_entry_churn() {
+        let cp = control_with_table(MatchKind::Ternary, 2, 64);
+        cp.install_ruleset(0, &ruleset(), Action::Drop).unwrap();
+        let _warm = cp.snapshot();
+        // Add and remove entries so the patch path runs, then compare the
+        // incremental snapshot against a from-scratch twin on every key.
+        let report = cp
+            .install_ruleset(0, &ruleset(), Action::Mirror(3))
+            .unwrap();
+        cp.remove_entries(0, &report.handles[..1]).unwrap();
+        let incremental = cp.snapshot();
+        let scratch_twin = cp.with_switch(|sw| sw.read_pipeline(999));
+        let mut c1 = crate::switch::SwitchCounters::default();
+        let mut c2 = crate::switch::SwitchCounters::default();
+        let mut buf1 = Vec::new();
+        let mut buf2 = Vec::new();
+        for k in 0..=u16::MAX {
+            let frame = k.to_be_bytes();
+            assert_eq!(
+                incremental.process_into(&frame, &mut c1, &mut buf1),
+                scratch_twin.process_into(&frame, &mut c2, &mut buf2),
+                "verdict diverged on key {frame:02x?}"
+            );
+        }
+        assert_eq!(c1, c2);
     }
 
     #[test]

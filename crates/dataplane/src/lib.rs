@@ -46,6 +46,7 @@ pub mod action;
 pub mod compiled;
 pub mod control;
 pub mod key;
+pub mod minimize;
 pub mod parser;
 pub mod pipeline;
 pub mod resources;

@@ -1,0 +1,824 @@
+//! Lowering-time table minimization: subsumed-entry elimination, ternary
+//! sibling merging and range coalescing, applied when a frozen
+//! [`Table`](crate::table::Table) is compiled into a
+//! [`CompiledTable`](crate::compiled::CompiledTable).
+//!
+//! The reference semantics are [`Table::peek`](crate::table::Table::peek):
+//! the winner is the first
+//! matching entry in frozen match order (priority descending, insertion
+//! order breaking ties). Minimization rewrites the entry list without
+//! changing any lookup's `(action, winning priority)`:
+//!
+//! * **Subsumption** (all kinds): an entry whose match set is contained in
+//!   an earlier kept entry's match set can never be the first match, so it
+//!   is dropped — regardless of either action, a shadowed entry is dead.
+//! * **Sibling merging** (ternary): within one priority level that is
+//!   *order-free* (no two overlapping entries carry different actions),
+//!   two entries with the same mask and action whose values differ in a
+//!   single cared bit are exactly the union of a one-bit-wider wildcard,
+//!   so they collapse into it. Runs to a fixpoint, so whole subtrees of
+//!   adjacent decision-tree leaves fold together.
+//! * **Interval coalescing** (range): within an order-free level, two
+//!   same-action boxes equal on every byte but one, whose intervals on
+//!   that byte touch or overlap, are exactly their union box.
+//!
+//! Merged entries keep the *earliest* source position (the minimum source
+//! handle) as their order key, so the minimized list replays the source
+//! table's relative order level by level. That order preservation is what
+//! makes incremental patching
+//! ([`CompiledTable::recompile`](crate::compiled::CompiledTable::recompile))
+//! sound: an added entry always lands at the end of its priority level in
+//! both the source table and the minimized list.
+//!
+//! Every source handle is classified ([`SourceClass`]) by how the last
+//! full minimization treated it; the incremental compiler patches entry
+//! additions and removals of [`SourceClass::Clean`]/
+//! [`SourceClass::Eliminated`] handles in place and falls back to a full
+//! recompile for anything entangled in a merge or covering relation.
+
+use crate::action::Action;
+use crate::table::{EntryHandle, MatchKind, MatchSpec, TableEntry};
+use std::collections::BTreeMap;
+
+/// Above this source entry count minimization is skipped (the subsumption
+/// pass is quadratic); the table compiles one engine row per source entry
+/// and every handle classifies as [`SourceClass::Clean`].
+pub const MINIMIZE_MAX_ENTRIES: usize = 3072;
+
+/// How the last full minimization treated one source handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceClass {
+    /// Kept one-to-one: not merged, and covering no eliminated entry.
+    /// Removing it just deletes its minimized entry.
+    Clean,
+    /// Folded into a wider merged entry with at least one sibling.
+    Merged,
+    /// Dropped because an earlier kept entry covers it; removing it is a
+    /// no-op on the minimized list.
+    Eliminated,
+    /// Kept, and the recorded shadow of at least one eliminated entry;
+    /// removing it could resurrect what it shadowed.
+    Coverer,
+}
+
+/// One minimized entry, in minimized match order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinEntry {
+    /// The (possibly widened) match spec.
+    pub spec: MatchSpec,
+    /// Action on hit.
+    pub action: Action,
+    /// Effective priority (identical to every source it stands for).
+    pub priority: i32,
+    /// Order key within the priority level: the smallest source handle
+    /// this entry stands for. Unmerged entries carry their own handle.
+    pub order: u64,
+}
+
+/// The minimized form of one table's entry list plus the bookkeeping the
+/// incremental compiler needs: the source `(handle, action)` fingerprint
+/// (specs and priorities are immutable per handle, so this detects every
+/// possible table edit) and a per-handle [`SourceClass`].
+#[derive(Debug, Clone)]
+pub struct MinimizedTable {
+    /// Minimized entries sorted by (priority descending, order ascending).
+    pub entries: Vec<MinEntry>,
+    /// `(handle, action)` per source entry, in source match order.
+    pub source: Vec<(EntryHandle, Action)>,
+    /// Per-handle classification, sorted by handle for binary search.
+    classes: Vec<(EntryHandle, SourceClass)>,
+    /// Source entries dropped by subsumption.
+    pub eliminated: usize,
+    /// Source entries folded away by merging (sources minus survivors).
+    pub merged_away: usize,
+}
+
+impl MinimizedTable {
+    /// The classification of `handle` from the last full minimization
+    /// (patched-in entries classify as [`SourceClass::Clean`]).
+    pub fn class_of(&self, handle: EntryHandle) -> Option<SourceClass> {
+        self.classes
+            .binary_search_by_key(&handle, |&(h, _)| h)
+            .ok()
+            .map(|i| self.classes[i].1)
+    }
+
+    /// Removes `handle` from the bookkeeping and, for a clean handle, its
+    /// minimized entry. The caller must have verified the class is
+    /// [`SourceClass::Clean`] or [`SourceClass::Eliminated`].
+    pub(crate) fn patch_remove(&mut self, handle: EntryHandle) {
+        if let Ok(i) = self.classes.binary_search_by_key(&handle, |&(h, _)| h) {
+            let (_, class) = self.classes.remove(i);
+            match class {
+                SourceClass::Clean => self.entries.retain(|m| m.order != handle.0),
+                SourceClass::Eliminated => self.eliminated -= 1,
+                // Guarded by the caller; keep the list untouched so the
+                // engine rebuild stays conservative even on misuse.
+                SourceClass::Merged | SourceClass::Coverer => {}
+            }
+        }
+    }
+
+    /// Inserts a source entry verbatim (no re-minimization) at its sorted
+    /// position — the end of its priority level, since fresh handles
+    /// exceed every handle the table has ever issued.
+    pub(crate) fn patch_add(&mut self, entry: &TableEntry) {
+        let at = self.entries.partition_point(|m| {
+            m.priority > entry.priority
+                || (m.priority == entry.priority && m.order < entry.handle.0)
+        });
+        self.entries.insert(
+            at,
+            MinEntry {
+                spec: entry.spec.clone(),
+                action: entry.action,
+                priority: entry.priority,
+                order: entry.handle.0,
+            },
+        );
+        let ci = self.classes.partition_point(|&(h, _)| h < entry.handle);
+        self.classes.insert(ci, (entry.handle, SourceClass::Clean));
+    }
+
+    /// Rebuilds the source fingerprint from the table's current entries.
+    pub(crate) fn refresh_source(&mut self, entries: &[TableEntry]) {
+        self.source = entries.iter().map(|e| (e.handle, e.action)).collect();
+    }
+}
+
+/// A kept entry mid-minimization.
+struct Kept {
+    spec: MatchSpec,
+    action: Action,
+    priority: i32,
+    order: u64,
+    sources: Vec<EntryHandle>,
+    merged: bool,
+    covering: bool,
+}
+
+/// Minimizes `entries` (in frozen match order) for a table of `kind`.
+pub fn minimize(kind: MatchKind, entries: &[TableEntry]) -> MinimizedTable {
+    let source: Vec<(EntryHandle, Action)> = entries.iter().map(|e| (e.handle, e.action)).collect();
+    if entries.len() > MINIMIZE_MAX_ENTRIES {
+        let min_entries = entries
+            .iter()
+            .map(|e| MinEntry {
+                spec: e.spec.clone(),
+                action: e.action,
+                priority: e.priority,
+                order: e.handle.0,
+            })
+            .collect();
+        let mut classes: Vec<(EntryHandle, SourceClass)> = entries
+            .iter()
+            .map(|e| (e.handle, SourceClass::Clean))
+            .collect();
+        classes.sort_unstable_by_key(|&(h, _)| h);
+        return MinimizedTable {
+            entries: min_entries,
+            source,
+            classes,
+            eliminated: 0,
+            merged_away: 0,
+        };
+    }
+
+    // Pass 1 — subsumption: an entry covered by an earlier kept entry can
+    // never be the first match, whatever either action is.
+    let mut kept: Vec<Kept> = Vec::new();
+    let mut eliminated_handles: Vec<EntryHandle> = Vec::new();
+    for e in entries {
+        match kept.iter_mut().find(|k| spec_covers(&k.spec, &e.spec)) {
+            Some(shadow) => {
+                shadow.covering = true;
+                eliminated_handles.push(e.handle);
+            }
+            None => kept.push(Kept {
+                spec: e.spec.clone(),
+                action: e.action,
+                priority: e.priority,
+                order: e.handle.0,
+                sources: vec![e.handle],
+                merged: false,
+                covering: false,
+            }),
+        }
+    }
+    let eliminated = eliminated_handles.len();
+
+    // Pass 2 — per-level merging for the widenable kinds.
+    let kept = match kind {
+        MatchKind::Ternary => merge_levels(kept, merge_ternary_level),
+        MatchKind::Range => merge_levels(kept, merge_range_level),
+        MatchKind::Exact | MatchKind::Lpm => kept,
+    };
+
+    let merged_away = kept
+        .iter()
+        .filter(|k| k.merged)
+        .map(|k| k.sources.len() - 1)
+        .sum();
+    let mut classes: Vec<(EntryHandle, SourceClass)> = Vec::with_capacity(entries.len());
+    for k in &kept {
+        let class = if k.merged {
+            SourceClass::Merged
+        } else if k.covering {
+            SourceClass::Coverer
+        } else {
+            SourceClass::Clean
+        };
+        classes.extend(k.sources.iter().map(|&h| (h, class)));
+    }
+    classes.extend(
+        eliminated_handles
+            .into_iter()
+            .map(|h| (h, SourceClass::Eliminated)),
+    );
+    classes.sort_unstable_by_key(|&(h, _)| h);
+
+    let min_entries = kept
+        .into_iter()
+        .map(|k| MinEntry {
+            spec: k.spec,
+            action: k.action,
+            priority: k.priority,
+            order: k.order,
+        })
+        .collect();
+    MinimizedTable {
+        entries: min_entries,
+        source,
+        classes,
+        eliminated,
+        merged_away,
+    }
+}
+
+/// Splits `kept` (already in match order) into maximal equal-priority
+/// runs, merges each run with `merge_level`, re-sorts each run by order
+/// key and concatenates.
+fn merge_levels(kept: Vec<Kept>, merge_level: fn(Vec<Kept>) -> Vec<Kept>) -> Vec<Kept> {
+    let mut out: Vec<Kept> = Vec::with_capacity(kept.len());
+    let mut level: Vec<Kept> = Vec::new();
+    for k in kept {
+        if level.last().is_some_and(|l| l.priority != k.priority) {
+            out.extend(flush_level(std::mem::take(&mut level), merge_level));
+        }
+        level.push(k);
+    }
+    out.extend(flush_level(level, merge_level));
+    out
+}
+
+fn flush_level(level: Vec<Kept>, merge_level: fn(Vec<Kept>) -> Vec<Kept>) -> Vec<Kept> {
+    if level.len() < 2 {
+        return level;
+    }
+    let mut merged = merge_level(level);
+    merged.sort_by_key(|k| k.order);
+    merged
+}
+
+/// Returns `true` when no two entries of the level that overlap carry
+/// different actions — the condition under which relative order inside
+/// the level cannot affect any lookup's action, so union-preserving
+/// rewrites are free.
+fn level_order_free(level: &[Kept], overlaps: fn(&MatchSpec, &MatchSpec) -> bool) -> bool {
+    for (i, a) in level.iter().enumerate() {
+        for b in &level[i + 1..] {
+            if a.action != b.action && overlaps(&a.spec, &b.spec) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Merges one-bit ternary siblings within an order-free level to a
+/// fixpoint. Deterministic: entries are bucketed in ordered maps and bit
+/// positions are swept most-significant first.
+fn merge_ternary_level(level: Vec<Kept>) -> Vec<Kept> {
+    if !level_order_free(&level, ternary_overlaps) {
+        return level;
+    }
+    let priority = level[0].priority;
+    // (mask, action) → masked value → (order, sources, merged, covering).
+    // `covering` must ride along: an entry shadowing eliminated entries
+    // keeps shadowing them whether or not this pass widens it, and losing
+    // the flag would let `recompile` patch its removal without
+    // resurrecting what it shadowed.
+    type Slot = (u64, Vec<EntryHandle>, bool, bool);
+    let mut groups: BTreeMap<(Vec<u8>, Action), BTreeMap<Vec<u8>, Slot>> = BTreeMap::new();
+    for k in level {
+        let MatchSpec::Ternary { value, mask } = k.spec else {
+            // Non-ternary specs cannot appear in a ternary table; keep
+            // the entry untouched if they somehow do.
+            continue;
+        };
+        let masked: Vec<u8> = value.iter().zip(&mask).map(|(&v, &m)| v & m).collect();
+        groups
+            .entry((mask, k.action))
+            .or_default()
+            .entry(masked)
+            .and_modify(|slot| {
+                // An exact duplicate can only arise from a merge result
+                // colliding with an installed entry; fold them together.
+                slot.0 = slot.0.min(k.order);
+                slot.1.extend(k.sources.iter().copied());
+                slot.2 = true;
+                slot.3 |= k.covering;
+            })
+            .or_insert((k.order, k.sources, k.merged, k.covering));
+    }
+    loop {
+        let mut changed = false;
+        let keys: Vec<_> = groups.keys().cloned().collect();
+        for key in keys {
+            let (mask, action) = &key;
+            let width = mask.len();
+            for byte in 0..width {
+                for bit in (0..8).rev() {
+                    let bitmask = 1u8 << bit;
+                    if mask[byte] & bitmask == 0 {
+                        continue;
+                    }
+                    let Some(group) = groups.get(&key) else { break };
+                    let pairs: Vec<Vec<u8>> = group
+                        .keys()
+                        .filter(|v| v[byte] & bitmask == 0)
+                        .filter(|v| {
+                            let mut hi = (*v).clone();
+                            hi[byte] |= bitmask;
+                            group.contains_key(&hi)
+                        })
+                        .cloned()
+                        .collect();
+                    if pairs.is_empty() {
+                        continue;
+                    }
+                    changed = true;
+                    let mut wide_mask = mask.clone();
+                    wide_mask[byte] &= !bitmask;
+                    for lo in pairs {
+                        let mut hi = lo.clone();
+                        hi[byte] |= bitmask;
+                        let group = groups.get_mut(&key).expect("group present");
+                        let (ord_a, mut src_a, _, cov_a) = group.remove(&lo).expect("lo present");
+                        let (ord_b, src_b, _, cov_b) = group.remove(&hi).expect("hi present");
+                        src_a.extend(src_b);
+                        let covering = cov_a || cov_b;
+                        let wide = groups.entry((wide_mask.clone(), *action)).or_default();
+                        wide.entry(lo)
+                            .and_modify(|slot| {
+                                slot.0 = slot.0.min(ord_a.min(ord_b));
+                                slot.1.extend(src_a.iter().copied());
+                                slot.2 = true;
+                                slot.3 |= covering;
+                            })
+                            .or_insert((ord_a.min(ord_b), src_a, true, covering));
+                    }
+                }
+            }
+        }
+        groups.retain(|_, g| !g.is_empty());
+        if !changed {
+            break;
+        }
+    }
+    groups
+        .into_iter()
+        .flat_map(|((mask, action), slots)| {
+            slots
+                .into_iter()
+                .map(move |(value, (order, sources, merged, covering))| Kept {
+                    spec: MatchSpec::Ternary {
+                        value,
+                        mask: mask.clone(),
+                    },
+                    action,
+                    priority,
+                    order,
+                    sources,
+                    merged,
+                    covering,
+                })
+        })
+        .collect()
+}
+
+/// Coalesces adjacent/overlapping same-action range boxes differing in a
+/// single byte dimension, within an order-free level, to a fixpoint.
+fn merge_range_level(level: Vec<Kept>) -> Vec<Kept> {
+    if !level_order_free(&level, range_overlaps) {
+        return level;
+    }
+    let mut items = level;
+    loop {
+        let mut merged_any = false;
+        'scan: for i in 0..items.len() {
+            for j in (i + 1)..items.len() {
+                if items[i].action != items[j].action {
+                    continue;
+                }
+                let (MatchSpec::Range { lo: la, hi: ha }, MatchSpec::Range { lo: lb, hi: hb }) =
+                    (&items[i].spec, &items[j].spec)
+                else {
+                    continue;
+                };
+                let Some(dim) = coalescable_dim(la, ha, lb, hb) else {
+                    continue;
+                };
+                let mut lo = la.clone();
+                let mut hi = ha.clone();
+                lo[dim] = lo[dim].min(lb[dim]);
+                hi[dim] = hi[dim].max(hb[dim]);
+                let b = items.remove(j);
+                let a = &mut items[i];
+                a.spec = MatchSpec::Range { lo, hi };
+                a.order = a.order.min(b.order);
+                a.sources.extend(b.sources);
+                a.merged = true;
+                a.covering = a.covering || b.covering;
+                merged_any = true;
+                break 'scan;
+            }
+        }
+        if !merged_any {
+            break;
+        }
+    }
+    items
+}
+
+/// If boxes `a` and `b` are equal on every byte except one where their
+/// intervals touch or overlap, returns that dimension.
+fn coalescable_dim(la: &[u8], ha: &[u8], lb: &[u8], hb: &[u8]) -> Option<usize> {
+    let mut dim = None;
+    for i in 0..la.len() {
+        if la[i] == lb[i] && ha[i] == hb[i] {
+            continue;
+        }
+        if dim.is_some() {
+            return None;
+        }
+        // Touching or overlapping on this byte (u16 math avoids overflow
+        // at 255 + 1).
+        let lo = u16::from(la[i].max(lb[i]));
+        let hi = u16::from(ha[i].min(hb[i]));
+        if lo > hi + 1 {
+            return None;
+        }
+        dim = Some(i);
+    }
+    dim
+}
+
+/// Match-set containment: every key matching `b` also matches `a`. Only
+/// defined within one match kind (tables are single-kind).
+pub fn spec_covers(a: &MatchSpec, b: &MatchSpec) -> bool {
+    match (a, b) {
+        (MatchSpec::Exact(va), MatchSpec::Exact(vb)) => va == vb,
+        (
+            MatchSpec::Ternary {
+                value: va,
+                mask: ma,
+            },
+            MatchSpec::Ternary {
+                value: vb,
+                mask: mb,
+            },
+        ) => {
+            va.len() == vb.len()
+                && va
+                    .iter()
+                    .zip(vb)
+                    .zip(ma.iter().zip(mb))
+                    .all(|((&va, &vb), (&ma, &mb))| ma & !mb == 0 && (va ^ vb) & ma == 0)
+        }
+        (
+            MatchSpec::Lpm {
+                value: va,
+                prefix_len: pa,
+            },
+            MatchSpec::Lpm {
+                value: vb,
+                prefix_len: pb,
+            },
+        ) => {
+            va.len() == vb.len() && pa <= pb && {
+                let full = pa / 8;
+                va[..full] == vb[..full] && {
+                    let rem = pa % 8;
+                    rem == 0 || {
+                        let m = 0xffu8 << (8 - rem);
+                        va[full] & m == vb[full] & m
+                    }
+                }
+            }
+        }
+        (MatchSpec::Range { lo: la, hi: ha }, MatchSpec::Range { lo: lb, hi: hb }) => {
+            la.len() == lb.len()
+                && la.iter().zip(lb).all(|(&a, &b)| a <= b)
+                && ha.iter().zip(hb).all(|(&a, &b)| a >= b)
+        }
+        _ => false,
+    }
+}
+
+/// Ternary overlap: some key matches both specs.
+fn ternary_overlaps(a: &MatchSpec, b: &MatchSpec) -> bool {
+    match (a, b) {
+        (
+            MatchSpec::Ternary {
+                value: va,
+                mask: ma,
+            },
+            MatchSpec::Ternary {
+                value: vb,
+                mask: mb,
+            },
+        ) => {
+            va.len() == vb.len()
+                && va
+                    .iter()
+                    .zip(vb)
+                    .zip(ma.iter().zip(mb))
+                    .all(|((&va, &vb), (&ma, &mb))| (va ^ vb) & ma & mb == 0)
+        }
+        _ => false,
+    }
+}
+
+/// Range overlap: the boxes intersect on every byte.
+fn range_overlaps(a: &MatchSpec, b: &MatchSpec) -> bool {
+    match (a, b) {
+        (MatchSpec::Range { lo: la, hi: ha }, MatchSpec::Range { lo: lb, hi: hb }) => {
+            la.len() == lb.len()
+                && la
+                    .iter()
+                    .zip(ha)
+                    .zip(lb.iter().zip(hb))
+                    .all(|((&la, &ha), (&lb, &hb))| la.max(lb) <= ha.min(hb))
+        }
+        _ => false,
+    }
+}
+
+/// Minimized entry count for a pure ternary rule list installed with one
+/// uniform action — the form `ControlPlane::install_ruleset` lowers a
+/// `RuleSet` into, and what the fleet budgeter admits against. Entries
+/// arrive as `(value, mask, priority)`; order among equal priorities is
+/// verdict-neutral under a uniform action, so callers may pass any stable
+/// order.
+pub fn minimized_ternary_count<'a, I>(rules: I) -> usize
+where
+    I: IntoIterator<Item = (&'a [u8], &'a [u8], i32)>,
+{
+    let mut entries: Vec<TableEntry> = rules
+        .into_iter()
+        .enumerate()
+        .map(|(i, (value, mask, priority))| TableEntry {
+            handle: EntryHandle(i as u64 + 1),
+            spec: MatchSpec::Ternary {
+                value: value.to_vec(),
+                mask: mask.to_vec(),
+            },
+            action: Action::Drop,
+            priority,
+            hits: 0,
+        })
+        .collect();
+    entries.sort_by_key(|e| std::cmp::Reverse(e.priority));
+    minimize(MatchKind::Ternary, &entries).entries.len()
+}
+
+/// The number of TCAM entries an optimal prefix expansion of the
+/// per-byte range box `[lo, hi]` occupies: the product over bytes of the
+/// minimal aligned-block cover of each interval (greedy largest-aligned
+/// block, which is optimal for prefix covers).
+pub fn range_prefix_expansion(lo: &[u8], hi: &[u8]) -> usize {
+    lo.iter()
+        .zip(hi)
+        .map(|(&l, &h)| byte_prefix_count(u16::from(l), u16::from(h)))
+        .product()
+}
+
+fn byte_prefix_count(lo: u16, hi: u16) -> usize {
+    let mut count = 0usize;
+    let mut cur = lo;
+    while cur <= hi {
+        let mut size = 1u16;
+        while cur.is_multiple_of(size * 2) && cur + (size * 2 - 1) <= hi {
+            size *= 2;
+        }
+        count += 1;
+        cur += size;
+    }
+    count
+}
+
+/// TCAM entries the minimized list occupies once lowered to hardware:
+/// ranges expand to their optimal prefix cover, everything else is one
+/// entry per minimized row.
+pub fn tcam_entries(entries: &[MinEntry]) -> usize {
+    entries
+        .iter()
+        .map(|m| match &m.spec {
+            MatchSpec::Range { lo, hi } => range_prefix_expansion(lo, hi),
+            _ => 1,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyLayout;
+    use crate::table::Table;
+
+    fn ternary(value: Vec<u8>, mask: Vec<u8>) -> MatchSpec {
+        MatchSpec::Ternary { value, mask }
+    }
+
+    fn build(kind: MatchKind, width: usize, rows: &[(MatchSpec, Action, i32)]) -> Table {
+        let mut t = Table::new("m", kind, KeyLayout::window(width), 256, Action::NoOp);
+        for (spec, action, priority) in rows {
+            t.insert(spec.clone(), *action, *priority).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn siblings_fold_to_a_single_wildcard() {
+        // Four values over two low bits, same mask/action/priority: the
+        // whole block folds into one entry with the two bits wildcarded.
+        let rows: Vec<_> = (0..4u8)
+            .map(|v| (ternary(vec![v], vec![0xff]), Action::Drop, 1))
+            .collect();
+        let t = build(MatchKind::Ternary, 1, &rows);
+        let min = minimize(MatchKind::Ternary, t.entries());
+        assert_eq!(min.entries.len(), 1);
+        assert_eq!(min.entries[0].spec, ternary(vec![0], vec![0xfc]));
+        assert_eq!(min.entries[0].order, 1);
+        assert_eq!(min.merged_away, 3);
+        for e in t.entries() {
+            assert_eq!(min.class_of(e.handle), Some(SourceClass::Merged));
+        }
+    }
+
+    #[test]
+    fn overlapping_different_actions_block_merging() {
+        // The match-all overlaps both /8 entries with a different action,
+        // so the level is order-sensitive and must stay untouched.
+        let rows = [
+            (ternary(vec![0x00], vec![0xff]), Action::Drop, 1),
+            (ternary(vec![0x01], vec![0xff]), Action::Drop, 1),
+            (ternary(vec![0x00], vec![0x00]), Action::Forward(1), 1),
+        ];
+        let t = build(MatchKind::Ternary, 1, &rows);
+        let min = minimize(MatchKind::Ternary, t.entries());
+        assert_eq!(min.entries.len(), 3);
+        assert_eq!(min.merged_away, 0);
+    }
+
+    #[test]
+    fn subsumed_entries_are_eliminated_and_classified() {
+        let rows = [
+            (ternary(vec![0x10], vec![0xf0]), Action::Drop, 5),
+            // Covered by the /4 above (agrees on the cared bits).
+            (ternary(vec![0x17], vec![0xff]), Action::Forward(1), 1),
+            (ternary(vec![0x40], vec![0xc0]), Action::Drop, 1),
+        ];
+        let t = build(MatchKind::Ternary, 1, &rows);
+        let min = minimize(MatchKind::Ternary, t.entries());
+        assert_eq!(min.entries.len(), 2);
+        assert_eq!(min.eliminated, 1);
+        let h = |i: usize| t.entries()[i].handle;
+        // Match order: priority 5 first.
+        assert_eq!(min.class_of(h(0)), Some(SourceClass::Coverer));
+        assert_eq!(min.class_of(h(1)), Some(SourceClass::Eliminated));
+        assert_eq!(min.class_of(h(2)), Some(SourceClass::Clean));
+    }
+
+    #[test]
+    fn merged_entries_keep_the_earliest_source_position() {
+        // A foreign-action entry sits between the two siblings at a lower
+        // priority; the merged entry must order at the first sibling.
+        let rows = [
+            (ternary(vec![0x02], vec![0xff]), Action::Drop, 3),
+            (ternary(vec![0x09], vec![0x0f]), Action::Forward(1), 2),
+            (ternary(vec![0x03], vec![0xff]), Action::Drop, 3),
+        ];
+        let t = build(MatchKind::Ternary, 1, &rows);
+        let min = minimize(MatchKind::Ternary, t.entries());
+        assert_eq!(min.entries.len(), 2);
+        assert_eq!(min.entries[0].spec, ternary(vec![0x02], vec![0xfe]));
+        assert_eq!(min.entries[0].order, 1);
+        assert_eq!(min.entries[1].action, Action::Forward(1));
+    }
+
+    #[test]
+    fn adjacent_ranges_coalesce() {
+        let range = |lo: Vec<u8>, hi: Vec<u8>| MatchSpec::Range { lo, hi };
+        let rows = [
+            (range(vec![10, 0], vec![20, 50]), Action::Drop, 1),
+            (range(vec![21, 0], vec![30, 50]), Action::Drop, 1),
+            // Different second dimension: not coalescable with the above.
+            (range(vec![10, 60], vec![20, 80]), Action::Drop, 1),
+        ];
+        let t = build(MatchKind::Range, 2, &rows);
+        let min = minimize(MatchKind::Range, t.entries());
+        assert_eq!(min.entries.len(), 2);
+        assert_eq!(min.entries[0].spec, range(vec![10, 0], vec![30, 50]));
+        assert_eq!(min.merged_away, 1);
+    }
+
+    #[test]
+    fn lpm_and_exact_only_drop_duplicates() {
+        let t = build(
+            MatchKind::Exact,
+            1,
+            &[
+                (MatchSpec::Exact(vec![7]), Action::Drop, 5),
+                (MatchSpec::Exact(vec![7]), Action::Forward(1), 1),
+                (MatchSpec::Exact(vec![8]), Action::Drop, 1),
+            ],
+        );
+        let min = minimize(MatchKind::Exact, t.entries());
+        assert_eq!(min.entries.len(), 2);
+        assert_eq!(min.eliminated, 1);
+
+        let lpm = |value: Vec<u8>, prefix_len: usize| MatchSpec::Lpm { value, prefix_len };
+        let t = build(
+            MatchKind::Lpm,
+            1,
+            &[
+                (lpm(vec![0b1010_0000], 4), Action::Drop, 0),
+                // Same masked /4 prefix, junk in the uncared bits.
+                (lpm(vec![0b1010_1111], 4), Action::Forward(1), 0),
+                (lpm(vec![0b1100_0000], 4), Action::Drop, 0),
+            ],
+        );
+        let min = minimize(MatchKind::Lpm, t.entries());
+        assert_eq!(min.entries.len(), 2);
+        assert_eq!(min.eliminated, 1);
+    }
+
+    #[test]
+    fn coverer_class_survives_the_ternary_merge_pass() {
+        // h1 (c0/f0 @1) shadows h3 (c0/f0 @0) across priority levels; the
+        // p=1 level has a second entry so the merge pass rebuilds it.
+        // Regression: the rebuild used to drop the covering flag, letting
+        // the incremental compiler patch h1's removal without
+        // resurrecting h3.
+        let rows = [
+            (ternary(vec![0xc0], vec![0xf0]), Action::Drop, 1),
+            (ternary(vec![0x02], vec![0xfe]), Action::Drop, 1),
+            (ternary(vec![0xc0], vec![0xf0]), Action::Drop, 0),
+        ];
+        let t = build(MatchKind::Ternary, 1, &rows);
+        let min = minimize(MatchKind::Ternary, t.entries());
+        let handles: Vec<_> = t.entries().iter().map(|e| e.handle).collect();
+        assert_eq!(min.class_of(handles[0]), Some(SourceClass::Coverer));
+        assert_eq!(min.class_of(handles[2]), Some(SourceClass::Eliminated));
+    }
+
+    #[test]
+    fn oversized_tables_skip_minimization() {
+        let rows: Vec<_> = (0..8u8)
+            .map(|v| (ternary(vec![v], vec![0xff]), Action::Drop, 1))
+            .collect();
+        let t = build(MatchKind::Ternary, 1, &rows);
+        // Simulate the cap by checking the identity path directly.
+        let min = minimize(MatchKind::Ternary, t.entries());
+        assert_eq!(min.entries.len(), 1, "under the cap the block folds");
+        // The public cap constant is what compile consults; entries past
+        // it classify Clean and pass through one-to-one (covered by the
+        // construction at the top of `minimize`).
+        const { assert!(MINIMIZE_MAX_ENTRIES >= 1024) };
+    }
+
+    #[test]
+    fn range_prefix_expansion_is_optimal_per_byte() {
+        // [0, 255] is one prefix; [1, 254] needs the worst-case ladder.
+        assert_eq!(range_prefix_expansion(&[0], &[255]), 1);
+        assert_eq!(range_prefix_expansion(&[1], &[254]), 14);
+        assert_eq!(range_prefix_expansion(&[16], &[31]), 1);
+        assert_eq!(range_prefix_expansion(&[15], &[16]), 2);
+        // Multi-byte boxes multiply.
+        assert_eq!(range_prefix_expansion(&[0, 1], &[255, 254]), 14);
+    }
+
+    #[test]
+    fn minimized_ternary_count_matches_table_minimization() {
+        let values: Vec<(Vec<u8>, Vec<u8>, i32)> =
+            (0..4u8).map(|v| (vec![v], vec![0xff], 1)).collect();
+        let n = minimized_ternary_count(
+            values
+                .iter()
+                .map(|(v, m, p)| (v.as_slice(), m.as_slice(), *p)),
+        );
+        assert_eq!(n, 1);
+    }
+}

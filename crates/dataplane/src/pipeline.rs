@@ -35,7 +35,11 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct ReadPipeline {
     parser: ParserSpec,
-    stages: Vec<CompiledTable>,
+    /// Stages are individually reference-counted so delta compilation can
+    /// share unchanged [`CompiledTable`]s across pipeline versions: a
+    /// republish that touches one table clones the other stages' `Arc`s
+    /// instead of re-lowering them.
+    stages: Vec<Arc<CompiledTable>>,
     default_port: u16,
     version: u64,
     /// Widest stage key, fixed at build time so the hot path sizes its
@@ -50,7 +54,22 @@ impl ReadPipeline {
         default_port: u16,
         version: u64,
     ) -> Self {
-        let stages: Vec<CompiledTable> = stages.iter().map(CompiledTable::compile).collect();
+        let stages: Vec<Arc<CompiledTable>> = stages
+            .iter()
+            .map(|t| Arc::new(CompiledTable::compile(t)))
+            .collect();
+        Self::from_compiled(parser, stages, default_port, version)
+    }
+
+    /// Assembles a snapshot from already-compiled stages (the delta
+    /// compilation path: unchanged stages arrive as `Arc` clones from the
+    /// previous snapshot, changed ones freshly lowered).
+    pub(crate) fn from_compiled(
+        parser: ParserSpec,
+        stages: Vec<Arc<CompiledTable>>,
+        default_port: u16,
+        version: u64,
+    ) -> Self {
         let max_key_width = stages.iter().map(|s| s.key().width()).max().unwrap_or(0);
         ReadPipeline {
             parser,
@@ -71,14 +90,22 @@ impl ReadPipeline {
         self.stages.len()
     }
 
-    /// Total installed entries across all stages.
+    /// Total installed entries across all stages (source counts, before
+    /// minimization).
     pub fn entry_count(&self) -> usize {
-        self.stages.iter().map(CompiledTable::len).sum()
+        self.stages.iter().map(|s| s.len()).sum()
+    }
+
+    /// Total entries across all stages after ternary minimization — what
+    /// the lowered engines actually hold.
+    pub fn minimized_entry_count(&self) -> usize {
+        self.stages.iter().map(|s| s.minimized_len()).sum()
     }
 
     /// Borrows the compiled stages (e.g. to inspect which lookup engine
-    /// each table lowered to).
-    pub fn stages(&self) -> &[CompiledTable] {
+    /// each table lowered to, or to `Arc`-share unchanged stages into the
+    /// next snapshot).
+    pub fn stages(&self) -> &[Arc<CompiledTable>] {
         &self.stages
     }
 

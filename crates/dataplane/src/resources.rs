@@ -62,6 +62,15 @@ pub struct TableUsage {
     pub bits_per_entry: usize,
     /// Total bits consumed.
     pub total_bits: usize,
+    /// Entries the lowered table holds after ternary minimization
+    /// (subsumed-entry elimination + adjacent merging; see
+    /// [`minimize`](crate::minimize)). Equals `entries` for kinds the
+    /// minimizer leaves alone.
+    #[serde(default)]
+    pub minimized_entries: usize,
+    /// Bits the minimized form consumes; `<= total_bits`.
+    #[serde(default)]
+    pub minimized_bits: usize,
 }
 
 impl TableUsage {
@@ -69,6 +78,9 @@ impl TableUsage {
     pub fn of(table: &Table) -> Self {
         let key_bits = table.key().bits();
         let bits_per_entry = key_bits * bits_per_key_bit(table.kind());
+        let minimized_entries = crate::minimize::minimize(table.kind(), table.entries())
+            .entries
+            .len();
         TableUsage {
             name: table.name().to_owned(),
             kind: table.kind(),
@@ -78,6 +90,8 @@ impl TableUsage {
             key_bits,
             bits_per_entry,
             total_bits: bits_per_entry * table.len(),
+            minimized_entries,
+            minimized_bits: bits_per_entry * minimized_entries,
         }
     }
 
@@ -109,6 +123,13 @@ pub struct SwitchResources {
     pub tcam_entries: usize,
     /// Installed entries across SRAM tables.
     pub sram_entries: usize,
+    /// TCAM bits after ternary minimization — what the lowered engines
+    /// actually occupy; `<= tcam_bits`.
+    #[serde(default)]
+    pub tcam_bits_minimized: usize,
+    /// TCAM entries after ternary minimization.
+    #[serde(default)]
+    pub tcam_entries_minimized: usize,
 }
 
 impl SwitchResources {
@@ -119,11 +140,15 @@ impl SwitchResources {
         let mut sram_bits = 0;
         let mut tcam_entries = 0;
         let mut sram_entries = 0;
+        let mut tcam_bits_minimized = 0;
+        let mut tcam_entries_minimized = 0;
         for u in &usages {
             match u.memory {
                 MemoryKind::Tcam => {
                     tcam_bits += u.total_bits;
                     tcam_entries += u.entries;
+                    tcam_bits_minimized += u.minimized_bits;
+                    tcam_entries_minimized += u.minimized_entries;
                 }
                 MemoryKind::Sram => {
                     sram_bits += u.total_bits;
@@ -137,6 +162,8 @@ impl SwitchResources {
             sram_bits,
             tcam_entries,
             sram_entries,
+            tcam_bits_minimized,
+            tcam_entries_minimized,
         }
     }
 
@@ -155,8 +182,8 @@ impl fmt::Display for SwitchResources {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "resources: {} tcam bits, {} sram bits",
-            self.tcam_bits, self.sram_bits
+            "resources: {} tcam bits ({} minimized), {} sram bits",
+            self.tcam_bits, self.tcam_bits_minimized, self.sram_bits
         )?;
         for u in &self.tables {
             writeln!(
@@ -250,6 +277,40 @@ mod tests {
         assert_eq!(r.sram_entries, 1);
         assert_eq!(r.tcam_entries, 2);
         assert!(r.to_string().contains("acl"));
+    }
+
+    #[test]
+    fn minimized_usage_reflects_merged_entries() {
+        // Two sibling entries (values differ in exactly one cared bit,
+        // same mask and action) fold into one minimized row.
+        let mut t = Table::new(
+            "acl",
+            MatchKind::Ternary,
+            KeyLayout::window(1),
+            16,
+            Action::NoOp,
+        );
+        for v in [0x00u8, 0x01] {
+            t.insert(
+                MatchSpec::Ternary {
+                    value: vec![v],
+                    mask: vec![0xff],
+                },
+                Action::Drop,
+                1,
+            )
+            .unwrap();
+        }
+        let u = TableUsage::of(&t);
+        assert_eq!(u.entries, 2);
+        assert_eq!(u.minimized_entries, 1);
+        assert_eq!(u.minimized_bits, u.bits_per_entry);
+        assert_eq!(u.total_bits, 2 * u.bits_per_entry);
+        let r = SwitchResources::of(std::slice::from_ref(&t));
+        assert_eq!(r.tcam_entries, 2);
+        assert_eq!(r.tcam_entries_minimized, 1);
+        assert_eq!(r.tcam_bits_minimized, u.bits_per_entry);
+        assert!(r.to_string().contains("minimized"));
     }
 
     #[test]

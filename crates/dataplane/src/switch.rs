@@ -270,6 +270,40 @@ impl Switch {
             version,
         )
     }
+
+    /// [`Switch::read_pipeline`] with delta compilation against a previous
+    /// snapshot: each stage is re-lowered only if its entries changed since
+    /// `prev` was built ([`CompiledTable::recompile`](crate::compiled::CompiledTable::recompile));
+    /// unchanged stages are shared as `Arc` clones, and pure entry
+    /// additions/removals patch the previous minimized form instead of
+    /// re-running the O(n²) minimizer. Falls back to a from-scratch build
+    /// when `prev` is absent or its stage count differs (stages were added
+    /// or removed). The parser and default port are always taken fresh, so
+    /// the snapshot never serves a stale program.
+    pub fn read_pipeline_incremental(
+        &self,
+        version: u64,
+        prev: Option<&crate::pipeline::ReadPipeline>,
+    ) -> crate::pipeline::ReadPipeline {
+        let Some(prev) = prev else {
+            return self.read_pipeline(version);
+        };
+        if prev.stages().len() != self.stages.len() {
+            return self.read_pipeline(version);
+        }
+        let stages: Vec<std::sync::Arc<crate::compiled::CompiledTable>> = self
+            .stages
+            .iter()
+            .zip(prev.stages())
+            .map(|(table, prev_stage)| crate::compiled::CompiledTable::recompile(prev_stage, table))
+            .collect();
+        crate::pipeline::ReadPipeline::from_compiled(
+            self.parser.clone(),
+            stages,
+            self.default_port,
+            version,
+        )
+    }
 }
 
 #[cfg(test)]

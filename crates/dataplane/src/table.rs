@@ -380,6 +380,45 @@ impl Table {
         Ok(self.entries.remove(idx))
     }
 
+    /// Removes the first entry whose spec and effective priority equal the
+    /// given pair, returning its handle, or `None` if no entry matches.
+    ///
+    /// This is the removal primitive for diff-driven updates, where the
+    /// caller knows what was installed but not which handle it received.
+    /// Ternary specs compare under the mask (`value & mask`), matching
+    /// [`RuleSet::diff`](p4guard_rules::RuleSet::diff)'s normalization —
+    /// a diff-reported removal finds the installed entry even when the
+    /// installer encoded uncared value bits differently.
+    pub fn remove_matching(&mut self, spec: &MatchSpec, priority: i32) -> Option<EntryHandle> {
+        let effective_priority = spec.lpm_priority().unwrap_or(priority);
+        let same_spec = |installed: &MatchSpec| match (installed, spec) {
+            (
+                MatchSpec::Ternary {
+                    value: iv,
+                    mask: im,
+                },
+                MatchSpec::Ternary {
+                    value: sv,
+                    mask: sm,
+                },
+            ) => {
+                im == sm
+                    && iv.len() == sv.len()
+                    && iv
+                        .iter()
+                        .zip(sv)
+                        .zip(im)
+                        .all(|((&a, &b), &m)| a & m == b & m)
+            }
+            (a, b) => a == b,
+        };
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.priority == effective_priority && same_spec(&e.spec))?;
+        Some(self.entries.remove(idx).handle)
+    }
+
     /// Replaces the action of an existing entry.
     ///
     /// # Errors
@@ -483,6 +522,33 @@ mod tests {
         .unwrap();
         assert_eq!(t.lookup(&[0x17]), Action::Drop);
         assert_eq!(t.lookup(&[0x11]), Action::Forward(1));
+    }
+
+    #[test]
+    fn remove_matching_compares_ternary_specs_under_the_mask() {
+        let mut t = table(MatchKind::Ternary, 1);
+        let h = t
+            .insert(
+                MatchSpec::Ternary {
+                    value: vec![0x5f],
+                    mask: vec![0xf0],
+                },
+                Action::Drop,
+                3,
+            )
+            .unwrap();
+        // Wrong priority, wrong mask, and wrong cared bits all miss.
+        let probe = |value: u8, mask: u8| MatchSpec::Ternary {
+            value: vec![value],
+            mask: vec![mask],
+        };
+        assert_eq!(t.remove_matching(&probe(0x50, 0xf0), 4), None);
+        assert_eq!(t.remove_matching(&probe(0x50, 0xff), 3), None);
+        assert_eq!(t.remove_matching(&probe(0x60, 0xf0), 3), None);
+        // A different encoding of the same rule (uncared low nibble)
+        // finds the installed entry.
+        assert_eq!(t.remove_matching(&probe(0x52, 0xf0), 3), Some(h));
+        assert!(t.is_empty());
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! Differential property suite for ternary minimization and incremental
+//! recompilation.
+//!
+//! Two invariants are pinned, both against the scan semantics of
+//! `Table::peek` (first match over `Table::entries` in match order):
+//!
+//! 1. **Minimization preserves winners.** A freshly compiled table —
+//!    whose engine indexes the *minimized* entry list — returns the same
+//!    action as the unminimized scan for every key, and the winning
+//!    entry's effective priority (via `rank_priority`) equals the scan
+//!    winner's priority. Merging and subsumption may renumber ranks but
+//!    never change the winning `(action, priority)`.
+//!
+//! 2. **Incremental recompilation equals from-scratch compilation.**
+//!    Chaining `CompiledTable::recompile` across a random edit sequence
+//!    (inserts, spec-keyed removals, in-place action modifications)
+//!    yields the same `(action, priority)` verdicts as compiling the
+//!    edited table from scratch at every step — including the steps
+//!    where patching bails to a full recompile.
+
+use p4guard_dataplane::action::Action;
+use p4guard_dataplane::compiled::{CompiledTable, LookupOutcome};
+use p4guard_dataplane::key::KeyLayout;
+use p4guard_dataplane::table::{MatchKind, MatchSpec, Table};
+use p4guard_rules::{RuleSet, TernaryEntry};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const KINDS: [MatchKind; 4] = [
+    MatchKind::Exact,
+    MatchKind::Ternary,
+    MatchKind::Lpm,
+    MatchKind::Range,
+];
+
+/// Few distinct actions so equal-(action, priority) neighbours are common
+/// and the merge pass genuinely fires.
+fn action_for(selector: u8) -> Action {
+    match selector % 3 {
+        0 => Action::Drop,
+        1 => Action::Forward(7),
+        _ => Action::NoOp,
+    }
+}
+
+/// Raw material for one entry: two seed byte vectors, a (priority,
+/// action) pair drawn tie-heavy, and a prefix-length seed.
+type RawEntry = (Vec<u8>, Vec<u8>, (i32, u8), usize);
+
+fn spec_for(kind: MatchKind, width: usize, raw: &RawEntry) -> MatchSpec {
+    let (a, b, _, plen) = raw;
+    let a = &a[..width];
+    let b = &b[..width];
+    match kind {
+        MatchKind::Exact => MatchSpec::Exact(a.to_vec()),
+        MatchKind::Ternary => MatchSpec::Ternary {
+            value: a.to_vec(),
+            // Coarse mask pool: adjacent values under shared masks are
+            // exactly the sibling pairs the merge pass folds, and 0x00
+            // masks produce wildcards that subsume whole groups.
+            mask: b
+                .iter()
+                .map(|&m| [0x00, 0xfe, 0xf0, 0xff][m as usize % 4])
+                .collect(),
+        },
+        MatchKind::Lpm => MatchSpec::Lpm {
+            value: a.to_vec(),
+            prefix_len: plen % (width * 8 + 1),
+        },
+        MatchKind::Range => MatchSpec::Range {
+            lo: a.iter().zip(b).map(|(&x, &y)| x.min(y)).collect(),
+            hi: a.iter().zip(b).map(|(&x, &y)| x.max(y)).collect(),
+        },
+    }
+}
+
+fn hit_key_for(spec: &MatchSpec) -> Vec<u8> {
+    match spec {
+        MatchSpec::Exact(v) => v.clone(),
+        MatchSpec::Ternary { value, .. } => value.clone(),
+        MatchSpec::Lpm { value, .. } => value.clone(),
+        MatchSpec::Range { lo, .. } => lo.clone(),
+    }
+}
+
+/// Scan-reference winner: first entry in match order whose spec matches,
+/// as `(action, effective priority)`; `None` on miss.
+fn scan_winner(table: &Table, key: &[u8]) -> Option<(Action, i32)> {
+    table
+        .entries()
+        .iter()
+        .find(|e| e.spec.matches(key))
+        .map(|e| (e.action, e.priority))
+}
+
+/// Asserts compiled and scan agree on `(action, winner priority)` for
+/// `key`, with engine/strategy context on failure.
+fn assert_winner_eq(compiled: &CompiledTable, table: &Table, key: &[u8]) {
+    let mut probe = vec![0u8; compiled.key().width()];
+    let (action, outcome) = compiled.lookup_traced(key, &mut probe);
+    let reference = scan_winner(table, key);
+    match (outcome, reference) {
+        (LookupOutcome::Hit(rank), Some((ref_action, ref_priority))) => {
+            assert_eq!(
+                (action, compiled.rank_priority(rank)),
+                (ref_action, Some(ref_priority)),
+                "engine {} key {:?}",
+                compiled.strategy(),
+                key
+            );
+        }
+        (LookupOutcome::Miss, None) | (LookupOutcome::WrongWidth, None) => {
+            assert_eq!(action, table.default_action());
+        }
+        (outcome, reference) => {
+            panic!(
+                "engine {} key {key:?}: outcome {outcome:?} vs scan {reference:?}",
+                compiled.strategy()
+            );
+        }
+    }
+}
+
+/// Keys worth probing: every entry's hit key, the full keyspace at
+/// width 1, random keys otherwise, plus a wrong-width key.
+fn probe_keys(table: &Table, extra: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let width = table.key().width();
+    let mut keys: Vec<Vec<u8>> = table
+        .entries()
+        .iter()
+        .map(|e| hit_key_for(&e.spec))
+        .collect();
+    if width == 1 {
+        keys.extend((0u8..=255).map(|b| vec![b]));
+    }
+    keys.extend(extra.iter().map(|k| k[..width].to_vec()));
+    keys.push(vec![0; width + 1]);
+    keys
+}
+
+proptest! {
+    /// Invariant 1: verdict + winner-priority equality between the
+    /// minimized compiled engine and the unminimized scan, across all
+    /// match kinds, widths, priority ties and merge-heavy mask pools.
+    #[test]
+    fn minimized_engine_preserves_verdict_and_priority(
+        kind_sel in 0usize..4,
+        width in 1usize..=3,
+        raw_entries in pvec(
+            (
+                pvec(any::<u8>(), 3usize),
+                pvec(any::<u8>(), 3usize),
+                (0i32..3, any::<u8>()),
+                0usize..=24,
+            ),
+            0..32,
+        ),
+        raw_keys in pvec(pvec(any::<u8>(), 3usize), 0..24),
+        default_sel in any::<u8>(),
+    ) {
+        let kind = KINDS[kind_sel];
+        let mut table = Table::new(
+            "prop",
+            kind,
+            KeyLayout::window(width),
+            raw_entries.len().max(1),
+            action_for(default_sel),
+        );
+        for raw in &raw_entries {
+            let spec = spec_for(kind, width, raw);
+            let (priority, action_sel) = raw.2;
+            table.insert(spec, action_for(action_sel), priority).unwrap();
+        }
+        let compiled = CompiledTable::compile(&table);
+        prop_assert!(compiled.minimized_len() <= compiled.len());
+        for key in probe_keys(&table, &raw_keys) {
+            assert_winner_eq(&compiled, &table, &key);
+        }
+    }
+
+    /// Invariant 2: a `recompile` chain over a random edit sequence
+    /// (insert / remove-by-spec / modify-action) agrees with from-scratch
+    /// compilation after every edit.
+    #[test]
+    fn incremental_recompile_equals_scratch_across_edits(
+        kind_sel in 0usize..4,
+        seed_entries in pvec(
+            (
+                pvec(any::<u8>(), 1usize),
+                pvec(any::<u8>(), 1usize),
+                (0i32..3, any::<u8>()),
+                0usize..=8,
+            ),
+            0..12,
+        ),
+        // Each edit: (op selector, prefix-length seed), plus raw
+        // material for an insert.
+        edits in pvec(
+            (
+                (any::<u8>(), 0usize..=8),
+                pvec(any::<u8>(), 1usize),
+                pvec(any::<u8>(), 1usize),
+                (0i32..3, any::<u8>()),
+            ),
+            1..16,
+        ),
+    ) {
+        let kind = KINDS[kind_sel];
+        let mut table = Table::new("edits", kind, KeyLayout::window(1), 64, Action::NoOp);
+        for raw in &seed_entries {
+            let spec = spec_for(kind, 1, raw);
+            table.insert(spec, action_for(raw.2 .1), raw.2 .0).unwrap();
+        }
+        let mut chained = Arc::new(CompiledTable::compile(&table));
+        for ((op, plen), a, b, (priority, action_sel)) in &edits {
+            let raw = (a.clone(), b.clone(), (*priority, *action_sel), *plen);
+            match op % 3 {
+                0 => {
+                    let spec = spec_for(kind, 1, &raw);
+                    table.insert(spec, action_for(*action_sel), *priority).unwrap();
+                }
+                1 => {
+                    let spec = spec_for(kind, 1, &raw);
+                    // Remove whatever matches this spec+priority; a miss
+                    // leaves the table unchanged, which recompile must
+                    // also handle (fingerprint-equal fast path).
+                    table.remove_matching(&spec, *priority);
+                }
+                _ => {
+                    if let Some(handle) = table.entries().first().map(|e| e.handle) {
+                        table.modify(handle, action_for(*action_sel)).unwrap();
+                    }
+                }
+            }
+            chained = CompiledTable::recompile(&chained, &table);
+            let scratch = CompiledTable::compile(&table);
+            prop_assert_eq!(chained.len(), scratch.len());
+            for key in probe_keys(&table, &[]) {
+                assert_winner_eq(&chained, &table, &key);
+                assert_winner_eq(&scratch, &table, &key);
+            }
+        }
+    }
+
+    /// Invariant 2 at the control-plane grain: applying `RuleSet::diff`
+    /// output (removals then inserts, as the tenant delta path does) and
+    /// recompiling incrementally equals compiling the target ruleset from
+    /// scratch — full 8-bit keyspace, verdict and winner priority.
+    #[test]
+    fn ruleset_diff_application_equals_scratch(
+        from_raw in pvec((any::<u8>(), any::<u8>(), 0i32..3), 0..20),
+        to_raw in pvec((any::<u8>(), any::<u8>(), 0i32..3), 0..20),
+    ) {
+        let build = |raw: &[(u8, u8, i32)]| {
+            let mut rs = RuleSet::new(1, 0);
+            for &(v, m_sel, p) in raw {
+                let m = [0xffu8, 0xfe, 0xf0][m_sel as usize % 3];
+                rs.push(TernaryEntry::new(vec![v & m], vec![m], 1, p));
+            }
+            rs
+        };
+        let from = build(&from_raw);
+        let to = build(&to_raw);
+        let diff = from.diff(&to);
+
+        let mut table = Table::new(
+            "delta",
+            MatchKind::Ternary,
+            KeyLayout::window(1),
+            64,
+            Action::NoOp,
+        );
+        for e in from.entries() {
+            table
+                .insert(
+                    MatchSpec::Ternary { value: e.value.clone(), mask: e.mask.clone() },
+                    Action::Drop,
+                    e.priority,
+                )
+                .unwrap();
+        }
+        let before = Arc::new(CompiledTable::compile(&table));
+        for e in &diff.removed {
+            let spec = MatchSpec::Ternary { value: e.value.clone(), mask: e.mask.clone() };
+            prop_assert!(
+                table.remove_matching(&spec, e.priority).is_some(),
+                "diff removal must exist in the source table"
+            );
+        }
+        for e in &diff.added {
+            table
+                .insert(
+                    MatchSpec::Ternary { value: e.value.clone(), mask: e.mask.clone() },
+                    Action::Drop,
+                    e.priority,
+                )
+                .unwrap();
+        }
+        prop_assert_eq!(table.len(), to.len());
+        let chained = CompiledTable::recompile(&before, &table);
+        for key in probe_keys(&table, &[]) {
+            assert_winner_eq(&chained, &table, &key);
+        }
+        // The delta-applied table must classify exactly like the target
+        // ruleset: uniform on-match action makes equal-priority ordering
+        // differences verdict-neutral.
+        let mut probe = [0u8; 1];
+        for b in 0u8..=255 {
+            let expect = if to.classify(&[b]) == 1 { Action::Drop } else { Action::NoOp };
+            prop_assert_eq!(chained.lookup(&[b], &mut probe), expect, "key {:#04x}", b);
+        }
+    }
+}

@@ -145,10 +145,31 @@ fn priority_ordering_is_stable_across_engines() {
                 9,
             )
             .unwrap();
-        // Pad to 16 entries with never-matching low-priority entries over
-        // `pad_masks` distinct masks to steer the engine choice.
+        // Pad to 16 entries with entries over `pad_masks` distinct masks
+        // to steer the engine choice. The pads must survive minimization
+        // to count toward mask diversity, so they sit at the top priority
+        // (the match-alls below cannot shadow them) and their second-byte
+        // masks all have two bits set — pairwise incomparable, so no pad
+        // can cover another. They key on 0xff in the first byte, which no
+        // probe uses, so the winner assertions below are unaffected.
+        const BIT_PAIRS: [(u8, u8); 13] = [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (0, 5),
+            (0, 6),
+            (0, 7),
+            (1, 2),
+            (1, 3),
+            (1, 4),
+            (1, 5),
+            (1, 6),
+            (1, 7),
+        ];
         for i in 0..13usize {
-            let m = 1 + (i % pad_masks) as u8;
+            let (a, b) = BIT_PAIRS[i % pad_masks];
+            let m = (1u8 << a) | (1u8 << b);
             table
                 .insert(
                     MatchSpec::Ternary {
@@ -156,7 +177,7 @@ fn priority_ordering_is_stable_across_engines() {
                         mask: vec![0xff, m],
                     },
                     Action::Mirror(i as u16),
-                    -1,
+                    9,
                 )
                 .unwrap();
         }

@@ -16,6 +16,7 @@
 //!    (floor division), and the leftover from flooring is handed out by
 //!    largest remainder, ties broken by tenant index.
 
+use p4guard_dataplane::minimize::minimized_ternary_count;
 use p4guard_dataplane::resources::MemoryKind;
 use p4guard_rules::RuleSet;
 use serde::{Deserialize, Serialize};
@@ -264,13 +265,20 @@ impl TableBudgeter {
     /// Checks that a ternary ruleset fits `tenant`'s TCAM allocation,
     /// without mutating anything.
     ///
+    /// Admission is judged against the ruleset's **minimized** occupancy —
+    /// the rows the lowering-time ternary minimizer actually installs
+    /// (subsumed entries eliminated, adjacent siblings merged; see
+    /// [`minimize`](p4guard_dataplane::minimize)) — so a tenant whose raw
+    /// ruleset nominally overflows its slice is still admitted when the
+    /// minimized form fits.
+    ///
     /// # Errors
     ///
     /// [`BudgetError::OverBudget`] when it does not fit,
     /// [`BudgetError::NoSuchTenant`] for an out-of-range index.
     pub fn admit(&self, tenant: usize, ruleset: &RuleSet) -> Result<(), BudgetError> {
         let alloc = self.allocation(tenant)?;
-        let required = ruleset.tcam_bits();
+        let required = Self::minimized_tcam_bits(ruleset);
         if required > alloc.tcam_bits {
             return Err(BudgetError::OverBudget {
                 tenant,
@@ -282,24 +290,69 @@ impl TableBudgeter {
         Ok(())
     }
 
+    /// TCAM bits `ruleset` occupies after lowering-time ternary
+    /// minimization.
+    pub fn minimized_tcam_bits(ruleset: &RuleSet) -> usize {
+        let rows = minimized_ternary_count(
+            ruleset
+                .entries()
+                .iter()
+                .map(|e| (e.value.as_slice(), e.mask.as_slice(), e.priority)),
+        );
+        rows * ruleset.key_width() * 8 * 2
+    }
+
     /// Trims `ruleset` to fit `tenant`'s TCAM allocation by dropping its
     /// lowest-priority entries. Returns the surviving ruleset and how many
     /// entries were cut (0 when it already fit).
+    ///
+    /// Like [`TableBudgeter::admit`], the fit is judged on minimized
+    /// occupancy: the initial cut keeps the raw-count prefix that fits
+    /// (always safe, since minimized ≤ raw rows), then extends the prefix
+    /// while the longer prefix's *minimized* form still fits — so
+    /// mergeable rulesets keep strictly more rules than raw accounting
+    /// would allow.
     ///
     /// # Errors
     ///
     /// [`BudgetError::NoSuchTenant`] for an out-of-range index.
     pub fn trim(&self, tenant: usize, ruleset: &RuleSet) -> Result<(RuleSet, usize), BudgetError> {
         let alloc = self.allocation(tenant)?;
-        if ruleset.tcam_bits() <= alloc.tcam_bits {
+        if Self::minimized_tcam_bits(ruleset) <= alloc.tcam_bits {
             return Ok((ruleset.clone(), 0));
         }
         let bits_per_entry = ruleset.key_width() * 8 * 2;
-        let keep = alloc
+        let budget_rows = alloc
             .tcam_bits
             .checked_div(bits_per_entry)
-            .unwrap_or(ruleset.len())
-            .min(ruleset.len());
+            .unwrap_or(ruleset.len());
+        let prefix_rows = |keep: usize| {
+            minimized_ternary_count(
+                ruleset
+                    .entries()
+                    .iter()
+                    .take(keep)
+                    .map(|e| (e.value.as_slice(), e.mask.as_slice(), e.priority)),
+            )
+        };
+        // The raw-fit prefix always fits minimized (minimized ≤ raw rows)
+        // and the full set does not (checked above): binary-search the
+        // boundary, then extend greedily — merges can make a longer prefix
+        // cheaper than a shorter one, so the boundary need not be maximal.
+        let mut lo = budget_rows.min(ruleset.len());
+        let mut hi = ruleset.len();
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if prefix_rows(mid) <= budget_rows {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let mut keep = lo;
+        while keep < ruleset.len() && prefix_rows(keep + 1) <= budget_rows {
+            keep += 1;
+        }
         // Entries are kept sorted by descending priority, so the retained
         // prefix is exactly the most important `keep` rules.
         let mut trimmed = RuleSet::new(ruleset.key_width(), ruleset.default_class());
@@ -396,6 +449,66 @@ mod tests {
         assert_eq!(cut, 15);
         // Highest-priority entries survive.
         assert!(trimmed.entries().iter().all(|e| e.priority >= 15));
+    }
+
+    /// `pairs * 2` entries at one priority: each base and `base | 1` merge
+    /// into one row, and the bases pairwise differ in at least two high
+    /// bits so the merged rows cannot collapse further.
+    fn mergeable_ruleset(pairs: usize) -> RuleSet {
+        const BASES: [u8; 5] = [0x00, 0x06, 0x18, 0x60, 0x66];
+        let mut rs = RuleSet::new(1, 0);
+        for &base in BASES.iter().take(pairs) {
+            rs.push(TernaryEntry::new(vec![base], vec![0xff], 1, 1));
+            rs.push(TernaryEntry::new(vec![base | 1], vec![0xff], 1, 1));
+        }
+        rs
+    }
+
+    #[test]
+    fn admit_judges_minimized_occupancy() {
+        let bits_per_entry = 8 * 2;
+        let b = TableBudgeter::new(
+            BudgetConfig {
+                tcam_bits: 4 * bits_per_entry, // four minimized rows
+                sram_bits: 0,
+            },
+            vec![TenantShare::flat()],
+        )
+        .unwrap();
+        // Eight raw entries nominally need 8 rows, but merge down to 4.
+        let rs = mergeable_ruleset(4);
+        assert_eq!(rs.tcam_bits(), 8 * bits_per_entry);
+        assert_eq!(TableBudgeter::minimized_tcam_bits(&rs), 4 * bits_per_entry);
+        assert!(b.admit(0, &rs).is_ok());
+        // Ten raw entries minimize to 5 rows: genuinely over budget.
+        assert!(matches!(
+            b.admit(0, &mergeable_ruleset(5)),
+            Err(BudgetError::OverBudget {
+                tenant: 0,
+                required_bits,
+                ..
+            }) if required_bits == 5 * bits_per_entry
+        ));
+    }
+
+    #[test]
+    fn trim_extends_past_raw_count_for_mergeable_rulesets() {
+        let bits_per_entry = 8 * 2;
+        let b = TableBudgeter::new(
+            BudgetConfig {
+                tcam_bits: 2 * bits_per_entry, // two minimized rows
+                sram_bits: 0,
+            },
+            vec![TenantShare::flat()],
+        )
+        .unwrap();
+        // Eight entries minimize to 4 rows — still over a 2-row budget,
+        // but raw accounting would keep only 2 entries; minimized
+        // accounting keeps 4 (two merged pairs).
+        let (trimmed, cut) = b.trim(0, &mergeable_ruleset(4)).unwrap();
+        assert_eq!(trimmed.len(), 4);
+        assert_eq!(cut, 4);
+        assert!(TableBudgeter::minimized_tcam_bits(&trimmed) <= 2 * bits_per_entry);
     }
 
     #[test]

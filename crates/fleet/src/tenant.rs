@@ -139,12 +139,23 @@ pub struct TenantOccupancy {
     pub allocated_sram_bits: usize,
     /// Installed TCAM entries.
     pub tcam_entries: usize,
+    /// TCAM bits the lowered (minimized) form occupies; `<= tcam_bits`.
+    #[serde(default)]
+    pub tcam_bits_minimized: usize,
+    /// TCAM entries after minimization.
+    #[serde(default)]
+    pub tcam_entries_minimized: usize,
 }
 
 impl TenantOccupancy {
     /// Whether the tenant is inside its allocation on both memories.
+    ///
+    /// TCAM fit is judged on the **minimized** occupancy — the rows the
+    /// lowered engines actually hold — matching how
+    /// [`TableBudgeter::admit`] admits publishes.
     pub fn within_budget(&self) -> bool {
-        self.tcam_bits <= self.allocated_tcam_bits && self.sram_bits <= self.allocated_sram_bits
+        self.tcam_bits_minimized <= self.allocated_tcam_bits
+            && self.sram_bits <= self.allocated_sram_bits
     }
 }
 
@@ -159,6 +170,10 @@ pub struct TenantPublish {
     pub installed: usize,
     /// Entries cut by [`AdmitPolicy::Trim`] (0 under `Reject`).
     pub trimmed: usize,
+    /// Entry-level changes applied when the publish went through the
+    /// delta path: `(removed, added)` against the previously active
+    /// ruleset. `None` for a from-scratch install (first publish).
+    pub delta: Option<(usize, usize)>,
     /// Occupancy after the publish.
     pub occupancy: TenantOccupancy,
 }
@@ -403,14 +418,32 @@ impl TenantRegistry {
             AdmitPolicy::Trim => self.budgeter.trim(tenant, ruleset)?,
         };
         let state = &mut self.tenants[tenant];
-        state
-            .control
-            .clear_stage(0)
-            .map_err(|e| FleetError::Table(e.to_string()))?;
-        let report = state
-            .control
-            .install_ruleset(0, &admitted, Action::Drop)
-            .map_err(|e| FleetError::Table(e.to_string()))?;
+        // Republish of an active tenant applies only the entry-level diff
+        // (all entries carry the same on-match action, so equal-priority
+        // insertion-order differences against a from-scratch install are
+        // verdict-neutral); the first publish installs from scratch.
+        let delta = match &state.active {
+            Some(active) => {
+                let diff = active.diff(&admitted);
+                let applied = state
+                    .control
+                    .apply_ruleset_diff(0, &diff, Action::Drop)
+                    .map_err(|e| FleetError::Table(e.to_string()))?;
+                Some(applied)
+            }
+            None => {
+                state
+                    .control
+                    .clear_stage(0)
+                    .map_err(|e| FleetError::Table(e.to_string()))?;
+                state
+                    .control
+                    .install_ruleset(0, &admitted, Action::Drop)
+                    .map_err(|e| FleetError::Table(e.to_string()))?;
+                None
+            }
+        };
+        let installed = admitted.len();
         let publish = state.control.publish();
         state.active = Some(admitted);
         let occupancy = self.occupancy(tenant)?;
@@ -418,8 +451,9 @@ impl TenantRegistry {
         Ok(TenantPublish {
             tenant,
             version: publish.version,
-            installed: report.installed,
+            installed,
             trimmed,
+            delta,
             occupancy,
         })
     }
@@ -444,6 +478,8 @@ impl TenantRegistry {
             allocated_tcam_bits: alloc.tcam_bits,
             allocated_sram_bits: alloc.sram_bits,
             tcam_entries: resources.tcam_entries,
+            tcam_bits_minimized: resources.tcam_bits_minimized,
+            tcam_entries_minimized: resources.tcam_entries_minimized,
         })
     }
 
@@ -554,6 +590,52 @@ mod tests {
         assert_eq!(trimmed.trimmed, 1);
         assert_eq!(trimmed.installed, 10);
         assert!(trimmed.occupancy.within_budget());
+    }
+
+    #[test]
+    fn republish_applies_only_the_diff() {
+        let layout = AclLayout::default();
+        let width = layout.offsets.len();
+        let mut reg =
+            TenantRegistry::new(specs(1), BudgetConfig::default(), layout.clone()).unwrap();
+        let first = reg
+            .publish(0, &ruleset_with(10, width), AdmitPolicy::Reject)
+            .unwrap();
+        assert_eq!(first.delta, None, "first publish installs from scratch");
+
+        // Change one entry: drop rule 9, add a new rule 10.
+        let dropped = ruleset_with(10, width).entries()[0].clone(); // highest priority
+        let mut next = RuleSet::new(width, 0);
+        for e in ruleset_with(10, width).entries() {
+            if *e != dropped {
+                next.push(e.clone());
+            }
+        }
+        next.push(TernaryEntry::new(
+            vec![0xaa; width],
+            vec![0xff; width],
+            1,
+            99,
+        ));
+        let second = reg.publish(0, &next, AdmitPolicy::Reject).unwrap();
+        assert_eq!(second.delta, Some((1, 1)), "one removed, one added");
+        assert_eq!(second.installed, 10);
+        assert!(second.version > first.version);
+
+        // The delta-applied table serves exactly the new ruleset: the new
+        // rule drops, the removed one no longer does.
+        let control = reg.control(0).unwrap();
+        control.with_switch(|sw| {
+            let table = sw.stage(0);
+            assert_eq!(table.len(), 10);
+        });
+        control.with_switch_mut(|sw| {
+            let mut frame = vec![0u8; 64];
+            for (i, &off) in layout.offsets.iter().enumerate() {
+                frame[off] = [0xaa; 5][i];
+            }
+            assert!(sw.process(&frame).is_drop(), "added rule enforces");
+        });
     }
 
     #[test]

@@ -73,6 +73,14 @@ pub struct GatewaySnapshot {
     pub totals: SwitchCounters,
     /// Merged forwarding-latency histogram.
     pub latency: LatencyHistogram,
+    /// Installed entries in the newest serving pipeline (source count,
+    /// before minimization), summed over its stages.
+    #[serde(default)]
+    pub pipeline_entries: usize,
+    /// Entries the newest serving pipeline's lowered engines actually hold
+    /// after ternary minimization; `<= pipeline_entries`.
+    #[serde(default)]
+    pub pipeline_entries_minimized: usize,
 }
 
 impl fmt::Display for GatewaySnapshot {
@@ -398,6 +406,17 @@ impl Gateway {
             latency.merge(&s.latency);
         }
         let shard_versions: Vec<u64> = self.cells.iter().map(|c| c.version()).collect();
+        // Occupancy of the newest serving pipeline (any cell at the max
+        // version serves identical bytes).
+        let (pipeline_entries, pipeline_entries_minimized) = self
+            .cells
+            .iter()
+            .max_by_key(|c| c.version())
+            .map(|c| {
+                let p = c.load();
+                (p.entry_count(), p.minimized_entry_count())
+            })
+            .unwrap_or((0, 0));
         GatewaySnapshot {
             dropped_backpressure: self
                 .ingest_drops
@@ -409,6 +428,8 @@ impl Gateway {
             totals,
             latency,
             shards,
+            pipeline_entries,
+            pipeline_entries_minimized,
         }
     }
 

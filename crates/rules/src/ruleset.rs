@@ -236,13 +236,19 @@ impl RuleSet {
     /// Computes the entry-level difference from `self` to `next`: what a
     /// hot swap replacing this rule set with `next` adds and removes.
     ///
-    /// Entries are compared as multisets of `(value, mask, class,
-    /// priority)` — order does not matter, duplicates count. Swap reports
-    /// use this to tell operators what actually changed in the data plane.
+    /// Entries are compared as multisets of `(value & mask, mask, class,
+    /// priority)` — order does not matter, duplicates count, and value
+    /// bits under wildcarded mask positions are ignored (two encodings of
+    /// the same ternary rule never show up as churn). Swap reports use
+    /// this to tell operators what actually changed in the data plane;
+    /// reported entries carry the masked value.
     pub fn diff(&self, next: &RuleSet) -> RuleSetDiff {
         use std::collections::BTreeMap;
         type Key = (Vec<u8>, Vec<u8>, usize, i32);
-        let key = |e: &TernaryEntry| (e.value.clone(), e.mask.clone(), e.class, e.priority);
+        let key = |e: &TernaryEntry| {
+            let masked: Vec<u8> = e.value.iter().zip(&e.mask).map(|(&v, &m)| v & m).collect();
+            (masked, e.mask.clone(), e.class, e.priority)
+        };
         let mut counts: BTreeMap<Key, i64> = BTreeMap::new();
         for e in &self.entries {
             *counts.entry(key(e)).or_insert(0) -= 1;
@@ -465,6 +471,66 @@ mod tests {
         let d = old.diff(&doubled);
         assert_eq!(d.added.len(), 1);
         assert_eq!(d.removed.len(), 1);
+    }
+
+    #[test]
+    fn diff_ignores_uncared_value_bits() {
+        // Same rule, two encodings: the low nibble is wildcarded, so the
+        // value bits there are noise. The diff must be empty — otherwise
+        // every recompile would churn remove+add pairs for rules that
+        // did not change.
+        let mut old = RuleSet::new(1, 0);
+        old.push(entry(0x5f, 0xf0, 1, 3));
+        let mut new = RuleSet::new(1, 0);
+        new.push(entry(0x50, 0xf0, 1, 3));
+        assert!(old.diff(&new).is_empty());
+        // And reported entries carry the masked value.
+        let empty = RuleSet::new(1, 0);
+        let d = old.diff(&empty);
+        assert_eq!(d.removed.len(), 1);
+        assert_eq!(d.removed[0].value, vec![0x50]);
+    }
+
+    #[test]
+    fn diff_priority_only_change_is_remove_plus_add() {
+        // A priority bump on an otherwise identical entry is semantically
+        // delete+insert: the data plane has no in-place priority update.
+        let mut old = RuleSet::new(1, 0);
+        old.push(entry(0x01, 0xff, 1, 3));
+        let mut new = RuleSet::new(1, 0);
+        new.push(entry(0x01, 0xff, 1, 7));
+        let d = old.diff(&new);
+        assert_eq!((d.added.len(), d.removed.len()), (1, 1));
+        assert_eq!(d.added[0].priority, 7);
+        assert_eq!(d.removed[0].priority, 3);
+    }
+
+    #[test]
+    fn diff_class_only_change_is_remove_plus_add() {
+        // Likewise a class flip: the installed action changes, which the
+        // delta path applies as remove-then-insert, never modify-in-place.
+        let mut old = RuleSet::new(1, 0);
+        old.push(entry(0x01, 0xff, 1, 3));
+        let mut new = RuleSet::new(1, 0);
+        new.push(entry(0x01, 0xff, 2, 3));
+        let d = old.diff(&new);
+        assert_eq!((d.added.len(), d.removed.len()), (1, 1));
+        assert_eq!(d.added[0].class, 2);
+        assert_eq!(d.removed[0].class, 1);
+    }
+
+    #[test]
+    fn diff_emptied_then_repopulated_round_trips() {
+        let mut old = RuleSet::new(1, 0);
+        old.push(entry(0x01, 0xff, 1, 3));
+        old.push(entry(0x02, 0xff, 1, 3));
+        let empty = RuleSet::new(1, 0);
+        let drain = old.diff(&empty);
+        assert_eq!((drain.added.len(), drain.removed.len()), (0, 2));
+        let refill = empty.diff(&old);
+        assert_eq!((refill.added.len(), refill.removed.len()), (2, 0));
+        // Drain followed by refill nets to the identity.
+        assert!(old.diff(&old).is_empty());
     }
 
     #[test]
