@@ -243,4 +243,69 @@ if [ "$MARGIN_OK" != "1" ]; then
 fi
 echo "delta publish ${SPEEDUP}x >= 10x, frames conserved, minimizer margin > 0"
 
+echo "==> observability smoke (traced serve, time-boxed)"
+# Traced batched serve: /metrics must grow the per-stage histogram and the
+# SLO burn gauges, /profile must expose stage rollups with exemplar trace
+# ids, and /traces must return sampled span trees rooted at `frame`.
+timeout 180 "$CLI" serve --batched --tracing --shards 2 --seed 3 \
+  --metrics-addr 127.0.0.1:0 --hold 60 > "$SMOKE_DIR/traced.log" 2>&1 &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 300); do
+  if grep -q 'holding metrics endpoint' "$SMOKE_DIR/traced.log"; then
+    ADDR=$(sed -n 's|^metrics: listening on http://\([0-9.:]*\)/metrics$|\1|p' "$SMOKE_DIR/traced.log")
+    break
+  fi
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "traced serve exited before holding the metrics endpoint:" >&2
+    cat "$SMOKE_DIR/traced.log" >&2
+    exit 1
+  fi
+  sleep 0.5
+done
+if [ -z "$ADDR" ]; then
+  echo "never saw the traced metrics endpoint come up:" >&2
+  cat "$SMOKE_DIR/traced.log" >&2
+  exit 1
+fi
+grep -q '^tracing: listening on' "$SMOKE_DIR/traced.log" || {
+  echo "serve --tracing never announced /profile and /traces:" >&2
+  cat "$SMOKE_DIR/traced.log" >&2
+  exit 1
+}
+"$CLI" stats --metrics "$ADDR" > "$SMOKE_DIR/traced-metrics.txt"
+for family in p4guard_stage_seconds p4guard_slo_burn_fast p4guard_slo_burn_slow; do
+  grep -q "^$family" "$SMOKE_DIR/traced-metrics.txt" || {
+    echo "$family missing from traced /metrics:" >&2
+    head -50 "$SMOKE_DIR/traced-metrics.txt" >&2
+    exit 1
+  }
+done
+"$CLI" stats --metrics "$ADDR" --path /profile > "$SMOKE_DIR/profile.json"
+grep -q '/lookup' "$SMOKE_DIR/profile.json" && grep -q 'exemplar_trace' "$SMOKE_DIR/profile.json" || {
+  echo "/profile missing lookup stage rollups or trace exemplars:" >&2
+  cat "$SMOKE_DIR/profile.json" >&2
+  exit 1
+}
+"$CLI" stats --metrics "$ADDR" --path '/traces?recent=4' > "$SMOKE_DIR/traces.json"
+grep -q '"name":"frame"' "$SMOKE_DIR/traces.json" || {
+  echo "/traces?recent=4 returned no frame-rooted span trees:" >&2
+  cat "$SMOKE_DIR/traces.json" >&2
+  exit 1
+}
+echo "traced serve: stage histograms, burn gauges, /profile and /traces live"
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+
+echo "==> trace overhead gate (<= 1.5% on the batched gateway)"
+# The bench exits non-zero when the traced arm costs more than 1.5% pps
+# over the plain registry sink, and refreshes results/BENCH_trace.json.
+timeout 600 cargo run --release --offline -p p4guard-bench \
+  --example trace_overhead > "$SMOKE_DIR/trace-bench.log" 2>&1 || {
+  echo "trace overhead bench failed or exceeded the 1.5% budget:" >&2
+  tail -20 "$SMOKE_DIR/trace-bench.log" >&2
+  exit 1
+}
+grep 'overhead' "$SMOKE_DIR/trace-bench.log"
+
 echo "==> OK"

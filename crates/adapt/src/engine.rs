@@ -31,11 +31,12 @@ use p4guard_dataplane::switch::Switch;
 use p4guard_dataplane::table::{MatchKind, MatchSpec, Table, TableError};
 use p4guard_gateway::{Gateway, GatewaySnapshot};
 use p4guard_rules::RuleSet;
-use p4guard_telemetry::{Counter, Event, Gauge, Telemetry};
+use p4guard_telemetry::{control_trace_id, Counter, Event, Gauge, SpanRecord, Telemetry};
 use p4guard_traffic::Scenario;
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Rulesets (with their published versions) the engine remembers for
 /// rollback; matches the control plane's snapshot history depth.
@@ -334,6 +335,9 @@ pub struct AdaptEngine {
     /// last.
     deployed: Vec<(u64, RuleSet)>,
     metrics: AdaptMetrics,
+    /// When the engine entered its current phase; transition spans cover
+    /// the phase being left.
+    phase_entered: Instant,
 }
 
 impl AdaptEngine {
@@ -359,6 +363,7 @@ impl AdaptEngine {
             phase: Phase::Stable,
             deployed: Vec::new(),
             metrics,
+            phase_entered: Instant::now(),
         }
     }
 
@@ -532,6 +537,7 @@ impl AdaptEngine {
             baseline: baseline_version,
             shards: Vec::new(),
             reason: reason.clone(),
+            trace_id: self.rollout_trace_id(0, baseline_version),
         });
         self.set_phase(Phase::Shadowing {
             candidate,
@@ -588,6 +594,7 @@ impl AdaptEngine {
                     "shadow drop rate {:.3} over {} samples exceeds {:.3}",
                     drop_rate, score.samples, self.config.shadow_max_drop_rate
                 ),
+                trace_id: self.rollout_trace_id(0, baseline_version),
             });
             self.metrics.shadow_rejects.inc();
             self.set_phase(Phase::Stable);
@@ -627,6 +634,7 @@ impl AdaptEngine {
             baseline: baseline_version,
             shards: shards.clone(),
             reason,
+            trace_id: self.rollout_trace_id(report.version, baseline_version),
         });
         self.set_phase(Phase::Canarying {
             candidate,
@@ -747,6 +755,7 @@ impl AdaptEngine {
             reason: format!(
                 "canary healthy: drop rate {canary_rate:.3} vs reference {reference_rate:.3}"
             ),
+            trace_id: self.rollout_trace_id(candidate_version, baseline_version),
         });
         self.remember(candidate_version, candidate);
         self.metrics.promoted.inc();
@@ -801,7 +810,37 @@ impl AdaptEngine {
     }
 
     fn set_phase(&mut self, phase: Phase) {
+        let now = Instant::now();
+        if self.telemetry.traces.enabled() && phase.kind() != self.phase.kind() {
+            // One span per transition, covering the phase being left, so a
+            // rollout's trace reads as the sequence of adaptation states
+            // the candidate moved through.
+            let traces = &self.telemetry.traces;
+            let duration_ns = u64::try_from(now.duration_since(self.phase_entered).as_nanos())
+                .unwrap_or(u64::MAX);
+            let end = traces.now_ns();
+            traces.record(SpanRecord {
+                trace_id: control_trace_id(self.active_version().unwrap_or(0)),
+                span_id: traces.next_span_id(),
+                parent_id: None,
+                name: format!("adapt:{}", self.phase.kind().name()),
+                start_ns: end.saturating_sub(duration_ns),
+                duration_ns,
+                meta: vec![("to".to_string(), phase.kind().name().to_string())],
+            });
+        }
+        self.phase_entered = now;
         self.metrics.phase.set(phase.kind().gauge_value());
         self.phase = phase;
+    }
+
+    /// Control-plane trace id carried by a rollout audit event: derived
+    /// from the candidate `version` when it is published, else from the
+    /// `baseline` it is judged against. `None` when tracing is off.
+    fn rollout_trace_id(&self, version: u64, baseline: u64) -> Option<u64> {
+        self.telemetry
+            .traces
+            .enabled()
+            .then(|| control_trace_id(if version != 0 { version } else { baseline }))
     }
 }

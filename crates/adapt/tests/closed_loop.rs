@@ -86,6 +86,7 @@ fn telemetry() -> Arc<Telemetry> {
         events_capacity: 8192,
         sample_every: 8,
         seed: 1,
+        ..TelemetryConfig::default()
     }))
 }
 

@@ -1,0 +1,160 @@
+//! Measures the batched gateway replay throughput cost of sampled tracing
+//! and stage profiling over the plain registry sink and writes
+//! `results/BENCH_trace.json`. The ISSUE bounds the acceptable overhead at
+//! 1.5% of batched-gateway pps.
+//!
+//! ```text
+//! cargo run --release --example trace_overhead [trials]
+//! ```
+
+use p4guard_bench::standard_split;
+use p4guard_dataplane::action::Action;
+use p4guard_dataplane::control::ControlPlane;
+use p4guard_dataplane::key::KeyLayout;
+use p4guard_dataplane::parser::ParserSpec;
+use p4guard_dataplane::switch::Switch;
+use p4guard_dataplane::table::{MatchKind, MatchSpec, Table};
+use p4guard_gateway::{replay_batched, Gateway, GatewayConfig, IngestMode};
+use p4guard_packet::arena::{FrameArena, FrameBatch};
+use p4guard_telemetry::{Telemetry, TelemetryConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Value;
+use std::sync::Arc;
+use std::time::Instant;
+
+const KEY_WIDTH: usize = 8;
+const SHARDS: usize = 4;
+const ENTRIES: usize = 64;
+const INGEST_BATCH: usize = 128;
+
+/// Frames replayed per trial (cycled from the standard test split, sealed
+/// into `INGEST_BATCH`-frame arena batches up front so the measured loop
+/// is ingest + processing only). Long enough (~70 ms of gateway time)
+/// that per-trial thread startup and scheduler noise stay far below the
+/// 1.5% budget being measured.
+const FRAMES_PER_TRIAL: usize = 400_000;
+
+/// The synthetic one-stage ternary control plane f4_gateway benches.
+fn synthetic_control(entries: usize) -> ControlPlane {
+    let mut rng = StdRng::seed_from_u64(p4guard_bench::BENCH_SEED);
+    let mut sw = Switch::new("bench-gw", ParserSpec::raw_window(64, 14), 1);
+    let mut acl = Table::new(
+        "acl",
+        MatchKind::Ternary,
+        KeyLayout::window(KEY_WIDTH),
+        entries.max(1024),
+        Action::NoOp,
+    );
+    for _ in 0..entries {
+        let value: Vec<u8> = (0..KEY_WIDTH).map(|_| rng.gen()).collect();
+        let mask: Vec<u8> = (0..KEY_WIDTH)
+            .map(|_| if rng.gen::<bool>() { 0xff } else { 0x00 })
+            .collect();
+        acl.insert(MatchSpec::Ternary { value, mask }, Action::Drop, 1)
+            .expect("capacity");
+    }
+    sw.add_stage(acl);
+    ControlPlane::new(sw)
+}
+
+fn telemetry(tracing: bool) -> Arc<Telemetry> {
+    Arc::new(Telemetry::new(TelemetryConfig {
+        tracing,
+        ..TelemetryConfig::default()
+    }))
+}
+
+/// One batched replay through a fresh gateway; returns end-to-end pps
+/// (dispatch through drain).
+fn run_once(batches: &[FrameBatch], tracing: bool) -> f64 {
+    let control = synthetic_control(ENTRIES);
+    let gw = Gateway::start_with_telemetry(
+        &control,
+        GatewayConfig::with_shards(SHARDS),
+        Some(telemetry(tracing)),
+    );
+    let start = Instant::now();
+    let _report = replay_batched(&gw, batches.iter().cloned(), None, IngestMode::Blocking);
+    let snap = gw.finish();
+    snap.totals.received as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Median of `samples` (throughput distributions are long-tailed left;
+/// the median is robust to a descheduled trial).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .map(|v| v.parse().expect("trials must be a number"))
+        .unwrap_or(7);
+    let (_, test) = standard_split();
+    let mut arena = FrameArena::new(INGEST_BATCH * 128);
+    let mut batches = Vec::new();
+    let mut pending = 0usize;
+    for record in test.iter().cycle().take(FRAMES_PER_TRIAL) {
+        arena.push(&record.frame);
+        pending += 1;
+        if pending == INGEST_BATCH {
+            batches.push(arena.seal_batch());
+            pending = 0;
+        }
+    }
+    if pending > 0 {
+        batches.push(arena.seal_batch());
+    }
+    println!(
+        "trace overhead: {FRAMES_PER_TRIAL} frames in {} batches of {INGEST_BATCH}, \
+         {SHARDS} shards, {trials} trials per arm",
+        batches.len()
+    );
+
+    // Warm both arms once so page faults and allocator growth are off the
+    // books, then interleave the arms trial by trial so machine drift
+    // (thermal, a background task) biases both medians equally.
+    run_once(&batches, false);
+    run_once(&batches, true);
+
+    let mut baseline = Vec::with_capacity(trials);
+    let mut traced = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        baseline.push(run_once(&batches, false));
+        traced.push(run_once(&batches, true));
+    }
+    let baseline_pps = median(&mut baseline);
+    let traced_pps = median(&mut traced);
+    let overhead_pct = (baseline_pps - traced_pps) / baseline_pps * 100.0;
+
+    println!("registry sink : {baseline_pps:>12.0} pps");
+    println!("traced sink   : {traced_pps:>12.0} pps");
+    println!("overhead      : {overhead_pct:>11.2}%");
+
+    let out = Value::Map(vec![
+        ("bench".into(), Value::Str("f4_gateway_tracing".into())),
+        ("frames".into(), Value::UInt(FRAMES_PER_TRIAL as u64)),
+        ("ingest_batch".into(), Value::UInt(INGEST_BATCH as u64)),
+        ("shards".into(), Value::UInt(SHARDS as u64)),
+        ("entries".into(), Value::UInt(ENTRIES as u64)),
+        ("trials".into(), Value::UInt(trials as u64)),
+        ("baseline_pps".into(), Value::Float(baseline_pps)),
+        ("traced_pps".into(), Value::Float(traced_pps)),
+        ("overhead_pct".into(), Value::Float(overhead_pct)),
+        ("budget_pct".into(), Value::Float(1.5)),
+        ("within_budget".into(), Value::Bool(overhead_pct <= 1.5)),
+    ]);
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write(
+        "results/BENCH_trace.json",
+        serde_json::to_string_pretty(&out).expect("serialize"),
+    )
+    .expect("write results/BENCH_trace.json");
+    println!("wrote results/BENCH_trace.json");
+    if overhead_pct > 1.5 {
+        eprintln!("warning: overhead exceeds the 1.5% budget");
+        std::process::exit(1);
+    }
+}

@@ -6,7 +6,7 @@
 //! ```text
 //! reproduce [EXPERIMENT ...] [--seed N] [--full] [--out DIR]
 //!
-//! EXPERIMENT ∈ { t1 t2 t3 f1 .. f14 f11_lookup f12_adapt f13_fleet f14_minimize all }  (default: all)
+//! EXPERIMENT ∈ { t1 t2 t3 f1 .. f14 f11_lookup f12_adapt f13_fleet f14_minimize f15_observe all }  (default: all)
 //! --seed N   scenario seed (default 2020, the publication year)
 //! --full     use the full (paper-scale) pipeline config instead of the
 //!            fast profile
@@ -16,7 +16,7 @@
 use p4guard::config::GuardConfig;
 use p4guard::experiments::{
     adaptation, convergence, dataplane_exp, dataset, detection, efficiency, extensions, fleet_exp,
-    minimize_exp, universality, ExperimentContext,
+    minimize_exp, observe_exp, universality, ExperimentContext,
 };
 use p4guard_packet::trace::AttackFamily;
 use serde::Serialize;
@@ -30,7 +30,7 @@ struct Options {
     out: Option<PathBuf>,
 }
 
-const ALL: [&str; 21] = [
+const ALL: [&str; 22] = [
     "t1",
     "t2",
     "t3",
@@ -52,6 +52,7 @@ const ALL: [&str; 21] = [
     "f13_fleet",
     "f14",
     "f14_minimize",
+    "f15_observe",
 ];
 
 fn parse_args() -> Result<Options, String> {
@@ -112,7 +113,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: reproduce [t1 t2 t3 f1..f14 f11_lookup f12_adapt f13_fleet f14_minimize | all] [--seed N] [--full] [--out DIR]"
+                "usage: reproduce [t1 t2 t3 f1..f14 f11_lookup f12_adapt f13_fleet f14_minimize f15_observe | all] [--seed N] [--full] [--out DIR]"
             );
             return ExitCode::FAILURE;
         }
@@ -259,6 +260,11 @@ fn main() -> ExitCode {
                     1024,
                     trials,
                 );
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "f15_observe" => {
+                let r = observe_exp::run_f15_observe(options.seed, 4);
                 println!("{r}");
                 save_json(&options.out, id, &r);
             }

@@ -16,10 +16,12 @@
 //! `serve` replays a trace through the sharded online gateway, hot-swapping
 //! an optimized ruleset mid-run, and prints the aggregated snapshot. With
 //! `--metrics-addr` it also serves live Prometheus metrics (`/metrics`)
-//! and flight-recorder events (`/events`) while replaying; `--hold` keeps
-//! the endpoint up after the replay finishes so scrapers can collect the
-//! final state. `stats --metrics` fetches and prints a snapshot from such
-//! a running gateway.
+//! and flight-recorder events (`/events`) while replaying; `--tracing`
+//! additionally samples structured spans and stage profiles, served on
+//! `/traces` and `/profile`; `--hold` keeps the endpoint up after the
+//! replay finishes so scrapers can collect the final state. `stats
+//! --metrics` fetches and prints a snapshot from such a running gateway
+//! (`--path` picks a different route, e.g. `/profile`).
 
 use p4guard::config::GuardConfig;
 use p4guard::pipeline::{TrainedGuard, TwoStagePipeline};
@@ -42,15 +44,15 @@ const USAGE: &str = "usage:
   p4guard-cli train    --trace FILE --out FILE [--k N] [--window N] [--fast]
   p4guard-cli evaluate --model FILE --trace FILE
   p4guard-cli export   --model FILE --trace FILE --out-dir DIR
-  p4guard-cli stats    --trace FILE | --metrics ADDR [--events]
+  p4guard-cli stats    --trace FILE | --metrics ADDR [--events] [--path P]
   p4guard-cli serve    [--shards N] [--model FILE] [--trace FILE] [--scenario S] [--seed N]
                        [--pps N] [--queue N] [--batch N] [--adapt]
-                       [--batched] [--batch-size N]
+                       [--batched] [--batch-size N] [--tracing]
                        [--tenants N] [--devices N]
                        [--metrics-addr ADDR] [--hold SECS] [--sample-every N]";
 
 /// Flags that take no value.
-const BOOLEAN_FLAGS: [&str; 4] = ["fast", "events", "adapt", "batched"];
+const BOOLEAN_FLAGS: [&str; 5] = ["fast", "events", "adapt", "batched", "tracing"];
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -170,7 +172,11 @@ fn run() -> Result<(), Box<dyn Error>> {
         }
         "stats" => {
             if let Some(addr) = flags.get("metrics") {
-                return fetch_remote_stats(addr, flags.contains_key("events"));
+                return fetch_remote_stats(
+                    addr,
+                    flags.contains_key("events"),
+                    flags.get("path").map(String::as_str),
+                );
             }
             let trace = Trace::load(required(&flags, "trace")?)?;
             println!("{}", TraceStats::compute(&trace));
@@ -195,6 +201,7 @@ fn run() -> Result<(), Box<dyn Error>> {
             let pps: Option<f64> = flags.get("pps").map(|v| v.parse()).transpose()?;
             let seed: u64 = flags.get("seed").map_or(Ok(1), |v| v.parse())?;
             let batched = flags.contains_key("batched");
+            let tracing = flags.contains_key("tracing");
             let ingest_batch: usize = flags.get("batch-size").map_or(Ok(128), |v| v.parse())?;
             if ingest_batch == 0 {
                 return Err("--batch-size must be at least 1".into());
@@ -217,6 +224,7 @@ fn run() -> Result<(), Box<dyn Error>> {
                 let telemetry = Arc::new(Telemetry::new(TelemetryConfig {
                     sample_every,
                     seed,
+                    tracing,
                     ..TelemetryConfig::default()
                 }));
                 let server = match flags.get("metrics-addr") {
@@ -226,6 +234,12 @@ fn run() -> Result<(), Box<dyn Error>> {
                             "metrics: listening on http://{}/metrics",
                             server.local_addr()
                         );
+                        if tracing {
+                            println!(
+                                "tracing: listening on http://{}/profile and /traces",
+                                server.local_addr()
+                            );
+                        }
                         Some(server)
                     }
                     None => None,
@@ -262,6 +276,7 @@ fn run() -> Result<(), Box<dyn Error>> {
                 let telemetry = Arc::new(Telemetry::new(TelemetryConfig {
                     sample_every,
                     seed,
+                    tracing,
                     ..TelemetryConfig::default()
                 }));
                 let server = match flags.get("metrics-addr") {
@@ -325,6 +340,7 @@ fn run() -> Result<(), Box<dyn Error>> {
                     let telemetry = Arc::new(Telemetry::new(TelemetryConfig {
                         sample_every,
                         seed,
+                        tracing,
                         ..TelemetryConfig::default()
                     }));
                     let server = MetricsServer::serve(addr, Arc::clone(&telemetry))?;
@@ -339,6 +355,12 @@ fn run() -> Result<(), Box<dyn Error>> {
                         "events : listening on http://{}/events",
                         server.local_addr()
                     );
+                    if tracing {
+                        println!(
+                            "tracing: listening on http://{}/profile and /traces",
+                            server.local_addr()
+                        );
+                    }
                     Some((telemetry, server))
                 }
                 None => None,
@@ -396,11 +418,12 @@ fn run() -> Result<(), Box<dyn Error>> {
     }
 }
 
-/// Fetches and prints `/metrics` (and with `events`, `/events`) from a
-/// gateway started with `serve --metrics-addr`. Non-200 responses and
-/// connection failures surface as errors, so scripts can gate on the
+/// Fetches and prints `/metrics` (and with `events`, `/events`; with
+/// `path`, that route instead — e.g. `/profile` or `/traces?recent=4`)
+/// from a gateway started with `serve --metrics-addr`. Non-200 responses
+/// and connection failures surface as errors, so scripts can gate on the
 /// exit code without needing `curl`.
-fn fetch_remote_stats(addr: &str, events: bool) -> Result<(), Box<dyn Error>> {
+fn fetch_remote_stats(addr: &str, events: bool, path: Option<&str>) -> Result<(), Box<dyn Error>> {
     let timeout = Duration::from_secs(5);
     let unreachable = |e: std::io::Error| {
         format!(
@@ -408,11 +431,15 @@ fn fetch_remote_stats(addr: &str, events: bool) -> Result<(), Box<dyn Error>> {
              (is a gateway running with serve --metrics-addr {addr}?)"
         )
     };
-    let (status, body) = http_get(addr, "/metrics", timeout).map_err(unreachable)?;
+    let path = path.unwrap_or("/metrics");
+    let (status, body) = http_get(addr, path, timeout).map_err(unreachable)?;
     if status != 200 {
-        return Err(format!("GET /metrics on {addr} returned HTTP {status}").into());
+        return Err(format!("GET {path} on {addr} returned HTTP {status}").into());
     }
     print!("{body}");
+    if !body.ends_with('\n') {
+        println!();
+    }
     if events {
         let (status, body) = http_get(addr, "/events", timeout).map_err(unreachable)?;
         if status != 200 {

@@ -194,6 +194,7 @@ pub fn run_f12_adapt(
             events_capacity: 8192,
             sample_every: 8,
             seed,
+            ..TelemetryConfig::default()
         }))
     });
     let gw_config = GatewayConfig {

@@ -145,8 +145,9 @@ impl fmt::Display for FleetReport {
 }
 
 /// Trains one tenant's detector on its deterministic training trace and
-/// compiles it to ternary rules over the fleet ACL layout.
-fn train_tenant(sim: &FleetSim, tenant: usize, layout: &AclLayout) -> RuleSet {
+/// compiles it to ternary rules over the fleet ACL layout. Shared with
+/// the F15-observe experiment, which drives the same fleet under SLOs.
+pub(crate) fn train_tenant(sim: &FleetSim, tenant: usize, layout: &AclLayout) -> RuleSet {
     let trace = sim.training_trace(tenant, TRAIN_FRAMES);
     let dataset = ByteDataset::from_trace(&trace, layout.window).project(&layout.offsets);
     let flat: Vec<u8> = (0..dataset.len())

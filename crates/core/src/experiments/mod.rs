@@ -12,6 +12,7 @@ pub mod efficiency;
 pub mod extensions;
 pub mod fleet_exp;
 pub mod minimize_exp;
+pub mod observe_exp;
 pub mod universality;
 
 use p4guard_packet::trace::Trace;

@@ -8,7 +8,7 @@ use crate::switch::Switch;
 use crate::table::{EntryHandle, MatchSpec, Table, TableError};
 use p4guard_rules::ruleset::{RuleSet, RuleSetDiff};
 use p4guard_rules::tree::TreePath;
-use p4guard_telemetry::{Event, FlightRecorder};
+use p4guard_telemetry::{control_trace_id, Event, FlightRecorder, SpanRecord, TraceStore};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -112,6 +112,7 @@ pub struct ControlPlane {
     subscribers: Arc<Mutex<Vec<Arc<PipelineCell>>>>,
     next_version: Arc<AtomicU64>,
     recorder: Arc<Mutex<Option<Arc<FlightRecorder>>>>,
+    tracer: Arc<Mutex<Option<Arc<TraceStore>>>>,
     history: Arc<Mutex<VecDeque<Arc<ReadPipeline>>>>,
     /// The most recently compiled snapshot, kept as the delta-compilation
     /// baseline: the next [`ControlPlane::snapshot`] re-lowers only the
@@ -128,6 +129,7 @@ impl ControlPlane {
             subscribers: Arc::new(Mutex::new(Vec::new())),
             next_version: Arc::new(AtomicU64::new(1)),
             recorder: Arc::new(Mutex::new(None)),
+            tracer: Arc::new(Mutex::new(None)),
             history: Arc::new(Mutex::new(VecDeque::new())),
             last_compiled: Arc::new(Mutex::new(None)),
         }
@@ -137,6 +139,58 @@ impl ControlPlane {
     /// leaves a swap audit event ([`Event::Swap`]) in it.
     pub fn set_recorder(&self, recorder: Arc<FlightRecorder>) {
         *self.recorder.lock() = Some(recorder);
+    }
+
+    /// Attaches a trace store; every publish / republish / rollback from
+    /// any clone then records a span tree under the control-plane trace id
+    /// of the involved version ([`control_trace_id`]), joinable from the
+    /// `trace_id` its audit event carries.
+    pub fn set_tracer(&self, tracer: Arc<TraceStore>) {
+        *self.tracer.lock() = Some(tracer);
+    }
+
+    /// Records the span tree of one control-plane operation: a root named
+    /// `name` (trace id derived from `version`) spanning `total_ns`, with
+    /// one sequential child per `(name, duration)` pair. Returns the trace
+    /// id for the caller's audit event, or `None` when no enabled tracer
+    /// is attached.
+    fn trace_control(
+        &self,
+        name: &str,
+        version: u64,
+        total_ns: u64,
+        children: &[(&str, u64)],
+    ) -> Option<u64> {
+        let tracer = self.tracer.lock().clone()?;
+        if !tracer.enabled() {
+            return None;
+        }
+        let trace_id = control_trace_id(version);
+        let start = tracer.now_ns().saturating_sub(total_ns);
+        let root = tracer.next_span_id();
+        tracer.record(SpanRecord {
+            trace_id,
+            span_id: root,
+            parent_id: None,
+            name: name.to_string(),
+            start_ns: start,
+            duration_ns: total_ns,
+            meta: vec![("version".to_string(), version.to_string())],
+        });
+        let mut offset = start;
+        for &(child, duration) in children {
+            tracer.record(SpanRecord {
+                trace_id,
+                span_id: tracer.next_span_id(),
+                parent_id: Some(root),
+                name: child.to_string(),
+                start_ns: offset,
+                duration_ns: duration,
+                meta: Vec::new(),
+            });
+            offset += duration;
+        }
+        Some(trace_id)
     }
 
     fn stage_checked(sw: &mut Switch, stage: usize) -> Result<&mut Table, TableError> {
@@ -399,11 +453,14 @@ impl ControlPlane {
     pub fn publish_audited(&self, delta: Option<&RuleSetDiff>, drained: bool) -> PublishReport {
         let start = Instant::now();
         let (snapshot, stages_recompiled, stages_shared) = self.snapshot_with_stats();
+        let snapshot_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let fanout_start = Instant::now();
         self.retain(Arc::clone(&snapshot));
         let subscribers = self.subscribers.lock();
         for cell in subscribers.iter() {
             cell.publish(Arc::clone(&snapshot));
         }
+        let fanout_ns = u64::try_from(fanout_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let report = PublishReport {
             version: snapshot.version(),
             entries: snapshot.entry_count(),
@@ -413,6 +470,12 @@ impl ControlPlane {
             stages_shared,
         };
         drop(subscribers);
+        let trace_id = self.trace_control(
+            "swap",
+            report.version,
+            u64::try_from(report.elapsed.as_nanos()).unwrap_or(u64::MAX),
+            &[("snapshot", snapshot_ns), ("fanout", fanout_ns)],
+        );
         if let Some(recorder) = self.recorder.lock().as_ref() {
             recorder.record(Event::Swap {
                 version: report.version,
@@ -422,6 +485,7 @@ impl ControlPlane {
                 removed: delta.map_or(0, |d| d.removed.len()),
                 drained,
                 duration_ns: u64::try_from(report.elapsed.as_nanos()).unwrap_or(u64::MAX),
+                trace_id,
             });
         }
         report
@@ -471,10 +535,13 @@ impl ControlPlane {
             });
         }
         let (snapshot, stages_recompiled, stages_shared) = self.snapshot_with_stats();
+        let snapshot_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let fanout_start = Instant::now();
         self.retain(Arc::clone(&snapshot));
         for &t in targets {
             subscribers[t].publish(Arc::clone(&snapshot));
         }
+        let fanout_ns = u64::try_from(fanout_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let report = PublishReport {
             version: snapshot.version(),
             entries: snapshot.entry_count(),
@@ -484,6 +551,12 @@ impl ControlPlane {
             stages_shared,
         };
         drop(subscribers);
+        let trace_id = self.trace_control(
+            "canary_publish",
+            report.version,
+            u64::try_from(report.elapsed.as_nanos()).unwrap_or(u64::MAX),
+            &[("snapshot", snapshot_ns), ("fanout", fanout_ns)],
+        );
         if let Some(recorder) = self.recorder.lock().as_ref() {
             recorder.record(Event::Swap {
                 version: report.version,
@@ -493,6 +566,7 @@ impl ControlPlane {
                 removed: 0,
                 drained: false,
                 duration_ns: u64::try_from(report.elapsed.as_nanos()).unwrap_or(u64::MAX),
+                trace_id,
             });
         }
         Ok(report)
@@ -523,7 +597,7 @@ impl ControlPlane {
         for cell in subscribers.iter() {
             cell.publish(Arc::clone(&snapshot));
         }
-        Ok(PublishReport {
+        let report = PublishReport {
             version: snapshot.version(),
             entries: snapshot.entry_count(),
             subscribers: subscribers.len(),
@@ -531,7 +605,16 @@ impl ControlPlane {
             // Republish serves retained bytes: nothing is compiled at all.
             stages_recompiled: 0,
             stages_shared: snapshot.stages().len(),
-        })
+        };
+        drop(subscribers);
+        let fanout_ns = u64::try_from(report.elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.trace_control(
+            "republish",
+            report.version,
+            fanout_ns,
+            &[("fanout", fanout_ns)],
+        );
+        Ok(report)
     }
 
     /// Rolls every subscriber back to a retained prior `version` and leaves
@@ -546,8 +629,15 @@ impl ControlPlane {
     /// Returns [`PublishError::UnknownVersion`] when the version has left
     /// the bounded history.
     pub fn rollback_to(&self, version: u64, reason: &str) -> Result<PublishReport, PublishError> {
+        let start = Instant::now();
         let from = self.retained_versions().last().copied().unwrap_or(0);
         let report = self.republish(version)?;
+        let trace_id = self.trace_control(
+            "rollback",
+            version,
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            &[],
+        );
         if let Some(recorder) = self.recorder.lock().as_ref() {
             recorder.record(Event::Rollout {
                 phase: "rolled_back".to_string(),
@@ -555,6 +645,7 @@ impl ControlPlane {
                 baseline: version,
                 shards: Vec::new(),
                 reason: reason.to_string(),
+                trace_id,
             });
         }
         Ok(report)
@@ -962,6 +1053,70 @@ mod tests {
                 // Plain publish carries no delta knowledge.
                 assert_eq!((*added, *removed, *drained), (0, 0, false));
             }
+            other => panic!("expected a swap event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn swap_audit_events_join_against_the_trace_store() {
+        use p4guard_telemetry::TraceStore;
+
+        let cp = control_with_table(MatchKind::Ternary, 2, 16);
+        let recorder = Arc::new(FlightRecorder::new(16, 1, 0));
+        let tracer = Arc::new(TraceStore::new(64, 1, 0, true));
+        cp.set_recorder(Arc::clone(&recorder));
+        cp.set_tracer(Arc::clone(&tracer));
+        cp.install_ruleset(0, &ruleset(), Action::Drop).unwrap();
+
+        let report = cp.publish_audited(None, false);
+
+        // The audit event carries the control trace id of its version...
+        let trace_id = match &recorder.events()[0].event {
+            Event::Swap { trace_id, .. } => trace_id.expect("tracer attached → id set"),
+            other => panic!("expected a swap event, got {other:?}"),
+        };
+        assert_eq!(trace_id, control_trace_id(report.version));
+        // ...and that id resolves to the publish's full span tree.
+        let spans = tracer.by_trace(trace_id);
+        let root = spans
+            .iter()
+            .find(|s| s.parent_id.is_none())
+            .expect("swap root span");
+        assert_eq!(root.name, "swap");
+        let children: Vec<&str> = spans
+            .iter()
+            .filter(|s| s.parent_id == Some(root.span_id))
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(children, ["snapshot", "fanout"]);
+
+        // Rollback events join the same way.
+        cp.publish();
+        cp.rollback_to(report.version, "test").unwrap();
+        let rollback = recorder
+            .events()
+            .into_iter()
+            .rev()
+            .find(|e| e.event.kind() == "rollout")
+            .unwrap();
+        let rollback_trace = match &rollback.event {
+            Event::Rollout { trace_id, .. } => trace_id.expect("tracer attached → id set"),
+            other => panic!("expected a rollout event, got {other:?}"),
+        };
+        assert!(tracer
+            .by_trace(rollback_trace)
+            .iter()
+            .any(|s| s.name == "rollback"));
+    }
+
+    #[test]
+    fn untraced_publishes_leave_no_trace_ids() {
+        let cp = control_with_table(MatchKind::Ternary, 2, 16);
+        let recorder = Arc::new(FlightRecorder::new(16, 1, 0));
+        cp.set_recorder(Arc::clone(&recorder));
+        cp.publish_audited(None, false);
+        match &recorder.events()[0].event {
+            Event::Swap { trace_id, .. } => assert_eq!(*trace_id, None),
             other => panic!("expected a swap event, got {other:?}"),
         }
     }

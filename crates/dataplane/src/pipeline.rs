@@ -19,10 +19,30 @@ use crate::parser::ParserSpec;
 use crate::switch::SwitchCounters;
 use crate::table::Table;
 use p4guard_packet::arena::FrameSpan;
-use p4guard_telemetry::{DropReason, NoopSink, TelemetrySink, VerdictKind};
+use p4guard_telemetry::{DropReason, NoopSink, StageKind, TelemetrySink, VerdictKind};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Reports the wall time since `*stamp` as one profiled stage and
+/// advances the stamp. Inert (no clock reads) when profiling is off —
+/// `stamp` is `None` unless the sink asked for stage timing.
+#[inline]
+fn lap<S: TelemetrySink>(
+    stamp: &mut Option<Instant>,
+    sink: &mut S,
+    stage: StageKind,
+    table: Option<usize>,
+    frames: u64,
+) {
+    if let Some(s) = stamp.as_mut() {
+        let now = Instant::now();
+        let nanos = u64::try_from(now.duration_since(*s).as_nanos()).unwrap_or(u64::MAX);
+        sink.stage_time(stage, table, nanos, frames);
+        *s = now;
+    }
+}
 
 /// An immutable, shareable snapshot of a switch's forwarding behaviour.
 ///
@@ -229,6 +249,9 @@ impl ReadPipeline {
         counters.received += n as u64;
         scratch.reset(n, self.max_key_width, self.default_port);
         let frame_of = |s: &FrameSpan| &data[s.offset as usize..s.end()];
+        // One clock read per stage boundary, and none at all unless the
+        // sink opted into profiling.
+        let mut stamp = sink.profiling_enabled().then(Instant::now);
 
         // Stage 0: batch parse. Rejected frames never enter the alive set.
         for (i, span) in spans.iter().enumerate() {
@@ -239,6 +262,7 @@ impl ReadPipeline {
                 scratch.state[i] = FrameState::ParserReject;
             }
         }
+        lap(&mut stamp, sink, StageKind::Parse, None, n as u64);
 
         for (stage, table) in self.stages.iter().enumerate() {
             if scratch.alive.is_empty() {
@@ -256,6 +280,13 @@ impl ReadPipeline {
                     &mut scratch.keys[j * width..(j + 1) * width],
                 );
             }
+            lap(
+                &mut stamp,
+                sink,
+                StageKind::KeyExtract,
+                Some(stage),
+                alive_len as u64,
+            );
             scratch.lookups.clear();
             scratch
                 .lookups
@@ -265,6 +296,13 @@ impl ReadPipeline {
                 width,
                 &mut scratch.probe,
                 &mut scratch.lookups,
+            );
+            lap(
+                &mut stamp,
+                sink,
+                StageKind::Lookup,
+                Some(stage),
+                alive_len as u64,
             );
             // Apply actions, compacting the alive set in place.
             let mut kept = 0usize;
@@ -302,6 +340,13 @@ impl ReadPipeline {
                 kept += 1;
             }
             scratch.alive.truncate(kept);
+            lap(
+                &mut stamp,
+                sink,
+                StageKind::Apply,
+                Some(stage),
+                alive_len as u64,
+            );
         }
 
         for &i in &scratch.alive {
@@ -332,6 +377,7 @@ impl ReadPipeline {
             };
             verdicts.push(v);
         }
+        lap(&mut stamp, sink, StageKind::Report, None, n as u64);
     }
 
     /// [`ReadPipeline::process_batch_with`] without telemetry.

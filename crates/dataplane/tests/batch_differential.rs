@@ -13,7 +13,7 @@ use p4guard_dataplane::pipeline::BatchScratch;
 use p4guard_dataplane::switch::{Switch, SwitchCounters};
 use p4guard_dataplane::table::{MatchKind, MatchSpec, Table};
 use p4guard_packet::arena::FrameArena;
-use p4guard_telemetry::{DropReason, TelemetrySink, VerdictKind};
+use p4guard_telemetry::{DropReason, TelemetrySink, TraceSampler, VerdictKind};
 use proptest::collection;
 use proptest::prelude::*;
 
@@ -59,13 +59,27 @@ fn spec_for(kind: MatchKind, width: usize, a: &[u8], b: &[u8], plen: usize) -> M
 
 /// A sink that records every report verbatim, so the test can compare the
 /// exact call streams (order included for `drop_frame`/`verdict`, the
-/// frame-order reports; totals for the count-only `table_lookup`).
-#[derive(Debug, Default, PartialEq)]
+/// frame-order reports; totals for the count-only `table_lookup`). It also
+/// ticks a deterministic trace sampler on every verdict, mirroring how the
+/// registry sink opens sampled traces, so the suite pins the sampled
+/// trace-id set across both paths.
+#[derive(Debug, Default)]
 struct RecordingSink {
     table_lookups: Vec<(usize, bool)>,
     drops: Vec<DropReason>,
     verdicts: Vec<VerdictRecord>,
     batch_ends: usize,
+    sampler: Option<TraceSampler>,
+    sampled_traces: Vec<u64>,
+}
+
+impl RecordingSink {
+    fn with_sampler(sample_every: u64, seed: u64) -> Self {
+        RecordingSink {
+            sampler: Some(TraceSampler::new(sample_every, seed)),
+            ..RecordingSink::default()
+        }
+    }
 }
 
 /// One recorded `verdict` call: kind, frame digest, matched (stage, rank).
@@ -81,6 +95,11 @@ impl TelemetrySink for RecordingSink {
     fn verdict(&mut self, verdict: VerdictKind, frame: &[u8], matched: Option<(usize, u32)>) {
         self.verdicts
             .push((verdict, p4guard_telemetry::frame_digest(frame), matched));
+        if let Some(sampler) = self.sampler.as_mut() {
+            if let Some(ctx) = sampler.tick() {
+                self.sampled_traces.push(ctx.trace_id);
+            }
+        }
     }
     fn batch_end(&mut self) {
         self.batch_ends += 1;
@@ -125,6 +144,8 @@ proptest! {
         ),
         raw_frames in collection::vec(collection::vec(any::<u8>(), 0..10), 1..40,),
         batch_cut in any::<u16>(),
+        trace_seed in any::<u64>(),
+        trace_stride in 1u64..8,
     ) {
         // Parser accepts frames of >= 2 bytes; shorter ones are rejected,
         // exercising the ParserReject lane of the batch.
@@ -153,7 +174,7 @@ proptest! {
 
         // Per-frame reference run.
         let mut per_counters = SwitchCounters::default();
-        let mut per_sink = RecordingSink::default();
+        let mut per_sink = RecordingSink::with_sampler(trace_stride, trace_seed);
         let mut scratch = Vec::new();
         let per_verdicts: Vec<Verdict> = raw_frames
             .iter()
@@ -174,7 +195,7 @@ proptest! {
         batches.push(arena.seal_batch());
 
         let mut batch_counters = SwitchCounters::default();
-        let mut batch_sink = RecordingSink::default();
+        let mut batch_sink = RecordingSink::with_sampler(trace_stride, trace_seed);
         let mut batch_scratch = BatchScratch::new();
         let mut batch_verdicts = Vec::new();
         for batch in &batches {
@@ -197,5 +218,18 @@ proptest! {
             lookup_totals(&per_sink.table_lookups),
             "per-table hit counters"
         );
+        // Same seed + stride → the deterministic sampler selects the same
+        // report-stream positions and mints the same trace ids on both
+        // paths, and at least one frame is sampled in every run (phase
+        // guarantees a hit within the first `stride` frames... only when
+        // enough frames exist).
+        prop_assert_eq!(
+            &batch_sink.sampled_traces,
+            &per_sink.sampled_traces,
+            "sampled trace-id set"
+        );
+        if raw_frames.len() as u64 >= trace_stride {
+            prop_assert!(!per_sink.sampled_traces.is_empty());
+        }
     }
 }

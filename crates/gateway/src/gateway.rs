@@ -182,6 +182,9 @@ impl Gateway {
             .collect();
         if let Some(t) = &telemetry {
             control.set_recorder(Arc::clone(&t.recorder));
+            if t.traces.enabled() {
+                control.set_tracer(Arc::clone(&t.traces));
+            }
             t.registry
                 .gauge("p4guard_shards", "Worker shards in the gateway", &[])
                 .set(config.shards as f64);

@@ -30,6 +30,8 @@ const IO_TIMEOUT: Duration = Duration::from_millis(500);
 /// | `/metrics`      | Prometheus text exposition + rolling rate series |
 /// | `/metrics.json` | The registry rendered as JSON                   |
 /// | `/events`       | Flight-recorder dump (JSON array, oldest first) |
+/// | `/profile`      | Per-stage timing rollups with trace exemplars   |
+/// | `/traces`       | Sampled spans: `?id=` one trace, `?recent=N` last N |
 /// | `/healthz`      | `ok`                                            |
 pub struct MetricsServer {
     addr: SocketAddr,
@@ -65,6 +67,7 @@ impl MetricsServer {
             .spawn(move || {
                 while !sampler_stop.load(Ordering::Acquire) {
                     telemetry.rates.tick();
+                    telemetry.slo.tick(&telemetry.registry);
                     thread::sleep(SAMPLE_INTERVAL);
                 }
             })?;
@@ -163,11 +166,15 @@ fn read_request_path(stream: &mut TcpStream) -> io::Result<Option<String>> {
 }
 
 fn route(telemetry: &Telemetry, path: &str) -> (u16, &'static str, &'static str, String) {
-    // Strip any query string; the endpoints take no parameters.
-    let path = path.split('?').next().unwrap_or(path);
+    // Split off the query string; only /traces takes parameters.
+    let (path, query) = match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path, ""),
+    };
     match path {
         "/metrics" => {
             telemetry.rates.tick();
+            telemetry.slo.tick(&telemetry.registry);
             let mut body = telemetry.registry.render_prometheus();
             body.push_str(&telemetry.rates.render_prometheus());
             (200, "OK", "text/plain; version=0.0.4; charset=utf-8", body)
@@ -179,6 +186,19 @@ fn route(telemetry: &Telemetry, path: &str) -> (u16, &'static str, &'static str,
             telemetry.registry.render_json(),
         ),
         "/events" => (200, "OK", "application/json", telemetry.recorder.to_json()),
+        "/profile" => (200, "OK", "application/json", telemetry.profile.to_json()),
+        "/traces" => {
+            let id = query_param(query, "id").and_then(|v| v.parse::<u64>().ok());
+            let recent = query_param(query, "recent")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(8);
+            (
+                200,
+                "OK",
+                "application/json",
+                telemetry.traces.to_json(id, recent),
+            )
+        }
         "/healthz" => (200, "OK", "text/plain; charset=utf-8", "ok\n".to_string()),
         _ => (
             404,
@@ -187,6 +207,14 @@ fn route(telemetry: &Telemetry, path: &str) -> (u16, &'static str, &'static str,
             format!("no route for {path}\n"),
         ),
     }
+}
+
+/// The value of `key` in a raw `a=1&b=2` query string, if present.
+fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
 }
 
 fn write_response(
@@ -209,18 +237,42 @@ fn write_response(
 /// returning `(status, body)`. Companion client for [`MetricsServer`],
 /// used by `p4guard-cli stats --metrics` and the CI smoke test so neither
 /// needs `curl`.
+///
+/// `timeout` is an overall deadline covering connect and the entire
+/// response read — a server that trickles one byte per read cannot hold
+/// the client past it (per-read socket timeouts alone would reset on
+/// every byte).
 pub fn http_get(addr: &str, path: &str, timeout: Duration) -> io::Result<(u16, String)> {
+    let deadline = std::time::Instant::now() + timeout;
     let sock_addr = addr
         .to_socket_addrs()?
         .next()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
     let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)?;
-    stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
     let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
     stream.write_all(request.as_bytes())?;
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw)?;
+    let mut bytes = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let remaining = deadline
+            .checked_duration_since(std::time::Instant::now())
+            .filter(|d| !d.is_zero())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "response did not complete within the deadline",
+                )
+            })?;
+        stream.set_read_timeout(Some(remaining))?;
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => bytes.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let raw = String::from_utf8_lossy(&bytes).into_owned();
     let (head, body) = raw
         .split_once("\r\n\r\n")
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed HTTP response"))?;
@@ -279,6 +331,85 @@ mod tests {
 
         let (status, _) = http_get(&addr, "/nope", timeout).unwrap();
         assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn serves_profile_and_traces() {
+        let telemetry = Arc::new(Telemetry::new(TelemetryConfig {
+            tracing: true,
+            ..TelemetryConfig::default()
+        }));
+        telemetry
+            .profile
+            .record_stage("0/lookup/acl", 500, 5, Some(42));
+        telemetry.traces.record(crate::trace::SpanRecord {
+            trace_id: 42,
+            span_id: 1,
+            parent_id: None,
+            name: "frame".to_string(),
+            start_ns: 0,
+            duration_ns: 100,
+            meta: vec![],
+        });
+        let server =
+            MetricsServer::serve("127.0.0.1:0", Arc::clone(&telemetry)).expect("bind ephemeral");
+        let addr = server.local_addr().to_string();
+        let timeout = Duration::from_secs(2);
+
+        let (status, body) = http_get(&addr, "/profile", timeout).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("0/lookup/acl"), "{body}");
+
+        let (status, body) = http_get(&addr, "/traces?id=42", timeout).unwrap();
+        assert_eq!(status, 200);
+        let v = serde_json::parse_value_str(&body).unwrap();
+        assert_eq!(v.as_seq().unwrap().len(), 1, "{body}");
+
+        let (status, body) = http_get(&addr, "/traces?recent=1", timeout).unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("\"frame\""), "{body}");
+
+        // Unknown trace id: empty array, not an error.
+        let (status, body) = http_get(&addr, "/traces?id=7", timeout).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.trim(), "[]");
+    }
+
+    #[test]
+    fn http_get_enforces_an_overall_deadline() {
+        // A pathological server that sends a valid header then trickles
+        // body bytes forever: per-read timeouts never fire, so only the
+        // overall deadline can save the client.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let trickler = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut discard = [0u8; 512];
+            let _ = stream.read(&mut discard);
+            let _ = stream.write_all(b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n\r\n");
+            for _ in 0..100 {
+                if stream.write_all(b"x").is_err() {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(50));
+            }
+        });
+        let started = std::time::Instant::now();
+        let err = http_get(&addr, "/metrics", Duration::from_millis(300))
+            .expect_err("trickling server must not complete");
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+            ),
+            "unexpected error kind: {err:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "deadline overshot: {:?}",
+            started.elapsed()
+        );
+        drop(trickler); // detach: it exits once its writes fail
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //! | `p4guard_ruleset_version` | gauge | — |
 //! | `p4guard_ruleset_swaps_total` | counter | `shard` |
 //! | `p4guard_forward_latency_seconds` | histogram | `shard` |
+//! | `p4guard_stage_seconds` | histogram | `shard`, `stage`, `table` |
+//! | `p4guard_slo_burn_fast` / `_slow` | gauge | `slo`, `tenant` |
+//!
+//! When tracing is armed ([`TelemetryConfig::tracing`]) the bundle also
+//! carries a [`TraceStore`] of sampled span trees (`/traces`), a
+//! [`ProfileBoard`] of per-stage timings (`/profile`), and an [`SloBoard`]
+//! evaluating burn rates; all three stay inert on the default config.
 
 #![warn(missing_docs)]
 
@@ -31,6 +38,8 @@ pub mod rates;
 pub mod recorder;
 pub mod registry;
 pub mod sink;
+pub mod slo;
+pub mod trace;
 
 pub use histogram::LatencyHistogram;
 pub use http::{http_get, MetricsServer};
@@ -38,6 +47,11 @@ pub use rates::RateWindows;
 pub use recorder::{Event, FlightRecorder, RecordedEvent};
 pub use registry::{Counter, Gauge, Histogram, Labels, MetricKind, Registry};
 pub use sink::{frame_digest, DropReason, NoopSink, RegistrySink, TelemetrySink, VerdictKind};
+pub use slo::{SloBoard, SloKind, SloSpec, GLOBAL_TENANT};
+pub use trace::{
+    control_trace_id, frame_trace_id, ProfileBoard, SpanRecord, StageKind, TraceCtx, TraceSampler,
+    TraceStore,
+};
 
 use std::sync::Arc;
 
@@ -51,6 +65,12 @@ pub struct TelemetryConfig {
     /// Seed offsetting which frame in each stride is sampled (the
     /// sampling stays deterministic for any fixed seed).
     pub seed: u64,
+    /// Whether span sampling and stage profiling are armed. Off by
+    /// default: the trace store stays empty and shard sinks skip all
+    /// stage timing.
+    pub tracing: bool,
+    /// Span ring capacity when tracing is armed.
+    pub trace_capacity: usize,
 }
 
 impl Default for TelemetryConfig {
@@ -59,6 +79,8 @@ impl Default for TelemetryConfig {
             events_capacity: 1024,
             sample_every: 64,
             seed: 0,
+            tracing: false,
+            trace_capacity: 4096,
         }
     }
 }
@@ -73,6 +95,12 @@ pub struct Telemetry {
     pub recorder: Arc<FlightRecorder>,
     /// Rolling 1s/10s rates over the registry's counters.
     pub rates: Arc<RateWindows>,
+    /// Ring of sampled spans (empty and inert unless tracing is armed).
+    pub traces: Arc<TraceStore>,
+    /// Per-stage timing rollups behind `/profile`.
+    pub profile: Arc<ProfileBoard>,
+    /// Burn-rate evaluation of the default SLOs over the registry.
+    pub slo: Arc<SloBoard>,
 }
 
 impl Telemetry {
@@ -85,20 +113,36 @@ impl Telemetry {
             config.seed,
         ));
         let rates = Arc::new(RateWindows::new(Arc::clone(&registry)));
+        let traces = Arc::new(TraceStore::new(
+            config.trace_capacity,
+            config.sample_every,
+            config.seed,
+            config.tracing,
+        ));
         Telemetry {
             registry,
             recorder,
             rates,
+            traces,
+            profile: Arc::new(ProfileBoard::new()),
+            slo: Arc::new(SloBoard::new(SloSpec::defaults())),
         }
     }
 
-    /// Builds a per-shard [`RegistrySink`] wired to this bundle.
+    /// Builds a per-shard [`RegistrySink`] wired to this bundle. When the
+    /// config armed tracing, the sink also samples spans and profiles
+    /// stages.
     pub fn shard_sink(&self, shard: usize) -> RegistrySink {
-        RegistrySink::new(
+        let sink = RegistrySink::new(
             Arc::clone(&self.registry),
             Arc::clone(&self.recorder),
             shard,
-        )
+        );
+        if self.traces.enabled() {
+            sink.with_tracing(Arc::clone(&self.traces), Arc::clone(&self.profile))
+        } else {
+            sink
+        }
     }
 }
 

@@ -141,8 +141,13 @@ impl RateWindows {
                 let label_text = if labels.is_empty() {
                     String::new()
                 } else {
-                    let parts: Vec<String> =
-                        labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+                    // Escape exactly like the registry renderer: a raw `"`
+                    // or newline in a label value would corrupt the whole
+                    // combined /metrics body.
+                    let parts: Vec<String> = labels
+                        .iter()
+                        .map(|(k, v)| format!("{k}=\"{}\"", crate::registry::escape_label(v)))
+                        .collect();
                     format!("{{{}}}", parts.join(","))
                 };
                 let _ = writeln!(out, "{rate_name}{label_text} {rate}");
@@ -212,6 +217,22 @@ mod tests {
             rates.tick();
         }
         assert_eq!(rates.samples.lock().len(), 1);
+    }
+
+    #[test]
+    fn rate_label_values_are_escaped() {
+        let registry = Arc::new(Registry::new());
+        let c = registry.counter("esc_total", "", &[("path", "a\\b\"c\nd")]);
+        let rates = RateWindows::new(Arc::clone(&registry));
+        rates.tick();
+        c.add(5);
+        thread::sleep(Duration::from_millis(60));
+        rates.tick();
+        let text = rates.render_prometheus();
+        assert!(
+            text.contains("esc:rate_1s{path=\"a\\\\b\\\"c\\nd\"}"),
+            "rate labels must escape like the registry: {text}"
+        );
     }
 
     #[test]

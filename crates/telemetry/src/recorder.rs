@@ -45,6 +45,10 @@ pub enum Event {
         drained: bool,
         /// Publish duration in nanoseconds.
         duration_ns: u64,
+        /// Trace id of the swap's span tree when tracing was active, so
+        /// `/events` entries join against `/traces?id=`.
+        #[serde(default)]
+        trace_id: Option<u64>,
     },
     /// A shard ingest queue started shedding frames.
     Overload {
@@ -78,6 +82,9 @@ pub enum Event {
         shards: Vec<usize>,
         /// Human-readable cause (guardrail that tripped, promotion gate).
         reason: String,
+        /// Trace id of the rollout's span tree when tracing was active.
+        #[serde(default)]
+        trace_id: Option<u64>,
     },
 }
 
@@ -293,6 +300,7 @@ mod tests {
             removed: 1,
             drained: false,
             duration_ns: 500,
+            trace_id: Some(0x8000_0000_0000_0002),
         });
         r.record(Event::Overload {
             shard: 1,
@@ -313,6 +321,7 @@ mod tests {
                 baseline: 2,
                 shards: vec![0],
                 reason: "drop-rate guardrail".to_string(),
+                trace_id: None,
             }
             .kind(),
             "rollout"

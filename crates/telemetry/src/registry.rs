@@ -99,6 +99,13 @@ impl Histogram {
         self.0.lock().record(Duration::from_nanos(nanos));
     }
 
+    /// Records `count` samples of `nanos` each in O(1) under one lock —
+    /// the bulk path batch-profiling sinks fold stage means through.
+    #[inline]
+    pub fn observe_nanos_n(&self, nanos: u64, count: u64) {
+        self.0.lock().record_n(Duration::from_nanos(nanos), count);
+    }
+
     /// Clones out the current histogram.
     pub fn snapshot(&self) -> LatencyHistogram {
         self.0.lock().clone()
@@ -264,6 +271,24 @@ impl Registry {
         out
     }
 
+    /// Flattened `(family, labels, histogram)` view of every histogram
+    /// series — the input to latency SLO evaluation.
+    pub fn histogram_snapshot(&self) -> Vec<(String, Labels, LatencyHistogram)> {
+        let families = self.families.read();
+        let mut out = Vec::new();
+        for (name, family) in families.iter() {
+            if family.kind != MetricKind::Histogram {
+                continue;
+            }
+            for (labels, series) in &family.series {
+                if let Series::Histo(h) = series {
+                    out.push((name.clone(), labels.clone(), h.lock().clone()));
+                }
+            }
+        }
+        out
+    }
+
     /// Renders every family in the Prometheus text exposition format
     /// (version 0.0.4): `# HELP` / `# TYPE` headers, one
     /// `name{labels} value` line per series, and `_bucket`/`_sum`/`_count`
@@ -398,7 +423,10 @@ fn escape_help(help: &str) -> String {
     help.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
-fn escape_label(value: &str) -> String {
+/// Escapes a label value for the text exposition format (`\` → `\\`,
+/// `"` → `\"`, newline → `\n`). Shared with the rate renderer so every
+/// label value on the combined `/metrics` body escapes identically.
+pub(crate) fn escape_label(value: &str) -> String {
     value
         .replace('\\', "\\\\")
         .replace('"', "\\\"")

@@ -6,7 +6,9 @@
 
 use crate::recorder::{Event, FlightRecorder};
 use crate::registry::{Counter, Gauge, Histogram, Registry};
+use crate::trace::{ProfileBoard, SpanRecord, StageKind, TraceSampler, TraceStore};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Why a frame was not forwarded. The taxonomy refines the legacy
 /// `SwitchCounters { dropped, parser_rejected }` pair: `ParserRejected`
@@ -119,6 +121,18 @@ pub trait TelemetrySink {
         }
     }
 
+    /// Whether the caller should measure per-stage wall time and report it
+    /// via [`TelemetrySink::stage_time`]. Defaults to `false`, so the
+    /// [`NoopSink`] hot path compiles the timing calls away entirely.
+    fn profiling_enabled(&self) -> bool {
+        false
+    }
+
+    /// `nanos` of wall time spent in `stage` (on table stage index
+    /// `table`, when the phase is per-table) covering `frames` frames.
+    /// Only called when [`TelemetrySink::profiling_enabled`] returns true.
+    fn stage_time(&mut self, _stage: StageKind, _table: Option<usize>, _nanos: u64, _frames: u64) {}
+
     /// The shard finished a batch of frames. Buffering sinks flush their
     /// locally accumulated counts to shared state here, so the per-frame
     /// path stays free of atomics and locks.
@@ -172,6 +186,7 @@ pub struct RegistrySink {
     /// Local stream position feeding the recorder's residue-class check,
     /// so sampling needs no shared opportunity counter.
     sample_position: u64,
+    tracing: Option<TraceBits>,
 }
 
 /// The per-batch accumulation state of a [`RegistrySink`].
@@ -182,6 +197,38 @@ struct SinkBuffer {
     drops: [u64; 5],
     stage_hits: Vec<(u64, u64)>,
     latency: crate::histogram::LatencyHistogram,
+}
+
+/// Every `PROFILE_STRIDE`-th batch on a tracing-armed sink is profiled:
+/// its stages are wall-timed, folded into the stage histograms and the
+/// profile board, and its sampled frames get full span trees. The other
+/// batches pay only one bulk sampler advance at flush, keeping the
+/// tracing overhead a small fraction of the registry sink's own cost.
+const PROFILE_STRIDE: u64 = 32;
+
+/// Span-sampling and stage-profiling state, armed by
+/// [`RegistrySink::with_tracing`]. Tracing adds no per-frame work at all:
+/// the positional sampler advances in bulk at each flush, and spans and
+/// histogram folds happen at the end of each profiled
+/// ([`PROFILE_STRIDE`]) batch.
+struct TraceBits {
+    store: Arc<TraceStore>,
+    profile: Arc<ProfileBoard>,
+    sampler: TraceSampler,
+    /// Batches finished so far; selects the profiled stride.
+    batch_idx: u64,
+    /// Trace ids the sampler selected from this batch's report stream.
+    pending: Vec<u64>,
+    /// `(stage, table stage index, nanos, frames)` accumulated this batch.
+    stage_acc: Vec<(StageKind, Option<usize>, u64, u64)>,
+    /// Registered `p4guard_stage_seconds` handles plus the profile-board
+    /// key, cached per `(stage, table)` so profiled batches do no label
+    /// formatting after the first.
+    histograms: Vec<((StageKind, Option<usize>), Histogram, String)>,
+    /// `(stage, table name)` pairs from the last swap, for labels.
+    tables: Vec<(usize, String)>,
+    /// Total measured frame-latency nanos and frame count this batch.
+    batch_latency: (u64, u64),
 }
 
 impl RegistrySink {
@@ -236,7 +283,29 @@ impl RegistrySink {
             swaps,
             buf: SinkBuffer::default(),
             sample_position: 0,
+            tracing: None,
         }
+    }
+
+    /// Arms span sampling and stage profiling: the sampler minted from
+    /// `store` selects 1-in-N frames from the verdict stream, and every
+    /// `PROFILE_STRIDE`-th (32) batch emits its sampled span trees into
+    /// `store`, folds stage timings into `p4guard_stage_seconds`
+    /// histograms, and updates `profile`.
+    pub fn with_tracing(mut self, store: Arc<TraceStore>, profile: Arc<ProfileBoard>) -> Self {
+        let sampler = store.sampler();
+        self.tracing = Some(TraceBits {
+            store,
+            profile,
+            sampler,
+            batch_idx: 0,
+            pending: Vec::new(),
+            stage_acc: Vec::new(),
+            histograms: Vec::new(),
+            tables: Vec::new(),
+            batch_latency: (0, 0),
+        });
+        self
     }
 
     /// The shard index this sink instruments.
@@ -246,8 +315,29 @@ impl RegistrySink {
 
     /// Pushes every buffered count into the shared registry. Cheap when
     /// nothing accumulated (all-zero adds are skipped).
+    ///
+    /// This is also where the trace sampler advances: trace ids are
+    /// positional, so one bulk [`TraceSampler::advance`] over the batch's
+    /// verdict count yields exactly the ids per-frame ticks would have —
+    /// without any per-frame tracing work in [`RegistrySink::verdict`].
     fn flush(&mut self) {
         if self.buf.received > 0 {
+            if let Some(tb) = self.tracing.as_mut() {
+                let TraceBits {
+                    sampler,
+                    pending,
+                    batch_idx,
+                    ..
+                } = tb;
+                if *batch_idx % PROFILE_STRIDE == 0 {
+                    sampler.advance(self.buf.received, |ctx| pending.push(ctx.trace_id));
+                } else {
+                    // Unprofiled batch: keep the position stream exact but
+                    // drop the ids — only profiled batches have the stage
+                    // laps a span tree needs.
+                    sampler.advance(self.buf.received, |_| {});
+                }
+            }
             self.received.add(self.buf.received);
             self.buf.received = 0;
         }
@@ -276,6 +366,108 @@ impl RegistrySink {
             self.buf.latency = crate::histogram::LatencyHistogram::new();
         }
     }
+
+    /// Ends a profiled batch: emits its sampled span trees, folds stage
+    /// timings into the stage histograms and the profile board, then
+    /// resets the per-batch tracing state. `flush_nanos` is the measured
+    /// cost of the counter flush that just ran, attributed as the `flush`
+    /// stage.
+    fn trace_batch_end(&mut self, flush_nanos: u64) {
+        let Some(tb) = self.tracing.as_mut() else {
+            return;
+        };
+        let (latency_total, frames) = tb.batch_latency;
+        if frames > 0 {
+            tb.stage_acc
+                .push((StageKind::Flush, None, flush_nanos, frames));
+        }
+        let exemplar = tb.pending.first().copied();
+        for i in 0..tb.stage_acc.len() {
+            let (stage, table, nanos, stage_frames) = tb.stage_acc[i];
+            if stage_frames == 0 {
+                continue;
+            }
+            let mean = nanos / stage_frames;
+            let idx = match tb
+                .histograms
+                .iter()
+                .position(|(k, _, _)| *k == (stage, table))
+            {
+                Some(idx) => idx,
+                None => {
+                    let table_name = table
+                        .and_then(|t| tb.tables.iter().find(|(s, _)| *s == t))
+                        .map(|(_, n)| n.as_str());
+                    let h = self.registry.histogram(
+                        "p4guard_stage_seconds",
+                        "Per-frame wall time attributed to one hot-path stage",
+                        &[
+                            ("shard", &self.shard),
+                            ("stage", stage.as_str()),
+                            ("table", table_name.unwrap_or("-")),
+                        ],
+                    );
+                    let key = match table_name {
+                        Some(name) => format!("{}/{}/{}", self.shard, stage.as_str(), name),
+                        None => format!("{}/{}", self.shard, stage.as_str()),
+                    };
+                    tb.histograms.push(((stage, table), h, key));
+                    tb.histograms.len() - 1
+                }
+            };
+            let (_, histogram, key) = &tb.histograms[idx];
+            histogram.observe_nanos_n(mean, stage_frames);
+            tb.profile.record_stage(key, nanos, stage_frames, exemplar);
+        }
+        let now = tb.store.now_ns();
+        let mean_latency = latency_total.checked_div(frames).unwrap_or(0);
+        if let Some(id) = exemplar {
+            if frames > 0 {
+                tb.profile
+                    .note_latency_exemplar(mean_latency.next_power_of_two().max(1), id);
+            }
+        }
+        for &trace_id in &tb.pending {
+            let root = tb.store.next_span_id();
+            tb.store.record(SpanRecord {
+                trace_id,
+                span_id: root,
+                parent_id: None,
+                name: "frame".to_string(),
+                start_ns: now.saturating_sub(mean_latency),
+                duration_ns: mean_latency,
+                meta: vec![
+                    ("shard".to_string(), self.shard.clone()),
+                    ("version".to_string(), self.version.to_string()),
+                    ("batch_frames".to_string(), frames.to_string()),
+                ],
+            });
+            let mut offset = now.saturating_sub(mean_latency);
+            for &(stage, table, nanos, stage_frames) in &tb.stage_acc {
+                if stage_frames == 0 {
+                    continue;
+                }
+                let duration = nanos / stage_frames;
+                let meta = match table.and_then(|t| tb.tables.iter().find(|(s, _)| *s == t)) {
+                    Some((_, name)) => vec![("table".to_string(), name.clone())],
+                    None => Vec::new(),
+                };
+                tb.store.record(SpanRecord {
+                    trace_id,
+                    span_id: tb.store.next_span_id(),
+                    parent_id: Some(root),
+                    name: stage.as_str().to_string(),
+                    start_ns: offset,
+                    duration_ns: duration,
+                    meta,
+                });
+                offset += duration;
+            }
+        }
+        tb.pending.clear();
+        tb.stage_acc.clear();
+        tb.batch_latency = (0, 0);
+    }
 }
 
 impl TelemetrySink for RegistrySink {
@@ -291,6 +483,12 @@ impl TelemetrySink for RegistrySink {
         self.version_gauge.set(version as f64);
         if !first {
             self.swaps.inc();
+        }
+        if let Some(tb) = self.tracing.as_mut() {
+            tb.tables = tables.to_vec();
+            // Stage histogram labels embed table names; re-resolve them
+            // against the new snapshot.
+            tb.histograms.clear();
         }
         self.buf.stage_hits = vec![(0, 0); tables.len()];
         self.stage_hits = tables
@@ -359,6 +557,10 @@ impl TelemetrySink for RegistrySink {
         self.buf
             .latency
             .record(std::time::Duration::from_nanos(nanos));
+        if let Some(tb) = self.tracing.as_mut() {
+            tb.batch_latency.0 += nanos;
+            tb.batch_latency.1 += 1;
+        }
     }
 
     #[inline]
@@ -366,10 +568,52 @@ impl TelemetrySink for RegistrySink {
         self.buf
             .latency
             .record_n(std::time::Duration::from_nanos(nanos), count);
+        if let Some(tb) = self.tracing.as_mut() {
+            tb.batch_latency.0 += nanos.saturating_mul(count);
+            tb.batch_latency.1 += count;
+        }
+    }
+
+    #[inline]
+    fn profiling_enabled(&self) -> bool {
+        self.tracing
+            .as_ref()
+            .is_some_and(|tb| tb.batch_idx % PROFILE_STRIDE == 0)
+    }
+
+    fn stage_time(&mut self, stage: StageKind, table: Option<usize>, nanos: u64, frames: u64) {
+        if let Some(tb) = self.tracing.as_mut() {
+            match tb
+                .stage_acc
+                .iter_mut()
+                .find(|(s, t, _, _)| *s == stage && *t == table)
+            {
+                Some(acc) => {
+                    acc.2 += nanos;
+                    acc.3 += frames;
+                }
+                None => tb.stage_acc.push((stage, table, nanos, frames)),
+            }
+        }
     }
 
     fn batch_end(&mut self) {
-        self.flush();
+        // `flush` keys the sampler's pending-id collection off `batch_idx`,
+        // so the index advances only after the batch fully settles.
+        if self.profiling_enabled() {
+            let flush_start = Instant::now();
+            self.flush();
+            let flush_nanos = u64::try_from(flush_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.trace_batch_end(flush_nanos);
+        } else {
+            self.flush();
+        }
+        if let Some(tb) = self.tracing.as_mut() {
+            tb.pending.clear();
+            tb.stage_acc.clear();
+            tb.batch_latency = (0, 0);
+            tb.batch_idx = tb.batch_idx.wrapping_add(1);
+        }
     }
 }
 
@@ -470,6 +714,58 @@ mod tests {
         let longer = vec![0u8; 200];
         // Prefix-limited hashing still distinguishes lengths.
         assert_ne!(frame_digest(&long), frame_digest(&longer));
+    }
+
+    #[test]
+    fn tracing_sink_emits_spans_and_stage_rollups() {
+        let registry = Arc::new(Registry::new());
+        let recorder = Arc::new(FlightRecorder::new(8, 1024, 0));
+        let store = Arc::new(TraceStore::new(64, 2, 0, true));
+        let profile = Arc::new(ProfileBoard::new());
+        let mut sink = RegistrySink::new(Arc::clone(&registry), recorder, 0)
+            .with_tracing(Arc::clone(&store), Arc::clone(&profile));
+        assert!(sink.profiling_enabled());
+        sink.swap_seen(5, &[(0, "acl".to_string())]);
+        for _ in 0..4 {
+            sink.verdict(VerdictKind::Forward, b"pkt", None);
+        }
+        sink.stage_time(StageKind::Parse, None, 4_000, 4);
+        sink.stage_time(StageKind::Lookup, Some(0), 8_000, 4);
+        sink.latency_n(3_000, 4);
+        sink.batch_end();
+
+        // 1-in-2 sampling over four verdicts → two sampled traces, each a
+        // `frame` root with per-stage children (including `flush`).
+        let ids = store.recent_trace_ids(10);
+        assert_eq!(ids.len(), 2, "spans: {:?}", store.recent(100));
+        let tree = store.by_trace(ids[0]);
+        let root = tree.iter().find(|s| s.parent_id.is_none()).unwrap();
+        assert_eq!(root.name, "frame");
+        let children: Vec<&str> = tree
+            .iter()
+            .filter(|s| s.parent_id == Some(root.span_id))
+            .map(|s| s.name.as_str())
+            .collect();
+        assert!(
+            children.contains(&"parse")
+                && children.contains(&"lookup")
+                && children.contains(&"flush"),
+            "{children:?}"
+        );
+
+        // Stage histograms landed with shard/stage/table labels.
+        let text = registry.render_prometheus();
+        assert!(text.contains("p4guard_stage_seconds_bucket"), "{text}");
+        assert!(text.contains("stage=\"lookup\""), "{text}");
+        assert!(text.contains("table=\"acl\""), "{text}");
+
+        // Profile rows keyed shard/stage[/table], with trace exemplars.
+        let snap = profile.snapshot();
+        assert!(snap.iter().any(|(k, _)| k == "0/lookup/acl"), "{snap:?}");
+        assert!(snap
+            .iter()
+            .any(|(k, p)| k == "0/parse" && p.exemplar_trace.is_some()));
+        assert!(profile.high_latency_exemplar().is_some());
     }
 
     #[test]
