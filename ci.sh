@@ -243,6 +243,36 @@ if [ "$MARGIN_OK" != "1" ]; then
 fi
 echo "delta publish ${SPEEDUP}x >= 10x, frames conserved, minimizer margin > 0"
 
+echo "==> ensemble-inference smoke (fixed seed, time-boxed)"
+# Forest gate (reproduce f16_forest): on at least one task a compiled
+# multi-tree forest must match-or-beat the single-tree baseline's
+# accuracy, the best forest must be admitted by the budgeter against the
+# minimized-entry budget, and the live vote-mode gateway phase must
+# conserve every frame.
+timeout 300 target/release/reproduce f16_forest --out "$SMOKE_DIR/results" \
+  > "$SMOKE_DIR/forest.log" 2>&1 || {
+  echo "reproduce f16_forest failed:" >&2
+  tail -30 "$SMOKE_DIR/forest.log" >&2
+  exit 1
+}
+grep -q 'conserved: yes' "$SMOKE_DIR/forest.log" || {
+  echo "forest smoke lost frames in the live vote-mode phase:" >&2
+  cat "$SMOKE_DIR/forest.log" >&2
+  exit 1
+}
+FOREST_JSON="$SMOKE_DIR/results/f16_forest.json"
+grep -q '"gate_matches_baseline": true' "$FOREST_JSON" || {
+  echo "no forest matched the single-tree baseline accuracy on any task:" >&2
+  cat "$SMOKE_DIR/forest.log" >&2
+  exit 1
+}
+grep -q '"gate_within_budget": true' "$FOREST_JSON" || {
+  echo "no best forest was admitted within the minimized table budget:" >&2
+  cat "$SMOKE_DIR/forest.log" >&2
+  exit 1
+}
+echo "forest frontier: baseline matched, budget admitted, live phase conserved"
+
 echo "==> observability smoke (traced serve, time-boxed)"
 # Traced batched serve: /metrics must grow the per-stage histogram and the
 # SLO burn gauges, /profile must expose stage rollups with exemplar trace

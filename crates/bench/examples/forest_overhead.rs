@@ -1,0 +1,232 @@
+//! Measures the batched hot path of compiled ensemble pipelines — real
+//! random forests of 1/3/5 trees fitted on the standard split, one
+//! ternary stage per tree feeding the vote stage, with the sound early
+//! exit on and off — and writes `results/BENCH_forest.json`. The ISSUE
+//! gates the 3-tree forest *with* early exit at ≥60% of the single-tree
+//! pipeline's pps.
+//!
+//! The pipeline is driven directly (`ReadPipeline::process_batch_into`,
+//! one thread, pre-packed arena batches of the real test frames, median
+//! of trials) so the numbers isolate the per-stage lookup + vote cost
+//! from gateway queueing.
+//!
+//! ```text
+//! cargo run --release --example forest_overhead [trials]
+//! ```
+
+use bytes::Bytes;
+use p4guard::pipeline::TwoStagePipeline;
+use p4guard_bench::{bench_config, standard_split};
+use p4guard_dataplane::action::Action;
+use p4guard_dataplane::key::KeyLayout;
+use p4guard_dataplane::parser::ParserSpec;
+use p4guard_dataplane::pipeline::{BatchScratch, ReadPipeline};
+use p4guard_dataplane::switch::{Switch, SwitchCounters};
+use p4guard_dataplane::table::{MatchKind, MatchSpec, Table};
+use p4guard_dataplane::vote::{EarlyExit, VoteStage};
+use p4guard_features::extract::ByteDataset;
+use p4guard_packet::{FrameArena, FrameBatch};
+use p4guard_rules::forest::{ForestConfig, RandomForest};
+use p4guard_rules::{CompileConfig, TreeConfig};
+use serde::Value;
+use std::time::Instant;
+
+const BATCH_SIZE: usize = 256;
+
+/// Frames per trial; single-threaded, so a trial still runs for tens of
+/// milliseconds — long enough that clock granularity is noise.
+const FRAMES_PER_TRIAL: usize = 200_000;
+
+/// Fits a real forest on the guard-selected bytes of the training half —
+/// the same regularized-bagging recipe the F16-forest frontier uses
+/// (1 tree = the plain CART baseline).
+fn fit_forest(trees: usize, flat: &[u8], labels: &[usize], k: usize) -> RandomForest {
+    let base = bench_config();
+    let config = ForestConfig {
+        trees,
+        tree: TreeConfig {
+            min_samples_leaf: if trees > 1 {
+                base.tree.min_samples_leaf.max(16)
+            } else {
+                base.tree.min_samples_leaf
+            },
+            min_samples_split: if trees > 1 {
+                base.tree.min_samples_split.max(64)
+            } else {
+                base.tree.min_samples_split
+            },
+            ..base.tree
+        },
+        max_features: None,
+        bootstrap: trees > 1,
+        seed: base.seed ^ 0xf0_5e_57,
+    };
+    RandomForest::fit(k, flat, labels, config)
+}
+
+/// Lowers the forest into a vote-mode pipeline: one ternary stage per
+/// tree keyed on the guard's selected byte offsets.
+fn forest_pipeline(
+    forest: &RandomForest,
+    window: usize,
+    offsets: &[usize],
+    exit: Option<EarlyExit>,
+) -> ReadPipeline {
+    let compiled = forest
+        .compile(&CompileConfig::default())
+        .expect("bench forests stay below the entry cap");
+    let mut sw = Switch::new("bench-forest", ParserSpec::raw_window(window, 14), 1);
+    for (t, rs) in compiled.rulesets().iter().enumerate() {
+        let mut table = Table::new(
+            format!("tree{t}"),
+            MatchKind::Ternary,
+            KeyLayout::new(offsets.to_vec()),
+            rs.len().max(1),
+            Action::NoOp,
+        );
+        for e in rs.entries() {
+            table
+                .insert(
+                    MatchSpec::Ternary {
+                        value: e.value.clone(),
+                        mask: e.mask.clone(),
+                    },
+                    Action::Drop,
+                    e.priority,
+                )
+                .expect("capacity");
+        }
+        sw.add_stage(table);
+    }
+    sw.set_vote(Some(match exit {
+        Some(e) => VoteStage::with_early_exit(e),
+        None => VoteStage::majority(),
+    }));
+    sw.read_pipeline(1)
+}
+
+/// One pass over the pre-packed batches; returns (pps, early exits).
+fn run_once(pipeline: &ReadPipeline, batches: &[FrameBatch], frames: u64) -> (f64, u64) {
+    let mut counters = SwitchCounters::default();
+    let mut scratch = BatchScratch::new();
+    let mut verdicts = Vec::with_capacity(BATCH_SIZE);
+    let mut exits = 0u64;
+    let start = Instant::now();
+    for batch in batches {
+        verdicts.clear();
+        pipeline.process_batch_into(
+            batch.data(),
+            batch.spans(),
+            &mut counters,
+            &mut scratch,
+            &mut verdicts,
+        );
+        exits += scratch.vote_early_exits();
+    }
+    let elapsed = start.elapsed();
+    assert_eq!(counters.received, frames, "every frame processed");
+    (frames as f64 / elapsed.as_secs_f64(), exits)
+}
+
+/// Median pps over `trials` runs (robust to a descheduled trial).
+fn median_pps(pipeline: &ReadPipeline, batches: &[FrameBatch], frames: u64, trials: usize) -> f64 {
+    let mut samples: Vec<f64> = (0..trials)
+        .map(|_| run_once(pipeline, batches, frames).0)
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .map(|v| v.parse().expect("trials must be a number"))
+        .unwrap_or(7);
+    let config = bench_config();
+    let (train, test) = standard_split();
+    // One guard training fixes the byte selection; every forest arm sees
+    // the same key layout.
+    let guard = TwoStagePipeline::new(config.clone())
+        .train(&train)
+        .expect("pipeline trains");
+    let offsets = guard.selection.offsets.clone();
+    let bytes = ByteDataset::from_trace(&train, config.window).project(&offsets);
+    let flat: Vec<u8> = (0..bytes.len())
+        .flat_map(|i| bytes.sample(i).to_vec())
+        .collect();
+    let labels = bytes.labels().to_vec();
+
+    let frames: Vec<Bytes> = test.iter().map(|r| r.frame.clone()).collect();
+    let mut arena = FrameArena::new(p4guard_packet::arena::DEFAULT_CHUNK_CAPACITY);
+    let mut batches = Vec::new();
+    for frame in frames.iter().cycle().take(FRAMES_PER_TRIAL) {
+        arena.push(frame);
+        if arena.pending() >= BATCH_SIZE {
+            batches.push(arena.seal_batch());
+        }
+    }
+    if arena.pending() > 0 {
+        batches.push(arena.seal_batch());
+    }
+    println!(
+        "forest overhead: {} distinct frames cycled to {FRAMES_PER_TRIAL} per trial, \
+         {} selected bytes, {BATCH_SIZE}-frame batches, {trials} trials per arm",
+        frames.len(),
+        offsets.len(),
+    );
+
+    let mut fields = vec![
+        ("bench".into(), Value::Str("f16_forest_batched".into())),
+        ("frames".into(), Value::UInt(FRAMES_PER_TRIAL as u64)),
+        ("batch_size".into(), Value::UInt(BATCH_SIZE as u64)),
+        ("trials".into(), Value::UInt(trials as u64)),
+    ];
+    let mut single_tree_pps = 0.0;
+    let mut three_tree_exit_pps = 0.0;
+    for trees in [1usize, 3, 5] {
+        let forest = fit_forest(trees, &flat, &labels, offsets.len());
+        for exit_on in [false, true] {
+            if trees == 1 && exit_on {
+                continue; // a 1-tree vote can never exit early
+            }
+            let exit = exit_on.then(|| EarlyExit::sound_majority(trees));
+            let pipeline = forest_pipeline(&forest, config.window, &offsets, exit);
+            run_once(&pipeline, &batches, FRAMES_PER_TRIAL as u64); // warm
+            let pps = median_pps(&pipeline, &batches, FRAMES_PER_TRIAL as u64, trials);
+            let (_, exits) = run_once(&pipeline, &batches, FRAMES_PER_TRIAL as u64);
+            let label = if exit_on { "exit on " } else { "exit off" };
+            println!("{trees} trees, {label}: {pps:>12.0} pps, {exits:>7} early exits/trial");
+            let suffix = if exit_on { "exit" } else { "full" };
+            fields.push((format!("pps_{trees}tree_{suffix}"), Value::Float(pps)));
+            fields.push((format!("exits_{trees}tree_{suffix}"), Value::UInt(exits)));
+            if trees == 1 {
+                single_tree_pps = pps;
+            }
+            if trees == 3 && exit_on {
+                three_tree_exit_pps = pps;
+            }
+        }
+    }
+
+    let ratio = three_tree_exit_pps / single_tree_pps;
+    let within = ratio >= 0.60;
+    println!(
+        "3-tree forest with early exit runs at {:.1}% of single-tree pps (gate: >= 60%)",
+        ratio * 100.0
+    );
+    fields.push(("ratio_3tree_exit_vs_1tree".into(), Value::Float(ratio)));
+    fields.push(("ratio_floor".into(), Value::Float(0.60)));
+    fields.push(("within_budget".into(), Value::Bool(within)));
+
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write(
+        "results/BENCH_forest.json",
+        serde_json::to_string_pretty(&Value::Map(fields)).expect("serialize"),
+    )
+    .expect("write results/BENCH_forest.json");
+    println!("wrote results/BENCH_forest.json");
+    if !within {
+        eprintln!("warning: 3-tree early-exit throughput fell below 60% of single-tree");
+        std::process::exit(1);
+    }
+}

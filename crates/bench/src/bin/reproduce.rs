@@ -6,7 +6,7 @@
 //! ```text
 //! reproduce [EXPERIMENT ...] [--seed N] [--full] [--out DIR]
 //!
-//! EXPERIMENT ∈ { t1 t2 t3 f1 .. f14 f11_lookup f12_adapt f13_fleet f14_minimize f15_observe all }  (default: all)
+//! EXPERIMENT ∈ { t1 t2 t3 f1 .. f14 f11_lookup f12_adapt f13_fleet f14_minimize f15_observe f16_forest all }  (default: all)
 //! --seed N   scenario seed (default 2020, the publication year)
 //! --full     use the full (paper-scale) pipeline config instead of the
 //!            fast profile
@@ -16,7 +16,7 @@
 use p4guard::config::GuardConfig;
 use p4guard::experiments::{
     adaptation, convergence, dataplane_exp, dataset, detection, efficiency, extensions, fleet_exp,
-    minimize_exp, observe_exp, universality, ExperimentContext,
+    forest_exp, minimize_exp, observe_exp, universality, ExperimentContext,
 };
 use p4guard_packet::trace::AttackFamily;
 use serde::Serialize;
@@ -30,7 +30,7 @@ struct Options {
     out: Option<PathBuf>,
 }
 
-const ALL: [&str; 22] = [
+const ALL: [&str; 23] = [
     "t1",
     "t2",
     "t3",
@@ -53,6 +53,7 @@ const ALL: [&str; 22] = [
     "f14",
     "f14_minimize",
     "f15_observe",
+    "f16_forest",
 ];
 
 fn parse_args() -> Result<Options, String> {
@@ -113,7 +114,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: reproduce [t1 t2 t3 f1..f14 f11_lookup f12_adapt f13_fleet f14_minimize f15_observe | all] [--seed N] [--full] [--out DIR]"
+                "usage: reproduce [t1 t2 t3 f1..f14 f11_lookup f12_adapt f13_fleet f14_minimize f15_observe f16_forest | all] [--seed N] [--full] [--out DIR]"
             );
             return ExitCode::FAILURE;
         }
@@ -260,6 +261,19 @@ fn main() -> ExitCode {
                     1024,
                     trials,
                 );
+                println!("{r}");
+                save_json(&options.out, id, &r);
+            }
+            "f16_forest" => {
+                // Accuracy-vs-table-entries frontier of compiled forests
+                // against the single-tree baseline; the full profile adds
+                // the 9-tree column and two more depths.
+                let (sizes, depths): (&[usize], &[usize]) = if options.full {
+                    (&[1, 3, 5, 9], &[4, 5, 6, 8])
+                } else {
+                    (&[1, 3, 5], &[6, 8])
+                };
+                let r = forest_exp::run_f16_forest(&context(options.seed), &config, sizes, depths);
                 println!("{r}");
                 save_json(&options.out, id, &r);
             }

@@ -1,0 +1,662 @@
+//! F16-forest: the accuracy-vs-table-entries frontier of in-network
+//! random forests against the single-tree baseline.
+//!
+//! The paper's pipeline distills one decision tree into one ternary
+//! stage. This experiment compiles a whole *forest* — one ternary stage
+//! per tree feeding a majority-vote stage — and charts what the extra
+//! table space buys: for each task (the mixed and smart-home scenarios)
+//! and each tree-depth limit, forests of 1/3/5/9 trees are fitted on the
+//! guard's selected bytes, compiled stage-per-tree, deployed to a
+//! vote-mode switch, and scored on the held-out suffix. The 1-tree point
+//! (no bootstrap, all features) is exactly the plain CART baseline, so
+//! every frontier contains its own baseline. Table cost is read from
+//! [`SwitchResources`] — the per-tree `TableUsage` rollup the fleet
+//! budgeter admits against — and each forest is put through
+//! [`TableBudgeter::admit_forest`]/[`TableBudgeter::trim_forest`] to show
+//! whole-tree dropping under a fixed budget. A live phase serves batched
+//! frames through a gateway with a sound early exit (skipped lookups are
+//! counted, verdicts provably unchanged) and lands a one-tree delta
+//! republish mid-serve, which must re-lower exactly the edited stage.
+
+use crate::config::GuardConfig;
+use crate::experiments::ExperimentContext;
+use crate::pipeline::TwoStagePipeline;
+use p4guard_dataplane::action::Action;
+use p4guard_dataplane::control::ControlPlane;
+use p4guard_dataplane::key::KeyLayout;
+use p4guard_dataplane::parser::ParserSpec;
+use p4guard_dataplane::switch::Switch;
+use p4guard_dataplane::table::{MatchKind, Table};
+use p4guard_dataplane::vote::VoteStage;
+use p4guard_features::extract::ByteDataset;
+use p4guard_fleet::{BudgetConfig, TableBudgeter, TenantShare};
+use p4guard_gateway::{Gateway, GatewayConfig};
+use p4guard_nn::binary_metrics;
+use p4guard_packet::arena::FrameArena;
+use p4guard_packet::trace::Trace;
+use p4guard_rules::forest::{CompiledForest, EarlyExit, ForestConfig, RandomForest};
+use p4guard_rules::tree::TreeConfig;
+use p4guard_rules::RuleSet;
+use p4guard_traffic::scenario::Scenario;
+use p4guard_traffic::split_temporal;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+#[allow(unused_imports)] // doc link target
+use p4guard_dataplane::resources::SwitchResources;
+
+/// One point on a task's frontier: a forest configuration, its held-out
+/// quality, and its table cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForestPoint {
+    /// Trees in the ensemble (1 = the CART baseline, no bootstrap).
+    pub trees: usize,
+    /// Per-tree depth limit.
+    pub depth: usize,
+    /// Held-out accuracy of the compiled ensemble (majority vote over
+    /// per-stage ternary verdicts — the data plane's semantics).
+    pub accuracy: f64,
+    /// Held-out F1 of the compiled ensemble.
+    pub f1: f64,
+    /// Installed ternary entries summed across the per-tree stages.
+    pub entries: usize,
+    /// Minimized entries summed across stages — what the budgeter
+    /// charges.
+    pub entries_minimized: usize,
+    /// Minimized TCAM bits summed across stages.
+    pub tcam_bits_minimized: usize,
+    /// Whether the whole forest fit the task's TCAM budget.
+    pub admitted: bool,
+}
+
+/// Outcome of squeezing the largest forest through the budgeter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrimDemo {
+    /// Trees submitted.
+    pub submitted: usize,
+    /// Trees surviving the budget.
+    pub kept: usize,
+    /// Trees dropped (lowest importance first).
+    pub dropped: usize,
+    /// Minimized TCAM bits of the surviving stages.
+    pub required_bits: usize,
+}
+
+/// One task's frontier: every (trees × depth) point plus the budgeter
+/// verdicts against a fixed TCAM budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskFrontier {
+    /// Task label.
+    pub task: String,
+    /// Frontier points, depth-major then size-ascending; `trees == 1`
+    /// rows are the single-tree baseline.
+    pub points: Vec<ForestPoint>,
+    /// The TCAM budget forests were admitted against: 3× the largest
+    /// single-tree baseline's minimized bits.
+    pub budget_bits: usize,
+    /// Whole-tree trimming of the largest forest under that budget.
+    pub trim: TrimDemo,
+    /// Some multi-tree forest strictly beats the same-depth baseline's
+    /// accuracy at ≤ 3× its minimized entries.
+    pub gate_beats_baseline: bool,
+    /// Some multi-tree forest is at least as accurate as the same-depth
+    /// baseline.
+    pub gate_matches_baseline: bool,
+    /// The task's best multi-tree forest fits the budget.
+    pub gate_within_budget: bool,
+}
+
+/// The live batched-gateway phase: a forest pipeline with a sound early
+/// exit serving real frames while a one-tree delta republish lands.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LivePhase {
+    /// Trees in the served forest.
+    pub trees: usize,
+    /// Depth limit of the served forest.
+    pub depth: usize,
+    /// Frames dispatched (batched).
+    pub frames: u64,
+    /// Frames whose vote early-exited before the last per-tree stage,
+    /// skipping the remaining table lookups.
+    pub vote_exits: u64,
+    /// Stages re-lowered by the mid-serve one-tree republish (must be 1).
+    pub delta_recompiled: usize,
+    /// Stages shared unchanged across that republish (must be trees − 1).
+    pub delta_shared: usize,
+    /// Every dispatched frame got exactly one verdict.
+    pub conserved: bool,
+}
+
+/// The F16-forest report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForestReport {
+    /// Scenario seed.
+    pub seed: u64,
+    /// Per-task frontiers.
+    pub tasks: Vec<TaskFrontier>,
+    /// Any task's gate: a forest strictly beats its single-tree baseline
+    /// at ≤ 3× the baseline's minimized entries.
+    pub gate_beats_baseline: bool,
+    /// Any task's gate: a forest matches or beats its baseline.
+    pub gate_matches_baseline: bool,
+    /// Any task's gate: its best forest fits the task's budget.
+    pub gate_within_budget: bool,
+    /// The live batched phase.
+    pub live: LivePhase,
+}
+
+impl fmt::Display for ForestReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "F16-forest (seed {})", self.seed)?;
+        let mut table = crate::report::TextTable::new([
+            "task",
+            "trees",
+            "depth",
+            "accuracy",
+            "f1",
+            "entries",
+            "minimized",
+            "tcam bits",
+            "admitted",
+        ]);
+        for t in &self.tasks {
+            for p in &t.points {
+                table.row([
+                    t.task.as_str(),
+                    &p.trees.to_string(),
+                    &p.depth.to_string(),
+                    &format!("{:.4}", p.accuracy),
+                    &format!("{:.4}", p.f1),
+                    &p.entries.to_string(),
+                    &p.entries_minimized.to_string(),
+                    &p.tcam_bits_minimized.to_string(),
+                    if p.admitted { "yes" } else { "no" },
+                ]);
+            }
+        }
+        write!(f, "{table}")?;
+        for t in &self.tasks {
+            writeln!(
+                f,
+                "{}: budget {} bits, trim {} -> {} trees ({} dropped), \
+                 beats baseline: {}, within budget: {}",
+                t.task,
+                t.budget_bits,
+                t.trim.submitted,
+                t.trim.kept,
+                t.trim.dropped,
+                if t.gate_beats_baseline { "yes" } else { "no" },
+                if t.gate_within_budget { "yes" } else { "no" }
+            )?;
+        }
+        writeln!(
+            f,
+            "live: {} frames through {} trees @ depth {}, {} early exits, \
+             delta republish re-lowered {}/{} stages, conserved: {}",
+            self.live.frames,
+            self.live.trees,
+            self.live.depth,
+            self.live.vote_exits,
+            self.live.delta_recompiled,
+            self.live.delta_recompiled + self.live.delta_shared,
+            if self.live.conserved { "yes" } else { "NO" }
+        )
+    }
+}
+
+/// Selected-byte features of a trace, flattened row-major, with labels.
+struct TaskData {
+    flat: Vec<u8>,
+    labels: Vec<usize>,
+    k: usize,
+}
+
+impl TaskData {
+    fn from_trace(trace: &Trace, window: usize, offsets: &[usize]) -> TaskData {
+        let bytes = ByteDataset::from_trace(trace, window).project(offsets);
+        let flat: Vec<u8> = (0..bytes.len())
+            .flat_map(|i| bytes.sample(i).to_vec())
+            .collect();
+        TaskData {
+            flat,
+            labels: bytes.labels().to_vec(),
+            k: offsets.len(),
+        }
+    }
+
+    fn rows(&self) -> impl Iterator<Item = &[u8]> {
+        self.flat.chunks_exact(self.k)
+    }
+}
+
+/// The forest configuration for one frontier point. `trees == 1` turns
+/// bagging off and keeps the base tree parameters, making the point
+/// exactly the plain CART baseline. Multi-tree points bag bootstrap
+/// resamples of *regularized* trees (larger leaf minimum): a bootstrap
+/// duplicates ~37% of rows, and unregularized trees spend their depth
+/// memorizing that noise — which both costs accuracy and blows up the
+/// ternary expansion. Per-split feature subsampling stays off here: the
+/// guard has already distilled the window down to `k` informative bytes,
+/// and hiding half of them per split consistently hurt on every task.
+fn point_config(trees: usize, depth: usize, base: &GuardConfig) -> ForestConfig {
+    ForestConfig {
+        trees,
+        tree: TreeConfig {
+            max_depth: depth,
+            min_samples_leaf: if trees > 1 {
+                base.tree.min_samples_leaf.max(16)
+            } else {
+                base.tree.min_samples_leaf
+            },
+            min_samples_split: if trees > 1 {
+                base.tree.min_samples_split.max(64)
+            } else {
+                base.tree.min_samples_split
+            },
+            ..base.tree
+        },
+        max_features: None,
+        bootstrap: trees > 1,
+        seed: base.seed ^ 0xf0_5e_57,
+    }
+}
+
+/// Builds a vote-mode switch with one ternary stage per tree, installs
+/// every per-tree ruleset, and returns the control plane. Empty stages
+/// (benign-only trees) are installed too — they vote benign by
+/// default-miss and must not be dropped.
+fn deploy_forest(
+    window: usize,
+    offsets: &[usize],
+    compiled: &CompiledForest,
+    exit: Option<EarlyExit>,
+) -> ControlPlane {
+    let parser = ParserSpec::raw_window(window, 14);
+    let mut sw = Switch::new("f16-forest", parser, 1);
+    for (i, rs) in compiled.rulesets().iter().enumerate() {
+        sw.add_stage(Table::new(
+            format!("tree{i}"),
+            MatchKind::Ternary,
+            KeyLayout::new(offsets.to_vec()),
+            rs.len().max(1),
+            Action::NoOp,
+        ));
+    }
+    sw.set_vote(Some(match exit {
+        Some(e) => VoteStage::with_early_exit(e),
+        None => VoteStage::majority(),
+    }));
+    let control = ControlPlane::new(sw);
+    for (i, rs) in compiled.rulesets().iter().enumerate() {
+        control
+            .install_ruleset(i, rs, Action::Drop)
+            .expect("per-tree ruleset fits its own stage");
+    }
+    control
+}
+
+/// Fits, compiles, deploys and scores one frontier point.
+fn measure_point(
+    trees: usize,
+    depth: usize,
+    base: &GuardConfig,
+    train: &TaskData,
+    test: &TaskData,
+    offsets: &[usize],
+) -> (ForestPoint, RandomForest, CompiledForest) {
+    let forest = RandomForest::fit(
+        train.k,
+        &train.flat,
+        &train.labels,
+        point_config(trees, depth, base),
+    );
+    let compiled = forest
+        .compile(&base.compile)
+        .expect("forest compiles within the entry budget");
+    let control = deploy_forest(base.window, offsets, &compiled, None);
+    let resources = control.with_switch(|sw| sw.resources());
+    let predicted: Vec<usize> = test.rows().map(|row| compiled.classify(row)).collect();
+    let metrics = binary_metrics(&predicted, &test.labels);
+    (
+        ForestPoint {
+            trees,
+            depth,
+            accuracy: metrics.accuracy,
+            f1: metrics.f1,
+            entries: resources.tcam_entries,
+            entries_minimized: resources.tcam_entries_minimized,
+            tcam_bits_minimized: resources.tcam_bits_minimized,
+            admitted: false, // filled in once the task budget is known
+        },
+        forest,
+        compiled,
+    )
+}
+
+/// Runs one task's frontier and budgeter phase.
+fn task_frontier(
+    task: &str,
+    train: &Trace,
+    test: &Trace,
+    config: &GuardConfig,
+    sizes: &[usize],
+    depths: &[usize],
+) -> (TaskFrontier, RandomForest, Vec<usize>) {
+    // One guard training per task fixes the byte selection; forests are
+    // then fitted on the selected bytes with ground-truth labels, so the
+    // frontier isolates the ensemble effect from the NN stages.
+    let guard = TwoStagePipeline::new(config.clone())
+        .train(train)
+        .expect("guard trains on the task scenario");
+    let offsets = guard.selection.offsets.clone();
+    let train_data = TaskData::from_trace(train, config.window, &offsets);
+    let test_data = TaskData::from_trace(test, config.window, &offsets);
+
+    let mut points = Vec::new();
+    let mut compiled_forests = Vec::new();
+    let mut best_forest: Option<(RandomForest, ForestPoint)> = None;
+    for &depth in depths {
+        for &trees in sizes {
+            let (point, forest, compiled) =
+                measure_point(trees, depth, config, &train_data, &test_data, &offsets);
+            if trees > 1
+                && best_forest
+                    .as_ref()
+                    .is_none_or(|(_, b)| point.accuracy > b.accuracy)
+            {
+                best_forest = Some((forest, point.clone()));
+            }
+            points.push(point);
+            compiled_forests.push(compiled);
+        }
+    }
+
+    // Budget: 3× the largest single-tree baseline's minimized bits — the
+    // acceptance bar for "a forest is worth its table space".
+    let budget_bits = 3 * points
+        .iter()
+        .filter(|p| p.trees == 1)
+        .map(|p| p.tcam_bits_minimized)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let budgeter = TableBudgeter::new(
+        BudgetConfig {
+            tcam_bits: budget_bits,
+            sram_bits: 0,
+        },
+        vec![TenantShare::flat()],
+    )
+    .expect("single-tenant budget is feasible");
+    for (point, compiled) in points.iter_mut().zip(&compiled_forests) {
+        point.admitted = budgeter.admit_forest(0, &compiled.rulesets()).is_ok();
+    }
+
+    // Trim demo: squeeze the largest forest through the budget, dropping
+    // whole lowest-importance trees.
+    let (largest_forest, largest_point) = {
+        let idx = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.trees > 1)
+            .max_by_key(|(_, p)| p.tcam_bits_minimized)
+            .map(|(i, _)| i)
+            .expect("sizes contains a multi-tree forest");
+        let p = &points[idx];
+        (
+            RandomForest::fit(
+                train_data.k,
+                &train_data.flat,
+                &train_data.labels,
+                point_config(p.trees, p.depth, config),
+            ),
+            p.clone(),
+        )
+    };
+    let trim = match budgeter.trim_forest(
+        0,
+        &largest_forest
+            .compile(&config.compile)
+            .expect("compiles")
+            .rulesets(),
+        largest_forest.tree_importance(),
+    ) {
+        Ok(adm) => TrimDemo {
+            submitted: largest_point.trees,
+            kept: adm.kept.len(),
+            dropped: adm.dropped.len(),
+            required_bits: adm.required_bits,
+        },
+        Err(_) => TrimDemo {
+            submitted: largest_point.trees,
+            kept: 0,
+            dropped: largest_point.trees,
+            required_bits: 0,
+        },
+    };
+
+    let baseline = |depth: usize| {
+        points
+            .iter()
+            .find(|p| p.trees == 1 && p.depth == depth)
+            .cloned()
+            .expect("every depth has its 1-tree baseline")
+    };
+    let gate_beats_baseline = points.iter().any(|p| {
+        let b = baseline(p.depth);
+        p.trees > 1 && p.accuracy > b.accuracy && p.entries_minimized <= 3 * b.entries_minimized
+    });
+    let gate_matches_baseline = points
+        .iter()
+        .any(|p| p.trees > 1 && p.accuracy >= baseline(p.depth).accuracy);
+    let gate_within_budget = best_forest.as_ref().is_some_and(|(_, p)| {
+        points
+            .iter()
+            .find(|q| q.trees == p.trees && q.depth == p.depth)
+            .is_some_and(|q| q.admitted)
+    });
+
+    let (best_forest, _) = best_forest.expect("sizes contains a multi-tree forest");
+    (
+        TaskFrontier {
+            task: task.to_string(),
+            points,
+            budget_bits,
+            trim,
+            gate_beats_baseline,
+            gate_matches_baseline,
+            gate_within_budget,
+        },
+        best_forest,
+        offsets,
+    )
+}
+
+/// Serves the mixed task's best forest through a 2-shard gateway on the
+/// batched path with a sound early exit, landing a one-tree delta
+/// republish mid-serve.
+fn live_phase(
+    config: &GuardConfig,
+    forest: &RandomForest,
+    offsets: &[usize],
+    test: &Trace,
+) -> LivePhase {
+    let trees = forest.trees().len();
+    let compiled = forest.compile(&config.compile).expect("forest compiles");
+    let exit = EarlyExit::sound_majority(trees);
+    let control = deploy_forest(config.window, offsets, &compiled, Some(exit));
+    control.publish();
+    let gw = Gateway::start(&control, GatewayConfig::with_shards(2));
+
+    let mut arena = FrameArena::new(p4guard_packet::arena::DEFAULT_CHUNK_CAPACITY);
+    let mut batches = Vec::new();
+    for record in test.iter() {
+        arena.push(&record.frame);
+        if arena.pending() >= 64 {
+            batches.push(arena.seal_batch());
+        }
+    }
+    if arena.pending() > 0 {
+        batches.push(arena.seal_batch());
+    }
+    let mut sent = 0u64;
+    let mid = batches.len() / 2;
+    let mut delta_recompiled = 0;
+    let mut delta_shared = 0;
+    for (i, batch) in batches.into_iter().enumerate() {
+        sent += batch.len() as u64;
+        gw.dispatch_batch(batch);
+        if i + 1 == mid {
+            // One-tree edit mid-serve: republish must re-lower exactly
+            // the edited stage and share the other trees' compiled
+            // lookups unchanged.
+            let edited = one_tree_edit(compiled.rulesets()[0]);
+            control.clear_stage(0).expect("stage 0 clears");
+            control
+                .install_ruleset(0, &edited, Action::Drop)
+                .expect("edited tree fits");
+            let report = control.publish();
+            delta_recompiled = report.stages_recompiled;
+            delta_shared = report.stages_shared;
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while gw.snapshot().totals.received < sent {
+        assert!(
+            Instant::now() < deadline,
+            "live gateway failed to drain {sent} frames"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let snap = gw.finish();
+    let conserved = snap.totals.received == sent
+        && snap.totals.forwarded + snap.totals.dropped + snap.totals.parser_rejected
+            == snap.totals.received
+        && snap.dropped_backpressure == 0;
+    LivePhase {
+        trees,
+        depth: forest.config().tree.max_depth,
+        frames: sent,
+        vote_exits: snap.vote_exits(),
+        delta_recompiled,
+        delta_shared,
+        conserved,
+    }
+}
+
+/// `stage` with its last entry removed (one leaf retrained away), or a
+/// single synthetic attack entry when the stage is empty.
+fn one_tree_edit(stage: &RuleSet) -> RuleSet {
+    let mut edited = RuleSet::new(stage.key_width(), stage.default_class());
+    if stage.is_empty() {
+        edited.push(p4guard_rules::TernaryEntry::new(
+            vec![0xEE; stage.key_width()],
+            vec![0xff; stage.key_width()],
+            1,
+            1,
+        ));
+    } else {
+        for e in stage.entries().iter().take(stage.len() - 1) {
+            edited.push(e.clone());
+        }
+    }
+    edited
+}
+
+/// Runs the F16-forest experiment over the mixed (from `ctx`) and
+/// smart-home scenarios: the (sizes × depths) frontier per task, the
+/// budgeter phase, and the live batched early-exit phase on the mixed
+/// task's best forest.
+///
+/// # Panics
+///
+/// Panics if a scenario fails to generate, a guard fails to train, a
+/// forest blows the per-stage entry budget, or the live gateway fails to
+/// drain.
+pub fn run_f16_forest(
+    ctx: &ExperimentContext,
+    config: &GuardConfig,
+    sizes: &[usize],
+    depths: &[usize],
+) -> ForestReport {
+    assert!(
+        sizes.contains(&1),
+        "sizes must include the single-tree baseline"
+    );
+    assert!(
+        sizes.iter().any(|&s| s > 1),
+        "sizes must include a multi-tree forest"
+    );
+    let (mixed, best_forest, offsets) =
+        task_frontier("mixed", &ctx.train, &ctx.test, config, sizes, depths);
+    let sh_trace = Scenario::smart_home_default(ctx.seed ^ 0x5a)
+        .generate()
+        .expect("smart-home scenario generates");
+    let (sh_train, sh_test) = split_temporal(&sh_trace, 0.6);
+    let (smart_home, _, _) =
+        task_frontier("smart-home", &sh_train, &sh_test, config, sizes, depths);
+
+    let live = live_phase(config, &best_forest, &offsets, &ctx.test);
+    let tasks = vec![mixed, smart_home];
+    ForestReport {
+        seed: ctx.seed,
+        gate_beats_baseline: tasks.iter().any(|t| t.gate_beats_baseline),
+        gate_matches_baseline: tasks.iter().any(|t| t.gate_matches_baseline),
+        gate_within_budget: tasks.iter().any(|t| t.gate_within_budget),
+        tasks,
+        live,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_forest_small_run_is_consistent() {
+        let ctx = ExperimentContext::standard(7);
+        let config = GuardConfig::fast();
+        let report = run_f16_forest(&ctx, &config, &[1, 3, 5], &[8]);
+        assert_eq!(report.tasks.len(), 2);
+        for t in &report.tasks {
+            assert_eq!(t.points.len(), 3);
+            for p in &t.points {
+                assert!(p.entries_minimized <= p.entries);
+                assert!((0.0..=1.0).contains(&p.accuracy));
+            }
+            // The 1-tree baseline always fits its own 3× budget.
+            assert!(t.points.iter().filter(|p| p.trees == 1).all(|p| p.admitted));
+            assert!(t.trim.kept + t.trim.dropped == t.trim.submitted);
+        }
+        assert!(
+            report.gate_matches_baseline,
+            "some forest must match its baseline on at least one task"
+        );
+        assert!(
+            report.gate_beats_baseline,
+            "some forest must beat its baseline within 3x the entries"
+        );
+        assert!(report.live.conserved, "live gateway must conserve frames");
+        assert!(report.live.trees > 1, "live phase serves a real ensemble");
+        assert_eq!(
+            report.live.delta_recompiled, 1,
+            "a one-tree edit must re-lower exactly the edited stage"
+        );
+        assert_eq!(
+            report.live.delta_shared,
+            report.live.trees - 1,
+            "the other trees' compiled stages must be shared unchanged"
+        );
+        assert!(report.live.vote_exits <= report.live.frames);
+    }
+
+    #[test]
+    fn f16_forest_points_are_seed_deterministic() {
+        let ctx = ExperimentContext::standard(11);
+        let config = GuardConfig::fast();
+        let (a, _, _) = task_frontier("mixed", &ctx.train, &ctx.test, &config, &[1, 3], &[3]);
+        let (b, _, _) = task_frontier("mixed", &ctx.train, &ctx.test, &config, &[1, 3], &[3]);
+        assert_eq!(a, b);
+    }
+}

@@ -11,6 +11,7 @@ pub mod detection;
 pub mod efficiency;
 pub mod extensions;
 pub mod fleet_exp;
+pub mod forest_exp;
 pub mod minimize_exp;
 pub mod observe_exp;
 pub mod universality;

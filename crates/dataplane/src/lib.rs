@@ -52,6 +52,7 @@ pub mod pipeline;
 pub mod resources;
 pub mod switch;
 pub mod table;
+pub mod vote;
 
 pub use action::{Action, Verdict};
 pub use compiled::{CompiledTable, LookupOutcome, Rank};
@@ -62,3 +63,4 @@ pub use pipeline::{BatchScratch, PipelineCell, ReadPipeline};
 pub use resources::{SwitchResources, TableUsage};
 pub use switch::{compute_pps, RunStats, Switch, SwitchCounters};
 pub use table::{EntryHandle, MatchKind, MatchSpec, Table, TableError};
+pub use vote::{EarlyExit, VoteStage};

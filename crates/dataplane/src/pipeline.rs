@@ -18,7 +18,9 @@ use crate::compiled::{CompiledTable, LookupOutcome, Rank};
 use crate::parser::ParserSpec;
 use crate::switch::SwitchCounters;
 use crate::table::Table;
+use crate::vote::VoteStage;
 use p4guard_packet::arena::FrameSpan;
+use p4guard_rules::forest::majority;
 use p4guard_telemetry::{DropReason, NoopSink, StageKind, TelemetrySink, VerdictKind};
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -65,6 +67,9 @@ pub struct ReadPipeline {
     /// Widest stage key, fixed at build time so the hot path sizes its
     /// scratch once per packet instead of once per stage.
     max_key_width: usize,
+    /// When set, stages are parallel per-tree lookups feeding a majority
+    /// vote instead of a sequential match-action chain (see [`VoteStage`]).
+    vote: Option<VoteStage>,
 }
 
 impl ReadPipeline {
@@ -73,12 +78,13 @@ impl ReadPipeline {
         stages: Vec<Table>,
         default_port: u16,
         version: u64,
+        vote: Option<VoteStage>,
     ) -> Self {
         let stages: Vec<Arc<CompiledTable>> = stages
             .iter()
             .map(|t| Arc::new(CompiledTable::compile(t)))
             .collect();
-        Self::from_compiled(parser, stages, default_port, version)
+        Self::from_compiled(parser, stages, default_port, version, vote)
     }
 
     /// Assembles a snapshot from already-compiled stages (the delta
@@ -89,6 +95,7 @@ impl ReadPipeline {
         stages: Vec<Arc<CompiledTable>>,
         default_port: u16,
         version: u64,
+        vote: Option<VoteStage>,
     ) -> Self {
         let max_key_width = stages.iter().map(|s| s.key().width()).max().unwrap_or(0);
         ReadPipeline {
@@ -97,7 +104,14 @@ impl ReadPipeline {
             default_port,
             version,
             max_key_width,
+            vote,
         }
+    }
+
+    /// The ensemble vote configuration this snapshot was built with
+    /// (`None` = sequential match-action semantics).
+    pub fn vote(&self) -> Option<VoteStage> {
+        self.vote
     }
 
     /// The ruleset version this snapshot was published as.
@@ -168,6 +182,9 @@ impl ReadPipeline {
         scratch: &mut Vec<u8>,
         sink: &mut S,
     ) -> Verdict {
+        if let Some(vote) = self.vote {
+            return self.process_vote_with(vote, frame, counters, scratch, sink);
+        }
         counters.received += 1;
         if !self.parser.accepts(frame) {
             counters.parser_rejected += 1;
@@ -219,6 +236,65 @@ impl ReadPipeline {
         Verdict::Forward(out_port)
     }
 
+    /// The per-frame ensemble-vote path: each stage is one tree's
+    /// compiled ruleset; a hit votes attack, a miss (or wrong-width key)
+    /// votes benign, and per-entry actions are ignored. Voting stops as
+    /// soon as the optional [`EarlyExit`](crate::vote::EarlyExit) is
+    /// satisfied; the majority decides the verdict, ties falling to
+    /// benign (forward on the default port). Attack wins only with at
+    /// least one hit, so a vote-drop always reports `RuleDrop` with a
+    /// matched `(stage, rank)`.
+    fn process_vote_with<S: TelemetrySink>(
+        &self,
+        vote: VoteStage,
+        frame: &[u8],
+        counters: &mut SwitchCounters,
+        scratch: &mut Vec<u8>,
+        sink: &mut S,
+    ) -> Verdict {
+        counters.received += 1;
+        if !self.parser.accepts(frame) {
+            counters.parser_rejected += 1;
+            sink.drop_frame(DropReason::ParserRejected);
+            sink.verdict(VerdictKind::ParserReject, frame, None);
+            return Verdict::ParserReject;
+        }
+        if scratch.len() < self.max_key_width * 2 {
+            scratch.resize(self.max_key_width * 2, 0);
+        }
+        let (key_buf, probe) = scratch.split_at_mut(self.max_key_width);
+        let (mut attack, mut benign) = (0usize, 0usize);
+        let mut matched: Option<(usize, Rank)> = None;
+        for (stage, table) in self.stages.iter().enumerate() {
+            let width = table.key().width();
+            table.key().build_key_into(frame, &mut key_buf[..width]);
+            let (_action, outcome) = table.lookup_traced(&key_buf[..width], probe);
+            if let LookupOutcome::Hit(rank) = outcome {
+                sink.table_lookup(stage, true);
+                matched = Some((stage, rank));
+                attack += 1;
+            } else {
+                sink.table_lookup(stage, false);
+                benign += 1;
+            }
+            if let Some(exit) = vote.early_exit {
+                if exit.decided(attack, benign) {
+                    break;
+                }
+            }
+        }
+        if majority(attack, benign) == 1 {
+            counters.dropped += 1;
+            sink.drop_frame(DropReason::RuleDrop);
+            sink.verdict(VerdictKind::Drop, frame, matched);
+            Verdict::Drop
+        } else {
+            counters.forwarded += 1;
+            sink.verdict(VerdictKind::Forward, frame, matched);
+            Verdict::Forward(self.default_port)
+        }
+    }
+
     /// Processes a whole batch of frames (contiguous `data` + one
     /// [`FrameSpan`] per frame) through tight staged loops: batch parse →
     /// batch key-extract into a contiguous key matrix → batch lookup via
@@ -245,6 +321,10 @@ impl ReadPipeline {
         verdicts: &mut Vec<Verdict>,
         sink: &mut S,
     ) {
+        if let Some(vote) = self.vote {
+            return self
+                .process_batch_vote_with(vote, data, spans, counters, scratch, verdicts, sink);
+        }
         let n = spans.len();
         counters.received += n as u64;
         scratch.reset(n, self.max_key_width, self.default_port);
@@ -380,6 +460,167 @@ impl ReadPipeline {
         lap(&mut stamp, sink, StageKind::Report, None, n as u64);
     }
 
+    /// The batched ensemble-vote path. Semantics are bit-identical to
+    /// calling the per-frame vote path once per frame: per-tree stages run
+    /// stage-major over the alive set, a hit in stage *t* is tree *t*'s
+    /// attack vote, and a frame leaves the alive set exactly when the
+    /// [`EarlyExit`](crate::vote::EarlyExit) rule fires for it — the
+    /// point of the batched early exit is that such frames skip the
+    /// remaining per-tree table lookups entirely. Frames that exit with
+    /// at least one stage still ahead are counted in
+    /// [`BatchScratch::vote_early_exits`]; verdicts, counters and sink
+    /// reports match the per-frame sequence exactly.
+    #[allow(clippy::too_many_arguments)]
+    fn process_batch_vote_with<S: TelemetrySink>(
+        &self,
+        vote: VoteStage,
+        data: &[u8],
+        spans: &[FrameSpan],
+        counters: &mut SwitchCounters,
+        scratch: &mut BatchScratch,
+        verdicts: &mut Vec<Verdict>,
+        sink: &mut S,
+    ) {
+        let n = spans.len();
+        counters.received += n as u64;
+        scratch.reset(n, self.max_key_width, self.default_port);
+        scratch.votes_attack.clear();
+        scratch.votes_attack.resize(n, 0);
+        scratch.votes_benign.clear();
+        scratch.votes_benign.resize(n, 0);
+        let frame_of = |s: &FrameSpan| &data[s.offset as usize..s.end()];
+        let mut stamp = sink.profiling_enabled().then(Instant::now);
+
+        for (i, span) in spans.iter().enumerate() {
+            if self.parser.accepts(frame_of(span)) {
+                scratch.alive.push(i as u32);
+            } else {
+                counters.parser_rejected += 1;
+                scratch.state[i] = FrameState::ParserReject;
+            }
+        }
+        lap(&mut stamp, sink, StageKind::Parse, None, n as u64);
+
+        let last_stage = self.stages.len().saturating_sub(1);
+        for (stage, table) in self.stages.iter().enumerate() {
+            if scratch.alive.is_empty() {
+                break;
+            }
+            let width = table.key().width();
+            let alive_len = scratch.alive.len();
+            scratch.keys.clear();
+            scratch.keys.resize(alive_len * width, 0);
+            for (j, &i) in scratch.alive.iter().enumerate() {
+                table.key().build_key_into(
+                    frame_of(&spans[i as usize]),
+                    &mut scratch.keys[j * width..(j + 1) * width],
+                );
+            }
+            lap(
+                &mut stamp,
+                sink,
+                StageKind::KeyExtract,
+                Some(stage),
+                alive_len as u64,
+            );
+            scratch.lookups.clear();
+            scratch
+                .lookups
+                .resize(alive_len, (Action::NoOp, LookupOutcome::Miss));
+            table.lookup_batch(
+                &scratch.keys,
+                width,
+                &mut scratch.probe,
+                &mut scratch.lookups,
+            );
+            lap(
+                &mut stamp,
+                sink,
+                StageKind::Lookup,
+                Some(stage),
+                alive_len as u64,
+            );
+            // Tally votes, compacting the alive set: a frame whose vote is
+            // decided stops paying for the remaining per-tree lookups.
+            let mut kept = 0usize;
+            for j in 0..alive_len {
+                let i = scratch.alive[j] as usize;
+                let (_action, outcome) = scratch.lookups[j];
+                if let LookupOutcome::Hit(rank) = outcome {
+                    sink.table_lookup(stage, true);
+                    scratch.matched[i] = Some((stage, rank));
+                    scratch.votes_attack[i] += 1;
+                } else {
+                    sink.table_lookup(stage, false);
+                    scratch.votes_benign[i] += 1;
+                }
+                if let Some(exit) = vote.early_exit {
+                    if exit.decided(
+                        scratch.votes_attack[i] as usize,
+                        scratch.votes_benign[i] as usize,
+                    ) {
+                        if stage < last_stage {
+                            scratch.exited += 1;
+                        }
+                        continue;
+                    }
+                }
+                scratch.alive[kept] = i as u32;
+                kept += 1;
+            }
+            scratch.alive.truncate(kept);
+            lap(
+                &mut stamp,
+                sink,
+                StageKind::Apply,
+                Some(stage),
+                alive_len as u64,
+            );
+        }
+
+        // The vote stage proper: every parsed frame's verdict is the
+        // majority over the votes it accumulated (full for frames that
+        // ran all stages, truncated for early exits — the same counts the
+        // per-frame stopping rule yields).
+        for (i, state) in scratch.state.iter_mut().enumerate() {
+            if matches!(state, FrameState::Forward) {
+                if majority(
+                    scratch.votes_attack[i] as usize,
+                    scratch.votes_benign[i] as usize,
+                ) == 1
+                {
+                    counters.dropped += 1;
+                    *state = FrameState::Drop(DropReason::RuleDrop);
+                } else {
+                    counters.forwarded += 1;
+                }
+            }
+        }
+
+        verdicts.reserve(n);
+        for (i, span) in spans.iter().enumerate() {
+            let frame = frame_of(span);
+            let v = match scratch.state[i] {
+                FrameState::ParserReject => {
+                    sink.drop_frame(DropReason::ParserRejected);
+                    sink.verdict(VerdictKind::ParserReject, frame, None);
+                    Verdict::ParserReject
+                }
+                FrameState::Drop(reason) => {
+                    sink.drop_frame(reason);
+                    sink.verdict(VerdictKind::Drop, frame, scratch.matched[i]);
+                    Verdict::Drop
+                }
+                FrameState::Forward => {
+                    sink.verdict(VerdictKind::Forward, frame, scratch.matched[i]);
+                    Verdict::Forward(scratch.out_port[i])
+                }
+            };
+            verdicts.push(v);
+        }
+        lap(&mut stamp, sink, StageKind::Report, None, n as u64);
+    }
+
     /// [`ReadPipeline::process_batch_with`] without telemetry.
     pub fn process_batch_into(
         &self,
@@ -437,12 +678,27 @@ pub struct BatchScratch {
     out_port: Vec<u16>,
     /// Winning `(stage, rank)` per frame, for verdict reports.
     matched: Vec<Option<(usize, Rank)>>,
+    /// Per-frame attack-vote tally (vote-mode pipelines only).
+    votes_attack: Vec<u16>,
+    /// Per-frame benign-vote tally (vote-mode pipelines only).
+    votes_benign: Vec<u16>,
+    /// Frames whose vote early-exited with at least one stage left, in
+    /// the most recent batch.
+    exited: u64,
 }
 
 impl BatchScratch {
     /// Creates an empty scratch; buffers size themselves on first use.
     pub fn new() -> Self {
         BatchScratch::default()
+    }
+
+    /// Frames in the most recent batch whose ensemble vote early-exited
+    /// before the last stage — i.e. frames that actually skipped per-tree
+    /// lookups. Always 0 for pipelines without a
+    /// [`VoteStage`].
+    pub fn vote_early_exits(&self) -> u64 {
+        self.exited
     }
 
     fn reset(&mut self, n: usize, max_key_width: usize, default_port: u16) {
@@ -454,6 +710,7 @@ impl BatchScratch {
         self.out_port.resize(n, default_port);
         self.matched.clear();
         self.matched.resize(n, None);
+        self.exited = 0;
         if self.probe.len() < max_key_width {
             self.probe.resize(max_key_width, 0);
         }
@@ -655,6 +912,143 @@ mod tests {
         assert_eq!(counters.received, 3);
         assert_eq!(counters.dropped, 1);
         assert_eq!(counters.forwarded, 2);
+    }
+
+    /// A 3-stage "forest" over one key byte: tree 0 hits on the top bit,
+    /// tree 1 on the next bit, tree 2 is benign-only (empty stage).
+    fn forest_switch(vote: VoteStage) -> Switch {
+        let mut sw = Switch::new("forest", ParserSpec::raw_window(8, 1), 1);
+        for (name, bit) in [("tree0", 0x80u8), ("tree1", 0x40u8)] {
+            let mut t = Table::new(
+                name,
+                MatchKind::Ternary,
+                KeyLayout::window(1),
+                8,
+                Action::NoOp,
+            );
+            t.insert(
+                MatchSpec::Ternary {
+                    value: vec![bit],
+                    mask: vec![bit],
+                },
+                Action::Drop,
+                1,
+            )
+            .unwrap();
+            sw.add_stage(t);
+        }
+        sw.add_stage(Table::new(
+            "tree2",
+            MatchKind::Ternary,
+            KeyLayout::window(1),
+            8,
+            Action::NoOp,
+        ));
+        sw.set_vote(Some(vote));
+        sw
+    }
+
+    #[test]
+    fn vote_mode_majority_decides_and_paths_agree() {
+        for early_exit in [
+            None,
+            Some(crate::vote::EarlyExit {
+                min_votes: 2,
+                margin: 2,
+            }),
+        ] {
+            let mut sw = forest_switch(VoteStage { early_exit });
+            let pipeline = sw.read_pipeline(1);
+            let mut arena = p4guard_packet::arena::FrameArena::new(8192);
+            let frames: Vec<Vec<u8>> = (0..=255u8).map(|v| vec![v, 0, 0, 0, 0, 0, 0, 0]).collect();
+            for f in &frames {
+                arena.push(f);
+            }
+            let batch = arena.seal_batch();
+
+            let mut per_counters = SwitchCounters::default();
+            let mut scratch = Vec::new();
+            let per: Vec<Verdict> = frames
+                .iter()
+                .map(|f| pipeline.process_into(f, &mut per_counters, &mut scratch))
+                .collect();
+            let mut batch_counters = SwitchCounters::default();
+            let mut bs = BatchScratch::new();
+            let mut batched = Vec::new();
+            pipeline.process_batch_into(
+                batch.data(),
+                batch.spans(),
+                &mut batch_counters,
+                &mut bs,
+                &mut batched,
+            );
+            assert_eq!(per, batched);
+            assert_eq!(per_counters, batch_counters);
+            for (v, verdict) in per.iter().enumerate() {
+                // 2-of-3 majority: attack only when both top bits are set
+                // (the empty tree 2 always votes benign).
+                let expect_drop = v & 0xc0 == 0xc0;
+                assert_eq!(verdict.is_drop(), expect_drop, "byte {v:#x}");
+                assert_eq!(sw.process(&frames[v]).is_drop(), expect_drop);
+            }
+            if early_exit.is_some() {
+                // Exactly the frames whose first two trees agree reach a
+                // 2-0 lead and skip the third lookup.
+                let decided_early = (0..=255usize)
+                    .filter(|v| (v & 0xc0 == 0xc0) || (v & 0xc0 == 0))
+                    .count() as u64;
+                assert_eq!(bs.vote_early_exits(), decided_early);
+            } else {
+                assert_eq!(bs.vote_early_exits(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stages_still_vote_benign() {
+        // One attack tree outvoted by two benign-only (empty) stages: the
+        // electorate must include the empty stages, so nothing drops.
+        let mut sw = Switch::new("outvoted", ParserSpec::raw_window(8, 1), 1);
+        let mut t = Table::new(
+            "tree0",
+            MatchKind::Ternary,
+            KeyLayout::window(1),
+            8,
+            Action::NoOp,
+        );
+        t.insert(
+            MatchSpec::Ternary {
+                value: vec![0x00],
+                mask: vec![0x00],
+            },
+            Action::Drop,
+            1,
+        )
+        .unwrap();
+        sw.add_stage(t);
+        for name in ["tree1", "tree2"] {
+            sw.add_stage(Table::new(
+                name,
+                MatchKind::Ternary,
+                KeyLayout::window(1),
+                8,
+                Action::NoOp,
+            ));
+        }
+        sw.set_vote(Some(VoteStage::majority()));
+        let pipeline = sw.read_pipeline(1);
+        let mut counters = SwitchCounters::default();
+        let mut scratch = Vec::new();
+        let v = pipeline.process_into(&[0xff, 0, 0, 0, 0, 0, 0, 0], &mut counters, &mut scratch);
+        assert_eq!(v, Verdict::Forward(1), "1 attack vs 2 benign forwards");
+        // Removing the empty stages flips the vote: 1-tree forest drops.
+        sw.remove_stage(2);
+        sw.remove_stage(1);
+        let one_tree = sw.read_pipeline(2);
+        assert_eq!(one_tree.stage_count(), 1);
+        assert!(one_tree
+            .process_into(&[0xff, 0, 0, 0, 0, 0, 0, 0], &mut counters, &mut scratch)
+            .is_drop());
     }
 
     #[test]

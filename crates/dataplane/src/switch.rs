@@ -5,7 +5,9 @@ use crate::action::{Action, Verdict};
 use crate::parser::ParserSpec;
 use crate::resources::SwitchResources;
 use crate::table::Table;
+use crate::vote::VoteStage;
 use p4guard_packet::trace::Trace;
+use p4guard_rules::forest::majority;
 use p4guard_telemetry::{DropReason, NoopSink, TelemetrySink, VerdictKind};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -89,6 +91,7 @@ pub struct Switch {
     default_port: u16,
     counters: SwitchCounters,
     key_buffers: Vec<Vec<u8>>,
+    vote: Option<VoteStage>,
 }
 
 impl Switch {
@@ -101,6 +104,7 @@ impl Switch {
             default_port,
             counters: SwitchCounters::default(),
             key_buffers: Vec::new(),
+            vote: None,
         }
     }
 
@@ -116,9 +120,34 @@ impl Switch {
         self.stages.len() - 1
     }
 
+    /// Removes the stage at `idx`, returning its table. Later stages
+    /// shift down — relevant under a [`VoteStage`], where stage order is
+    /// the vote order and the electorate shrinks by one tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn remove_stage(&mut self, idx: usize) -> Table {
+        self.key_buffers.remove(idx);
+        self.stages.remove(idx)
+    }
+
     /// Number of stages.
     pub fn stage_count(&self) -> usize {
         self.stages.len()
+    }
+
+    /// Sets (or clears) the ensemble vote interpretation of this switch's
+    /// stages. See [`VoteStage`] for the semantics; snapshots taken after
+    /// this call carry the vote configuration into the read path.
+    pub fn set_vote(&mut self, vote: Option<VoteStage>) {
+        self.vote = vote;
+    }
+
+    /// The current ensemble vote configuration (`None` = sequential
+    /// match-action semantics).
+    pub fn vote(&self) -> Option<VoteStage> {
+        self.vote
     }
 
     /// Borrows a stage.
@@ -176,6 +205,9 @@ impl Switch {
             sink.verdict(VerdictKind::ParserReject, frame, None);
             return Verdict::ParserReject;
         }
+        if let Some(vote) = self.vote {
+            return self.process_vote(frame, vote, sink);
+        }
         let mut out_port = self.default_port;
         let mut matched: Option<(usize, u32)> = None;
         for (stage, (table, buf)) in self
@@ -216,6 +248,52 @@ impl Switch {
         self.counters.forwarded += 1;
         sink.verdict(VerdictKind::Forward, frame, matched);
         Verdict::Forward(out_port)
+    }
+
+    /// The ensemble-vote frame path: each stage is one tree's compiled
+    /// ruleset; a hit votes attack, a miss votes benign, per-entry actions
+    /// are ignored. Voting may stop early under the configured
+    /// [`EarlyExit`](crate::vote::EarlyExit); the majority decides the
+    /// verdict, ties falling to benign (forward).
+    fn process_vote<S: TelemetrySink>(
+        &mut self,
+        frame: &[u8],
+        vote: VoteStage,
+        sink: &mut S,
+    ) -> Verdict {
+        let (mut attack, mut benign) = (0usize, 0usize);
+        let mut matched: Option<(usize, u32)> = None;
+        for (stage, (table, buf)) in self
+            .stages
+            .iter_mut()
+            .zip(&mut self.key_buffers)
+            .enumerate()
+        {
+            table.key().build_key_into(frame, buf);
+            let (_action, rank) = table.lookup_traced(buf);
+            sink.table_lookup(stage, rank.is_some());
+            if let Some(rank) = rank {
+                matched = Some((stage, rank));
+                attack += 1;
+            } else {
+                benign += 1;
+            }
+            if let Some(exit) = vote.early_exit {
+                if exit.decided(attack, benign) {
+                    break;
+                }
+            }
+        }
+        if majority(attack, benign) == 1 {
+            self.counters.dropped += 1;
+            sink.drop_frame(DropReason::RuleDrop);
+            sink.verdict(VerdictKind::Drop, frame, matched);
+            Verdict::Drop
+        } else {
+            self.counters.forwarded += 1;
+            sink.verdict(VerdictKind::Forward, frame, matched);
+            Verdict::Forward(self.default_port)
+        }
     }
 
     /// Replays every frame of `trace`, returning throughput stats.
@@ -268,6 +346,7 @@ impl Switch {
             self.stages.clone(),
             self.default_port,
             version,
+            self.vote,
         )
     }
 
@@ -278,8 +357,8 @@ impl Switch {
     /// additions/removals patch the previous minimized form instead of
     /// re-running the O(n²) minimizer. Falls back to a from-scratch build
     /// when `prev` is absent or its stage count differs (stages were added
-    /// or removed). The parser and default port are always taken fresh, so
-    /// the snapshot never serves a stale program.
+    /// or removed). The parser, default port and vote configuration are
+    /// always taken fresh, so the snapshot never serves a stale program.
     pub fn read_pipeline_incremental(
         &self,
         version: u64,
@@ -302,6 +381,7 @@ impl Switch {
             stages,
             self.default_port,
             version,
+            self.vote,
         )
     }
 }

@@ -1,0 +1,79 @@
+//! The ensemble vote stage: reinterprets a pipeline's match-action stages
+//! as *parallel* per-tree lookups feeding a majority vote.
+//!
+//! In the default (sequential) interpretation, stages run in order and a
+//! `Drop` action short-circuits the pipeline. Under a [`VoteStage`] the
+//! stages are one compiled ruleset per forest tree: a **hit** in stage
+//! *t* is tree *t* voting "attack", a **miss** (including a wrong-width
+//! key) is a "benign" vote, and per-entry actions are ignored. The final
+//! verdict is the majority — `Drop` iff strictly more attack than benign
+//! votes, ties falling to benign, matching
+//! [`p4guard_rules::forest::majority`]. An *empty* stage (a benign-only
+//! tree compiles to zero entries) therefore still votes: it misses every
+//! key and counts benign, which is exactly its tree's verdict — the stage
+//! must never be dropped from the pipeline.
+//!
+//! The optional [`EarlyExit`] is pForest-style certainty-based
+//! truncation and is part of the verdict *semantics*: per-frame and
+//! batched evaluation apply the identical stopping rule, so the two paths
+//! stay bit-identical; the batched hot path additionally skips whole
+//! per-tree table lookups for frames that already exited.
+
+use serde::{Deserialize, Serialize};
+
+pub use p4guard_rules::forest::EarlyExit;
+
+/// Configures the ensemble-vote interpretation of a switch's stages.
+///
+/// Attach with [`Switch::set_vote`](crate::switch::Switch::set_vote);
+/// snapshots carry it into
+/// [`ReadPipeline`](crate::pipeline::ReadPipeline), so published
+/// pipelines and gateway shards vote identically to the mutable switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VoteStage {
+    /// Optional certainty-based early exit. `None` means every tree
+    /// always votes (full majority).
+    pub early_exit: Option<EarlyExit>,
+}
+
+impl VoteStage {
+    /// A full majority vote over every stage, no early exit.
+    pub fn majority() -> Self {
+        VoteStage { early_exit: None }
+    }
+
+    /// A majority vote with the given certainty-based early exit.
+    pub fn with_early_exit(exit: EarlyExit) -> Self {
+        VoteStage {
+            early_exit: Some(exit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn early_exit_decision_rule() {
+        let exit = EarlyExit {
+            min_votes: 2,
+            margin: 2,
+        };
+        assert!(!exit.decided(1, 0), "below min_votes");
+        assert!(!exit.decided(1, 1), "no lead");
+        assert!(exit.decided(2, 0));
+        assert!(exit.decided(0, 3));
+        assert!(!exit.decided(2, 1), "lead below margin");
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(VoteStage::majority().early_exit, None);
+        let exit = EarlyExit {
+            min_votes: 1,
+            margin: 1,
+        };
+        assert_eq!(VoteStage::with_early_exit(exit).early_exit, Some(exit));
+    }
+}

@@ -361,6 +361,111 @@ impl TableBudgeter {
         }
         Ok((trimmed, ruleset.len() - keep))
     }
+
+    /// Checks that a forest — one ternary ruleset stage per tree — fits
+    /// `tenant`'s TCAM allocation in its entirety, without mutating
+    /// anything. The charge is the sum of the per-stage **minimized**
+    /// occupancies, matching what
+    /// [`SwitchResources`](p4guard_dataplane::resources::SwitchResources)
+    /// reports for the deployed per-tree stages.
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetError::OverBudget`] when the whole forest does not fit
+    /// (use [`TableBudgeter::trim_forest`] to drop trees instead),
+    /// [`BudgetError::NoSuchTenant`] for an out-of-range index.
+    pub fn admit_forest(&self, tenant: usize, stages: &[&RuleSet]) -> Result<(), BudgetError> {
+        let alloc = self.allocation(tenant)?;
+        let required: usize = stages.iter().map(|rs| Self::minimized_tcam_bits(rs)).sum();
+        if required > alloc.tcam_bits {
+            return Err(BudgetError::OverBudget {
+                tenant,
+                memory: MemoryKind::Tcam,
+                required_bits: required,
+                allocated_bits: alloc.tcam_bits,
+            });
+        }
+        Ok(())
+    }
+
+    /// Fits a forest into `tenant`'s TCAM allocation by dropping whole
+    /// trees, lowest importance first (ties drop the later stage), until
+    /// the surviving stages' summed minimized occupancy fits. Unlike
+    /// entry-level [`TableBudgeter::trim`], trees are all-or-nothing:
+    /// removing individual entries from a tree would corrupt its vote,
+    /// while removing a whole tree only shrinks the electorate.
+    ///
+    /// `importance` aligns with `stages` (e.g.
+    /// [`RandomForest::tree_importance`](p4guard_rules::forest::RandomForest::tree_importance)).
+    ///
+    /// # Errors
+    ///
+    /// [`BudgetError::OverBudget`] when even the single most important
+    /// tree overflows the allocation,
+    /// [`BudgetError::NoSuchTenant`] for an out-of-range index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty or `importance.len() != stages.len()`.
+    pub fn trim_forest(
+        &self,
+        tenant: usize,
+        stages: &[&RuleSet],
+        importance: &[f64],
+    ) -> Result<ForestAdmission, BudgetError> {
+        assert!(!stages.is_empty(), "a forest needs at least one stage");
+        assert_eq!(
+            importance.len(),
+            stages.len(),
+            "importance must align with stages"
+        );
+        let alloc = self.allocation(tenant)?;
+        let bits: Vec<usize> = stages
+            .iter()
+            .map(|rs| Self::minimized_tcam_bits(rs))
+            .collect();
+        let mut required: usize = bits.iter().sum();
+        // Drop order: ascending importance, ties resolved by dropping the
+        // later stage first (earlier trees vote first and are kept).
+        let mut drop_order: Vec<usize> = (0..stages.len()).collect();
+        drop_order.sort_by(|&a, &b| importance[a].total_cmp(&importance[b]).then(b.cmp(&a)));
+        let mut dropped = Vec::new();
+        let mut cut = std::collections::HashSet::new();
+        let mut order = drop_order.into_iter();
+        while required > alloc.tcam_bits {
+            if cut.len() + 1 == stages.len() {
+                return Err(BudgetError::OverBudget {
+                    tenant,
+                    memory: MemoryKind::Tcam,
+                    required_bits: required,
+                    allocated_bits: alloc.tcam_bits,
+                });
+            }
+            let victim = order.next().expect("more stages than cuts");
+            required -= bits[victim];
+            cut.insert(victim);
+            dropped.push(victim);
+        }
+        let kept: Vec<usize> = (0..stages.len()).filter(|i| !cut.contains(i)).collect();
+        Ok(ForestAdmission {
+            kept,
+            dropped,
+            required_bits: required,
+        })
+    }
+}
+
+/// Outcome of [`TableBudgeter::trim_forest`]: which per-tree stages of a
+/// submitted forest survive the tenant's TCAM allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForestAdmission {
+    /// Indices of surviving stages, in the original vote order.
+    pub kept: Vec<usize>,
+    /// Indices of dropped stages, in drop order (lowest importance
+    /// first).
+    pub dropped: Vec<usize>,
+    /// Minimized TCAM bits the surviving stages occupy together.
+    pub required_bits: usize,
 }
 
 #[cfg(test)]
@@ -535,5 +640,107 @@ mod tests {
         .unwrap();
         assert_eq!(b.allocation(0).unwrap().tcam_bits, 64);
         assert_eq!(b.allocation(1).unwrap().tcam_bits, 936);
+    }
+
+    #[test]
+    fn admit_forest_sums_per_tree_occupancy() {
+        let bits_per_entry = 8 * 8 * 2;
+        let b = TableBudgeter::new(
+            BudgetConfig {
+                tcam_bits: 10 * bits_per_entry,
+                sram_bits: 0,
+            },
+            vec![TenantShare::flat()],
+        )
+        .unwrap();
+        let small = ruleset_with(3, 8);
+        let stages = [&small, &small, &small];
+        assert!(b.admit_forest(0, &stages).is_ok());
+        let big = ruleset_with(5, 8);
+        assert!(matches!(
+            b.admit_forest(0, &[&big, &big, &big]),
+            Err(BudgetError::OverBudget {
+                tenant: 0,
+                required_bits,
+                ..
+            }) if required_bits == 15 * bits_per_entry
+        ));
+    }
+
+    #[test]
+    fn trim_forest_drops_lowest_importance_trees_first() {
+        let bits_per_entry = 8 * 8 * 2;
+        let b = TableBudgeter::new(
+            BudgetConfig {
+                tcam_bits: 8 * bits_per_entry,
+                sram_bits: 0,
+            },
+            vec![TenantShare::flat()],
+        )
+        .unwrap();
+        // Four 3-entry trees need 12 rows; the budget holds 8, so two
+        // trees must go — the two least important ones.
+        let tree = ruleset_with(3, 8);
+        let stages = [&tree, &tree, &tree, &tree];
+        let adm = b.trim_forest(0, &stages, &[0.9, 0.2, 0.8, 0.4]).unwrap();
+        assert_eq!(adm.kept, vec![0, 2]);
+        assert_eq!(adm.dropped, vec![1, 3]);
+        assert_eq!(adm.required_bits, 6 * bits_per_entry);
+        // A forest that already fits survives untouched.
+        let adm = b.trim_forest(0, &stages[..2], &[0.5, 0.5]).unwrap();
+        assert_eq!(adm.kept, vec![0, 1]);
+        assert!(adm.dropped.is_empty());
+    }
+
+    #[test]
+    fn trim_forest_tie_drops_later_stage_and_rejects_oversized_root() {
+        let bits_per_entry = 8 * 8 * 2;
+        let b = TableBudgeter::new(
+            BudgetConfig {
+                tcam_bits: 4 * bits_per_entry,
+                sram_bits: 0,
+            },
+            vec![TenantShare::flat()],
+        )
+        .unwrap();
+        // Equal importance: the later stages are sacrificed first.
+        let tree = ruleset_with(2, 8);
+        let adm = b
+            .trim_forest(0, &[&tree, &tree, &tree], &[0.5, 0.5, 0.5])
+            .unwrap();
+        assert_eq!(adm.kept, vec![0, 1]);
+        assert_eq!(adm.dropped, vec![2]);
+        // Even the single most important tree overflows → reject.
+        let huge = ruleset_with(5, 8);
+        assert!(matches!(
+            b.trim_forest(0, &[&huge, &huge], &[0.1, 0.9]),
+            Err(BudgetError::OverBudget { tenant: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn trim_forest_charges_minimized_occupancy() {
+        let bits_per_entry = 8 * 2;
+        let b = TableBudgeter::new(
+            BudgetConfig {
+                tcam_bits: 6 * bits_per_entry,
+                sram_bits: 0,
+            },
+            vec![TenantShare::flat()],
+        )
+        .unwrap();
+        // Each stage holds 8 raw entries that minimize to 4 rows. Raw
+        // accounting would evict a tree from a two-tree forest; minimized
+        // accounting... still must (2 × 4 = 8 > 6), but keeps both trees
+        // of a 4-row pair when given one mergeable and one tiny stage.
+        let mergeable = mergeable_ruleset(4);
+        let tiny = {
+            let mut rs = RuleSet::new(1, 0);
+            rs.push(TernaryEntry::new(vec![0xAA], vec![0xff], 1, 1));
+            rs
+        };
+        let adm = b.trim_forest(0, &[&mergeable, &tiny], &[0.9, 0.1]).unwrap();
+        assert_eq!(adm.kept, vec![0, 1]);
+        assert_eq!(adm.required_bits, 5 * bits_per_entry);
     }
 }

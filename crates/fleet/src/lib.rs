@@ -32,7 +32,9 @@ pub mod gateway;
 pub mod sim;
 pub mod tenant;
 
-pub use budget::{BudgetConfig, BudgetError, TableBudgeter, TenantAllocation, TenantShare};
+pub use budget::{
+    BudgetConfig, BudgetError, ForestAdmission, TableBudgeter, TenantAllocation, TenantShare,
+};
 pub use gateway::{FleetGateway, FleetShardStats, FleetSnapshot};
 pub use sim::{AttackWave, FleetSim, FleetSimConfig, SimFrame, TenantSimStats, TenantTraffic};
 pub use tenant::{

@@ -83,6 +83,14 @@ pub struct GatewaySnapshot {
     pub pipeline_entries_minimized: usize,
 }
 
+impl GatewaySnapshot {
+    /// Frames whose ensemble vote early-exited on the batched path,
+    /// summed over shards (see [`ShardStats::vote_exits`]).
+    pub fn vote_exits(&self) -> u64 {
+        self.shards.iter().map(|s| s.vote_exits).sum()
+    }
+}
+
 impl fmt::Display for GatewaySnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(

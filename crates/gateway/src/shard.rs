@@ -62,6 +62,13 @@ pub struct ShardStats {
     /// `p4guard_batch_fill` gauge: `batched_frames / frame_batches`).
     #[serde(default)]
     pub frame_batches: u64,
+    /// Frames whose ensemble vote early-exited before the last per-tree
+    /// stage on the batched path, skipping the remaining table lookups.
+    /// Always 0 unless the published pipeline carries a
+    /// [`VoteStage`](p4guard_dataplane::vote::VoteStage) with an early
+    /// exit.
+    #[serde(default)]
+    pub vote_exits: u64,
 }
 
 impl ShardStats {
@@ -174,6 +181,7 @@ pub(crate) fn run_shard<S: TelemetrySink>(
                     st.processed += n as u64;
                     st.batched_frames += n as u64;
                     st.frame_batches += 1;
+                    st.vote_exits += batch_scratch.vote_early_exits();
                 }
             }
         }

@@ -89,6 +89,16 @@ pub struct CompiledRules {
 
 /// Compiles a fitted tree into ternary match-action rules.
 ///
+/// Only leaves predicting `config.compile_class` (the attack class)
+/// produce entries; every other class is the table's default miss. A
+/// **benign-only tree** — no leaf predicts the compile class — therefore
+/// compiles to an *empty* ruleset, and that is a valid, meaningful
+/// output, not a failure: installed as a stage it misses every key,
+/// which is exactly the tree's verdict. Ensemble callers must keep such
+/// stages (an empty stage still votes benign under
+/// [`crate::forest::CompiledForest`]'s majority) — silently dropping
+/// them would shrink the electorate and can flip close votes.
+///
 /// # Errors
 ///
 /// Returns [`TooManyEntries`] if prefix expansion exceeds

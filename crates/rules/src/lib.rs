@@ -29,11 +29,13 @@
 #![forbid(unsafe_code)]
 
 pub mod compile;
+pub mod forest;
 pub mod ruleset;
 pub mod ternary;
 pub mod tree;
 
 pub use compile::{compile_tree, CompileConfig, CompileStats, CompiledRules, TooManyEntries};
+pub use forest::{compile_forest, CompiledForest, EarlyExit, ForestConfig, RandomForest};
 pub use ruleset::{RuleSet, RuleSetDiff};
 pub use ternary::{range_to_prefixes, BytePrefix, TernaryEntry};
 pub use tree::{DecisionTree, Node, SplitCriterion, TreeConfig, TreePath};

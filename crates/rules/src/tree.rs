@@ -140,16 +140,54 @@ impl DecisionTree {
     /// Panics if the data length is inconsistent, the dataset is empty, or
     /// a label is not 0/1.
     pub fn fit(num_features: usize, data: &[u8], labels: &[usize], config: TreeConfig) -> Self {
-        assert!(num_features > 0, "num_features must be positive");
         assert!(!labels.is_empty(), "cannot fit on an empty dataset");
+        let indices: Vec<u32> = (0..labels.len() as u32).collect();
+        Self::fit_sampled(num_features, data, labels, indices, config, None)
+    }
+
+    /// Fits a tree on a row subset of `data` with optional per-split
+    /// feature subsampling — the forest induction entry point.
+    ///
+    /// `indices` selects the training rows; duplicates are allowed and act
+    /// as sample weights, which is exactly what bootstrap resampling
+    /// produces. When `sampler` is `Some`, it is invoked once per split
+    /// search with the total feature count and returns the candidate
+    /// feature indices that search may consider (out-of-range candidates
+    /// are ignored); ties between equal-gain candidates break toward the
+    /// earliest feature in the returned order, so samplers should return
+    /// sorted indices for reproducibility. `None` considers every feature,
+    /// making `fit_sampled(n, d, l, (0..rows).collect(), c, None)`
+    /// identical to [`DecisionTree::fit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data length is inconsistent, `indices` is empty or
+    /// out of range, or a label is not 0/1.
+    pub fn fit_sampled(
+        num_features: usize,
+        data: &[u8],
+        labels: &[usize],
+        indices: Vec<u32>,
+        config: TreeConfig,
+        sampler: Option<&mut dyn FnMut(usize) -> Vec<usize>>,
+    ) -> Self {
+        assert!(num_features > 0, "num_features must be positive");
+        assert!(!indices.is_empty(), "cannot fit on an empty row subset");
         assert_eq!(
             data.len(),
             labels.len() * num_features,
             "data length does not match labels × num_features"
         );
+        assert!(
+            indices.iter().all(|&i| (i as usize) < labels.len()),
+            "row index out of range"
+        );
         assert!(labels.iter().all(|&l| l < 2), "labels must be binary");
-        let indices: Vec<u32> = (0..labels.len() as u32).collect();
-        let root = build_node(num_features, data, labels, indices, 0, &config);
+        let mut ctx = SplitContext {
+            config: &config,
+            sampler,
+        };
+        let root = build_node(num_features, data, labels, indices, 0, &mut ctx);
         DecisionTree {
             root,
             num_features,
@@ -296,31 +334,38 @@ fn leaf_from(labels: &[usize], indices: &[u32]) -> Node {
     }
 }
 
+/// Per-induction split-search state: the hyperparameters plus the
+/// optional per-split feature sampler (forest feature subsampling).
+struct SplitContext<'c, 's> {
+    config: &'c TreeConfig,
+    sampler: Option<&'s mut dyn FnMut(usize) -> Vec<usize>>,
+}
+
 fn build_node(
     num_features: usize,
     data: &[u8],
     labels: &[usize],
     indices: Vec<u32>,
     depth: usize,
-    config: &TreeConfig,
+    ctx: &mut SplitContext<'_, '_>,
 ) -> Node {
     let positives = indices.iter().filter(|&&i| labels[i as usize] == 1).count();
     let pure = positives == 0 || positives == indices.len();
-    if pure || depth >= config.max_depth || indices.len() < config.min_samples_split {
+    if pure || depth >= ctx.config.max_depth || indices.len() < ctx.config.min_samples_split {
         return leaf_from(labels, &indices);
     }
-    let Some((feature, threshold)) = best_split(num_features, data, labels, &indices, config)
-    else {
+    let Some((feature, threshold)) = best_split(num_features, data, labels, &indices, ctx) else {
         return leaf_from(labels, &indices);
     };
     let (left_idx, right_idx): (Vec<u32>, Vec<u32>) = indices
         .iter()
         .partition(|&&i| data[i as usize * num_features + feature] <= threshold);
-    if left_idx.len() < config.min_samples_leaf || right_idx.len() < config.min_samples_leaf {
+    if left_idx.len() < ctx.config.min_samples_leaf || right_idx.len() < ctx.config.min_samples_leaf
+    {
         return leaf_from(labels, &indices);
     }
-    let left = build_node(num_features, data, labels, left_idx, depth + 1, config);
-    let right = build_node(num_features, data, labels, right_idx, depth + 1, config);
+    let left = build_node(num_features, data, labels, left_idx, depth + 1, ctx);
+    let right = build_node(num_features, data, labels, right_idx, depth + 1, ctx);
     // Collapse splits whose children agree — they add rules without
     // changing decisions.
     if let (
@@ -364,22 +409,31 @@ fn leaf_purity(labels: &[usize], indices: &[u32], class: usize) -> f64 {
     majority as f64 / indices.len() as f64
 }
 
-/// Exhaustive best-split search: for every feature, build a 256-bin
-/// class histogram, then scan thresholds with running counts.
+/// Best-split search: for every candidate feature, build a 256-bin class
+/// histogram, then scan thresholds with running counts. Candidates default
+/// to every feature; a forest sampler narrows them per split.
 fn best_split(
     num_features: usize,
     data: &[u8],
     labels: &[usize],
     indices: &[u32],
-    config: &TreeConfig,
+    ctx: &mut SplitContext<'_, '_>,
 ) -> Option<(usize, u8)> {
+    let config = ctx.config;
+    let candidates: Vec<usize> = match ctx.sampler.as_mut() {
+        Some(sample) => sample(num_features)
+            .into_iter()
+            .filter(|&f| f < num_features)
+            .collect(),
+        None => (0..num_features).collect(),
+    };
     let total = indices.len();
     let total_pos = indices.iter().filter(|&&i| labels[i as usize] == 1).count();
     let parent_counts = [total - total_pos, total_pos];
     let parent_impurity = config.criterion.impurity(&parent_counts);
     let mut best: Option<(usize, u8, f64)> = None;
     let mut histogram = vec![[0usize; 2]; 256];
-    for feature in 0..num_features {
+    for feature in candidates {
         for bin in histogram.iter_mut() {
             *bin = [0, 0];
         }
